@@ -1,0 +1,27 @@
+//! Active learning for runtime prediction (paper §3.4, Algorithms 1–2).
+//!
+//! The scenario: experiments on a target supercomputer are expensive, so
+//! the learner starts from a small random set of labelled configurations
+//! and repeatedly picks the next batch to "run" (here: look up in a
+//! pre-generated labelled pool, exactly like the paper re-queries its
+//! collected dataset) so that prediction accuracy grows as fast as
+//! possible.
+//!
+//! Three query strategies:
+//!
+//! * [`Strategy::Random`] — the paper's baseline (RS),
+//! * [`Strategy::Uncertainty`] — Gaussian-process σ-argmax (US, Alg. 1),
+//! * [`Strategy::Committee`] — variance across a bootstrap committee of
+//!   gradient-boosting models (QC, Alg. 2).
+//!
+//! After each query round the learner records R²/MAE/MAPE against the full
+//! training pool — and, when a *goal evaluator* is supplied (the STQ/BQ
+//! closures from `chemcost-core`), the goal-level losses computed at the
+//! predicted-optimal configuration's **true** runtime, the evaluation
+//! subtlety §3.4 insists on.
+
+pub mod learner;
+pub mod strategy;
+
+pub use learner::{run_active_learning, ActiveConfig, ActiveRun, GoalEvaluator, RoundRecord};
+pub use strategy::Strategy;

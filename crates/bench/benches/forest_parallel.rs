@@ -1,0 +1,32 @@
+//! Ablation: random-forest fitting with one worker thread vs. all cores
+//! (the dynamic `par_map` scheduler in `chemcost-linalg::parallel`).
+
+use chemcost_core::data::{MachineData, Target};
+use chemcost_ml::forest::RandomForest;
+use chemcost_ml::Regressor;
+use chemcost_sim::machine::aurora;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_forest(c: &mut Criterion) {
+    let md = MachineData::generate_sized(&aurora(), 800, 42);
+    let train = md.train_dataset(Target::Seconds);
+
+    let mut group = c.benchmark_group("forest_fit_100_trees");
+    group.sample_size(10);
+    for (label, threads) in [("1_thread", 1usize), ("all_cores", 0usize)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut rf = RandomForest::new(100, 12);
+                rf.n_threads = threads;
+                rf.seed = 7;
+                rf.fit(black_box(&train.x), black_box(&train.y)).unwrap();
+                black_box(rf.trees().len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_forest);
+criterion_main!(benches);

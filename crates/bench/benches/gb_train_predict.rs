@@ -1,0 +1,36 @@
+//! Criterion counterpart of **Table 2**: wall time to train and to predict
+//! with the deployed Gradient Boosting configuration (750 estimators,
+//! depth 10) on the full Aurora corpus.
+
+use chemcost_core::data::{MachineData, Target};
+use chemcost_ml::gradient_boosting::GradientBoosting;
+use chemcost_ml::Regressor;
+use chemcost_sim::machine::aurora;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_gb(c: &mut Criterion) {
+    let md = MachineData::generate(&aurora(), 42);
+    let train = md.train_dataset(Target::Seconds);
+    let test = md.test_dataset(Target::Seconds);
+
+    let mut group = c.benchmark_group("gb_table2");
+    group.sample_size(10);
+    group.bench_function("train_750x10", |b| {
+        b.iter(|| {
+            let mut gb = GradientBoosting::paper_config();
+            gb.fit(black_box(&train.x), black_box(&train.y)).unwrap();
+            black_box(gb.n_stages())
+        })
+    });
+
+    let mut fitted = GradientBoosting::paper_config();
+    fitted.fit(&train.x, &train.y).unwrap();
+    group.bench_function("predict_test_split", |b| {
+        b.iter(|| black_box(fitted.predict(black_box(&test.x))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gb);
+criterion_main!(benches);

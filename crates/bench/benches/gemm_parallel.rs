@@ -1,0 +1,25 @@
+//! Ablation: sequential blocked GEMM vs. the scoped-thread parallel
+//! kernel, across sizes.
+
+use chemcost_linalg::{gemm, Matrix};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    group.sample_size(10);
+    for &n in &[128usize, 256, 512] {
+        let a = Matrix::from_fn(n, n, |i, j| ((i * 31 + j * 17) % 101) as f64 * 0.01);
+        let b = Matrix::from_fn(n, n, |i, j| ((i * 13 + j * 29) % 97) as f64 * 0.01);
+        group.bench_with_input(BenchmarkId::new("sequential", n), &n, |bch, _| {
+            bch.iter(|| black_box(gemm::matmul(black_box(&a), black_box(&b))))
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", n), &n, |bch, _| {
+            bch.iter(|| black_box(gemm::matmul_parallel(black_box(&a), black_box(&b))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm);
+criterion_main!(benches);

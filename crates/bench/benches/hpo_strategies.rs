@@ -1,0 +1,63 @@
+//! Ablation: the cost of the three hyper-parameter search strategies at a
+//! matched evaluation budget (the "opt time" panels of Figures 1–2).
+
+use chemcost_core::data::{MachineData, Target};
+use chemcost_ml::model_selection::{
+    BayesSearch, Dimension, GridSearch, KFold, RandomSearch, Scale, Scoring,
+};
+use chemcost_ml::tree::DecisionTree;
+use chemcost_ml::Regressor;
+use chemcost_sim::machine::aurora;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_hpo(c: &mut Criterion) {
+    let md = MachineData::generate_sized(&aurora(), 400, 42);
+    let data = md.train_dataset(Target::Seconds);
+    let cv = KFold::new(3);
+    let factory = |p: &chemcost_ml::model_selection::Params| {
+        let depth = p.get("max_depth").copied().unwrap_or(8.0) as usize;
+        Box::new(DecisionTree::new(depth)) as Box<dyn Regressor>
+    };
+
+    let mut group = c.benchmark_group("hpo_dt_12_candidates");
+    group.sample_size(10);
+    group.bench_function("grid", |b| {
+        b.iter(|| {
+            let gs = GridSearch::new(
+                vec![("max_depth", (2..14).map(|d| d as f64).collect())],
+                cv,
+            );
+            black_box(gs.search(factory, black_box(&data)).best_cv_loss)
+        })
+    });
+    group.bench_function("random", |b| {
+        b.iter(|| {
+            let rs = RandomSearch {
+                space: vec![Dimension::new("max_depth", 2.0, 14.0, Scale::Integer)],
+                n_iter: 12,
+                seed: 3,
+                cv,
+                scoring: Scoring::Mse,
+            };
+            black_box(rs.search(factory, black_box(&data)).best_cv_loss)
+        })
+    });
+    group.bench_function("bayes", |b| {
+        b.iter(|| {
+            let bs = BayesSearch {
+                space: vec![Dimension::new("max_depth", 2.0, 14.0, Scale::Integer)],
+                n_iter: 12,
+                n_initial: 4,
+                seed: 3,
+                cv,
+                scoring: Scoring::Mse,
+            };
+            black_box(bs.search(factory, black_box(&data)).best_cv_loss)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hpo);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Fit/predict throughput for each of the nine model families on a
+//! matched simulator corpus — the cost side of Figures 1–2.
+
+use chemcost_core::data::{MachineData, Target};
+use chemcost_ml::model_selection::Params;
+use chemcost_ml::zoo::ModelKind;
+use chemcost_sim::machine::aurora;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_models(c: &mut Criterion) {
+    let md = MachineData::generate_sized(&aurora(), 600, 42);
+    let train = md.train_dataset(Target::Seconds);
+    let test = md.test_dataset(Target::Seconds);
+
+    let mut group = c.benchmark_group("model_fit");
+    group.sample_size(10);
+    for kind in ModelKind::all() {
+        group.bench_function(kind.abbrev(), |b| {
+            b.iter(|| {
+                let mut m = kind.build(&Params::new());
+                m.fit(black_box(&train.x), black_box(&train.y)).unwrap();
+                black_box(m.predict(&test.x))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Ablation: LPT class scheduling vs. naive round-robin placement — both
+//! the scheduler's own runtime and (printed once) the makespan quality gap
+//! that motivates LPT in the simulator.
+
+use chemcost_sim::ccsd::{iteration_task_classes, Problem};
+use chemcost_sim::machine::aurora;
+use chemcost_sim::schedule::{lpt_classes, round_robin_classes};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_sched(c: &mut Criterion) {
+    let machine = aurora();
+    let cases = [
+        ("small", Problem::new(44, 260), 40, 60usize),
+        ("medium", Problem::new(116, 840), 60, 3600),
+        ("large", Problem::new(280, 1040), 90, 10800),
+    ];
+
+    // One-time quality report: how much makespan does LPT save?
+    for (label, p, tile, execs) in &cases {
+        let classes = iteration_task_classes(p, *tile);
+        let cost = |c: &chemcost_sim::TaskClass| c.flops / machine.effective_flops(c.min_gemm_dim);
+        let lpt = lpt_classes(&classes, *execs, cost);
+        let rr = round_robin_classes(&classes, *execs, cost);
+        println!(
+            "[quality] {label}: LPT makespan {:.3}s (imb {:.3}) vs round-robin {:.3}s (imb {:.3})",
+            lpt.makespan, lpt.imbalance, rr.makespan, rr.imbalance
+        );
+    }
+
+    let mut group = c.benchmark_group("scheduler");
+    for (label, p, tile, execs) in &cases {
+        let classes = iteration_task_classes(p, *tile);
+        group.bench_with_input(BenchmarkId::new("lpt", label), &classes, |b, cl| {
+            b.iter(|| {
+                black_box(lpt_classes(black_box(cl), *execs, |c| {
+                    c.flops / machine.effective_flops(c.min_gemm_dim)
+                }))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("round_robin", label), &classes, |b, cl| {
+            b.iter(|| {
+                black_box(round_robin_classes(black_box(cl), *execs, |c| {
+                    c.flops / machine.effective_flops(c.min_gemm_dim)
+                }))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sched);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Simulator throughput: time to evaluate one CCSD-iteration configuration
+//! and to regenerate a corpus. The class-grouped LPT scheduler is what
+//! keeps these costs flat in the executor count.
+
+use chemcost_sim::ccsd::Problem;
+use chemcost_sim::datagen::generate_dataset_sized;
+use chemcost_sim::machine::{aurora, frontier};
+use chemcost_sim::simulate::{simulate_iteration_clean, Config};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_sim(c: &mut Criterion) {
+    let machine = aurora();
+    let mut group = c.benchmark_group("simulate_iteration");
+    let cases = [
+        ("small_5n", Problem::new(44, 260), Config::new(5, 40)),
+        ("medium_300n", Problem::new(134, 951), Config::new(300, 70)),
+        ("large_900n", Problem::new(280, 1040), Config::new(900, 120)),
+    ];
+    for (label, p, cfg) in &cases {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &(p, cfg), |b, (p, cfg)| {
+            b.iter(|| black_box(simulate_iteration_clean(black_box(p), cfg, &machine)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("generate_corpus");
+    group.sample_size(10);
+    group.bench_function("frontier_500_samples", |b| {
+        b.iter(|| black_box(generate_dataset_sized(&frontier(), 500, 7)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

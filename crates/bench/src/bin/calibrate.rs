@@ -1,0 +1,30 @@
+//! Calibration harness (development tool, not a paper artifact): builds
+//! both machines' full corpora, trains the deployed GB, and prints the
+//! prediction/STQ/BQ scores plus the Aurora STQ table — the quickest
+//! end-to-end signal when tuning `sim::machine` constants.
+
+use chemcost_core::data::MachineData;
+use chemcost_core::pipeline::{bq_table, render_opt_table, stq_table, train_paper_gb};
+use chemcost_core::evaluation::prediction_scores;
+use chemcost_sim::machine::{aurora, frontier};
+
+fn main() {
+    for m in [aurora(), frontier()] {
+        let t0 = std::time::Instant::now();
+        let md = MachineData::generate(&m, 42);
+        println!("== {} == corpus {} gen {:.1}s", m.name, md.samples.len(), t0.elapsed().as_secs_f64());
+        let secs: Vec<f64> = md.samples.iter().map(|s| s.seconds).collect();
+        let (lo, hi) = secs.iter().fold((f64::MAX, 0.0f64), |(l, h), &v| (l.min(v), h.max(v)));
+        println!("seconds range [{lo:.1}, {hi:.1}]");
+        let t1 = std::time::Instant::now();
+        let gb = train_paper_gb(&md);
+        println!("GB train {:.2}s", t1.elapsed().as_secs_f64());
+        let scores = prediction_scores(&gb, &md.test_samples());
+        println!("test prediction: {scores}");
+        let stq = stq_table(&md, &gb);
+        println!("STQ: {} | incorrect {}/{}", stq.scores, stq.n_incorrect(), stq.rows.len());
+        let bq = bq_table(&md, &gb);
+        println!("BQ:  {} | incorrect {}/{}", bq.scores, bq.n_incorrect(), bq.rows.len());
+        println!("{}", render_opt_table(&stq, &m.name).render());
+    }
+}

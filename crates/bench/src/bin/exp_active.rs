@@ -1,0 +1,47 @@
+//! Reproduces **Figures 3 and 4**: active-learning curves (R², MAPE, MAE
+//! on the training pool vs. number of labelled experiments) for the three
+//! query strategies RS / US / QC, per machine.
+
+use chemcost_active::{ActiveConfig, Strategy};
+use chemcost_bench::{emit, f3, load_machine_data, machines_from_args, quick_mode, s2};
+use chemcost_core::pipeline::active_learning_run;
+use chemcost_core::report::Table;
+
+fn main() {
+    let cfg = if quick_mode() {
+        ActiveConfig { n_initial: 50, query_size: 50, n_queries: 5, seed: 1, gb_shape: (80, 5, 0.1) }
+    } else {
+        ActiveConfig { n_initial: 50, query_size: 50, n_queries: 20, seed: 1, gb_shape: (150, 6, 0.1) }
+    };
+    for machine in machines_from_args() {
+        let md = load_machine_data(&machine);
+        let figure = if machine.name == "aurora" { "Figure 3" } else { "Figure 4" };
+        let mut t = Table::new(
+            &format!("{figure}: {} active learning results", machine.name),
+            &["Strategy", "n_labeled", "R2", "MAPE", "MAE"],
+        );
+        for strategy in Strategy::all() {
+            println!("{}: running {strategy} …", machine.name);
+            let run = active_learning_run(&md, strategy, None, &cfg);
+            for r in &run.rounds {
+                t.push_row(vec![
+                    strategy.abbrev().to_string(),
+                    r.n_labeled.to_string(),
+                    f3(r.pool.r2),
+                    f3(r.pool.mape),
+                    s2(r.pool.mae),
+                ]);
+            }
+            for target in [0.2, 0.1] {
+                match run.samples_to_mape(target) {
+                    Some(n) => println!(
+                        "  {strategy}: MAPE ≤ {target} reached with {n} experiments ({:.0}% of the corpus)",
+                        100.0 * n as f64 / md.samples.len() as f64
+                    ),
+                    None => println!("  {strategy}: MAPE ≤ {target} not reached"),
+                }
+            }
+        }
+        emit(&t, &format!("{}_fig_active", machine.name));
+    }
+}

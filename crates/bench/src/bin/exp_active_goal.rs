@@ -1,0 +1,61 @@
+//! Reproduces **Figures 5 and 6**: active learning evaluated against the
+//! STQ and BQ goals — the per-round model is scored by the true cost of
+//! the configurations it would recommend (§3.4's config-inferred loss),
+//! for each query strategy, per machine.
+
+use chemcost_active::{ActiveConfig, Strategy};
+use chemcost_bench::{emit, f3, load_machine_data, machines_from_args, quick_mode, s2};
+use chemcost_core::advisor::Goal;
+use chemcost_core::pipeline::active_learning_run;
+use chemcost_core::report::Table;
+
+fn main() {
+    let cfg = if quick_mode() {
+        ActiveConfig { n_initial: 50, query_size: 50, n_queries: 5, seed: 1, gb_shape: (80, 5, 0.1) }
+    } else {
+        ActiveConfig { n_initial: 50, query_size: 50, n_queries: 20, seed: 1, gb_shape: (150, 6, 0.1) }
+    };
+    for machine in machines_from_args() {
+        let md = load_machine_data(&machine);
+        let figure = if machine.name == "aurora" { "Figure 5" } else { "Figure 6" };
+        let mut t = Table::new(
+            &format!(
+                "{figure}: {} active learning for the shortest-time and budget questions",
+                machine.name
+            ),
+            &["Goal", "Strategy", "n_labeled", "R2", "MAPE", "MAE"],
+        );
+        for goal in [Goal::ShortestTime, Goal::Budget] {
+            for strategy in Strategy::all() {
+                println!("{}: running {}-{strategy} …", machine.name, goal.abbrev());
+                let run = active_learning_run(&md, strategy, Some(goal), &cfg);
+                for r in &run.rounds {
+                    let g = r.goal.expect("goal evaluator supplied");
+                    t.push_row(vec![
+                        goal.abbrev().to_string(),
+                        strategy.abbrev().to_string(),
+                        r.n_labeled.to_string(),
+                        f3(g.r2),
+                        f3(g.mape),
+                        s2(g.mae),
+                    ]);
+                }
+                // Key observations in the paper's style.
+                let reached = run
+                    .rounds
+                    .iter()
+                    .find(|r| r.goal.map(|g| g.mape <= 0.2).unwrap_or(false))
+                    .map(|r| r.n_labeled);
+                match reached {
+                    Some(n) => println!(
+                        "  {}-{strategy}: goal MAPE ≤ 0.2 with {n} experiments ({:.0}% of corpus)",
+                        goal.abbrev(),
+                        100.0 * n as f64 / md.samples.len() as f64
+                    ),
+                    None => println!("  {}-{strategy}: goal MAPE ≤ 0.2 not reached", goal.abbrev()),
+                }
+            }
+        }
+        emit(&t, &format!("{}_fig_active_goal", machine.name));
+    }
+}

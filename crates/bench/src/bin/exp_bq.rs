@@ -1,0 +1,26 @@
+//! Reproduces **Tables 5 and 6**: per-problem cheapest (node-hours)
+//! configurations (true vs. model-predicted) and the BQ goal scores.
+
+use chemcost_bench::{emit, load_machine_data, machines_from_args, quick_mode};
+use chemcost_core::pipeline::{bq_table, render_opt_table, train_fast_gb, train_paper_gb};
+
+fn main() {
+    for machine in machines_from_args() {
+        let md = load_machine_data(&machine);
+        let gb: Box<dyn chemcost_ml::Regressor> = if quick_mode() {
+            Box::new(train_fast_gb(&md))
+        } else {
+            Box::new(train_paper_gb(&md))
+        };
+        let table = bq_table(&md, gb.as_ref());
+        let rendered = render_opt_table(&table, &machine.name);
+        emit(&rendered, &format!("{}_bq", machine.name));
+        println!(
+            "{} BQ goal scores: {}   (mispredicted configurations: {}/{})\n",
+            machine.name,
+            table.scores,
+            table.n_incorrect(),
+            table.rows.len()
+        );
+    }
+}

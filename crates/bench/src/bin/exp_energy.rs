@@ -1,0 +1,84 @@
+//! Extension experiment: the **Energy Question** — which configuration
+//! burns the fewest kilowatt-hours per CCSD iteration?
+//!
+//! Node-hours (the paper's BQ) charge every node equally; energy also
+//! charges for *how hard* the nodes work, so poorly utilized overscaled
+//! runs look cheaper in kWh/node-hour but are not free. The experiment
+//! trains a GB directly on the simulated energy target and reports the
+//! per-problem greenest configurations (true vs predicted), mirroring the
+//! Tables 5–6 protocol with energy as the objective.
+
+use chemcost_bench::{emit, load_machine_data, machines_from_args, quick_mode};
+use chemcost_core::data::Target;
+use chemcost_core::report::{paren_cell, Table};
+use chemcost_ml::gradient_boosting::GradientBoosting;
+use chemcost_ml::metrics::Scores;
+use chemcost_ml::Regressor;
+use chemcost_linalg::Matrix;
+
+fn main() {
+    for machine in machines_from_args() {
+        let md = load_machine_data(&machine);
+        let train = md.train_dataset(Target::EnergyKwh);
+        let mut gb = if quick_mode() {
+            GradientBoosting::new(200, 6, 0.1)
+        } else {
+            GradientBoosting::paper_config()
+        };
+        gb.fit(&train.x, &train.y).expect("energy model fit");
+
+        // Per-problem greenest configuration over the test split.
+        let test = md.test_samples();
+        let mut x = Matrix::zeros(0, 4);
+        for s in &test {
+            x.push_row(&s.features());
+        }
+        let pred = gb.predict(&x);
+
+        let mut groups: std::collections::BTreeMap<(usize, usize), Vec<usize>> = Default::default();
+        for (i, s) in test.iter().enumerate() {
+            groups.entry((s.o, s.v)).or_default().push(i);
+        }
+        let mut t = Table::new(
+            &format!("{} greenest-configuration results (energy question)", machine.name),
+            &["O", "V", "Nodes", "Tile size", "Energy (kWh)"],
+        );
+        let mut y_true = Vec::new();
+        let mut y_at_pred = Vec::new();
+        let mut incorrect = 0;
+        for ((o, v), idx) in groups {
+            let argmin = |key: &dyn Fn(usize) -> f64| {
+                idx.iter()
+                    .copied()
+                    .min_by(|&a, &b| key(a).partial_cmp(&key(b)).unwrap())
+                    .expect("non-empty group")
+            };
+            let tb = argmin(&|i| test[i].energy_kwh);
+            let pb = argmin(&|i| pred[i]);
+            let correct = (test[tb].nodes, test[tb].tile) == (test[pb].nodes, test[pb].tile);
+            if !correct {
+                incorrect += 1;
+            }
+            y_true.push(test[tb].energy_kwh);
+            y_at_pred.push(test[pb].energy_kwh);
+            t.push_row(vec![
+                o.to_string(),
+                v.to_string(),
+                paren_cell(&test[tb].nodes.to_string(), &test[pb].nodes.to_string(), correct),
+                paren_cell(&test[tb].tile.to_string(), &test[pb].tile.to_string(), correct),
+                paren_cell(
+                    &format!("{:.1}", test[tb].energy_kwh),
+                    &format!("{:.1}", test[pb].energy_kwh),
+                    correct,
+                ),
+            ]);
+        }
+        emit(&t, &format!("{}_energy", machine.name));
+        let scores = Scores::compute(&y_true, &y_at_pred);
+        println!(
+            "{} energy-question goal scores: {scores}   (mispredicted: {incorrect}/{})\n",
+            machine.name,
+            y_true.len()
+        );
+    }
+}

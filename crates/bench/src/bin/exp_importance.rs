@@ -1,0 +1,53 @@
+//! Analysis experiment (beyond the paper's figures): permutation feature
+//! importance of the deployed GB model — which of O, V, nodes, tile
+//! actually drives the predicted wall time on each machine.
+//!
+//! A physics sanity check as much as an ML one: the CCSD iteration cost is
+//! quartic in V and quadratic in O, so V must dominate, with the runtime
+//! knobs (nodes, tile) contributing through parallel efficiency.
+
+use chemcost_bench::{emit, load_machine_data, machines_from_args, quick_mode};
+use chemcost_core::data::Target;
+use chemcost_core::pipeline::{train_fast_gb, train_paper_gb};
+use chemcost_core::report::Table;
+use chemcost_ml::importance::ranked_importance;
+use chemcost_ml::partial_dependence::{feature_grid, partial_dependence};
+
+fn main() {
+    let mut t = Table::new(
+        "Permutation feature importance of the deployed GB (test split)",
+        &["System", "Rank", "Feature", "MSE increase"],
+    );
+    for machine in machines_from_args() {
+        let md = load_machine_data(&machine);
+        let gb: Box<dyn chemcost_ml::Regressor> = if quick_mode() {
+            Box::new(train_fast_gb(&md))
+        } else {
+            Box::new(train_paper_gb(&md))
+        };
+        let test = md.test_dataset(Target::Seconds);
+        let ranked = ranked_importance(gb.as_ref(), &test.x, &test.y, &test.feature_names, 42);
+        for (rank, (name, imp)) in ranked.iter().enumerate() {
+            t.push_row(vec![
+                machine.name.clone(),
+                (rank + 1).to_string(),
+                name.clone(),
+                format!("{imp:.1}"),
+            ]);
+        }
+
+        // Partial-dependence sanity check on the runtime knobs: the model
+        // should exhibit the interior optima the simulator has.
+        for (feature, label) in [(2usize, "nodes"), (3usize, "tile")] {
+            let grid = feature_grid(&test.x, feature, 12);
+            let pd = partial_dependence(gb.as_ref(), &test.x, feature, &grid);
+            println!(
+                "{}: marginal runtime response to {label}: argmin at {:.0}                  (relative swing {:.2})",
+                machine.name,
+                pd.argmin(),
+                pd.relative_swing()
+            );
+        }
+    }
+    emit(&t, "feature_importance");
+}

@@ -1,0 +1,21 @@
+//! Reproduces **Table 1**: dataset sizes and train/test breakdown.
+
+use chemcost_bench::{emit, load_machine_data, machines_from_args};
+use chemcost_core::report::Table;
+
+fn main() {
+    let mut t = Table::new(
+        "Table 1: Datasets and the corresponding size breakdowns",
+        &["System", "Total", "Train", "Test"],
+    );
+    for machine in machines_from_args() {
+        let md = load_machine_data(&machine);
+        t.push_row(vec![
+            machine.name.clone(),
+            md.samples.len().to_string(),
+            md.train_idx.len().to_string(),
+            md.test_idx.len().to_string(),
+        ]);
+    }
+    emit(&t, "table1_datasets");
+}

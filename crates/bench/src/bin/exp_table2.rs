@@ -1,0 +1,60 @@
+//! Reproduces **Table 2**: training and prediction wall times of the
+//! deployed Gradient Boosting model (750 estimators, depth 10).
+//!
+//! Reported as mean ± std over repeated runs, like the paper.
+
+use chemcost_bench::{emit, load_machine_data, machines_from_args, quick_mode};
+use chemcost_core::data::Target;
+use chemcost_core::report::Table;
+use chemcost_ml::gradient_boosting::GradientBoosting;
+use chemcost_ml::Regressor;
+use std::time::Instant;
+
+fn mean_std(xs: &[f64]) -> (f64, f64) {
+    let m = xs.iter().sum::<f64>() / xs.len() as f64;
+    let v = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64;
+    (m, v.sqrt())
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.2} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.1} ms", seconds * 1e3)
+    } else {
+        format!("{:.0} µs", seconds * 1e6)
+    }
+}
+
+fn main() {
+    let reps = if quick_mode() { 2 } else { 5 };
+    let mut t = Table::new(
+        "Table 2: Training and prediction times for Gradient Boosting",
+        &["System", "Training", "Prediction"],
+    );
+    for machine in machines_from_args() {
+        let md = load_machine_data(&machine);
+        let train = md.train_dataset(Target::Seconds);
+        let test = md.test_dataset(Target::Seconds);
+        let mut train_times = Vec::new();
+        let mut pred_times = Vec::new();
+        for rep in 0..reps {
+            let mut gb = GradientBoosting::paper_config();
+            gb.seed = rep as u64;
+            let t0 = Instant::now();
+            gb.fit(&train.x, &train.y).expect("fit");
+            train_times.push(t0.elapsed().as_secs_f64());
+            let t1 = Instant::now();
+            let _ = gb.predict(&test.x);
+            pred_times.push(t1.elapsed().as_secs_f64());
+        }
+        let (tm, ts) = mean_std(&train_times);
+        let (pm, ps) = mean_std(&pred_times);
+        t.push_row(vec![
+            machine.name.clone(),
+            format!("{} ± {}", fmt_time(tm), fmt_time(ts)),
+            format!("{} ± {}", fmt_time(pm), fmt_time(ps)),
+        ]);
+    }
+    emit(&t, "table2_gb_times");
+}

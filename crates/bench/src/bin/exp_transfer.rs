@@ -1,0 +1,91 @@
+//! Extension experiment: cross-machine transfer learning — the paper's
+//! "new architecture with little data" scenario (§3.4) attacked by model
+//! reuse instead of (or alongside) active learning.
+//!
+//! Source: the deployed GB trained on the full Aurora corpus.
+//! Target: Frontier with a growing number of measurements. Compared:
+//!
+//! * **zero-shot** — the Aurora model applied unchanged,
+//! * **transfer** — Aurora model × log-ratio correction fitted on the
+//!   target samples (`ml::transfer`),
+//! * **scratch** — a GB trained only on the target samples.
+
+use chemcost_bench::{emit, f3, quick_mode, SEED};
+use chemcost_core::data::{MachineData, Target};
+use chemcost_core::evaluation::prediction_scores;
+use chemcost_core::report::Table;
+use chemcost_ml::gradient_boosting::GradientBoosting;
+use chemcost_ml::transfer::TransferModel;
+use chemcost_ml::Regressor;
+use chemcost_sim::machine::{aurora, frontier};
+
+fn main() {
+    let (source_machine, target_machine) = (aurora(), frontier());
+    println!(
+        "training the source model on the full {} corpus …",
+        source_machine.name
+    );
+    let source_md = if quick_mode() {
+        MachineData::generate_sized(&source_machine, 800, SEED)
+    } else {
+        MachineData::generate(&source_machine, SEED)
+    };
+    let source_train = source_md.train_dataset(Target::Seconds);
+    let mut source_gb = if quick_mode() {
+        GradientBoosting::new(200, 6, 0.1)
+    } else {
+        GradientBoosting::paper_config()
+    };
+    source_gb.fit(&source_train.x, &source_train.y).expect("source fit");
+
+    let target_md = if quick_mode() {
+        MachineData::generate_sized(&target_machine, 800, SEED + 1)
+    } else {
+        MachineData::generate(&target_machine, SEED + 1)
+    };
+    let target_train = target_md.train_dataset(Target::Seconds);
+    let target_test = target_md.test_samples();
+
+    // Zero-shot baseline: source model evaluated on the target test set.
+    let zero_shot = prediction_scores(&source_gb, &target_test);
+    println!(
+        "zero-shot {} → {}: {zero_shot}\n",
+        source_machine.name, target_machine.name
+    );
+
+    let budgets: &[usize] =
+        if quick_mode() { &[50, 150, 400] } else { &[50, 100, 200, 400, 800, 1600] };
+    let mut t = Table::new(
+        &format!(
+            "Transfer learning {} → {} (test MAPE by target-sample budget)",
+            source_machine.name, target_machine.name
+        ),
+        &["Target samples", "Zero-shot", "Transfer", "From scratch"],
+    );
+    for &n in budgets {
+        let n = n.min(target_train.len());
+        // Deterministic spread over the target training set.
+        let idx: Vec<usize> = (0..n).map(|i| i * target_train.len() / n).collect();
+        let sub = target_train.select(&idx);
+
+        let mut transfer = TransferModel::new(Box::new(source_gb.clone()));
+        transfer.fit(&sub.x, &sub.y).expect("transfer fit");
+        let transfer_scores = prediction_scores(&transfer, &target_test);
+
+        let mut scratch = GradientBoosting::new(300, 6, 0.1);
+        scratch.fit(&sub.x, &sub.y).expect("scratch fit");
+        let scratch_scores = prediction_scores(&scratch, &target_test);
+
+        t.push_row(vec![
+            n.to_string(),
+            f3(zero_shot.mape),
+            f3(transfer_scores.mape),
+            f3(scratch_scores.mape),
+        ]);
+        println!(
+            "{n:>5} target samples: transfer MAPE {:.3}, scratch {:.3}",
+            transfer_scores.mape, scratch_scores.mape
+        );
+    }
+    emit(&t, "transfer_learning");
+}

@@ -1,0 +1,69 @@
+//! Shared plumbing for the `exp_*` experiment binaries.
+//!
+//! Every binary regenerates one table or figure of the paper (see
+//! `DESIGN.md`'s experiment index): it prints the artifact as an aligned
+//! text table and writes a CSV next to it under `results/`.
+
+use chemcost_core::data::MachineData;
+use chemcost_core::report::Table;
+use chemcost_sim::machine::{aurora, frontier, MachineModel};
+use std::path::PathBuf;
+
+/// Parse `--machine aurora|frontier` (default: both) from argv.
+pub fn machines_from_args() -> Vec<MachineModel> {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(pos) = args.iter().position(|a| a == "--machine") {
+        let name = args.get(pos + 1).map(String::as_str).unwrap_or("");
+        match chemcost_sim::machine::by_name(name) {
+            Some(m) => return vec![m],
+            None => {
+                eprintln!("unknown machine {name:?}; expected aurora or frontier");
+                std::process::exit(2);
+            }
+        }
+    }
+    vec![aurora(), frontier()]
+}
+
+/// `--quick` shrinks experiment budgets for smoke runs.
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// The master seed every experiment shares (reproducibility).
+pub const SEED: u64 = 42;
+
+/// Generate (or shrink, under `--quick`) a machine's corpus.
+pub fn load_machine_data(machine: &MachineModel) -> MachineData {
+    if quick_mode() {
+        MachineData::generate_sized(machine, 600, SEED)
+    } else {
+        MachineData::generate(machine, SEED)
+    }
+}
+
+/// Repo-level `results/` directory.
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("CHEMCOST_RESULTS").unwrap_or_else(|_| "results".to_string());
+    PathBuf::from(dir)
+}
+
+/// Print a table and persist it as `results/<stem>.csv`.
+pub fn emit(table: &Table, stem: &str) {
+    println!("{}", table.render());
+    let path = results_dir().join(format!("{stem}.csv"));
+    match table.write_csv(&path) {
+        Ok(()) => println!("[written {}]\n", path.display()),
+        Err(e) => eprintln!("[could not write {}: {e}]", path.display()),
+    }
+}
+
+/// Format a float with three decimals.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Format seconds with two decimals.
+pub fn s2(v: f64) -> String {
+    format!("{v:.2}")
+}

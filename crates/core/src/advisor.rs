@@ -1,0 +1,504 @@
+//! Sweep-based question answering on a trained runtime model (§3.3).
+//!
+//! The paper's recipe: train one regression model `(O, V, nodes, tile) →
+//! seconds`, then, for the user's fixed `(O_user, V_user)`, query it over a
+//! grid of `(nodes, tile)` candidates of typical interest and return the
+//! argmin — of predicted seconds for STQ, of predicted node-hours for BQ.
+
+use chemcost_linalg::Matrix;
+use chemcost_ml::traits::{Regressor, UncertaintyRegressor};
+use chemcost_sim::ccsd::Problem;
+use chemcost_sim::datagen::{node_candidates, tile_candidates};
+use chemcost_sim::machine::MachineModel;
+use chemcost_sim::simulate::fits_in_memory;
+
+/// Which question the user is asking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Goal {
+    /// Shortest-Time Question: minimize wall seconds.
+    ShortestTime,
+    /// Budget Question: minimize node-hours.
+    Budget,
+}
+
+impl Goal {
+    /// Short label used in reports ("STQ" / "BQ").
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            Goal::ShortestTime => "STQ",
+            Goal::Budget => "BQ",
+        }
+    }
+}
+
+/// An answer to a user question.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Recommendation {
+    /// Recommended node count.
+    pub nodes: usize,
+    /// Recommended tile size.
+    pub tile: usize,
+    /// Model-predicted wall seconds at that configuration.
+    pub predicted_seconds: f64,
+    /// Model-predicted node-hours at that configuration.
+    pub predicted_node_hours: f64,
+}
+
+/// A trained-model wrapper that answers STQ/BQ by grid sweep.
+pub struct Advisor<'a> {
+    model: &'a dyn Regressor,
+    machine: MachineModel,
+    nodes_grid: Vec<usize>,
+    tiles_grid: Vec<usize>,
+}
+
+impl<'a> Advisor<'a> {
+    /// Wrap a trained seconds-predictor with the default candidate grids
+    /// (the same ranges the datasets sweep).
+    pub fn new(model: &'a dyn Regressor, machine: MachineModel) -> Self {
+        Self { model, machine, nodes_grid: node_candidates(), tiles_grid: tile_candidates() }
+    }
+
+    /// Override the candidate grids.
+    pub fn with_grids(mut self, nodes: Vec<usize>, tiles: Vec<usize>) -> Self {
+        assert!(!nodes.is_empty() && !tiles.is_empty(), "grids must be non-empty");
+        self.nodes_grid = nodes;
+        self.tiles_grid = tiles;
+        self
+    }
+
+    /// Every memory-feasible candidate configuration for a problem.
+    pub fn candidates(&self, o: usize, v: usize) -> Vec<(usize, usize)> {
+        let p = Problem::new(o, v);
+        let mut out = Vec::new();
+        for &n in &self.nodes_grid {
+            if !fits_in_memory(&p, n, &self.machine) {
+                continue;
+            }
+            for &t in &self.tiles_grid {
+                out.push((n, t));
+            }
+        }
+        out
+    }
+
+    /// Answer a question for problem size `(o, v)`.
+    ///
+    /// Returns `None` when no candidate fits in memory (the user needs a
+    /// bigger machine, which is itself useful guidance).
+    pub fn answer(&self, o: usize, v: usize, goal: Goal) -> Option<Recommendation> {
+        let cands = self.candidates(o, v);
+        if cands.is_empty() {
+            return None;
+        }
+        let x = Matrix::from_fn(cands.len(), 4, |i, j| match j {
+            0 => o as f64,
+            1 => v as f64,
+            2 => cands[i].0 as f64,
+            _ => cands[i].1 as f64,
+        });
+        let pred_seconds = self.model.predict(&x);
+        let mut best: Option<(usize, f64)> = None;
+        for (i, &(n, _)) in cands.iter().enumerate() {
+            let objective = match goal {
+                Goal::ShortestTime => pred_seconds[i],
+                Goal::Budget => pred_seconds[i] * n as f64 / 3600.0,
+            };
+            if objective.is_finite() && best.is_none_or(|(_, b)| objective < b) {
+                best = Some((i, objective));
+            }
+        }
+        best.map(|(i, _)| {
+            let (nodes, tile) = cands[i];
+            Recommendation {
+                nodes,
+                tile,
+                predicted_seconds: pred_seconds[i],
+                predicted_node_hours: pred_seconds[i] * nodes as f64 / 3600.0,
+            }
+        })
+    }
+
+    /// The predicted time/cost Pareto frontier for a problem: every
+    /// candidate configuration not dominated in (seconds, node-hours),
+    /// sorted by predicted seconds ascending.
+    ///
+    /// The STQ answer is the frontier's first point and the BQ answer its
+    /// last — everything between is the menu of rational compromises a
+    /// user with both a deadline and a budget actually chooses from.
+    pub fn pareto_frontier(&self, o: usize, v: usize) -> Vec<Recommendation> {
+        let cands = self.candidates(o, v);
+        if cands.is_empty() {
+            return Vec::new();
+        }
+        let x = Matrix::from_fn(cands.len(), 4, |i, j| match j {
+            0 => o as f64,
+            1 => v as f64,
+            2 => cands[i].0 as f64,
+            _ => cands[i].1 as f64,
+        });
+        let pred = self.model.predict(&x);
+        let mut recs: Vec<Recommendation> = cands
+            .iter()
+            .zip(&pred)
+            .filter(|(_, s)| s.is_finite())
+            .map(|(&(nodes, tile), &s)| Recommendation {
+                nodes,
+                tile,
+                predicted_seconds: s,
+                predicted_node_hours: s * nodes as f64 / 3600.0,
+            })
+            .collect();
+        recs.sort_by(|a, b| {
+            a.predicted_seconds
+                .partial_cmp(&b.predicted_seconds)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        // Single sweep: with seconds ascending, a point is non-dominated
+        // iff its node-hours are strictly below everything kept so far.
+        let mut frontier: Vec<Recommendation> = Vec::new();
+        let mut best_nh = f64::INFINITY;
+        for r in recs {
+            if r.predicted_node_hours < best_nh - 1e-12 {
+                best_nh = r.predicted_node_hours;
+                frontier.push(r);
+            }
+        }
+        frontier
+    }
+
+    /// Fastest configuration whose predicted cost stays within
+    /// `max_node_hours` — "I have this much allocation left; how fast can
+    /// I go?". `None` if no feasible candidate fits the budget.
+    pub fn fastest_within_budget(
+        &self,
+        o: usize,
+        v: usize,
+        max_node_hours: f64,
+    ) -> Option<Recommendation> {
+        self.pareto_frontier(o, v)
+            .into_iter()
+            .find(|r| r.predicted_node_hours <= max_node_hours)
+    }
+
+    /// Cheapest configuration whose predicted wall time stays within
+    /// `max_seconds` — "results by tomorrow morning, as cheap as possible".
+    /// `None` if no feasible candidate meets the deadline.
+    pub fn cheapest_within_deadline(
+        &self,
+        o: usize,
+        v: usize,
+        max_seconds: f64,
+    ) -> Option<Recommendation> {
+        self.pareto_frontier(o, v)
+            .into_iter()
+            .rev() // frontier is cheapest-last
+            .find(|r| r.predicted_seconds <= max_seconds)
+    }
+
+    /// Answer the shortest-time question.
+    pub fn answer_stq(&self, o: usize, v: usize) -> Option<Recommendation> {
+        self.answer(o, v, Goal::ShortestTime)
+    }
+
+    /// Answer the budget question.
+    pub fn answer_bq(&self, o: usize, v: usize) -> Option<Recommendation> {
+        self.answer(o, v, Goal::Budget)
+    }
+}
+
+/// A risk-aware recommendation: the point estimate plus the model's own
+/// predictive uncertainty at the chosen configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RiskAwareRecommendation {
+    /// The underlying recommendation.
+    pub rec: Recommendation,
+    /// Predictive standard deviation of the seconds estimate.
+    pub seconds_std: f64,
+}
+
+/// Advisor over a model that quantifies its own uncertainty (Gaussian
+/// process, random-forest committee, Bayesian ridge).
+///
+/// Instead of `argmin μ(x)`, the risk-averse answer minimizes the upper
+/// confidence bound `μ(x) + κ·σ(x)`: a configuration the model is merely
+/// *hopeful* about loses to one it is *sure* about. With `κ = 0` this
+/// reduces to the plain [`Advisor`] answer.
+pub struct UncertaintyAdvisor<'a> {
+    model: &'a dyn UncertaintyRegressor,
+    inner: Advisor<'a>,
+}
+
+impl<'a> UncertaintyAdvisor<'a> {
+    /// Wrap an uncertainty-quantifying seconds-predictor.
+    pub fn new(model: &'a dyn UncertaintyRegressor, machine: MachineModel) -> Self {
+        Self { model, inner: Advisor::new(model, machine) }
+    }
+
+    /// Access the plain advisor (point-estimate answers, Pareto, …).
+    pub fn advisor(&self) -> &Advisor<'a> {
+        &self.inner
+    }
+
+    /// Risk-averse answer: minimize `μ + κσ` of the goal objective.
+    ///
+    /// # Panics
+    /// Panics if `kappa` is negative or non-finite.
+    pub fn answer_risk_averse(
+        &self,
+        o: usize,
+        v: usize,
+        goal: Goal,
+        kappa: f64,
+    ) -> Option<RiskAwareRecommendation> {
+        assert!(kappa >= 0.0 && kappa.is_finite(), "kappa must be a non-negative finite number");
+        let cands = self.inner.candidates(o, v);
+        if cands.is_empty() {
+            return None;
+        }
+        let x = Matrix::from_fn(cands.len(), 4, |i, j| match j {
+            0 => o as f64,
+            1 => v as f64,
+            2 => cands[i].0 as f64,
+            _ => cands[i].1 as f64,
+        });
+        let (mean, std) = self.model.predict_with_std(&x);
+        let mut best: Option<(usize, f64)> = None;
+        for (i, &(n, _)) in cands.iter().enumerate() {
+            let scale = match goal {
+                Goal::ShortestTime => 1.0,
+                Goal::Budget => n as f64 / 3600.0,
+            };
+            let objective = (mean[i] + kappa * std[i]) * scale;
+            if objective.is_finite() && best.is_none_or(|(_, b)| objective < b) {
+                best = Some((i, objective));
+            }
+        }
+        best.map(|(i, _)| {
+            let (nodes, tile) = cands[i];
+            RiskAwareRecommendation {
+                rec: Recommendation {
+                    nodes,
+                    tile,
+                    predicted_seconds: mean[i],
+                    predicted_node_hours: mean[i] * nodes as f64 / 3600.0,
+                },
+                seconds_std: std[i],
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chemcost_ml::FitError;
+    use chemcost_sim::machine::aurora;
+    use chemcost_sim::simulate::{simulate_iteration_clean, Config};
+
+    /// A "model" that returns the noise-free simulator truth — the advisor
+    /// on top of it must recover the simulator's own optima.
+    struct OracleModel {
+        machine: MachineModel,
+    }
+
+    impl Regressor for OracleModel {
+        fn fit(&mut self, _x: &Matrix, _y: &[f64]) -> Result<(), FitError> {
+            Ok(())
+        }
+        fn predict(&self, x: &Matrix) -> Vec<f64> {
+            (0..x.nrows())
+                .map(|i| {
+                    let r = x.row(i);
+                    let p = Problem::new(r[0] as usize, r[1] as usize);
+                    let cfg = Config::new(r[2] as usize, r[3] as usize);
+                    simulate_iteration_clean(&p, &cfg, &self.machine).seconds
+                })
+                .collect()
+        }
+        fn name(&self) -> &'static str {
+            "oracle"
+        }
+    }
+
+    #[test]
+    fn oracle_advisor_finds_true_optimum() {
+        let machine = aurora();
+        let model = OracleModel { machine: machine.clone() };
+        let advisor = Advisor::new(&model, machine.clone())
+            .with_grids(vec![5, 20, 50, 150, 300, 600], vec![40, 60, 90, 120]);
+        let rec = advisor.answer_stq(116, 840).expect("feasible");
+        // Exhaustive check against the simulator.
+        let mut best = (0usize, 0usize, f64::INFINITY);
+        for &n in &[5usize, 20, 50, 150, 300, 600] {
+            for &t in &[40usize, 60, 90, 120] {
+                let s = simulate_iteration_clean(
+                    &Problem::new(116, 840),
+                    &Config::new(n, t),
+                    &machine,
+                )
+                .seconds;
+                if s < best.2 {
+                    best = (n, t, s);
+                }
+            }
+        }
+        assert_eq!((rec.nodes, rec.tile), (best.0, best.1));
+        assert!((rec.predicted_seconds - best.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bq_uses_fewer_nodes_than_stq() {
+        let machine = aurora();
+        let model = OracleModel { machine: machine.clone() };
+        let advisor = Advisor::new(&model, machine);
+        let stq = advisor.answer_stq(180, 1070).unwrap();
+        let bq = advisor.answer_bq(180, 1070).unwrap();
+        assert!(
+            bq.nodes < stq.nodes,
+            "budget answer ({}) should use fewer nodes than shortest-time ({})",
+            bq.nodes,
+            stq.nodes
+        );
+        assert!(bq.predicted_node_hours <= stq.predicted_node_hours);
+        assert!(stq.predicted_seconds <= bq.predicted_seconds);
+    }
+
+    #[test]
+    fn candidates_respect_memory() {
+        let machine = aurora();
+        let model = OracleModel { machine: machine.clone() };
+        let advisor = Advisor::new(&model, machine.clone());
+        for (n, _) in advisor.candidates(146, 1568) {
+            assert!(fits_in_memory(&Problem::new(146, 1568), n, &machine));
+        }
+    }
+
+    #[test]
+    fn infeasible_problem_returns_none() {
+        let machine = aurora();
+        let model = OracleModel { machine: machine.clone() };
+        // Restrict the grid to node counts that cannot hold the tensors.
+        let advisor =
+            Advisor::new(&model, machine).with_grids(vec![5], vec![80]);
+        assert!(advisor.answer_stq(400, 3000).is_none());
+    }
+
+    #[test]
+    fn pareto_frontier_is_sorted_and_nondominated() {
+        let machine = aurora();
+        let model = OracleModel { machine: machine.clone() };
+        let advisor = Advisor::new(&model, machine);
+        let frontier = advisor.pareto_frontier(134, 951);
+        assert!(frontier.len() >= 2, "expect a real trade-off curve");
+        for w in frontier.windows(2) {
+            assert!(w[0].predicted_seconds <= w[1].predicted_seconds);
+            assert!(w[0].predicted_node_hours > w[1].predicted_node_hours);
+        }
+        // Endpoints agree with the two point answers.
+        let stq = advisor.answer_stq(134, 951).unwrap();
+        let bq = advisor.answer_bq(134, 951).unwrap();
+        let first = frontier.first().unwrap();
+        let last = frontier.last().unwrap();
+        assert!((first.predicted_seconds - stq.predicted_seconds).abs() < 1e-9);
+        assert!((last.predicted_node_hours - bq.predicted_node_hours).abs() < 1e-9);
+    }
+
+    #[test]
+    fn budget_constrained_answers_respect_constraints() {
+        let machine = aurora();
+        let model = OracleModel { machine: machine.clone() };
+        let advisor = Advisor::new(&model, machine);
+        let bq = advisor.answer_bq(116, 840).unwrap();
+        let stq = advisor.answer_stq(116, 840).unwrap();
+        // A budget between the two extremes must return something between.
+        let budget = (bq.predicted_node_hours + stq.predicted_node_hours) / 2.0;
+        let r = advisor.fastest_within_budget(116, 840, budget).unwrap();
+        assert!(r.predicted_node_hours <= budget + 1e-12);
+        assert!(r.predicted_seconds <= bq.predicted_seconds + 1e-9, "paying more must not be slower");
+        // Impossible budget -> None.
+        assert!(advisor.fastest_within_budget(116, 840, bq.predicted_node_hours * 0.01).is_none());
+    }
+
+    #[test]
+    fn deadline_constrained_answers_respect_constraints() {
+        let machine = aurora();
+        let model = OracleModel { machine: machine.clone() };
+        let advisor = Advisor::new(&model, machine);
+        let stq = advisor.answer_stq(99, 718).unwrap();
+        let bq = advisor.answer_bq(99, 718).unwrap();
+        let deadline = (stq.predicted_seconds + bq.predicted_seconds) / 2.0;
+        let r = advisor.cheapest_within_deadline(99, 718, deadline).unwrap();
+        assert!(r.predicted_seconds <= deadline + 1e-12);
+        assert!(r.predicted_node_hours <= stq.predicted_node_hours + 1e-9, "meeting a looser deadline must not cost more");
+        // Impossible deadline -> None.
+        assert!(advisor.cheapest_within_deadline(99, 718, stq.predicted_seconds * 0.01).is_none());
+    }
+
+    #[test]
+    fn risk_averse_reduces_to_plain_at_kappa_zero() {
+        use chemcost_core_test_forest::make_rf;
+        let machine = aurora();
+        let (rf, _) = make_rf(&machine);
+        let ua = UncertaintyAdvisor::new(&rf, machine.clone());
+        let plain = ua.advisor().answer_stq(116, 840).unwrap();
+        let risk0 = ua.answer_risk_averse(116, 840, Goal::ShortestTime, 0.0).unwrap();
+        assert_eq!((plain.nodes, plain.tile), (risk0.rec.nodes, risk0.rec.tile));
+    }
+
+    #[test]
+    fn risk_averse_objective_penalizes_uncertainty() {
+        use chemcost_core_test_forest::make_rf;
+        let machine = aurora();
+        let (rf, _) = make_rf(&machine);
+        let ua = UncertaintyAdvisor::new(&rf, machine);
+        let cautious = ua.answer_risk_averse(134, 951, Goal::ShortestTime, 3.0).unwrap();
+        let neutral = ua.answer_risk_averse(134, 951, Goal::ShortestTime, 0.0).unwrap();
+        assert!(cautious.seconds_std.is_finite() && cautious.seconds_std >= 0.0);
+        // The cautious pick's UCB must not exceed the neutral pick's UCB.
+        let ucb = |r: &RiskAwareRecommendation| r.rec.predicted_seconds + 3.0 * r.seconds_std;
+        assert!(ucb(&cautious) <= ucb(&neutral) + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "kappa")]
+    fn risk_averse_rejects_negative_kappa() {
+        use chemcost_core_test_forest::make_rf;
+        let machine = aurora();
+        let (rf, _) = make_rf(&machine);
+        let ua = UncertaintyAdvisor::new(&rf, machine);
+        let _ = ua.answer_risk_averse(99, 718, Goal::ShortestTime, -1.0);
+    }
+
+    /// Shared fixture: a small RF trained on simulator data.
+    mod chemcost_core_test_forest {
+        use super::*;
+        use chemcost_ml::forest::RandomForest;
+
+        pub fn make_rf(machine: &MachineModel) -> (RandomForest, usize) {
+            let samples = chemcost_sim::datagen::generate_dataset_sized(machine, 300, 9);
+            let mut x = Matrix::zeros(0, 4);
+            let mut y = Vec::new();
+            for s in &samples {
+                x.push_row(&s.features());
+                y.push(s.seconds);
+            }
+            let mut rf = RandomForest::new(30, 10);
+            rf.seed = 5;
+            rf.fit(&x, &y).unwrap();
+            (rf, samples.len())
+        }
+    }
+
+    #[test]
+    fn recommendation_node_hours_consistent() {
+        let machine = aurora();
+        let model = OracleModel { machine: machine.clone() };
+        let advisor = Advisor::new(&model, machine);
+        let rec = advisor.answer_bq(99, 718).unwrap();
+        assert!(
+            (rec.predicted_node_hours - rec.predicted_seconds * rec.nodes as f64 / 3600.0).abs()
+                < 1e-12
+        );
+    }
+}

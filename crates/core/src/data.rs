@@ -1,0 +1,167 @@
+//! Bridging the simulator's sample corpus into ML datasets with the
+//! paper's train/test protocol.
+
+use chemcost_ml::dataset::Dataset;
+use chemcost_sim::datagen::{self, Sample, FEATURE_NAMES};
+use chemcost_sim::machine::MachineModel;
+
+/// Which target column a dataset predicts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Target {
+    /// Wall seconds of one CCSD iteration (the paper's regression target).
+    Seconds,
+    /// Node-hours (`seconds · nodes / 3600`).
+    NodeHours,
+    /// Estimated energy, kWh (extension beyond the paper).
+    EnergyKwh,
+}
+
+/// Convert samples to an ML dataset with features `[O, V, nodes, tile]`.
+pub fn samples_to_dataset(samples: &[Sample], target: Target) -> Dataset {
+    let mut ds = Dataset::empty(FEATURE_NAMES.iter().map(|s| s.to_string()).collect());
+    for s in samples {
+        let y = match target {
+            Target::Seconds => s.seconds,
+            Target::NodeHours => s.node_hours,
+            Target::EnergyKwh => s.energy_kwh,
+        };
+        ds.push_sample(&s.features(), y);
+    }
+    ds
+}
+
+/// A machine's generated corpus plus its train/test split — the unit every
+/// experiment starts from.
+#[derive(Debug, Clone)]
+pub struct MachineData {
+    /// The machine profile the data was generated for.
+    pub machine: MachineModel,
+    /// The full sample corpus (Table 1 "Total").
+    pub samples: Vec<Sample>,
+    /// Indices of the training rows.
+    pub train_idx: Vec<usize>,
+    /// Indices of the test rows.
+    pub test_idx: Vec<usize>,
+}
+
+impl MachineData {
+    /// Generate the machine's Table 1-sized corpus and apply the paper's
+    /// 75/25 split, all deterministic under `seed`.
+    pub fn generate(machine: &MachineModel, seed: u64) -> Self {
+        Self::generate_sized(machine, datagen::table1_count(machine), seed)
+    }
+
+    /// Generate a smaller corpus (for tests and quick examples).
+    pub fn generate_sized(machine: &MachineModel, total: usize, seed: u64) -> Self {
+        let samples = datagen::generate_dataset_sized(machine, total, seed);
+        // The split mirrors Dataset::train_test_split's permutation logic,
+        // kept here so we retain index-level access to Sample fields.
+        let n = samples.len();
+        // Ceiling reproduces the paper's exact split sizes (Table 1:
+        // Aurora 1746/583, Frontier 1840/614).
+        let n_test = (n as f64 * 0.25).ceil() as usize;
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed.wrapping_add(0x5EED));
+        let mut perm: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            perm.swap(i, j);
+        }
+        let (test_idx, train_idx) = perm.split_at(n_test);
+        Self {
+            machine: machine.clone(),
+            samples,
+            train_idx: train_idx.to_vec(),
+            test_idx: test_idx.to_vec(),
+        }
+    }
+
+    /// Training samples.
+    pub fn train_samples(&self) -> Vec<Sample> {
+        self.train_idx.iter().map(|&i| self.samples[i]).collect()
+    }
+
+    /// Test samples.
+    pub fn test_samples(&self) -> Vec<Sample> {
+        self.test_idx.iter().map(|&i| self.samples[i]).collect()
+    }
+
+    /// Training dataset for a target.
+    pub fn train_dataset(&self, target: Target) -> Dataset {
+        samples_to_dataset(&self.train_samples(), target)
+    }
+
+    /// Test dataset for a target.
+    pub fn test_dataset(&self, target: Target) -> Dataset {
+        samples_to_dataset(&self.test_samples(), target)
+    }
+
+    /// The distinct `(O, V)` problems present, in first-appearance order.
+    pub fn problems(&self) -> Vec<(usize, usize)> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for s in &self.samples {
+            if seen.insert((s.o, s.v)) {
+                out.push((s.o, s.v));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chemcost_sim::machine::aurora;
+
+    #[test]
+    fn dataset_conversion_preserves_pairing() {
+        let samples = vec![
+            Sample { o: 10, v: 20, nodes: 4, tile: 8, seconds: 1.5, node_hours: 0.001, energy_kwh: 0.002 },
+            Sample { o: 30, v: 40, nodes: 16, tile: 32, seconds: 2.5, node_hours: 0.01, energy_kwh: 0.03 },
+        ];
+        let ds = samples_to_dataset(&samples, Target::Seconds);
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.x.row(1), &[30.0, 40.0, 16.0, 32.0]);
+        assert_eq!(ds.y, vec![1.5, 2.5]);
+        let dnh = samples_to_dataset(&samples, Target::NodeHours);
+        assert_eq!(dnh.y, vec![0.001, 0.01]);
+        let de = samples_to_dataset(&samples, Target::EnergyKwh);
+        assert_eq!(de.y, vec![0.002, 0.03]);
+        assert_eq!(ds.feature_names, vec!["O", "V", "nodes", "tile"]);
+    }
+
+    #[test]
+    fn split_sizes_match_table1_ratio() {
+        let md = MachineData::generate_sized(&aurora(), 400, 1);
+        assert_eq!(md.samples.len(), 400);
+        assert_eq!(md.test_idx.len(), 100);
+        assert_eq!(md.train_idx.len(), 300);
+    }
+
+    #[test]
+    fn split_partitions_disjointly() {
+        let md = MachineData::generate_sized(&aurora(), 200, 2);
+        let mut all: Vec<usize> = md.train_idx.iter().chain(&md.test_idx).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..200).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn generation_deterministic() {
+        let a = MachineData::generate_sized(&aurora(), 150, 9);
+        let b = MachineData::generate_sized(&aurora(), 150, 9);
+        assert_eq!(a.train_idx, b.train_idx);
+        assert_eq!(a.samples, b.samples);
+    }
+
+    #[test]
+    fn problems_enumerated() {
+        let md = MachineData::generate_sized(&aurora(), 500, 3);
+        let probs = md.problems();
+        assert!(!probs.is_empty());
+        // No duplicates.
+        let set: std::collections::HashSet<_> = probs.iter().collect();
+        assert_eq!(set.len(), probs.len());
+    }
+}

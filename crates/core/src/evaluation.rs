@@ -1,0 +1,308 @@
+//! The paper's evaluation protocol for the STQ/BQ goals (Tables 3–6 and
+//! the goal curves of Figures 5–6).
+//!
+//! For every problem `(O, V)` appearing in the **test set**:
+//!
+//! 1. the *true* optimal configuration is the test row minimizing the true
+//!    objective (seconds for STQ, node-hours for BQ);
+//! 2. the *predicted* optimal configuration is the test row minimizing the
+//!    **model-predicted** objective;
+//! 3. the loss compares the true objective at (1) with the **true**
+//!    objective at (2) — *not* with the predicted value at (2). A model
+//!    that confidently predicts a bad configuration must pay that
+//!    configuration's real cost (§3.4's caveat).
+
+use crate::advisor::Goal;
+use chemcost_linalg::Matrix;
+use chemcost_ml::metrics::Scores;
+use chemcost_ml::traits::Regressor;
+use chemcost_sim::datagen::Sample;
+
+/// One row of a Table 3–6 style report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OptRow {
+    /// Occupied orbitals.
+    pub o: usize,
+    /// Virtual orbitals.
+    pub v: usize,
+    /// True-optimal node count.
+    pub true_nodes: usize,
+    /// True-optimal tile size.
+    pub true_tile: usize,
+    /// True runtime (seconds) at the true optimum.
+    pub true_seconds: f64,
+    /// True objective value at the true optimum (== seconds for STQ,
+    /// node-hours for BQ).
+    pub true_objective: f64,
+    /// Predicted-optimal node count.
+    pub pred_nodes: usize,
+    /// Predicted-optimal tile size.
+    pub pred_tile: usize,
+    /// **True** runtime at the predicted configuration.
+    pub seconds_at_pred: f64,
+    /// **True** objective at the predicted configuration.
+    pub objective_at_pred: f64,
+}
+
+impl OptRow {
+    /// Whether the model named the true optimal configuration.
+    pub fn correct(&self) -> bool {
+        self.true_nodes == self.pred_nodes && self.true_tile == self.pred_tile
+    }
+}
+
+/// A complete STQ/BQ evaluation.
+#[derive(Debug, Clone)]
+pub struct OptTable {
+    /// Which question was evaluated.
+    pub goal: Goal,
+    /// One row per test-set problem, in (O, V) order.
+    pub rows: Vec<OptRow>,
+    /// R²/MAE/MAPE between the per-problem true optima and the true
+    /// objective at the predicted configurations.
+    pub scores: Scores,
+}
+
+impl OptTable {
+    /// Number of problems where the configuration was mispredicted.
+    pub fn n_incorrect(&self) -> usize {
+        self.rows.iter().filter(|r| !r.correct()).count()
+    }
+}
+
+fn objective(s: &Sample, goal: Goal) -> f64 {
+    match goal {
+        Goal::ShortestTime => s.seconds,
+        Goal::Budget => s.node_hours,
+    }
+}
+
+fn predicted_objective(pred_seconds: f64, s: &Sample, goal: Goal) -> f64 {
+    match goal {
+        Goal::ShortestTime => pred_seconds,
+        Goal::Budget => pred_seconds * s.nodes as f64 / 3600.0,
+    }
+}
+
+/// Group test-sample indices by problem, in first-appearance order sorted
+/// by `(O, V)`.
+fn group_by_problem(samples: &[Sample]) -> Vec<((usize, usize), Vec<usize>)> {
+    let mut map: std::collections::BTreeMap<(usize, usize), Vec<usize>> = Default::default();
+    for (i, s) in samples.iter().enumerate() {
+        map.entry((s.o, s.v)).or_default().push(i);
+    }
+    map.into_iter().collect()
+}
+
+/// Build an [`OptTable`] from the test samples and the model's predicted
+/// seconds for each of them (aligned by index).
+///
+/// # Panics
+/// Panics if the lengths disagree or the test set is empty.
+pub fn optimal_table(test: &[Sample], pred_seconds: &[f64], goal: Goal) -> OptTable {
+    assert_eq!(test.len(), pred_seconds.len(), "prediction/test misalignment");
+    assert!(!test.is_empty(), "empty test set");
+    let mut rows = Vec::new();
+    let mut y_true = Vec::new();
+    let mut y_at_pred = Vec::new();
+    for ((o, v), idx) in group_by_problem(test) {
+        let true_best = idx
+            .iter()
+            .copied()
+            .min_by(|&a, &b| {
+                objective(&test[a], goal)
+                    .partial_cmp(&objective(&test[b], goal))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("non-empty group");
+        let pred_best = idx
+            .iter()
+            .copied()
+            .min_by(|&a, &b| {
+                predicted_objective(pred_seconds[a], &test[a], goal)
+                    .partial_cmp(&predicted_objective(pred_seconds[b], &test[b], goal))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("non-empty group");
+        let tb = &test[true_best];
+        let pb = &test[pred_best];
+        rows.push(OptRow {
+            o,
+            v,
+            true_nodes: tb.nodes,
+            true_tile: tb.tile,
+            true_seconds: tb.seconds,
+            true_objective: objective(tb, goal),
+            pred_nodes: pb.nodes,
+            pred_tile: pb.tile,
+            seconds_at_pred: pb.seconds,
+            objective_at_pred: objective(pb, goal),
+        });
+        y_true.push(objective(tb, goal));
+        y_at_pred.push(objective(pb, goal));
+    }
+    OptTable { goal, rows, scores: Scores::compute(&y_true, &y_at_pred) }
+}
+
+/// Evaluate a fitted seconds-model against the test samples and build the
+/// table (predicts internally).
+pub fn evaluate_model(model: &dyn Regressor, test: &[Sample], goal: Goal) -> OptTable {
+    let x = features_of(test);
+    let pred = model.predict(&x);
+    optimal_table(test, &pred, goal)
+}
+
+/// Plain prediction scores (R²/MAE/MAPE of predicted vs. true seconds)
+/// over the test samples — the paper's non-goal metric.
+pub fn prediction_scores(model: &dyn Regressor, test: &[Sample]) -> Scores {
+    let x = features_of(test);
+    let pred = model.predict(&x);
+    let y: Vec<f64> = test.iter().map(|s| s.seconds).collect();
+    Scores::compute(&y, &pred)
+}
+
+/// Feature matrix of a sample slice.
+pub fn features_of(samples: &[Sample]) -> Matrix {
+    let mut x = Matrix::zeros(0, 4);
+    for s in samples {
+        x.push_row(&s.features());
+    }
+    x
+}
+
+/// A goal evaluator for active learning (Figures 5–6): given a fitted
+/// model, runs the full table protocol on `test` and returns its scores.
+pub fn goal_evaluator(test: Vec<Sample>, goal: Goal) -> impl Fn(&dyn Regressor) -> Scores {
+    move |model: &dyn Regressor| evaluate_model(model, &test, goal).scores
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chemcost_ml::FitError;
+
+    fn sample(o: usize, v: usize, nodes: usize, tile: usize, seconds: f64) -> Sample {
+        Sample {
+            o,
+            v,
+            nodes,
+            tile,
+            seconds,
+            node_hours: seconds * nodes as f64 / 3600.0,
+            energy_kwh: seconds * nodes as f64 * 2500.0 / 3.6e6,
+        }
+    }
+
+    /// Model returning a fixed list of predictions regardless of input.
+    struct Canned(Vec<f64>);
+    impl Regressor for Canned {
+        fn fit(&mut self, _: &Matrix, _: &[f64]) -> Result<(), FitError> {
+            Ok(())
+        }
+        fn predict(&self, x: &Matrix) -> Vec<f64> {
+            self.0[..x.nrows()].to_vec()
+        }
+        fn name(&self) -> &'static str {
+            "canned"
+        }
+    }
+
+    fn demo_test_set() -> Vec<Sample> {
+        vec![
+            // Problem A: true best is (nodes=10, t=40) at 5 s.
+            sample(10, 100, 5, 40, 9.0),
+            sample(10, 100, 10, 40, 5.0),
+            sample(10, 100, 20, 40, 7.0),
+            // Problem B: true best is (nodes=50, t=80) at 11 s.
+            sample(20, 200, 25, 80, 14.0),
+            sample(20, 200, 50, 80, 11.0),
+        ]
+    }
+
+    #[test]
+    fn perfect_predictions_yield_perfect_table() {
+        let test = demo_test_set();
+        let pred: Vec<f64> = test.iter().map(|s| s.seconds).collect();
+        let table = optimal_table(&test, &pred, Goal::ShortestTime);
+        assert_eq!(table.rows.len(), 2);
+        assert_eq!(table.n_incorrect(), 0);
+        assert_eq!(table.scores.r2, 1.0);
+        assert_eq!(table.scores.mae, 0.0);
+        let row_a = &table.rows[0];
+        assert_eq!((row_a.true_nodes, row_a.true_tile), (10, 40));
+    }
+
+    #[test]
+    fn loss_uses_true_time_at_predicted_config() {
+        let test = demo_test_set();
+        // Mispredict problem A: model thinks the 20-node run is fastest
+        // (pred 1.0 s) even though it truly takes 7 s.
+        let pred = vec![9.0, 5.0, 1.0, 14.0, 11.0];
+        let table = optimal_table(&test, &pred, Goal::ShortestTime);
+        let row_a = &table.rows[0];
+        assert_eq!((row_a.pred_nodes, row_a.pred_tile), (20, 40));
+        // The §3.4 caveat: the loss is against 7.0 (true), not 1.0 (predicted).
+        assert_eq!(row_a.seconds_at_pred, 7.0);
+        assert!(!row_a.correct());
+        assert_eq!(table.n_incorrect(), 1);
+        // MAE over problems: A contributes |5-7|=2, B contributes 0 → 1.0.
+        assert!((table.scores.mae - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bq_goal_ranks_by_node_hours() {
+        // Problem where the fastest config is NOT the cheapest.
+        let test = vec![
+            sample(10, 100, 100, 40, 5.0), // 0.139 node-hours
+            sample(10, 100, 10, 40, 20.0), // 0.056 node-hours — cheapest
+        ];
+        let pred: Vec<f64> = test.iter().map(|s| s.seconds).collect();
+        let stq = optimal_table(&test, &pred, Goal::ShortestTime);
+        assert_eq!(stq.rows[0].true_nodes, 100);
+        let bq = optimal_table(&test, &pred, Goal::Budget);
+        assert_eq!(bq.rows[0].true_nodes, 10);
+        assert!((bq.rows[0].true_objective - 20.0 * 10.0 / 3600.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evaluate_model_wires_features() {
+        let test = demo_test_set();
+        let pred: Vec<f64> = test.iter().map(|s| s.seconds).collect();
+        let model = Canned(pred);
+        let table = evaluate_model(&model, &test, Goal::ShortestTime);
+        assert_eq!(table.n_incorrect(), 0);
+        let scores = prediction_scores(&model, &test);
+        assert_eq!(scores.mae, 0.0);
+    }
+
+    #[test]
+    fn goal_evaluator_closure_matches_direct_call() {
+        let test = demo_test_set();
+        let pred: Vec<f64> = test.iter().map(|s| s.seconds * 1.1).collect();
+        let model = Canned(pred);
+        let eval = goal_evaluator(test.clone(), Goal::ShortestTime);
+        let via_closure = eval(&model);
+        let direct = evaluate_model(&model, &test, Goal::ShortestTime).scores;
+        assert_eq!(via_closure.mape, direct.mape);
+    }
+
+    #[test]
+    fn rows_sorted_by_problem() {
+        let test = vec![
+            sample(30, 300, 5, 40, 3.0),
+            sample(10, 100, 5, 40, 1.0),
+            sample(20, 200, 5, 40, 2.0),
+        ];
+        let pred: Vec<f64> = test.iter().map(|s| s.seconds).collect();
+        let table = optimal_table(&test, &pred, Goal::ShortestTime);
+        let problems: Vec<(usize, usize)> = table.rows.iter().map(|r| (r.o, r.v)).collect();
+        assert_eq!(problems, vec![(10, 100), (20, 200), (30, 300)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "misalignment")]
+    fn misaligned_predictions_panic() {
+        let test = demo_test_set();
+        let _ = optimal_table(&test, &[1.0], Goal::ShortestTime);
+    }
+}

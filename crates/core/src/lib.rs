@@ -1,0 +1,33 @@
+//! The user-facing resource-estimation framework (the paper's
+//! contribution, §3).
+//!
+//! Given a trained runtime predictor, this crate answers the two questions
+//! application users ask before committing a supercomputer allocation:
+//!
+//! * **STQ** — the *Shortest-Time Question*: for my problem `(O, V)`, which
+//!   `(nodes, tile)` finishes a CCSD iteration fastest?
+//! * **BQ** — the *Budget Question*: which `(nodes, tile)` spends the
+//!   fewest node-hours?
+//!
+//! Modules:
+//!
+//! * [`data`] — bridge from the simulator's sample corpus to ML datasets,
+//!   with the paper's 75/25 train/test protocol (Table 1).
+//! * [`advisor`] — sweep-based question answering on a trained model
+//!   (§3.3's iterative model querying).
+//! * [`evaluation`] — the paper's evaluation protocol for Tables 3–6:
+//!   per-problem optima from the test set, with losses computed at the
+//!   predicted configuration's **true** runtime (§3.4's caveat), plus the
+//!   goal evaluators Figures 5–6 plug into active learning.
+//! * [`pipeline`] — one-call experiment flows used by the examples and
+//!   the `exp_*` benchmark binaries.
+//! * [`report`] — aligned text tables and CSV emission.
+
+pub mod advisor;
+pub mod data;
+pub mod evaluation;
+pub mod pipeline;
+pub mod report;
+
+pub use advisor::{Advisor, Goal, Recommendation, RiskAwareRecommendation, UncertaintyAdvisor};
+pub use data::MachineData;

@@ -1,0 +1,356 @@
+//! One-call experiment flows shared by the examples and the `exp_*`
+//! benchmark binaries.
+
+use crate::advisor::Goal;
+use crate::data::{MachineData, Target};
+use crate::evaluation::{evaluate_model, goal_evaluator, prediction_scores, OptTable};
+use crate::report::{paren_cell, Table};
+use chemcost_active::{run_active_learning, ActiveConfig, ActiveRun, Strategy};
+use chemcost_ml::dataset::Dataset;
+use chemcost_ml::gradient_boosting::GradientBoosting;
+use chemcost_ml::metrics::Scores;
+use chemcost_ml::model_selection::{BayesSearch, GridSearch, KFold, RandomSearch, Scoring, SearchResult};
+use chemcost_ml::traits::Regressor;
+use chemcost_ml::zoo::ModelKind;
+
+/// Train the paper's deployed model (GB, 750 estimators, depth 10) on a
+/// machine's training split.
+pub fn train_paper_gb(md: &MachineData) -> GradientBoosting {
+    let train = md.train_dataset(Target::Seconds);
+    let mut gb = GradientBoosting::paper_config();
+    gb.fit(&train.x, &train.y).expect("training the paper GB");
+    gb
+}
+
+/// A lighter GB for tests/examples where the 750×10 model is overkill.
+pub fn train_fast_gb(md: &MachineData) -> GradientBoosting {
+    let train = md.train_dataset(Target::Seconds);
+    let mut gb = GradientBoosting::new(200, 6, 0.1);
+    gb.fit(&train.x, &train.y).expect("training the fast GB");
+    gb
+}
+
+/// Run the full STQ evaluation (Table 3/4) for a trained seconds-model.
+pub fn stq_table(md: &MachineData, model: &dyn Regressor) -> OptTable {
+    evaluate_model(model, &md.test_samples(), Goal::ShortestTime)
+}
+
+/// Run the full BQ evaluation (Table 5/6).
+pub fn bq_table(md: &MachineData, model: &dyn Regressor) -> OptTable {
+    evaluate_model(model, &md.test_samples(), Goal::Budget)
+}
+
+/// Render an [`OptTable`] in the paper's Tables 3–6 style: plain cells when
+/// the model found the true optimum, `true(pred)` cells otherwise.
+pub fn render_opt_table(table: &OptTable, machine_name: &str) -> Table {
+    let (title, obj_header): (String, &str) = match table.goal {
+        Goal::ShortestTime => {
+            (format!("{machine_name} shortest time results"), "Runtime (s)")
+        }
+        Goal::Budget => {
+            (format!("{machine_name} shortest node hours results"), "Node Hours")
+        }
+    };
+    let headers: Vec<&str> = match table.goal {
+        Goal::ShortestTime => vec!["O", "V", "Nodes", "Tile size", obj_header],
+        Goal::Budget => vec!["O", "V", "Nodes", "Tile size", "Runtime (s)", obj_header],
+    };
+    let mut t = Table::new(&title, &headers);
+    for r in &table.rows {
+        let correct = r.correct();
+        let nodes = paren_cell(&r.true_nodes.to_string(), &r.pred_nodes.to_string(), correct || r.true_nodes == r.pred_nodes);
+        let tile = paren_cell(&r.true_tile.to_string(), &r.pred_tile.to_string(), correct || r.true_tile == r.pred_tile);
+        match table.goal {
+            Goal::ShortestTime => {
+                let rt = paren_cell(
+                    &format!("{:.2}", r.true_seconds),
+                    &format!("{:.2}", r.seconds_at_pred),
+                    correct,
+                );
+                t.push_row(vec![r.o.to_string(), r.v.to_string(), nodes, tile, rt]);
+            }
+            Goal::Budget => {
+                let rt = paren_cell(
+                    &format!("{:.2}", r.true_seconds),
+                    &format!("{:.2}", r.seconds_at_pred),
+                    correct,
+                );
+                let nh = paren_cell(
+                    &format!("{:.2}", r.true_objective),
+                    &format!("{:.2}", r.objective_at_pred),
+                    correct,
+                );
+                t.push_row(vec![r.o.to_string(), r.v.to_string(), nodes, tile, rt, nh]);
+            }
+        }
+    }
+    t
+}
+
+/// How a hyper-parameter search was driven (the three arms of Figures 1–2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchStrategy {
+    /// Exhaustive grid over [`ModelKind::default_grid`].
+    Grid,
+    /// Random draws from [`ModelKind::search_space`].
+    Random,
+    /// GP-surrogate Bayesian search over the same space.
+    Bayes,
+}
+
+impl SearchStrategy {
+    /// All three arms.
+    pub fn all() -> [SearchStrategy; 3] {
+        [SearchStrategy::Grid, SearchStrategy::Random, SearchStrategy::Bayes]
+    }
+
+    /// Display name matching the paper's figure legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            SearchStrategy::Grid => "GridSearchCV",
+            SearchStrategy::Random => "RandomizedSearchCV",
+            SearchStrategy::Bayes => "BayesSearchCV",
+        }
+    }
+}
+
+/// Resource budget for the model-comparison experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct ComparisonBudget {
+    /// CV folds inside each search.
+    pub cv_folds: usize,
+    /// Candidate count for the random arm.
+    pub random_iters: usize,
+    /// Total evaluations for the Bayesian arm.
+    pub bayes_iters: usize,
+    /// Cap on training rows used *during search* (full training set is
+    /// still used for the final fit). Keeps the O(n³) kernel models sane.
+    pub search_rows: usize,
+}
+
+impl Default for ComparisonBudget {
+    fn default() -> Self {
+        Self { cv_folds: 3, random_iters: 12, bayes_iters: 12, search_rows: 2000 }
+    }
+}
+
+/// One model × search-strategy outcome (a bar in Figures 1–2).
+#[derive(Debug, Clone)]
+pub struct ComparisonRow {
+    /// Model family.
+    pub kind: ModelKind,
+    /// Search arm.
+    pub strategy: SearchStrategy,
+    /// Test-set prediction scores of the final (best-params, full-train)
+    /// model.
+    pub test: Scores,
+    /// Hyper-parameter optimization wall seconds.
+    pub search_seconds: f64,
+    /// The winning hyper-parameters.
+    pub best_params: chemcost_ml::model_selection::Params,
+}
+
+/// Run one model family through one search strategy and evaluate the
+/// winner on the test split.
+pub fn compare_one(
+    md: &MachineData,
+    kind: ModelKind,
+    strategy: SearchStrategy,
+    budget: &ComparisonBudget,
+) -> ComparisonRow {
+    let train = md.train_dataset(Target::Seconds);
+    // Search on a (deterministic) subsample for tractability.
+    let search_data: Dataset = if train.len() > budget.search_rows {
+        let idx: Vec<usize> = (0..budget.search_rows)
+            .map(|i| i * train.len() / budget.search_rows)
+            .collect();
+        train.select(&idx)
+    } else {
+        train.clone()
+    };
+    let cv = KFold::new(budget.cv_folds);
+    // The paper's headline metric is MAPE; selecting candidates by CV-MAPE
+    // keeps small-runtime configurations from being drowned out by the
+    // sextic scale range.
+    let scoring = Scoring::Mape;
+    let factory = |p: &chemcost_ml::model_selection::Params| kind.build(p);
+    let result: SearchResult = match strategy {
+        SearchStrategy::Grid => {
+            // Parameter-free models (BR) degenerate to a single evaluation.
+            GridSearch::new(kind.default_grid(), cv)
+                .with_scoring(scoring)
+                .search(factory, &search_data)
+        }
+        SearchStrategy::Random => {
+            let space = kind.search_space();
+            if space.is_empty() {
+                GridSearch::new(vec![], cv).with_scoring(scoring).search(factory, &search_data)
+            } else {
+                RandomSearch { space, n_iter: budget.random_iters, seed: 17, cv, scoring }
+                    .search(factory, &search_data)
+            }
+        }
+        SearchStrategy::Bayes => {
+            let space = kind.search_space();
+            if space.is_empty() {
+                GridSearch::new(vec![], cv).with_scoring(scoring).search(factory, &search_data)
+            } else {
+                BayesSearch {
+                    space,
+                    n_iter: budget.bayes_iters,
+                    n_initial: (budget.bayes_iters / 3).max(3),
+                    seed: 23,
+                    cv,
+                    scoring,
+                }
+                .search(factory, &search_data)
+            }
+        }
+    };
+    // Final fit on the full training split with the winning parameters.
+    let mut model = kind.build(&result.best_params);
+    model.fit(&train.x, &train.y).expect("final fit");
+    let test = prediction_scores(model.as_ref(), &md.test_samples());
+    ComparisonRow {
+        kind,
+        strategy,
+        test,
+        search_seconds: result.wall_seconds,
+        best_params: result.best_params,
+    }
+}
+
+/// The full Figures 1–2 sweep: every model family × every search strategy.
+pub fn compare_models(md: &MachineData, budget: &ComparisonBudget) -> Vec<ComparisonRow> {
+    compare_model_set(md, budget, &ModelKind::all())
+}
+
+/// Sweep an explicit set of model families (e.g.
+/// [`ModelKind::all_extended`]) across every search strategy.
+pub fn compare_model_set(
+    md: &MachineData,
+    budget: &ComparisonBudget,
+    kinds: &[ModelKind],
+) -> Vec<ComparisonRow> {
+    let mut rows = Vec::new();
+    for &kind in kinds {
+        for strategy in SearchStrategy::all() {
+            rows.push(compare_one(md, kind, strategy, budget));
+        }
+    }
+    rows
+}
+
+/// Run the active-learning experiment for one strategy, optionally with an
+/// STQ/BQ goal evaluator (Figures 3–6).
+pub fn active_learning_run(
+    md: &MachineData,
+    strategy: Strategy,
+    goal: Option<Goal>,
+    cfg: &ActiveConfig,
+) -> ActiveRun {
+    let pool = md.train_dataset(Target::Seconds);
+    match goal {
+        None => run_active_learning(&pool, strategy, cfg, None),
+        Some(g) => {
+            let eval = goal_evaluator(md.test_samples(), g);
+            run_active_learning(&pool, strategy, cfg, Some(&eval))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chemcost_ml::metrics::r2_score;
+    use chemcost_sim::machine::aurora;
+
+    fn small_md() -> MachineData {
+        MachineData::generate_sized(&aurora(), 600, 5)
+    }
+
+    #[test]
+    fn fast_gb_predicts_well_on_test() {
+        let md = small_md();
+        let gb = train_fast_gb(&md);
+        let scores = prediction_scores(&gb, &md.test_samples());
+        assert!(scores.r2 > 0.7, "GB should generalize on simulator data: {scores}");
+    }
+
+    #[test]
+    fn stq_and_bq_tables_cover_problems() {
+        let md = small_md();
+        let gb = train_fast_gb(&md);
+        let stq = stq_table(&md, &gb);
+        let bq = bq_table(&md, &gb);
+        assert!(!stq.rows.is_empty());
+        assert_eq!(stq.rows.len(), bq.rows.len());
+        // Rendering shapes.
+        let t = render_opt_table(&stq, "aurora");
+        assert_eq!(t.headers.len(), 5);
+        assert_eq!(t.rows.len(), stq.rows.len());
+        let b = render_opt_table(&bq, "aurora");
+        assert_eq!(b.headers.len(), 6);
+    }
+
+    #[test]
+    fn bq_optima_use_fewer_nodes_on_average() {
+        let md = MachineData::generate_sized(&aurora(), 800, 6);
+        let gb = train_fast_gb(&md);
+        let stq = stq_table(&md, &gb);
+        let bq = bq_table(&md, &gb);
+        let avg = |rows: &[crate::evaluation::OptRow], f: fn(&crate::evaluation::OptRow) -> usize| {
+            rows.iter().map(f).sum::<usize>() as f64 / rows.len() as f64
+        };
+        let stq_nodes = avg(&stq.rows, |r| r.true_nodes);
+        let bq_nodes = avg(&bq.rows, |r| r.true_nodes);
+        assert!(
+            bq_nodes < stq_nodes,
+            "budget optima should average fewer nodes: {bq_nodes} vs {stq_nodes}"
+        );
+    }
+
+    #[test]
+    fn compare_one_runs_grid_arm() {
+        let md = MachineData::generate_sized(&aurora(), 250, 7);
+        let budget = ComparisonBudget { cv_folds: 3, random_iters: 4, bayes_iters: 5, search_rows: 150 };
+        let row = compare_one(&md, ModelKind::DecisionTree, SearchStrategy::Grid, &budget);
+        assert!(row.test.r2 > 0.2, "tuned DT should be respectable: {}", row.test);
+        assert!(row.search_seconds > 0.0);
+        assert!(!row.best_params.is_empty());
+    }
+
+    #[test]
+    fn compare_one_handles_parameter_free_model() {
+        let md = MachineData::generate_sized(&aurora(), 200, 8);
+        let budget = ComparisonBudget { cv_folds: 3, random_iters: 3, bayes_iters: 4, search_rows: 120 };
+        for strategy in SearchStrategy::all() {
+            let row = compare_one(&md, ModelKind::BayesianRidge, strategy, &budget);
+            assert!(row.test.r2.is_finite());
+        }
+    }
+
+    #[test]
+    fn active_learning_runs_with_goal() {
+        let md = MachineData::generate_sized(&aurora(), 300, 9);
+        let cfg = ActiveConfig {
+            n_initial: 30,
+            query_size: 30,
+            n_queries: 3,
+            seed: 2,
+            gb_shape: (60, 4, 0.15),
+        };
+        let run = active_learning_run(&md, Strategy::Random, Some(Goal::ShortestTime), &cfg);
+        assert_eq!(run.rounds.len(), 3);
+        assert!(run.rounds.iter().all(|r| r.goal.is_some()));
+    }
+
+    #[test]
+    fn paper_gb_shape_is_used() {
+        let md = MachineData::generate_sized(&aurora(), 200, 10);
+        let gb = train_paper_gb(&md);
+        assert_eq!(gb.n_estimators, 750);
+        let train = md.train_dataset(Target::Seconds);
+        assert!(r2_score(&train.y, &gb.predict(&train.x)) > 0.99);
+    }
+}

@@ -1,0 +1,139 @@
+//! Aligned text tables and CSV emission for experiment output.
+
+use std::io::Write;
+use std::path::Path;
+
+/// A simple column-aligned report table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table title (printed above the header).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Row cells, each row as long as `headers`.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Self {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    /// Panics if the cell count disagrees with the header count.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render as an aligned ASCII table.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        let sep: String = widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("+");
+        out.push_str(&sep);
+        out.push('\n');
+        let fmt_row = |cells: &[String]| -> String {
+            (0..ncols)
+                .map(|c| format!(" {:<width$} ", cells[c], width = widths[c]))
+                .collect::<Vec<_>>()
+                .join("|")
+        };
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out.push_str(&sep);
+        out.push('\n');
+        out
+    }
+
+    /// Write as CSV (headers + rows; commas in cells are replaced with
+    /// semicolons to keep the format trivial).
+    pub fn write_csv(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+        writeln!(w, "{}", self.headers.join(","))?;
+        for row in &self.rows {
+            let clean: Vec<String> = row.iter().map(|c| c.replace(',', ";")).collect();
+            writeln!(w, "{}", clean.join(","))?;
+        }
+        w.flush()
+    }
+}
+
+/// Format the paper's `value(predicted)` cell: the plain value when the
+/// prediction was correct, `true(pred)` otherwise.
+pub fn paren_cell(true_val: &str, pred_val: &str, correct: bool) -> String {
+    if correct {
+        true_val.to_string()
+    } else {
+        format!("{true_val}({pred_val})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("Demo", &["name", "value"]);
+        t.push_row(vec!["a".into(), "1".into()]);
+        t.push_row(vec!["longer-name".into(), "2.50".into()]);
+        let s = t.render();
+        assert!(s.contains("Demo"));
+        assert!(s.contains("longer-name"));
+        // All data lines equal length.
+        let lines: Vec<&str> = s.lines().skip(1).collect();
+        let lens: std::collections::HashSet<usize> = lines.iter().map(|l| l.len()).collect();
+        assert_eq!(lens.len(), 1, "aligned lines must share a width: {lines:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn push_row_checks_width() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn csv_round_trip_shape() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push_row(vec!["1,5".into(), "2".into()]);
+        let dir = std::env::temp_dir().join("chemcost_report_test");
+        let path = dir.join("t.csv");
+        t.write_csv(&path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content.lines().count(), 2);
+        assert!(content.contains("1;5"), "embedded comma sanitized");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn paren_cell_formats() {
+        assert_eq!(paren_cell("240", "220", true), "240");
+        assert_eq!(paren_cell("240", "220", false), "240(220)");
+    }
+}

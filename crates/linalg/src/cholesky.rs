@@ -1,0 +1,281 @@
+//! Cholesky factorization and symmetric-positive-definite solves.
+//!
+//! Every normal-equation, kernel-ridge and Gaussian-process fit in
+//! `chemcost-ml` bottoms out here. The factorization is the standard
+//! right-looking LLᵀ; [`SpdSolver`] wraps it with escalating diagonal
+//! jitter so nearly-singular Gram/kernel matrices (common with duplicated
+//! training rows) still factor instead of erroring out.
+
+use crate::matrix::Matrix;
+
+/// Error returned when a matrix cannot be factored as LLᵀ.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NotPositiveDefinite {
+    /// Pivot index where the factorization broke down.
+    pub pivot: usize,
+    /// The offending pivot value (≤ 0 or non-finite).
+    pub value: f64,
+}
+
+impl std::fmt::Display for NotPositiveDefinite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "matrix is not positive definite: pivot {} has value {:e}",
+            self.pivot, self.value
+        )
+    }
+}
+
+impl std::error::Error for NotPositiveDefinite {}
+
+/// Lower-triangular Cholesky factor `L` with `A = L Lᵀ`.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factor a symmetric positive-definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read; symmetry of the upper
+    /// triangle is the caller's responsibility.
+    pub fn factor(a: &Matrix) -> Result<Self, NotPositiveDefinite> {
+        assert_eq!(a.nrows(), a.ncols(), "Cholesky needs a square matrix");
+        let n = a.nrows();
+        let mut l = Matrix::zeros(n, n);
+        for j in 0..n {
+            // Diagonal pivot.
+            let mut d = a[(j, j)];
+            for k in 0..j {
+                let ljk = l[(j, k)];
+                d -= ljk * ljk;
+            }
+            if d <= 0.0 || !d.is_finite() {
+                return Err(NotPositiveDefinite { pivot: j, value: d });
+            }
+            let dj = d.sqrt();
+            l[(j, j)] = dj;
+            // Column below the pivot.
+            for i in (j + 1)..n {
+                let mut s = a[(i, j)];
+                // Dot of rows i and j of L up to column j; both are
+                // contiguous prefixes thanks to row-major storage.
+                let (ri, rj) = (l.row(i), l.row(j));
+                for k in 0..j {
+                    s -= ri[k] * rj[k];
+                }
+                l[(i, j)] = s / dj;
+            }
+        }
+        Ok(Self { l })
+    }
+
+    /// The lower-triangular factor.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solve `A x = b` via the two triangular solves.
+    ///
+    /// # Panics
+    /// Panics if `b.len()` does not match the factor dimension.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let mut y = self.forward_sub(b);
+        self.back_sub_in_place(&mut y);
+        y
+    }
+
+    /// Solve `A X = B` column-by-column.
+    pub fn solve_matrix(&self, b: &Matrix) -> Matrix {
+        let n = self.l.nrows();
+        assert_eq!(b.nrows(), n, "solve_matrix dimension mismatch");
+        let mut x = Matrix::zeros(n, b.ncols());
+        for j in 0..b.ncols() {
+            let col = b.col(j);
+            let sol = self.solve(&col);
+            for i in 0..n {
+                x[(i, j)] = sol[i];
+            }
+        }
+        x
+    }
+
+    /// Forward substitution `L y = b`.
+    pub fn forward_sub(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.l.nrows();
+        assert_eq!(b.len(), n, "forward_sub dimension mismatch");
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let row = self.l.row(i);
+            let mut s = b[i];
+            for k in 0..i {
+                s -= row[k] * y[k];
+            }
+            y[i] = s / row[i];
+        }
+        y
+    }
+
+    /// Back substitution `Lᵀ x = y`, overwriting `y` with `x`.
+    pub fn back_sub_in_place(&self, y: &mut [f64]) {
+        let n = self.l.nrows();
+        assert_eq!(y.len(), n, "back_sub dimension mismatch");
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for (k, yk) in y.iter().enumerate().take(n).skip(i + 1) {
+                s -= self.l[(k, i)] * yk;
+            }
+            y[i] = s / self.l[(i, i)];
+        }
+    }
+
+    /// log(det A) = 2 Σ log Lᵢᵢ — used by Gaussian-process marginal
+    /// likelihood and Bayesian-ridge evidence.
+    pub fn log_det(&self) -> f64 {
+        let n = self.l.nrows();
+        (0..n).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+}
+
+/// SPD solver with escalating diagonal jitter.
+///
+/// Tries a plain factorization first; on breakdown adds `jitter · mean(diag)`
+/// with jitter escalating `1e-10 → 1e-4`, which matches what practical GP
+/// libraries do. Gives up (returns the underlying error) only if even the
+/// largest jitter fails.
+#[derive(Debug, Clone)]
+pub struct SpdSolver {
+    chol: Cholesky,
+    /// Jitter that was actually added to the diagonal (0.0 if none).
+    pub jitter_used: f64,
+}
+
+impl SpdSolver {
+    /// Factor `a`, adding diagonal jitter if necessary.
+    pub fn factor(a: &Matrix) -> Result<Self, NotPositiveDefinite> {
+        if let Ok(chol) = Cholesky::factor(a) { return Ok(Self { chol, jitter_used: 0.0 }) }
+        let n = a.nrows();
+        let mean_diag = (0..n).map(|i| a[(i, i)].abs()).sum::<f64>() / n.max(1) as f64;
+        let scale = if mean_diag > 0.0 { mean_diag } else { 1.0 };
+        let mut last_err = NotPositiveDefinite { pivot: 0, value: f64::NAN };
+        let mut jitter = 1e-10;
+        while jitter <= 1e-4 {
+            let mut aj = a.clone();
+            aj.add_diagonal(jitter * scale);
+            match Cholesky::factor(&aj) {
+                Ok(chol) => return Ok(Self { chol, jitter_used: jitter * scale }),
+                Err(e) => last_err = e,
+            }
+            jitter *= 100.0;
+        }
+        Err(last_err)
+    }
+
+    /// Solve `A x = b`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        self.chol.solve(b)
+    }
+
+    /// Access the underlying factorization.
+    pub fn cholesky(&self) -> &Cholesky {
+        &self.chol
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd(n: usize, seed: u64) -> Matrix {
+        // A = B Bᵀ + n·I is SPD for any B.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let b = Matrix::from_fn(n, n, |_, _| next());
+        let mut a = b.matmul(&b.transpose());
+        a.add_diagonal(n as f64);
+        a
+    }
+
+    #[test]
+    fn factor_reconstructs() {
+        let a = spd(12, 3);
+        let c = Cholesky::factor(&a).unwrap();
+        let recon = c.l().matmul(&c.l().transpose());
+        assert!(recon.max_abs_diff(&a) < 1e-9);
+    }
+
+    #[test]
+    fn factor_known_2x2() {
+        let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 5.0]]);
+        let c = Cholesky::factor(&a).unwrap();
+        assert!((c.l()[(0, 0)] - 2.0).abs() < 1e-12);
+        assert!((c.l()[(1, 0)] - 1.0).abs() < 1e-12);
+        assert!((c.l()[(1, 1)] - 2.0).abs() < 1e-12);
+        assert_eq!(c.l()[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn solve_residual_small() {
+        let a = spd(20, 7);
+        let c = Cholesky::factor(&a).unwrap();
+        let b: Vec<f64> = (0..20).map(|i| (i as f64).sin()).collect();
+        let x = c.solve(&b);
+        let r = a.matvec(&x);
+        let err: f64 = r.iter().zip(&b).map(|(u, v)| (u - v).abs()).fold(0.0, f64::max);
+        assert!(err < 1e-8, "residual too large: {err}");
+    }
+
+    #[test]
+    fn solve_matrix_matches_columns() {
+        let a = spd(8, 11);
+        let c = Cholesky::factor(&a).unwrap();
+        let b = Matrix::from_fn(8, 3, |i, j| (i + j) as f64);
+        let x = c.solve_matrix(&b);
+        for j in 0..3 {
+            let xc = c.solve(&b.col(j));
+            for i in 0..8 {
+                assert!((x[(i, j)] - xc[i]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        let e = Cholesky::factor(&a).unwrap_err();
+        assert_eq!(e.pivot, 1);
+        assert!(e.value <= 0.0);
+    }
+
+    #[test]
+    fn log_det_matches_known() {
+        // diag(4, 9) has det 36.
+        let a = Matrix::from_rows(&[&[4.0, 0.0], &[0.0, 9.0]]);
+        let c = Cholesky::factor(&a).unwrap();
+        assert!((c.log_det() - 36.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spd_solver_recovers_with_jitter() {
+        // Rank-deficient Gram matrix (duplicate rows) — needs jitter.
+        let x = Matrix::from_rows(&[&[1.0, 2.0], &[1.0, 2.0], &[3.0, 1.0]]);
+        let g = x.transpose().matmul(&x);
+        // g is SPD here; make it singular instead by zero column.
+        let sing = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 0.0]]);
+        assert!(Cholesky::factor(&sing).is_err());
+        let s = SpdSolver::factor(&sing).unwrap();
+        assert!(s.jitter_used > 0.0);
+        let _ = SpdSolver::factor(&g).unwrap();
+    }
+
+    #[test]
+    fn spd_solver_no_jitter_when_healthy() {
+        let a = spd(6, 5);
+        let s = SpdSolver::factor(&a).unwrap();
+        assert_eq!(s.jitter_used, 0.0);
+    }
+}

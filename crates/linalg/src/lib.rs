@@ -1,0 +1,35 @@
+//! Dense linear-algebra substrate for the `chemcost` workspace.
+//!
+//! The machine-learning layer (`chemcost-ml`) needs a small but reliable set
+//! of kernels: a dense row-major matrix type, matrix-vector and
+//! matrix-matrix products (cache-blocked and optionally parallel), Cholesky
+//! factorization with triangular solves for symmetric positive-definite
+//! systems, and a handful of vector helpers. This crate provides exactly
+//! that, plus the scoped-thread `parallel` utilities shared by the rest of
+//! the workspace.
+//!
+//! Everything is `f64`; the problem sizes in this domain (a few thousand
+//! samples, tens of features) never justify mixed precision.
+//!
+//! # Example
+//!
+//! ```
+//! use chemcost_linalg::{Matrix, cholesky::SpdSolver};
+//!
+//! // Solve the normal equations (XᵀX) w = Xᵀy for a tiny least-squares fit.
+//! let x = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0]]);
+//! let y = [1.0, 3.0, 5.0];
+//! let xtx = x.transpose().matmul(&x);
+//! let xty = x.transpose().matvec(&y);
+//! let w = SpdSolver::factor(&xtx).unwrap().solve(&xty);
+//! assert!((w[0] - 1.0).abs() < 1e-10 && (w[1] - 2.0).abs() < 1e-10);
+//! ```
+
+pub mod cholesky;
+pub mod gemm;
+pub mod matrix;
+pub mod parallel;
+pub mod vecops;
+
+pub use cholesky::{Cholesky, SpdSolver};
+pub use matrix::Matrix;

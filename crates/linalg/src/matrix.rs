@@ -1,0 +1,353 @@
+//! Dense row-major matrix type.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense, row-major `f64` matrix.
+///
+/// Rows are contiguous in memory, so iterating a row is cache-friendly and
+/// a `&[f64]` view of any row is free ([`Matrix::row`]).
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// An `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// The `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build from a function of `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Build from row slices. All rows must have equal length.
+    ///
+    /// # Panics
+    /// Panics if the rows have differing lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let nrows = rows.len();
+        let ncols = rows.first().map_or(0, |r| r.len());
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for r in rows {
+            assert_eq!(r.len(), ncols, "ragged rows in Matrix::from_rows");
+            data.extend_from_slice(r);
+        }
+        Self { rows: nrows, cols: ncols, data }
+    }
+
+    /// Build from an owned row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer length mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Row `i` as a contiguous slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        debug_assert!(i < self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Row `i` as a mutable contiguous slice.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        debug_assert!(i < self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Column `j` copied into a new `Vec`.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// The raw row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// The raw row-major buffer, mutably.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consume into the raw row-major buffer.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix–vector product `self * v`.
+    ///
+    /// # Panics
+    /// Panics if `v.len() != self.ncols()`.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols, "matvec dimension mismatch");
+        let mut out = vec![0.0; self.rows];
+        for (i, o) in out.iter_mut().enumerate() {
+            let row = self.row(i);
+            let mut acc = 0.0;
+            for (a, b) in row.iter().zip(v) {
+                acc += a * b;
+            }
+            *o = acc;
+        }
+        out
+    }
+
+    /// Matrix–matrix product using the blocked sequential kernel.
+    ///
+    /// For large products where parallelism pays off, see
+    /// [`crate::gemm::matmul_parallel`].
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        crate::gemm::matmul(self, other)
+    }
+
+    /// Append a row. The matrix must be empty or have matching width.
+    pub fn push_row(&mut self, row: &[f64]) {
+        if self.rows == 0 && self.cols == 0 {
+            self.cols = row.len();
+        }
+        assert_eq!(row.len(), self.cols, "push_row width mismatch");
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+    }
+
+    /// A new matrix containing the selected rows, in order.
+    pub fn select_rows(&self, indices: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        out.cols = self.cols;
+        out.data.reserve(indices.len() * self.cols);
+        for &i in indices {
+            out.data.extend_from_slice(self.row(i));
+        }
+        out.rows = indices.len();
+        out
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute element-wise difference to `other`.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Add `value` to every diagonal element (in place). Useful for ridge
+    /// regularization and Cholesky jitter.
+    pub fn add_diagonal(&mut self, value: f64) {
+        let n = self.rows.min(self.cols);
+        for i in 0..n {
+            self[(i, i)] += value;
+        }
+    }
+
+    /// True when every element is finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let show = self.rows.min(8);
+        for i in 0..show {
+            write!(f, "  [")?;
+            let cols = self.cols.min(8);
+            for j in 0..cols {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{:.4}", self[(i, j)])?;
+            }
+            if self.cols > 8 {
+                write!(f, ", …")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_shape() {
+        let m = Matrix::zeros(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn identity_diagonal() {
+        let m = Matrix::identity(4);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(m[(i, j)], if i == j { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn from_fn_layout() {
+        let m = Matrix::from_fn(2, 3, |i, j| (i * 10 + j) as f64);
+        assert_eq!(m.row(0), &[0.0, 1.0, 2.0]);
+        assert_eq!(m.row(1), &[10.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    fn from_rows_matches_index() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(m[(0, 1)], 2.0);
+        assert_eq!(m[(1, 0)], 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn from_rows_rejects_ragged() {
+        let _ = Matrix::from_rows(&[&[1.0, 2.0], &[3.0]]);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let m = Matrix::from_fn(3, 5, |i, j| (i * 7 + j * 3) as f64);
+        let t = m.transpose();
+        assert_eq!(t.shape(), (5, 3));
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn matvec_simple() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(m.matvec(&[1.0, 1.0]), vec![3.0, 7.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn matvec_checks_dims() {
+        let m = Matrix::zeros(2, 3);
+        let _ = m.matvec(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn push_row_grows() {
+        let mut m = Matrix::zeros(0, 0);
+        m.push_row(&[1.0, 2.0, 3.0]);
+        m.push_row(&[4.0, 5.0, 6.0]);
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m.col(2), vec![3.0, 6.0]);
+    }
+
+    #[test]
+    fn select_rows_orders() {
+        let m = Matrix::from_fn(4, 2, |i, _| i as f64);
+        let s = m.select_rows(&[3, 1]);
+        assert_eq!(s.row(0), &[3.0, 3.0]);
+        assert_eq!(s.row(1), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn add_diagonal_only_touches_diag() {
+        let mut m = Matrix::zeros(3, 3);
+        m.add_diagonal(2.5);
+        assert_eq!(m[(1, 1)], 2.5);
+        assert_eq!(m[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn frobenius_norm_known() {
+        let m = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 4.0]]);
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_abs_diff_zero_for_self() {
+        let m = Matrix::from_fn(3, 3, |i, j| (i + j) as f64);
+        assert_eq!(m.max_abs_diff(&m), 0.0);
+    }
+}

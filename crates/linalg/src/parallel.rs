@@ -1,0 +1,204 @@
+//! Scoped-thread parallel utilities shared across the workspace.
+//!
+//! Built on `std::thread::scope` (no lifetime gymnastics, no detached
+//! threads) with two flavours of scheduling:
+//!
+//! * **static** partitioning ([`par_for_range`], [`par_chunks_mut`]) for
+//!   uniform work such as GEMM row blocks, and
+//! * **dynamic** self-scheduling ([`par_map_indexed`]) where an atomic
+//!   cursor hands out indices one at a time — the right choice for
+//!   irregular tasks like fitting trees of varying depth or simulating
+//!   CCSD configurations whose cost spans orders of magnitude.
+//!
+//! Thread count defaults to `std::thread::available_parallelism()` and can
+//! be capped per call, which the benchmark ablations use to measure scaling.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads to use by default.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Run `f(start, end)` over a static partition of `0..n` across up to
+/// `threads` workers. `f` must be safe to call concurrently on disjoint
+/// ranges.
+pub fn par_for_range<F>(n: usize, threads: usize, f: F)
+where
+    F: Fn(usize, usize) + Sync,
+{
+    let threads = threads.clamp(1, n.max(1));
+    if threads == 1 || n == 0 {
+        f(0, n);
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let start = t * chunk;
+            let end = ((t + 1) * chunk).min(n);
+            if start >= end {
+                break;
+            }
+            let f = &f;
+            s.spawn(move || f(start, end));
+        }
+    });
+}
+
+/// Split `data` into contiguous chunks whose lengths are multiples of
+/// `stride` (except possibly the last) and process them in parallel.
+/// The callback receives the chunk's starting offset within `data`.
+pub fn par_chunks_mut<F>(data: &mut [f64], stride: usize, f: F)
+where
+    F: Fn(usize, &mut [f64]) + Sync,
+{
+    let stride = stride.max(1);
+    let units = data.len().div_ceil(stride);
+    let threads = default_threads().min(units.max(1));
+    if threads <= 1 {
+        f(0, data);
+        return;
+    }
+    let units_per = units.div_ceil(threads);
+    let chunk_len = units_per * stride;
+    std::thread::scope(|s| {
+        let mut rest = data;
+        let mut offset = 0;
+        while !rest.is_empty() {
+            let take = chunk_len.min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            let f = &f;
+            let off = offset;
+            s.spawn(move || f(off, head));
+            offset += take;
+            rest = tail;
+        }
+    });
+}
+
+/// Dynamically scheduled parallel map over `0..n`, preserving order.
+///
+/// Each worker pulls the next index from an atomic cursor, so uneven task
+/// costs balance automatically. Results are stitched back in index order.
+pub fn par_map_indexed<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.clamp(1, n.max(1));
+    if threads == 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let sink: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let cursor = &cursor;
+            let sink = &sink;
+            let f = &f;
+            s.spawn(move || {
+                let mut local = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    local.push((i, f(i)));
+                }
+                if !local.is_empty() {
+                    sink.lock().append(&mut local);
+                }
+            });
+        }
+    });
+    let mut pairs = sink.into_inner();
+    pairs.sort_unstable_by_key(|(i, _)| *i);
+    debug_assert_eq!(pairs.len(), n);
+    pairs.into_iter().map(|(_, v)| v).collect()
+}
+
+/// Convenience: dynamic parallel map with the default thread count.
+pub fn par_map<T: Send, F: Fn(usize) -> T + Sync>(n: usize, f: F) -> Vec<T> {
+    par_map_indexed(n, default_threads(), f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn par_for_range_covers_everything_once() {
+        let n = 1003;
+        let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        par_for_range(n, 7, |s, e| {
+            for h in &hits[s..e] {
+                h.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn par_for_range_zero_items() {
+        par_for_range(0, 4, |s, e| assert_eq!((s, e), (0, 0)));
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let out = par_map_indexed(100, 8, |i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_single_thread_matches() {
+        let a = par_map_indexed(37, 1, |i| i + 1);
+        let b = par_map_indexed(37, 6, |i| i + 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn par_map_uneven_work_balances() {
+        // Tasks with wildly different costs must still produce ordered output.
+        let out = par_map_indexed(50, 4, |i| {
+            let mut acc = 0u64;
+            for k in 0..((i % 7) * 10_000) as u64 {
+                acc = acc.wrapping_add(k);
+            }
+            (i, acc)
+        });
+        for (idx, (i, _)) in out.iter().enumerate() {
+            assert_eq!(idx, *i);
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_writes_disjoint() {
+        let mut data = vec![0.0; 128];
+        par_chunks_mut(&mut data, 8, |off, chunk| {
+            for (k, v) in chunk.iter_mut().enumerate() {
+                *v = (off + k) as f64;
+            }
+        });
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i as f64);
+        }
+    }
+
+    #[test]
+    fn par_chunks_chunk_lengths_are_stride_multiples() {
+        let mut data = vec![0.0; 70];
+        par_chunks_mut(&mut data, 7, |off, chunk| {
+            assert_eq!(off % 7, 0);
+            // All chunks here are multiples of the stride (70 = 10 rows of 7).
+            assert_eq!(chunk.len() % 7, 0);
+        });
+    }
+
+    #[test]
+    fn default_threads_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use chemcost_linalg::{cholesky::SpdSolver, gemm, vecops, Cholesky, Matrix};
+use proptest::prelude::*;
+
+/// Strategy: a rows×cols matrix with bounded entries.
+fn matrix(rows: std::ops::Range<usize>, cols: std::ops::Range<usize>) -> impl Strategy<Value = Matrix> {
+    (rows, cols).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-10.0f64..10.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
+/// Strategy: an SPD matrix built as B Bᵀ + (n+1)·I.
+fn spd_matrix(max_n: usize) -> impl Strategy<Value = Matrix> {
+    (1..max_n).prop_flat_map(|n| {
+        proptest::collection::vec(-3.0f64..3.0, n * n).prop_map(move |data| {
+            let b = Matrix::from_vec(n, n, data);
+            let mut a = b.matmul(&b.transpose());
+            a.add_diagonal(n as f64 + 1.0);
+            a
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn transpose_involution(m in matrix(1..12, 1..12)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_identity_neutral(m in matrix(1..10, 1..10)) {
+        let i = Matrix::identity(m.ncols());
+        prop_assert!(m.matmul(&i).max_abs_diff(&m) < 1e-10);
+    }
+
+    #[test]
+    fn matmul_transpose_identity((a, b) in (matrix(1..8, 1..8), matrix(1..8, 1..8))) {
+        // (A B)ᵀ = Bᵀ Aᵀ when shapes are compatible; force compatibility.
+        let b = Matrix::from_fn(a.ncols(), b.ncols(), |i, j| b[(i % b.nrows(), j)]);
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-9);
+    }
+
+    #[test]
+    fn parallel_gemm_matches_sequential((a, b) in (matrix(20..60, 20..60), matrix(20..60, 20..60))) {
+        let b = Matrix::from_fn(a.ncols(), b.ncols(), |i, j| b[(i % b.nrows(), j)]);
+        let seq = gemm::matmul(&a, &b);
+        let par = gemm::matmul_parallel(&a, &b);
+        prop_assert!(seq.max_abs_diff(&par) < 1e-9);
+    }
+
+    #[test]
+    fn gram_is_symmetric_psd_diag(m in matrix(2..20, 2..8)) {
+        let g = gemm::gram(&m);
+        for i in 0..g.nrows() {
+            prop_assert!(g[(i, i)] >= -1e-12, "diagonal of Gram must be non-negative");
+            for j in 0..g.ncols() {
+                prop_assert!((g[(i, j)] - g[(j, i)]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_reconstructs(a in spd_matrix(12)) {
+        let c = Cholesky::factor(&a).unwrap();
+        let recon = c.l().matmul(&c.l().transpose());
+        let scale = a.frobenius_norm().max(1.0);
+        prop_assert!(recon.max_abs_diff(&a) / scale < 1e-9);
+    }
+
+    #[test]
+    fn cholesky_solve_residual(a in spd_matrix(10), seed in 0u64..1000) {
+        let n = a.nrows();
+        let b: Vec<f64> = (0..n).map(|i| ((i as u64 + seed) as f64 * 0.37).sin()).collect();
+        let x = Cholesky::factor(&a).unwrap().solve(&b);
+        let r = a.matvec(&x);
+        let err = r.iter().zip(&b).map(|(u, v)| (u - v).abs()).fold(0.0, f64::max);
+        prop_assert!(err < 1e-6 * a.frobenius_norm().max(1.0), "residual {err}");
+    }
+
+    #[test]
+    fn spd_solver_never_fails_on_spd(a in spd_matrix(10)) {
+        prop_assert!(SpdSolver::factor(&a).is_ok());
+    }
+
+    #[test]
+    fn argsort_is_permutation_and_sorted(v in proptest::collection::vec(-100.0f64..100.0, 0..50)) {
+        let idx = vecops::argsort(&v);
+        let mut seen = vec![false; v.len()];
+        for &i in &idx { seen[i] = true; }
+        prop_assert!(seen.iter().all(|&s| s));
+        for w in idx.windows(2) {
+            prop_assert!(v[w[0]] <= v[w[1]]);
+        }
+    }
+
+    #[test]
+    fn argmin_is_minimal(v in proptest::collection::vec(-100.0f64..100.0, 1..50)) {
+        let i = vecops::argmin(&v).unwrap();
+        for &x in &v {
+            prop_assert!(v[i] <= x);
+        }
+    }
+
+    #[test]
+    fn dot_cauchy_schwarz(
+        a in proptest::collection::vec(-10.0f64..10.0, 1..30),
+        b in proptest::collection::vec(-10.0f64..10.0, 1..30),
+    ) {
+        let n = a.len().min(b.len());
+        let (a, b) = (&a[..n], &b[..n]);
+        let d = vecops::dot(a, b).abs();
+        prop_assert!(d <= vecops::norm2(a) * vecops::norm2(b) + 1e-9);
+    }
+
+    #[test]
+    fn variance_shift_invariant(v in proptest::collection::vec(-50.0f64..50.0, 2..40), shift in -100.0f64..100.0) {
+        let shifted: Vec<f64> = v.iter().map(|x| x + shift).collect();
+        let dv = (vecops::variance(&v) - vecops::variance(&shifted)).abs();
+        prop_assert!(dv < 1e-7 * (1.0 + vecops::variance(&v)), "variance changed by {dv}");
+    }
+
+    #[test]
+    fn select_rows_preserves_content(m in matrix(1..15, 1..6), pick in proptest::collection::vec(0usize..14, 0..10)) {
+        let pick: Vec<usize> = pick.into_iter().filter(|&i| i < m.nrows()).collect();
+        let s = m.select_rows(&pick);
+        prop_assert_eq!(s.nrows(), pick.len());
+        for (k, &i) in pick.iter().enumerate() {
+            prop_assert_eq!(s.row(k), m.row(i));
+        }
+    }
+}

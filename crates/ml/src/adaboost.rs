@@ -1,0 +1,237 @@
+//! AdaBoost.R2 regression (paper §3.1, "AB"), after Drucker (1997) /
+//! Freund & Schapire.
+//!
+//! Each stage fits a base tree on a weighted bootstrap of the training set,
+//! computes a per-sample loss relative to the worst error, re-weights the
+//! samples, and the final prediction is the **weighted median** of the
+//! stage predictions — the detail that distinguishes AdaBoost.R2 from
+//! averaging ensembles.
+
+use crate::rand_util::weighted_bootstrap_indices;
+use crate::traits::{validate_fit_inputs, FitError, Regressor};
+use crate::tree::DecisionTree;
+use chemcost_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Loss shape applied to normalized per-sample errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdaLoss {
+    /// `|e| / max|e|`.
+    Linear,
+    /// `(|e| / max|e|)²`.
+    Square,
+    /// `1 − exp(−|e| / max|e|)`.
+    Exponential,
+}
+
+/// AdaBoost.R2 regressor over CART base learners.
+#[derive(Debug, Clone)]
+pub struct AdaBoost {
+    /// Number of boosting stages (upper bound; boosting stops early when a
+    /// stage's weighted loss reaches 0.5).
+    pub n_estimators: usize,
+    /// Depth cap of the base trees.
+    pub max_depth: usize,
+    /// Loss shape.
+    pub loss: AdaLoss,
+    /// Learning rate shrinking the weight updates.
+    pub learning_rate: f64,
+    /// Seed for the weighted bootstraps.
+    pub seed: u64,
+    estimators: Vec<DecisionTree>,
+    /// ln(1/β) weights per estimator.
+    log_betas: Vec<f64>,
+}
+
+impl AdaBoost {
+    /// AdaBoost.R2 with linear loss.
+    pub fn new(n_estimators: usize, max_depth: usize) -> Self {
+        Self {
+            n_estimators,
+            max_depth,
+            loss: AdaLoss::Linear,
+            learning_rate: 1.0,
+            seed: 0,
+            estimators: Vec::new(),
+            log_betas: Vec::new(),
+        }
+    }
+
+    /// Number of stages actually fitted.
+    pub fn n_stages(&self) -> usize {
+        self.estimators.len()
+    }
+
+    /// Weighted median of stage predictions for one row.
+    fn weighted_median_predict(&self, row: &[f64]) -> f64 {
+        let preds: Vec<f64> = self.estimators.iter().map(|t| t.predict_one(row)).collect();
+        let mut order: Vec<usize> = (0..preds.len()).collect();
+        order.sort_by(|&a, &b| preds[a].partial_cmp(&preds[b]).unwrap_or(std::cmp::Ordering::Equal));
+        let total: f64 = self.log_betas.iter().sum();
+        let mut acc = 0.0;
+        for &i in &order {
+            acc += self.log_betas[i];
+            if acc >= 0.5 * total {
+                return preds[i];
+            }
+        }
+        *preds.last().expect("at least one estimator")
+    }
+}
+
+impl Regressor for AdaBoost {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<(), FitError> {
+        validate_fit_inputs(x, y)?;
+        if self.n_estimators == 0 {
+            return Err(FitError::InvalidHyperParameter("n_estimators must be >= 1".into()));
+        }
+        if self.learning_rate <= 0.0 || self.learning_rate.is_nan() {
+            return Err(FitError::InvalidHyperParameter("learning_rate must be > 0".into()));
+        }
+        let n = x.nrows();
+        let mut weights = vec![1.0 / n as f64; n];
+        self.estimators.clear();
+        self.log_betas.clear();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        for _ in 0..self.n_estimators {
+            // Weighted bootstrap replicate.
+            let idx = weighted_bootstrap_indices(&mut rng, &weights);
+            let xb = x.select_rows(&idx);
+            let yb: Vec<f64> = idx.iter().map(|&i| y[i]).collect();
+            let mut tree = DecisionTree::new(self.max_depth);
+            tree.seed = rng.gen();
+            tree.fit(&xb, &yb).expect("validated inputs");
+            // Losses on the *original* training set.
+            let preds = tree.predict(x);
+            let abs_err: Vec<f64> = preds.iter().zip(y).map(|(p, t)| (p - t).abs()).collect();
+            let max_err = abs_err.iter().cloned().fold(0.0, f64::max);
+            if max_err <= 1e-300 {
+                // Perfect stage: give it dominant weight and stop.
+                self.estimators.push(tree);
+                self.log_betas.push(1e6);
+                break;
+            }
+            let losses: Vec<f64> = abs_err
+                .iter()
+                .map(|e| {
+                    let r = e / max_err;
+                    match self.loss {
+                        AdaLoss::Linear => r,
+                        AdaLoss::Square => r * r,
+                        AdaLoss::Exponential => 1.0 - (-r).exp(),
+                    }
+                })
+                .collect();
+            let avg_loss: f64 = losses.iter().zip(&weights).map(|(l, w)| l * w).sum::<f64>()
+                / weights.iter().sum::<f64>();
+            if avg_loss >= 0.5 {
+                // Worse than random re-weighting — stop as R2 prescribes
+                // (keep the stage only if it is the first one).
+                if self.estimators.is_empty() {
+                    self.estimators.push(tree);
+                    self.log_betas.push(1e-6);
+                }
+                break;
+            }
+            let beta = avg_loss / (1.0 - avg_loss);
+            // Down-weight well-predicted samples.
+            for (w, l) in weights.iter_mut().zip(&losses) {
+                *w *= beta.powf(self.learning_rate * (1.0 - l));
+            }
+            let sum: f64 = weights.iter().sum();
+            for w in &mut weights {
+                *w /= sum;
+            }
+            self.estimators.push(tree);
+            self.log_betas.push(self.learning_rate * (1.0 / beta).ln());
+        }
+        Ok(())
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        assert!(!self.estimators.is_empty(), "AdaBoost::predict before fit");
+        (0..x.nrows()).map(|i| self.weighted_median_predict(x.row(i))).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "AB"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::r2_score;
+
+    fn data(n: usize) -> (Matrix, Vec<f64>) {
+        let x = Matrix::from_fn(n, 2, |i, j| ((i * (j + 2)) % 19) as f64);
+        let y = (0..n).map(|i| x[(i, 0)] * 1.5 + (x[(i, 1)] * 0.8).cos() * 4.0).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn fits_reasonably() {
+        let (x, y) = data(250);
+        let mut ab = AdaBoost::new(50, 6);
+        ab.fit(&x, &y).unwrap();
+        assert!(r2_score(&y, &ab.predict(&x)) > 0.95, "r2 {}", r2_score(&y, &ab.predict(&x)));
+    }
+
+    #[test]
+    fn all_loss_shapes_work() {
+        let (x, y) = data(120);
+        for loss in [AdaLoss::Linear, AdaLoss::Square, AdaLoss::Exponential] {
+            let mut ab = AdaBoost::new(20, 5);
+            ab.loss = loss;
+            ab.fit(&x, &y).unwrap();
+            assert!(
+                r2_score(&y, &ab.predict(&x)) > 0.8,
+                "loss {loss:?} r2 {}",
+                r2_score(&y, &ab.predict(&x))
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = data(80);
+        let run = |seed| {
+            let mut ab = AdaBoost::new(15, 4);
+            ab.seed = seed;
+            ab.fit(&x, &y).unwrap();
+            ab.predict(&x)
+        };
+        assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    fn perfect_base_learner_short_circuits() {
+        let x = Matrix::from_fn(16, 1, |i, _| i as f64);
+        let y: Vec<f64> = (0..16).map(|i| if i < 8 { 0.0 } else { 1.0 }).collect();
+        let mut ab = AdaBoost::new(100, 4);
+        ab.fit(&x, &y).unwrap();
+        assert!(ab.n_stages() < 100);
+        assert_eq!(ab.predict(&x), y);
+    }
+
+    #[test]
+    fn prediction_is_one_of_stage_outputs() {
+        // Weighted median selects an actual stage prediction.
+        let (x, y) = data(60);
+        let mut ab = AdaBoost::new(9, 4);
+        ab.fit(&x, &y).unwrap();
+        let row = x.row(10);
+        let p = ab.predict_one(row);
+        let stage_preds: Vec<f64> =
+            (0..ab.n_stages()).map(|k| ab.estimators[k].predict_one(row)).collect();
+        assert!(stage_preds.iter().any(|s| (s - p).abs() < 1e-12));
+    }
+
+    #[test]
+    fn rejects_zero_estimators() {
+        let (x, y) = data(10);
+        let mut ab = AdaBoost::new(0, 3);
+        assert!(matches!(ab.fit(&x, &y), Err(FitError::InvalidHyperParameter(_))));
+    }
+}

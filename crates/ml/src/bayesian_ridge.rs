@@ -1,0 +1,224 @@
+//! Bayesian ridge regression (paper §3.1, "BR").
+//!
+//! Ridge regression with the two precisions (`alpha` = noise, `lambda` =
+//! weight prior) estimated from the data by iterative evidence (type-II
+//! maximum likelihood) updates, following Bishop PRML §3.5 / sklearn's
+//! `BayesianRidge`.
+
+use crate::preprocessing::StandardScaler;
+use crate::traits::{validate_fit_inputs, FitError, Regressor, UncertaintyRegressor};
+use chemcost_linalg::{gemm, Matrix, SpdSolver};
+
+/// Bayesian ridge regressor with evidence-maximized regularization.
+#[derive(Debug, Clone)]
+pub struct BayesianRidge {
+    /// Maximum evidence-update iterations.
+    pub max_iter: usize,
+    /// Convergence tolerance on the weight change.
+    pub tol: f64,
+    state: Option<Fitted>,
+}
+
+#[derive(Debug, Clone)]
+struct Fitted {
+    scaler: StandardScaler,
+    weights: Vec<f64>,
+    intercept: f64,
+    /// Noise precision.
+    alpha: f64,
+    /// Weight precision.
+    lambda: f64,
+    /// Posterior covariance of the weights (in scaled feature space).
+    sigma: Matrix,
+}
+
+impl Default for BayesianRidge {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BayesianRidge {
+    /// Defaults matching sklearn (300 iterations, 1e-3 tolerance).
+    pub fn new() -> Self {
+        Self { max_iter: 300, tol: 1e-3, state: None }
+    }
+
+    /// Estimated noise precision (`None` before fit).
+    pub fn alpha(&self) -> Option<f64> {
+        self.state.as_ref().map(|s| s.alpha)
+    }
+
+    /// Estimated weight precision (`None` before fit).
+    pub fn lambda(&self) -> Option<f64> {
+        self.state.as_ref().map(|s| s.lambda)
+    }
+
+    /// Fitted weights in scaled feature space.
+    pub fn weights(&self) -> Option<&[f64]> {
+        self.state.as_ref().map(|s| s.weights.as_slice())
+    }
+}
+
+impl Regressor for BayesianRidge {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<(), FitError> {
+        validate_fit_inputs(x, y)?;
+        let scaler = StandardScaler::fit(x);
+        let xs = scaler.transform(x);
+        let n = xs.nrows() as f64;
+        let d = xs.ncols();
+        let y_mean = chemcost_linalg::vecops::mean(y);
+        let yc: Vec<f64> = y.iter().map(|v| v - y_mean).collect();
+        let gram = gemm::gram(&xs);
+        let xty = xs.transpose().matvec(&yc);
+
+        // Initialize precisions from the data variance, like sklearn.
+        let var_y = chemcost_linalg::vecops::variance(&yc).max(1e-12);
+        let mut alpha = 1.0 / var_y;
+        let mut lambda = 1.0;
+        let mut weights = vec![0.0; d];
+        let mut sigma = Matrix::identity(d);
+
+        for _ in 0..self.max_iter {
+            // Posterior: Σ = (αXᵀX + λI)⁻¹, μ = αΣXᵀy.
+            let mut a = gram.clone();
+            for v in a.as_mut_slice().iter_mut() {
+                *v *= alpha;
+            }
+            a.add_diagonal(lambda);
+            let solver = SpdSolver::factor(&a)
+                .map_err(|e| FitError::Numerical(format!("BR posterior: {e}")))?;
+            let rhs: Vec<f64> = xty.iter().map(|v| v * alpha).collect();
+            let mu = solver.solve(&rhs);
+            sigma = solver.cholesky().solve_matrix(&Matrix::identity(d));
+
+            // Effective number of well-determined parameters.
+            // gamma = Σⱼ (1 − λ Σⱼⱼ)
+            let gamma: f64 = (0..d).map(|j| 1.0 - lambda * sigma[(j, j)]).sum();
+            let residual: f64 = (0..xs.nrows())
+                .map(|i| {
+                    let p = chemcost_linalg::vecops::dot(xs.row(i), &mu);
+                    (yc[i] - p) * (yc[i] - p)
+                })
+                .sum();
+            let w_norm: f64 = mu.iter().map(|w| w * w).sum();
+
+            let new_lambda = (gamma.max(1e-12)) / w_norm.max(1e-12);
+            let new_alpha = (n - gamma).max(1e-12) / residual.max(1e-12);
+
+            let delta: f64 =
+                weights.iter().zip(&mu).map(|(a, b)| (a - b).abs()).sum();
+            weights = mu;
+            alpha = new_alpha.clamp(1e-12, 1e12);
+            lambda = new_lambda.clamp(1e-12, 1e12);
+            if delta < self.tol {
+                break;
+            }
+        }
+
+        self.state = Some(Fitted { scaler, weights, intercept: y_mean, alpha, lambda, sigma });
+        Ok(())
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        let st = self.state.as_ref().expect("BayesianRidge::predict before fit");
+        let xs = st.scaler.transform(x);
+        (0..xs.nrows())
+            .map(|i| chemcost_linalg::vecops::dot(xs.row(i), &st.weights) + st.intercept)
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "BR"
+    }
+}
+
+impl UncertaintyRegressor for BayesianRidge {
+    /// Predictive std from the posterior: `σ²(x) = 1/α + xᵀΣx`.
+    fn predict_with_std(&self, x: &Matrix) -> (Vec<f64>, Vec<f64>) {
+        let st = self.state.as_ref().expect("BayesianRidge::predict before fit");
+        let xs = st.scaler.transform(x);
+        let mean = self.predict(x);
+        let std = (0..xs.nrows())
+            .map(|i| {
+                let row = xs.row(i);
+                let sx = st.sigma.matvec(row);
+                let var = 1.0 / st.alpha + chemcost_linalg::vecops::dot(row, &sx);
+                var.max(0.0).sqrt()
+            })
+            .collect();
+        (mean, std)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::r2_score;
+
+    fn noisy_linear(n: usize) -> (Matrix, Vec<f64>) {
+        let x = Matrix::from_fn(n, 3, |i, j| ((i * (j + 2) + j) % 31) as f64);
+        // Deterministic pseudo-noise so the test is stable.
+        let y = (0..n)
+            .map(|i| {
+                let r = x.row(i);
+                2.0 * r[0] - 1.0 * r[1] + 0.5 * r[2] + 3.0 + ((i * 2654435761) % 100) as f64 * 0.002
+            })
+            .collect();
+        (x, y)
+    }
+
+    #[test]
+    fn recovers_linear_relationship() {
+        let (x, y) = noisy_linear(100);
+        let mut br = BayesianRidge::new();
+        br.fit(&x, &y).unwrap();
+        assert!(r2_score(&y, &br.predict(&x)) > 0.9999);
+    }
+
+    #[test]
+    fn estimates_positive_precisions() {
+        let (x, y) = noisy_linear(60);
+        let mut br = BayesianRidge::new();
+        br.fit(&x, &y).unwrap();
+        assert!(br.alpha().unwrap() > 0.0);
+        assert!(br.lambda().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn higher_noise_lowers_alpha() {
+        let (x, y) = noisy_linear(80);
+        let mut quiet = BayesianRidge::new();
+        quiet.fit(&x, &y).unwrap();
+        // Add large deterministic noise.
+        let y_noisy: Vec<f64> =
+            y.iter().enumerate().map(|(i, v)| v + ((i * 7919) % 41) as f64 - 20.0).collect();
+        let mut loud = BayesianRidge::new();
+        loud.fit(&x, &y_noisy).unwrap();
+        assert!(
+            loud.alpha().unwrap() < quiet.alpha().unwrap(),
+            "noise precision should drop with noisier targets"
+        );
+    }
+
+    #[test]
+    fn predictive_std_positive_and_grows_off_distribution() {
+        let (x, y) = noisy_linear(60);
+        let mut br = BayesianRidge::new();
+        br.fit(&x, &y).unwrap();
+        let (_, std_in) = br.predict_with_std(&x);
+        assert!(std_in.iter().all(|&s| s > 0.0));
+        let far = Matrix::from_rows(&[&[1e4, -1e4, 1e4]]);
+        let (_, std_far) = br.predict_with_std(&far);
+        assert!(std_far[0] > std_in.iter().cloned().fold(0.0, f64::max));
+    }
+
+    #[test]
+    fn converges_quickly_on_easy_data() {
+        let x = Matrix::from_fn(50, 1, |i, _| i as f64);
+        let y: Vec<f64> = (0..50).map(|i| 2.0 * i as f64 + 1.0).collect();
+        let mut br = BayesianRidge { max_iter: 5, tol: 1e-6, state: None };
+        br.fit(&x, &y).unwrap();
+        assert!(r2_score(&y, &br.predict(&x)) > 0.999999);
+    }
+}

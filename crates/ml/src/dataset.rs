@@ -1,0 +1,185 @@
+//! Labelled dataset container and splitting utilities.
+
+use crate::rand_util::permutation;
+use chemcost_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A labelled regression dataset: one sample per row of `x`, target in `y`.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// Feature matrix, one sample per row.
+    pub x: Matrix,
+    /// Targets, `y.len() == x.nrows()`.
+    pub y: Vec<f64>,
+    /// Feature names for reports; `feature_names.len() == x.ncols()`.
+    pub feature_names: Vec<String>,
+}
+
+impl Dataset {
+    /// Build a dataset, validating the shape invariants.
+    ///
+    /// # Panics
+    /// Panics if the target length or feature-name count disagrees with `x`.
+    pub fn new(x: Matrix, y: Vec<f64>, feature_names: Vec<String>) -> Self {
+        assert_eq!(x.nrows(), y.len(), "targets must match sample count");
+        assert_eq!(x.ncols(), feature_names.len(), "feature names must match columns");
+        Self { x, y, feature_names }
+    }
+
+    /// Build with auto-generated feature names `x0, x1, …`.
+    pub fn unnamed(x: Matrix, y: Vec<f64>) -> Self {
+        let names = (0..x.ncols()).map(|i| format!("x{i}")).collect();
+        Self::new(x, y, names)
+    }
+
+    /// An empty dataset with the given feature names.
+    pub fn empty(feature_names: Vec<String>) -> Self {
+        let mut x = Matrix::zeros(0, 0);
+        // Fix the width so push_sample validates against it.
+        if !feature_names.is_empty() {
+            x = Matrix::zeros(0, feature_names.len());
+        }
+        Self { x, y: vec![], feature_names }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// True when there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Number of features.
+    pub fn n_features(&self) -> usize {
+        self.x.ncols()
+    }
+
+    /// Append one labelled sample.
+    pub fn push_sample(&mut self, features: &[f64], target: f64) {
+        self.x.push_row(features);
+        self.y.push(target);
+    }
+
+    /// New dataset containing the selected sample indices, in order.
+    pub fn select(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            x: self.x.select_rows(indices),
+            y: indices.iter().map(|&i| self.y[i]).collect(),
+            feature_names: self.feature_names.clone(),
+        }
+    }
+
+    /// Deterministic shuffled split into `(train, test)`.
+    ///
+    /// `test_fraction` is clamped to `[0, 1]`; the split is computed on a
+    /// seeded permutation so the same `(seed, fraction)` always produces the
+    /// same partition — this is what makes every experiment reproducible.
+    pub fn train_test_split(&self, test_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+        let n = self.len();
+        let frac = test_fraction.clamp(0.0, 1.0);
+        let n_test = (n as f64 * frac).round() as usize;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let perm = permutation(&mut rng, n);
+        let (test_idx, train_idx) = perm.split_at(n_test.min(n));
+        (self.select(train_idx), self.select(test_idx))
+    }
+
+    /// Concatenate two datasets with identical schemas.
+    ///
+    /// # Panics
+    /// Panics if feature counts differ.
+    pub fn concat(&self, other: &Dataset) -> Dataset {
+        assert_eq!(self.n_features(), other.n_features(), "schema mismatch in concat");
+        let mut out = self.clone();
+        for i in 0..other.len() {
+            out.push_sample(other.x.row(i), other.y[i]);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo(n: usize) -> Dataset {
+        let x = Matrix::from_fn(n, 2, |i, j| (i * 2 + j) as f64);
+        let y = (0..n).map(|i| i as f64).collect();
+        Dataset::unnamed(x, y)
+    }
+
+    #[test]
+    fn new_validates() {
+        let d = demo(5);
+        assert_eq!(d.len(), 5);
+        assert_eq!(d.n_features(), 2);
+        assert_eq!(d.feature_names, vec!["x0", "x1"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "targets must match")]
+    fn new_rejects_bad_targets() {
+        let _ = Dataset::unnamed(Matrix::zeros(3, 2), vec![1.0]);
+    }
+
+    #[test]
+    fn push_sample_grows() {
+        let mut d = Dataset::empty(vec!["a".into(), "b".into()]);
+        d.push_sample(&[1.0, 2.0], 3.0);
+        d.push_sample(&[4.0, 5.0], 6.0);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.x.row(1), &[4.0, 5.0]);
+    }
+
+    #[test]
+    fn select_keeps_pairing() {
+        let d = demo(6);
+        let s = d.select(&[5, 0, 3]);
+        assert_eq!(s.y, vec![5.0, 0.0, 3.0]);
+        assert_eq!(s.x.row(0), &[10.0, 11.0]);
+    }
+
+    #[test]
+    fn split_partitions() {
+        let d = demo(100);
+        let (train, test) = d.train_test_split(0.25, 42);
+        assert_eq!(train.len(), 75);
+        assert_eq!(test.len(), 25);
+        // Every original target appears exactly once across the split.
+        let mut all: Vec<f64> = train.y.iter().chain(&test.y).copied().collect();
+        all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(all, (0..100).map(|i| i as f64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let d = demo(40);
+        let (a, _) = d.train_test_split(0.3, 7);
+        let (b, _) = d.train_test_split(0.3, 7);
+        assert_eq!(a.y, b.y);
+        let (c, _) = d.train_test_split(0.3, 8);
+        assert_ne!(a.y, c.y, "different seeds should differ (overwhelmingly likely)");
+    }
+
+    #[test]
+    fn split_extremes() {
+        let d = demo(10);
+        let (train, test) = d.train_test_split(0.0, 1);
+        assert_eq!((train.len(), test.len()), (10, 0));
+        let (train, test) = d.train_test_split(1.0, 1);
+        assert_eq!((train.len(), test.len()), (0, 10));
+    }
+
+    #[test]
+    fn concat_appends() {
+        let a = demo(3);
+        let b = demo(2);
+        let c = a.concat(&b);
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.y[3], 0.0);
+    }
+}

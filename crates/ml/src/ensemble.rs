@@ -1,0 +1,222 @@
+//! Model combination: weighted voting over heterogeneous regressors.
+//!
+//! The Figures 1–2 experiment shows GB and RF trading places on MAPE
+//! depending on machine and split; a small blend of the two is the
+//! classic way to stop choosing. `VotingRegressor` owns a set of already
+//! configured models, fits them all on the same data (in parallel), and
+//! predicts their weighted mean. It also exposes committee-style
+//! uncertainty (weighted std of member predictions), so it can drive the
+//! active-learning loop.
+
+use crate::traits::{FitError, Regressor, UncertaintyRegressor};
+use chemcost_linalg::{parallel, Matrix};
+use parking_lot::Mutex;
+
+/// Weighted average of heterogeneous regressors.
+pub struct VotingRegressor {
+    members: Vec<Mutex<Box<dyn Regressor>>>,
+    weights: Vec<f64>,
+    fitted: bool,
+}
+
+impl VotingRegressor {
+    /// Equal-weight ensemble.
+    ///
+    /// # Panics
+    /// Panics if `members` is empty.
+    pub fn new(members: Vec<Box<dyn Regressor>>) -> Self {
+        assert!(!members.is_empty(), "ensemble needs at least one member");
+        let n = members.len();
+        Self {
+            members: members.into_iter().map(Mutex::new).collect(),
+            weights: vec![1.0 / n as f64; n],
+            fitted: false,
+        }
+    }
+
+    /// Explicitly weighted ensemble; weights are normalized to sum 1.
+    ///
+    /// # Panics
+    /// Panics on length mismatch or non-positive total weight.
+    pub fn weighted(members: Vec<Box<dyn Regressor>>, weights: Vec<f64>) -> Self {
+        assert_eq!(members.len(), weights.len(), "one weight per member");
+        assert!(!members.is_empty(), "ensemble needs at least one member");
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0 && weights.iter().all(|w| *w >= 0.0), "weights must be >= 0, sum > 0");
+        Self {
+            members: members.into_iter().map(Mutex::new).collect(),
+            weights: weights.into_iter().map(|w| w / total).collect(),
+            fitted: false,
+        }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when the ensemble has no members (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The normalized member weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    fn member_predictions(&self, x: &Matrix) -> Vec<Vec<f64>> {
+        self.members.iter().map(|m| m.lock().predict(x)).collect()
+    }
+}
+
+impl Regressor for VotingRegressor {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<(), FitError> {
+        // Fit members in parallel; surface the first error, if any.
+        let results = parallel::par_map(self.members.len(), |i| {
+            self.members[i].lock().fit(x, y)
+        });
+        for r in results {
+            r?;
+        }
+        self.fitted = true;
+        Ok(())
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        assert!(self.fitted, "VotingRegressor::predict before fit");
+        let preds = self.member_predictions(x);
+        let mut out = vec![0.0; x.nrows()];
+        for (p, &w) in preds.iter().zip(&self.weights) {
+            for (o, v) in out.iter_mut().zip(p) {
+                *o += w * v;
+            }
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "VOTE"
+    }
+}
+
+impl UncertaintyRegressor for VotingRegressor {
+    /// Weighted mean and weighted standard deviation across members.
+    fn predict_with_std(&self, x: &Matrix) -> (Vec<f64>, Vec<f64>) {
+        assert!(self.fitted, "VotingRegressor::predict_with_std before fit");
+        let preds = self.member_predictions(x);
+        let n = x.nrows();
+        let mut mean = vec![0.0; n];
+        for (p, &w) in preds.iter().zip(&self.weights) {
+            for (m, v) in mean.iter_mut().zip(p) {
+                *m += w * v;
+            }
+        }
+        let mut var = vec![0.0; n];
+        for (p, &w) in preds.iter().zip(&self.weights) {
+            for ((vv, v), m) in var.iter_mut().zip(p).zip(&mean) {
+                *vv += w * (v - m) * (v - m);
+            }
+        }
+        (mean, var.into_iter().map(|v| v.max(0.0).sqrt()).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forest::RandomForest;
+    use crate::gradient_boosting::GradientBoosting;
+    use crate::linear::Ridge;
+    use crate::metrics::r2_score;
+
+    fn data(n: usize) -> (Matrix, Vec<f64>) {
+        let x = Matrix::from_fn(n, 2, |i, j| ((i * (j + 2)) % 19) as f64);
+        let y = (0..n).map(|i| x[(i, 0)] * 2.0 + (x[(i, 1)] * 0.7).sin() * 3.0).collect();
+        (x, y)
+    }
+
+    fn gb_rf() -> Vec<Box<dyn Regressor>> {
+        vec![
+            Box::new(GradientBoosting::new(100, 4, 0.1)),
+            Box::new(RandomForest::new(40, 10)),
+        ]
+    }
+
+    #[test]
+    fn blend_fits_well() {
+        let (x, y) = data(200);
+        let mut vote = VotingRegressor::new(gb_rf());
+        vote.fit(&x, &y).unwrap();
+        assert!(r2_score(&y, &vote.predict(&x)) > 0.98);
+    }
+
+    #[test]
+    fn single_member_is_identity() {
+        let (x, y) = data(80);
+        let mut solo = GradientBoosting::new(50, 3, 0.1);
+        solo.fit(&x, &y).unwrap();
+        let mut vote = VotingRegressor::new(vec![Box::new(GradientBoosting::new(50, 3, 0.1))]);
+        vote.fit(&x, &y).unwrap();
+        let a = solo.predict(&x);
+        let b = vote.predict(&x);
+        for (u, v) in a.iter().zip(&b) {
+            assert!((u - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn weights_skew_the_blend() {
+        let (x, y) = data(100);
+        // A strong member and a deliberately weak one.
+        let members = || -> Vec<Box<dyn Regressor>> {
+            vec![Box::new(GradientBoosting::new(120, 4, 0.1)), Box::new(Ridge::new(1e9))]
+        };
+        let mut mostly_gb = VotingRegressor::weighted(members(), vec![0.95, 0.05]);
+        mostly_gb.fit(&x, &y).unwrap();
+        let mut mostly_ridge = VotingRegressor::weighted(members(), vec![0.05, 0.95]);
+        mostly_ridge.fit(&x, &y).unwrap();
+        assert!(
+            r2_score(&y, &mostly_gb.predict(&x)) > r2_score(&y, &mostly_ridge.predict(&x)),
+            "weighting toward the strong member must help"
+        );
+    }
+
+    #[test]
+    fn uncertainty_reflects_member_disagreement() {
+        let (x, y) = data(120);
+        let mut vote = VotingRegressor::new(gb_rf());
+        vote.fit(&x, &y).unwrap();
+        let (mean, std) = vote.predict_with_std(&x);
+        assert_eq!(mean.len(), x.nrows());
+        assert!(std.iter().all(|&s| s >= 0.0));
+        assert!(std.iter().any(|&s| s > 0.0), "GB and RF should disagree somewhere");
+        // Mean matches predict.
+        let p = vote.predict(&x);
+        for (a, b) in mean.iter().zip(&p) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn member_fit_error_propagates() {
+        let (x, y) = data(30);
+        let mut vote = VotingRegressor::new(vec![
+            Box::new(GradientBoosting::new(10, 3, 0.1)),
+            Box::new(Ridge::new(-1.0)), // invalid alpha
+        ]);
+        assert!(vote.fit(&x, &y).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn rejects_empty_ensemble() {
+        let _ = VotingRegressor::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per member")]
+    fn rejects_mismatched_weights() {
+        let _ = VotingRegressor::weighted(gb_rf(), vec![1.0]);
+    }
+}

@@ -1,0 +1,241 @@
+//! Random forest regression (paper §3.1, "RF"): bagged CART trees with
+//! per-node feature subsampling, fitted in parallel.
+
+use crate::rand_util::bootstrap_indices;
+use crate::traits::{validate_fit_inputs, FitError, Regressor, UncertaintyRegressor};
+use crate::tree::{DecisionTree, MaxFeatures};
+use chemcost_linalg::{parallel, Matrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random forest regressor.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    /// Number of trees.
+    pub n_estimators: usize,
+    /// Depth cap per tree.
+    pub max_depth: usize,
+    /// Minimum samples per leaf.
+    pub min_samples_leaf: usize,
+    /// Per-node feature subsampling.
+    pub max_features: MaxFeatures,
+    /// Draw bootstrap replicates (true = classic bagging).
+    pub bootstrap: bool,
+    /// Master seed; per-tree seeds derive from it.
+    pub seed: u64,
+    /// Worker threads for fitting (0 = all cores).
+    pub n_threads: usize,
+    trees: Vec<DecisionTree>,
+}
+
+impl RandomForest {
+    /// A forest with sklearn-ish defaults.
+    pub fn new(n_estimators: usize, max_depth: usize) -> Self {
+        Self {
+            n_estimators,
+            max_depth,
+            min_samples_leaf: 1,
+            max_features: MaxFeatures::All,
+            bootstrap: true,
+            seed: 0,
+            n_threads: 0,
+            trees: Vec::new(),
+        }
+    }
+
+    /// The fitted trees (empty before fit).
+    pub fn trees(&self) -> &[DecisionTree] {
+        &self.trees
+    }
+
+    fn threads(&self) -> usize {
+        if self.n_threads == 0 {
+            parallel::default_threads()
+        } else {
+            self.n_threads
+        }
+    }
+}
+
+impl Regressor for RandomForest {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<(), FitError> {
+        validate_fit_inputs(x, y)?;
+        if self.n_estimators == 0 {
+            return Err(FitError::InvalidHyperParameter("n_estimators must be >= 1".into()));
+        }
+        // Derive independent per-tree seeds up front so the fit is
+        // deterministic regardless of thread scheduling.
+        let mut master = StdRng::seed_from_u64(self.seed);
+        let seeds: Vec<u64> = (0..self.n_estimators).map(|_| master.gen()).collect();
+        let trees = parallel::par_map_indexed(self.n_estimators, self.threads(), |t| {
+            let mut rng = StdRng::seed_from_u64(seeds[t]);
+            let mut tree = DecisionTree::new(self.max_depth);
+            tree.min_samples_leaf = self.min_samples_leaf;
+            tree.max_features = self.max_features;
+            tree.seed = seeds[t].wrapping_add(1);
+            if self.bootstrap {
+                let idx = bootstrap_indices(&mut rng, x.nrows());
+                let xb = x.select_rows(&idx);
+                let yb: Vec<f64> = idx.iter().map(|&i| y[i]).collect();
+                tree.fit(&xb, &yb).expect("validated inputs");
+            } else {
+                tree.fit(x, y).expect("validated inputs");
+            }
+            tree
+        });
+        self.trees = trees;
+        Ok(())
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        assert!(!self.trees.is_empty(), "RandomForest::predict before fit");
+        let mut acc = vec![0.0; x.nrows()];
+        for tree in &self.trees {
+            for (a, p) in acc.iter_mut().zip(tree.predict(x)) {
+                *a += p;
+            }
+        }
+        let k = self.trees.len() as f64;
+        for a in &mut acc {
+            *a /= k;
+        }
+        acc
+    }
+
+    fn name(&self) -> &'static str {
+        "RF"
+    }
+}
+
+impl UncertaintyRegressor for RandomForest {
+    /// Mean and standard deviation across the ensemble's per-tree
+    /// predictions (a standard cheap uncertainty proxy).
+    fn predict_with_std(&self, x: &Matrix) -> (Vec<f64>, Vec<f64>) {
+        assert!(!self.trees.is_empty(), "RandomForest::predict_with_std before fit");
+        let n = x.nrows();
+        let k = self.trees.len();
+        let mut sum = vec![0.0; n];
+        let mut sum_sq = vec![0.0; n];
+        for tree in &self.trees {
+            for (i, p) in tree.predict(x).into_iter().enumerate() {
+                sum[i] += p;
+                sum_sq[i] += p * p;
+            }
+        }
+        let kf = k as f64;
+        let mean: Vec<f64> = sum.iter().map(|s| s / kf).collect();
+        let std = sum_sq
+            .iter()
+            .zip(&mean)
+            .map(|(sq, m)| (sq / kf - m * m).max(0.0).sqrt())
+            .collect();
+        (mean, std)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::r2_score;
+
+    fn friedmanish(n: usize) -> (Matrix, Vec<f64>) {
+        let x = Matrix::from_fn(n, 3, |i, j| (((i * 73 + j * 31) % 101) as f64) / 100.0);
+        let y = (0..n)
+            .map(|i| {
+                let r = x.row(i);
+                10.0 * (std::f64::consts::PI * r[0]).sin() + 20.0 * (r[1] - 0.5).powi(2) + 5.0 * r[2]
+            })
+            .collect();
+        (x, y)
+    }
+
+    #[test]
+    fn fits_nonlinear_data() {
+        let (x, y) = friedmanish(300);
+        let mut rf = RandomForest::new(50, 8);
+        rf.fit(&x, &y).unwrap();
+        assert!(r2_score(&y, &rf.predict(&x)) > 0.95);
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let (x, y) = friedmanish(120);
+        let mut a = RandomForest::new(20, 6);
+        a.seed = 42;
+        a.n_threads = 1;
+        a.fit(&x, &y).unwrap();
+        let mut b = RandomForest::new(20, 6);
+        b.seed = 42;
+        b.n_threads = 4;
+        b.fit(&x, &y).unwrap();
+        assert_eq!(a.predict(&x), b.predict(&x));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (x, y) = friedmanish(100);
+        let mut a = RandomForest::new(10, 6);
+        a.seed = 1;
+        a.fit(&x, &y).unwrap();
+        let mut b = RandomForest::new(10, 6);
+        b.seed = 2;
+        b.fit(&x, &y).unwrap();
+        assert_ne!(a.predict(&x), b.predict(&x));
+    }
+
+    #[test]
+    fn ensemble_smoother_than_single_tree() {
+        // With bootstrap on, a forest's training error is worse than a deep
+        // single tree's (which interpolates), but test error is better.
+        let (x, y) = friedmanish(400);
+        let xtrain = x.select_rows(&(0..300).collect::<Vec<_>>());
+        let ytrain = &y[..300];
+        let xtest = x.select_rows(&(300..400).collect::<Vec<_>>());
+        let ytest = &y[300..];
+
+        let mut tree = DecisionTree::new(usize::MAX);
+        tree.fit(&xtrain, ytrain).unwrap();
+        let mut rf = RandomForest::new(60, usize::MAX);
+        rf.seed = 3;
+        rf.fit(&xtrain, ytrain).unwrap();
+
+        let tree_r2 = r2_score(ytest, &tree.predict(&xtest));
+        let rf_r2 = r2_score(ytest, &rf.predict(&xtest));
+        assert!(rf_r2 >= tree_r2 - 0.02, "rf {rf_r2} vs tree {tree_r2}");
+    }
+
+    #[test]
+    fn uncertainty_nonnegative_and_informative() {
+        let (x, y) = friedmanish(200);
+        let mut rf = RandomForest::new(30, 4);
+        rf.fit(&x, &y).unwrap();
+        let (mean, std) = rf.predict_with_std(&x);
+        assert_eq!(mean.len(), x.nrows());
+        assert!(std.iter().all(|&s| s >= 0.0));
+        assert!(std.iter().any(|&s| s > 0.0), "bootstrap trees should disagree somewhere");
+        // Mean from predict_with_std must match predict.
+        let p = rf.predict(&x);
+        for (a, b) in mean.iter().zip(&p) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rejects_zero_estimators() {
+        let (x, y) = friedmanish(20);
+        let mut rf = RandomForest::new(0, 3);
+        assert!(matches!(rf.fit(&x, &y), Err(FitError::InvalidHyperParameter(_))));
+    }
+
+    #[test]
+    fn no_bootstrap_all_trees_identical_without_subsampling() {
+        let (x, y) = friedmanish(80);
+        let mut rf = RandomForest::new(5, 4);
+        rf.bootstrap = false;
+        rf.fit(&x, &y).unwrap();
+        let p0 = rf.trees()[0].predict(&x);
+        for t in rf.trees() {
+            assert_eq!(t.predict(&x), p0);
+        }
+    }
+}

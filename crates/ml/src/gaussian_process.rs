@@ -1,0 +1,254 @@
+//! Gaussian-process regression (paper §3.1, "GP") — the uncertainty source
+//! for uncertainty-sampling active learning (Algorithm 1).
+//!
+//! Standard exact GP: RBF kernel on standardized features, normalized
+//! targets, Cholesky of `K + σₙ²I`, posterior mean `k*ᵀ K⁻¹ y` and variance
+//! `k** − k*ᵀ K⁻¹ k*`. Optionally tunes `(gamma, noise)` by maximizing the
+//! log marginal likelihood over a small grid — cheap, derivative-free, and
+//! robust, which matters more here than squeezing the last nat out of the
+//! evidence.
+
+use crate::kernel::Kernel;
+use crate::preprocessing::{StandardScaler, TargetScaler};
+use crate::traits::{validate_fit_inputs, FitError, Regressor, UncertaintyRegressor};
+use chemcost_linalg::{Cholesky, Matrix, SpdSolver};
+
+/// Exact Gaussian-process regressor with an RBF kernel.
+#[derive(Debug, Clone)]
+pub struct GaussianProcess {
+    /// RBF inverse squared length scale.
+    pub gamma: f64,
+    /// Observation noise variance added to the kernel diagonal.
+    pub noise: f64,
+    /// When true, `(gamma, noise)` are refined on a log-grid around the
+    /// configured values by marginal likelihood at fit time.
+    pub optimize_hyperparams: bool,
+    state: Option<Fitted>,
+}
+
+#[derive(Debug, Clone)]
+struct Fitted {
+    x_train: Matrix,
+    alpha: Vec<f64>,
+    chol: Cholesky,
+    scaler: StandardScaler,
+    yscaler: TargetScaler,
+    gamma: f64,
+    log_marginal_likelihood: f64,
+}
+
+impl GaussianProcess {
+    /// GP with fixed hyper-parameters.
+    pub fn new(gamma: f64, noise: f64) -> Self {
+        Self { gamma, noise, optimize_hyperparams: false, state: None }
+    }
+
+    /// GP that grid-tunes its hyper-parameters at fit time.
+    pub fn tuned() -> Self {
+        Self { gamma: 1.0, noise: 1e-4, optimize_hyperparams: true, state: None }
+    }
+
+    /// Log marginal likelihood of the fitted model.
+    pub fn log_marginal_likelihood(&self) -> Option<f64> {
+        self.state.as_ref().map(|s| s.log_marginal_likelihood)
+    }
+
+    /// The kernel hyper-parameters actually used (after optional tuning).
+    pub fn fitted_gamma(&self) -> Option<f64> {
+        self.state.as_ref().map(|s| s.gamma)
+    }
+
+    /// Fit with explicit hyper-parameters; returns the log marginal
+    /// likelihood on success.
+    fn fit_once(
+        xs: &Matrix,
+        ys: &[f64],
+        gamma: f64,
+        noise: f64,
+    ) -> Result<(Vec<f64>, Cholesky, f64), FitError> {
+        let kernel = Kernel::Rbf { gamma };
+        let mut k = kernel.matrix(xs);
+        k.add_diagonal(noise.max(1e-10));
+        let solver =
+            SpdSolver::factor(&k).map_err(|e| FitError::Numerical(format!("GP kernel: {e}")))?;
+        let alpha = solver.solve(ys);
+        let chol = solver.cholesky().clone();
+        let n = ys.len() as f64;
+        // log p(y|X) = −½ yᵀα − ½ log|K| − n/2 log 2π
+        let fit_term: f64 = ys.iter().zip(&alpha).map(|(y, a)| y * a).sum();
+        let lml = -0.5 * fit_term - 0.5 * chol.log_det() - 0.5 * n * (2.0 * std::f64::consts::PI).ln();
+        Ok((alpha, chol, lml))
+    }
+}
+
+impl Regressor for GaussianProcess {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<(), FitError> {
+        validate_fit_inputs(x, y)?;
+        if self.gamma <= 0.0 || self.gamma.is_nan() {
+            return Err(FitError::InvalidHyperParameter(format!(
+                "gamma must be > 0, got {}",
+                self.gamma
+            )));
+        }
+        if self.noise < 0.0 {
+            return Err(FitError::InvalidHyperParameter(format!(
+                "noise must be >= 0, got {}",
+                self.noise
+            )));
+        }
+        let scaler = StandardScaler::fit(x);
+        let xs = scaler.transform(x);
+        let yscaler = TargetScaler::fit(y);
+        let ys = yscaler.transform(y);
+
+        let candidates: Vec<(f64, f64)> = if self.optimize_hyperparams {
+            let gammas = [0.01, 0.05, 0.1, 0.3, 1.0, 3.0, 10.0];
+            let noises = [1e-6, 1e-4, 1e-2, 1e-1];
+            gammas.iter().flat_map(|&g| noises.iter().map(move |&n| (g, n))).collect()
+        } else {
+            vec![(self.gamma, self.noise)]
+        };
+
+        let mut best: Option<(f64, f64, Vec<f64>, Cholesky, f64)> = None;
+        for (g, nz) in candidates {
+            if let Ok((alpha, chol, lml)) = Self::fit_once(&xs, &ys, g, nz) {
+                if best.as_ref().is_none_or(|b| lml > b.4) {
+                    best = Some((g, nz, alpha, chol, lml));
+                }
+            }
+        }
+        let (g, nz, alpha, chol, lml) =
+            best.ok_or_else(|| FitError::Numerical("no GP hyper-parameters factored".into()))?;
+        self.gamma = g;
+        self.noise = nz;
+        self.state = Some(Fitted {
+            x_train: xs,
+            alpha,
+            chol,
+            scaler,
+            yscaler,
+            gamma: g,
+            log_marginal_likelihood: lml,
+        });
+        Ok(())
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        self.predict_with_std(x).0
+    }
+
+    fn name(&self) -> &'static str {
+        "GP"
+    }
+}
+
+impl UncertaintyRegressor for GaussianProcess {
+    fn predict_with_std(&self, x: &Matrix) -> (Vec<f64>, Vec<f64>) {
+        let st = self.state.as_ref().expect("GaussianProcess::predict before fit");
+        let xs = st.scaler.transform(x);
+        let kernel = Kernel::Rbf { gamma: st.gamma };
+        let kx = kernel.cross_matrix(&xs, &st.x_train); // m × n
+        let mean: Vec<f64> =
+            kx.matvec(&st.alpha).into_iter().map(|v| st.yscaler.inverse(v)).collect();
+        // var(x) = k(x,x) − vᵀv with v = L⁻¹ k*.
+        let mut std = Vec::with_capacity(x.nrows());
+        for i in 0..x.nrows() {
+            let kstar = kx.row(i);
+            let v = st.chol.forward_sub(kstar);
+            let prior = 1.0; // RBF has unit prior variance
+            let var = (prior - v.iter().map(|u| u * u).sum::<f64>()).max(0.0);
+            std.push(st.yscaler.inverse_std(var.sqrt()));
+        }
+        (mean, std)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::r2_score;
+
+    fn smooth(n: usize) -> (Matrix, Vec<f64>) {
+        let x = Matrix::from_fn(n, 1, |i, _| i as f64 * 10.0 / n as f64);
+        let y = (0..n).map(|i| (x[(i, 0)]).sin() * 3.0 + 5.0).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn fits_smooth_function() {
+        let (x, y) = smooth(60);
+        let mut gp = GaussianProcess::new(1.0, 1e-6);
+        gp.fit(&x, &y).unwrap();
+        assert!(r2_score(&y, &gp.predict(&x)) > 0.999);
+    }
+
+    #[test]
+    fn uncertainty_low_at_train_high_far_away() {
+        let (x, y) = smooth(30);
+        let mut gp = GaussianProcess::new(1.0, 1e-6);
+        gp.fit(&x, &y).unwrap();
+        let (_, std_train) = gp.predict_with_std(&x);
+        // A faraway extrapolation point.
+        let far = Matrix::from_rows(&[&[100.0]]);
+        let (_, std_far) = gp.predict_with_std(&far);
+        let max_train = std_train.iter().cloned().fold(0.0, f64::max);
+        assert!(
+            std_far[0] > max_train * 5.0,
+            "extrapolation std {} should exceed train std {}",
+            std_far[0],
+            max_train
+        );
+    }
+
+    #[test]
+    fn noise_increases_posterior_std_at_train_points() {
+        let (x, y) = smooth(30);
+        let mut quiet = GaussianProcess::new(1.0, 1e-8);
+        quiet.fit(&x, &y).unwrap();
+        let mut noisy = GaussianProcess::new(1.0, 0.5);
+        noisy.fit(&x, &y).unwrap();
+        let sq = quiet.predict_with_std(&x).1;
+        let sn = noisy.predict_with_std(&x).1;
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(avg(&sn) > avg(&sq));
+    }
+
+    #[test]
+    fn tuned_picks_reasonable_hyperparams() {
+        let (x, y) = smooth(50);
+        let mut gp = GaussianProcess::tuned();
+        gp.fit(&x, &y).unwrap();
+        assert!(gp.fitted_gamma().is_some());
+        assert!(gp.log_marginal_likelihood().unwrap().is_finite());
+        assert!(r2_score(&y, &gp.predict(&x)) > 0.99);
+    }
+
+    #[test]
+    fn tuned_beats_or_matches_bad_fixed_gamma() {
+        let (x, y) = smooth(50);
+        let mut bad = GaussianProcess::new(1e4, 1e-6); // absurd length scale
+        bad.fit(&x, &y).unwrap();
+        let mut tuned = GaussianProcess::tuned();
+        tuned.fit(&x, &y).unwrap();
+        assert!(tuned.log_marginal_likelihood().unwrap() >= bad.log_marginal_likelihood().unwrap());
+    }
+
+    #[test]
+    fn std_nonnegative_everywhere() {
+        let (x, y) = smooth(40);
+        let mut gp = GaussianProcess::new(0.5, 1e-4);
+        gp.fit(&x, &y).unwrap();
+        let probe = Matrix::from_fn(100, 1, |i, _| i as f64 * 0.3 - 10.0);
+        let (_, std) = gp.predict_with_std(&probe);
+        assert!(std.iter().all(|&s| s >= 0.0 && s.is_finite()));
+    }
+
+    #[test]
+    fn rejects_bad_hyperparameters() {
+        let (x, y) = smooth(10);
+        let mut gp = GaussianProcess::new(0.0, 1e-4);
+        assert!(matches!(gp.fit(&x, &y), Err(FitError::InvalidHyperParameter(_))));
+        let mut gp = GaussianProcess::new(1.0, -1.0);
+        assert!(matches!(gp.fit(&x, &y), Err(FitError::InvalidHyperParameter(_))));
+    }
+}

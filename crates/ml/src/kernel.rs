@@ -1,0 +1,143 @@
+//! Kernel functions shared by kernel ridge regression, Gaussian processes
+//! and support-vector regression.
+
+use chemcost_linalg::{vecops, Matrix};
+
+/// A positive-definite kernel `k(x, z)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Kernel {
+    /// Radial basis function `exp(-gamma ‖x−z‖²)`.
+    Rbf {
+        /// Inverse squared length scale (> 0).
+        gamma: f64,
+    },
+    /// Polynomial `(gamma ⟨x,z⟩ + coef0)^degree`.
+    Polynomial {
+        /// Scale on the inner product.
+        gamma: f64,
+        /// Additive constant.
+        coef0: f64,
+        /// Polynomial degree (≥ 1).
+        degree: u32,
+    },
+    /// Linear `⟨x, z⟩`.
+    Linear,
+}
+
+impl Kernel {
+    /// Evaluate `k(a, b)`.
+    ///
+    /// # Panics
+    /// Panics if the vectors have different lengths.
+    #[inline]
+    pub fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        match *self {
+            Kernel::Rbf { gamma } => (-gamma * vecops::sq_dist(a, b)).exp(),
+            Kernel::Polynomial { gamma, coef0, degree } => {
+                (gamma * vecops::dot(a, b) + coef0).powi(degree as i32)
+            }
+            Kernel::Linear => vecops::dot(a, b),
+        }
+    }
+
+    /// The full kernel (Gram) matrix `K[i,j] = k(xᵢ, xⱼ)` for rows of `x`.
+    /// Exploits symmetry: only the upper triangle is evaluated.
+    pub fn matrix(&self, x: &Matrix) -> Matrix {
+        let n = x.nrows();
+        let mut k = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                let v = self.eval(x.row(i), x.row(j));
+                k[(i, j)] = v;
+                k[(j, i)] = v;
+            }
+        }
+        k
+    }
+
+    /// The cross-kernel matrix `K[i,j] = k(aᵢ, bⱼ)`.
+    pub fn cross_matrix(&self, a: &Matrix, b: &Matrix) -> Matrix {
+        Matrix::from_fn(a.nrows(), b.nrows(), |i, j| self.eval(a.row(i), b.row(j)))
+    }
+
+    /// Validate hyper-parameters; returns a description of the problem if
+    /// invalid.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            Kernel::Rbf { gamma } if gamma <= 0.0 || gamma.is_nan() => {
+                Err(format!("RBF gamma must be > 0, got {gamma}"))
+            }
+            Kernel::Polynomial { degree: 0, .. } => Err("polynomial degree must be >= 1".into()),
+            _ => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rbf_identity_is_one() {
+        let k = Kernel::Rbf { gamma: 0.7 };
+        assert!((k.eval(&[1.0, 2.0], &[1.0, 2.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rbf_decays_with_distance() {
+        let k = Kernel::Rbf { gamma: 1.0 };
+        let near = k.eval(&[0.0], &[0.1]);
+        let far = k.eval(&[0.0], &[2.0]);
+        assert!(near > far);
+        assert!(far > 0.0);
+    }
+
+    #[test]
+    fn rbf_known_value() {
+        let k = Kernel::Rbf { gamma: 0.5 };
+        // ‖x-z‖² = 4, so k = exp(-2).
+        assert!((k.eval(&[0.0], &[2.0]) - (-2.0f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn polynomial_known_value() {
+        let k = Kernel::Polynomial { gamma: 1.0, coef0: 1.0, degree: 2 };
+        // (⟨(1,1),(2,0)⟩ + 1)² = 9.
+        assert_eq!(k.eval(&[1.0, 1.0], &[2.0, 0.0]), 9.0);
+    }
+
+    #[test]
+    fn linear_is_dot() {
+        assert_eq!(Kernel::Linear.eval(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+    }
+
+    #[test]
+    fn kernel_matrix_symmetric_unit_diag_rbf() {
+        let x = Matrix::from_fn(6, 2, |i, j| (i * 2 + j) as f64 * 0.3);
+        let k = Kernel::Rbf { gamma: 0.2 }.matrix(&x);
+        for i in 0..6 {
+            assert!((k[(i, i)] - 1.0).abs() < 1e-12);
+            for j in 0..6 {
+                assert_eq!(k[(i, j)], k[(j, i)]);
+            }
+        }
+    }
+
+    #[test]
+    fn cross_matrix_consistent_with_eval() {
+        let a = Matrix::from_fn(3, 2, |i, j| (i + j) as f64);
+        let b = Matrix::from_fn(4, 2, |i, j| (i * j) as f64 + 1.0);
+        let kern = Kernel::Rbf { gamma: 0.1 };
+        let k = kern.cross_matrix(&a, &b);
+        assert_eq!(k.shape(), (3, 4));
+        assert!((k[(1, 2)] - kern.eval(a.row(1), b.row(2))).abs() < 1e-15);
+    }
+
+    #[test]
+    fn validation_catches_bad_params() {
+        assert!(Kernel::Rbf { gamma: 0.0 }.validate().is_err());
+        assert!(Kernel::Rbf { gamma: -1.0 }.validate().is_err());
+        assert!(Kernel::Polynomial { gamma: 1.0, coef0: 0.0, degree: 0 }.validate().is_err());
+        assert!(Kernel::Linear.validate().is_ok());
+    }
+}

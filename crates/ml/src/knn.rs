@@ -1,0 +1,179 @@
+//! k-nearest-neighbours regression.
+//!
+//! Not part of the paper's evaluated nine, but a natural cheap baseline
+//! for runtime prediction: configurations close in `(O, V, nodes, tile)`
+//! run for similar times. Distances are computed on standardized features;
+//! predictions are uniform or inverse-distance-weighted means of the `k`
+//! nearest training targets.
+
+use crate::preprocessing::StandardScaler;
+use crate::traits::{validate_fit_inputs, FitError, Regressor};
+use chemcost_linalg::{vecops, Matrix};
+
+/// Neighbour weighting scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KnnWeights {
+    /// Plain mean of the k nearest targets.
+    Uniform,
+    /// Weight each neighbour by `1 / (distance + ε)`.
+    Distance,
+}
+
+/// k-NN regressor on standardized features.
+#[derive(Debug, Clone)]
+pub struct KnnRegressor {
+    /// Number of neighbours (clamped to the training-set size at fit).
+    pub k: usize,
+    /// Weighting scheme.
+    pub weights: KnnWeights,
+    state: Option<Fitted>,
+}
+
+#[derive(Debug, Clone)]
+struct Fitted {
+    x_train: Matrix,
+    y_train: Vec<f64>,
+    scaler: StandardScaler,
+}
+
+impl KnnRegressor {
+    /// Uniform-weighted k-NN.
+    pub fn new(k: usize) -> Self {
+        Self { k, weights: KnnWeights::Uniform, state: None }
+    }
+
+    /// Inverse-distance-weighted k-NN.
+    pub fn distance_weighted(k: usize) -> Self {
+        Self { k, weights: KnnWeights::Distance, state: None }
+    }
+
+    fn predict_row(&self, st: &Fitted, row: &[f64]) -> f64 {
+        let n = st.x_train.nrows();
+        let k = self.k.clamp(1, n);
+        // Squared distances to every training point; partial select of k.
+        let mut dists: Vec<(f64, usize)> = (0..n)
+            .map(|i| (vecops::sq_dist(st.x_train.row(i), row), i))
+            .collect();
+        dists.select_nth_unstable_by(k - 1, |a, b| {
+            a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let nearest = &dists[..k];
+        match self.weights {
+            KnnWeights::Uniform => {
+                nearest.iter().map(|&(_, i)| st.y_train[i]).sum::<f64>() / k as f64
+            }
+            KnnWeights::Distance => {
+                let mut num = 0.0;
+                let mut den = 0.0;
+                for &(d2, i) in nearest {
+                    let w = 1.0 / (d2.sqrt() + 1e-12);
+                    num += w * st.y_train[i];
+                    den += w;
+                }
+                num / den
+            }
+        }
+    }
+}
+
+impl Regressor for KnnRegressor {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<(), FitError> {
+        validate_fit_inputs(x, y)?;
+        if self.k == 0 {
+            return Err(FitError::InvalidHyperParameter("k must be >= 1".into()));
+        }
+        let scaler = StandardScaler::fit(x);
+        self.state = Some(Fitted {
+            x_train: scaler.transform(x),
+            y_train: y.to_vec(),
+            scaler,
+        });
+        Ok(())
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        let st = self.state.as_ref().expect("KnnRegressor::predict before fit");
+        let xs = st.scaler.transform(x);
+        (0..xs.nrows()).map(|i| self.predict_row(st, xs.row(i))).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "KNN"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::r2_score;
+
+    fn grid_data(n: usize) -> (Matrix, Vec<f64>) {
+        let x = Matrix::from_fn(n, 2, |i, j| ((i * (j + 1)) % 25) as f64);
+        let y = (0..n).map(|i| x[(i, 0)] * 2.0 + x[(i, 1)]).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn k1_memorizes_training_set() {
+        let (x, y) = grid_data(60);
+        let mut knn = KnnRegressor::new(1);
+        knn.fit(&x, &y).unwrap();
+        // With distinct rows, 1-NN at a training point returns its target.
+        let pred = knn.predict(&x);
+        for (p, t) in pred.iter().zip(&y) {
+            assert!((p - t).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn larger_k_smooths() {
+        let (x, mut y) = grid_data(80);
+        // Inject one outlier.
+        y[10] += 1000.0;
+        let probe = x.select_rows(&[10]);
+        let mut k1 = KnnRegressor::new(1);
+        k1.fit(&x, &y).unwrap();
+        let mut k15 = KnnRegressor::new(15);
+        k15.fit(&x, &y).unwrap();
+        let p1 = k1.predict(&probe)[0];
+        let p15 = k15.predict(&probe)[0];
+        assert!(p1 > p15, "more neighbours should dilute the outlier ({p1} vs {p15})");
+    }
+
+    #[test]
+    fn distance_weighting_tracks_local_structure() {
+        let x = Matrix::from_fn(50, 1, |i, _| i as f64);
+        let y: Vec<f64> = (0..50).map(|i| i as f64 * 3.0).collect();
+        let mut knn = KnnRegressor::distance_weighted(5);
+        knn.fit(&x, &y).unwrap();
+        assert!(r2_score(&y, &knn.predict(&x)) > 0.99);
+    }
+
+    #[test]
+    fn interpolates_between_points() {
+        let x = Matrix::from_rows(&[&[0.0], &[10.0]]);
+        let y = vec![0.0, 100.0];
+        let mut knn = KnnRegressor::new(2);
+        knn.fit(&x, &y).unwrap();
+        let p = knn.predict(&Matrix::from_rows(&[&[5.0]]))[0];
+        assert!((p - 50.0).abs() < 1e-9, "uniform 2-NN midpoint = mean");
+    }
+
+    #[test]
+    fn k_larger_than_n_is_clamped() {
+        let (x, y) = grid_data(5);
+        let mut knn = KnnRegressor::new(100);
+        knn.fit(&x, &y).unwrap();
+        let mean = chemcost_linalg::vecops::mean(&y);
+        for p in knn.predict(&x) {
+            assert!((p - mean).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rejects_k_zero() {
+        let (x, y) = grid_data(5);
+        let mut knn = KnnRegressor::new(0);
+        assert!(matches!(knn.fit(&x, &y), Err(FitError::InvalidHyperParameter(_))));
+    }
+}

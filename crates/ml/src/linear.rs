@@ -1,0 +1,222 @@
+//! Ordinary least squares and ridge regression (the bases every other
+//! linear-family model builds on).
+
+use crate::preprocessing::StandardScaler;
+use crate::traits::{validate_fit_inputs, FitError, Regressor};
+use chemcost_linalg::{gemm, Matrix, SpdSolver};
+
+/// Shared solver: fit `w, b` minimizing `‖Xw + b − y‖² + alpha‖w‖²`.
+///
+/// Features are standardized internally for conditioning; the returned
+/// weights are expressed in the *original* feature space.
+fn fit_ridge_raw(x: &Matrix, y: &[f64], alpha: f64) -> Result<(Vec<f64>, f64), FitError> {
+    let scaler = StandardScaler::fit(x);
+    let xs = scaler.transform(x);
+    let d = xs.ncols();
+    let n = xs.nrows() as f64;
+    let y_mean = chemcost_linalg::vecops::mean(y);
+    // Centered targets: with standardized X and centered y the intercept of
+    // the scaled problem is 0, so we solve only for the weights.
+    let yc: Vec<f64> = y.iter().map(|v| v - y_mean).collect();
+    let mut gram = gemm::gram(&xs);
+    gram.add_diagonal(alpha.max(0.0) + 1e-10 * n);
+    let xty = xs.transpose().matvec(&yc);
+    let solver = SpdSolver::factor(&gram)
+        .map_err(|e| FitError::Numerical(format!("normal equations: {e}")))?;
+    let ws = solver.solve(&xty);
+    // Undo the standardization: w_j = ws_j / std_j, b = y_mean − Σ w_j·mean_j.
+    let mut w = vec![0.0; d];
+    let mut b = y_mean;
+    for j in 0..d {
+        w[j] = ws[j] / scaler.stds()[j];
+        b -= w[j] * scaler.means()[j];
+    }
+    Ok((w, b))
+}
+
+/// Ordinary least squares linear regression.
+#[derive(Debug, Clone, Default)]
+pub struct LinearRegression {
+    weights: Option<Vec<f64>>,
+    intercept: f64,
+}
+
+impl LinearRegression {
+    /// A fresh, unfitted model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fitted weights; `None` before `fit`.
+    pub fn weights(&self) -> Option<&[f64]> {
+        self.weights.as_deref()
+    }
+
+    /// Fitted intercept.
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
+}
+
+impl Regressor for LinearRegression {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<(), FitError> {
+        validate_fit_inputs(x, y)?;
+        let (w, b) = fit_ridge_raw(x, y, 0.0)?;
+        self.weights = Some(w);
+        self.intercept = b;
+        Ok(())
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        let w = self.weights.as_ref().expect("LinearRegression::predict before fit");
+        (0..x.nrows())
+            .map(|i| chemcost_linalg::vecops::dot(x.row(i), w) + self.intercept)
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "OLS"
+    }
+}
+
+/// Ridge regression (l2-regularized least squares).
+#[derive(Debug, Clone)]
+pub struct Ridge {
+    /// Regularization strength (≥ 0).
+    pub alpha: f64,
+    weights: Option<Vec<f64>>,
+    intercept: f64,
+}
+
+impl Ridge {
+    /// Ridge with regularization strength `alpha`.
+    pub fn new(alpha: f64) -> Self {
+        Self { alpha, weights: None, intercept: 0.0 }
+    }
+
+    /// Fitted weights; `None` before `fit`.
+    pub fn weights(&self) -> Option<&[f64]> {
+        self.weights.as_deref()
+    }
+
+    /// Fitted intercept.
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
+}
+
+impl Regressor for Ridge {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<(), FitError> {
+        validate_fit_inputs(x, y)?;
+        if self.alpha < 0.0 {
+            return Err(FitError::InvalidHyperParameter(format!(
+                "ridge alpha must be >= 0, got {}",
+                self.alpha
+            )));
+        }
+        let (w, b) = fit_ridge_raw(x, y, self.alpha)?;
+        self.weights = Some(w);
+        self.intercept = b;
+        Ok(())
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        let w = self.weights.as_ref().expect("Ridge::predict before fit");
+        (0..x.nrows())
+            .map(|i| chemcost_linalg::vecops::dot(x.row(i), w) + self.intercept)
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "Ridge"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::r2_score;
+
+    fn linear_data(n: usize) -> (Matrix, Vec<f64>) {
+        let x = Matrix::from_fn(n, 2, |i, j| ((i * (3 + j) + j) % 17) as f64);
+        let y = (0..n).map(|i| 3.0 * x[(i, 0)] - 2.0 * x[(i, 1)] + 5.0).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn ols_recovers_exact_coefficients() {
+        let (x, y) = linear_data(50);
+        let mut m = LinearRegression::new();
+        m.fit(&x, &y).unwrap();
+        let w = m.weights().unwrap();
+        assert!((w[0] - 3.0).abs() < 1e-6, "w0={}", w[0]);
+        assert!((w[1] + 2.0).abs() < 1e-6, "w1={}", w[1]);
+        assert!((m.intercept() - 5.0).abs() < 1e-5);
+        assert!(r2_score(&y, &m.predict(&x)) > 0.999999);
+    }
+
+    #[test]
+    fn ridge_shrinks_towards_zero() {
+        let (x, y) = linear_data(50);
+        let mut weak = Ridge::new(1e-6);
+        weak.fit(&x, &y).unwrap();
+        let mut strong = Ridge::new(1e6);
+        strong.fit(&x, &y).unwrap();
+        let norm = |w: &[f64]| w.iter().map(|v| v * v).sum::<f64>();
+        assert!(norm(strong.weights().unwrap()) < norm(weak.weights().unwrap()) * 1e-3);
+    }
+
+    #[test]
+    fn ridge_strong_alpha_predicts_mean() {
+        let (x, y) = linear_data(30);
+        let mut m = Ridge::new(1e12);
+        m.fit(&x, &y).unwrap();
+        let mean = chemcost_linalg::vecops::mean(&y);
+        for p in m.predict(&x) {
+            assert!((p - mean).abs() < 1.0, "prediction {p} should be near mean {mean}");
+        }
+    }
+
+    #[test]
+    fn ridge_rejects_negative_alpha() {
+        let (x, y) = linear_data(10);
+        let mut m = Ridge::new(-1.0);
+        assert!(matches!(m.fit(&x, &y), Err(FitError::InvalidHyperParameter(_))));
+    }
+
+    #[test]
+    fn handles_collinear_features() {
+        // Second column is a multiple of the first — OLS would be singular
+        // without the internal jitter.
+        let x = Matrix::from_fn(20, 2, |i, j| (i as f64 + 1.0) * (j as f64 + 1.0));
+        let y: Vec<f64> = (0..20).map(|i| 2.0 * (i as f64 + 1.0)).collect();
+        let mut m = LinearRegression::new();
+        m.fit(&x, &y).unwrap();
+        assert!(r2_score(&y, &m.predict(&x)) > 0.999);
+    }
+
+    #[test]
+    fn predict_one_matches_batch() {
+        let (x, y) = linear_data(25);
+        let mut m = LinearRegression::new();
+        m.fit(&x, &y).unwrap();
+        let batch = m.predict(&x);
+        assert!((m.predict_one(x.row(3)) - batch[3]).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "before fit")]
+    fn predict_before_fit_panics() {
+        let m = LinearRegression::new();
+        let _ = m.predict(&Matrix::zeros(1, 2));
+    }
+
+    #[test]
+    fn fit_rejects_bad_shapes() {
+        let mut m = LinearRegression::new();
+        assert!(matches!(
+            m.fit(&Matrix::zeros(3, 2), &[1.0]),
+            Err(FitError::ShapeMismatch { .. })
+        ));
+    }
+}

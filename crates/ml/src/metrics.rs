@@ -1,0 +1,189 @@
+//! Regression evaluation metrics (paper §3.2).
+//!
+//! The paper reports R², MAE and MAPE. Note that it quotes MAPE as a
+//! fraction (0.023 = 2.3 %), so [`mape`] here returns a fraction, not a
+//! percentage, to match the paper's tables directly.
+
+/// Coefficient of determination R².
+///
+/// `1 - Σ(y-ŷ)² / Σ(y-ȳ)²`. Returns 1.0 when both the residuals and the
+/// variance are zero (perfect fit of a constant), and may be negative for
+/// models worse than predicting the mean.
+///
+/// # Panics
+/// Panics if lengths differ or input is empty.
+pub fn r2_score(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    check(y_true, y_pred);
+    let mean = y_true.iter().sum::<f64>() / y_true.len() as f64;
+    let ss_res: f64 = y_true.iter().zip(y_pred).map(|(t, p)| (t - p) * (t - p)).sum();
+    let ss_tot: f64 = y_true.iter().map(|t| (t - mean) * (t - mean)).sum();
+    if ss_tot == 0.0 {
+        if ss_res == 0.0 {
+            1.0
+        } else {
+            f64::NEG_INFINITY
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+/// Mean absolute error.
+///
+/// # Panics
+/// Panics if lengths differ or input is empty.
+pub fn mean_absolute_error(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    check(y_true, y_pred);
+    y_true.iter().zip(y_pred).map(|(t, p)| (t - p).abs()).sum::<f64>() / y_true.len() as f64
+}
+
+/// Mean absolute percentage error, **as a fraction** (0.1 = 10 %).
+///
+/// Samples with `|y_true| < 1e-12` are guarded with that floor rather than
+/// dividing by zero (sklearn does the same with its epsilon).
+///
+/// # Panics
+/// Panics if lengths differ or input is empty.
+pub fn mean_absolute_percentage_error(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    check(y_true, y_pred);
+    y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(t, p)| (t - p).abs() / t.abs().max(1e-12))
+        .sum::<f64>()
+        / y_true.len() as f64
+}
+
+/// Mean squared error.
+///
+/// # Panics
+/// Panics if lengths differ or input is empty.
+pub fn mean_squared_error(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    check(y_true, y_pred);
+    y_true.iter().zip(y_pred).map(|(t, p)| (t - p) * (t - p)).sum::<f64>() / y_true.len() as f64
+}
+
+/// Root mean squared error.
+pub fn root_mean_squared_error(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    mean_squared_error(y_true, y_pred).sqrt()
+}
+
+/// Short aliases matching the paper's terminology.
+pub use mean_absolute_error as mae;
+pub use mean_absolute_percentage_error as mape;
+pub use mean_squared_error as mse;
+pub use root_mean_squared_error as rmse;
+
+/// The `(R², MAE, MAPE)` triple the paper reports everywhere.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scores {
+    /// Coefficient of determination.
+    pub r2: f64,
+    /// Mean absolute error (same unit as the target, seconds here).
+    pub mae: f64,
+    /// Mean absolute percentage error as a fraction.
+    pub mape: f64,
+}
+
+impl Scores {
+    /// Compute all three scores at once.
+    pub fn compute(y_true: &[f64], y_pred: &[f64]) -> Self {
+        Self {
+            r2: r2_score(y_true, y_pred),
+            mae: mean_absolute_error(y_true, y_pred),
+            mape: mean_absolute_percentage_error(y_true, y_pred),
+        }
+    }
+}
+
+impl std::fmt::Display for Scores {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "R²={:.3} MAE={:.2} MAPE={:.3}", self.r2, self.mae, self.mape)
+    }
+}
+
+fn check(y_true: &[f64], y_pred: &[f64]) {
+    assert_eq!(y_true.len(), y_pred.len(), "metric length mismatch");
+    assert!(!y_true.is_empty(), "metrics need at least one sample");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn r2_perfect_fit() {
+        let y = [1.0, 2.0, 3.0];
+        assert_eq!(r2_score(&y, &y), 1.0);
+    }
+
+    #[test]
+    fn r2_mean_predictor_is_zero() {
+        let y = [1.0, 2.0, 3.0];
+        let pred = [2.0, 2.0, 2.0];
+        assert!(r2_score(&y, &pred).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_negative_for_bad_model() {
+        let y = [1.0, 2.0, 3.0];
+        let pred = [10.0, -10.0, 10.0];
+        assert!(r2_score(&y, &pred) < 0.0);
+    }
+
+    #[test]
+    fn r2_constant_target_perfect() {
+        assert_eq!(r2_score(&[5.0, 5.0], &[5.0, 5.0]), 1.0);
+        assert_eq!(r2_score(&[5.0, 5.0], &[5.0, 6.0]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn mae_known() {
+        assert!((mae(&[1.0, 2.0, 3.0], &[2.0, 2.0, 5.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mape_is_fraction() {
+        // 10% error on each sample.
+        let y = [100.0, 200.0];
+        let p = [110.0, 180.0];
+        assert!((mape(&y, &p) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mape_guards_zero_target() {
+        let v = mape(&[0.0], &[1.0]);
+        assert!(v.is_finite() && v > 0.0);
+    }
+
+    #[test]
+    fn mse_rmse_relation() {
+        let y = [0.0, 0.0];
+        let p = [3.0, 4.0];
+        assert!((mse(&y, &p) - 12.5).abs() < 1e-12);
+        assert!((rmse(&y, &p) - 12.5f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scores_struct_consistent() {
+        let y = [10.0, 20.0, 30.0];
+        let p = [12.0, 18.0, 33.0];
+        let s = Scores::compute(&y, &p);
+        assert_eq!(s.r2, r2_score(&y, &p));
+        assert_eq!(s.mae, mae(&y, &p));
+        assert_eq!(s.mape, mape(&y, &p));
+        assert!(s.to_string().contains("R²"));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn metrics_check_lengths() {
+        let _ = mae(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn metrics_reject_empty() {
+        let _ = r2_score(&[], &[]);
+    }
+}

@@ -1,0 +1,295 @@
+//! A small multilayer-perceptron regressor (from-scratch backprop, Adam).
+//!
+//! The paper deliberately *excludes* deep learning (§3.3: the classical
+//! models are accurate and cheaper). Having an MLP in the suite lets the
+//! repository demonstrate that claim instead of asserting it — the
+//! `model_suite` bench and the extended-zoo comparison put it side by side
+//! with GB on the same corpora.
+//!
+//! Architecture: fully connected, tanh hidden activations, linear output,
+//! squared loss, Adam with mini-batches on standardized features/targets.
+
+use crate::preprocessing::{StandardScaler, TargetScaler};
+use crate::rand_util::{permutation, randn};
+use crate::traits::{validate_fit_inputs, FitError, Regressor};
+use chemcost_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// MLP regressor.
+#[derive(Debug, Clone)]
+pub struct MlpRegressor {
+    /// Hidden layer widths, e.g. `[64, 64]`.
+    pub hidden: Vec<usize>,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// l2 weight decay.
+    pub weight_decay: f64,
+    /// Init/shuffling seed.
+    pub seed: u64,
+    state: Option<Fitted>,
+}
+
+#[derive(Debug, Clone)]
+struct Layer {
+    /// Weight matrix, `out × in`.
+    w: Matrix,
+    b: Vec<f64>,
+    // Adam moments.
+    mw: Matrix,
+    vw: Matrix,
+    mb: Vec<f64>,
+    vb: Vec<f64>,
+}
+
+#[derive(Debug, Clone)]
+struct Fitted {
+    layers: Vec<Layer>,
+    scaler: StandardScaler,
+    yscaler: TargetScaler,
+}
+
+impl MlpRegressor {
+    /// An MLP with the given hidden widths and sane defaults.
+    pub fn new(hidden: Vec<usize>) -> Self {
+        Self {
+            hidden,
+            learning_rate: 1e-3,
+            epochs: 300,
+            batch_size: 32,
+            weight_decay: 1e-5,
+            seed: 0,
+            state: None,
+        }
+    }
+
+    /// Forward pass for one standardized sample; returns per-layer
+    /// activations (`acts[0]` = input, last = scalar output).
+    fn forward(layers: &[Layer], x: &[f64]) -> Vec<Vec<f64>> {
+        let mut acts: Vec<Vec<f64>> = Vec::with_capacity(layers.len() + 1);
+        acts.push(x.to_vec());
+        for (li, layer) in layers.iter().enumerate() {
+            let is_last = li + 1 == layers.len();
+            let input = &acts[li];
+            let mut out = layer.b.clone();
+            for (o, out_val) in out.iter_mut().enumerate() {
+                *out_val += chemcost_linalg::vecops::dot(layer.w.row(o), input);
+            }
+            if !is_last {
+                for v in &mut out {
+                    *v = v.tanh();
+                }
+            }
+            acts.push(out);
+        }
+        acts
+    }
+}
+
+impl Regressor for MlpRegressor {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<(), FitError> {
+        validate_fit_inputs(x, y)?;
+        if self.hidden.contains(&0) {
+            return Err(FitError::InvalidHyperParameter("hidden widths must be >= 1".into()));
+        }
+        if self.learning_rate <= 0.0 || self.learning_rate.is_nan() {
+            return Err(FitError::InvalidHyperParameter("learning_rate must be > 0".into()));
+        }
+        let scaler = StandardScaler::fit(x);
+        let xs = scaler.transform(x);
+        let yscaler = TargetScaler::fit(y);
+        let ys = yscaler.transform(y);
+        let n = xs.nrows();
+        let d = xs.ncols();
+
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        // Layer sizes: d → hidden… → 1.
+        let mut sizes = vec![d];
+        sizes.extend(&self.hidden);
+        sizes.push(1);
+        let mut layers: Vec<Layer> = sizes
+            .windows(2)
+            .map(|io| {
+                let (fan_in, fan_out) = (io[0], io[1]);
+                // Xavier-ish init.
+                let scale = (2.0 / (fan_in + fan_out) as f64).sqrt();
+                Layer {
+                    w: Matrix::from_fn(fan_out, fan_in, |_, _| randn(&mut rng) * scale),
+                    b: vec![0.0; fan_out],
+                    mw: Matrix::zeros(fan_out, fan_in),
+                    vw: Matrix::zeros(fan_out, fan_in),
+                    mb: vec![0.0; fan_out],
+                    vb: vec![0.0; fan_out],
+                }
+            })
+            .collect();
+
+        let (beta1, beta2, eps): (f64, f64, f64) = (0.9, 0.999, 1e-8);
+        let mut t = 0usize;
+        let batch = self.batch_size.clamp(1, n);
+        for _epoch in 0..self.epochs {
+            let order = permutation(&mut rng, n);
+            for chunk in order.chunks(batch) {
+                t += 1;
+                // Accumulate gradients over the mini-batch.
+                let mut gw: Vec<Matrix> =
+                    layers.iter().map(|l| Matrix::zeros(l.w.nrows(), l.w.ncols())).collect();
+                let mut gb: Vec<Vec<f64>> = layers.iter().map(|l| vec![0.0; l.b.len()]).collect();
+                for &i in chunk {
+                    let acts = Self::forward(&layers, xs.row(i));
+                    let pred = acts.last().expect("output layer")[0];
+                    // dL/dout for ½(pred − y)².
+                    let mut delta = vec![pred - ys[i]];
+                    for li in (0..layers.len()).rev() {
+                        let input = &acts[li];
+                        // Gradients for this layer.
+                        for (o, &dv) in delta.iter().enumerate() {
+                            gb[li][o] += dv;
+                            let grow = gw[li].row_mut(o);
+                            for (k, &iv) in input.iter().enumerate() {
+                                grow[k] += dv * iv;
+                            }
+                        }
+                        if li == 0 {
+                            break;
+                        }
+                        // Back-propagate through W and the tanh of layer li-1.
+                        let mut next = vec![0.0; input.len()];
+                        for (o, &dv) in delta.iter().enumerate() {
+                            let wrow = layers[li].w.row(o);
+                            for (k, nv) in next.iter_mut().enumerate() {
+                                *nv += dv * wrow[k];
+                            }
+                        }
+                        for (nv, &a) in next.iter_mut().zip(input.iter()) {
+                            *nv *= 1.0 - a * a; // tanh'
+                        }
+                        delta = next;
+                    }
+                }
+                // Adam update.
+                let inv = 1.0 / chunk.len() as f64;
+                let bc1 = 1.0 - beta1.powi(t as i32);
+                let bc2 = 1.0 - beta2.powi(t as i32);
+                for (li, layer) in layers.iter_mut().enumerate() {
+                    for idx in 0..layer.w.as_slice().len() {
+                        let g = gw[li].as_slice()[idx] * inv
+                            + self.weight_decay * layer.w.as_slice()[idx];
+                        let m = &mut layer.mw.as_mut_slice()[idx];
+                        *m = beta1 * *m + (1.0 - beta1) * g;
+                        let v = &mut layer.vw.as_mut_slice()[idx];
+                        *v = beta2 * *v + (1.0 - beta2) * g * g;
+                        let mhat = layer.mw.as_slice()[idx] / bc1;
+                        let vhat = layer.vw.as_slice()[idx] / bc2;
+                        layer.w.as_mut_slice()[idx] -=
+                            self.learning_rate * mhat / (vhat.sqrt() + eps);
+                    }
+                    for (o, b) in layer.b.iter_mut().enumerate() {
+                        let g = gb[li][o] * inv;
+                        layer.mb[o] = beta1 * layer.mb[o] + (1.0 - beta1) * g;
+                        layer.vb[o] = beta2 * layer.vb[o] + (1.0 - beta2) * g * g;
+                        let mhat = layer.mb[o] / bc1;
+                        let vhat = layer.vb[o] / bc2;
+                        *b -= self.learning_rate * mhat / (vhat.sqrt() + eps);
+                    }
+                }
+            }
+        }
+        self.state = Some(Fitted { layers, scaler, yscaler });
+        Ok(())
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        let st = self.state.as_ref().expect("MlpRegressor::predict before fit");
+        let xs = st.scaler.transform(x);
+        (0..xs.nrows())
+            .map(|i| {
+                let acts = Self::forward(&st.layers, xs.row(i));
+                st.yscaler.inverse(acts.last().expect("output")[0])
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "MLP"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::r2_score;
+
+    #[test]
+    fn learns_linear_function() {
+        let x = Matrix::from_fn(100, 2, |i, j| ((i * (j + 2)) % 17) as f64);
+        let y: Vec<f64> = (0..100).map(|i| 2.0 * x[(i, 0)] - x[(i, 1)] + 5.0).collect();
+        let mut mlp = MlpRegressor::new(vec![16]);
+        mlp.epochs = 200;
+        mlp.fit(&x, &y).unwrap();
+        let r2 = r2_score(&y, &mlp.predict(&x));
+        assert!(r2 > 0.99, "linear fit r2 {r2}");
+    }
+
+    #[test]
+    fn learns_nonlinear_function() {
+        let x = Matrix::from_fn(150, 1, |i, _| i as f64 * 0.06);
+        let y: Vec<f64> = (0..150).map(|i| (i as f64 * 0.06).sin() * 5.0 + 10.0).collect();
+        let mut mlp = MlpRegressor::new(vec![32, 32]);
+        mlp.epochs = 400;
+        mlp.seed = 3;
+        mlp.fit(&x, &y).unwrap();
+        let r2 = r2_score(&y, &mlp.predict(&x));
+        assert!(r2 > 0.95, "sine fit r2 {r2}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let x = Matrix::from_fn(40, 2, |i, j| (i + j) as f64);
+        let y: Vec<f64> = (0..40).map(|i| i as f64).collect();
+        let run = || {
+            let mut mlp = MlpRegressor::new(vec![8]);
+            mlp.epochs = 30;
+            mlp.seed = 9;
+            mlp.fit(&x, &y).unwrap();
+            mlp.predict(&x)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn zero_hidden_layers_is_linear_model() {
+        let x = Matrix::from_fn(60, 1, |i, _| i as f64);
+        let y: Vec<f64> = (0..60).map(|i| 4.0 * i as f64 - 7.0).collect();
+        let mut mlp = MlpRegressor::new(vec![]);
+        mlp.epochs = 400;
+        mlp.learning_rate = 1e-2;
+        mlp.fit(&x, &y).unwrap();
+        assert!(r2_score(&y, &mlp.predict(&x)) > 0.999);
+    }
+
+    #[test]
+    fn rejects_bad_hyperparameters() {
+        let x = Matrix::from_fn(10, 1, |i, _| i as f64);
+        let y = vec![0.0; 10];
+        let mut mlp = MlpRegressor::new(vec![0]);
+        assert!(matches!(mlp.fit(&x, &y), Err(FitError::InvalidHyperParameter(_))));
+        let mut mlp = MlpRegressor::new(vec![4]);
+        mlp.learning_rate = -1.0;
+        assert!(matches!(mlp.fit(&x, &y), Err(FitError::InvalidHyperParameter(_))));
+    }
+
+    #[test]
+    fn predictions_finite_on_wide_inputs() {
+        let x = Matrix::from_fn(50, 4, |i, j| ((i * 13 + j * 7) % 900) as f64);
+        let y: Vec<f64> = (0..50).map(|i| (i % 9) as f64 * 50.0).collect();
+        let mut mlp = MlpRegressor::new(vec![16, 8]);
+        mlp.epochs = 50;
+        mlp.fit(&x, &y).unwrap();
+        assert!(mlp.predict(&x).iter().all(|p| p.is_finite()));
+    }
+}

@@ -1,0 +1,613 @@
+//! K-fold cross-validation and hyper-parameter search.
+//!
+//! The paper tunes every model with three strategies from
+//! scikit-learn/scikit-optimize — exhaustive grid search, random search,
+//! and Bayesian (GP surrogate) search — and reports the achieved metric and
+//! the optimization wall time per model (Figures 1–2). This module
+//! reimplements all three behind a shared [`Params`]-keyed factory
+//! interface so heterogeneous model families can be swept uniformly.
+//!
+//! Candidate evaluation is embarrassingly parallel and runs on the
+//! workspace's dynamic `par_map` scheduler.
+
+use crate::dataset::Dataset;
+use crate::gaussian_process::GaussianProcess;
+use crate::metrics;
+use crate::rand_util::permutation;
+use crate::traits::{Regressor, UncertaintyRegressor};
+use chemcost_linalg::{parallel, Matrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// A hyper-parameter assignment. All values are `f64`; integer-valued
+/// parameters (tree depth, estimator counts) are rounded by the model
+/// factories.
+pub type Params = BTreeMap<String, f64>;
+
+/// Build a [`Params`] from `(&str, f64)` pairs.
+pub fn params(pairs: &[(&str, f64)]) -> Params {
+    pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+}
+
+/// K-fold cross-validation splitter.
+#[derive(Debug, Clone, Copy)]
+pub struct KFold {
+    /// Number of folds (≥ 2).
+    pub n_splits: usize,
+    /// Shuffle sample order before folding.
+    pub shuffle: bool,
+    /// Shuffle seed.
+    pub seed: u64,
+}
+
+impl KFold {
+    /// Shuffled K-fold with a fixed seed.
+    pub fn new(n_splits: usize) -> Self {
+        Self { n_splits, shuffle: true, seed: 0 }
+    }
+
+    /// Produce `(train_indices, validation_indices)` pairs covering `0..n`.
+    ///
+    /// Every sample appears in exactly one validation fold; fold sizes
+    /// differ by at most one.
+    ///
+    /// # Panics
+    /// Panics if `n < n_splits` or `n_splits < 2`.
+    pub fn splits(&self, n: usize) -> Vec<(Vec<usize>, Vec<usize>)> {
+        assert!(self.n_splits >= 2, "need at least 2 folds");
+        assert!(n >= self.n_splits, "more folds than samples");
+        let order: Vec<usize> = if self.shuffle {
+            permutation(&mut StdRng::seed_from_u64(self.seed), n)
+        } else {
+            (0..n).collect()
+        };
+        let base = n / self.n_splits;
+        let extra = n % self.n_splits;
+        let mut out = Vec::with_capacity(self.n_splits);
+        let mut start = 0;
+        for fold in 0..self.n_splits {
+            let size = base + usize::from(fold < extra);
+            let val: Vec<usize> = order[start..start + size].to_vec();
+            let train: Vec<usize> =
+                order[..start].iter().chain(&order[start + size..]).copied().collect();
+            out.push((train, val));
+            start += size;
+        }
+        out
+    }
+}
+
+/// Which loss a search minimizes during cross-validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scoring {
+    /// Mean squared error (sklearn's effective default ranking).
+    #[default]
+    Mse,
+    /// Mean absolute percentage error — the paper's headline metric;
+    /// prefer it when small-runtime configurations matter as much as
+    /// large ones.
+    Mape,
+}
+
+/// Mean validation loss of `factory`-built models across the folds, under
+/// the given scoring. Folds where `fit` fails contribute `f64::INFINITY`,
+/// so broken hyper-parameter combinations lose the search rather than
+/// abort it.
+pub fn cross_val_loss<F>(factory: &F, data: &Dataset, cv: &KFold, scoring: Scoring) -> f64
+where
+    F: Fn() -> Box<dyn Regressor>,
+{
+    let splits = cv.splits(data.len());
+    let mut total = 0.0;
+    for (train_idx, val_idx) in &splits {
+        let train = data.select(train_idx);
+        let val = data.select(val_idx);
+        let mut model = factory();
+        match model.fit(&train.x, &train.y) {
+            Ok(()) => {
+                let pred = model.predict(&val.x);
+                if pred.iter().all(|p| p.is_finite()) {
+                    total += match scoring {
+                        Scoring::Mse => metrics::mse(&val.y, &pred),
+                        Scoring::Mape => metrics::mape(&val.y, &pred),
+                    };
+                } else {
+                    return f64::INFINITY;
+                }
+            }
+            Err(_) => return f64::INFINITY,
+        }
+    }
+    total / splits.len() as f64
+}
+
+/// Mean validation MSE across the folds (see [`cross_val_loss`]).
+pub fn cross_val_mse<F>(factory: &F, data: &Dataset, cv: &KFold) -> f64
+where
+    F: Fn() -> Box<dyn Regressor>,
+{
+    cross_val_loss(factory, data, cv, Scoring::Mse)
+}
+
+/// One evaluated candidate.
+#[derive(Debug, Clone)]
+pub struct Evaluation {
+    /// The hyper-parameters tried.
+    pub params: Params,
+    /// Mean CV loss under the search's scoring (lower is better;
+    /// `INFINITY` = failed fit).
+    pub cv_loss: f64,
+}
+
+/// Result of a hyper-parameter search.
+#[derive(Debug, Clone)]
+pub struct SearchResult {
+    /// Best (lowest CV-loss) parameters found.
+    pub best_params: Params,
+    /// The winning CV loss.
+    pub best_cv_loss: f64,
+    /// Every evaluated candidate, in evaluation order.
+    pub evaluations: Vec<Evaluation>,
+    /// Search wall time in seconds.
+    pub wall_seconds: f64,
+}
+
+impl SearchResult {
+    fn from_evaluations(evaluations: Vec<Evaluation>, started: Instant) -> Self {
+        let best = evaluations
+            .iter()
+            .min_by(|a, b| a.cv_loss.partial_cmp(&b.cv_loss).unwrap_or(std::cmp::Ordering::Equal))
+            .expect("at least one candidate");
+        Self {
+            best_params: best.params.clone(),
+            best_cv_loss: best.cv_loss,
+            evaluations,
+            wall_seconds: started.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+/// Exhaustive grid search over the cartesian product of per-parameter
+/// value lists, evaluated in parallel.
+pub struct GridSearch {
+    /// `(name, candidate values)` axes.
+    pub grid: Vec<(String, Vec<f64>)>,
+    /// Cross-validation scheme.
+    pub cv: KFold,
+    /// Loss the search minimizes.
+    pub scoring: Scoring,
+}
+
+impl GridSearch {
+    /// Build from string-keyed axes (MSE scoring).
+    pub fn new(grid: Vec<(&str, Vec<f64>)>, cv: KFold) -> Self {
+        Self {
+            grid: grid.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
+            cv,
+            scoring: Scoring::Mse,
+        }
+    }
+
+    /// Switch the selection loss.
+    pub fn with_scoring(mut self, scoring: Scoring) -> Self {
+        self.scoring = scoring;
+        self
+    }
+
+    /// Enumerate the full cartesian product.
+    pub fn candidates(&self) -> Vec<Params> {
+        let mut out: Vec<Params> = vec![Params::new()];
+        for (name, values) in &self.grid {
+            let mut next = Vec::with_capacity(out.len() * values.len());
+            for base in &out {
+                for &v in values {
+                    let mut p = base.clone();
+                    p.insert(name.clone(), v);
+                    next.push(p);
+                }
+            }
+            out = next;
+        }
+        out
+    }
+
+    /// Run the search: `factory` builds a fresh model from each candidate.
+    pub fn search<F>(&self, factory: F, data: &Dataset) -> SearchResult
+    where
+        F: Fn(&Params) -> Box<dyn Regressor> + Sync,
+    {
+        let started = Instant::now();
+        let cands = self.candidates();
+        let cv = self.cv;
+        let evals = parallel::par_map(cands.len(), |i| {
+            let p = &cands[i];
+            let loss = cross_val_loss(&|| factory(p), data, &cv, self.scoring);
+            Evaluation { params: p.clone(), cv_loss: loss }
+        });
+        SearchResult::from_evaluations(evals, started)
+    }
+}
+
+/// How a random/Bayesian search dimension is sampled.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Scale {
+    /// Uniform on `[lo, hi]`.
+    Linear,
+    /// Log-uniform on `[lo, hi]` (both must be > 0).
+    Log,
+    /// Uniform integer in `[lo, hi]` (rounded).
+    Integer,
+}
+
+/// One search-space dimension.
+#[derive(Debug, Clone)]
+pub struct Dimension {
+    /// Parameter name.
+    pub name: String,
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+    /// Sampling scale.
+    pub scale: Scale,
+}
+
+impl Dimension {
+    /// Construct a dimension.
+    pub fn new(name: &str, lo: f64, hi: f64, scale: Scale) -> Self {
+        assert!(hi >= lo, "dimension {name}: hi < lo");
+        if scale == Scale::Log {
+            assert!(lo > 0.0, "log dimension {name} needs lo > 0");
+        }
+        Self { name: name.to_string(), lo, hi, scale }
+    }
+
+    /// Map a unit-interval coordinate to a parameter value.
+    pub fn from_unit(&self, u: f64) -> f64 {
+        let u = u.clamp(0.0, 1.0);
+        match self.scale {
+            Scale::Linear => self.lo + (self.hi - self.lo) * u,
+            Scale::Log => (self.lo.ln() + (self.hi.ln() - self.lo.ln()) * u).exp(),
+            Scale::Integer => (self.lo + (self.hi - self.lo) * u).round(),
+        }
+    }
+
+    /// Map a parameter value back to the unit interval.
+    pub fn to_unit(&self, v: f64) -> f64 {
+        let t = match self.scale {
+            Scale::Linear | Scale::Integer => (v - self.lo) / (self.hi - self.lo).max(1e-300),
+            Scale::Log => (v.ln() - self.lo.ln()) / (self.hi.ln() - self.lo.ln()).max(1e-300),
+        };
+        t.clamp(0.0, 1.0)
+    }
+}
+
+fn sample_params<R: Rng + ?Sized>(space: &[Dimension], rng: &mut R) -> Params {
+    space.iter().map(|d| (d.name.clone(), d.from_unit(rng.gen::<f64>()))).collect()
+}
+
+/// Random search: `n_iter` independent draws from the space, evaluated in
+/// parallel.
+pub struct RandomSearch {
+    /// Search space.
+    pub space: Vec<Dimension>,
+    /// Number of candidates to draw.
+    pub n_iter: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Cross-validation scheme.
+    pub cv: KFold,
+    /// Loss the search minimizes.
+    pub scoring: Scoring,
+}
+
+impl RandomSearch {
+    /// Run the search.
+    pub fn search<F>(&self, factory: F, data: &Dataset) -> SearchResult
+    where
+        F: Fn(&Params) -> Box<dyn Regressor> + Sync,
+    {
+        let started = Instant::now();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let cands: Vec<Params> =
+            (0..self.n_iter.max(1)).map(|_| sample_params(&self.space, &mut rng)).collect();
+        let cv = self.cv;
+        let evals = parallel::par_map(cands.len(), |i| {
+            let p = &cands[i];
+            Evaluation {
+                params: p.clone(),
+                cv_loss: cross_val_loss(&|| factory(p), data, &cv, self.scoring),
+            }
+        });
+        SearchResult::from_evaluations(evals, started)
+    }
+}
+
+/// Bayesian search (GP surrogate + expected improvement), mirroring
+/// scikit-optimize's `BayesSearchCV` at small scale.
+///
+/// `n_initial` random evaluations seed the surrogate; each subsequent
+/// round fits a GP to `(unit-cube params) → log(1 + cv_mse)` and evaluates
+/// the EI-maximizing point from a random candidate pool.
+pub struct BayesSearch {
+    /// Search space.
+    pub space: Vec<Dimension>,
+    /// Total evaluations (including the initial random ones).
+    pub n_iter: usize,
+    /// Random seed evaluations before the surrogate kicks in.
+    pub n_initial: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Cross-validation scheme.
+    pub cv: KFold,
+    /// Loss the search minimizes.
+    pub scoring: Scoring,
+}
+
+impl BayesSearch {
+    /// Run the search (sequential by nature; each step informs the next).
+    pub fn search<F>(&self, factory: F, data: &Dataset) -> SearchResult
+    where
+        F: Fn(&Params) -> Box<dyn Regressor> + Sync,
+    {
+        let started = Instant::now();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let n_initial = self.n_initial.clamp(1, self.n_iter.max(1));
+        let mut evals: Vec<Evaluation> = Vec::with_capacity(self.n_iter);
+        let mut unit_points: Vec<Vec<f64>> = Vec::with_capacity(self.n_iter);
+
+        let eval_candidate =
+            |p: &Params| -> f64 { cross_val_loss(&|| factory(p), data, &self.cv, self.scoring) };
+
+        for _ in 0..n_initial {
+            let p = sample_params(&self.space, &mut rng);
+            unit_points.push(self.space.iter().map(|d| d.to_unit(p[&d.name])).collect());
+            let loss = eval_candidate(&p);
+            evals.push(Evaluation { params: p, cv_loss: loss });
+        }
+
+        while evals.len() < self.n_iter {
+            // Surrogate targets: log1p of finite MSEs; failures get a big
+            // but finite penalty so the GP stays well-conditioned.
+            let worst = evals
+                .iter()
+                .filter(|e| e.cv_loss.is_finite())
+                .map(|e| e.cv_loss)
+                .fold(1.0, f64::max);
+            let targets: Vec<f64> = evals
+                .iter()
+                .map(|e| if e.cv_loss.is_finite() { e.cv_loss } else { worst * 10.0 })
+                .map(|m| (1.0 + m).ln())
+                .collect();
+            let xmat = Matrix::from_rows(&unit_points.iter().map(|p| p.as_slice()).collect::<Vec<_>>());
+            let mut gp = GaussianProcess::new(1.0, 1e-4);
+            let next = if gp.fit(&xmat, &targets).is_ok() {
+                // EI over a random candidate pool.
+                let best_y = targets.iter().cloned().fold(f64::INFINITY, f64::min);
+                let pool: Vec<Vec<f64>> = (0..256)
+                    .map(|_| (0..self.space.len()).map(|_| rng.gen::<f64>()).collect())
+                    .collect();
+                let pool_mat =
+                    Matrix::from_rows(&pool.iter().map(|p| p.as_slice()).collect::<Vec<_>>());
+                let (mu, sd) = gp.predict_with_std(&pool_mat);
+                let mut best_ei = f64::NEG_INFINITY;
+                let mut best_idx = 0;
+                for i in 0..pool.len() {
+                    let ei = expected_improvement(best_y, mu[i], sd[i]);
+                    if ei > best_ei {
+                        best_ei = ei;
+                        best_idx = i;
+                    }
+                }
+                pool[best_idx].clone()
+            } else {
+                (0..self.space.len()).map(|_| rng.gen::<f64>()).collect()
+            };
+            let p: Params = self
+                .space
+                .iter()
+                .zip(&next)
+                .map(|(d, &u)| (d.name.clone(), d.from_unit(u)))
+                .collect();
+            unit_points.push(self.space.iter().map(|d| d.to_unit(p[&d.name])).collect());
+            let loss = eval_candidate(&p);
+            evals.push(Evaluation { params: p, cv_loss: loss });
+        }
+        SearchResult::from_evaluations(evals, started)
+    }
+}
+
+/// Expected improvement for *minimization*: `E[max(best − Y, 0)]` for
+/// `Y ~ N(mu, sd²)`.
+pub fn expected_improvement(best: f64, mu: f64, sd: f64) -> f64 {
+    if sd <= 1e-12 {
+        return (best - mu).max(0.0);
+    }
+    let z = (best - mu) / sd;
+    (best - mu) * normal_cdf(z) + sd * normal_pdf(z)
+}
+
+/// Standard normal density.
+pub fn normal_pdf(z: f64) -> f64 {
+    (-0.5 * z * z).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Standard normal CDF via the Abramowitz–Stegun erf approximation
+/// (|error| < 1.5e-7, plenty for acquisition ranking).
+pub fn normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let poly = t
+        * (0.254829592 + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::Ridge;
+    use crate::tree::DecisionTree;
+
+    fn toy_dataset(n: usize) -> Dataset {
+        let x = Matrix::from_fn(n, 2, |i, j| ((i * (j + 3)) % 13) as f64);
+        let y = (0..n).map(|i| 2.0 * x[(i, 0)] + x[(i, 1)] + 1.0).collect();
+        Dataset::unnamed(x, y)
+    }
+
+    #[test]
+    fn kfold_partitions_all_samples() {
+        let kf = KFold::new(4);
+        let splits = kf.splits(22);
+        assert_eq!(splits.len(), 4);
+        let mut seen = [0; 22];
+        for (train, val) in &splits {
+            assert_eq!(train.len() + val.len(), 22);
+            for &i in val {
+                seen[i] += 1;
+            }
+            // train and val are disjoint
+            for &i in val {
+                assert!(!train.contains(&i));
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "each sample in exactly one validation fold");
+    }
+
+    #[test]
+    fn kfold_sizes_balanced() {
+        let kf = KFold { n_splits: 3, shuffle: false, seed: 0 };
+        let sizes: Vec<usize> = kf.splits(10).iter().map(|(_, v)| v.len()).collect();
+        assert_eq!(sizes, vec![4, 3, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "more folds than samples")]
+    fn kfold_rejects_tiny_data() {
+        KFold::new(5).splits(3);
+    }
+
+    #[test]
+    fn cross_val_low_for_correct_model() {
+        let data = toy_dataset(60);
+        let mse = cross_val_mse(&|| Box::new(Ridge::new(1e-8)), &data, &KFold::new(5));
+        assert!(mse < 1e-6, "linear data should cross-validate perfectly: {mse}");
+    }
+
+    #[test]
+    fn grid_search_candidate_count() {
+        let gs = GridSearch::new(
+            vec![("a", vec![1.0, 2.0, 3.0]), ("b", vec![10.0, 20.0])],
+            KFold::new(3),
+        );
+        assert_eq!(gs.candidates().len(), 6);
+    }
+
+    #[test]
+    fn grid_search_finds_the_good_cell() {
+        let data = toy_dataset(60);
+        let gs = GridSearch::new(vec![("max_depth", vec![1.0, 8.0])], KFold::new(4));
+        let result = gs.search(
+            |p| {
+                let mut t = DecisionTree::new(p["max_depth"] as usize);
+                t.seed = 1;
+                Box::new(t)
+            },
+            &data,
+        );
+        assert_eq!(result.best_params["max_depth"], 8.0, "deeper tree must win on rich data");
+        assert_eq!(result.evaluations.len(), 2);
+        assert!(result.wall_seconds >= 0.0);
+    }
+
+    #[test]
+    fn random_search_respects_bounds() {
+        let data = toy_dataset(40);
+        let rs = RandomSearch {
+            space: vec![Dimension::new("alpha", 1e-6, 1e2, Scale::Log)],
+            n_iter: 12,
+            seed: 3,
+            cv: KFold::new(3),
+            scoring: Scoring::Mse,
+        };
+        let result = rs.search(|p| Box::new(Ridge::new(p["alpha"])) as Box<dyn Regressor>, &data);
+        assert_eq!(result.evaluations.len(), 12);
+        for e in &result.evaluations {
+            let a = e.params["alpha"];
+            assert!((1e-6..=1e2).contains(&a));
+        }
+    }
+
+    #[test]
+    fn bayes_search_improves_over_initial() {
+        let data = toy_dataset(50);
+        let bs = BayesSearch {
+            space: vec![Dimension::new("alpha", 1e-8, 1e4, Scale::Log)],
+            n_iter: 12,
+            n_initial: 4,
+            seed: 5,
+            cv: KFold::new(3),
+            scoring: Scoring::Mse,
+        };
+        let result = bs.search(|p| Box::new(Ridge::new(p["alpha"])) as Box<dyn Regressor>, &data);
+        assert_eq!(result.evaluations.len(), 12);
+        // Best must be at least as good as the best of the random phase.
+        let init_best = result.evaluations[..4]
+            .iter()
+            .map(|e| e.cv_loss)
+            .fold(f64::INFINITY, f64::min);
+        assert!(result.best_cv_loss <= init_best);
+    }
+
+    #[test]
+    fn failed_fits_lose_not_crash() {
+        let data = toy_dataset(30);
+        let gs = GridSearch::new(vec![("alpha", vec![-1.0, 1.0])], KFold::new(3));
+        let result = gs.search(|p| Box::new(Ridge::new(p["alpha"])) as Box<dyn Regressor>, &data);
+        // The invalid alpha candidate gets INFINITY, the valid one wins.
+        assert_eq!(result.best_params["alpha"], 1.0);
+        assert!(result.evaluations.iter().any(|e| e.cv_loss.is_infinite()));
+    }
+
+    #[test]
+    fn dimension_unit_round_trip() {
+        for d in [
+            Dimension::new("x", 2.0, 10.0, Scale::Linear),
+            Dimension::new("y", 1e-4, 1e2, Scale::Log),
+        ] {
+            for &u in &[0.0, 0.25, 0.5, 0.75, 1.0] {
+                let v = d.from_unit(u);
+                assert!((d.to_unit(v) - u).abs() < 1e-9, "{}: {u} -> {v}", d.name);
+            }
+        }
+        let di = Dimension::new("k", 1.0, 9.0, Scale::Integer);
+        assert_eq!(di.from_unit(0.5), 5.0);
+        assert_eq!(di.from_unit(0.0), 1.0);
+    }
+
+    #[test]
+    fn normal_cdf_sane() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!(normal_cdf(5.0) > 0.999999);
+        assert!(normal_cdf(-5.0) < 1e-6);
+        // Symmetry.
+        assert!((normal_cdf(1.3) + normal_cdf(-1.3) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn expected_improvement_properties() {
+        // No uncertainty: EI is the plain improvement.
+        assert_eq!(expected_improvement(1.0, 0.4, 0.0), 0.6);
+        assert_eq!(expected_improvement(1.0, 2.0, 0.0), 0.0);
+        // More uncertainty at the same mean → more EI.
+        assert!(expected_improvement(1.0, 1.0, 1.0) > expected_improvement(1.0, 1.0, 0.1));
+        // EI is non-negative.
+        assert!(expected_improvement(0.0, 5.0, 2.0) >= 0.0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Partial-dependence profiles: how a fitted model's prediction responds
+//! to one feature with the others held at observed values.
+//!
+//! For feature `j` and grid value `g`, the profile is the mean prediction
+//! over the evaluation set with column `j` overwritten by `g` (Friedman's
+//! classic PDP). For the runtime predictor this answers the advisor-shaped
+//! question "according to the model, how does wall time respond to node
+//! count?" — and lets a user check the model learned the response *shape*
+//! (interior node/tile optima), not just point accuracy.
+
+use crate::traits::Regressor;
+use chemcost_linalg::Matrix;
+
+/// One partial-dependence curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartialDependence {
+    /// Feature column the curve varies.
+    pub feature: usize,
+    /// Grid values the feature was set to.
+    pub grid: Vec<f64>,
+    /// Mean model prediction at each grid value.
+    pub mean_prediction: Vec<f64>,
+}
+
+impl PartialDependence {
+    /// Grid value minimizing the mean prediction.
+    pub fn argmin(&self) -> f64 {
+        let i = chemcost_linalg::vecops::argmin(&self.mean_prediction).expect("non-empty grid");
+        self.grid[i]
+    }
+
+    /// Total relative swing of the curve: `(max − min) / max(|mean|, ε)` —
+    /// a quick "does this feature matter at all" number.
+    pub fn relative_swing(&self) -> f64 {
+        let (lo, hi) = self
+            .mean_prediction
+            .iter()
+            .fold((f64::MAX, f64::MIN), |(l, h), &v| (l.min(v), h.max(v)));
+        let mean = self.mean_prediction.iter().sum::<f64>() / self.mean_prediction.len() as f64;
+        (hi - lo) / mean.abs().max(1e-12)
+    }
+}
+
+/// Compute the partial-dependence curve of `feature` over `grid` using the
+/// rows of `x` as the background distribution.
+///
+/// # Panics
+/// Panics on an empty grid/background or an out-of-range feature.
+pub fn partial_dependence(
+    model: &dyn Regressor,
+    x: &Matrix,
+    feature: usize,
+    grid: &[f64],
+) -> PartialDependence {
+    assert!(x.nrows() > 0, "need background samples");
+    assert!(feature < x.ncols(), "feature {feature} out of range");
+    assert!(!grid.is_empty(), "empty grid");
+    let mut mean_prediction = Vec::with_capacity(grid.len());
+    for &g in grid {
+        let xg = Matrix::from_fn(x.nrows(), x.ncols(), |i, j| if j == feature { g } else { x[(i, j)] });
+        let pred = model.predict(&xg);
+        mean_prediction.push(pred.iter().sum::<f64>() / pred.len() as f64);
+    }
+    PartialDependence { feature, grid: grid.to_vec(), mean_prediction }
+}
+
+/// Convenience: an evenly spaced grid across the observed range of a
+/// feature.
+pub fn feature_grid(x: &Matrix, feature: usize, n_points: usize) -> Vec<f64> {
+    assert!(feature < x.ncols(), "feature {feature} out of range");
+    let col = x.col(feature);
+    let (lo, hi) = col.iter().fold((f64::MAX, f64::MIN), |(l, h), &v| (l.min(v), h.max(v)));
+    chemcost_linalg::vecops::linspace(lo, hi, n_points.max(2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradient_boosting::GradientBoosting;
+
+    /// y = (x0 − 5)² + x1: a parabola in feature 0, linear in feature 1.
+    fn fitted() -> (GradientBoosting, Matrix) {
+        let x = Matrix::from_fn(300, 2, |i, j| {
+            if j == 0 {
+                (i % 11) as f64
+            } else {
+                ((i * 7) % 13) as f64
+            }
+        });
+        let y: Vec<f64> =
+            (0..300).map(|i| (x[(i, 0)] - 5.0).powi(2) + x[(i, 1)]).collect();
+        let mut gb = GradientBoosting::new(200, 4, 0.1);
+        gb.fit(&x, &y).unwrap();
+        (gb, x)
+    }
+
+    #[test]
+    fn recovers_parabola_minimum() {
+        let (gb, x) = fitted();
+        let grid = feature_grid(&x, 0, 11);
+        let pd = partial_dependence(&gb, &x, 0, &grid);
+        assert!((pd.argmin() - 5.0).abs() <= 1.0, "parabola vertex near 5, got {}", pd.argmin());
+    }
+
+    #[test]
+    fn linear_feature_has_monotone_curve() {
+        let (gb, x) = fitted();
+        let grid = feature_grid(&x, 1, 13);
+        let pd = partial_dependence(&gb, &x, 1, &grid);
+        // Allow tree plateaus: check endpoints rise substantially.
+        assert!(
+            pd.mean_prediction.last().unwrap() > pd.mean_prediction.first().unwrap(),
+            "{:?}",
+            pd.mean_prediction
+        );
+    }
+
+    #[test]
+    fn relative_swing_ranks_features_sensibly() {
+        // In y = (x0−5)² + x1, feature 0 swings predictions more than
+        // feature 1 over these ranges ((0..10)² vs 0..12).
+        let (gb, x) = fitted();
+        let s0 = partial_dependence(&gb, &x, 0, &feature_grid(&x, 0, 11)).relative_swing();
+        let s1 = partial_dependence(&gb, &x, 1, &feature_grid(&x, 1, 13)).relative_swing();
+        assert!(s0 > s1, "s0 {s0} vs s1 {s1}");
+        assert!(s0 > 0.0 && s1 > 0.0);
+    }
+
+    #[test]
+    fn feature_grid_spans_observed_range() {
+        let (_, x) = fitted();
+        let grid = feature_grid(&x, 0, 5);
+        assert_eq!(grid.first().copied(), Some(0.0));
+        assert_eq!(grid.last().copied(), Some(10.0));
+        assert_eq!(grid.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_feature() {
+        let (gb, x) = fitted();
+        let _ = partial_dependence(&gb, &x, 9, &[1.0]);
+    }
+}

@@ -1,0 +1,232 @@
+//! Binary persistence for the deployed gradient-boosting model.
+//!
+//! Training takes ~1 s (Table 2), but a downstream tool (a job-script
+//! generator, a CI gate on allocation requests) should not retrain per
+//! invocation. This module gives the deployed GB a compact, versioned
+//! binary format: save once after training, load in microseconds.
+//!
+//! Format (little-endian, via `bytes`):
+//!
+//! ```text
+//! magic  u32  = 0x43434742  ("CCGB")
+//! version u32 = 1
+//! init   f64
+//! learning_rate f64
+//! n_features u32
+//! n_trees u32
+//! per tree: n_nodes u32, then nodes as
+//!   feature u32, threshold f64, left u32, right u32, value f64
+//! ```
+//!
+//! Decoding validates every structural field (magic, version, counts,
+//! child indices in range, split features < n_features), so arbitrary or
+//! corrupted bytes produce [`DecodeError`], never a panic — fuzzed in
+//! `tests/properties.rs`.
+
+use crate::gradient_boosting::GradientBoosting;
+use crate::tree::FlatNode;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::path::Path;
+
+const MAGIC: u32 = 0x4343_4742;
+const VERSION: u32 = 1;
+
+/// Error decoding a persisted model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Wrong magic bytes — not a chemcost model file.
+    BadMagic,
+    /// Format version this build does not understand.
+    UnsupportedVersion(u32),
+    /// Buffer ended early or counts are inconsistent.
+    Truncated,
+    /// Node indices out of range.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "not a chemcost GB model (bad magic)"),
+            DecodeError::UnsupportedVersion(v) => write!(f, "unsupported model version {v}"),
+            DecodeError::Truncated => write!(f, "model file truncated"),
+            DecodeError::Corrupt(msg) => write!(f, "corrupt model: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Serialize a fitted GB model to bytes.
+pub fn encode_gb(gb: &GradientBoosting) -> Bytes {
+    let (init, lr, n_features, trees) = gb.export();
+    let node_total: usize = trees.iter().map(|t| t.len()).sum();
+    let mut buf = BytesMut::with_capacity(36 + trees.len() * 4 + node_total * 28);
+    buf.put_u32_le(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_f64_le(init);
+    buf.put_f64_le(lr);
+    buf.put_u32_le(n_features as u32);
+    buf.put_u32_le(trees.len() as u32);
+    for tree in &trees {
+        buf.put_u32_le(tree.len() as u32);
+        for n in tree {
+            buf.put_u32_le(n.feature);
+            buf.put_f64_le(n.threshold);
+            buf.put_u32_le(n.left);
+            buf.put_u32_le(n.right);
+            buf.put_f64_le(n.value);
+        }
+    }
+    buf.freeze()
+}
+
+/// Deserialize a GB model from bytes.
+pub fn decode_gb(mut buf: &[u8]) -> Result<GradientBoosting, DecodeError> {
+    let need = |n: usize, buf: &[u8]| if buf.remaining() < n { Err(DecodeError::Truncated) } else { Ok(()) };
+    need(8, buf)?;
+    if buf.get_u32_le() != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(DecodeError::UnsupportedVersion(version));
+    }
+    need(24, buf)?;
+    let init = buf.get_f64_le();
+    let lr = buf.get_f64_le();
+    let n_features = buf.get_u32_le() as usize;
+    let n_trees = buf.get_u32_le() as usize;
+    if n_trees > 1_000_000 {
+        return Err(DecodeError::Corrupt(format!("implausible tree count {n_trees}")));
+    }
+    if n_features == 0 || n_features > 1_000_000 {
+        return Err(DecodeError::Corrupt(format!("implausible feature count {n_features}")));
+    }
+    let mut trees = Vec::with_capacity(n_trees);
+    for _ in 0..n_trees {
+        need(4, buf)?;
+        let n_nodes = buf.get_u32_le() as usize;
+        if n_nodes == 0 {
+            return Err(DecodeError::Corrupt("empty tree".into()));
+        }
+        if buf.remaining() < n_nodes * 28 {
+            return Err(DecodeError::Truncated);
+        }
+        let mut nodes = Vec::with_capacity(n_nodes);
+        for _ in 0..n_nodes {
+            let feature = buf.get_u32_le();
+            let threshold = buf.get_f64_le();
+            let left = buf.get_u32_le();
+            let right = buf.get_u32_le();
+            let value = buf.get_f64_le();
+            if feature != u32::MAX {
+                if left as usize >= n_nodes || right as usize >= n_nodes {
+                    return Err(DecodeError::Corrupt("child index out of range".into()));
+                }
+                if feature as usize >= n_features {
+                    return Err(DecodeError::Corrupt(format!(
+                        "split feature {feature} >= feature count {n_features}"
+                    )));
+                }
+            }
+            nodes.push(FlatNode { feature, threshold, left, right, value });
+        }
+        trees.push(nodes);
+    }
+    Ok(GradientBoosting::from_export(init, lr, n_features, &trees))
+}
+
+/// Save a fitted GB model to a file.
+pub fn save_gb(path: &Path, gb: &GradientBoosting) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, encode_gb(gb))
+}
+
+/// Load a GB model from a file.
+pub fn load_gb(path: &Path) -> std::io::Result<GradientBoosting> {
+    let data = std::fs::read(path)?;
+    decode_gb(&data).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::Regressor;
+    use chemcost_linalg::Matrix;
+
+    fn fitted_gb() -> (GradientBoosting, Matrix) {
+        let x = Matrix::from_fn(120, 3, |i, j| ((i * (j + 2)) % 23) as f64);
+        let y: Vec<f64> = (0..120).map(|i| x[(i, 0)] * 2.0 + (x[(i, 1)] * 0.5).sin() * 4.0).collect();
+        let mut gb = GradientBoosting::new(60, 4, 0.1);
+        gb.fit(&x, &y).unwrap();
+        (gb, x)
+    }
+
+    #[test]
+    fn round_trip_preserves_predictions_exactly() {
+        let (gb, x) = fitted_gb();
+        let bytes = encode_gb(&gb);
+        let back = decode_gb(&bytes).unwrap();
+        assert_eq!(gb.predict(&x), back.predict(&x));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let (gb, x) = fitted_gb();
+        let dir = std::env::temp_dir().join("chemcost_persist_test");
+        let path = dir.join("model.ccgb");
+        save_gb(&path, &gb).unwrap();
+        let back = load_gb(&path).unwrap();
+        assert_eq!(gb.predict(&x), back.predict(&x));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        assert_eq!(decode_gb(&[0u8; 64]).unwrap_err(), DecodeError::BadMagic);
+    }
+
+    #[test]
+    fn rejects_truncation_anywhere() {
+        let (gb, _) = fitted_gb();
+        let bytes = encode_gb(&gb);
+        // Cutting the buffer at any prefix must error, never panic.
+        for cut in [0, 4, 8, 20, 25, 30, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode_gb(&bytes[..cut]).is_err(), "cut at {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn rejects_future_version() {
+        let (gb, _) = fitted_gb();
+        let mut bytes = encode_gb(&gb).to_vec();
+        bytes[4] = 99; // version field
+        assert!(matches!(decode_gb(&bytes), Err(DecodeError::UnsupportedVersion(_))));
+    }
+
+    #[test]
+    fn rejects_corrupt_child_index() {
+        let (gb, _) = fitted_gb();
+        let mut bytes = encode_gb(&gb).to_vec();
+        // First tree's first node: set feature=0 with left pointing far out
+        // of range. Node layout starts at offset 32 (header) + 4 (n_nodes).
+        let node0 = 32 + 4;
+        bytes[node0..node0 + 4].copy_from_slice(&0u32.to_le_bytes());
+        bytes[node0 + 12..node0 + 16].copy_from_slice(&u32::MAX.to_le_bytes()); // left
+        let r = decode_gb(&bytes);
+        assert!(r.is_err(), "corrupt child index must be rejected");
+    }
+
+    #[test]
+    fn encoded_size_is_compact() {
+        let (gb, _) = fitted_gb();
+        let bytes = encode_gb(&gb);
+        let (_, _, _, trees) = gb.export();
+        let nodes: usize = trees.iter().map(|t| t.len()).sum();
+        // 28 bytes per node + small framing.
+        assert!(bytes.len() < nodes * 28 + trees.len() * 4 + 64);
+    }
+}

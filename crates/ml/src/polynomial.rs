@@ -1,0 +1,136 @@
+//! Polynomial regression (paper §3.1, "PR"): polynomial feature expansion
+//! followed by (tiny-ridge) least squares.
+
+use crate::linear::Ridge;
+use crate::preprocessing::{PolynomialFeatures, StandardScaler};
+use crate::traits::{validate_fit_inputs, FitError, Regressor};
+use chemcost_linalg::Matrix;
+
+/// Polynomial regression of configurable degree.
+///
+/// Features are standardized *before* expansion (otherwise degree-4
+/// monomials of `nodes ∈ [5, 900]` overflow the conditioning of the normal
+/// equations), then expanded to all monomials of total degree `1..=degree`,
+/// then fitted with ridge regularization `alpha` (default tiny, for
+/// stability rather than shrinkage).
+#[derive(Debug, Clone)]
+pub struct PolynomialRegression {
+    /// Total polynomial degree (≥ 1).
+    pub degree: usize,
+    /// Ridge stabilizer on the expanded features.
+    pub alpha: f64,
+    state: Option<Fitted>,
+}
+
+#[derive(Debug, Clone)]
+struct Fitted {
+    scaler: StandardScaler,
+    expansion: PolynomialFeatures,
+    ridge: Ridge,
+}
+
+impl PolynomialRegression {
+    /// Polynomial regression of the given degree with a tiny stabilizing
+    /// ridge penalty.
+    pub fn new(degree: usize) -> Self {
+        Self { degree, alpha: 1e-8, state: None }
+    }
+
+    /// Polynomial regression with an explicit ridge penalty.
+    pub fn with_alpha(degree: usize, alpha: f64) -> Self {
+        Self { degree, alpha, state: None }
+    }
+}
+
+impl Regressor for PolynomialRegression {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<(), FitError> {
+        validate_fit_inputs(x, y)?;
+        if self.degree == 0 {
+            return Err(FitError::InvalidHyperParameter("degree must be >= 1".into()));
+        }
+        let scaler = StandardScaler::fit(x);
+        let xs = scaler.transform(x);
+        let expansion = PolynomialFeatures::new(x.ncols(), self.degree);
+        let xe = expansion.transform(&xs);
+        let mut ridge = Ridge::new(self.alpha);
+        ridge.fit(&xe, y)?;
+        self.state = Some(Fitted { scaler, expansion, ridge });
+        Ok(())
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        let st = self.state.as_ref().expect("PolynomialRegression::predict before fit");
+        let xs = st.scaler.transform(x);
+        let xe = st.expansion.transform(&xs);
+        st.ridge.predict(&xe)
+    }
+
+    fn name(&self) -> &'static str {
+        "PR"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::r2_score;
+
+    #[test]
+    fn degree2_fits_quadratic_exactly() {
+        let x = Matrix::from_fn(60, 2, |i, j| ((i + 3 * j) % 11) as f64);
+        let y: Vec<f64> = (0..60)
+            .map(|i| {
+                let (a, b) = (x[(i, 0)], x[(i, 1)]);
+                2.0 * a * a - 3.0 * a * b + b + 7.0
+            })
+            .collect();
+        let mut m = PolynomialRegression::new(2);
+        m.fit(&x, &y).unwrap();
+        assert!(r2_score(&y, &m.predict(&x)) > 0.999999);
+    }
+
+    #[test]
+    fn degree1_reduces_to_linear() {
+        let x = Matrix::from_fn(40, 1, |i, _| i as f64);
+        let y: Vec<f64> = (0..40).map(|i| 4.0 * i as f64 - 3.0).collect();
+        let mut m = PolynomialRegression::new(1);
+        m.fit(&x, &y).unwrap();
+        assert!(r2_score(&y, &m.predict(&x)) > 0.999999);
+    }
+
+    #[test]
+    fn higher_degree_fits_cubic_better_than_linear() {
+        let x = Matrix::from_fn(50, 1, |i, _| (i as f64 - 25.0) * 0.2);
+        let y: Vec<f64> = (0..50)
+            .map(|i| {
+                let v = (i as f64 - 25.0) * 0.2;
+                v * v * v
+            })
+            .collect();
+        let mut lin = PolynomialRegression::new(1);
+        lin.fit(&x, &y).unwrap();
+        let mut cub = PolynomialRegression::new(3);
+        cub.fit(&x, &y).unwrap();
+        assert!(r2_score(&y, &cub.predict(&x)) > r2_score(&y, &lin.predict(&x)));
+        assert!(r2_score(&y, &cub.predict(&x)) > 0.99999);
+    }
+
+    #[test]
+    fn large_feature_magnitudes_stay_stable() {
+        // Mimics the real feature ranges: nodes up to 900, V up to 1600.
+        let x = Matrix::from_fn(80, 2, |i, j| if j == 0 { 5.0 + (i as f64) * 11.0 } else { 200.0 + (i as f64) * 17.0 });
+        let y: Vec<f64> = (0..80).map(|i| { let r = x.row(i); 1e-4 * r[0] * r[1] + 3.0 }).collect();
+        let mut m = PolynomialRegression::new(3);
+        m.fit(&x, &y).unwrap();
+        let pred = m.predict(&x);
+        assert!(pred.iter().all(|p| p.is_finite()));
+        assert!(r2_score(&y, &pred) > 0.999);
+    }
+
+    #[test]
+    fn rejects_degree_zero() {
+        let x = Matrix::from_fn(5, 1, |i, _| i as f64);
+        let mut m = PolynomialRegression { degree: 0, alpha: 1e-8, state: None };
+        assert!(matches!(m.fit(&x, &[1.0; 5]), Err(FitError::InvalidHyperParameter(_))));
+    }
+}

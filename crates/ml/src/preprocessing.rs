@@ -1,0 +1,275 @@
+//! Feature preprocessing: standardization, min-max scaling, polynomial
+//! feature expansion.
+
+use chemcost_linalg::Matrix;
+
+/// Zero-mean, unit-variance scaler (per feature column).
+///
+/// Constant columns get a scale of 1.0 so transform is a pure shift — the
+/// same convention sklearn uses.
+#[derive(Debug, Clone)]
+pub struct StandardScaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Learn per-column mean and standard deviation.
+    ///
+    /// # Panics
+    /// Panics if `x` has no rows.
+    pub fn fit(x: &Matrix) -> Self {
+        assert!(x.nrows() > 0, "cannot fit scaler on empty matrix");
+        let (n, d) = x.shape();
+        let mut means = vec![0.0; d];
+        for i in 0..n {
+            for (j, m) in means.iter_mut().enumerate() {
+                *m += x[(i, j)];
+            }
+        }
+        for m in &mut means {
+            *m /= n as f64;
+        }
+        let mut stds = vec![0.0; d];
+        for i in 0..n {
+            for (j, s) in stds.iter_mut().enumerate() {
+                let d = x[(i, j)] - means[j];
+                *s += d * d;
+            }
+        }
+        for s in &mut stds {
+            *s = (*s / n as f64).sqrt();
+            if *s < 1e-12 {
+                *s = 1.0;
+            }
+        }
+        Self { means, stds }
+    }
+
+    /// Apply `(x - mean) / std` column-wise.
+    pub fn transform(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.ncols(), self.means.len(), "scaler feature-count mismatch");
+        Matrix::from_fn(x.nrows(), x.ncols(), |i, j| (x[(i, j)] - self.means[j]) / self.stds[j])
+    }
+
+    /// Invert the transform.
+    pub fn inverse_transform(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.ncols(), self.means.len(), "scaler feature-count mismatch");
+        Matrix::from_fn(x.nrows(), x.ncols(), |i, j| x[(i, j)] * self.stds[j] + self.means[j])
+    }
+
+    /// Transform a single row in place.
+    pub fn transform_row(&self, row: &mut [f64]) {
+        assert_eq!(row.len(), self.means.len(), "scaler feature-count mismatch");
+        for (j, v) in row.iter_mut().enumerate() {
+            *v = (*v - self.means[j]) / self.stds[j];
+        }
+    }
+
+    /// Learned per-column means.
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Learned per-column standard deviations (1.0 for constant columns).
+    pub fn stds(&self) -> &[f64] {
+        &self.stds
+    }
+}
+
+/// Scaler for the target vector (GP and SVR normalize `y` internally).
+#[derive(Debug, Clone, Copy)]
+pub struct TargetScaler {
+    /// Target mean.
+    pub mean: f64,
+    /// Target standard deviation (1.0 if degenerate).
+    pub std: f64,
+}
+
+impl TargetScaler {
+    /// Learn mean/std of `y`.
+    pub fn fit(y: &[f64]) -> Self {
+        let mean = chemcost_linalg::vecops::mean(y);
+        let mut std = chemcost_linalg::vecops::std_dev(y);
+        if std < 1e-12 {
+            std = 1.0;
+        }
+        Self { mean, std }
+    }
+
+    /// `(y - mean) / std` for each element.
+    pub fn transform(&self, y: &[f64]) -> Vec<f64> {
+        y.iter().map(|v| (v - self.mean) / self.std).collect()
+    }
+
+    /// Map a scaled prediction back to the original target unit.
+    pub fn inverse(&self, v: f64) -> f64 {
+        v * self.std + self.mean
+    }
+
+    /// Map a scaled standard deviation back (scale only, no shift).
+    pub fn inverse_std(&self, s: f64) -> f64 {
+        s * self.std
+    }
+}
+
+/// Polynomial feature expansion up to `degree`, including all interaction
+/// monomials (like sklearn's `PolynomialFeatures` without the bias column —
+/// the regression models add their own intercept).
+///
+/// For input features `(a, b)` and degree 2 the output columns are
+/// `a, b, a², ab, b²`.
+#[derive(Debug, Clone)]
+pub struct PolynomialFeatures {
+    degree: usize,
+    /// Exponent vectors, one per output feature.
+    exponents: Vec<Vec<usize>>,
+    n_input: usize,
+}
+
+impl PolynomialFeatures {
+    /// Enumerate monomials of total degree `1..=degree` over `n_input`
+    /// features.
+    ///
+    /// # Panics
+    /// Panics if `degree == 0` or `n_input == 0`.
+    pub fn new(n_input: usize, degree: usize) -> Self {
+        assert!(degree >= 1, "degree must be >= 1");
+        assert!(n_input >= 1, "need at least one input feature");
+        let mut exponents = Vec::new();
+        let mut current = vec![0usize; n_input];
+        // Depth-first enumeration in graded-lexicographic order.
+        fn rec(
+            feat: usize,
+            remaining: usize,
+            current: &mut Vec<usize>,
+            out: &mut Vec<Vec<usize>>,
+        ) {
+            if feat == current.len() {
+                if current.iter().sum::<usize>() >= 1 {
+                    out.push(current.clone());
+                }
+                return;
+            }
+            for e in 0..=remaining {
+                current[feat] = e;
+                rec(feat + 1, remaining - e, current, out);
+            }
+            current[feat] = 0;
+        }
+        rec(0, degree, &mut current, &mut exponents);
+        // Order by total degree then lexicographic, for stable reports.
+        exponents.sort_by_key(|e| (e.iter().sum::<usize>(), e.iter().map(|&x| usize::MAX - x).collect::<Vec<_>>()));
+        Self { degree, exponents, n_input }
+    }
+
+    /// Number of output features.
+    pub fn n_output(&self) -> usize {
+        self.exponents.len()
+    }
+
+    /// The configured degree.
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// Expand every row of `x`.
+    ///
+    /// # Panics
+    /// Panics if the column count disagrees with construction.
+    pub fn transform(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.ncols(), self.n_input, "polynomial feature-count mismatch");
+        Matrix::from_fn(x.nrows(), self.exponents.len(), |i, j| {
+            let row = x.row(i);
+            self.exponents[j]
+                .iter()
+                .enumerate()
+                .fold(1.0, |acc, (f, &e)| acc * row[f].powi(e as i32))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_scaler_round_trip() {
+        let x = Matrix::from_rows(&[&[1.0, 10.0], &[2.0, 20.0], &[3.0, 30.0]]);
+        let s = StandardScaler::fit(&x);
+        let t = s.transform(&x);
+        // Each column now has mean ~0.
+        for j in 0..2 {
+            let col = t.col(j);
+            assert!(chemcost_linalg::vecops::mean(&col).abs() < 1e-12);
+            assert!((chemcost_linalg::vecops::std_dev(&col) - 1.0).abs() < 1e-9);
+        }
+        assert!(s.inverse_transform(&t).max_abs_diff(&x) < 1e-9);
+    }
+
+    #[test]
+    fn standard_scaler_constant_column() {
+        let x = Matrix::from_rows(&[&[7.0], &[7.0], &[7.0]]);
+        let s = StandardScaler::fit(&x);
+        let t = s.transform(&x);
+        assert!(t.col(0).iter().all(|&v| v.abs() < 1e-12));
+        assert_eq!(s.stds()[0], 1.0);
+    }
+
+    #[test]
+    fn transform_row_matches_matrix() {
+        let x = Matrix::from_rows(&[&[1.0, 4.0], &[3.0, 8.0]]);
+        let s = StandardScaler::fit(&x);
+        let t = s.transform(&x);
+        let mut row = [1.0, 4.0];
+        s.transform_row(&mut row);
+        assert!((row[0] - t[(0, 0)]).abs() < 1e-12);
+        assert!((row[1] - t[(0, 1)]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn target_scaler_round_trip() {
+        let y = [10.0, 20.0, 40.0];
+        let s = TargetScaler::fit(&y);
+        let t = s.transform(&y);
+        for (orig, scaled) in y.iter().zip(&t) {
+            assert!((s.inverse(*scaled) - orig).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn poly_degree1_is_identity() {
+        let p = PolynomialFeatures::new(3, 1);
+        assert_eq!(p.n_output(), 3);
+        let x = Matrix::from_rows(&[&[1.0, 2.0, 3.0]]);
+        let t = p.transform(&x);
+        let mut vals: Vec<f64> = t.row(0).to_vec();
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(vals, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn poly_degree2_two_features() {
+        let p = PolynomialFeatures::new(2, 2);
+        // a, b, a², ab, b² → 5 features.
+        assert_eq!(p.n_output(), 5);
+        let x = Matrix::from_rows(&[&[2.0, 3.0]]);
+        let t = p.transform(&x);
+        let mut vals: Vec<f64> = t.row(0).to_vec();
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(vals, vec![2.0, 3.0, 4.0, 6.0, 9.0]);
+    }
+
+    #[test]
+    fn poly_output_count_formula() {
+        // C(n+d, d) - 1 monomials of degree 1..=d over n variables.
+        let p = PolynomialFeatures::new(4, 3);
+        assert_eq!(p.n_output(), 35 - 1); // C(7,3)=35 including the constant
+    }
+
+    #[test]
+    #[should_panic(expected = "degree must be")]
+    fn poly_rejects_degree_zero() {
+        let _ = PolynomialFeatures::new(2, 0);
+    }
+}

@@ -1,0 +1,153 @@
+//! Random sampling helpers shared by the stochastic models.
+
+use rand::Rng;
+
+/// One standard-normal variate via Box–Muller (we avoid the `rand_distr`
+/// dependency; two uniforms per call is fine at our scales).
+pub fn randn<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Sample `n` indices from `0..n` with replacement (a bootstrap replicate).
+pub fn bootstrap_indices<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<usize> {
+    (0..n).map(|_| rng.gen_range(0..n)).collect()
+}
+
+/// Sample `n` indices from `0..n` with replacement, with probability
+/// proportional to `weights` (used by AdaBoost.R2's weighted resampling).
+///
+/// Uses inverse-CDF sampling over the cumulative weight array; O(n log n).
+///
+/// # Panics
+/// Panics if `weights` is empty or sums to a non-positive value.
+pub fn weighted_bootstrap_indices<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> Vec<usize> {
+    assert!(!weights.is_empty(), "empty weights");
+    let mut cdf = Vec::with_capacity(weights.len());
+    let mut acc = 0.0;
+    for &w in weights {
+        acc += w.max(0.0);
+        cdf.push(acc);
+    }
+    assert!(acc > 0.0, "weights sum to zero");
+    (0..weights.len())
+        .map(|_| {
+            let t = rng.gen::<f64>() * acc;
+            // partition_point returns the first index with cdf > t.
+            cdf.partition_point(|&c| c <= t).min(weights.len() - 1)
+        })
+        .collect()
+}
+
+/// Fisher–Yates shuffle of `0..n`.
+pub fn permutation<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        idx.swap(i, j);
+    }
+    idx
+}
+
+/// Choose `k` distinct indices from `0..n` (partial Fisher–Yates).
+///
+/// # Panics
+/// Panics if `k > n`.
+pub fn sample_without_replacement<R: Rng + ?Sized>(rng: &mut R, n: usize, k: usize) -> Vec<usize> {
+    assert!(k <= n, "cannot sample {k} from {n} without replacement");
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in 0..k {
+        let j = rng.gen_range(i..n);
+        idx.swap(i, j);
+    }
+    idx.truncate(k);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn randn_moments() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| randn(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn bootstrap_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let idx = bootstrap_indices(&mut rng, 50);
+        assert_eq!(idx.len(), 50);
+        assert!(idx.iter().all(|&i| i < 50));
+    }
+
+    #[test]
+    fn weighted_bootstrap_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(7);
+        // Index 2 has 90% of the mass.
+        let w = [0.05, 0.05, 0.9];
+        let mut counts = [0usize; 3];
+        for _ in 0..1000 {
+            for i in weighted_bootstrap_indices(&mut rng, &w) {
+                counts[i] += 1;
+            }
+        }
+        let total: usize = counts.iter().sum();
+        let frac2 = counts[2] as f64 / total as f64;
+        assert!(frac2 > 0.85 && frac2 < 0.95, "index-2 fraction {frac2}");
+    }
+
+    #[test]
+    fn weighted_bootstrap_zero_weight_never_drawn() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = [0.0, 1.0];
+        for _ in 0..100 {
+            assert!(weighted_bootstrap_indices(&mut rng, &w).iter().all(|&i| i == 1));
+        }
+    }
+
+    #[test]
+    fn permutation_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let p = permutation(&mut rng, 100);
+        let mut seen = [false; 100];
+        for &i in &p {
+            assert!(!seen[i], "duplicate index {i}");
+            seen[i] = true;
+        }
+    }
+
+    #[test]
+    fn sample_without_replacement_distinct() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let s = sample_without_replacement(&mut rng, 20, 8);
+        assert_eq!(s.len(), 8);
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "without replacement")]
+    fn sample_without_replacement_rejects_oversample() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = sample_without_replacement(&mut rng, 3, 4);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = permutation(&mut StdRng::seed_from_u64(5), 30);
+        let b = permutation(&mut StdRng::seed_from_u64(5), 30);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,219 @@
+//! ε-insensitive support-vector regression (paper §3.1, "SVR").
+//!
+//! Trains the kernelized ε-SVR dual **without offset** (targets are
+//! centred/normalized internally, which removes the need for the bias
+//! equality constraint) by cyclic coordinate descent with soft
+//! thresholding:
+//!
+//! minimize  ½ βᵀKβ − yᵀβ + ε‖β‖₁   s.t.  |βᵢ| ≤ C
+//!
+//! Each coordinate has a closed-form update `β* = clip(Sε(yᵢ − gᵢ)/Kᵢᵢ)`
+//! where `gᵢ` is the partial residual and `Sε` the soft-threshold — the
+//! same structure as liblinear-style dual coordinate descent. For RBF
+//! kernels on standardized features this converges in a few dozen sweeps.
+
+use crate::kernel::Kernel;
+use crate::preprocessing::{StandardScaler, TargetScaler};
+use crate::traits::{validate_fit_inputs, FitError, Regressor};
+use chemcost_linalg::Matrix;
+
+/// ε-SVR with a configurable kernel.
+#[derive(Debug, Clone)]
+pub struct Svr {
+    /// Box constraint (regularization inverse).
+    pub c: f64,
+    /// Width of the ε-insensitive tube (in *normalized* target units).
+    pub epsilon: f64,
+    /// Kernel.
+    pub kernel: Kernel,
+    /// Maximum coordinate-descent sweeps.
+    pub max_iter: usize,
+    /// Convergence tolerance on the largest coordinate change per sweep.
+    pub tol: f64,
+    state: Option<Fitted>,
+}
+
+#[derive(Debug, Clone)]
+struct Fitted {
+    x_train: Matrix,
+    beta: Vec<f64>,
+    scaler: StandardScaler,
+    yscaler: TargetScaler,
+}
+
+impl Svr {
+    /// RBF-kernel SVR.
+    pub fn rbf(c: f64, epsilon: f64, gamma: f64) -> Self {
+        Self {
+            c,
+            epsilon,
+            kernel: Kernel::Rbf { gamma },
+            max_iter: 200,
+            tol: 1e-6,
+            state: None,
+        }
+    }
+
+    /// Number of support vectors (nonzero duals); `None` before fit.
+    pub fn n_support(&self) -> Option<usize> {
+        self.state.as_ref().map(|s| s.beta.iter().filter(|b| b.abs() > 1e-12).count())
+    }
+}
+
+impl Regressor for Svr {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<(), FitError> {
+        validate_fit_inputs(x, y)?;
+        if self.c <= 0.0 || self.c.is_nan() {
+            return Err(FitError::InvalidHyperParameter(format!("C must be > 0, got {}", self.c)));
+        }
+        if self.epsilon < 0.0 {
+            return Err(FitError::InvalidHyperParameter(format!(
+                "epsilon must be >= 0, got {}",
+                self.epsilon
+            )));
+        }
+        self.kernel.validate().map_err(FitError::InvalidHyperParameter)?;
+        let scaler = StandardScaler::fit(x);
+        let xs = scaler.transform(x);
+        let yscaler = TargetScaler::fit(y);
+        let ys = yscaler.transform(y);
+        let n = xs.nrows();
+        let k = self.kernel.matrix(&xs);
+        let mut beta = vec![0.0; n];
+        // f[i] = Σⱼ K[i,j] βⱼ, maintained incrementally.
+        let mut f = vec![0.0; n];
+        for _sweep in 0..self.max_iter {
+            let mut max_delta = 0.0f64;
+            for i in 0..n {
+                let kii = k[(i, i)].max(1e-12);
+                // Partial residual excluding i's own contribution.
+                let g = f[i] - kii * beta[i];
+                let z = ys[i] - g;
+                // Soft threshold by ε then clip to the box.
+                let unclipped = if z > self.epsilon {
+                    (z - self.epsilon) / kii
+                } else if z < -self.epsilon {
+                    (z + self.epsilon) / kii
+                } else {
+                    0.0
+                };
+                let new_beta = unclipped.clamp(-self.c, self.c);
+                let delta = new_beta - beta[i];
+                if delta != 0.0 {
+                    // Update cached kernel expansion.
+                    let krow = k.row(i);
+                    for (fj, kij) in f.iter_mut().zip(krow) {
+                        *fj += delta * kij;
+                    }
+                    beta[i] = new_beta;
+                    max_delta = max_delta.max(delta.abs());
+                }
+            }
+            if max_delta < self.tol {
+                break;
+            }
+        }
+        self.state = Some(Fitted { x_train: xs, beta, scaler, yscaler });
+        Ok(())
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        let st = self.state.as_ref().expect("Svr::predict before fit");
+        let xs = st.scaler.transform(x);
+        let k = self.kernel.cross_matrix(&xs, &st.x_train);
+        k.matvec(&st.beta).into_iter().map(|v| st.yscaler.inverse(v)).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "SVR"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{mae, r2_score};
+
+    fn wave(n: usize) -> (Matrix, Vec<f64>) {
+        let x = Matrix::from_fn(n, 1, |i, _| i as f64 * 8.0 / n as f64);
+        let y = (0..n).map(|i| (x[(i, 0)]).sin() * 4.0 + 10.0).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn fits_sine_wave() {
+        let (x, y) = wave(100);
+        let mut svr = Svr::rbf(10.0, 0.01, 1.0);
+        svr.fit(&x, &y).unwrap();
+        assert!(r2_score(&y, &svr.predict(&x)) > 0.99, "r2 {}", r2_score(&y, &svr.predict(&x)));
+    }
+
+    #[test]
+    fn wide_tube_gives_sparser_model() {
+        let (x, y) = wave(80);
+        let mut narrow = Svr::rbf(10.0, 0.001, 1.0);
+        narrow.fit(&x, &y).unwrap();
+        let mut wide = Svr::rbf(10.0, 0.5, 1.0);
+        wide.fit(&x, &y).unwrap();
+        assert!(
+            wide.n_support().unwrap() <= narrow.n_support().unwrap(),
+            "wider tube should not use more support vectors"
+        );
+    }
+
+    #[test]
+    fn predictions_within_epsilon_ball_when_unconstrained() {
+        let (x, y) = wave(60);
+        let mut svr = Svr::rbf(1e4, 0.05, 2.0);
+        svr.fit(&x, &y).unwrap();
+        // With a huge C the training error should sit near the tube width
+        // (in normalized units the tube is 0.05 σ_y).
+        let sigma = chemcost_linalg::vecops::std_dev(&y);
+        assert!(mae(&y, &svr.predict(&x)) < 0.1 * sigma);
+    }
+
+    #[test]
+    fn small_c_flattens_model() {
+        let (x, y) = wave(60);
+        let mut svr = Svr::rbf(1e-6, 0.01, 1.0);
+        svr.fit(&x, &y).unwrap();
+        let mean = chemcost_linalg::vecops::mean(&y);
+        // Heavy regularization keeps predictions near the target mean.
+        for p in svr.predict(&x) {
+            assert!((p - mean).abs() < 2.0, "prediction {p} should hug the mean {mean}");
+        }
+    }
+
+    #[test]
+    fn duals_respect_box() {
+        let (x, y) = wave(50);
+        let c = 0.7;
+        let mut svr = Svr::rbf(c, 0.01, 1.0);
+        svr.fit(&x, &y).unwrap();
+        let st = svr.state.as_ref().unwrap();
+        assert!(st.beta.iter().all(|b| b.abs() <= c + 1e-12));
+    }
+
+    #[test]
+    fn rejects_bad_hyperparameters() {
+        let (x, y) = wave(10);
+        let mut svr = Svr::rbf(0.0, 0.1, 1.0);
+        assert!(matches!(svr.fit(&x, &y), Err(FitError::InvalidHyperParameter(_))));
+        let mut svr = Svr::rbf(1.0, -0.1, 1.0);
+        assert!(matches!(svr.fit(&x, &y), Err(FitError::InvalidHyperParameter(_))));
+    }
+
+    #[test]
+    fn multivariate_input() {
+        let x = Matrix::from_fn(150, 3, |i, j| (((i + 1) * (j + 2)) % 17) as f64);
+        let y: Vec<f64> = (0..150)
+            .map(|i| {
+                let r = x.row(i);
+                r[0] * 0.5 + (r[1] * 0.3).cos() * 3.0 + r[2]
+            })
+            .collect();
+        let mut svr = Svr::rbf(50.0, 0.01, 0.5);
+        svr.fit(&x, &y).unwrap();
+        assert!(r2_score(&y, &svr.predict(&x)) > 0.95);
+    }
+}

@@ -1,0 +1,117 @@
+//! Core model traits.
+
+use chemcost_linalg::Matrix;
+
+/// Error produced when a model cannot be fitted.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FitError {
+    /// Training data was empty.
+    EmptyTrainingSet,
+    /// Feature matrix and target length disagree.
+    ShapeMismatch { rows: usize, targets: usize },
+    /// The training data contained NaN or infinite values.
+    NonFiniteData,
+    /// A linear system could not be solved even with jitter.
+    Numerical(String),
+    /// A hyper-parameter value is outside its valid range.
+    InvalidHyperParameter(String),
+}
+
+impl std::fmt::Display for FitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FitError::EmptyTrainingSet => write!(f, "empty training set"),
+            FitError::ShapeMismatch { rows, targets } => {
+                write!(f, "feature rows ({rows}) != target length ({targets})")
+            }
+            FitError::NonFiniteData => write!(f, "training data contains NaN/inf"),
+            FitError::Numerical(msg) => write!(f, "numerical failure: {msg}"),
+            FitError::InvalidHyperParameter(msg) => write!(f, "invalid hyper-parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+/// Validate the common preconditions shared by every `fit` implementation.
+pub(crate) fn validate_fit_inputs(x: &Matrix, y: &[f64]) -> Result<(), FitError> {
+    if x.nrows() == 0 {
+        return Err(FitError::EmptyTrainingSet);
+    }
+    if x.nrows() != y.len() {
+        return Err(FitError::ShapeMismatch { rows: x.nrows(), targets: y.len() });
+    }
+    if !x.is_finite() || !y.iter().all(|v| v.is_finite()) {
+        return Err(FitError::NonFiniteData);
+    }
+    Ok(())
+}
+
+/// A trainable regression model.
+///
+/// `fit` may be called repeatedly; each call discards previous state.
+/// `predict` panics if called before a successful `fit` (programmer error,
+/// like sklearn's `NotFittedError`).
+pub trait Regressor: Send + Sync {
+    /// Train on feature matrix `x` (one sample per row) and targets `y`.
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<(), FitError>;
+
+    /// Predict targets for each row of `x`.
+    fn predict(&self, x: &Matrix) -> Vec<f64>;
+
+    /// Predict a single sample.
+    fn predict_one(&self, row: &[f64]) -> f64 {
+        let m = Matrix::from_rows(&[row]);
+        self.predict(&m)[0]
+    }
+
+    /// A short human-readable name ("GB", "KR", …) used in reports.
+    fn name(&self) -> &'static str;
+}
+
+/// A regressor that also produces per-sample predictive standard
+/// deviations — required by uncertainty-sampling active learning.
+pub trait UncertaintyRegressor: Regressor {
+    /// Predict `(mean, std)` for each row of `x`.
+    fn predict_with_std(&self, x: &Matrix) -> (Vec<f64>, Vec<f64>);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_rejects_empty() {
+        let x = Matrix::zeros(0, 3);
+        assert_eq!(validate_fit_inputs(&x, &[]), Err(FitError::EmptyTrainingSet));
+    }
+
+    #[test]
+    fn validate_rejects_shape_mismatch() {
+        let x = Matrix::zeros(3, 2);
+        assert_eq!(
+            validate_fit_inputs(&x, &[1.0]),
+            Err(FitError::ShapeMismatch { rows: 3, targets: 1 })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_nan() {
+        let x = Matrix::from_rows(&[&[1.0, f64::NAN]]);
+        assert_eq!(validate_fit_inputs(&x, &[1.0]), Err(FitError::NonFiniteData));
+        let x = Matrix::from_rows(&[&[1.0, 2.0]]);
+        assert_eq!(validate_fit_inputs(&x, &[f64::INFINITY]), Err(FitError::NonFiniteData));
+    }
+
+    #[test]
+    fn validate_accepts_good_input() {
+        let x = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert!(validate_fit_inputs(&x, &[1.0, 2.0]).is_ok());
+    }
+
+    #[test]
+    fn fit_error_display() {
+        let e = FitError::Numerical("singular".into());
+        assert!(e.to_string().contains("singular"));
+    }
+}

@@ -1,0 +1,196 @@
+//! Cross-machine transfer learning.
+//!
+//! The paper's hardest scenario (§3.4) is a *new* supercomputer with
+//! little data. Active learning attacks it by choosing measurements well;
+//! this module attacks it from the other side: reuse a model trained on a
+//! data-rich machine and learn only a small *correction* on the new one.
+//!
+//! The correction is multiplicative: runtimes across machines differ
+//! mostly by throughput ratios (per-GPU rate, counts per node), so the
+//! target model is `source(x) · exp(g(x))` with `g` a gradient-boosting
+//! model fitted to the **log-ratios** `ln(y_target / source(x))`. With
+//! zero target data this degrades gracefully to the source model; with
+//! plenty it converges to a fully local model.
+
+use crate::gradient_boosting::GradientBoosting;
+use crate::traits::{validate_fit_inputs, FitError, Regressor};
+use chemcost_linalg::Matrix;
+
+/// A source model plus a log-space correction for the target machine.
+pub struct TransferModel {
+    source: Box<dyn Regressor>,
+    /// Shape of the correction GB `(n_estimators, max_depth, lr)`. Kept
+    /// deliberately small — with tens of target samples a deep correction
+    /// would just memorize them.
+    pub correction_shape: (usize, usize, f64),
+    /// Seed for the correction model.
+    pub seed: u64,
+    correction: Option<GradientBoosting>,
+}
+
+impl TransferModel {
+    /// Wrap a *fitted* source model.
+    pub fn new(source: Box<dyn Regressor>) -> Self {
+        Self { source, correction_shape: (80, 3, 0.1), seed: 0, correction: None }
+    }
+
+    /// Predict with the source model only (zero-shot transfer).
+    pub fn predict_zero_shot(&self, x: &Matrix) -> Vec<f64> {
+        self.source.predict(x)
+    }
+
+    /// Whether a correction has been fitted.
+    pub fn is_corrected(&self) -> bool {
+        self.correction.is_some()
+    }
+}
+
+impl Regressor for TransferModel {
+    /// Fit the correction on target-machine data. The source model is
+    /// frozen.
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<(), FitError> {
+        validate_fit_inputs(x, y)?;
+        let base = self.source.predict(x);
+        if y.iter().any(|&v| v <= 0.0) || base.iter().any(|&b| b <= 0.0) {
+            return Err(FitError::Numerical(
+                "transfer correction needs positive runtimes from data and source".into(),
+            ));
+        }
+        let log_ratio: Vec<f64> = y.iter().zip(&base).map(|(t, b)| (t / b).ln()).collect();
+        let (n_est, depth, lr) = self.correction_shape;
+        let mut gb = GradientBoosting::new(n_est, depth, lr);
+        gb.seed = self.seed;
+        gb.fit(x, &log_ratio)?;
+        self.correction = Some(gb);
+        Ok(())
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        let base = self.source.predict(x);
+        match &self.correction {
+            None => base,
+            Some(gb) => {
+                // Clamp the learned log-ratio: a correction model should
+                // rescale, not invent orders of magnitude outside its data.
+                base.iter()
+                    .zip(gb.predict(x))
+                    .map(|(b, r)| b * r.clamp(-5.0, 5.0).exp())
+                    .collect()
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "TRANSFER"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{mape, r2_score};
+
+    /// Source "machine": y = f(x); target: y' = 2.5·f(x)·(1 + small dent).
+    /// Features are non-periodic so small target samples cannot cover the
+    /// whole surface.
+    fn source_data(n: usize) -> (Matrix, Vec<f64>) {
+        let x = Matrix::from_fn(n, 2, |i, j| {
+            let u = ((i as u64 * 2654435761 + j as u64 * 40503) % 10007) as f64 / 10007.0;
+            1.0 + u * 20.0
+        });
+        let y = (0..n).map(|i| x[(i, 0)] * 3.0 + x[(i, 1)] * x[(i, 1)] * 0.2 + 5.0).collect();
+        (x, y)
+    }
+
+    fn target_y(x: &Matrix) -> Vec<f64> {
+        (0..x.nrows())
+            .map(|i| {
+                let base = x[(i, 0)] * 3.0 + x[(i, 1)] * x[(i, 1)] * 0.2 + 5.0;
+                // Machine-specific multiplicative shift + a mild regime dent.
+                2.5 * base * (1.0 + 0.1 * (x[(i, 0)] * 0.3).sin())
+            })
+            .collect()
+    }
+
+    fn fitted_source() -> Box<dyn Regressor> {
+        let (x, y) = source_data(300);
+        let mut gb = GradientBoosting::new(200, 4, 0.1);
+        gb.fit(&x, &y).unwrap();
+        Box::new(gb)
+    }
+
+    #[test]
+    fn zero_shot_is_biased_corrected_is_not() {
+        let (x, _) = source_data(300);
+        let yt = target_y(&x);
+        let mut tm = TransferModel::new(fitted_source());
+        // Zero-shot under-predicts by the machine ratio (~2.5×).
+        let zero = tm.predict_zero_shot(&x);
+        assert!(mape(&yt, &zero) > 0.5, "zero-shot must show the machine gap");
+        // A small amount of target data fixes it.
+        let few: Vec<usize> = (0..60).map(|i| i * 5).collect();
+        let xs = x.select_rows(&few);
+        let ys: Vec<f64> = few.iter().map(|&i| yt[i]).collect();
+        tm.fit(&xs, &ys).unwrap();
+        assert!(tm.is_corrected());
+        let corrected = tm.predict(&x);
+        assert!(
+            mape(&yt, &corrected) < 0.1,
+            "corrected transfer should be accurate: {}",
+            mape(&yt, &corrected)
+        );
+    }
+
+    #[test]
+    fn transfer_beats_from_scratch_at_low_data() {
+        let (x, _) = source_data(300);
+        let yt = target_y(&x);
+        // Only 15 target measurements.
+        let few: Vec<usize> = (0..15).map(|i| i * 19).collect();
+        let xs = x.select_rows(&few);
+        let ys: Vec<f64> = few.iter().map(|&i| yt[i]).collect();
+
+        let mut tm = TransferModel::new(fitted_source());
+        tm.fit(&xs, &ys).unwrap();
+        let mut scratch = GradientBoosting::new(200, 4, 0.1);
+        scratch.fit(&xs, &ys).unwrap();
+
+        let tm_r2 = r2_score(&yt, &tm.predict(&x));
+        let sc_r2 = r2_score(&yt, &scratch.predict(&x));
+        assert!(
+            tm_r2 > sc_r2,
+            "transfer ({tm_r2:.3}) should beat from-scratch ({sc_r2:.3}) at 25 samples"
+        );
+    }
+
+    #[test]
+    fn unfitted_correction_equals_source() {
+        let (x, _) = source_data(50);
+        let tm = TransferModel::new(fitted_source());
+        assert_eq!(tm.predict(&x), tm.predict_zero_shot(&x));
+        assert!(!tm.is_corrected());
+    }
+
+    #[test]
+    fn rejects_nonpositive_targets() {
+        let (x, _) = source_data(20);
+        let mut tm = TransferModel::new(fitted_source());
+        let bad = vec![0.0; 20];
+        assert!(matches!(tm.fit(&x, &bad), Err(FitError::Numerical(_))));
+    }
+
+    #[test]
+    fn correction_is_clamped() {
+        // Absurd targets (1e12× the source) must not explode predictions
+        // beyond the e⁵ clamp.
+        let (x, y) = source_data(40);
+        let huge: Vec<f64> = y.iter().map(|v| v * 1e12).collect();
+        let mut tm = TransferModel::new(fitted_source());
+        tm.fit(&x, &huge).unwrap();
+        let pred = tm.predict(&x);
+        let zero = tm.predict_zero_shot(&x);
+        for (p, z) in pred.iter().zip(&zero) {
+            assert!(p / z <= 5.0f64.exp() + 1e-6);
+        }
+    }
+}

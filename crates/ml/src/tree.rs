@@ -1,0 +1,451 @@
+//! CART regression trees (paper §3.1, "DT").
+//!
+//! Variance-reduction splitting with the usual structural controls
+//! (`max_depth`, `min_samples_split`, `min_samples_leaf`) and per-node
+//! feature subsampling (`max_features`) for use inside random forests.
+//! Nodes live in a flat arena (`Vec<Node>`), which keeps prediction a tight
+//! pointer-free loop.
+
+use crate::rand_util::sample_without_replacement;
+use crate::traits::{validate_fit_inputs, FitError, Regressor};
+use chemcost_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// How many features to consider per split.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MaxFeatures {
+    /// All features (classic CART, default for GB).
+    All,
+    /// ⌈√d⌉ features (random-forest default).
+    Sqrt,
+    /// An explicit count (clamped to `d`).
+    Count(usize),
+}
+
+impl MaxFeatures {
+    fn resolve(self, d: usize) -> usize {
+        match self {
+            MaxFeatures::All => d,
+            MaxFeatures::Sqrt => (d as f64).sqrt().ceil() as usize,
+            MaxFeatures::Count(c) => c.clamp(1, d),
+        }
+        .clamp(1, d)
+    }
+}
+
+/// A flat, serialization-friendly tree node. Leaves are encoded with
+/// `feature == u32::MAX`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlatNode {
+    /// Split feature index, or `u32::MAX` for a leaf.
+    pub feature: u32,
+    /// Split threshold (unused for leaves).
+    pub threshold: f64,
+    /// Left child index (unused for leaves).
+    pub left: u32,
+    /// Right child index (unused for leaves).
+    pub right: u32,
+    /// Leaf value (unused for splits).
+    pub value: f64,
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A CART regression tree.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    /// Maximum tree depth (root = depth 0). `usize::MAX` for unbounded.
+    pub max_depth: usize,
+    /// Minimum samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Minimum samples in each child.
+    pub min_samples_leaf: usize,
+    /// Feature subsampling policy per node.
+    pub max_features: MaxFeatures,
+    /// Seed for feature subsampling (only consulted when subsampling).
+    pub seed: u64,
+    nodes: Vec<Node>,
+}
+
+impl DecisionTree {
+    /// A tree with the given depth cap and otherwise-default controls.
+    pub fn new(max_depth: usize) -> Self {
+        Self {
+            max_depth,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+            max_features: MaxFeatures::All,
+            seed: 0,
+            nodes: Vec::new(),
+        }
+    }
+
+    /// Number of nodes in the fitted tree (0 before fit).
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of leaves in the fitted tree.
+    pub fn n_leaves(&self) -> usize {
+        self.nodes.iter().filter(|n| matches!(n, Node::Leaf { .. })).count()
+    }
+
+    /// Depth of the fitted tree (leaf-only tree has depth 0).
+    pub fn depth(&self) -> usize {
+        fn rec(nodes: &[Node], i: usize) -> usize {
+            match nodes[i] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + rec(nodes, left).max(rec(nodes, right)),
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            rec(&self.nodes, 0)
+        }
+    }
+
+    fn build(
+        &mut self,
+        x: &Matrix,
+        y: &[f64],
+        indices: &mut [usize],
+        depth: usize,
+        rng: &mut StdRng,
+    ) -> usize {
+        let n = indices.len();
+        let mean = indices.iter().map(|&i| y[i]).sum::<f64>() / n as f64;
+        let sse: f64 = indices.iter().map(|&i| (y[i] - mean) * (y[i] - mean)).sum();
+        let make_leaf = depth >= self.max_depth
+            || n < self.min_samples_split
+            || n < 2 * self.min_samples_leaf
+            || sse <= 1e-12;
+        if !make_leaf {
+            if let Some((feature, threshold)) = self.best_split(x, y, indices, rng) {
+                // Partition in place around the threshold.
+                let mut lo = 0usize;
+                let mut hi = n;
+                while lo < hi {
+                    if x[(indices[lo], feature)] <= threshold {
+                        lo += 1;
+                    } else {
+                        hi -= 1;
+                        indices.swap(lo, hi);
+                    }
+                }
+                // Guaranteed by best_split's min_samples_leaf handling, but
+                // degenerate float comparisons are worth guarding.
+                if lo >= self.min_samples_leaf && n - lo >= self.min_samples_leaf {
+                    let id = self.nodes.len();
+                    self.nodes.push(Node::Leaf { value: mean }); // placeholder
+                    let (left_idx, right_idx) = indices.split_at_mut(lo);
+                    let left = self.build(x, y, left_idx, depth + 1, rng);
+                    let right = self.build(x, y, right_idx, depth + 1, rng);
+                    self.nodes[id] = Node::Split { feature, threshold, left, right };
+                    return id;
+                }
+            }
+        }
+        let id = self.nodes.len();
+        self.nodes.push(Node::Leaf { value: mean });
+        id
+    }
+
+    /// Best `(feature, threshold)` by SSE reduction, or `None` when no
+    /// valid split exists.
+    fn best_split(
+        &self,
+        x: &Matrix,
+        y: &[f64],
+        indices: &[usize],
+        rng: &mut StdRng,
+    ) -> Option<(usize, f64)> {
+        let d = x.ncols();
+        let k = self.max_features.resolve(d);
+        let features: Vec<usize> = if k == d {
+            (0..d).collect()
+        } else {
+            sample_without_replacement(rng, d, k)
+        };
+        let n = indices.len();
+        let total_sum: f64 = indices.iter().map(|&i| y[i]).sum();
+        let mut best: Option<(f64, usize, f64)> = None; // (score, feature, threshold)
+        let mut order: Vec<usize> = Vec::with_capacity(n);
+        for &f in &features {
+            order.clear();
+            order.extend_from_slice(indices);
+            order.sort_unstable_by(|&a, &b| {
+                x[(a, f)].partial_cmp(&x[(b, f)]).unwrap_or(std::cmp::Ordering::Equal)
+            });
+            // Scan split positions; maximizing SSE reduction is equivalent
+            // to maximizing sumL²/nL + sumR²/nR.
+            let mut sum_left = 0.0;
+            for pos in 1..n {
+                let prev = order[pos - 1];
+                sum_left += y[prev];
+                let v_prev = x[(prev, f)];
+                let v_next = x[(order[pos], f)];
+                if v_next <= v_prev {
+                    continue; // tied feature values cannot separate
+                }
+                if pos < self.min_samples_leaf || n - pos < self.min_samples_leaf {
+                    continue;
+                }
+                let n_left = pos as f64;
+                let n_right = (n - pos) as f64;
+                let sum_right = total_sum - sum_left;
+                let score = sum_left * sum_left / n_left + sum_right * sum_right / n_right;
+                if best.is_none_or(|(b, _, _)| score > b) {
+                    // Midpoint threshold, robust to duplicated values.
+                    best = Some((score, f, 0.5 * (v_prev + v_next)));
+                }
+            }
+        }
+        best.map(|(_, f, t)| (f, t))
+    }
+
+    /// Export the fitted tree as flat, serializable nodes
+    /// (see [`FlatNode`]); empty before fit.
+    pub fn export_nodes(&self) -> Vec<FlatNode> {
+        self.nodes
+            .iter()
+            .map(|n| match *n {
+                Node::Leaf { value } => FlatNode {
+                    feature: u32::MAX,
+                    threshold: 0.0,
+                    left: 0,
+                    right: 0,
+                    value,
+                },
+                Node::Split { feature, threshold, left, right } => FlatNode {
+                    feature: feature as u32,
+                    threshold,
+                    left: left as u32,
+                    right: right as u32,
+                    value: 0.0,
+                },
+            })
+            .collect()
+    }
+
+    /// Rebuild a fitted tree from flat nodes (inverse of
+    /// [`DecisionTree::export_nodes`]). Structural hyper-parameters are
+    /// reset to defaults — the imported tree is for prediction only.
+    ///
+    /// # Panics
+    /// Panics if any child index is out of range.
+    pub fn from_flat(nodes: &[FlatNode]) -> Self {
+        let n = nodes.len();
+        let decoded = nodes
+            .iter()
+            .map(|f| {
+                if f.feature == u32::MAX {
+                    Node::Leaf { value: f.value }
+                } else {
+                    assert!((f.left as usize) < n && (f.right as usize) < n, "child out of range");
+                    Node::Split {
+                        feature: f.feature as usize,
+                        threshold: f.threshold,
+                        left: f.left as usize,
+                        right: f.right as usize,
+                    }
+                }
+            })
+            .collect();
+        let mut t = DecisionTree::new(usize::MAX);
+        t.nodes = decoded;
+        t
+    }
+
+    /// Node index of the leaf a sample lands in.
+    ///
+    /// # Panics
+    /// Panics before fit.
+    pub fn leaf_of(&self, row: &[f64]) -> usize {
+        assert!(!self.nodes.is_empty(), "DecisionTree::leaf_of before fit");
+        let mut i = 0;
+        loop {
+            match self.nodes[i] {
+                Node::Leaf { .. } => return i,
+                Node::Split { feature, threshold, left, right } => {
+                    i = if row[feature] <= threshold { left } else { right };
+                }
+            }
+        }
+    }
+
+    /// Overwrite a leaf's prediction value (used by gradient boosting's
+    /// robust-loss terminal-region re-estimation).
+    ///
+    /// # Panics
+    /// Panics if `node` is not a leaf.
+    pub fn set_leaf_value(&mut self, node: usize, value: f64) {
+        match &mut self.nodes[node] {
+            Node::Leaf { value: v } => *v = value,
+            Node::Split { .. } => panic!("node {node} is not a leaf"),
+        }
+    }
+
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        let mut i = 0;
+        loop {
+            match self.nodes[i] {
+                Node::Leaf { value } => return value,
+                Node::Split { feature, threshold, left, right } => {
+                    i = if row[feature] <= threshold { left } else { right };
+                }
+            }
+        }
+    }
+}
+
+impl Regressor for DecisionTree {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<(), FitError> {
+        validate_fit_inputs(x, y)?;
+        self.nodes.clear();
+        let mut indices: Vec<usize> = (0..x.nrows()).collect();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        self.build(x, y, &mut indices, 0, &mut rng);
+        Ok(())
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        assert!(!self.nodes.is_empty(), "DecisionTree::predict before fit");
+        (0..x.nrows()).map(|i| self.predict_row(x.row(i))).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "DT"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::r2_score;
+
+    #[test]
+    fn fits_step_function_exactly() {
+        let x = Matrix::from_fn(20, 1, |i, _| i as f64);
+        let y: Vec<f64> = (0..20).map(|i| if i < 10 { 1.0 } else { 5.0 }).collect();
+        let mut t = DecisionTree::new(3);
+        t.fit(&x, &y).unwrap();
+        assert_eq!(t.predict(&x), y);
+        // One split is enough.
+        assert_eq!(t.n_leaves(), 2);
+    }
+
+    #[test]
+    fn depth_zero_predicts_mean() {
+        let x = Matrix::from_fn(10, 1, |i, _| i as f64);
+        let y: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let mut t = DecisionTree::new(0);
+        t.fit(&x, &y).unwrap();
+        let p = t.predict(&x);
+        assert!(p.iter().all(|&v| (v - 4.5).abs() < 1e-12));
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let x = Matrix::from_fn(128, 1, |i, _| i as f64);
+        let y: Vec<f64> = (0..128).map(|i| (i as f64).sin()).collect();
+        let mut t = DecisionTree::new(3);
+        t.fit(&x, &y).unwrap();
+        assert!(t.depth() <= 3);
+        assert!(t.n_leaves() <= 8);
+    }
+
+    #[test]
+    fn respects_min_samples_leaf() {
+        let x = Matrix::from_fn(30, 1, |i, _| i as f64);
+        let y: Vec<f64> = (0..30).map(|i| i as f64 * 2.0).collect();
+        let mut t = DecisionTree::new(10);
+        t.min_samples_leaf = 10;
+        t.fit(&x, &y).unwrap();
+        // With 30 samples and min 10 per leaf, at most 3 leaves.
+        assert!(t.n_leaves() <= 3);
+    }
+
+    #[test]
+    fn deep_tree_interpolates_distinct_xs() {
+        let x = Matrix::from_fn(64, 1, |i, _| i as f64);
+        let y: Vec<f64> = (0..64).map(|i| ((i * 37) % 19) as f64).collect();
+        let mut t = DecisionTree::new(usize::MAX);
+        t.fit(&x, &y).unwrap();
+        assert_eq!(t.predict(&x), y);
+    }
+
+    #[test]
+    fn two_feature_interaction() {
+        // y depends on x1 only; the tree should ignore x0.
+        let x = Matrix::from_fn(100, 2, |i, j| if j == 0 { (i % 10) as f64 } else { (i / 10) as f64 });
+        let y: Vec<f64> = (0..100).map(|i| if (i / 10) < 5 { 0.0 } else { 10.0 }).collect();
+        let mut t = DecisionTree::new(2);
+        t.fit(&x, &y).unwrap();
+        assert!(r2_score(&y, &t.predict(&x)) > 0.999);
+    }
+
+    #[test]
+    fn predictions_within_target_range() {
+        let x = Matrix::from_fn(50, 2, |i, j| ((i * 7 + j * 13) % 23) as f64);
+        let y: Vec<f64> = (0..50).map(|i| ((i * 31) % 17) as f64 - 8.0).collect();
+        let mut t = DecisionTree::new(6);
+        t.fit(&x, &y).unwrap();
+        let (lo, hi) = y.iter().fold((f64::MAX, f64::MIN), |(l, h), &v| (l.min(v), h.max(v)));
+        for p in t.predict(&x) {
+            assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn constant_target_single_leaf() {
+        let x = Matrix::from_fn(25, 3, |i, j| (i * j) as f64);
+        let y = vec![4.2; 25];
+        let mut t = DecisionTree::new(8);
+        t.fit(&x, &y).unwrap();
+        assert_eq!(t.n_nodes(), 1);
+        assert!(t.predict(&x).iter().all(|&p| (p - 4.2).abs() < 1e-12));
+    }
+
+    #[test]
+    fn feature_subsampling_still_fits() {
+        let x = Matrix::from_fn(200, 4, |i, j| ((i * (j + 3)) % 29) as f64);
+        let y: Vec<f64> = (0..200).map(|i| x[(i, 1)] * 2.0 + x[(i, 3)]).collect();
+        let mut t = DecisionTree::new(10);
+        t.max_features = MaxFeatures::Sqrt;
+        t.seed = 7;
+        t.fit(&x, &y).unwrap();
+        assert!(r2_score(&y, &t.predict(&x)) > 0.8);
+    }
+
+    #[test]
+    fn duplicate_feature_values_no_invalid_split() {
+        // All feature values identical → no split possible.
+        let x = Matrix::from_fn(10, 1, |_, _| 3.0);
+        let y: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let mut t = DecisionTree::new(5);
+        t.fit(&x, &y).unwrap();
+        assert_eq!(t.n_nodes(), 1);
+    }
+
+    #[test]
+    fn max_features_resolution() {
+        assert_eq!(MaxFeatures::All.resolve(9), 9);
+        assert_eq!(MaxFeatures::Sqrt.resolve(9), 3);
+        assert_eq!(MaxFeatures::Sqrt.resolve(10), 4);
+        assert_eq!(MaxFeatures::Count(100).resolve(4), 4);
+        assert_eq!(MaxFeatures::Count(0).resolve(4), 1);
+    }
+}

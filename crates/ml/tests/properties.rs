@@ -1,0 +1,154 @@
+//! Property-based tests for the ML layer: metric identities, scaler
+//! round-trips, model sanity on arbitrary data, and decoder robustness.
+
+use chemcost_linalg::Matrix;
+use chemcost_ml::gradient_boosting::GradientBoosting;
+use chemcost_ml::metrics::{mae, mape, mse, r2_score};
+use chemcost_ml::persist::{decode_gb, encode_gb};
+use chemcost_ml::preprocessing::{StandardScaler, TargetScaler};
+use chemcost_ml::tree::DecisionTree;
+use chemcost_ml::Regressor;
+use proptest::prelude::*;
+
+fn targets(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1e3f64..1e3, len)
+}
+
+proptest! {
+    #[test]
+    fn r2_of_perfect_predictions_is_one(y in targets(2..40)) {
+        prop_assume!(chemcost_linalg::vecops::variance(&y) > 1e-9);
+        prop_assert!((r2_score(&y, &y) - 1.0).abs() < 1e-12);
+        prop_assert_eq!(mae(&y, &y), 0.0);
+        prop_assert_eq!(mape(&y, &y), 0.0);
+    }
+
+    #[test]
+    fn r2_never_exceeds_one(y in targets(2..40), p in targets(2..40)) {
+        let n = y.len().min(p.len());
+        prop_assume!(chemcost_linalg::vecops::variance(&y[..n]) > 1e-9);
+        prop_assert!(r2_score(&y[..n], &p[..n]) <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn mae_bounded_by_rmse(y in targets(2..40), p in targets(2..40)) {
+        // Jensen: MAE ≤ RMSE always.
+        let n = y.len().min(p.len());
+        let (y, p) = (&y[..n], &p[..n]);
+        prop_assert!(mae(y, p) <= mse(y, p).sqrt() + 1e-9);
+    }
+
+    #[test]
+    fn mae_scale_equivariant(y in targets(2..30), p in targets(2..30), c in 0.1f64..100.0) {
+        let n = y.len().min(p.len());
+        let ys: Vec<f64> = y[..n].iter().map(|v| v * c).collect();
+        let ps: Vec<f64> = p[..n].iter().map(|v| v * c).collect();
+        let lhs = mae(&ys, &ps);
+        let rhs = c * mae(&y[..n], &p[..n]);
+        prop_assert!((lhs - rhs).abs() < 1e-6 * rhs.max(1.0));
+    }
+
+    #[test]
+    fn mape_scale_invariant(y in proptest::collection::vec(1.0f64..1e3, 2..30), c in 0.1f64..100.0) {
+        let p: Vec<f64> = y.iter().map(|v| v * 1.1).collect();
+        let ys: Vec<f64> = y.iter().map(|v| v * c).collect();
+        let ps: Vec<f64> = p.iter().map(|v| v * c).collect();
+        prop_assert!((mape(&ys, &ps) - mape(&y, &p)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaler_round_trip(rows in 2usize..20, cols in 1usize..6, seed in 0u64..1000) {
+        let x = Matrix::from_fn(rows, cols, |i, j| {
+            (((i as u64 + 1) * (j as u64 + 3) * (seed + 7)) % 997) as f64 * 0.37 - 100.0
+        });
+        let s = StandardScaler::fit(&x);
+        let back = s.inverse_transform(&s.transform(&x));
+        prop_assert!(back.max_abs_diff(&x) < 1e-8);
+    }
+
+    #[test]
+    fn target_scaler_round_trip(y in targets(2..40)) {
+        let s = TargetScaler::fit(&y);
+        for (&orig, &scaled) in y.iter().zip(&s.transform(&y)) {
+            prop_assert!((s.inverse(scaled) - orig).abs() < 1e-8 * orig.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn tree_predictions_stay_in_target_range(
+        rows in 5usize..60,
+        seed in 0u64..500,
+        depth in 1usize..8,
+    ) {
+        let x = Matrix::from_fn(rows, 2, |i, j| {
+            (((i as u64 + 2) * (j as u64 + 5) * (seed + 3)) % 101) as f64
+        });
+        let y: Vec<f64> = (0..rows)
+            .map(|i| ((i as u64 * (seed + 11)) % 211) as f64 - 100.0)
+            .collect();
+        let mut t = DecisionTree::new(depth);
+        t.fit(&x, &y).unwrap();
+        let (lo, hi) = y.iter().fold((f64::MAX, f64::MIN), |(l, h), &v| (l.min(v), h.max(v)));
+        // Probe points beyond the training range too: trees cannot
+        // extrapolate outside the observed targets.
+        let probe = Matrix::from_fn(20, 2, |i, j| (i as f64 - 10.0) * 40.0 + j as f64);
+        for p in t.predict(&probe) {
+            prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn gb_training_error_never_worse_than_mean_baseline(
+        rows in 10usize..60,
+        seed in 0u64..300,
+    ) {
+        let x = Matrix::from_fn(rows, 2, |i, j| {
+            (((i as u64 + 1) * (j as u64 + 2) * (seed + 13)) % 89) as f64
+        });
+        let y: Vec<f64> = (0..rows)
+            .map(|i| ((i as u64 * (seed + 29)) % 173) as f64 * 0.5)
+            .collect();
+        let mut gb = GradientBoosting::new(30, 3, 0.2);
+        gb.fit(&x, &y).unwrap();
+        let pred = gb.predict(&x);
+        let mean = chemcost_linalg::vecops::mean(&y);
+        let baseline: Vec<f64> = vec![mean; rows];
+        prop_assert!(mse(&y, &pred) <= mse(&y, &baseline) + 1e-9);
+    }
+
+    #[test]
+    fn gb_codec_round_trip_is_lossless(rows in 10usize..40, seed in 0u64..200) {
+        let x = Matrix::from_fn(rows, 2, |i, j| (((i + 1) * (j + 3)) as u64 * (seed + 5) % 71) as f64);
+        let y: Vec<f64> = (0..rows).map(|i| (i as u64 * (seed + 17) % 131) as f64).collect();
+        let mut gb = GradientBoosting::new(15, 3, 0.1);
+        gb.fit(&x, &y).unwrap();
+        let decoded = decode_gb(&encode_gb(&gb)).unwrap();
+        prop_assert_eq!(gb.predict(&x), decoded.predict(&x));
+    }
+
+    #[test]
+    fn gb_decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Decoding arbitrary bytes must return an error (or, astronomically
+        // unlikely, a valid model) — never panic.
+        let _ = decode_gb(&bytes);
+    }
+
+    #[test]
+    fn gb_decoder_never_panics_on_corrupted_valid_model(
+        flip_at in 0usize..2000,
+        new_byte in any::<u8>(),
+    ) {
+        let x = Matrix::from_fn(20, 2, |i, j| ((i + 1) * (j + 2)) as f64);
+        let y: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let mut gb = GradientBoosting::new(8, 3, 0.2);
+        gb.fit(&x, &y).unwrap();
+        let mut bytes = encode_gb(&gb).to_vec();
+        let idx = flip_at % bytes.len();
+        bytes[idx] = new_byte;
+        // Must not panic; may error or decode (single-byte flips in leaf
+        // values still form valid models).
+        if let Ok(model) = decode_gb(&bytes) {
+            let _ = model.predict(&x);
+        }
+    }
+}

@@ -1,0 +1,412 @@
+//! CCSD contraction terms, index-space tiling and task-class enumeration.
+//!
+//! One CCSD iteration is dominated by a fixed set of binary tensor
+//! contractions over the occupied (`O`) and virtual (`V`) orbital spaces.
+//! A TAMM-style runtime tiles every index range with the user-chosen tile
+//! size and turns each contraction into a swarm of tile-level GEMM tasks.
+//! Because tiles come in at most two extents per dimension (the full tile
+//! and one remainder), the swarm collapses into a handful of **task
+//! classes** — groups of identical tasks — which is what the scheduler
+//! consumes. This keeps a simulation of hundreds of thousands of tasks at
+//! microsecond cost without losing the granularity effects (remainder
+//! tiles, ceil-division imbalance) that shape the real response surface.
+
+/// An orbital index space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dim {
+    /// Occupied orbitals.
+    O,
+    /// Virtual orbitals.
+    V,
+}
+
+/// A CCSD problem size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Problem {
+    /// Number of occupied orbitals.
+    pub o: usize,
+    /// Number of virtual orbitals.
+    pub v: usize,
+}
+
+impl Problem {
+    /// Construct a problem size.
+    ///
+    /// # Panics
+    /// Panics if either extent is zero.
+    pub fn new(o: usize, v: usize) -> Self {
+        assert!(o > 0 && v > 0, "orbital counts must be positive");
+        Self { o, v }
+    }
+
+    /// Extent of a dimension.
+    pub fn extent(&self, d: Dim) -> usize {
+        match d {
+            Dim::O => self.o,
+            Dim::V => self.v,
+        }
+    }
+
+    /// Leading-order FLOP count of one CCSD iteration: `2·O²V⁴` from the
+    /// particle–particle ladder (the paper's scaling discussion, §4.1).
+    pub fn leading_flops(&self) -> f64 {
+        2.0 * (self.o as f64).powi(2) * (self.v as f64).powi(4)
+    }
+}
+
+/// One binary tensor contraction `C[ext] += A[a] · B[b]`, described by its
+/// operand index structures.
+#[derive(Debug, Clone)]
+pub struct ContractionTerm {
+    /// Human-readable name, e.g. `"pp_ladder"`.
+    pub name: &'static str,
+    /// External (output) dimensions.
+    pub external: Vec<Dim>,
+    /// Contracted (summed) dimensions.
+    pub contracted: Vec<Dim>,
+    /// Which of the loop dims (external then contracted, in order) belong
+    /// to operand A (bitmask by position).
+    pub a_mask: u32,
+    /// Same for operand B.
+    pub b_mask: u32,
+    /// How many times a contraction of this shape occurs in the iteration.
+    pub multiplicity: f64,
+}
+
+impl ContractionTerm {
+    fn dims(&self) -> Vec<Dim> {
+        self.external.iter().chain(&self.contracted).copied().collect()
+    }
+
+    /// Total FLOPs of this term for a problem: `2 · multiplicity · Π dims`.
+    pub fn flops(&self, p: &Problem) -> f64 {
+        2.0 * self.multiplicity * self.dims().iter().map(|&d| p.extent(d) as f64).product::<f64>()
+    }
+}
+
+/// The contraction inventory of one CCSD iteration.
+///
+/// A representative set: the two sextic ladders, four `O³V³` ring-type
+/// contractions, the `O⁴V²` W-intermediate build, and the `OV⁴`/`O³V²`
+/// singles-driven terms. Masks: bit `i` set ⇒ loop-dim `i` indexes that
+/// operand (external dims first, then contracted).
+pub fn ccsd_terms() -> Vec<ContractionTerm> {
+    use Dim::{O, V};
+    vec![
+        // t2[a,b,i,j] += W[a,b,e,f] · t2[e,f,i,j]      — O²V⁴ ladder
+        ContractionTerm {
+            name: "pp_ladder",
+            external: vec![V, V, O, O],
+            contracted: vec![V, V],
+            a_mask: 0b110011, // a,b,e,f
+            b_mask: 0b111100, // i,j,e,f
+            multiplicity: 1.0,
+        },
+        // t2[a,b,i,j] += W[m,n,i,j] · t2[a,b,m,n]      — O⁴V² ladder
+        ContractionTerm {
+            name: "hh_ladder",
+            external: vec![O, O, V, V],
+            contracted: vec![O, O],
+            a_mask: 0b110011,
+            b_mask: 0b111100,
+            multiplicity: 1.0,
+        },
+        // ring/particle–hole contractions, direct + exchange × 2 spins — O³V³
+        ContractionTerm {
+            name: "ring",
+            external: vec![V, O, V, O],
+            contracted: vec![O, V],
+            a_mask: 0b110011,
+            b_mask: 0b111100,
+            multiplicity: 4.0,
+        },
+        // W[m,n,i,j] += <mn|ef> · t2[e,f,i,j]           — O⁴V² intermediate
+        ContractionTerm {
+            name: "w_mnij",
+            external: vec![O, O, O, O],
+            contracted: vec![V, V],
+            a_mask: 0b110011,
+            b_mask: 0b111100,
+            multiplicity: 1.0,
+        },
+        // t2[a,b,i,j] += W[a,b,e,i] · t1[e,j]            — O²V³ singles term
+        ContractionTerm {
+            name: "abei_t1",
+            external: vec![V, V, O, O],
+            contracted: vec![V],
+            a_mask: 0b10111, // a,b,i,e
+            b_mask: 0b11000, // j,e
+            multiplicity: 2.0,
+        },
+        // r1[a,i] += F[m,e] · t2[a,e,i,m]                — O²V² singles residual
+        ContractionTerm {
+            name: "t1_residual",
+            external: vec![V, O],
+            contracted: vec![O, V],
+            a_mask: 0b1100, // m,e
+            b_mask: 0b1111, // a,i,m,e
+            multiplicity: 2.0,
+        },
+    ]
+}
+
+/// The tile extents covering a dimension: `n_full` tiles of `tile` plus an
+/// optional remainder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tiling {
+    /// Full-tile extent.
+    pub tile: usize,
+    /// Number of full tiles.
+    pub n_full: usize,
+    /// Remainder tile extent (0 = exact division).
+    pub remainder: usize,
+}
+
+impl Tiling {
+    /// Tile a dimension of `extent` with tiles of size `tile`.
+    ///
+    /// # Panics
+    /// Panics if `tile == 0`.
+    pub fn new(extent: usize, tile: usize) -> Self {
+        assert!(tile > 0, "tile size must be positive");
+        let t = tile.min(extent);
+        Self { tile: t, n_full: extent / t, remainder: extent % t }
+    }
+
+    /// Total number of tiles.
+    pub fn n_tiles(&self) -> usize {
+        self.n_full + usize::from(self.remainder > 0)
+    }
+
+    /// Sum of tile extents — must equal the original extent.
+    pub fn covered(&self) -> usize {
+        self.n_full * self.tile + self.remainder
+    }
+
+    /// The distinct `(extent, count)` tile shapes.
+    pub fn shapes(&self) -> Vec<(usize, usize)> {
+        let mut v = Vec::with_capacity(2);
+        if self.n_full > 0 {
+            v.push((self.tile, self.n_full));
+        }
+        if self.remainder > 0 {
+            v.push((self.remainder, 1));
+        }
+        v
+    }
+}
+
+/// A group of identical tile-contraction tasks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskClass {
+    /// Number of tasks in this class.
+    pub count: usize,
+    /// FLOPs per task.
+    pub flops: f64,
+    /// Remote bytes fetched per task (both input tiles).
+    pub bytes_in: f64,
+    /// Smallest matricized GEMM dimension (`min(m, n, k)`) — drives the
+    /// kernel-efficiency curve.
+    pub min_gemm_dim: f64,
+}
+
+/// Enumerate the task classes of one contraction term under tiling.
+///
+/// Walks the cartesian product of per-dimension tile shapes (≤ 2 per
+/// dimension ⇒ ≤ 2^rank classes) and computes each class's task count,
+/// per-task FLOPs, communication volume and GEMM shape.
+pub fn term_task_classes(term: &ContractionTerm, p: &Problem, tile: usize) -> Vec<TaskClass> {
+    let dims = term.dims();
+    let tilings: Vec<Tiling> = dims.iter().map(|&d| Tiling::new(p.extent(d), tile)).collect();
+    let shapes: Vec<Vec<(usize, usize)>> = tilings.iter().map(|t| t.shapes()).collect();
+    let rank = dims.len();
+    let n_external = term.external.len();
+    let mut classes = Vec::new();
+    // Odometer over shape choices per dimension.
+    let mut choice = vec![0usize; rank];
+    loop {
+        let mut count = 1usize;
+        let mut m = 1.0f64; // external dims of A
+        let mut n = 1.0f64; // external dims of B
+        let mut k = 1.0f64; // contracted dims
+        let mut a_elems = 1.0f64;
+        let mut b_elems = 1.0f64;
+        let mut flops = 2.0 * term.multiplicity;
+        for (d, &c) in choice.iter().enumerate() {
+            let (extent, cnt) = shapes[d][c];
+            count *= cnt;
+            let e = extent as f64;
+            flops *= e;
+            let in_a = term.a_mask >> d & 1 == 1;
+            let in_b = term.b_mask >> d & 1 == 1;
+            if in_a {
+                a_elems *= e;
+            }
+            if in_b {
+                b_elems *= e;
+            }
+            if d >= n_external {
+                k *= e;
+            } else if in_a {
+                m *= e;
+            } else if in_b {
+                n *= e;
+            }
+        }
+        classes.push(TaskClass {
+            count,
+            flops,
+            bytes_in: 8.0 * (a_elems + b_elems),
+            min_gemm_dim: m.min(n).min(k),
+        });
+        // Advance the odometer.
+        let mut d = 0;
+        loop {
+            if d == rank {
+                return classes;
+            }
+            choice[d] += 1;
+            if choice[d] < shapes[d].len() {
+                break;
+            }
+            choice[d] = 0;
+            d += 1;
+        }
+    }
+}
+
+/// All task classes of a full CCSD iteration.
+pub fn iteration_task_classes(p: &Problem, tile: usize) -> Vec<TaskClass> {
+    ccsd_terms().iter().flat_map(|t| term_task_classes(t, p, tile)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn problem_extents() {
+        let p = Problem::new(10, 100);
+        assert_eq!(p.extent(Dim::O), 10);
+        assert_eq!(p.extent(Dim::V), 100);
+    }
+
+    #[test]
+    fn leading_flops_scaling() {
+        let p = Problem::new(10, 100);
+        assert_eq!(p.leading_flops(), 2.0 * 100.0 * 1e8);
+        // Doubling V multiplies by 16.
+        let p2 = Problem::new(10, 200);
+        assert!((p2.leading_flops() / p.leading_flops() - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tiling_covers_exactly() {
+        for (extent, tile) in [(100, 40), (100, 50), (7, 10), (64, 64), (65, 64)] {
+            let t = Tiling::new(extent, tile);
+            assert_eq!(t.covered(), extent, "extent {extent} tile {tile}");
+            let shape_total: usize = t.shapes().iter().map(|(e, c)| e * c).sum();
+            assert_eq!(shape_total, extent);
+        }
+    }
+
+    #[test]
+    fn tiling_clamps_large_tiles() {
+        let t = Tiling::new(44, 100);
+        assert_eq!(t.n_tiles(), 1);
+        assert_eq!(t.tile, 44);
+        assert_eq!(t.remainder, 0);
+    }
+
+    #[test]
+    fn tiling_exact_division_no_remainder() {
+        let t = Tiling::new(120, 40);
+        assert_eq!(t.n_tiles(), 3);
+        assert_eq!(t.remainder, 0);
+        assert_eq!(t.shapes(), vec![(40, 3)]);
+    }
+
+    #[test]
+    fn term_flops_match_analytic() {
+        let p = Problem::new(20, 100);
+        let terms = ccsd_terms();
+        let ladder = terms.iter().find(|t| t.name == "pp_ladder").unwrap();
+        assert_eq!(ladder.flops(&p), 2.0 * 400.0 * 1e8);
+    }
+
+    #[test]
+    fn task_classes_flops_sum_to_term_flops() {
+        let p = Problem::new(30, 170);
+        for term in ccsd_terms() {
+            for tile in [32, 50, 64] {
+                let classes = term_task_classes(&term, &p, tile);
+                let total: f64 = classes.iter().map(|c| c.flops * c.count as f64).sum();
+                let expect = term.flops(&p);
+                assert!(
+                    (total - expect).abs() / expect < 1e-12,
+                    "{} tile {tile}: {total} vs {expect}",
+                    term.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn task_count_matches_tile_product() {
+        let p = Problem::new(40, 120);
+        let terms = ccsd_terms();
+        let ladder = terms.iter().find(|t| t.name == "pp_ladder").unwrap();
+        let tile = 40;
+        let classes = term_task_classes(ladder, &p, tile);
+        let total: usize = classes.iter().map(|c| c.count).sum();
+        // loop dims: V,V,O,O,V,V → tiles 3,3,1,1,3,3 = 81.
+        assert_eq!(total, 81);
+    }
+
+    #[test]
+    fn exact_tiling_yields_single_class() {
+        let p = Problem::new(40, 120);
+        let terms = ccsd_terms();
+        let ladder = terms.iter().find(|t| t.name == "pp_ladder").unwrap();
+        let classes = term_task_classes(ladder, &p, 40);
+        assert_eq!(classes.len(), 1, "exact division ⇒ one uniform class");
+    }
+
+    #[test]
+    fn bytes_positive_and_scale_with_tile() {
+        let p = Problem::new(50, 300);
+        let small: f64 = iteration_task_classes(&p, 30)
+            .iter()
+            .map(|c| c.bytes_in * c.count as f64)
+            .sum();
+        let large: f64 = iteration_task_classes(&p, 100)
+            .iter()
+            .map(|c| c.bytes_in * c.count as f64)
+            .sum();
+        assert!(small > 0.0 && large > 0.0);
+        // Bigger tiles mean less total traffic (fewer redundant fetches).
+        assert!(large < small, "total bytes should drop with tile size: {large} vs {small}");
+    }
+
+    #[test]
+    fn min_gemm_dim_grows_with_tile() {
+        let p = Problem::new(100, 800);
+        let terms = ccsd_terms();
+        let ladder = terms.iter().find(|t| t.name == "pp_ladder").unwrap();
+        let dim_at = |tile| {
+            term_task_classes(ladder, &p, tile)
+                .iter()
+                .map(|c| c.min_gemm_dim)
+                .fold(0.0, f64::max)
+        };
+        assert!(dim_at(80) > dim_at(40));
+    }
+
+    #[test]
+    fn iteration_dominated_by_ladder() {
+        let p = Problem::new(100, 1000);
+        let total: f64 = ccsd_terms().iter().map(|t| t.flops(&p)).sum();
+        let ladder = ccsd_terms().iter().find(|t| t.name == "pp_ladder").unwrap().flops(&p);
+        assert!(ladder / total > 0.5, "ladder should dominate at V >> O");
+    }
+}

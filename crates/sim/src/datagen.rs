@@ -1,0 +1,428 @@
+//! Dataset generation reproducing the paper's experimental corpus.
+//!
+//! The paper collected 2329 (Aurora) and 2454 (Frontier) single-iteration
+//! CCSD wall times over 22 / 20 problem sizes × node counts × tile sizes
+//! (Table 1). This module regenerates datasets of exactly those sizes from
+//! the simulator: the same `(O, V)` problem lists as Tables 3–6, a node
+//! sweep filtered for memory feasibility, a tile sweep over the ranges the
+//! tables exhibit, and a seeded subsample down to the Table 1 counts.
+//! Generation runs in parallel across configurations.
+
+use crate::ccsd::Problem;
+use crate::machine::MachineModel;
+use crate::simulate::{fits_in_memory, simulate_iteration, Config};
+use chemcost_linalg::parallel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, Write};
+use std::path::Path;
+
+/// One labelled experiment: the paper's feature vector and targets.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Occupied orbitals.
+    pub o: usize,
+    /// Virtual orbitals.
+    pub v: usize,
+    /// Node count.
+    pub nodes: usize,
+    /// Tile size.
+    pub tile: usize,
+    /// Measured wall seconds of one CCSD iteration.
+    pub seconds: f64,
+    /// `seconds · nodes / 3600`.
+    pub node_hours: f64,
+    /// Estimated energy, kWh.
+    pub energy_kwh: f64,
+}
+
+impl Sample {
+    /// The feature vector `[O, V, nodes, tile]` the paper's models use.
+    pub fn features(&self) -> [f64; 4] {
+        [self.o as f64, self.v as f64, self.nodes as f64, self.tile as f64]
+    }
+}
+
+/// Feature names in [`Sample::features`] order.
+pub const FEATURE_NAMES: [&str; 4] = ["O", "V", "nodes", "tile"];
+
+/// The 22 Aurora problem sizes of Tables 3/5.
+pub fn aurora_problems() -> Vec<Problem> {
+    [
+        (44, 260),
+        (81, 835),
+        (85, 698),
+        (99, 718),
+        (99, 1021),
+        (116, 575),
+        (116, 840),
+        (116, 1184),
+        (134, 523),
+        (134, 951),
+        (134, 1200),
+        (146, 278),
+        (146, 591),
+        (146, 1096),
+        (146, 1568),
+        (180, 720),
+        (180, 1070),
+        (196, 764),
+        (204, 969),
+        (235, 1007),
+        (280, 1040),
+        (345, 791),
+    ]
+    .into_iter()
+    .map(|(o, v)| Problem::new(o, v))
+    .collect()
+}
+
+/// The 20 Frontier problem sizes of Tables 4/6.
+pub fn frontier_problems() -> Vec<Problem> {
+    [
+        (49, 663),
+        (81, 835),
+        (85, 698),
+        (99, 718),
+        (99, 1021),
+        (116, 575),
+        (116, 840),
+        (116, 1184),
+        (134, 523),
+        (134, 951),
+        (134, 1200),
+        (146, 591),
+        (146, 1096),
+        (180, 720),
+        (180, 1070),
+        (196, 764),
+        (204, 969),
+        (235, 1007),
+        (280, 1040),
+        (345, 791),
+    ]
+    .into_iter()
+    .map(|(o, v)| Problem::new(o, v))
+    .collect()
+}
+
+/// Problem list for a machine profile (`aurora` / `frontier`).
+pub fn problems_for(machine: &MachineModel) -> Vec<Problem> {
+    if machine.name == "frontier" {
+        frontier_problems()
+    } else {
+        aurora_problems()
+    }
+}
+
+/// The paper's Table 1 sample count for a machine.
+pub fn table1_count(machine: &MachineModel) -> usize {
+    if machine.name == "frontier" {
+        2454
+    } else {
+        2329
+    }
+}
+
+/// Global node-count candidates, spanning the tables' observed range.
+pub fn node_candidates() -> Vec<usize> {
+    vec![
+        5, 10, 15, 20, 25, 30, 35, 45, 50, 65, 70, 80, 90, 110, 120, 150, 185, 200, 220, 240,
+        260, 300, 320, 350, 400, 450, 500, 600, 700, 800, 900,
+    ]
+}
+
+/// Tile-size candidates (the tables show 40–180).
+pub fn tile_candidates() -> Vec<usize> {
+    (4..=18).map(|k| k * 10).collect()
+}
+
+/// Node counts to sweep for one problem: the memory-feasible candidates,
+/// geometrically thinned to at most `max_per_problem`.
+pub fn nodes_for_problem(
+    p: &Problem,
+    machine: &MachineModel,
+    max_per_problem: usize,
+) -> Vec<usize> {
+    let feasible: Vec<usize> = node_candidates()
+        .into_iter()
+        .filter(|&n| fits_in_memory(p, n, machine))
+        .collect();
+    thin(&feasible, max_per_problem)
+}
+
+/// Keep at most `k` values, evenly spaced across the list (first and last
+/// always retained).
+fn thin(values: &[usize], k: usize) -> Vec<usize> {
+    if values.len() <= k || k == 0 {
+        return values.to_vec();
+    }
+    let mut out = Vec::with_capacity(k);
+    for i in 0..k {
+        let idx = i * (values.len() - 1) / (k - 1).max(1);
+        out.push(values[idx]);
+    }
+    out.dedup();
+    out
+}
+
+/// Longest iteration a user would realistically sweep (the paper's tables
+/// top out around 1200 s; its corpus covers "ranges of typical use").
+/// Configurations slower than this are excluded from the grid.
+pub const MAX_SWEEP_SECONDS: f64 = 1800.0;
+
+/// Every feasible `(problem, config)` in the sweep grid for a machine:
+/// memory-feasible and within [`MAX_SWEEP_SECONDS`] (noise-free).
+pub fn full_grid(machine: &MachineModel) -> Vec<(Problem, Config)> {
+    let tiles = thin(&tile_candidates(), 12);
+    let mut candidates = Vec::new();
+    for p in problems_for(machine) {
+        for n in nodes_for_problem(&p, machine, 14) {
+            for &t in &tiles {
+                candidates.push((p, Config::new(n, t)));
+            }
+        }
+    }
+    // Filter by clean runtime in parallel (the sim is cheap but there are
+    // thousands of candidates).
+    let keep = parallel::par_map(candidates.len(), |i| {
+        let (p, cfg) = candidates[i];
+        let r = crate::simulate::simulate_iteration_clean(&p, &cfg, machine);
+        r.feasible && r.seconds <= MAX_SWEEP_SECONDS
+    });
+    candidates
+        .into_iter()
+        .zip(keep)
+        .filter_map(|(c, k)| k.then_some(c))
+        .collect()
+}
+
+/// Generate the machine's dataset at exactly the Table 1 size (or the full
+/// grid size if smaller), deterministically under `seed`, in parallel.
+pub fn generate_dataset(machine: &MachineModel, seed: u64) -> Vec<Sample> {
+    generate_dataset_sized(machine, table1_count(machine), seed)
+}
+
+/// Generate `target` samples (clamped to the grid size) for a machine.
+pub fn generate_dataset_sized(machine: &MachineModel, target: usize, seed: u64) -> Vec<Sample> {
+    let grid = full_grid(machine);
+    // Seeded subsample down to the target count, preserving grid order so
+    // every problem keeps proportional coverage.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let keep = target.min(grid.len());
+    let mut chosen = chemcost_ml_free_sample(&mut rng, grid.len(), keep);
+    chosen.sort_unstable();
+    let picked: Vec<(Problem, Config)> = chosen.iter().map(|&i| grid[i]).collect();
+    parallel::par_map(picked.len(), |i| {
+        let (p, cfg) = picked[i];
+        // Per-sample noise seed derived from position and master seed.
+        let noise_seed = seed
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add(chosen[i] as u64)
+            .wrapping_mul(0xD1B54A32D192ED03);
+        let r = simulate_iteration(&p, &cfg, machine, noise_seed);
+        Sample {
+            o: p.o,
+            v: p.v,
+            nodes: cfg.nodes,
+            tile: cfg.tile,
+            seconds: r.seconds,
+            node_hours: r.node_hours,
+            energy_kwh: r.energy_kwh,
+        }
+    })
+}
+
+/// `k` distinct indices from `0..n` via partial Fisher–Yates (local copy to
+/// keep this crate independent of `chemcost-ml`).
+fn chemcost_ml_free_sample(rng: &mut StdRng, n: usize, k: usize) -> Vec<usize> {
+    use rand::Rng;
+    assert!(k <= n);
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in 0..k {
+        let j = rng.gen_range(i..n);
+        idx.swap(i, j);
+    }
+    idx.truncate(k);
+    idx
+}
+
+/// Write samples as CSV (`o,v,nodes,tile,seconds,node_hours` + header).
+pub fn write_csv(path: &Path, samples: &[Sample]) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut w = std::io::BufWriter::new(file);
+    writeln!(w, "o,v,nodes,tile,seconds,node_hours,energy_kwh")?;
+    for s in samples {
+        writeln!(
+            w,
+            "{},{},{},{},{:.6},{:.8},{:.8}",
+            s.o, s.v, s.nodes, s.tile, s.seconds, s.node_hours, s.energy_kwh
+        )?;
+    }
+    w.flush()
+}
+
+/// Read samples back from [`write_csv`]'s format.
+pub fn read_csv(path: &Path) -> std::io::Result<Vec<Sample>> {
+    let file = std::fs::File::open(path)?;
+    let reader = std::io::BufReader::new(file);
+    let mut out = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        if lineno == 0 || line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 7 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("line {}: expected 7 fields, got {}", lineno + 1, fields.len()),
+            ));
+        }
+        let parse_err = |what: &str| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("line {}: bad {what}", lineno + 1),
+            )
+        };
+        out.push(Sample {
+            o: fields[0].parse().map_err(|_| parse_err("o"))?,
+            v: fields[1].parse().map_err(|_| parse_err("v"))?,
+            nodes: fields[2].parse().map_err(|_| parse_err("nodes"))?,
+            tile: fields[3].parse().map_err(|_| parse_err("tile"))?,
+            seconds: fields[4].parse().map_err(|_| parse_err("seconds"))?,
+            node_hours: fields[5].parse().map_err(|_| parse_err("node_hours"))?,
+            energy_kwh: fields[6].parse().map_err(|_| parse_err("energy_kwh"))?,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{aurora, frontier};
+
+    #[test]
+    fn problem_lists_match_paper_counts() {
+        assert_eq!(aurora_problems().len(), 22);
+        assert_eq!(frontier_problems().len(), 20);
+    }
+
+    #[test]
+    fn grid_large_enough_for_table1() {
+        for m in [aurora(), frontier()] {
+            let grid = full_grid(&m);
+            assert!(
+                grid.len() >= table1_count(&m),
+                "{}: grid {} < target {}",
+                m.name,
+                grid.len(),
+                table1_count(&m)
+            );
+        }
+    }
+
+    #[test]
+    fn dataset_has_exact_table1_size() {
+        let m = aurora();
+        let ds = generate_dataset_sized(&m, 500, 7);
+        assert_eq!(ds.len(), 500);
+    }
+
+    #[test]
+    fn dataset_deterministic() {
+        let m = frontier();
+        let a = generate_dataset_sized(&m, 200, 3);
+        let b = generate_dataset_sized(&m, 200, 3);
+        assert_eq!(a, b);
+        let c = generate_dataset_sized(&m, 200, 4);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn all_samples_feasible_and_positive() {
+        let m = aurora();
+        let ds = generate_dataset_sized(&m, 300, 11);
+        for s in &ds {
+            assert!(s.seconds.is_finite() && s.seconds > 0.0, "{s:?}");
+            assert!(s.node_hours > 0.0);
+            assert!((s.node_hours - s.seconds * s.nodes as f64 / 3600.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn every_problem_represented() {
+        let m = aurora();
+        let ds = generate_dataset(&m, 1);
+        let problems: std::collections::HashSet<(usize, usize)> =
+            ds.iter().map(|s| (s.o, s.v)).collect();
+        assert_eq!(problems.len(), 22, "all 22 problems present in the Aurora dataset");
+    }
+
+    #[test]
+    fn nodes_respect_memory_gate() {
+        let m = aurora();
+        let big = Problem::new(146, 1568);
+        for n in nodes_for_problem(&big, &m, 12) {
+            assert!(fits_in_memory(&big, n, &m));
+        }
+        // The big problem must lose some of the smallest node counts.
+        let small = Problem::new(44, 260);
+        let n_small = nodes_for_problem(&small, &m, 12);
+        let n_big = nodes_for_problem(&big, &m, 12);
+        assert!(n_big[0] > n_small[0]);
+    }
+
+    #[test]
+    fn thin_keeps_endpoints() {
+        let v = vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10];
+        let t = thin(&v, 4);
+        assert_eq!(t.first(), Some(&1));
+        assert_eq!(t.last(), Some(&10));
+        assert!(t.len() <= 4);
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let m = aurora();
+        let ds = generate_dataset_sized(&m, 50, 2);
+        let dir = std::env::temp_dir().join("chemcost_test_csv");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("aurora_sample.csv");
+        write_csv(&path, &ds).unwrap();
+        let back = read_csv(&path).unwrap();
+        assert_eq!(ds.len(), back.len());
+        for (a, b) in ds.iter().zip(&back) {
+            assert_eq!((a.o, a.v, a.nodes, a.tile), (b.o, b.v, b.nodes, b.tile));
+            assert!((a.seconds - b.seconds).abs() < 1e-5);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn read_csv_rejects_malformed() {
+        let dir = std::env::temp_dir().join("chemcost_test_csv");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.csv");
+        std::fs::write(&path, "o,v,nodes,tile,seconds,node_hours\n1,2,3\n").unwrap();
+        assert!(read_csv(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn features_order_matches_names() {
+        let s = Sample {
+            o: 1,
+            v: 2,
+            nodes: 3,
+            tile: 4,
+            seconds: 5.0,
+            node_hours: 6.0,
+            energy_kwh: 7.0,
+        };
+        assert_eq!(s.features(), [1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(FEATURE_NAMES.len(), 4);
+    }
+}

@@ -1,0 +1,308 @@
+//! Molecules and basis sets: from chemistry to `(O, V)`.
+//!
+//! The paper's features are occupied/virtual orbital counts, but its users
+//! start from a molecule and a basis set. This module provides that
+//! translation for a small catalog of representative systems:
+//!
+//! * `O` = (electrons − 2·frozen-core orbitals) / 2 for closed-shell
+//!   systems with the conventional frozen-core approximation,
+//! * `V` = total basis functions − electrons/2 (all non-occupied orbitals
+//!   are virtual; basis functions are summed per element from the basis
+//!   set's contraction table).
+//!
+//! Counts use standard Dunning cc-pVnZ spherical-harmonic sizes. The
+//! catalog spans the magnitude range of the paper's Table 3–6 problems, so
+//! `Molecule::problem(basis)` lands inside the advisor's trained envelope.
+
+use crate::ccsd::Problem;
+
+/// A chemical element this catalog supports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Element {
+    /// Hydrogen.
+    H,
+    /// Carbon.
+    C,
+    /// Nitrogen.
+    N,
+    /// Oxygen.
+    O,
+    /// Sulfur.
+    S,
+}
+
+impl Element {
+    /// Nuclear charge / electron count of the neutral atom.
+    pub fn electrons(self) -> usize {
+        match self {
+            Element::H => 1,
+            Element::C => 6,
+            Element::N => 7,
+            Element::O => 8,
+            Element::S => 16,
+        }
+    }
+
+    /// Core orbitals frozen in correlated calculations (1s for first-row,
+    /// 1s2s2p for S; none for H).
+    pub fn frozen_core_orbitals(self) -> usize {
+        match self {
+            Element::H => 0,
+            Element::C | Element::N | Element::O => 1,
+            Element::S => 5,
+        }
+    }
+
+    /// Spherical-harmonic basis-function count in a Dunning basis.
+    pub fn basis_functions(self, basis: BasisSet) -> usize {
+        use BasisSet::*;
+        match self {
+            // H: cc-pVDZ 5, cc-pVTZ 14, cc-pVQZ 30; aug- adds 4/9/16.
+            Element::H => match basis {
+                CcPvdz => 5,
+                CcPvtz => 14,
+                CcPvqz => 30,
+                AugCcPvdz => 9,
+                AugCcPvtz => 23,
+            },
+            // First row: cc-pVDZ 14, cc-pVTZ 30, cc-pVQZ 55; aug- +9/+16.
+            Element::C | Element::N | Element::O => match basis {
+                CcPvdz => 14,
+                CcPvtz => 30,
+                CcPvqz => 55,
+                AugCcPvdz => 23,
+                AugCcPvtz => 46,
+            },
+            // Second row (S): cc-pVDZ 18, cc-pVTZ 34, cc-pVQZ 59.
+            Element::S => match basis {
+                CcPvdz => 18,
+                CcPvtz => 34,
+                CcPvqz => 59,
+                AugCcPvdz => 27,
+                AugCcPvtz => 50,
+            },
+        }
+    }
+}
+
+/// Dunning correlation-consistent basis sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BasisSet {
+    /// cc-pVDZ.
+    CcPvdz,
+    /// cc-pVTZ.
+    CcPvtz,
+    /// cc-pVQZ.
+    CcPvqz,
+    /// aug-cc-pVDZ.
+    AugCcPvdz,
+    /// aug-cc-pVTZ.
+    AugCcPvtz,
+}
+
+impl BasisSet {
+    /// Parse common spellings ("cc-pvtz", "aug-cc-pvdz", …).
+    pub fn parse(name: &str) -> Option<BasisSet> {
+        match name.to_ascii_lowercase().replace('_', "-").as_str() {
+            "cc-pvdz" | "ccpvdz" | "dz" => Some(BasisSet::CcPvdz),
+            "cc-pvtz" | "ccpvtz" | "tz" => Some(BasisSet::CcPvtz),
+            "cc-pvqz" | "ccpvqz" | "qz" => Some(BasisSet::CcPvqz),
+            "aug-cc-pvdz" | "augccpvdz" | "adz" => Some(BasisSet::AugCcPvdz),
+            "aug-cc-pvtz" | "augccpvtz" | "atz" => Some(BasisSet::AugCcPvtz),
+            _ => None,
+        }
+    }
+
+    /// Canonical display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BasisSet::CcPvdz => "cc-pVDZ",
+            BasisSet::CcPvtz => "cc-pVTZ",
+            BasisSet::CcPvqz => "cc-pVQZ",
+            BasisSet::AugCcPvdz => "aug-cc-pVDZ",
+            BasisSet::AugCcPvtz => "aug-cc-pVTZ",
+        }
+    }
+
+    /// All supported sets.
+    pub fn all() -> [BasisSet; 5] {
+        [
+            BasisSet::CcPvdz,
+            BasisSet::CcPvtz,
+            BasisSet::CcPvqz,
+            BasisSet::AugCcPvdz,
+            BasisSet::AugCcPvtz,
+        ]
+    }
+}
+
+/// A molecule as a bag of atoms (geometry does not matter for sizing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Molecule {
+    /// Display name ("uracil dimer").
+    pub name: String,
+    /// `(element, count)` composition.
+    pub atoms: Vec<(Element, usize)>,
+}
+
+impl Molecule {
+    /// Build from a composition list.
+    ///
+    /// # Panics
+    /// Panics on an empty composition.
+    pub fn new(name: &str, atoms: Vec<(Element, usize)>) -> Self {
+        assert!(!atoms.is_empty(), "molecule needs at least one atom");
+        Self { name: name.to_string(), atoms }
+    }
+
+    /// Total electron count (neutral molecule).
+    pub fn electrons(&self) -> usize {
+        self.atoms.iter().map(|&(e, n)| e.electrons() * n).sum()
+    }
+
+    /// Doubly occupied orbitals (closed shell).
+    ///
+    /// # Panics
+    /// Panics on an odd electron count — CCSD here is closed-shell only.
+    pub fn occupied_orbitals(&self) -> usize {
+        let e = self.electrons();
+        assert!(e.is_multiple_of(2), "{} has an odd electron count", self.name);
+        e / 2
+    }
+
+    /// Frozen-core orbital count.
+    pub fn frozen_core(&self) -> usize {
+        self.atoms.iter().map(|&(e, n)| e.frozen_core_orbitals() * n).sum()
+    }
+
+    /// Basis functions in a given basis.
+    pub fn basis_functions(&self, basis: BasisSet) -> usize {
+        self.atoms.iter().map(|&(e, n)| e.basis_functions(basis) * n).sum()
+    }
+
+    /// The correlated `(O, V)` problem this molecule/basis poses:
+    /// `O = occupied − frozen core`, `V = basis functions − occupied`.
+    ///
+    /// # Panics
+    /// Panics if the basis is too small to hold the electrons (cannot
+    /// happen for the catalog + supported bases).
+    pub fn problem(&self, basis: BasisSet) -> Problem {
+        let occ = self.occupied_orbitals();
+        let o = occ - self.frozen_core();
+        let nbf = self.basis_functions(basis);
+        assert!(nbf > occ, "{}: basis {} smaller than electron count", self.name, basis.name());
+        Problem::new(o, nbf - occ)
+    }
+}
+
+/// A small catalog spanning the paper's problem-size range.
+pub fn catalog() -> Vec<Molecule> {
+    use Element::*;
+    vec![
+        Molecule::new("water hexamer", vec![(O, 6), (H, 12)]),
+        Molecule::new("benzene", vec![(C, 6), (H, 6)]),
+        Molecule::new("naphthalene", vec![(C, 10), (H, 8)]),
+        Molecule::new("adenine", vec![(C, 5), (H, 5), (N, 5)]),
+        Molecule::new("uracil dimer", vec![(C, 8), (H, 8), (N, 4), (O, 4)]),
+        Molecule::new("guanine-cytosine pair", vec![(C, 9), (H, 10), (N, 8), (O, 2)]),
+        Molecule::new("methionine", vec![(C, 5), (H, 11), (N, 1), (O, 2), (S, 1)]),
+        Molecule::new("water 20-mer", vec![(O, 20), (H, 40)]),
+        Molecule::new("coronene", vec![(C, 24), (H, 12)]),
+    ]
+}
+
+/// Find a catalog molecule by (case-insensitive, punctuation-tolerant)
+/// name.
+pub fn by_name(name: &str) -> Option<Molecule> {
+    let norm = |s: &str| s.to_ascii_lowercase().replace(['-', '_', ' '], "");
+    let wanted = norm(name);
+    catalog().into_iter().find(|m| norm(&m.name) == wanted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn water_electron_bookkeeping() {
+        let water = Molecule::new("water", vec![(Element::O, 1), (Element::H, 2)]);
+        assert_eq!(water.electrons(), 10);
+        assert_eq!(water.occupied_orbitals(), 5);
+        assert_eq!(water.frozen_core(), 1);
+        // cc-pVDZ: O 14 + 2·H 5 = 24 functions → O=4, V=19.
+        let p = water.problem(BasisSet::CcPvdz);
+        assert_eq!((p.o, p.v), (4, 19));
+    }
+
+    #[test]
+    fn benzene_tz_matches_hand_count() {
+        let benzene = by_name("benzene").unwrap();
+        assert_eq!(benzene.electrons(), 42);
+        // cc-pVTZ: 6·30 + 6·14 = 264 functions; occ 21, frozen 6.
+        let p = benzene.problem(BasisSet::CcPvtz);
+        assert_eq!((p.o, p.v), (15, 264 - 21));
+    }
+
+    #[test]
+    fn bigger_basis_bigger_v_same_o() {
+        let m = by_name("uracil dimer").unwrap();
+        let dz = m.problem(BasisSet::CcPvdz);
+        let tz = m.problem(BasisSet::CcPvtz);
+        let qz = m.problem(BasisSet::CcPvqz);
+        assert_eq!(dz.o, tz.o);
+        assert_eq!(tz.o, qz.o);
+        assert!(dz.v < tz.v && tz.v < qz.v);
+    }
+
+    #[test]
+    fn augmentation_only_adds_virtuals() {
+        let m = by_name("adenine").unwrap();
+        let plain = m.problem(BasisSet::CcPvdz);
+        let aug = m.problem(BasisSet::AugCcPvdz);
+        assert_eq!(plain.o, aug.o);
+        assert!(aug.v > plain.v);
+    }
+
+    #[test]
+    fn catalog_covers_paper_magnitudes() {
+        // Across catalog × bases, (O, V) should span roughly the paper's
+        // Table 3 range (O 44–345, V 260–1568).
+        let mut o_max = 0;
+        let mut v_max = 0;
+        let mut o_min = usize::MAX;
+        for m in catalog() {
+            for b in BasisSet::all() {
+                let p = m.problem(b);
+                o_max = o_max.max(p.o);
+                v_max = v_max.max(p.v);
+                o_min = o_min.min(p.o);
+            }
+        }
+        assert!(o_min < 44, "catalog should include small problems (min O {o_min})");
+        assert!(o_max >= 70, "catalog should include big problems (max O {o_max})");
+        assert!(v_max >= 1000, "catalog should reach large V (max V {v_max})");
+    }
+
+    #[test]
+    fn basis_parse_round_trip() {
+        for b in BasisSet::all() {
+            assert_eq!(BasisSet::parse(b.name()), Some(b));
+        }
+        assert_eq!(BasisSet::parse("CC-PVTZ"), Some(BasisSet::CcPvtz));
+        assert_eq!(BasisSet::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn lookup_tolerates_punctuation() {
+        assert!(by_name("Uracil Dimer").is_some());
+        assert!(by_name("uracil-dimer").is_some());
+        assert!(by_name("no-such-molecule").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "odd electron count")]
+    fn open_shell_rejected() {
+        let radical = Molecule::new("methyl radical", vec![(Element::C, 1), (Element::H, 3)]);
+        let _ = radical.occupied_orbitals();
+    }
+}

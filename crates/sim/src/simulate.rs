@@ -1,0 +1,300 @@
+//! End-to-end simulation of one CCSD iteration on a machine model.
+
+use crate::ccsd::{iteration_task_classes, Problem, TaskClass};
+use crate::machine::MachineModel;
+use crate::schedule::{lpt_classes, ScheduleStats};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A runtime configuration: the two knobs the paper's users tune.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Config {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Tensor tile size.
+    pub tile: usize,
+}
+
+impl Config {
+    /// Construct a configuration.
+    ///
+    /// # Panics
+    /// Panics if either knob is zero.
+    pub fn new(nodes: usize, tile: usize) -> Self {
+        assert!(nodes > 0 && tile > 0, "nodes and tile must be positive");
+        Self { nodes, tile }
+    }
+}
+
+/// Per-phase time breakdown of a simulated iteration (seconds).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Breakdown {
+    /// Perfect-balance task time (compute+comm, mean executor load).
+    pub balanced: f64,
+    /// Extra time from load imbalance (makespan − mean load).
+    pub imbalance: f64,
+    /// Fixed + collective + per-node runtime overheads.
+    pub overhead: f64,
+}
+
+/// Result of simulating one iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimResult {
+    /// Wall time of the iteration, seconds (`f64::INFINITY` if the
+    /// configuration does not fit in memory).
+    pub seconds: f64,
+    /// `seconds · nodes / 3600` — the paper's budget metric.
+    pub node_hours: f64,
+    /// Estimated electrical energy of the iteration, kWh: idle draw for
+    /// the full wall time plus the busy-idle delta weighted by mean GPU
+    /// utilization (extension beyond the paper's node-hour budget).
+    pub energy_kwh: f64,
+    /// Phase breakdown (noise-free).
+    pub breakdown: Breakdown,
+    /// Whether the configuration fits in aggregate node memory.
+    pub feasible: bool,
+    /// Total tile tasks executed.
+    pub n_tasks: usize,
+}
+
+/// Aggregate memory footprint of the CCSD tensors, bytes.
+///
+/// The `V⁴` two-electron integral block (stored with 8-fold symmetry
+/// packing), several `O²V²` amplitude/residual/intermediate copies, and
+/// the `O⁴`/`O³V` intermediates.
+pub fn memory_bytes(p: &Problem) -> f64 {
+    let o = p.o as f64;
+    let v = p.v as f64;
+    8.0 * (v.powi(4) / 8.0 + 6.0 * o.powi(2) * v.powi(2) + o.powi(4) + 2.0 * o.powi(3) * v)
+}
+
+/// True when the problem's distributed tensors fit on `nodes` nodes.
+pub fn fits_in_memory(p: &Problem, nodes: usize, machine: &MachineModel) -> bool {
+    memory_bytes(p) / nodes as f64 <= machine.mem_per_node
+}
+
+/// Per-task duration under a machine model: launch overhead plus compute
+/// partially overlapped with the remote gets.
+fn task_seconds(class: &TaskClass, machine: &MachineModel) -> f64 {
+    let compute = class.flops / machine.effective_flops(class.min_gemm_dim);
+    let comm = 2.0 * machine.net_latency + class.bytes_in / machine.net_bandwidth_per_gpu;
+    let b = machine.comm_overlap;
+    machine.task_overhead + compute.max(b * comm) + (1.0 - b) * comm
+}
+
+/// Noise-free simulation of one CCSD iteration.
+pub fn simulate_iteration_clean(p: &Problem, cfg: &Config, machine: &MachineModel) -> SimResult {
+    let feasible = fits_in_memory(p, cfg.nodes, machine);
+    let classes = iteration_task_classes(p, cfg.tile);
+    let executors = machine.executors(cfg.nodes);
+    let stats: ScheduleStats = lpt_classes(&classes, executors, |c| task_seconds(c, machine));
+    let nodes = cfg.nodes as f64;
+    let overhead = machine.base_overhead
+        + machine.per_node_overhead * nodes
+        + machine.coll_latency * (nodes + 1.0).log2();
+    let breakdown = Breakdown {
+        balanced: stats.mean_load,
+        imbalance: stats.makespan - stats.mean_load,
+        overhead,
+    };
+    let seconds = if feasible { stats.makespan + overhead } else { f64::INFINITY };
+    // Mean GPU-busy fraction over the iteration.
+    let utilization = if seconds > 0.0 && seconds.is_finite() {
+        (stats.mean_load / seconds).clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    let watts = machine.idle_watts_per_node
+        + (machine.busy_watts_per_node - machine.idle_watts_per_node) * utilization;
+    SimResult {
+        seconds,
+        node_hours: seconds * nodes / 3600.0,
+        energy_kwh: seconds * nodes * watts / 3.6e6,
+        breakdown,
+        feasible,
+        n_tasks: stats.n_tasks,
+    }
+}
+
+/// Simulate one CCSD iteration with log-normal measurement noise drawn
+/// from `seed` (pass the same seed to reproduce a "measurement").
+///
+/// The noise is mean-one multiplicative: `exp(σz − σ²/2)`.
+pub fn simulate_iteration(
+    p: &Problem,
+    cfg: &Config,
+    machine: &MachineModel,
+    seed: u64,
+) -> SimResult {
+    let mut result = simulate_iteration_clean(p, cfg, machine);
+    if result.feasible && machine.noise_sigma > 0.0 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen::<f64>();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        let s = machine.noise_sigma;
+        let factor = (s * z - 0.5 * s * s).exp();
+        result.seconds *= factor;
+        result.node_hours *= factor;
+        result.energy_kwh *= factor;
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{aurora, frontier};
+
+    #[test]
+    fn seconds_positive_and_finite() {
+        let p = Problem::new(99, 718);
+        let r = simulate_iteration_clean(&p, &Config::new(260, 60), &aurora());
+        assert!(r.feasible);
+        assert!(r.seconds.is_finite() && r.seconds > 0.0);
+        assert!(r.n_tasks > 1000, "a real iteration has many tile tasks");
+    }
+
+    #[test]
+    fn bigger_problem_takes_longer() {
+        let m = aurora();
+        let cfg = Config::new(100, 60);
+        let small = simulate_iteration_clean(&Problem::new(44, 260), &cfg, &m);
+        let large = simulate_iteration_clean(&Problem::new(146, 1096), &cfg, &m);
+        assert!(large.seconds > small.seconds * 5.0);
+    }
+
+    #[test]
+    fn node_count_has_an_interior_optimum() {
+        // Sweeping nodes for a mid-size problem must show a minimum that is
+        // neither the smallest nor the largest node count — the structural
+        // fact behind the whole STQ question.
+        let m = aurora();
+        let p = Problem::new(116, 840);
+        let sweep: Vec<(usize, f64)> = [5, 20, 50, 100, 200, 350, 600, 900]
+            .iter()
+            .map(|&n| (n, simulate_iteration_clean(&p, &Config::new(n, 60), &m).seconds))
+            .collect();
+        let best = sweep.iter().min_by(|a, b| a.1.partial_cmp(&b.1).unwrap()).unwrap().0;
+        assert!(best > 5 && best < 900, "optimum at {best} nodes: {sweep:?}");
+    }
+
+    #[test]
+    fn tile_size_has_an_interior_optimum() {
+        let m = aurora();
+        let p = Problem::new(134, 951);
+        let sweep: Vec<(usize, f64)> = [10, 30, 50, 70, 90, 120, 160, 250]
+            .iter()
+            .map(|&t| (t, simulate_iteration_clean(&p, &Config::new(300, t), &m).seconds))
+            .collect();
+        let best = sweep.iter().min_by(|a, b| a.1.partial_cmp(&b.1).unwrap()).unwrap().0;
+        assert!(best > 10 && best < 250, "optimum at tile {best}: {sweep:?}");
+    }
+
+    #[test]
+    fn node_hours_favor_fewer_nodes_than_walltime() {
+        // The paper's BQ/STQ contrast: the node-hour optimum sits at fewer
+        // nodes than the wall-time optimum.
+        let m = aurora();
+        let p = Problem::new(180, 1070);
+        let nodes = [10, 20, 35, 60, 100, 160, 260, 400, 650];
+        let results: Vec<SimResult> = nodes
+            .iter()
+            .map(|&n| simulate_iteration_clean(&p, &Config::new(n, 90), &m))
+            .collect();
+        let best_time = nodes[results
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.seconds.partial_cmp(&b.1.seconds).unwrap())
+            .unwrap()
+            .0];
+        let best_nh = nodes[results
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.node_hours.partial_cmp(&b.1.node_hours).unwrap())
+            .unwrap()
+            .0];
+        assert!(
+            best_nh < best_time,
+            "node-hour optimum ({best_nh}) should use fewer nodes than time optimum ({best_time})"
+        );
+    }
+
+    #[test]
+    fn memory_gate_rejects_huge_problem_on_few_nodes() {
+        let m = aurora();
+        let p = Problem::new(146, 1568);
+        assert!(!fits_in_memory(&p, 2, &m));
+        let r = simulate_iteration_clean(&p, &Config::new(2, 80), &m);
+        assert!(!r.feasible);
+        assert!(r.seconds.is_infinite());
+        // Enough nodes make it feasible.
+        assert!(fits_in_memory(&p, 100, &m));
+    }
+
+    #[test]
+    fn noise_is_reproducible_and_mean_one_ish() {
+        let p = Problem::new(99, 718);
+        let cfg = Config::new(200, 70);
+        let m = frontier();
+        let clean = simulate_iteration_clean(&p, &cfg, &m).seconds;
+        let a = simulate_iteration(&p, &cfg, &m, 42).seconds;
+        let b = simulate_iteration(&p, &cfg, &m, 42).seconds;
+        assert_eq!(a, b, "same seed, same measurement");
+        let c = simulate_iteration(&p, &cfg, &m, 43).seconds;
+        assert_ne!(a, c);
+        // Average over many seeds should approach the clean value.
+        let avg: f64 =
+            (0..500).map(|s| simulate_iteration(&p, &cfg, &m, s).seconds).sum::<f64>() / 500.0;
+        assert!((avg / clean - 1.0).abs() < 0.05, "noise should be mean-one: {avg} vs {clean}");
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let p = Problem::new(116, 575);
+        let r = simulate_iteration_clean(&p, &Config::new(150, 60), &aurora());
+        let sum = r.breakdown.balanced + r.breakdown.imbalance + r.breakdown.overhead;
+        assert!((sum - r.seconds).abs() < 1e-9);
+        assert!(r.breakdown.imbalance >= 0.0);
+    }
+
+    #[test]
+    fn node_hours_consistent() {
+        let p = Problem::new(85, 698);
+        let cfg = Config::new(75, 90);
+        let r = simulate_iteration_clean(&p, &cfg, &frontier());
+        assert!((r.node_hours - r.seconds * 75.0 / 3600.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_tracks_power_envelope() {
+        let m = aurora();
+        let p = Problem::new(99, 718);
+        let r = simulate_iteration_clean(&p, &Config::new(100, 70), &m);
+        // Energy must sit between the idle-only and busy-only envelopes.
+        let idle_kwh = r.seconds * 100.0 * m.idle_watts_per_node / 3.6e6;
+        let busy_kwh = r.seconds * 100.0 * m.busy_watts_per_node / 3.6e6;
+        assert!(r.energy_kwh >= idle_kwh - 1e-12 && r.energy_kwh <= busy_kwh + 1e-12);
+        // A horribly overscaled run wastes energy per unit of science:
+        // energy per node-hour drops toward idle as utilization collapses.
+        let waste = simulate_iteration_clean(&p, &Config::new(900, 70), &m);
+        let eff = |r: &SimResult| r.energy_kwh / r.node_hours;
+        assert!(eff(&waste) < eff(&r), "overscaling should reduce watts/node");
+    }
+
+    #[test]
+    fn runtime_magnitudes_roughly_match_paper() {
+        // Paper Table 3: (44,260) @ 5 nodes/t40 ≈ 17 s; (146,1568) @ 800
+        // nodes/t80 ≈ 394 s. We only require the same order of magnitude.
+        let m = aurora();
+        let small = simulate_iteration_clean(&Problem::new(44, 260), &Config::new(5, 40), &m);
+        assert!(
+            small.seconds > 2.0 && small.seconds < 200.0,
+            "small problem {} s",
+            small.seconds
+        );
+        let big = simulate_iteration_clean(&Problem::new(146, 1568), &Config::new(800, 80), &m);
+        assert!(big.seconds > 40.0 && big.seconds < 4000.0, "big problem {} s", big.seconds);
+    }
+}

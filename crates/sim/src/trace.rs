@@ -1,0 +1,262 @@
+//! Per-task discrete-event execution traces.
+//!
+//! The production path ([`crate::schedule::lpt_classes`]) collapses
+//! identical tasks into classes for speed. This module runs the same
+//! schedule task-by-task instead, producing a full execution trace —
+//! per-task `(executor, start, end)` records — which serves three
+//! purposes:
+//!
+//! * **cross-validation**: with noise off, the trace makespan lower-bounds
+//!   the class-based scheduler and converges to it when tasks vastly
+//!   outnumber executors (tested);
+//! * **per-task noise**: real GPU tasks jitter individually; the trace can
+//!   perturb every task independently, giving a finer-grained noise model
+//!   than the iteration-level log-normal;
+//! * **introspection**: utilization and Gantt-style data for users who want
+//!   to *see* why a configuration is slow (the `simulator_explore` example).
+
+use crate::ccsd::{iteration_task_classes, Problem};
+use crate::machine::MachineModel;
+use crate::simulate::Config;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One executed task.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskRecord {
+    /// Executor (global GPU index) that ran the task.
+    pub executor: usize,
+    /// Start time, seconds from iteration start.
+    pub start: f64,
+    /// End time.
+    pub end: f64,
+    /// Index of the originating task class.
+    pub class_id: usize,
+}
+
+/// A complete execution trace of the task phase of one iteration.
+#[derive(Debug, Clone)]
+pub struct ExecutionTrace {
+    /// Every task, in scheduling order.
+    pub records: Vec<TaskRecord>,
+    /// Completion time of the last task (excludes iteration overheads).
+    pub makespan: f64,
+    /// Busy seconds per executor.
+    pub executor_busy: Vec<f64>,
+}
+
+impl ExecutionTrace {
+    /// Mean executor utilization over the makespan, in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        if self.makespan <= 0.0 {
+            return 1.0;
+        }
+        let busy: f64 = self.executor_busy.iter().sum();
+        busy / (self.makespan * self.executor_busy.len() as f64)
+    }
+
+    /// Number of tasks executed.
+    pub fn n_tasks(&self) -> usize {
+        self.records.len()
+    }
+}
+
+/// Error from [`trace_iteration`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// The configuration generates more tasks than the cap allows —
+    /// per-task tracing is meant for inspection, not bulk dataset
+    /// generation.
+    TooManyTasks {
+        /// Tasks the configuration would generate.
+        tasks: usize,
+        /// The cap that was exceeded.
+        cap: usize,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::TooManyTasks { tasks, cap } => {
+                write!(f, "{tasks} tasks exceed the tracing cap of {cap}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Default cap on traced tasks.
+pub const DEFAULT_TASK_CAP: usize = 2_000_000;
+
+/// Per-task duration, mirroring the production cost model.
+fn task_seconds(class: &crate::ccsd::TaskClass, machine: &MachineModel) -> f64 {
+    let compute = class.flops / machine.effective_flops(class.min_gemm_dim);
+    let comm = 2.0 * machine.net_latency + class.bytes_in / machine.net_bandwidth_per_gpu;
+    let b = machine.comm_overlap;
+    machine.task_overhead + compute.max(b * comm) + (1.0 - b) * comm
+}
+
+/// Run the task phase of one CCSD iteration task-by-task.
+///
+/// Tasks are dispatched longest-first to the earliest-available executor
+/// (exact LPT list schedule). `per_task_noise` multiplies each task's
+/// duration by an independent log-normal factor with the given sigma
+/// (pass 0.0 for a deterministic trace).
+pub fn trace_iteration(
+    p: &Problem,
+    cfg: &Config,
+    machine: &MachineModel,
+    per_task_noise: f64,
+    seed: u64,
+) -> Result<ExecutionTrace, TraceError> {
+    let classes = iteration_task_classes(p, cfg.tile);
+    let total_tasks: usize = classes.iter().map(|c| c.count).sum();
+    if total_tasks > DEFAULT_TASK_CAP {
+        return Err(TraceError::TooManyTasks { tasks: total_tasks, cap: DEFAULT_TASK_CAP });
+    }
+    let executors = machine.executors(cfg.nodes);
+    // Expand (class, duration) pairs and sort longest-first.
+    let mut tasks: Vec<(f64, usize)> = Vec::with_capacity(total_tasks);
+    for (ci, class) in classes.iter().enumerate() {
+        let dur = task_seconds(class, machine);
+        for _ in 0..class.count {
+            tasks.push((dur, ci));
+        }
+    }
+    tasks.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sigma = per_task_noise.max(0.0);
+    // Min-heap of (available_time_bits, executor).
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> =
+        (0..executors).map(|e| Reverse((0u64, e))).collect();
+    let mut avail = vec![0.0f64; executors];
+    let mut busy = vec![0.0f64; executors];
+    let mut records = Vec::with_capacity(total_tasks);
+    for (dur, class_id) in tasks {
+        let Reverse((_, e)) = heap.pop().expect("non-empty heap");
+        let noisy_dur = if sigma > 0.0 {
+            let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            let u2: f64 = rng.gen::<f64>();
+            let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            dur * (sigma * z - 0.5 * sigma * sigma).exp()
+        } else {
+            dur
+        };
+        let start = avail[e];
+        let end = start + noisy_dur;
+        avail[e] = end;
+        busy[e] += noisy_dur;
+        records.push(TaskRecord { executor: e, start, end, class_id });
+        heap.push(Reverse((avail[e].to_bits(), e)));
+    }
+    let makespan = avail.iter().cloned().fold(0.0, f64::max);
+    Ok(ExecutionTrace { records, makespan, executor_busy: busy })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::aurora;
+    use crate::schedule::lpt_classes;
+
+    #[test]
+    fn noiseless_trace_bounds_class_scheduler() {
+        // The class scheduler spreads each class uniformly before handing
+        // out remainders, which cannot beat exact per-task LPT — so the
+        // trace is a lower bound on the class makespan, and both respect
+        // the work/critical-task lower bounds. When tasks vastly outnumber
+        // executors the two converge (second case).
+        let machine = aurora();
+        for (p, cfg, tight) in [
+            (Problem::new(60, 300), Config::new(20, 60), false),
+            (Problem::new(80, 400), Config::new(4, 40), true),
+        ] {
+            let trace = trace_iteration(&p, &cfg, &machine, 0.0, 0).unwrap();
+            let classes = iteration_task_classes(&p, cfg.tile);
+            let execs = machine.executors(cfg.nodes);
+            let stats = lpt_classes(&classes, execs, |c| task_seconds(c, &machine));
+            assert_eq!(trace.n_tasks(), stats.n_tasks);
+            assert!(
+                trace.makespan <= stats.makespan * (1.0 + 1e-9),
+                "exact LPT cannot be slower: {} vs {}",
+                trace.makespan,
+                stats.makespan
+            );
+            let work: f64 =
+                classes.iter().map(|c| c.count as f64 * task_seconds(c, &machine)).sum();
+            assert!(trace.makespan + 1e-9 >= work / execs as f64);
+            if tight {
+                let rel = (stats.makespan - trace.makespan) / trace.makespan;
+                assert!(rel < 0.02, "high task:executor ratio should converge: gap {rel:.4}");
+            }
+        }
+    }
+
+    #[test]
+    fn no_overlap_per_executor() {
+        let machine = aurora();
+        let trace =
+            trace_iteration(&Problem::new(40, 200), &Config::new(5, 50), &machine, 0.05, 3)
+                .unwrap();
+        let executors = machine.executors(5);
+        let mut per_exec: Vec<Vec<(f64, f64)>> = vec![Vec::new(); executors];
+        for r in &trace.records {
+            assert!(r.end >= r.start);
+            per_exec[r.executor].push((r.start, r.end));
+        }
+        for iv in &mut per_exec {
+            iv.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            for w in iv.windows(2) {
+                assert!(w[1].0 >= w[0].1 - 1e-12, "overlap {:?}", w);
+            }
+        }
+    }
+
+    #[test]
+    fn utilization_in_unit_interval_and_high_when_many_tasks() {
+        let machine = aurora();
+        let trace =
+            trace_iteration(&Problem::new(80, 400), &Config::new(10, 50), &machine, 0.0, 0)
+                .unwrap();
+        let u = trace.utilization();
+        assert!(u > 0.0 && u <= 1.0 + 1e-12);
+        assert!(u > 0.8, "many small tasks should pack well: {u}");
+    }
+
+    #[test]
+    fn per_task_noise_changes_makespan_but_not_count() {
+        let machine = aurora();
+        let p = Problem::new(50, 260);
+        let cfg = Config::new(8, 60);
+        let clean = trace_iteration(&p, &cfg, &machine, 0.0, 0).unwrap();
+        let noisy = trace_iteration(&p, &cfg, &machine, 0.1, 7).unwrap();
+        assert_eq!(clean.n_tasks(), noisy.n_tasks());
+        assert_ne!(clean.makespan, noisy.makespan);
+        // Noise is mean-one-ish: makespan stays in the same ballpark.
+        assert!((noisy.makespan / clean.makespan - 1.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn trace_deterministic_under_seed() {
+        let machine = aurora();
+        let p = Problem::new(45, 220);
+        let cfg = Config::new(6, 50);
+        let a = trace_iteration(&p, &cfg, &machine, 0.08, 11).unwrap();
+        let b = trace_iteration(&p, &cfg, &machine, 0.08, 11).unwrap();
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.records.len(), b.records.len());
+    }
+
+    #[test]
+    fn rejects_untraceably_large_configs() {
+        let machine = aurora();
+        // Tiny tiles on a large problem explode the task count.
+        let r = trace_iteration(&Problem::new(300, 1500), &Config::new(100, 10), &machine, 0.0, 0);
+        assert!(matches!(r, Err(TraceError::TooManyTasks { .. })));
+    }
+}

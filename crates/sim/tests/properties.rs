@@ -1,0 +1,84 @@
+//! Property-based tests local to the simulator crate: tiling, datasets,
+//! molecules, machine profiles.
+
+use chemcost_sim::ccsd::{iteration_task_classes, Problem, Tiling};
+use chemcost_sim::datagen::{generate_dataset_sized, nodes_for_problem, tile_candidates};
+use chemcost_sim::machine::{aurora, frontier};
+use chemcost_sim::molecules::{catalog, BasisSet};
+use chemcost_sim::simulate::fits_in_memory;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn tiling_partitions_any_extent(extent in 1usize..3000, tile in 1usize..400) {
+        let t = Tiling::new(extent, tile);
+        prop_assert_eq!(t.covered(), extent);
+        prop_assert!(t.n_tiles() >= 1);
+        // Every tile extent is within (0, tile].
+        for (e, count) in t.shapes() {
+            prop_assert!(e >= 1 && e <= tile.min(extent));
+            prop_assert!(count >= 1);
+        }
+    }
+
+    #[test]
+    fn task_class_counts_positive(o in 10usize..300, v in 50usize..1500, tile in 10usize..200) {
+        let classes = iteration_task_classes(&Problem::new(o, v), tile);
+        prop_assert!(!classes.is_empty());
+        for c in &classes {
+            prop_assert!(c.count >= 1);
+            prop_assert!(c.flops > 0.0);
+            prop_assert!(c.bytes_in > 0.0);
+            prop_assert!(c.min_gemm_dim >= 1.0);
+        }
+    }
+
+    #[test]
+    fn memory_feasibility_monotone_in_nodes(o in 20usize..350, v in 100usize..1600) {
+        // If a problem fits on n nodes it fits on n+k nodes.
+        let p = Problem::new(o, v);
+        let m = aurora();
+        let mut was_feasible = false;
+        for n in [1usize, 4, 16, 64, 256, 900] {
+            let f = fits_in_memory(&p, n, &m);
+            prop_assert!(!was_feasible || f, "feasibility must be monotone in nodes");
+            was_feasible = f;
+        }
+    }
+
+    #[test]
+    fn dataset_generation_size_and_validity(target in 20usize..200, seed in 0u64..50) {
+        let ds = generate_dataset_sized(&frontier(), target, seed);
+        prop_assert_eq!(ds.len(), target);
+        for s in &ds {
+            prop_assert!(s.seconds > 0.0 && s.seconds.is_finite());
+            prop_assert!(s.energy_kwh > 0.0);
+            prop_assert!((s.node_hours - s.seconds * s.nodes as f64 / 3600.0).abs() < 1e-9);
+            prop_assert!(tile_candidates().contains(&s.tile));
+        }
+    }
+
+    #[test]
+    fn nodes_for_problem_sorted_feasible(o in 20usize..350, v in 100usize..1600, k in 2usize..16) {
+        let p = Problem::new(o, v);
+        let m = aurora();
+        let nodes = nodes_for_problem(&p, &m, k);
+        prop_assert!(nodes.len() <= k.max(1));
+        for w in nodes.windows(2) {
+            prop_assert!(w[0] < w[1], "node list must be strictly increasing");
+        }
+        for &n in &nodes {
+            prop_assert!(fits_in_memory(&p, n, &m));
+        }
+    }
+}
+
+#[test]
+fn every_catalog_molecule_sizes_in_every_basis() {
+    for m in catalog() {
+        for b in BasisSet::all() {
+            let p = m.problem(b);
+            assert!(p.o >= 1 && p.v > p.o / 4, "{} in {}: ({}, {})", m.name, b.name(), p.o, p.v);
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Active learning when experiments are expensive (paper §3.4): compare
+//! random sampling, uncertainty sampling and query-by-committee on a
+//! machine's corpus and report how many experiments each needs to reach a
+//! target accuracy.
+//!
+//! ```text
+//! cargo run --release --example active_learning [aurora|frontier]
+//! ```
+
+use chemcost::active::{ActiveConfig, Strategy};
+use chemcost::core::data::MachineData;
+use chemcost::core::pipeline::active_learning_run;
+use chemcost::sim::machine::{by_name, frontier};
+
+fn main() {
+    let machine = std::env::args()
+        .nth(1)
+        .and_then(|n| by_name(&n))
+        .unwrap_or_else(frontier);
+    println!("generating corpus for {} …", machine.name);
+    let data = MachineData::generate_sized(&machine, 1200, 7);
+    let cfg = ActiveConfig {
+        n_initial: 50,
+        query_size: 50,
+        n_queries: 10,
+        seed: 3,
+        gb_shape: (120, 5, 0.1),
+    };
+    println!(
+        "pool: {} configurations; starting from {} labels, querying {} per round\n",
+        data.train_idx.len(),
+        cfg.n_initial,
+        cfg.query_size
+    );
+    for strategy in Strategy::all() {
+        let run = active_learning_run(&data, strategy, None, &cfg);
+        println!("strategy {strategy}:");
+        for r in run.rounds.iter().step_by(3) {
+            println!(
+                "  {:>4} experiments → R² {:>6.3}  MAPE {:>6.3}  MAE {:>8.2}",
+                r.n_labeled, r.pool.r2, r.pool.mape, r.pool.mae
+            );
+        }
+        match run.samples_to_mape(0.2) {
+            Some(n) => println!("  → MAPE ≤ 0.2 after {n} experiments\n"),
+            None => println!("  → MAPE ≤ 0.2 not reached within the budget\n"),
+        }
+    }
+}

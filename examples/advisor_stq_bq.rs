@@ -1,0 +1,56 @@
+//! The full advisor workflow of the paper: train the deployed GB model on
+//! a machine's corpus, reproduce its STQ/BQ evaluation tables, then answer
+//! both questions for problem sizes that are *not* in the training data —
+//! the actual user-facing scenario.
+//!
+//! ```text
+//! cargo run --release --example advisor_stq_bq [aurora|frontier]
+//! ```
+
+use chemcost::core::advisor::{Advisor, Goal};
+use chemcost::core::data::MachineData;
+use chemcost::core::pipeline::{bq_table, render_opt_table, stq_table, train_paper_gb};
+use chemcost::sim::machine::{aurora, by_name};
+
+fn main() {
+    let machine = std::env::args()
+        .nth(1)
+        .and_then(|n| by_name(&n))
+        .unwrap_or_else(aurora);
+    println!("building the full Table 1 corpus for {} …", machine.name);
+    let data = MachineData::generate(&machine, 42);
+    println!("training the deployed GB model (750 estimators, depth 10) …");
+    let model = train_paper_gb(&data);
+
+    // Reproduce the paper's evaluation tables.
+    let stq = stq_table(&data, &model);
+    println!("\n{}", render_opt_table(&stq, &machine.name).render());
+    println!("STQ goal scores: {}\n", stq.scores);
+    let bq = bq_table(&data, &model);
+    println!("{}", render_opt_table(&bq, &machine.name).render());
+    println!("BQ goal scores: {}\n", bq.scores);
+
+    // Now the user scenario: molecules whose (O, V) the model never saw.
+    let advisor = Advisor::new(&model, machine);
+    println!("advice for unseen problem sizes:");
+    for (o, v, label) in [
+        (60, 400, "a mid-size water cluster"),
+        (125, 880, "a porphyrin-like system"),
+        (250, 1400, "a large complex"),
+    ] {
+        println!("  (O={o}, V={v}) — {label}:");
+        for goal in [Goal::ShortestTime, Goal::Budget] {
+            match advisor.answer(o, v, goal) {
+                Some(r) => println!(
+                    "    {:>3}: {} nodes, tile {} → {:.1} s, {:.2} node-hours",
+                    goal.abbrev(),
+                    r.nodes,
+                    r.tile,
+                    r.predicted_seconds,
+                    r.predicted_node_hours
+                ),
+                None => println!("    {:>3}: does not fit on this machine", goal.abbrev()),
+            }
+        }
+    }
+}

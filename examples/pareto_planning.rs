@@ -1,0 +1,74 @@
+//! Allocation planning beyond the paper's two point questions: the
+//! predicted time/cost Pareto frontier, budget- and deadline-constrained
+//! recommendations, and risk-averse advice from an uncertainty-aware
+//! model.
+//!
+//! ```text
+//! cargo run --release --example pareto_planning [O V]
+//! ```
+
+use chemcost::core::advisor::{Advisor, Goal, UncertaintyAdvisor};
+use chemcost::core::data::{MachineData, Target};
+use chemcost::ml::forest::RandomForest;
+use chemcost::ml::Regressor;
+use chemcost::sim::machine::aurora;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let o: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(180);
+    let v: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(1070);
+
+    let machine = aurora();
+    println!("training on simulated {} data …", machine.name);
+    let data = MachineData::generate_sized(&machine, 1500, 21);
+    let train = data.train_dataset(Target::Seconds);
+
+    // A random forest gives us committee uncertainty for free.
+    let mut rf = RandomForest::new(150, 14);
+    rf.seed = 3;
+    rf.fit(&train.x, &train.y).expect("training");
+
+    let advisor = Advisor::new(&rf, machine.clone());
+    println!("\npredicted Pareto frontier for (O={o}, V={v}):");
+    println!("{:>6} {:>5} {:>12} {:>12}", "nodes", "tile", "seconds", "node-hours");
+    for r in advisor.pareto_frontier(o, v) {
+        println!(
+            "{:>6} {:>5} {:>12.1} {:>12.2}",
+            r.nodes, r.tile, r.predicted_seconds, r.predicted_node_hours
+        );
+    }
+
+    let stq = advisor.answer_stq(o, v).expect("feasible");
+    let bq = advisor.answer_bq(o, v).expect("feasible");
+    let budget = (stq.predicted_node_hours + bq.predicted_node_hours) / 2.0;
+    let deadline = (stq.predicted_seconds + bq.predicted_seconds) / 2.0;
+
+    println!("\nconstrained questions:");
+    if let Some(r) = advisor.fastest_within_budget(o, v, budget) {
+        println!(
+            "  fastest within {budget:.2} node-hours: {} nodes, tile {} → {:.1} s",
+            r.nodes, r.tile, r.predicted_seconds
+        );
+    }
+    if let Some(r) = advisor.cheapest_within_deadline(o, v, deadline) {
+        println!(
+            "  cheapest within {deadline:.0} s: {} nodes, tile {} → {:.2} node-hours",
+            r.nodes, r.tile, r.predicted_node_hours
+        );
+    }
+
+    println!("\nrisk-averse shortest-time answers (upper confidence bound µ + κσ):");
+    let ua = UncertaintyAdvisor::new(&rf, machine);
+    for kappa in [0.0, 1.0, 3.0] {
+        if let Some(r) = ua.answer_risk_averse(o, v, Goal::ShortestTime, kappa) {
+            println!(
+                "  κ={kappa}: {} nodes, tile {} → {:.1} s ± {:.1}",
+                r.rec.nodes, r.rec.tile, r.rec.predicted_seconds, r.seconds_std
+            );
+        }
+    }
+    println!(
+        "\nLarger κ favours configurations the model has actually seen data\n\
+         near — the cautious answer for an expensive one-shot allocation."
+    );
+}

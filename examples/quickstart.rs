@@ -1,0 +1,46 @@
+//! Quickstart: train a runtime predictor and ask it the paper's two
+//! questions for a molecule you have not run yet.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use chemcost::core::advisor::{Advisor, Goal};
+use chemcost::core::data::MachineData;
+use chemcost::core::evaluation::prediction_scores;
+use chemcost::core::pipeline::train_fast_gb;
+use chemcost::sim::machine::aurora;
+
+fn main() {
+    // 1. Collect experiment data. On a real system this is a corpus of
+    //    measured CCSD iteration times; here the bundled simulator plays
+    //    the supercomputer. 800 samples keep the example snappy — use
+    //    MachineData::generate(&machine, seed) for the full Table 1 corpus.
+    let machine = aurora();
+    println!("generating a training corpus on simulated {} …", machine.name);
+    let data = MachineData::generate_sized(&machine, 800, 42);
+
+    // 2. Train the predictor (gradient boosting — the paper's best model).
+    let model = train_fast_gb(&data);
+    let scores = prediction_scores(&model, &data.test_samples());
+    println!("held-out prediction quality: {scores}\n");
+
+    // 3. Ask the two user questions for a problem size of interest:
+    //    O = 120 occupied, V = 900 virtual orbitals.
+    let advisor = Advisor::new(&model, machine);
+    let (o, v) = (120, 900);
+    for goal in [Goal::ShortestTime, Goal::Budget] {
+        match advisor.answer(o, v, goal) {
+            Some(rec) => println!(
+                "{}: run (O={o}, V={v}) on {} nodes with tile size {} \
+                 → predicted {:.1} s/iteration, {:.2} node-hours",
+                goal.abbrev(),
+                rec.nodes,
+                rec.tile,
+                rec.predicted_seconds,
+                rec.predicted_node_hours,
+            ),
+            None => println!("{}: no feasible configuration (problem too large)", goal.abbrev()),
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! # chemcost
+//!
+//! ML-based estimation of computational resources for massively parallel
+//! chemistry computations — a Rust reproduction of the SC 2025 paper
+//! *"Guiding Application Users via Estimation of Computational Resources
+//! for Massively Parallel Chemistry Computations"*.
+//!
+//! This umbrella crate re-exports the workspace:
+//!
+//! * [`linalg`] — dense linear algebra + parallel utilities,
+//! * [`ml`] — the from-scratch regression model suite, metrics, CV and
+//!   hyper-parameter search,
+//! * [`sim`] — the CCSD-iteration performance simulator standing in for
+//!   runs on Aurora/Frontier,
+//! * [`active`] — active-learning strategies (RS / US / QC),
+//! * [`core`] — the user-facing advisor answering the shortest-time (STQ)
+//!   and budget (BQ) questions.
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour.
+
+pub use chemcost_active as active;
+pub use chemcost_core as core;
+pub use chemcost_linalg as linalg;
+pub use chemcost_ml as ml;
+pub use chemcost_sim as sim;

@@ -1,0 +1,334 @@
+//! `chemcost` — command-line interface to the resource-estimation
+//! framework.
+//!
+//! ```text
+//! chemcost generate --machine aurora --out data.csv [--size N] [--seed S]
+//! chemcost train    --data data.csv --out model.ccgb [--fast]
+//! chemcost advise   --model model.ccgb --machine aurora --o 120 --v 900
+//!                   [--goal stq|bq|pareto] [--budget NODE_HOURS] [--deadline SECONDS]
+//! chemcost evaluate --model model.ccgb --data test.csv
+//! chemcost importance --model model.ccgb --data data.csv
+//! ```
+//!
+//! The CSV format is the one `chemcost-sim` writes
+//! (`o,v,nodes,tile,seconds,node_hours` with a header row); `generate`
+//! produces it from the bundled simulator, but measured data from a real
+//! machine works identically.
+
+use chemcost::core::advisor::{Advisor, Goal};
+use chemcost::core::data::{samples_to_dataset, Target};
+use chemcost::core::evaluation::features_of;
+use chemcost::ml::gradient_boosting::GradientBoosting;
+use chemcost::ml::importance::ranked_importance;
+use chemcost::ml::metrics::Scores;
+use chemcost::ml::persist::{load_gb, save_gb};
+use chemcost::ml::Regressor;
+use chemcost::sim::datagen::{generate_dataset_sized, read_csv, table1_count, write_csv};
+use chemcost::sim::machine::by_name;
+use chemcost::sim::molecules::{self, BasisSet};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Parsed `--key value` options plus the leading subcommand.
+struct Args {
+    command: String,
+    options: HashMap<String, String>,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let command = argv.first().cloned().ok_or("missing subcommand")?;
+    let mut options = HashMap::new();
+    let mut i = 1;
+    while i < argv.len() {
+        let key = argv[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --option, got {:?}", argv[i]))?;
+        // Flags without a value (e.g. --fast) get "true".
+        if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
+            options.insert(key.to_string(), argv[i + 1].clone());
+            i += 2;
+        } else {
+            options.insert(key.to_string(), "true".to_string());
+            i += 1;
+        }
+    }
+    Ok(Args { command, options })
+}
+
+impl Args {
+    fn get(&self, key: &str) -> Result<&str, String> {
+        self.options.get(key).map(String::as_str).ok_or_else(|| format!("missing --{key}"))
+    }
+
+    fn get_parse<T: std::str::FromStr>(&self, key: &str) -> Result<T, String> {
+        self.get(key)?.parse().map_err(|_| format!("--{key}: cannot parse {:?}", self.get(key)))
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.options.contains_key(key)
+    }
+}
+
+fn usage() -> &'static str {
+    "chemcost <command> [options]\n\
+     commands:\n\
+       generate   --machine aurora|frontier --out FILE [--size N] [--seed S]\n\
+       train      --data FILE --out FILE [--fast] [--seed S]\n\
+       advise     --model FILE --machine NAME (--o O --v V |\n\
+                   --molecule NAME --basis cc-pvdz|cc-pvtz|cc-pvqz|aug-cc-pvdz|aug-cc-pvtz)\n\
+                  [--goal stq|bq|pareto] [--budget NH] [--deadline S]\n\
+       molecules  (list the built-in molecule catalog)\n\
+       evaluate   --model FILE --data FILE\n\
+       importance --model FILE --data FILE"
+}
+
+fn machine_of(args: &Args) -> Result<chemcost::sim::MachineModel, String> {
+    let name = args.get("machine")?;
+    by_name(name).ok_or_else(|| format!("unknown machine {name:?} (aurora|frontier)"))
+}
+
+fn cmd_generate(args: &Args) -> Result<(), String> {
+    let machine = machine_of(args)?;
+    let out = PathBuf::from(args.get("out")?);
+    let size = args.get_parse::<usize>("size").unwrap_or_else(|_| table1_count(&machine));
+    let seed = args.get_parse::<u64>("seed").unwrap_or(42);
+    eprintln!("simulating {size} CCSD configurations on {} …", machine.name);
+    let samples = generate_dataset_sized(&machine, size, seed);
+    write_csv(&out, &samples).map_err(|e| format!("writing {}: {e}", out.display()))?;
+    println!("wrote {} samples to {}", samples.len(), out.display());
+    Ok(())
+}
+
+fn load_samples(path: &str) -> Result<Vec<chemcost::sim::datagen::Sample>, String> {
+    read_csv(Path::new(path)).map_err(|e| format!("reading {path}: {e}"))
+}
+
+fn cmd_train(args: &Args) -> Result<(), String> {
+    let samples = load_samples(args.get("data")?)?;
+    if samples.is_empty() {
+        return Err("training data is empty".into());
+    }
+    let out = PathBuf::from(args.get("out")?);
+    let train = samples_to_dataset(&samples, Target::Seconds);
+    let mut gb = if args.flag("fast") {
+        GradientBoosting::new(200, 6, 0.1)
+    } else {
+        GradientBoosting::paper_config()
+    };
+    gb.seed = args.get_parse::<u64>("seed").unwrap_or(0);
+    eprintln!("training GB ({} estimators, depth {}) on {} samples …", gb.n_estimators, gb.max_depth, train.len());
+    let started = std::time::Instant::now();
+    gb.fit(&train.x, &train.y).map_err(|e| format!("training failed: {e}"))?;
+    save_gb(&out, &gb).map_err(|e| format!("writing {}: {e}", out.display()))?;
+    println!(
+        "trained in {:.2} s ({} stages), model saved to {}",
+        started.elapsed().as_secs_f64(),
+        gb.n_stages(),
+        out.display()
+    );
+    Ok(())
+}
+
+/// Resolve the problem size either from explicit `--o/--v` or from
+/// `--molecule/--basis`.
+fn problem_of(args: &Args) -> Result<(usize, usize), String> {
+    if let Ok(name) = args.get("molecule") {
+        let molecule =
+            molecules::by_name(name).ok_or_else(|| format!(
+                "unknown molecule {name:?}; run `chemcost molecules` for the catalog"
+            ))?;
+        let basis_name = args.get("basis").unwrap_or("cc-pvtz");
+        let basis = BasisSet::parse(basis_name)
+            .ok_or_else(|| format!("unknown basis {basis_name:?}"))?;
+        let p = molecule.problem(basis);
+        eprintln!(
+            "{} in {}: {} electrons → O = {}, V = {}",
+            molecule.name,
+            basis.name(),
+            molecule.electrons(),
+            p.o,
+            p.v
+        );
+        Ok((p.o, p.v))
+    } else {
+        Ok((args.get_parse("o")?, args.get_parse("v")?))
+    }
+}
+
+fn cmd_molecules() -> Result<(), String> {
+    println!("{:<24} {:>9} | O, V per basis", "molecule", "electrons");
+    for m in molecules::catalog() {
+        let sizes: Vec<String> = BasisSet::all()
+            .iter()
+            .map(|&b| {
+                let p = m.problem(b);
+                format!("{}:({},{})", b.name(), p.o, p.v)
+            })
+            .collect();
+        println!("{:<24} {:>9} | {}", m.name, m.electrons(), sizes.join("  "));
+    }
+    Ok(())
+}
+
+fn cmd_advise(args: &Args) -> Result<(), String> {
+    let machine = machine_of(args)?;
+    let gb = load_gb(Path::new(args.get("model")?)).map_err(|e| format!("loading model: {e}"))?;
+    let (o, v) = problem_of(args)?;
+    let advisor = Advisor::new(&gb, machine);
+    let goal = args.get("goal").unwrap_or("stq");
+    match goal {
+        "stq" | "bq" => {
+            let g = if goal == "stq" { Goal::ShortestTime } else { Goal::Budget };
+            match advisor.answer(o, v, g) {
+                Some(r) => println!(
+                    "{}: (O={o}, V={v}) → {} nodes, tile {}  |  predicted {:.1} s, {:.2} node-hours",
+                    g.abbrev(),
+                    r.nodes,
+                    r.tile,
+                    r.predicted_seconds,
+                    r.predicted_node_hours
+                ),
+                None => println!("no feasible configuration for (O={o}, V={v}) on this machine"),
+            }
+        }
+        "pareto" => {
+            let frontier = advisor.pareto_frontier(o, v);
+            if frontier.is_empty() {
+                println!("no feasible configuration for (O={o}, V={v}) on this machine");
+            }
+            println!("{:>6} {:>5} {:>12} {:>12}", "nodes", "tile", "seconds", "node-hours");
+            for r in frontier {
+                println!(
+                    "{:>6} {:>5} {:>12.1} {:>12.2}",
+                    r.nodes, r.tile, r.predicted_seconds, r.predicted_node_hours
+                );
+            }
+        }
+        other => return Err(format!("unknown --goal {other:?} (stq|bq|pareto)")),
+    }
+    if let Ok(budget) = args.get_parse::<f64>("budget") {
+        match advisor.fastest_within_budget(o, v, budget) {
+            Some(r) => println!(
+                "within {budget:.2} node-hours: {} nodes, tile {} → {:.1} s",
+                r.nodes, r.tile, r.predicted_seconds
+            ),
+            None => println!("no configuration fits within {budget:.2} node-hours"),
+        }
+    }
+    if let Ok(deadline) = args.get_parse::<f64>("deadline") {
+        match advisor.cheapest_within_deadline(o, v, deadline) {
+            Some(r) => println!(
+                "within {deadline:.0} s: {} nodes, tile {} → {:.2} node-hours",
+                r.nodes, r.tile, r.predicted_node_hours
+            ),
+            None => println!("no configuration meets a {deadline:.0} s deadline"),
+        }
+    }
+    Ok(())
+}
+
+fn cmd_evaluate(args: &Args) -> Result<(), String> {
+    let gb = load_gb(Path::new(args.get("model")?)).map_err(|e| format!("loading model: {e}"))?;
+    let samples = load_samples(args.get("data")?)?;
+    if samples.is_empty() {
+        return Err("evaluation data is empty".into());
+    }
+    let x = features_of(&samples);
+    let pred = gb.predict(&x);
+    let y: Vec<f64> = samples.iter().map(|s| s.seconds).collect();
+    let scores = Scores::compute(&y, &pred);
+    println!("{} samples: {scores}", samples.len());
+    Ok(())
+}
+
+fn cmd_importance(args: &Args) -> Result<(), String> {
+    let gb = load_gb(Path::new(args.get("model")?)).map_err(|e| format!("loading model: {e}"))?;
+    let samples = load_samples(args.get("data")?)?;
+    if samples.len() < 2 {
+        return Err("need at least two samples".into());
+    }
+    let x = features_of(&samples);
+    let y: Vec<f64> = samples.iter().map(|s| s.seconds).collect();
+    let names: Vec<String> =
+        chemcost::sim::datagen::FEATURE_NAMES.iter().map(|s| s.to_string()).collect();
+    println!("permutation importance (MSE increase when shuffled):");
+    for (name, imp) in ranked_importance(&gb, &x, &y, &names, 0) {
+        println!("  {name:>6}: {imp:.2}");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    let result = match args.command.as_str() {
+        "generate" => cmd_generate(&args),
+        "train" => cmd_train(&args),
+        "advise" => cmd_advise(&args),
+        "evaluate" => cmd_evaluate(&args),
+        "importance" => cmd_importance(&args),
+        "molecules" => cmd_molecules(),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_subcommand_and_options() {
+        let a = parse_args(&argv(&["advise", "--o", "120", "--v", "900", "--fast"])).unwrap();
+        assert_eq!(a.command, "advise");
+        assert_eq!(a.get("o").unwrap(), "120");
+        assert_eq!(a.get_parse::<usize>("v").unwrap(), 900);
+        assert!(a.flag("fast"));
+        assert!(!a.flag("slow"));
+    }
+
+    #[test]
+    fn missing_subcommand_errors() {
+        assert!(parse_args(&[]).is_err());
+    }
+
+    #[test]
+    fn malformed_option_errors() {
+        assert!(parse_args(&argv(&["train", "data.csv"])).is_err());
+    }
+
+    #[test]
+    fn missing_option_reported_by_name() {
+        let a = parse_args(&argv(&["train"])).unwrap();
+        let err = a.get("data").unwrap_err();
+        assert!(err.contains("--data"));
+    }
+
+    #[test]
+    fn flag_followed_by_option() {
+        let a = parse_args(&argv(&["train", "--fast", "--data", "x.csv"])).unwrap();
+        assert!(a.flag("fast"));
+        assert_eq!(a.get("data").unwrap(), "x.csv");
+    }
+}

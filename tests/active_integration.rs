@@ -1,0 +1,90 @@
+//! Integration: active learning on simulator corpora (the Figures 3–6
+//! machinery at reduced scale).
+
+use chemcost::active::{ActiveConfig, Strategy};
+use chemcost::core::advisor::Goal;
+use chemcost::core::data::MachineData;
+use chemcost::core::pipeline::active_learning_run;
+use chemcost::sim::machine::aurora;
+
+fn cfg() -> ActiveConfig {
+    ActiveConfig { n_initial: 40, query_size: 40, n_queries: 4, seed: 5, gb_shape: (60, 4, 0.15) }
+}
+
+#[test]
+fn all_strategies_learn_on_simulator_data() {
+    let md = MachineData::generate_sized(&aurora(), 400, 55);
+    for strategy in Strategy::all() {
+        let run = active_learning_run(&md, strategy, None, &cfg());
+        assert_eq!(run.rounds.len(), 4, "{strategy}");
+        let first = run.rounds.first().unwrap().pool.mape;
+        let last = run.rounds.last().unwrap().pool.mape;
+        // At this reduced scale curves can plateau; they must not blow up.
+        // (The full-scale monotone improvement is exercised by exp_active.)
+        assert!(
+            last <= first * 1.15,
+            "{strategy}: pool MAPE should not get materially worse \
+             ({first:.3} -> {last:.3})"
+        );
+    }
+}
+
+#[test]
+fn goal_curves_are_recorded_for_stq_and_bq() {
+    let md = MachineData::generate_sized(&aurora(), 350, 56);
+    for goal in [Goal::ShortestTime, Goal::Budget] {
+        let run = active_learning_run(&md, Strategy::Committee { n_members: 3 }, Some(goal), &cfg());
+        for r in &run.rounds {
+            let g = r.goal.expect("goal scores recorded");
+            assert!(g.mape >= 0.0 && g.mae >= 0.0);
+            assert!(g.r2 <= 1.0);
+        }
+    }
+}
+
+#[test]
+fn goal_mape_reflects_config_inferred_loss_not_prediction_loss() {
+    // The goal evaluator measures losses at the *predicted configuration's
+    // true cost*, so a model whose goal MAPE is 0 must name true optima for
+    // every test problem — which an early-round model essentially never
+    // does on this corpus. Meanwhile the score must stay finite and sane.
+    let md = MachineData::generate_sized(&aurora(), 400, 57);
+    let run = active_learning_run(&md, Strategy::Random, Some(Goal::ShortestTime), &cfg());
+    let g = run.rounds.first().unwrap().goal.unwrap();
+    assert!(g.mape.is_finite());
+    // Config-inferred loss is bounded below by zero and is zero only for
+    // perfect configuration recovery.
+    assert!(g.mape >= 0.0);
+}
+
+#[test]
+fn active_runs_are_seed_deterministic() {
+    let md = MachineData::generate_sized(&aurora(), 300, 58);
+    let a = active_learning_run(&md, Strategy::Uncertainty, None, &cfg());
+    let b = active_learning_run(&md, Strategy::Uncertainty, None, &cfg());
+    assert_eq!(a.labeled_indices, b.labeled_indices);
+    for (x, y) in a.rounds.iter().zip(&b.rounds) {
+        assert_eq!(x.pool.mape, y.pool.mape);
+    }
+}
+
+#[test]
+fn informed_strategies_eventually_match_or_beat_random() {
+    // On the full paper-scale corpora US/QC dominate RS (Figures 3–6);
+    // exp_active verifies that. At this reduced scale query batches cover
+    // a third of the pool, so all strategies converge to similar accuracy —
+    // assert the stable sanity form: the informed strategies land in the
+    // same regime as RS (not catastrophically worse).
+    let md = MachineData::generate_sized(&aurora(), 500, 59);
+    let final_mape = |s| {
+        active_learning_run(&md, s, None, &cfg()).rounds.last().unwrap().pool.mape
+    };
+    let rs = final_mape(Strategy::Random);
+    let us = final_mape(Strategy::Uncertainty);
+    let qc = final_mape(Strategy::Committee { n_members: 5 });
+    let best_informed = us.min(qc);
+    assert!(
+        best_informed <= rs * 2.0 + 0.05,
+        "informed strategies should be in the same regime: US {us:.3} QC {qc:.3} RS {rs:.3}"
+    );
+}

@@ -1,0 +1,131 @@
+//! End-to-end tests of the `chemcost` CLI binary: the full
+//! generate → train → advise → evaluate → importance workflow through a
+//! real subprocess, exactly as a user drives it.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_chemcost"))
+}
+
+fn workdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("chemcost_cli_test_{tag}"));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn full_workflow_round_trips() {
+    let dir = workdir("workflow");
+    let data = dir.join("data.csv");
+    let model = dir.join("model.ccgb");
+
+    // generate
+    let out = bin()
+        .args(["generate", "--machine", "aurora", "--out"])
+        .arg(&data)
+        .args(["--size", "300", "--seed", "5"])
+        .output()
+        .expect("spawn generate");
+    assert!(out.status.success(), "generate failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(data.exists());
+
+    // train
+    let out = bin()
+        .args(["train", "--data"])
+        .arg(&data)
+        .args(["--out"])
+        .arg(&model)
+        .args(["--fast"])
+        .output()
+        .expect("spawn train");
+    assert!(out.status.success(), "train failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(model.exists());
+
+    // advise by orbital counts
+    let out = bin()
+        .args(["advise", "--model"])
+        .arg(&model)
+        .args(["--machine", "aurora", "--o", "120", "--v", "900", "--goal", "stq"])
+        .output()
+        .expect("spawn advise");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("STQ"), "unexpected advise output: {stdout}");
+    assert!(stdout.contains("nodes"), "unexpected advise output: {stdout}");
+
+    // advise by molecule name
+    let out = bin()
+        .args(["advise", "--model"])
+        .arg(&model)
+        .args(["--machine", "aurora", "--molecule", "benzene", "--basis", "cc-pvtz", "--goal", "bq"])
+        .output()
+        .expect("spawn advise molecule");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("BQ"));
+
+    // evaluate
+    let out = bin()
+        .args(["evaluate", "--model"])
+        .arg(&model)
+        .args(["--data"])
+        .arg(&data)
+        .output()
+        .expect("spawn evaluate");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("R²"));
+
+    // importance
+    let out = bin()
+        .args(["importance", "--model"])
+        .arg(&model)
+        .args(["--data"])
+        .arg(&data)
+        .output()
+        .expect("spawn importance");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains('V') && stdout.contains("nodes"), "importance output: {stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn molecules_catalog_prints() {
+    let out = bin().arg("molecules").output().expect("spawn molecules");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("benzene"));
+    assert!(stdout.contains("cc-pVTZ"));
+}
+
+#[test]
+fn unknown_command_exits_nonzero_with_usage() {
+    let out = bin().arg("frobnicate").output().expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("commands:"));
+}
+
+#[test]
+fn missing_arguments_reported() {
+    let out = bin().args(["train"]).output().expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--data"));
+}
+
+#[test]
+fn corrupt_model_file_rejected_cleanly() {
+    let dir = workdir("corrupt");
+    let model = dir.join("bad.ccgb");
+    std::fs::write(&model, b"this is not a model").unwrap();
+    let out = bin()
+        .args(["advise", "--model"])
+        .arg(&model)
+        .args(["--machine", "aurora", "--o", "100", "--v", "700"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("model"));
+    std::fs::remove_dir_all(&dir).ok();
+}

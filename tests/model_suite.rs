@@ -1,0 +1,94 @@
+//! Integration: every model family in the zoo against real simulator data.
+
+use chemcost::core::data::{MachineData, Target};
+use chemcost::ml::metrics::r2_score;
+use chemcost::ml::model_selection::Params;
+use chemcost::ml::traits::{Regressor, UncertaintyRegressor};
+use chemcost::ml::zoo::ModelKind;
+use chemcost::sim::machine::aurora;
+
+fn corpus() -> MachineData {
+    MachineData::generate_sized(&aurora(), 500, 77)
+}
+
+#[test]
+fn every_family_learns_the_simulator_surface() {
+    let md = corpus();
+    let train = md.train_dataset(Target::Seconds);
+    let test = md.test_dataset(Target::Seconds);
+    for kind in ModelKind::all() {
+        let mut model = kind.build(&Params::new());
+        model.fit(&train.x, &train.y).unwrap_or_else(|e| panic!("{kind}: {e}"));
+        let r2_train = r2_score(&train.y, &model.predict(&train.x));
+        assert!(r2_train > 0.3, "{kind}: training R² too low ({r2_train:.3})");
+        let pred = model.predict(&test.x);
+        assert!(pred.iter().all(|p| p.is_finite()), "{kind}: non-finite predictions");
+    }
+}
+
+#[test]
+fn tree_ensembles_beat_linear_family_on_this_surface() {
+    // The response surface is strongly non-linear in (nodes, tile); the
+    // paper's Figures 1–2 show the tree ensembles clearly ahead. Verify
+    // the ordering holds here too.
+    let md = corpus();
+    let train = md.train_dataset(Target::Seconds);
+    let test = md.test_dataset(Target::Seconds);
+    let r2_of = |kind: ModelKind| {
+        let mut m = kind.build(&Params::new());
+        m.fit(&train.x, &train.y).unwrap();
+        r2_score(&test.y, &m.predict(&test.x))
+    };
+    let gb = r2_of(ModelKind::GradientBoosting);
+    let rf = r2_of(ModelKind::RandomForest);
+    let pr = r2_of(ModelKind::Polynomial);
+    let br = r2_of(ModelKind::BayesianRidge);
+    assert!(gb > pr && gb > br, "GB ({gb:.3}) must beat PR ({pr:.3}) and BR ({br:.3})");
+    // At this corpus size RF and degree-3 PR can trade places; the linear
+    // BR is reliably dominated (the full-scale ordering is in Figures 1–2).
+    assert!(rf > br, "RF ({rf:.3}) must beat BR ({br:.3})");
+}
+
+#[test]
+fn gp_uncertainty_grows_away_from_training_data() {
+    let md = corpus();
+    let train = md.train_dataset(Target::Seconds);
+    // Subsample: exact GPs on 375+ points are slow in debug builds.
+    let idx: Vec<usize> = (0..train.len()).step_by(3).collect();
+    let sub = train.select(&idx);
+    let mut gp = chemcost::ml::gaussian_process::GaussianProcess::new(0.5, 1e-3);
+    gp.fit(&sub.x, &sub.y).unwrap();
+    let (_, std_in) = gp.predict_with_std(&sub.x);
+    // A configuration far outside the sweep ranges.
+    let far = chemcost::linalg::Matrix::from_rows(&[&[1000.0, 5000.0, 5000.0, 500.0]]);
+    let (_, std_far) = gp.predict_with_std(&far);
+    let mean_in = std_in.iter().sum::<f64>() / std_in.len() as f64;
+    assert!(
+        std_far[0] > mean_in,
+        "extrapolation std ({}) must exceed mean in-sample std ({mean_in})",
+        std_far[0]
+    );
+}
+
+#[test]
+fn forest_committee_uncertainty_available_via_trait_object() {
+    let md = corpus();
+    let train = md.train_dataset(Target::Seconds);
+    let mut rf = chemcost::ml::forest::RandomForest::new(25, 8);
+    rf.fit(&train.x, &train.y).unwrap();
+    let unc: &dyn UncertaintyRegressor = &rf;
+    let (mean, std) = unc.predict_with_std(&train.x);
+    assert_eq!(mean.len(), train.len());
+    assert!(std.iter().all(|&s| s >= 0.0));
+}
+
+#[test]
+fn node_hours_target_also_learnable() {
+    let md = corpus();
+    let train = md.train_dataset(Target::NodeHours);
+    let test = md.test_dataset(Target::NodeHours);
+    let mut gb = chemcost::ml::gradient_boosting::GradientBoosting::new(150, 6, 0.1);
+    gb.fit(&train.x, &train.y).unwrap();
+    let r2 = r2_score(&test.y, &gb.predict(&test.x));
+    assert!(r2 > 0.5, "node-hours target should be learnable: R² {r2:.3}");
+}

@@ -1,0 +1,101 @@
+//! Property-based integration tests over the simulator and advisor stack.
+
+use chemcost::sim::ccsd::{iteration_task_classes, Problem};
+use chemcost::sim::machine::{aurora, frontier};
+use chemcost::sim::schedule::lpt_classes;
+use chemcost::sim::simulate::{simulate_iteration, simulate_iteration_clean, Config};
+use proptest::prelude::*;
+
+fn problems() -> impl Strategy<Value = Problem> {
+    (20usize..350, 100usize..1600).prop_map(|(o, v)| Problem::new(o, v))
+}
+
+fn configs() -> impl Strategy<Value = Config> {
+    (1usize..900, 10usize..200).prop_map(|(n, t)| Config::new(n, t))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn simulated_times_positive_or_infeasible(p in problems(), cfg in configs()) {
+        for machine in [aurora(), frontier()] {
+            let r = simulate_iteration_clean(&p, &cfg, &machine);
+            if r.feasible {
+                prop_assert!(r.seconds.is_finite() && r.seconds > 0.0);
+                prop_assert!((r.node_hours - r.seconds * cfg.nodes as f64 / 3600.0).abs() < 1e-9);
+            } else {
+                prop_assert!(r.seconds.is_infinite());
+            }
+        }
+    }
+
+    #[test]
+    fn breakdown_accounts_for_total(p in problems(), cfg in configs()) {
+        let machine = aurora();
+        let r = simulate_iteration_clean(&p, &cfg, &machine);
+        if r.feasible {
+            let sum = r.breakdown.balanced + r.breakdown.imbalance + r.breakdown.overhead;
+            prop_assert!((sum - r.seconds).abs() < 1e-6 * r.seconds.max(1.0));
+            prop_assert!(r.breakdown.imbalance >= -1e-9);
+        }
+    }
+
+    #[test]
+    fn noise_is_bounded_multiplicative(p in problems(), cfg in configs(), seed in 0u64..10_000) {
+        let machine = frontier();
+        let clean = simulate_iteration_clean(&p, &cfg, &machine);
+        prop_assume!(clean.feasible);
+        let noisy = simulate_iteration(&p, &cfg, &machine, seed);
+        let ratio = noisy.seconds / clean.seconds;
+        // σ = 0.08 log-normal: 6-sigma bounds.
+        prop_assert!(ratio > 0.55 && ratio < 1.8, "ratio {ratio}");
+    }
+
+    #[test]
+    fn task_flops_conserved_under_tiling(p in problems(), tile in 10usize..200) {
+        let classes = iteration_task_classes(&p, tile);
+        let total: f64 = classes.iter().map(|c| c.flops * c.count as f64).sum();
+        let classes2 = iteration_task_classes(&p, tile + 7);
+        let total2: f64 = classes2.iter().map(|c| c.flops * c.count as f64).sum();
+        // FLOPs are a property of the contraction, not the tiling.
+        prop_assert!((total - total2).abs() / total < 1e-9);
+    }
+
+    #[test]
+    fn makespan_respects_lower_bounds(p in problems(), tile in 16usize..160, execs in 1usize..5000) {
+        let classes = iteration_task_classes(&p, tile);
+        let stats = lpt_classes(&classes, execs, |c| c.flops);
+        let total: f64 = classes.iter().map(|c| c.flops * c.count as f64).sum();
+        let max_task = classes.iter().map(|c| c.flops).fold(0.0, f64::max);
+        prop_assert!(stats.makespan + 1e-6 >= total / execs as f64);
+        prop_assert!(stats.makespan + 1e-6 >= max_task);
+        prop_assert!(stats.makespan <= total * (1.0 + 1e-12) + 1e-9);
+        prop_assert!(stats.imbalance >= 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn scaling_out_never_hurts_pure_task_time(p in problems(), tile in 16usize..160) {
+        // The *task phase* (no overheads) is non-increasing in executors.
+        let classes = iteration_task_classes(&p, tile);
+        let mut prev = f64::INFINITY;
+        for execs in [8, 64, 512, 4096] {
+            let stats = lpt_classes(&classes, execs, |c| c.flops);
+            prop_assert!(stats.makespan <= prev + 1e-9);
+            prev = stats.makespan;
+        }
+    }
+
+    #[test]
+    fn seconds_grow_with_problem_size_at_fixed_config(
+        o in 30usize..150, v in 200usize..800, seed in 0u64..100
+    ) {
+        let machine = aurora();
+        let cfg = Config::new(64, 60);
+        let small = simulate_iteration_clean(&Problem::new(o, v), &cfg, &machine);
+        let big = simulate_iteration_clean(&Problem::new(o + 40, v + 300), &cfg, &machine);
+        prop_assume!(small.feasible && big.feasible);
+        let _ = seed;
+        prop_assert!(big.seconds > small.seconds, "{} vs {}", big.seconds, small.seconds);
+    }
+}
