@@ -100,14 +100,9 @@ pub fn run_active_learning(
         let y_lab: Vec<f64> = labeled.iter().map(|&i| pool.y[i]).collect();
         let x_unl = pool.x.select_rows(&unlabeled);
 
-        let Ok((round_model, scores)) = RoundModel::fit_and_score(
-            strategy,
-            &x_lab,
-            &y_lab,
-            &x_unl,
-            cfg.gb_shape,
-            &mut rng,
-        ) else {
+        let Ok((round_model, scores)) =
+            RoundModel::fit_and_score(strategy, &x_lab, &y_lab, &x_unl, cfg.gb_shape, &mut rng)
+        else {
             break; // numerically dead round; keep what we have
         };
 
@@ -115,11 +110,7 @@ pub fn run_active_learning(
         let pred = round_model.model.predict(&pool.x);
         let pool_scores = Scores::compute(&pool.y, &pred);
         let goal_scores = goal.map(|g| g(round_model.model.as_ref()));
-        rounds.push(RoundRecord {
-            n_labeled: labeled.len(),
-            pool: pool_scores,
-            goal: goal_scores,
-        });
+        rounds.push(RoundRecord { n_labeled: labeled.len(), pool: pool_scores, goal: goal_scores });
 
         if unlabeled.is_empty() {
             break;
@@ -158,13 +149,7 @@ mod tests {
     }
 
     fn quick_cfg(seed: u64) -> ActiveConfig {
-        ActiveConfig {
-            n_initial: 20,
-            query_size: 20,
-            n_queries: 5,
-            seed,
-            gb_shape: (60, 3, 0.15),
-        }
+        ActiveConfig { n_initial: 20, query_size: 20, n_queries: 5, seed, gb_shape: (60, 3, 0.15) }
     }
 
     #[test]
@@ -189,10 +174,7 @@ mod tests {
             let run = run_active_learning(&pool, strategy, &quick_cfg(7), None);
             let first = run.rounds.first().unwrap().pool.mape;
             let last = run.rounds.last().unwrap().pool.mape;
-            assert!(
-                last < first,
-                "{strategy}: MAPE should fall ({first:.4} -> {last:.4})"
-            );
+            assert!(last < first, "{strategy}: MAPE should fall ({first:.4} -> {last:.4})");
         }
     }
 
@@ -263,8 +245,10 @@ mod tests {
     #[test]
     fn deterministic_under_seed() {
         let pool = make_pool(150);
-        let a = run_active_learning(&pool, Strategy::Committee { n_members: 3 }, &quick_cfg(9), None);
-        let b = run_active_learning(&pool, Strategy::Committee { n_members: 3 }, &quick_cfg(9), None);
+        let a =
+            run_active_learning(&pool, Strategy::Committee { n_members: 3 }, &quick_cfg(9), None);
+        let b =
+            run_active_learning(&pool, Strategy::Committee { n_members: 3 }, &quick_cfg(9), None);
         assert_eq!(a.labeled_indices, b.labeled_indices);
         for (ra, rb) in a.rounds.iter().zip(&b.rounds) {
             assert_eq!(ra.pool.mape, rb.pool.mape);

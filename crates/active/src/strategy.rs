@@ -2,8 +2,8 @@
 
 use chemcost_linalg::{vecops, Matrix};
 use chemcost_ml::gaussian_process::GaussianProcess;
-use chemcost_ml::preprocessing::StandardScaler;
 use chemcost_ml::gradient_boosting::GradientBoosting;
+use chemcost_ml::preprocessing::StandardScaler;
 use chemcost_ml::rand_util::bootstrap_indices;
 use chemcost_ml::traits::{Regressor, UncertaintyRegressor};
 use rand::rngs::StdRng;
@@ -114,11 +114,7 @@ impl RoundModel {
                 // Relative uncertainty: the paper's corpora span ~70× in
                 // runtime, ours ~300×, so raw σ would chase the largest
                 // configurations; σ/|μ| matches the MAPE objective.
-                let scores = std
-                    .iter()
-                    .zip(&mean)
-                    .map(|(s, m)| s / m.abs().max(1e-9))
-                    .collect();
+                let scores = std.iter().zip(&mean).map(|(s, m)| s / m.abs().max(1e-9)).collect();
                 let mut gb = make_gb(gb_shape, rng.gen());
                 gb.fit(x_labeled, y_labeled)?;
                 Ok((Self { model: Box::new(gb) }, scores))
@@ -212,7 +208,10 @@ impl RoundModel {
     }
 }
 
-fn make_gb((n_estimators, max_depth, learning_rate): (usize, usize, f64), seed: u64) -> GradientBoosting {
+fn make_gb(
+    (n_estimators, max_depth, learning_rate): (usize, usize, f64),
+    seed: u64,
+) -> GradientBoosting {
     let mut gb = GradientBoosting::new(n_estimators, max_depth, learning_rate);
     gb.seed = seed;
     gb
@@ -222,9 +221,7 @@ fn make_gb((n_estimators, max_depth, learning_rate): (usize, usize, f64), seed: 
 /// `argsort(-score)[..query_size]`).
 pub(crate) fn top_k(scores: &[f64], k: usize) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..scores.len()).collect();
-    idx.sort_by(|&a, &b| {
-        scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal)
-    });
+    idx.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
     idx.truncate(k);
     idx
 }

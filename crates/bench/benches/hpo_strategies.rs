@@ -24,10 +24,7 @@ fn bench_hpo(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("grid", |b| {
         b.iter(|| {
-            let gs = GridSearch::new(
-                vec![("max_depth", (2..14).map(|d| d as f64).collect())],
-                cv,
-            );
+            let gs = GridSearch::new(vec![("max_depth", (2..14).map(|d| d as f64).collect())], cv);
             black_box(gs.search(factory, black_box(&data)).best_cv_loss)
         })
     });

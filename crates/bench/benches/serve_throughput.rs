@@ -1,0 +1,82 @@
+//! Requests/second through the advisor service's router, measured
+//! in-process (no sockets): `Router::handle` is the same code path the
+//! TCP server runs per request, so this isolates JSON parsing, registry
+//! lookup, model inference and response encoding from kernel networking.
+
+use chemcost_core::data::{MachineData, Target};
+use chemcost_ml::gradient_boosting::GradientBoosting;
+use chemcost_ml::Regressor;
+use chemcost_serve::http::Request;
+use chemcost_serve::{ModelRegistry, Router};
+use chemcost_sim::machine::aurora;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn router_with_model() -> Router {
+    let md = MachineData::generate_sized(&aurora(), 400, 42);
+    let train = md.train_dataset(Target::Seconds);
+    let mut gb = GradientBoosting::new(100, 6, 0.1);
+    gb.seed = 42;
+    gb.fit(&train.x, &train.y).unwrap();
+    let registry = Arc::new(ModelRegistry::new());
+    registry.insert("gb", "aurora", gb);
+    Router::new(registry)
+}
+
+/// A predict body with `n` distinct rows.
+fn predict_body(n: usize) -> String {
+    let rows: Vec<String> = (0..n)
+        .map(|i| {
+            format!(
+                r#"{{"o": {}, "v": {}, "nodes": {}, "tile": {}}}"#,
+                60 + i % 80,
+                500 + (i * 13) % 600,
+                1 << (i % 8),
+                16 + (i % 4) * 8
+            )
+        })
+        .collect();
+    format!(r#"{{"rows": [{}]}}"#, rows.join(","))
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let router = router_with_model();
+
+    let mut group = c.benchmark_group("serve_predict");
+    for batch in [1usize, 16, 256] {
+        let req = Request::new("POST", "/v1/predict", predict_body(batch).as_bytes());
+        group.throughput(Throughput::Elements(batch as u64));
+        group.bench_with_input(BenchmarkId::new("batch", batch), &req, |b, req| {
+            b.iter(|| {
+                let resp = router.handle(black_box(req));
+                assert_eq!(resp.status, 200);
+                black_box(resp.body.len())
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("serve_advise");
+    for goal in ["stq", "bq", "pareto"] {
+        let body = format!(r#"{{"o": 120, "v": 900, "goal": "{goal}"}}"#);
+        let req = Request::new("POST", "/v1/advise", body.as_bytes());
+        group.bench_with_input(BenchmarkId::new("goal", goal), &req, |b, req| {
+            b.iter(|| {
+                let resp = router.handle(black_box(req));
+                assert_eq!(resp.status, 200);
+                black_box(resp.body.len())
+            })
+        });
+    }
+    group.finish();
+
+    // Overhead floor: routing + metrics with no model work at all.
+    let health = Request::new("GET", "/healthz", b"");
+    c.bench_function("serve_healthz", |b| {
+        b.iter(|| black_box(router.handle(black_box(&health))).status)
+    });
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

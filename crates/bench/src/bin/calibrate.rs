@@ -4,15 +4,20 @@
 //! end-to-end signal when tuning `sim::machine` constants.
 
 use chemcost_core::data::MachineData;
-use chemcost_core::pipeline::{bq_table, render_opt_table, stq_table, train_paper_gb};
 use chemcost_core::evaluation::prediction_scores;
+use chemcost_core::pipeline::{bq_table, render_opt_table, stq_table, train_paper_gb};
 use chemcost_sim::machine::{aurora, frontier};
 
 fn main() {
     for m in [aurora(), frontier()] {
         let t0 = std::time::Instant::now();
         let md = MachineData::generate(&m, 42);
-        println!("== {} == corpus {} gen {:.1}s", m.name, md.samples.len(), t0.elapsed().as_secs_f64());
+        println!(
+            "== {} == corpus {} gen {:.1}s",
+            m.name,
+            md.samples.len(),
+            t0.elapsed().as_secs_f64()
+        );
         let secs: Vec<f64> = md.samples.iter().map(|s| s.seconds).collect();
         let (lo, hi) = secs.iter().fold((f64::MAX, 0.0f64), |(l, h), &v| (l.min(v), h.max(v)));
         println!("seconds range [{lo:.1}, {hi:.1}]");

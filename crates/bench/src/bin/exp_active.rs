@@ -9,9 +9,21 @@ use chemcost_core::report::Table;
 
 fn main() {
     let cfg = if quick_mode() {
-        ActiveConfig { n_initial: 50, query_size: 50, n_queries: 5, seed: 1, gb_shape: (80, 5, 0.1) }
+        ActiveConfig {
+            n_initial: 50,
+            query_size: 50,
+            n_queries: 5,
+            seed: 1,
+            gb_shape: (80, 5, 0.1),
+        }
     } else {
-        ActiveConfig { n_initial: 50, query_size: 50, n_queries: 20, seed: 1, gb_shape: (150, 6, 0.1) }
+        ActiveConfig {
+            n_initial: 50,
+            query_size: 50,
+            n_queries: 20,
+            seed: 1,
+            gb_shape: (150, 6, 0.1),
+        }
     };
     for machine in machines_from_args() {
         let md = load_machine_data(&machine);

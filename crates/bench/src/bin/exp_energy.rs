@@ -11,10 +11,10 @@
 use chemcost_bench::{emit, load_machine_data, machines_from_args, quick_mode};
 use chemcost_core::data::Target;
 use chemcost_core::report::{paren_cell, Table};
+use chemcost_linalg::Matrix;
 use chemcost_ml::gradient_boosting::GradientBoosting;
 use chemcost_ml::metrics::Scores;
 use chemcost_ml::Regressor;
-use chemcost_linalg::Matrix;
 
 fn main() {
     for machine in machines_from_args() {

@@ -20,11 +20,8 @@ fn main() {
         ComparisonBudget::default()
     };
     let extended = std::env::args().any(|a| a == "--extended");
-    let kinds: Vec<ModelKind> = if extended {
-        ModelKind::all_extended().to_vec()
-    } else {
-        ModelKind::all().to_vec()
-    };
+    let kinds: Vec<ModelKind> =
+        if extended { ModelKind::all_extended().to_vec() } else { ModelKind::all().to_vec() };
     for machine in machines_from_args() {
         let md = load_machine_data(&machine);
         let figure = if machine.name == "aurora" { "Figure 1" } else { "Figure 2" };

@@ -20,11 +20,8 @@ fn main() {
     );
     for machine in machines_from_args() {
         let md = load_machine_data(&machine);
-        let gb: Box<dyn chemcost_ml::Regressor> = if quick_mode() {
-            Box::new(train_fast_gb(&md))
-        } else {
-            Box::new(train_paper_gb(&md))
-        };
+        let gb: Box<dyn chemcost_ml::Regressor> =
+            if quick_mode() { Box::new(train_fast_gb(&md)) } else { Box::new(train_paper_gb(&md)) };
         let test = md.test_dataset(Target::Seconds);
         let ranked = ranked_importance(gb.as_ref(), &test.x, &test.y, &test.feature_names, 42);
         for (rank, (name, imp)) in ranked.iter().enumerate() {

@@ -7,11 +7,8 @@ use chemcost_core::pipeline::{render_opt_table, stq_table, train_fast_gb, train_
 fn main() {
     for machine in machines_from_args() {
         let md = load_machine_data(&machine);
-        let gb: Box<dyn chemcost_ml::Regressor> = if quick_mode() {
-            Box::new(train_fast_gb(&md))
-        } else {
-            Box::new(train_paper_gb(&md))
-        };
+        let gb: Box<dyn chemcost_ml::Regressor> =
+            if quick_mode() { Box::new(train_fast_gb(&md)) } else { Box::new(train_paper_gb(&md)) };
         let table = stq_table(&md, gb.as_ref());
         let rendered = render_opt_table(&table, &machine.name);
         emit(&rendered, &format!("{}_stq", machine.name));

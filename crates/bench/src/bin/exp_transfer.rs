@@ -21,10 +21,7 @@ use chemcost_sim::machine::{aurora, frontier};
 
 fn main() {
     let (source_machine, target_machine) = (aurora(), frontier());
-    println!(
-        "training the source model on the full {} corpus …",
-        source_machine.name
-    );
+    println!("training the source model on the full {} corpus …", source_machine.name);
     let source_md = if quick_mode() {
         MachineData::generate_sized(&source_machine, 800, SEED)
     } else {
@@ -48,10 +45,7 @@ fn main() {
 
     // Zero-shot baseline: source model evaluated on the target test set.
     let zero_shot = prediction_scores(&source_gb, &target_test);
-    println!(
-        "zero-shot {} → {}: {zero_shot}\n",
-        source_machine.name, target_machine.name
-    );
+    println!("zero-shot {} → {}: {zero_shot}\n", source_machine.name, target_machine.name);
 
     let budgets: &[usize] =
         if quick_mode() { &[50, 150, 400] } else { &[50, 100, 200, 400, 800, 1600] };

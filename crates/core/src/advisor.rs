@@ -176,9 +176,7 @@ impl<'a> Advisor<'a> {
         v: usize,
         max_node_hours: f64,
     ) -> Option<Recommendation> {
-        self.pareto_frontier(o, v)
-            .into_iter()
-            .find(|r| r.predicted_node_hours <= max_node_hours)
+        self.pareto_frontier(o, v).into_iter().find(|r| r.predicted_node_hours <= max_node_hours)
     }
 
     /// Cheapest configuration whose predicted wall time stays within
@@ -332,12 +330,9 @@ mod tests {
         let mut best = (0usize, 0usize, f64::INFINITY);
         for &n in &[5usize, 20, 50, 150, 300, 600] {
             for &t in &[40usize, 60, 90, 120] {
-                let s = simulate_iteration_clean(
-                    &Problem::new(116, 840),
-                    &Config::new(n, t),
-                    &machine,
-                )
-                .seconds;
+                let s =
+                    simulate_iteration_clean(&Problem::new(116, 840), &Config::new(n, t), &machine)
+                        .seconds;
                 if s < best.2 {
                     best = (n, t, s);
                 }
@@ -379,8 +374,7 @@ mod tests {
         let machine = aurora();
         let model = OracleModel { machine: machine.clone() };
         // Restrict the grid to node counts that cannot hold the tensors.
-        let advisor =
-            Advisor::new(&model, machine).with_grids(vec![5], vec![80]);
+        let advisor = Advisor::new(&model, machine).with_grids(vec![5], vec![80]);
         assert!(advisor.answer_stq(400, 3000).is_none());
     }
 
@@ -415,7 +409,10 @@ mod tests {
         let budget = (bq.predicted_node_hours + stq.predicted_node_hours) / 2.0;
         let r = advisor.fastest_within_budget(116, 840, budget).unwrap();
         assert!(r.predicted_node_hours <= budget + 1e-12);
-        assert!(r.predicted_seconds <= bq.predicted_seconds + 1e-9, "paying more must not be slower");
+        assert!(
+            r.predicted_seconds <= bq.predicted_seconds + 1e-9,
+            "paying more must not be slower"
+        );
         // Impossible budget -> None.
         assert!(advisor.fastest_within_budget(116, 840, bq.predicted_node_hours * 0.01).is_none());
     }
@@ -430,7 +427,10 @@ mod tests {
         let deadline = (stq.predicted_seconds + bq.predicted_seconds) / 2.0;
         let r = advisor.cheapest_within_deadline(99, 718, deadline).unwrap();
         assert!(r.predicted_seconds <= deadline + 1e-12);
-        assert!(r.predicted_node_hours <= stq.predicted_node_hours + 1e-9, "meeting a looser deadline must not cost more");
+        assert!(
+            r.predicted_node_hours <= stq.predicted_node_hours + 1e-9,
+            "meeting a looser deadline must not cost more"
+        );
         // Impossible deadline -> None.
         assert!(advisor.cheapest_within_deadline(99, 718, stq.predicted_seconds * 0.01).is_none());
     }

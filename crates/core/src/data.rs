@@ -117,8 +117,24 @@ mod tests {
     #[test]
     fn dataset_conversion_preserves_pairing() {
         let samples = vec![
-            Sample { o: 10, v: 20, nodes: 4, tile: 8, seconds: 1.5, node_hours: 0.001, energy_kwh: 0.002 },
-            Sample { o: 30, v: 40, nodes: 16, tile: 32, seconds: 2.5, node_hours: 0.01, energy_kwh: 0.03 },
+            Sample {
+                o: 10,
+                v: 20,
+                nodes: 4,
+                tile: 8,
+                seconds: 1.5,
+                node_hours: 0.001,
+                energy_kwh: 0.002,
+            },
+            Sample {
+                o: 30,
+                v: 40,
+                nodes: 16,
+                tile: 32,
+                seconds: 2.5,
+                node_hours: 0.01,
+                energy_kwh: 0.03,
+            },
         ];
         let ds = samples_to_dataset(&samples, Target::Seconds);
         assert_eq!(ds.len(), 2);

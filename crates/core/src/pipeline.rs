@@ -9,7 +9,9 @@ use chemcost_active::{run_active_learning, ActiveConfig, ActiveRun, Strategy};
 use chemcost_ml::dataset::Dataset;
 use chemcost_ml::gradient_boosting::GradientBoosting;
 use chemcost_ml::metrics::Scores;
-use chemcost_ml::model_selection::{BayesSearch, GridSearch, KFold, RandomSearch, Scoring, SearchResult};
+use chemcost_ml::model_selection::{
+    BayesSearch, GridSearch, KFold, RandomSearch, Scoring, SearchResult,
+};
 use chemcost_ml::traits::Regressor;
 use chemcost_ml::zoo::ModelKind;
 
@@ -44,12 +46,8 @@ pub fn bq_table(md: &MachineData, model: &dyn Regressor) -> OptTable {
 /// the model found the true optimum, `true(pred)` cells otherwise.
 pub fn render_opt_table(table: &OptTable, machine_name: &str) -> Table {
     let (title, obj_header): (String, &str) = match table.goal {
-        Goal::ShortestTime => {
-            (format!("{machine_name} shortest time results"), "Runtime (s)")
-        }
-        Goal::Budget => {
-            (format!("{machine_name} shortest node hours results"), "Node Hours")
-        }
+        Goal::ShortestTime => (format!("{machine_name} shortest time results"), "Runtime (s)"),
+        Goal::Budget => (format!("{machine_name} shortest node hours results"), "Node Hours"),
     };
     let headers: Vec<&str> = match table.goal {
         Goal::ShortestTime => vec!["O", "V", "Nodes", "Tile size", obj_header],
@@ -58,8 +56,16 @@ pub fn render_opt_table(table: &OptTable, machine_name: &str) -> Table {
     let mut t = Table::new(&title, &headers);
     for r in &table.rows {
         let correct = r.correct();
-        let nodes = paren_cell(&r.true_nodes.to_string(), &r.pred_nodes.to_string(), correct || r.true_nodes == r.pred_nodes);
-        let tile = paren_cell(&r.true_tile.to_string(), &r.pred_tile.to_string(), correct || r.true_tile == r.pred_tile);
+        let nodes = paren_cell(
+            &r.true_nodes.to_string(),
+            &r.pred_nodes.to_string(),
+            correct || r.true_nodes == r.pred_nodes,
+        );
+        let tile = paren_cell(
+            &r.true_tile.to_string(),
+            &r.pred_tile.to_string(),
+            correct || r.true_tile == r.pred_tile,
+        );
         match table.goal {
             Goal::ShortestTime => {
                 let rt = paren_cell(
@@ -161,9 +167,8 @@ pub fn compare_one(
     let train = md.train_dataset(Target::Seconds);
     // Search on a (deterministic) subsample for tractability.
     let search_data: Dataset = if train.len() > budget.search_rows {
-        let idx: Vec<usize> = (0..budget.search_rows)
-            .map(|i| i * train.len() / budget.search_rows)
-            .collect();
+        let idx: Vec<usize> =
+            (0..budget.search_rows).map(|i| i * train.len() / budget.search_rows).collect();
         train.select(&idx)
     } else {
         train.clone()
@@ -299,7 +304,8 @@ mod tests {
         let gb = train_fast_gb(&md);
         let stq = stq_table(&md, &gb);
         let bq = bq_table(&md, &gb);
-        let avg = |rows: &[crate::evaluation::OptRow], f: fn(&crate::evaluation::OptRow) -> usize| {
+        let avg = |rows: &[crate::evaluation::OptRow],
+                   f: fn(&crate::evaluation::OptRow) -> usize| {
             rows.iter().map(f).sum::<usize>() as f64 / rows.len() as f64
         };
         let stq_nodes = avg(&stq.rows, |r| r.true_nodes);
@@ -313,7 +319,8 @@ mod tests {
     #[test]
     fn compare_one_runs_grid_arm() {
         let md = MachineData::generate_sized(&aurora(), 250, 7);
-        let budget = ComparisonBudget { cv_folds: 3, random_iters: 4, bayes_iters: 5, search_rows: 150 };
+        let budget =
+            ComparisonBudget { cv_folds: 3, random_iters: 4, bayes_iters: 5, search_rows: 150 };
         let row = compare_one(&md, ModelKind::DecisionTree, SearchStrategy::Grid, &budget);
         assert!(row.test.r2 > 0.2, "tuned DT should be respectable: {}", row.test);
         assert!(row.search_seconds > 0.0);
@@ -323,7 +330,8 @@ mod tests {
     #[test]
     fn compare_one_handles_parameter_free_model() {
         let md = MachineData::generate_sized(&aurora(), 200, 8);
-        let budget = ComparisonBudget { cv_folds: 3, random_iters: 3, bayes_iters: 4, search_rows: 120 };
+        let budget =
+            ComparisonBudget { cv_folds: 3, random_iters: 3, bayes_iters: 4, search_rows: 120 };
         for strategy in SearchStrategy::all() {
             let row = compare_one(&md, ModelKind::BayesianRidge, strategy, &budget);
             assert!(row.test.r2.is_finite());

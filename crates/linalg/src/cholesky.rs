@@ -154,7 +154,9 @@ pub struct SpdSolver {
 impl SpdSolver {
     /// Factor `a`, adding diagonal jitter if necessary.
     pub fn factor(a: &Matrix) -> Result<Self, NotPositiveDefinite> {
-        if let Ok(chol) = Cholesky::factor(a) { return Ok(Self { chol, jitter_used: 0.0 }) }
+        if let Ok(chol) = Cholesky::factor(a) {
+            return Ok(Self { chol, jitter_used: 0.0 });
+        }
         let n = a.nrows();
         let mean_diag = (0..n).map(|i| a[(i, i)].abs()).sum::<f64>() / n.max(1) as f64;
         let scale = if mean_diag > 0.0 { mean_diag } else { 1.0 };

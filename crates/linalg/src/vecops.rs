@@ -153,7 +153,7 @@ mod tests {
         let v = [3.0, -1.0, 7.0, -1.0];
         assert_eq!(argmin(&v), Some(1));
         assert_eq!(argmax(&v), Some(2));
-        assert_eq!(argmin::<>(&[]), None);
+        assert_eq!(argmin(&[]), None);
     }
 
     #[test]

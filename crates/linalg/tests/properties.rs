@@ -4,7 +4,10 @@ use chemcost_linalg::{cholesky::SpdSolver, gemm, vecops, Cholesky, Matrix};
 use proptest::prelude::*;
 
 /// Strategy: a rows×cols matrix with bounded entries.
-fn matrix(rows: std::ops::Range<usize>, cols: std::ops::Range<usize>) -> impl Strategy<Value = Matrix> {
+fn matrix(
+    rows: std::ops::Range<usize>,
+    cols: std::ops::Range<usize>,
+) -> impl Strategy<Value = Matrix> {
     (rows, cols).prop_flat_map(|(r, c)| {
         proptest::collection::vec(-10.0f64..10.0, r * c)
             .prop_map(move |data| Matrix::from_vec(r, c, data))

@@ -67,7 +67,8 @@ impl AdaBoost {
     fn weighted_median_predict(&self, row: &[f64]) -> f64 {
         let preds: Vec<f64> = self.estimators.iter().map(|t| t.predict_one(row)).collect();
         let mut order: Vec<usize> = (0..preds.len()).collect();
-        order.sort_by(|&a, &b| preds[a].partial_cmp(&preds[b]).unwrap_or(std::cmp::Ordering::Equal));
+        order
+            .sort_by(|&a, &b| preds[a].partial_cmp(&preds[b]).unwrap_or(std::cmp::Ordering::Equal));
         let total: f64 = self.log_betas.iter().sum();
         let mut acc = 0.0;
         for &i in &order {

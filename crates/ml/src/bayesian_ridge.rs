@@ -106,8 +106,7 @@ impl Regressor for BayesianRidge {
             let new_lambda = (gamma.max(1e-12)) / w_norm.max(1e-12);
             let new_alpha = (n - gamma).max(1e-12) / residual.max(1e-12);
 
-            let delta: f64 =
-                weights.iter().zip(&mu).map(|(a, b)| (a - b).abs()).sum();
+            let delta: f64 = weights.iter().zip(&mu).map(|(a, b)| (a - b).abs()).sum();
             weights = mu;
             alpha = new_alpha.clamp(1e-12, 1e12);
             lambda = new_lambda.clamp(1e-12, 1e12);

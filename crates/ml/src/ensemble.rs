@@ -73,9 +73,7 @@ impl VotingRegressor {
 impl Regressor for VotingRegressor {
     fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<(), FitError> {
         // Fit members in parallel; surface the first error, if any.
-        let results = parallel::par_map(self.members.len(), |i| {
-            self.members[i].lock().fit(x, y)
-        });
+        let results = parallel::par_map(self.members.len(), |i| self.members[i].lock().fit(x, y));
         for r in results {
             r?;
         }
@@ -137,10 +135,7 @@ mod tests {
     }
 
     fn gb_rf() -> Vec<Box<dyn Regressor>> {
-        vec![
-            Box::new(GradientBoosting::new(100, 4, 0.1)),
-            Box::new(RandomForest::new(40, 10)),
-        ]
+        vec![Box::new(GradientBoosting::new(100, 4, 0.1)), Box::new(RandomForest::new(40, 10))]
     }
 
     #[test]

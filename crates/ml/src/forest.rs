@@ -124,11 +124,8 @@ impl UncertaintyRegressor for RandomForest {
         }
         let kf = k as f64;
         let mean: Vec<f64> = sum.iter().map(|s| s / kf).collect();
-        let std = sum_sq
-            .iter()
-            .zip(&mean)
-            .map(|(sq, m)| (sq / kf - m * m).max(0.0).sqrt())
-            .collect();
+        let std =
+            sum_sq.iter().zip(&mean).map(|(sq, m)| (sq / kf - m * m).max(0.0).sqrt()).collect();
         (mean, std)
     }
 }
@@ -143,7 +140,9 @@ mod tests {
         let y = (0..n)
             .map(|i| {
                 let r = x.row(i);
-                10.0 * (std::f64::consts::PI * r[0]).sin() + 20.0 * (r[1] - 0.5).powi(2) + 5.0 * r[2]
+                10.0 * (std::f64::consts::PI * r[0]).sin()
+                    + 20.0 * (r[1] - 0.5).powi(2)
+                    + 5.0 * r[2]
             })
             .collect();
         (x, y)

@@ -76,7 +76,8 @@ impl GaussianProcess {
         let n = ys.len() as f64;
         // log p(y|X) = −½ yᵀα − ½ log|K| − n/2 log 2π
         let fit_term: f64 = ys.iter().zip(&alpha).map(|(y, a)| y * a).sum();
-        let lml = -0.5 * fit_term - 0.5 * chol.log_det() - 0.5 * n * (2.0 * std::f64::consts::PI).ln();
+        let lml =
+            -0.5 * fit_term - 0.5 * chol.log_det() - 0.5 * n * (2.0 * std::f64::consts::PI).ln();
         Ok((alpha, chol, lml))
     }
 }

@@ -186,7 +186,8 @@ impl Regressor for GradientBoosting {
         // Early-stopping split: hold out a validation slice of row indices.
         let (fit_rows, val_rows): (Vec<usize>, Vec<usize>) = match self.n_iter_no_change {
             Some(_) if n >= 10 => {
-                let n_val = ((n as f64) * self.validation_fraction.clamp(0.05, 0.5)).round() as usize;
+                let n_val =
+                    ((n as f64) * self.validation_fraction.clamp(0.05, 0.5)).round() as usize;
                 let perm = crate::rand_util::permutation(&mut rng, n);
                 let (val, fit) = perm.split_at(n_val.max(1));
                 (fit.to_vec(), val.to_vec())
@@ -348,13 +349,18 @@ mod tests {
     use crate::metrics::{mape, r2_score};
 
     fn wavy(n: usize) -> (Matrix, Vec<f64>) {
-        let x = Matrix::from_fn(n, 2, |i, j| {
-            if j == 0 {
-                (i as f64) * 0.1
-            } else {
-                ((i * 17) % 13) as f64
-            }
-        });
+        let x =
+            Matrix::from_fn(
+                n,
+                2,
+                |i, j| {
+                    if j == 0 {
+                        (i as f64) * 0.1
+                    } else {
+                        ((i * 17) % 13) as f64
+                    }
+                },
+            );
         let y = (0..n).map(|i| (x[(i, 0)]).sin() * 5.0 + x[(i, 1)] * 2.0 + 10.0).collect();
         (x, y)
     }
@@ -450,18 +456,11 @@ mod tests {
             gb.fit(&x, &y).unwrap();
             let pred = gb.predict(&x);
             // Error on the uncorrupted points only.
-            clean_idx
-                .iter()
-                .map(|&i| (pred[i] - y[i]).abs())
-                .sum::<f64>()
-                / clean_idx.len() as f64
+            clean_idx.iter().map(|&i| (pred[i] - y[i]).abs()).sum::<f64>() / clean_idx.len() as f64
         };
         let sq = eval(GbLoss::SquaredError);
         let lad = eval(GbLoss::AbsoluteError);
-        assert!(
-            lad < sq,
-            "LAD should track the clean majority better: lad {lad:.3} vs sq {sq:.3}"
-        );
+        assert!(lad < sq, "LAD should track the clean majority better: lad {lad:.3} vs sq {sq:.3}");
     }
 
     #[test]

@@ -96,10 +96,7 @@ mod tests {
         let (gb, x, y) = model_and_data();
         let imps = permutation_importance(&gb, &x, &y, 3, 1);
         assert_eq!(imps.len(), 3);
-        assert!(
-            imps[0].mse_increase > imps[1].mse_increase,
-            "feature 0 must dominate: {imps:?}"
-        );
+        assert!(imps[0].mse_increase > imps[1].mse_increase, "feature 0 must dominate: {imps:?}");
         assert!(
             imps[0].mse_increase > 10.0 * imps[2].mse_increase.abs().max(1e-9),
             "irrelevant feature must be near zero: {imps:?}"

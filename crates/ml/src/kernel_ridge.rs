@@ -61,8 +61,8 @@ impl Regressor for KernelRidge {
         let ys = yscaler.transform(y);
         let mut k = self.kernel.matrix(&xs);
         k.add_diagonal(self.alpha);
-        let solver =
-            SpdSolver::factor(&k).map_err(|e| FitError::Numerical(format!("kernel system: {e}")))?;
+        let solver = SpdSolver::factor(&k)
+            .map_err(|e| FitError::Numerical(format!("kernel system: {e}")))?;
         let dual = solver.solve(&ys);
         self.state = Some(Fitted { x_train: xs, dual, scaler, yscaler });
         Ok(())
@@ -129,7 +129,12 @@ mod tests {
     #[test]
     fn polynomial_kernel_fits_quadratic() {
         let x = Matrix::from_fn(50, 1, |i, _| i as f64 * 0.1);
-        let y: Vec<f64> = (0..50).map(|i| { let v = i as f64 * 0.1; v * v + 1.0 }).collect();
+        let y: Vec<f64> = (0..50)
+            .map(|i| {
+                let v = i as f64 * 0.1;
+                v * v + 1.0
+            })
+            .collect();
         let mut m =
             KernelRidge::new(1e-6, Kernel::Polynomial { gamma: 1.0, coef0: 1.0, degree: 2 });
         m.fit(&x, &y).unwrap();

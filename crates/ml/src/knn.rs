@@ -51,9 +51,8 @@ impl KnnRegressor {
         let n = st.x_train.nrows();
         let k = self.k.clamp(1, n);
         // Squared distances to every training point; partial select of k.
-        let mut dists: Vec<(f64, usize)> = (0..n)
-            .map(|i| (vecops::sq_dist(st.x_train.row(i), row), i))
-            .collect();
+        let mut dists: Vec<(f64, usize)> =
+            (0..n).map(|i| (vecops::sq_dist(st.x_train.row(i), row), i)).collect();
         dists.select_nth_unstable_by(k - 1, |a, b| {
             a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal)
         });
@@ -83,11 +82,7 @@ impl Regressor for KnnRegressor {
             return Err(FitError::InvalidHyperParameter("k must be >= 1".into()));
         }
         let scaler = StandardScaler::fit(x);
-        self.state = Some(Fitted {
-            x_train: scaler.transform(x),
-            y_train: y.to_vec(),
-            scaler,
-        });
+        self.state = Some(Fitted { x_train: scaler.transform(x), y_train: y.to_vec(), scaler });
         Ok(())
     }
 

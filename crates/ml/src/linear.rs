@@ -69,9 +69,7 @@ impl Regressor for LinearRegression {
 
     fn predict(&self, x: &Matrix) -> Vec<f64> {
         let w = self.weights.as_ref().expect("LinearRegression::predict before fit");
-        (0..x.nrows())
-            .map(|i| chemcost_linalg::vecops::dot(x.row(i), w) + self.intercept)
-            .collect()
+        (0..x.nrows()).map(|i| chemcost_linalg::vecops::dot(x.row(i), w) + self.intercept).collect()
     }
 
     fn name(&self) -> &'static str {
@@ -122,9 +120,7 @@ impl Regressor for Ridge {
 
     fn predict(&self, x: &Matrix) -> Vec<f64> {
         let w = self.weights.as_ref().expect("Ridge::predict before fit");
-        (0..x.nrows())
-            .map(|i| chemcost_linalg::vecops::dot(x.row(i), w) + self.intercept)
-            .collect()
+        (0..x.nrows()).map(|i| chemcost_linalg::vecops::dot(x.row(i), w) + self.intercept).collect()
     }
 
     fn name(&self) -> &'static str {
@@ -214,9 +210,6 @@ mod tests {
     #[test]
     fn fit_rejects_bad_shapes() {
         let mut m = LinearRegression::new();
-        assert!(matches!(
-            m.fit(&Matrix::zeros(3, 2), &[1.0]),
-            Err(FitError::ShapeMismatch { .. })
-        ));
+        assert!(matches!(m.fit(&Matrix::zeros(3, 2), &[1.0]), Err(FitError::ShapeMismatch { .. })));
     }
 }

@@ -46,11 +46,7 @@ pub fn mean_absolute_error(y_true: &[f64], y_pred: &[f64]) -> f64 {
 /// Panics if lengths differ or input is empty.
 pub fn mean_absolute_percentage_error(y_true: &[f64], y_pred: &[f64]) -> f64 {
     check(y_true, y_pred);
-    y_true
-        .iter()
-        .zip(y_pred)
-        .map(|(t, p)| (t - p).abs() / t.abs().max(1e-12))
-        .sum::<f64>()
+    y_true.iter().zip(y_pred).map(|(t, p)| (t - p).abs() / t.abs().max(1e-12)).sum::<f64>()
         / y_true.len() as f64
 }
 

@@ -381,7 +381,8 @@ impl BayesSearch {
                 .map(|e| if e.cv_loss.is_finite() { e.cv_loss } else { worst * 10.0 })
                 .map(|m| (1.0 + m).ln())
                 .collect();
-            let xmat = Matrix::from_rows(&unit_points.iter().map(|p| p.as_slice()).collect::<Vec<_>>());
+            let xmat =
+                Matrix::from_rows(&unit_points.iter().map(|p| p.as_slice()).collect::<Vec<_>>());
             let mut gp = GaussianProcess::new(1.0, 1e-4);
             let next = if gp.fit(&xmat, &targets).is_ok() {
                 // EI over a random candidate pool.
@@ -445,7 +446,8 @@ fn erf(x: f64) -> f64 {
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.3275911 * x);
     let poly = t
-        * (0.254829592 + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
     sign * (1.0 - poly * (-x * x).exp())
 }
 
@@ -558,10 +560,8 @@ mod tests {
         let result = bs.search(|p| Box::new(Ridge::new(p["alpha"])) as Box<dyn Regressor>, &data);
         assert_eq!(result.evaluations.len(), 12);
         // Best must be at least as good as the best of the random phase.
-        let init_best = result.evaluations[..4]
-            .iter()
-            .map(|e| e.cv_loss)
-            .fold(f64::INFINITY, f64::min);
+        let init_best =
+            result.evaluations[..4].iter().map(|e| e.cv_loss).fold(f64::INFINITY, f64::min);
         assert!(result.best_cv_loss <= init_best);
     }
 

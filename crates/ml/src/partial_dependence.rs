@@ -57,7 +57,8 @@ pub fn partial_dependence(
     assert!(!grid.is_empty(), "empty grid");
     let mut mean_prediction = Vec::with_capacity(grid.len());
     for &g in grid {
-        let xg = Matrix::from_fn(x.nrows(), x.ncols(), |i, j| if j == feature { g } else { x[(i, j)] });
+        let xg =
+            Matrix::from_fn(x.nrows(), x.ncols(), |i, j| if j == feature { g } else { x[(i, j)] });
         let pred = model.predict(&xg);
         mean_prediction.push(pred.iter().sum::<f64>() / pred.len() as f64);
     }
@@ -80,15 +81,19 @@ mod tests {
 
     /// y = (x0 − 5)² + x1: a parabola in feature 0, linear in feature 1.
     fn fitted() -> (GradientBoosting, Matrix) {
-        let x = Matrix::from_fn(300, 2, |i, j| {
-            if j == 0 {
-                (i % 11) as f64
-            } else {
-                ((i * 7) % 13) as f64
-            }
-        });
-        let y: Vec<f64> =
-            (0..300).map(|i| (x[(i, 0)] - 5.0).powi(2) + x[(i, 1)]).collect();
+        let x =
+            Matrix::from_fn(
+                300,
+                2,
+                |i, j| {
+                    if j == 0 {
+                        (i % 11) as f64
+                    } else {
+                        ((i * 7) % 13) as f64
+                    }
+                },
+            );
+        let y: Vec<f64> = (0..300).map(|i| (x[(i, 0)] - 5.0).powi(2) + x[(i, 1)]).collect();
         let mut gb = GradientBoosting::new(200, 4, 0.1);
         gb.fit(&x, &y).unwrap();
         (gb, x)

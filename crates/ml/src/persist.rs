@@ -83,7 +83,13 @@ pub fn encode_gb(gb: &GradientBoosting) -> Bytes {
 
 /// Deserialize a GB model from bytes.
 pub fn decode_gb(mut buf: &[u8]) -> Result<GradientBoosting, DecodeError> {
-    let need = |n: usize, buf: &[u8]| if buf.remaining() < n { Err(DecodeError::Truncated) } else { Ok(()) };
+    let need = |n: usize, buf: &[u8]| {
+        if buf.remaining() < n {
+            Err(DecodeError::Truncated)
+        } else {
+            Ok(())
+        }
+    };
     need(8, buf)?;
     if buf.get_u32_le() != MAGIC {
         return Err(DecodeError::BadMagic);
@@ -134,6 +140,12 @@ pub fn decode_gb(mut buf: &[u8]) -> Result<GradientBoosting, DecodeError> {
         }
         trees.push(nodes);
     }
+    if buf.remaining() > 0 {
+        return Err(DecodeError::Corrupt(format!(
+            "{} trailing bytes after last tree",
+            buf.remaining()
+        )));
+    }
     Ok(GradientBoosting::from_export(init, lr, n_features, &trees))
 }
 
@@ -159,7 +171,8 @@ mod tests {
 
     fn fitted_gb() -> (GradientBoosting, Matrix) {
         let x = Matrix::from_fn(120, 3, |i, j| ((i * (j + 2)) % 23) as f64);
-        let y: Vec<f64> = (0..120).map(|i| x[(i, 0)] * 2.0 + (x[(i, 1)] * 0.5).sin() * 4.0).collect();
+        let y: Vec<f64> =
+            (0..120).map(|i| x[(i, 0)] * 2.0 + (x[(i, 1)] * 0.5).sin() * 4.0).collect();
         let mut gb = GradientBoosting::new(60, 4, 0.1);
         gb.fit(&x, &y).unwrap();
         (gb, x)
@@ -218,6 +231,95 @@ mod tests {
         bytes[node0 + 12..node0 + 16].copy_from_slice(&u32::MAX.to_le_bytes()); // left
         let r = decode_gb(&bytes);
         assert!(r.is_err(), "corrupt child index must be rejected");
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let (gb, _) = fitted_gb();
+        let mut bytes = encode_gb(&gb).to_vec();
+        bytes.extend_from_slice(&[0xAB; 7]);
+        match decode_gb(&bytes) {
+            Err(DecodeError::Corrupt(msg)) => {
+                assert!(msg.contains("trailing"), "{msg}");
+                assert!(msg.contains('7'), "{msg}");
+            }
+            other => panic!("expected Corrupt(trailing), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_truncated_header_fields() {
+        // Valid magic+version, then the header cut mid-f64.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC.to_le_bytes());
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 5]);
+        assert_eq!(decode_gb(&bytes).unwrap_err(), DecodeError::Truncated);
+    }
+
+    #[test]
+    fn rejects_implausible_counts() {
+        let (gb, _) = fitted_gb();
+        let mut bytes = encode_gb(&gb).to_vec();
+        // n_features at offset 24, n_trees at offset 28.
+        bytes[24..28].copy_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(decode_gb(&bytes), Err(DecodeError::Corrupt(_))), "zero features");
+        let mut bytes = encode_gb(&gb).to_vec();
+        bytes[28..32].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(decode_gb(&bytes), Err(DecodeError::Corrupt(_))), "huge tree count");
+    }
+
+    #[test]
+    fn rejects_split_feature_out_of_range() {
+        let (gb, _) = fitted_gb();
+        let mut bytes = encode_gb(&gb).to_vec();
+        // First node: feature index far beyond n_features (3), with valid
+        // child indices (0) so the feature check is the one that fires.
+        let node0 = 32 + 4;
+        bytes[node0..node0 + 4].copy_from_slice(&1000u32.to_le_bytes());
+        bytes[node0 + 12..node0 + 16].copy_from_slice(&0u32.to_le_bytes());
+        bytes[node0 + 16..node0 + 20].copy_from_slice(&0u32.to_le_bytes());
+        match decode_gb(&bytes) {
+            Err(DecodeError::Corrupt(msg)) => assert!(msg.contains("split feature"), "{msg}"),
+            other => panic!("expected Corrupt(split feature), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_empty_tree() {
+        // Header for one tree with zero nodes.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC.to_le_bytes());
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        bytes.extend_from_slice(&1.0f64.to_le_bytes());
+        bytes.extend_from_slice(&0.1f64.to_le_bytes());
+        bytes.extend_from_slice(&4u32.to_le_bytes()); // n_features
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // n_trees
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // n_nodes = 0
+        assert!(matches!(decode_gb(&bytes), Err(DecodeError::Corrupt(_))));
+    }
+
+    #[test]
+    fn arbitrary_byte_soup_never_panics() {
+        // Deterministic pseudo-random buffers of varied length; decode
+        // must always return an error, never panic or loop.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        for len in [0usize, 1, 7, 31, 32, 33, 64, 257, 1024] {
+            let mut bytes = Vec::with_capacity(len);
+            for _ in 0..len {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                bytes.push((state >> 56) as u8);
+            }
+            assert!(decode_gb(&bytes).is_err(), "random soup of len {len} accepted");
+        }
+    }
+
+    #[test]
+    fn error_messages_are_descriptive() {
+        assert_eq!(DecodeError::BadMagic.to_string(), "not a chemcost GB model (bad magic)");
+        assert_eq!(DecodeError::UnsupportedVersion(9).to_string(), "unsupported model version 9");
+        assert_eq!(DecodeError::Truncated.to_string(), "model file truncated");
+        assert!(DecodeError::Corrupt("x".into()).to_string().contains("x"));
     }
 
     #[test]

@@ -118,8 +118,19 @@ mod tests {
     #[test]
     fn large_feature_magnitudes_stay_stable() {
         // Mimics the real feature ranges: nodes up to 900, V up to 1600.
-        let x = Matrix::from_fn(80, 2, |i, j| if j == 0 { 5.0 + (i as f64) * 11.0 } else { 200.0 + (i as f64) * 17.0 });
-        let y: Vec<f64> = (0..80).map(|i| { let r = x.row(i); 1e-4 * r[0] * r[1] + 3.0 }).collect();
+        let x = Matrix::from_fn(80, 2, |i, j| {
+            if j == 0 {
+                5.0 + (i as f64) * 11.0
+            } else {
+                200.0 + (i as f64) * 17.0
+            }
+        });
+        let y: Vec<f64> = (0..80)
+            .map(|i| {
+                let r = x.row(i);
+                1e-4 * r[0] * r[1] + 3.0
+            })
+            .collect();
         let mut m = PolynomialRegression::new(3);
         m.fit(&x, &y).unwrap();
         let pred = m.predict(&x);

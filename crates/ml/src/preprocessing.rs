@@ -139,12 +139,7 @@ impl PolynomialFeatures {
         let mut exponents = Vec::new();
         let mut current = vec![0usize; n_input];
         // Depth-first enumeration in graded-lexicographic order.
-        fn rec(
-            feat: usize,
-            remaining: usize,
-            current: &mut Vec<usize>,
-            out: &mut Vec<Vec<usize>>,
-        ) {
+        fn rec(feat: usize, remaining: usize, current: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
             if feat == current.len() {
                 if current.iter().sum::<usize>() >= 1 {
                     out.push(current.clone());
@@ -159,7 +154,9 @@ impl PolynomialFeatures {
         }
         rec(0, degree, &mut current, &mut exponents);
         // Order by total degree then lexicographic, for stable reports.
-        exponents.sort_by_key(|e| (e.iter().sum::<usize>(), e.iter().map(|&x| usize::MAX - x).collect::<Vec<_>>()));
+        exponents.sort_by_key(|e| {
+            (e.iter().sum::<usize>(), e.iter().map(|&x| usize::MAX - x).collect::<Vec<_>>())
+        });
         Self { degree, exponents, n_input }
     }
 

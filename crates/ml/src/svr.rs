@@ -44,14 +44,7 @@ struct Fitted {
 impl Svr {
     /// RBF-kernel SVR.
     pub fn rbf(c: f64, epsilon: f64, gamma: f64) -> Self {
-        Self {
-            c,
-            epsilon,
-            kernel: Kernel::Rbf { gamma },
-            max_iter: 200,
-            tol: 1e-6,
-            state: None,
-        }
+        Self { c, epsilon, kernel: Kernel::Rbf { gamma }, max_iter: 200, tol: 1e-6, state: None }
     }
 
     /// Number of support vectors (nonzero duals); `None` before fit.

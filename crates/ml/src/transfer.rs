@@ -72,10 +72,7 @@ impl Regressor for TransferModel {
             Some(gb) => {
                 // Clamp the learned log-ratio: a correction model should
                 // rescale, not invent orders of magnitude outside its data.
-                base.iter()
-                    .zip(gb.predict(x))
-                    .map(|(b, r)| b * r.clamp(-5.0, 5.0).exp())
-                    .collect()
+                base.iter().zip(gb.predict(x)).map(|(b, r)| b * r.clamp(-5.0, 5.0).exp()).collect()
             }
         }
     }

@@ -52,15 +52,8 @@ pub struct FlatNode {
 
 #[derive(Debug, Clone)]
 enum Node {
-    Leaf {
-        value: f64,
-    },
-    Split {
-        feature: usize,
-        threshold: f64,
-        left: usize,
-        right: usize,
-    },
+    Leaf { value: f64 },
+    Split { feature: usize, threshold: f64, left: usize, right: usize },
 }
 
 /// A CART regression tree.
@@ -174,11 +167,8 @@ impl DecisionTree {
     ) -> Option<(usize, f64)> {
         let d = x.ncols();
         let k = self.max_features.resolve(d);
-        let features: Vec<usize> = if k == d {
-            (0..d).collect()
-        } else {
-            sample_without_replacement(rng, d, k)
-        };
+        let features: Vec<usize> =
+            if k == d { (0..d).collect() } else { sample_without_replacement(rng, d, k) };
         let n = indices.len();
         let total_sum: f64 = indices.iter().map(|&i| y[i]).sum();
         let mut best: Option<(f64, usize, f64)> = None; // (score, feature, threshold)
@@ -222,13 +212,9 @@ impl DecisionTree {
         self.nodes
             .iter()
             .map(|n| match *n {
-                Node::Leaf { value } => FlatNode {
-                    feature: u32::MAX,
-                    threshold: 0.0,
-                    left: 0,
-                    right: 0,
-                    value,
-                },
+                Node::Leaf { value } => {
+                    FlatNode { feature: u32::MAX, threshold: 0.0, left: 0, right: 0, value }
+                }
                 Node::Split { feature, threshold, left, right } => FlatNode {
                     feature: feature as u32,
                     threshold,
@@ -390,7 +376,8 @@ mod tests {
     #[test]
     fn two_feature_interaction() {
         // y depends on x1 only; the tree should ignore x0.
-        let x = Matrix::from_fn(100, 2, |i, j| if j == 0 { (i % 10) as f64 } else { (i / 10) as f64 });
+        let x =
+            Matrix::from_fn(100, 2, |i, j| if j == 0 { (i % 10) as f64 } else { (i / 10) as f64 });
         let y: Vec<f64> = (0..100).map(|i| if (i / 10) < 5 { 0.0 } else { 10.0 }).collect();
         let mut t = DecisionTree::new(2);
         t.fit(&x, &y).unwrap();

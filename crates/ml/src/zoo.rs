@@ -191,18 +191,16 @@ impl ModelKind {
             ModelKind::Polynomial => {
                 vec![("degree", vec![1.0, 2.0, 3.0, 4.0]), ("alpha", vec![1e-8, 1e-4, 1e-2])]
             }
-            ModelKind::KernelRidge => vec![
-                ("alpha", vec![1e-5, 1e-3, 1e-1]),
-                ("gamma", vec![0.05, 0.2, 0.5, 1.0]),
-            ],
+            ModelKind::KernelRidge => {
+                vec![("alpha", vec![1e-5, 1e-3, 1e-1]), ("gamma", vec![0.05, 0.2, 0.5, 1.0])]
+            }
             ModelKind::DecisionTree => vec![
                 ("max_depth", vec![4.0, 8.0, 12.0, 16.0]),
                 ("min_samples_leaf", vec![1.0, 2.0, 5.0]),
             ],
-            ModelKind::RandomForest => vec![
-                ("n_estimators", vec![50.0, 150.0]),
-                ("max_depth", vec![8.0, 12.0, 16.0]),
-            ],
+            ModelKind::RandomForest => {
+                vec![("n_estimators", vec![50.0, 150.0]), ("max_depth", vec![8.0, 12.0, 16.0])]
+            }
             ModelKind::GradientBoosting => vec![
                 ("n_estimators", vec![150.0, 400.0, 750.0]),
                 ("max_depth", vec![4.0, 6.0, 10.0]),
@@ -213,24 +211,21 @@ impl ModelKind {
                 ("max_depth", vec![6.0, 8.0, 10.0]),
                 ("learning_rate", vec![0.5, 1.0]),
             ],
-            ModelKind::GaussianProcess => vec![
-                ("gamma", vec![0.05, 0.2, 0.5, 1.0]),
-                ("noise", vec![1e-6, 1e-4, 1e-2]),
-            ],
+            ModelKind::GaussianProcess => {
+                vec![("gamma", vec![0.05, 0.2, 0.5, 1.0]), ("noise", vec![1e-6, 1e-4, 1e-2])]
+            }
             ModelKind::BayesianRidge => vec![],
             ModelKind::Svr => vec![
                 ("c", vec![1.0, 10.0, 100.0]),
                 ("epsilon", vec![0.005, 0.02, 0.1]),
                 ("gamma", vec![0.1, 0.5, 1.0]),
             ],
-            ModelKind::Knn => vec![
-                ("k", vec![3.0, 5.0, 9.0, 15.0]),
-                ("distance_weighted", vec![0.0, 1.0]),
-            ],
-            ModelKind::ElasticNet => vec![
-                ("alpha", vec![1e-4, 1e-3, 1e-2, 1e-1]),
-                ("l1_ratio", vec![0.1, 0.5, 0.9]),
-            ],
+            ModelKind::Knn => {
+                vec![("k", vec![3.0, 5.0, 9.0, 15.0]), ("distance_weighted", vec![0.0, 1.0])]
+            }
+            ModelKind::ElasticNet => {
+                vec![("alpha", vec![1e-4, 1e-3, 1e-2, 1e-1]), ("l1_ratio", vec![0.1, 0.5, 0.9])]
+            }
             ModelKind::Mlp => vec![
                 ("width", vec![32.0, 64.0]),
                 ("depth", vec![1.0, 2.0]),
@@ -353,8 +348,7 @@ mod tests {
     fn all_has_nine_distinct_families() {
         let kinds = ModelKind::all();
         assert_eq!(kinds.len(), 9);
-        let abbrevs: std::collections::HashSet<&str> =
-            kinds.iter().map(|k| k.abbrev()).collect();
+        let abbrevs: std::collections::HashSet<&str> = kinds.iter().map(|k| k.abbrev()).collect();
         assert_eq!(abbrevs.len(), 9);
     }
 
@@ -362,8 +356,7 @@ mod tests {
     fn extended_adds_three_more_families() {
         let kinds = ModelKind::all_extended();
         assert_eq!(kinds.len(), 12);
-        let abbrevs: std::collections::HashSet<&str> =
-            kinds.iter().map(|k| k.abbrev()).collect();
+        let abbrevs: std::collections::HashSet<&str> = kinds.iter().map(|k| k.abbrev()).collect();
         assert_eq!(abbrevs.len(), 12);
         for k in ModelKind::all() {
             assert!(kinds.contains(&k), "extended must be a superset");

@@ -1,0 +1,304 @@
+//! Minimal HTTP/1.1 framing over `std::io` streams.
+//!
+//! Supports exactly what the service needs: request line + headers +
+//! `Content-Length` bodies, keep-alive, and plain responses. Chunked
+//! transfer encoding is rejected; bodies and header sections are
+//! size-limited so a misbehaving client cannot balloon memory.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// Longest accepted request line / header line, in bytes.
+const MAX_LINE: usize = 8 * 1024;
+/// Most headers accepted per request.
+const MAX_HEADERS: usize = 100;
+/// Largest accepted request body, in bytes.
+pub const MAX_BODY: usize = 4 * 1024 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method, upper-case as sent ("GET", "POST", …).
+    pub method: String,
+    /// Request path, without query string.
+    pub path: String,
+    /// Header map; names lower-cased.
+    pub headers: HashMap<String, String>,
+    /// Request body (empty when no Content-Length).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Build an in-memory request (used by tests and the bench harness —
+    /// the router's `handle` doesn't need a socket).
+    pub fn new(method: &str, path: &str, body: &[u8]) -> Request {
+        Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            headers: HashMap::new(),
+            body: body.to_vec(),
+        }
+    }
+
+    /// Does the client ask to keep the connection open? HTTP/1.1
+    /// defaults to yes unless `Connection: close`.
+    pub fn keep_alive(&self) -> bool {
+        !self.headers.get("connection").is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// An HTTP response to serialize.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code (200, 400, …).
+    pub status: u16,
+    /// Value for the Content-Type header.
+    pub content_type: &'static str,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// JSON response with the given status.
+    pub fn json(status: u16, body: String) -> Response {
+        Response { status, content_type: "application/json", body: body.into_bytes() }
+    }
+
+    /// Plain-text response with the given status.
+    pub fn text(status: u16, body: String) -> Response {
+        Response { status, content_type: "text/plain; version=0.0.4", body: body.into_bytes() }
+    }
+
+    /// Was this an error response (status >= 400)?
+    pub fn is_error(&self) -> bool {
+        self.status >= 400
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Underlying socket error (including read timeouts).
+    Io(std::io::Error),
+    /// The bytes on the wire were not a well-formed request. The message
+    /// is safe to echo back in a 400.
+    Malformed(String),
+    /// Well-formed but unsupported (chunked encoding, oversized body…).
+    /// `.0` is the status to answer with, `.1` the message.
+    Unsupported(u16, String),
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "io error: {e}"),
+            HttpError::Malformed(m) => write!(f, "malformed request: {m}"),
+            HttpError::Unsupported(code, m) => write!(f, "unsupported ({code}): {m}"),
+        }
+    }
+}
+
+fn read_line<R: BufRead>(reader: &mut R) -> Result<Option<String>, HttpError> {
+    let mut line = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                if line.is_empty() {
+                    return Ok(None); // clean EOF between requests
+                }
+                return Err(HttpError::Malformed("unexpected EOF mid-line".into()));
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    let text = String::from_utf8(line)
+                        .map_err(|_| HttpError::Malformed("non-UTF-8 header line".into()))?;
+                    return Ok(Some(text));
+                }
+                line.push(byte[0]);
+                if line.len() > MAX_LINE {
+                    return Err(HttpError::Unsupported(431, "header line too long".into()));
+                }
+            }
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    }
+}
+
+/// Read one request off the stream. `Ok(None)` means the client closed
+/// the connection cleanly before sending another request.
+pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, HttpError> {
+    let Some(request_line) = read_line(reader)? else {
+        return Ok(None);
+    };
+    let mut parts = request_line.split_whitespace();
+    let method =
+        parts.next().ok_or_else(|| HttpError::Malformed("empty request line".into()))?.to_string();
+    let target =
+        parts.next().ok_or_else(|| HttpError::Malformed("missing request target".into()))?;
+    let version =
+        parts.next().ok_or_else(|| HttpError::Malformed("missing HTTP version".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Unsupported(505, format!("unsupported version {version}")));
+    }
+    // Strip any query string; the API doesn't use one.
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut headers = HashMap::new();
+    loop {
+        let line =
+            read_line(reader)?.ok_or_else(|| HttpError::Malformed("EOF inside headers".into()))?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::Unsupported(431, "too many headers".into()));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Malformed(format!("header without ':': {line:?}")))?;
+        headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
+    }
+
+    if headers.get("transfer-encoding").is_some_and(|v| !v.eq_ignore_ascii_case("identity")) {
+        return Err(HttpError::Unsupported(501, "chunked transfer encoding not supported".into()));
+    }
+
+    let body = match headers.get("content-length") {
+        None => Vec::new(),
+        Some(len) => {
+            let len: usize = len
+                .parse()
+                .map_err(|_| HttpError::Malformed(format!("bad Content-Length {len:?}")))?;
+            if len > MAX_BODY {
+                return Err(HttpError::Unsupported(413, "request body too large".into()));
+            }
+            let mut body = vec![0u8; len];
+            let mut filled = 0;
+            while filled < len {
+                match reader.read(&mut body[filled..]) {
+                    Ok(0) => return Err(HttpError::Malformed("EOF inside body".into())),
+                    Ok(n) => filled += n,
+                    Err(e) => return Err(HttpError::Io(e)),
+                }
+            }
+            body
+        }
+    };
+
+    Ok(Some(Request { method, path, headers, body }))
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "",
+    }
+}
+
+/// Serialize a response onto the stream (does not flush-close).
+pub fn write_response<W: Write>(
+    writer: &mut W,
+    response: &Response,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        response.status,
+        reason(response.status),
+        response.content_type,
+        response.body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    writer.write_all(head.as_bytes())?;
+    writer.write_all(&response.body)?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Option<Request>, HttpError> {
+        read_request(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let r = parse("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap().unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/healthz");
+        assert!(r.body.is_empty());
+        assert!(r.keep_alive());
+    }
+
+    #[test]
+    fn parses_post_with_content_length() {
+        let r = parse("POST /v1/predict HTTP/1.1\r\nContent-Length: 7\r\n\r\n{\"a\":1}")
+            .unwrap()
+            .unwrap();
+        assert_eq!(r.body, b"{\"a\":1}");
+        assert_eq!(r.headers.get("content-length").map(String::as_str), Some("7"));
+    }
+
+    #[test]
+    fn connection_close_disables_keep_alive() {
+        let r = parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap().unwrap();
+        assert!(!r.keep_alive());
+    }
+
+    #[test]
+    fn clean_eof_yields_none() {
+        assert!(parse("").unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_body_is_malformed() {
+        let e = parse("POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort").unwrap_err();
+        assert!(matches!(e, HttpError::Malformed(_)), "{e}");
+    }
+
+    #[test]
+    fn chunked_encoding_rejected() {
+        let e = parse("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n").unwrap_err();
+        assert!(matches!(e, HttpError::Unsupported(501, _)), "{e}");
+    }
+
+    #[test]
+    fn query_string_is_stripped() {
+        let r = parse("GET /v1/models?verbose=1 HTTP/1.1\r\n\r\n").unwrap().unwrap();
+        assert_eq!(r.path, "/v1/models");
+    }
+
+    #[test]
+    fn oversized_declared_body_rejected() {
+        let raw = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 1);
+        let e = parse(&raw).unwrap_err();
+        assert!(matches!(e, HttpError::Unsupported(413, _)), "{e}");
+    }
+
+    #[test]
+    fn response_serialization_round_trips() {
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::json(200, "{\"ok\":true}".into()), true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("{\"ok\":true}"));
+    }
+}

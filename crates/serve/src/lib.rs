@@ -1,0 +1,137 @@
+//! `chemcost-serve` — advisor-as-a-service.
+//!
+//! A dependency-light HTTP/1.1 JSON daemon that answers the paper's
+//! user questions (shortest-time, budget, Pareto menu) over the network
+//! from a registry of trained gradient-boosting runtime models:
+//!
+//! - `POST /v1/predict` — batch `(o, v, nodes, tile)` rows → predicted
+//!   seconds and node-hours
+//! - `POST /v1/advise` — `(o, v, goal)` → the same `Recommendation`s the
+//!   offline `chemcost advise` CLI prints
+//! - `GET /v1/models`, `POST /v1/models/{name}/reload` — model registry
+//!   with versions and hot reload
+//! - `GET /healthz`, `GET /metrics` — liveness and Prometheus metrics
+//! - `POST /v1/shutdown` — graceful drain-and-exit
+//!
+//! Built on `std::net::TcpListener` plus a bounded worker threadpool;
+//! requests beyond the queue capacity are shed with `503` instead of
+//! buffering unboundedly. No external HTTP or JSON dependencies.
+
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod pool;
+pub mod registry;
+pub mod routes;
+
+pub use metrics::Metrics;
+pub use registry::{ModelInfo, ModelRegistry, ResolvedModel};
+pub use routes::Router;
+
+use http::{read_request, write_response, HttpError, Response};
+use pool::ThreadPool;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::Duration;
+
+/// Per-connection socket read timeout: an idle keep-alive client is
+/// disconnected after this long so it cannot pin a worker forever.
+const READ_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// A bound-but-not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    router: Router,
+    workers: usize,
+    queue_cap: usize,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `"127.0.0.1:8080"`, port 0 for ephemeral) and
+    /// prepare `workers` handler threads.
+    pub fn bind(addr: &str, router: Router, workers: usize) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server { listener, router, workers: workers.max(1), queue_cap: workers.max(1) * 4 })
+    }
+
+    /// The address actually bound (resolves an ephemeral port).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accept and serve connections until `POST /v1/shutdown` arrives,
+    /// then drain in-flight work and return.
+    pub fn run(self) -> std::io::Result<()> {
+        let local_addr = self.listener.local_addr()?;
+        let pool = ThreadPool::new(self.workers, self.queue_cap);
+        for stream in self.listener.incoming() {
+            if self.router.shutdown_requested() {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(_) => continue, // transient accept failure
+            };
+            // Keep a dup of the socket so an overloaded pool can still
+            // answer 503 after the closure (owning the original) is dropped.
+            let spare = stream.try_clone();
+            let router = self.router.clone();
+            let job: pool::Job = Box::new(move || handle_connection(stream, &router, local_addr));
+            if let Err(job) = pool.execute(job) {
+                drop(job);
+                if let Ok(mut spare) = spare {
+                    let resp = Response::json(503, r#"{"error":"server overloaded"}"#.into());
+                    let _ = write_response(&mut spare, &resp, false);
+                }
+            }
+        }
+        // Dropping the pool drains queued connections and joins workers,
+        // so every accepted request gets its response before we return.
+        pool.join();
+        Ok(())
+    }
+}
+
+/// Serve one connection: a keep-alive loop of read → route → respond.
+fn handle_connection(stream: TcpStream, router: &Router, local_addr: SocketAddr) {
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    loop {
+        match read_request(&mut reader) {
+            Ok(None) => break,
+            Ok(Some(req)) => {
+                let keep_alive = req.keep_alive();
+                let resp = router.handle(&req);
+                if write_response(&mut writer, &resp, keep_alive).is_err() {
+                    break;
+                }
+                if router.shutdown_requested() {
+                    // The accept loop is blocked in accept(); poke it so
+                    // it observes the flag and stops.
+                    let _ = TcpStream::connect(local_addr);
+                    break;
+                }
+                if !keep_alive {
+                    break;
+                }
+            }
+            Err(HttpError::Io(_)) => break, // timeout or reset
+            Err(HttpError::Malformed(msg)) => {
+                let resp = Response::json(400, json::Json::obj([("error", msg.into())]).encode());
+                let _ = write_response(&mut writer, &resp, false);
+                break;
+            }
+            Err(HttpError::Unsupported(status, msg)) => {
+                let resp =
+                    Response::json(status, json::Json::obj([("error", msg.into())]).encode());
+                let _ = write_response(&mut writer, &resp, false);
+                break;
+            }
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Request metrics with Prometheus text exposition.
+//!
+//! Everything is lock-free atomics: fixed route labels, per-route request
+//! and error counters, and a shared latency histogram with
+//! log-spaced buckets. `render` produces the standard
+//! `text/plain; version=0.0.4` exposition format.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Route label a request is accounted under. Fixed set — unknown paths
+/// all collapse into `Other` so label cardinality stays bounded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// `GET /healthz`
+    Healthz,
+    /// `GET /metrics`
+    Metrics,
+    /// `GET /v1/models`
+    Models,
+    /// `POST /v1/models/{name}/reload`
+    Reload,
+    /// `POST /v1/predict`
+    Predict,
+    /// `POST /v1/advise`
+    Advise,
+    /// `POST /v1/shutdown`
+    Shutdown,
+    /// Anything else (404s, bad methods, …).
+    Other,
+}
+
+impl Route {
+    const ALL: [Route; 8] = [
+        Route::Healthz,
+        Route::Metrics,
+        Route::Models,
+        Route::Reload,
+        Route::Predict,
+        Route::Advise,
+        Route::Shutdown,
+        Route::Other,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            Route::Healthz => 0,
+            Route::Metrics => 1,
+            Route::Models => 2,
+            Route::Reload => 3,
+            Route::Predict => 4,
+            Route::Advise => 5,
+            Route::Shutdown => 6,
+            Route::Other => 7,
+        }
+    }
+
+    /// The Prometheus label value.
+    pub fn label(self) -> &'static str {
+        match self {
+            Route::Healthz => "healthz",
+            Route::Metrics => "metrics",
+            Route::Models => "models",
+            Route::Reload => "reload",
+            Route::Predict => "predict",
+            Route::Advise => "advise",
+            Route::Shutdown => "shutdown",
+            Route::Other => "other",
+        }
+    }
+}
+
+/// Histogram bucket upper bounds, in seconds.
+const BUCKETS: [f64; 10] = [1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 1e-1, 5e-1, 1.0, 5.0];
+
+#[derive(Default)]
+struct RouteStats {
+    requests: AtomicU64,
+    errors: AtomicU64,
+}
+
+/// Shared, thread-safe service metrics.
+#[derive(Default)]
+pub struct Metrics {
+    routes: [RouteStats; 8],
+    /// Cumulative counts per latency bucket (+ one overflow bucket).
+    latency_buckets: [AtomicU64; 11],
+    /// Total observed latency, in microseconds (integer so it can live in
+    /// an atomic; micro resolution keeps rounding error negligible).
+    latency_sum_micros: AtomicU64,
+    latency_count: AtomicU64,
+}
+
+impl Metrics {
+    /// Fresh zeroed metrics.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Record one request: its route, whether the response was an error
+    /// (HTTP status >= 400), and how long handling took.
+    pub fn record(&self, route: Route, is_error: bool, elapsed: Duration) {
+        let stats = &self.routes[route.index()];
+        stats.requests.fetch_add(1, Ordering::Relaxed);
+        if is_error {
+            stats.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        let secs = elapsed.as_secs_f64();
+        let bucket = BUCKETS.iter().position(|&b| secs <= b).unwrap_or(BUCKETS.len());
+        self.latency_buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.latency_sum_micros.fetch_add(elapsed.as_micros() as u64, Ordering::Relaxed);
+        self.latency_count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total requests recorded for a route.
+    pub fn requests(&self, route: Route) -> u64 {
+        self.routes[route.index()].requests.load(Ordering::Relaxed)
+    }
+
+    /// Total error responses recorded for a route.
+    pub fn errors(&self, route: Route) -> u64 {
+        self.routes[route.index()].errors.load(Ordering::Relaxed)
+    }
+
+    /// Render the Prometheus text exposition.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        out.push_str("# HELP chemcost_requests_total Requests handled, by route.\n");
+        out.push_str("# TYPE chemcost_requests_total counter\n");
+        for route in Route::ALL {
+            let n = self.requests(route);
+            out.push_str(&format!("chemcost_requests_total{{route=\"{}\"}} {n}\n", route.label()));
+        }
+        out.push_str(
+            "# HELP chemcost_request_errors_total Error responses (status >= 400), by route.\n",
+        );
+        out.push_str("# TYPE chemcost_request_errors_total counter\n");
+        for route in Route::ALL {
+            let n = self.errors(route);
+            out.push_str(&format!(
+                "chemcost_request_errors_total{{route=\"{}\"}} {n}\n",
+                route.label()
+            ));
+        }
+        out.push_str("# HELP chemcost_request_duration_seconds Request handling latency.\n");
+        out.push_str("# TYPE chemcost_request_duration_seconds histogram\n");
+        let mut cumulative = 0u64;
+        for (i, le) in BUCKETS.iter().enumerate() {
+            cumulative += self.latency_buckets[i].load(Ordering::Relaxed);
+            out.push_str(&format!(
+                "chemcost_request_duration_seconds_bucket{{le=\"{le}\"}} {cumulative}\n"
+            ));
+        }
+        cumulative += self.latency_buckets[BUCKETS.len()].load(Ordering::Relaxed);
+        out.push_str(&format!(
+            "chemcost_request_duration_seconds_bucket{{le=\"+Inf\"}} {cumulative}\n"
+        ));
+        let sum = self.latency_sum_micros.load(Ordering::Relaxed) as f64 / 1e6;
+        out.push_str(&format!("chemcost_request_duration_seconds_sum {sum}\n"));
+        out.push_str(&format!(
+            "chemcost_request_duration_seconds_count {}\n",
+            self.latency_count.load(Ordering::Relaxed)
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_requests_and_errors_per_route() {
+        let m = Metrics::new();
+        m.record(Route::Predict, false, Duration::from_millis(2));
+        m.record(Route::Predict, true, Duration::from_millis(2));
+        m.record(Route::Advise, false, Duration::from_millis(1));
+        assert_eq!(m.requests(Route::Predict), 2);
+        assert_eq!(m.errors(Route::Predict), 1);
+        assert_eq!(m.requests(Route::Advise), 1);
+        assert_eq!(m.errors(Route::Advise), 0);
+        assert_eq!(m.requests(Route::Healthz), 0);
+    }
+
+    #[test]
+    fn render_contains_all_series() {
+        let m = Metrics::new();
+        m.record(Route::Healthz, false, Duration::from_micros(50));
+        let text = m.render();
+        assert!(text.contains("chemcost_requests_total{route=\"healthz\"} 1"));
+        assert!(text.contains("chemcost_requests_total{route=\"predict\"} 0"));
+        assert!(text.contains("chemcost_request_errors_total{route=\"healthz\"} 0"));
+        assert!(text.contains("chemcost_request_duration_seconds_count 1"));
+        assert!(text.contains("le=\"+Inf\"} 1"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let m = Metrics::new();
+        m.record(Route::Other, false, Duration::from_micros(50)); // <= 1e-4
+        m.record(Route::Other, false, Duration::from_millis(20)); // <= 5e-2
+        m.record(Route::Other, false, Duration::from_secs(10)); // overflow
+        let text = m.render();
+        assert!(text.contains("le=\"0.0001\"} 1"));
+        assert!(text.contains("le=\"0.05\"} 2"));
+        assert!(text.contains("le=\"5\"} 2"));
+        assert!(text.contains("le=\"+Inf\"} 3"));
+    }
+}

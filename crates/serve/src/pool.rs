@@ -1,0 +1,135 @@
+//! Bounded worker threadpool.
+//!
+//! Connections are handed to a fixed set of worker threads through a
+//! bounded channel; when the queue is full the caller gets the job back
+//! and can shed load (the server answers 503) instead of buffering
+//! unboundedly.
+
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use std::thread::JoinHandle;
+
+/// Work item: a closure executed once on a worker thread.
+pub type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of named worker threads fed by a bounded queue.
+pub struct ThreadPool {
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Spawn `workers` threads sharing a queue of capacity `queue_cap`.
+    pub fn new(workers: usize, queue_cap: usize) -> ThreadPool {
+        assert!(workers > 0, "need at least one worker");
+        let (sender, receiver): (Sender<Job>, Receiver<Job>) = bounded(queue_cap);
+        let handles = (0..workers)
+            .map(|i| {
+                let rx = receiver.clone();
+                std::thread::Builder::new()
+                    .name(format!("chemcost-serve-{i}"))
+                    .spawn(move || {
+                        // recv() errs only once all senders are dropped
+                        // AND the queue is drained, so in-flight work
+                        // always completes before shutdown.
+                        while let Ok(job) = rx.recv() {
+                            job();
+                        }
+                    })
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        ThreadPool { sender: Some(sender), workers: handles }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Queue a job without blocking. On a full or closed queue the job is
+    /// handed back so the caller can reject the request instead.
+    pub fn execute(&self, job: Job) -> Result<(), Job> {
+        let Some(sender) = &self.sender else {
+            return Err(job);
+        };
+        sender.try_send(job).map_err(|e| match e {
+            TrySendError::Full(j) | TrySendError::Disconnected(j) => j,
+        })
+    }
+
+    /// Stop accepting work, drain the queue, and join every worker.
+    pub fn join(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        drop(self.sender.take());
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn executes_all_jobs_before_join_returns() {
+        let pool = ThreadPool::new(4, 64);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..50 {
+            let c = Arc::clone(&counter);
+            loop {
+                let job: Job = {
+                    let c = Arc::clone(&c);
+                    Box::new(move || {
+                        c.fetch_add(1, Ordering::SeqCst);
+                    })
+                };
+                if pool.execute(job).is_ok() {
+                    break;
+                }
+                std::thread::yield_now();
+            }
+        }
+        pool.join();
+        assert_eq!(counter.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn full_queue_returns_job_to_caller() {
+        // One worker blocked on a long job; capacity-1 queue fills after
+        // a single extra submission.
+        let pool = ThreadPool::new(1, 1);
+        let (block_tx, block_rx) = crossbeam::channel::bounded::<()>(1);
+        let (started_tx, started_rx) = crossbeam::channel::bounded::<()>(1);
+        pool.execute(Box::new(move || {
+            let _ = started_tx.send(());
+            let _ = block_rx.recv();
+        }))
+        .ok()
+        .expect("first job queued");
+        started_rx.recv().expect("worker started");
+        // Fill the queue slot, then one more must bounce.
+        pool.execute(Box::new(|| {})).ok().expect("queue slot");
+        let bounced = pool.execute(Box::new(|| {}));
+        assert!(bounced.is_err(), "expected Full to hand the job back");
+        block_tx.send(()).unwrap();
+        pool.join();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        let _ = ThreadPool::new(0, 1);
+    }
+}

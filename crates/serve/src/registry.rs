@@ -1,0 +1,290 @@
+//! Named, versioned model registry.
+//!
+//! Models are `chemcost_ml` gradient-boosting ensembles loaded through
+//! `chemcost_ml::persist`. Each entry remembers the file it came from so
+//! it can be hot-reloaded; every successful (re)load bumps the entry's
+//! version. Lookups return an `Arc` clone, so a reload never invalidates
+//! predictions already in flight.
+
+use chemcost_ml::gradient_boosting::GradientBoosting;
+use chemcost_ml::persist::load_gb;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// One registered model.
+struct Entry {
+    model: Arc<GradientBoosting>,
+    version: u64,
+    machine: String,
+    path: Option<PathBuf>,
+}
+
+/// Summary of a registered model, as reported by `GET /v1/models`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelInfo {
+    /// Registry name.
+    pub name: String,
+    /// Load generation; starts at 1, +1 per successful reload.
+    pub version: u64,
+    /// Machine the model was trained against.
+    pub machine: String,
+    /// Source file, when loaded from disk.
+    pub path: Option<PathBuf>,
+    /// Machines for which this model is the default.
+    pub default_for: Vec<String>,
+}
+
+/// A resolved model lookup: the ensemble plus its registry metadata.
+#[derive(Clone)]
+pub struct ResolvedModel {
+    /// Registry name the lookup resolved to.
+    pub name: String,
+    /// The shared trained model.
+    pub model: Arc<GradientBoosting>,
+    /// Load generation.
+    pub version: u64,
+    /// Machine the model was trained against.
+    pub machine: String,
+}
+
+impl std::fmt::Debug for ResolvedModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResolvedModel")
+            .field("name", &self.name)
+            .field("version", &self.version)
+            .field("machine", &self.machine)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Thread-safe registry of named models with per-machine defaults.
+#[derive(Default)]
+pub struct ModelRegistry {
+    entries: RwLock<HashMap<String, Entry>>,
+    /// machine name → model name
+    defaults: RwLock<HashMap<String, String>>,
+}
+
+impl ModelRegistry {
+    /// Empty registry.
+    pub fn new() -> ModelRegistry {
+        ModelRegistry::default()
+    }
+
+    /// Register an in-memory model (no reload path).
+    pub fn insert(&self, name: &str, machine: &str, model: GradientBoosting) {
+        self.entries.write().insert(
+            name.to_string(),
+            Entry { model: Arc::new(model), version: 1, machine: machine.to_string(), path: None },
+        );
+    }
+
+    /// Register a model from a persisted `.ccgb` file.
+    pub fn load_file(&self, name: &str, machine: &str, path: &Path) -> Result<(), String> {
+        let gb = load_gb(path).map_err(|e| format!("loading {}: {e}", path.display()))?;
+        self.entries.write().insert(
+            name.to_string(),
+            Entry {
+                model: Arc::new(gb),
+                version: 1,
+                machine: machine.to_string(),
+                path: Some(path.to_path_buf()),
+            },
+        );
+        Ok(())
+    }
+
+    /// Re-read a file-backed model from disk. Returns the new version.
+    /// The old model stays in place if the reload fails.
+    pub fn reload(&self, name: &str) -> Result<u64, String> {
+        let path = {
+            let entries = self.entries.read();
+            let entry = entries.get(name).ok_or_else(|| format!("no model named {name:?}"))?;
+            entry
+                .path
+                .clone()
+                .ok_or_else(|| format!("model {name:?} is in-memory only (no file to reload)"))?
+        };
+        // Read the file without holding the lock — disk I/O under a write
+        // lock would stall every concurrent prediction.
+        let gb = load_gb(&path).map_err(|e| format!("reloading {}: {e}", path.display()))?;
+        let mut entries = self.entries.write();
+        let entry = entries.get_mut(name).ok_or_else(|| format!("model {name:?} was removed"))?;
+        entry.model = Arc::new(gb);
+        entry.version += 1;
+        Ok(entry.version)
+    }
+
+    /// Make `name` the default model for `machine`.
+    pub fn set_default(&self, machine: &str, name: &str) -> Result<(), String> {
+        if !self.entries.read().contains_key(name) {
+            return Err(format!("no model named {name:?}"));
+        }
+        self.defaults.write().insert(machine.to_string(), name.to_string());
+        Ok(())
+    }
+
+    /// Look up a model by explicit name, falling back to the machine's
+    /// default, falling back to the sole registered model.
+    pub fn resolve(
+        &self,
+        name: Option<&str>,
+        machine: Option<&str>,
+    ) -> Result<ResolvedModel, String> {
+        let entries = self.entries.read();
+        let resolved_name = match name {
+            Some(n) => n.to_string(),
+            None => {
+                let defaults = self.defaults.read();
+                match machine.and_then(|m| defaults.get(m)) {
+                    Some(n) => n.clone(),
+                    None if entries.len() == 1 => {
+                        entries.keys().next().expect("len checked").clone()
+                    }
+                    None => {
+                        return Err(if entries.is_empty() {
+                            "no models registered".to_string()
+                        } else {
+                            "multiple models registered; specify \"model\"".to_string()
+                        })
+                    }
+                }
+            }
+        };
+        let entry = entries
+            .get(&resolved_name)
+            .ok_or_else(|| format!("no model named {resolved_name:?}"))?;
+        Ok(ResolvedModel {
+            name: resolved_name,
+            model: Arc::clone(&entry.model),
+            version: entry.version,
+            machine: entry.machine.clone(),
+        })
+    }
+
+    /// All registered models, sorted by name.
+    pub fn list(&self) -> Vec<ModelInfo> {
+        let entries = self.entries.read();
+        let defaults = self.defaults.read();
+        let mut out: Vec<ModelInfo> = entries
+            .iter()
+            .map(|(name, e)| {
+                let mut default_for: Vec<String> = defaults
+                    .iter()
+                    .filter(|(_, model)| *model == name)
+                    .map(|(machine, _)| machine.clone())
+                    .collect();
+                default_for.sort();
+                ModelInfo {
+                    name: name.clone(),
+                    version: e.version,
+                    machine: e.machine.clone(),
+                    path: e.path.clone(),
+                    default_for,
+                }
+            })
+            .collect();
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chemcost_linalg::Matrix;
+    use chemcost_ml::Regressor;
+
+    /// Tiny model fitted on a trivial 4-feature dataset.
+    fn tiny_model(seed: u64) -> GradientBoosting {
+        let mut gb = GradientBoosting::new(4, 2, 0.5);
+        gb.seed = seed;
+        let x = Matrix::from_fn(8, 4, |i, j| (i * 4 + j) as f64);
+        let y: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        gb.fit(&x, &y).unwrap();
+        gb
+    }
+
+    #[test]
+    fn resolve_by_explicit_name() {
+        let reg = ModelRegistry::new();
+        reg.insert("gb-a", "aurora", tiny_model(1));
+        reg.insert("gb-f", "frontier", tiny_model(2));
+        let r = reg.resolve(Some("gb-f"), None).unwrap();
+        assert_eq!(r.name, "gb-f");
+        assert_eq!(r.machine, "frontier");
+        assert_eq!(r.version, 1);
+    }
+
+    #[test]
+    fn resolve_falls_back_to_machine_default_then_sole_model() {
+        let reg = ModelRegistry::new();
+        reg.insert("only", "aurora", tiny_model(1));
+        // Sole model resolves with no hints at all.
+        assert_eq!(reg.resolve(None, None).unwrap().name, "only");
+
+        reg.insert("other", "frontier", tiny_model(2));
+        // Ambiguous now.
+        assert!(reg.resolve(None, None).is_err());
+        reg.set_default("frontier", "other").unwrap();
+        assert_eq!(reg.resolve(None, Some("frontier")).unwrap().name, "other");
+        // A machine without a default is still ambiguous.
+        assert!(reg.resolve(None, Some("aurora")).is_err());
+    }
+
+    #[test]
+    fn unknown_lookups_error() {
+        let reg = ModelRegistry::new();
+        assert!(reg.resolve(None, None).unwrap_err().contains("no models"));
+        assert!(reg.resolve(Some("ghost"), None).is_err());
+        assert!(reg.set_default("aurora", "ghost").is_err());
+        assert!(reg.reload("ghost").is_err());
+    }
+
+    #[test]
+    fn reload_bumps_version_and_swaps_model() {
+        let dir = std::env::temp_dir().join(format!("chemcost-registry-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.ccgb");
+        chemcost_ml::persist::save_gb(&path, &tiny_model(1)).unwrap();
+
+        let reg = ModelRegistry::new();
+        reg.load_file("m", "aurora", &path).unwrap();
+        let before = reg.resolve(Some("m"), None).unwrap();
+        assert_eq!(before.version, 1);
+
+        chemcost_ml::persist::save_gb(&path, &tiny_model(99)).unwrap();
+        assert_eq!(reg.reload("m").unwrap(), 2);
+        let after = reg.resolve(Some("m"), None).unwrap();
+        assert_eq!(after.version, 2);
+        // The old Arc is still usable by in-flight requests.
+        let probe = Matrix::from_fn(1, 4, |_, j| j as f64);
+        let _ = before.model.predict(&probe);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn in_memory_models_cannot_reload() {
+        let reg = ModelRegistry::new();
+        reg.insert("mem", "aurora", tiny_model(1));
+        let err = reg.reload("mem").unwrap_err();
+        assert!(err.contains("in-memory"), "{err}");
+    }
+
+    #[test]
+    fn list_reports_defaults() {
+        let reg = ModelRegistry::new();
+        reg.insert("a", "aurora", tiny_model(1));
+        reg.insert("b", "frontier", tiny_model(2));
+        reg.set_default("aurora", "a").unwrap();
+        reg.set_default("frontier", "a").unwrap();
+        let infos = reg.list();
+        assert_eq!(infos.len(), 2);
+        assert_eq!(infos[0].name, "a");
+        assert_eq!(infos[0].default_for, vec!["aurora".to_string(), "frontier".to_string()]);
+        assert!(infos[1].default_for.is_empty());
+    }
+}

@@ -1,0 +1,447 @@
+//! Request routing and the JSON API surface.
+//!
+//! `Router::handle` is a pure function from `Request` to `Response` —
+//! no sockets involved — so the same code path is driven by the TCP
+//! server, the end-to-end tests, and the throughput benchmarks.
+
+use crate::http::{Request, Response};
+use crate::json::Json;
+use crate::metrics::{Metrics, Route};
+use crate::registry::{ModelRegistry, ResolvedModel};
+use chemcost_core::advisor::{Advisor, Goal, Recommendation};
+use chemcost_linalg::Matrix;
+use chemcost_ml::Regressor;
+use chemcost_sim::machine::by_name;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Most rows accepted in one `/v1/predict` batch.
+const MAX_PREDICT_ROWS: usize = 10_000;
+
+/// Shared request handler: model registry + metrics + shutdown signal.
+#[derive(Clone)]
+pub struct Router {
+    registry: Arc<ModelRegistry>,
+    metrics: Arc<Metrics>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Router {
+    /// Build a router over a registry with fresh metrics.
+    pub fn new(registry: Arc<ModelRegistry>) -> Router {
+        Router {
+            registry,
+            metrics: Arc::new(Metrics::new()),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// The model registry behind this router.
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.registry
+    }
+
+    /// The metrics this router records into.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    /// Has `POST /v1/shutdown` been received?
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// The flag `POST /v1/shutdown` sets (shared with the accept loop).
+    pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// Dispatch one request, recording metrics (count, errors, latency).
+    pub fn handle(&self, req: &Request) -> Response {
+        let started = Instant::now();
+        let (route, response) = self.dispatch(req);
+        self.metrics.record(route, response.is_error(), started.elapsed());
+        response
+    }
+
+    fn dispatch(&self, req: &Request) -> (Route, Response) {
+        match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/healthz") => {
+                (Route::Healthz, Response::json(200, r#"{"status":"ok"}"#.to_string()))
+            }
+            ("GET", "/metrics") => (Route::Metrics, Response::text(200, self.metrics.render())),
+            ("GET", "/v1/models") => (Route::Models, self.models()),
+            ("POST", "/v1/predict") => (Route::Predict, self.predict(&req.body)),
+            ("POST", "/v1/advise") => (Route::Advise, self.advise(&req.body)),
+            ("POST", "/v1/shutdown") => {
+                self.shutdown.store(true, Ordering::SeqCst);
+                (Route::Shutdown, Response::json(200, r#"{"status":"shutting down"}"#.to_string()))
+            }
+            ("POST", path) => {
+                if let Some(name) =
+                    path.strip_prefix("/v1/models/").and_then(|rest| rest.strip_suffix("/reload"))
+                {
+                    (Route::Reload, self.reload(name))
+                } else {
+                    (Route::Other, error(404, &format!("no such endpoint {path}")))
+                }
+            }
+            ("GET" | "HEAD", path) => {
+                (Route::Other, error(404, &format!("no such endpoint {path}")))
+            }
+            (method, _) => (Route::Other, error(405, &format!("method {method} not allowed"))),
+        }
+    }
+
+    fn models(&self) -> Response {
+        let models: Vec<Json> = self
+            .registry
+            .list()
+            .into_iter()
+            .map(|info| {
+                Json::obj([
+                    ("name", info.name.into()),
+                    ("version", Json::Num(info.version as f64)),
+                    ("machine", info.machine.into()),
+                    (
+                        "path",
+                        match info.path {
+                            Some(p) => p.display().to_string().into(),
+                            None => Json::Null,
+                        },
+                    ),
+                    (
+                        "default_for",
+                        Json::Arr(info.default_for.into_iter().map(Json::from).collect()),
+                    ),
+                ])
+            })
+            .collect();
+        Response::json(200, Json::obj([("models", Json::Arr(models))]).encode())
+    }
+
+    fn reload(&self, name: &str) -> Response {
+        match self.registry.reload(name) {
+            Ok(version) => Response::json(
+                200,
+                Json::obj([("model", name.into()), ("version", Json::Num(version as f64))])
+                    .encode(),
+            ),
+            Err(e) => {
+                let status = if e.contains("no model named") { 404 } else { 500 };
+                error(status, &e)
+            }
+        }
+    }
+
+    fn resolve(&self, body: &Json) -> Result<ResolvedModel, Response> {
+        let name = body.get("model").and_then(Json::as_str);
+        let machine = body.get("machine").and_then(Json::as_str);
+        self.registry.resolve(name, machine).map_err(|e| error(404, &e))
+    }
+
+    fn predict(&self, body: &[u8]) -> Response {
+        let body = match parse_body(body) {
+            Ok(v) => v,
+            Err(resp) => return resp,
+        };
+        let resolved = match self.resolve(&body) {
+            Ok(r) => r,
+            Err(resp) => return resp,
+        };
+        let Some(rows) = body.get("rows").and_then(Json::as_array) else {
+            return error(400, "missing \"rows\" array");
+        };
+        if rows.is_empty() {
+            return error(400, "\"rows\" is empty");
+        }
+        if rows.len() > MAX_PREDICT_ROWS {
+            return error(400, &format!("too many rows (max {MAX_PREDICT_ROWS})"));
+        }
+        let mut features = Vec::with_capacity(rows.len());
+        for (i, row) in rows.iter().enumerate() {
+            let mut parsed = [0.0f64; 4];
+            for (slot, key) in parsed.iter_mut().zip(["o", "v", "nodes", "tile"]) {
+                match row.get(key).and_then(Json::as_f64) {
+                    Some(n) if n > 0.0 && n.is_finite() => *slot = n,
+                    _ => {
+                        return error(400, &format!("rows[{i}]: missing or non-positive \"{key}\""))
+                    }
+                }
+            }
+            features.push(parsed);
+        }
+        let x = Matrix::from_fn(features.len(), 4, |i, j| features[i][j]);
+        let seconds = resolved.model.predict(&x);
+        let predictions: Vec<Json> = seconds
+            .iter()
+            .zip(&features)
+            .map(|(&s, row)| {
+                Json::obj([
+                    ("seconds", Json::Num(s)),
+                    ("node_hours", Json::Num(s * row[2] / 3600.0)),
+                ])
+            })
+            .collect();
+        Response::json(
+            200,
+            Json::obj([
+                ("model", resolved.name.into()),
+                ("model_version", Json::Num(resolved.version as f64)),
+                ("predictions", Json::Arr(predictions)),
+            ])
+            .encode(),
+        )
+    }
+
+    fn advise(&self, body: &[u8]) -> Response {
+        let body = match parse_body(body) {
+            Ok(v) => v,
+            Err(resp) => return resp,
+        };
+        let resolved = match self.resolve(&body) {
+            Ok(r) => r,
+            Err(resp) => return resp,
+        };
+        let machine_name = body
+            .get("machine")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .unwrap_or_else(|| resolved.machine.clone());
+        let Some(machine) = by_name(&machine_name) else {
+            return error(400, &format!("unknown machine {machine_name:?} (aurora|frontier)"));
+        };
+        let (o, v) = match (
+            body.get("o").and_then(Json::as_usize),
+            body.get("v").and_then(Json::as_usize),
+        ) {
+            (Some(o), Some(v)) if o > 0 && v > 0 => (o, v),
+            _ => return error(400, "\"o\" and \"v\" must be positive integers"),
+        };
+        let goal = body.get("goal").and_then(Json::as_str).unwrap_or("stq");
+
+        let advisor = Advisor::new(resolved.model.as_ref(), machine);
+        let mut fields: Vec<(&'static str, Json)> = vec![
+            ("model", resolved.name.clone().into()),
+            ("model_version", Json::Num(resolved.version as f64)),
+            ("machine", machine_name.clone().into()),
+            ("o", o.into()),
+            ("v", v.into()),
+        ];
+        match goal {
+            "stq" | "bq" => {
+                let g = if goal == "stq" { Goal::ShortestTime } else { Goal::Budget };
+                fields.push(("goal", g.abbrev().into()));
+                fields.push((
+                    "recommendation",
+                    advisor.answer(o, v, g).map(rec_json).unwrap_or(Json::Null),
+                ));
+            }
+            "pareto" => {
+                fields.push(("goal", "pareto".into()));
+                let frontier: Vec<Json> =
+                    advisor.pareto_frontier(o, v).into_iter().map(rec_json).collect();
+                fields.push(("frontier", Json::Arr(frontier)));
+            }
+            other => return error(400, &format!("unknown goal {other:?} (stq|bq|pareto)")),
+        }
+        if let Some(budget) = body.get("budget").and_then(Json::as_f64) {
+            fields.push((
+                "within_budget",
+                advisor.fastest_within_budget(o, v, budget).map(rec_json).unwrap_or(Json::Null),
+            ));
+        }
+        if let Some(deadline) = body.get("deadline").and_then(Json::as_f64) {
+            fields.push((
+                "within_deadline",
+                advisor
+                    .cheapest_within_deadline(o, v, deadline)
+                    .map(rec_json)
+                    .unwrap_or(Json::Null),
+            ));
+        }
+        Response::json(200, Json::obj(fields).encode())
+    }
+}
+
+fn parse_body(body: &[u8]) -> Result<Json, Response> {
+    let text =
+        std::str::from_utf8(body).map_err(|_| error(400, "request body is not valid UTF-8"))?;
+    Json::parse(text).map_err(|e| error(400, &format!("invalid JSON: {e}")))
+}
+
+fn rec_json(r: Recommendation) -> Json {
+    Json::obj([
+        ("nodes", r.nodes.into()),
+        ("tile", r.tile.into()),
+        ("predicted_seconds", Json::Num(r.predicted_seconds)),
+        ("predicted_node_hours", Json::Num(r.predicted_node_hours)),
+    ])
+}
+
+fn error(status: u16, message: &str) -> Response {
+    Response::json(status, Json::obj([("error", message.into())]).encode())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chemcost_ml::gradient_boosting::GradientBoosting;
+    use chemcost_ml::Regressor;
+    use chemcost_sim::datagen::generate_dataset_sized;
+
+    /// A router over one small model trained on simulated aurora data.
+    fn test_router() -> Router {
+        let machine = by_name("aurora").unwrap();
+        let samples = generate_dataset_sized(&machine, 80, 7);
+        let x = Matrix::from_fn(samples.len(), 4, |i, j| match j {
+            0 => samples[i].o as f64,
+            1 => samples[i].v as f64,
+            2 => samples[i].nodes as f64,
+            _ => samples[i].tile as f64,
+        });
+        let y: Vec<f64> = samples.iter().map(|s| s.seconds).collect();
+        let mut gb = GradientBoosting::new(20, 3, 0.2);
+        gb.seed = 3;
+        gb.fit(&x, &y).unwrap();
+        let registry = Arc::new(ModelRegistry::new());
+        registry.insert("gb", "aurora", gb);
+        Router::new(registry)
+    }
+
+    fn post(router: &Router, path: &str, body: &str) -> Response {
+        router.handle(&Request::new("POST", path, body.as_bytes()))
+    }
+
+    fn json_of(resp: &Response) -> Json {
+        Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn healthz_and_models() {
+        let router = test_router();
+        let resp = router.handle(&Request::new("GET", "/healthz", b""));
+        assert_eq!(resp.status, 200);
+        let resp = router.handle(&Request::new("GET", "/v1/models", b""));
+        let v = json_of(&resp);
+        let models = v.get("models").and_then(Json::as_array).unwrap();
+        assert_eq!(models.len(), 1);
+        assert_eq!(models[0].get("name").and_then(Json::as_str), Some("gb"));
+    }
+
+    #[test]
+    fn predict_batch_matches_direct_model_call() {
+        let router = test_router();
+        let resp = post(
+            &router,
+            "/v1/predict",
+            r#"{"rows": [{"o": 120, "v": 900, "nodes": 64, "tile": 24},
+                         {"o": 60, "v": 500, "nodes": 16, "tile": 30}]}"#,
+        );
+        assert_eq!(resp.status, 200, "{:?}", String::from_utf8_lossy(&resp.body));
+        let v = json_of(&resp);
+        let preds = v.get("predictions").and_then(Json::as_array).unwrap();
+        assert_eq!(preds.len(), 2);
+
+        let model = router.registry().resolve(Some("gb"), None).unwrap().model;
+        let x = Matrix::from_fn(1, 4, |_, j| [120.0, 900.0, 64.0, 24.0][j]);
+        let expect = model.predict(&x)[0];
+        let got = preds[0].get("seconds").and_then(Json::as_f64).unwrap();
+        assert!((got - expect).abs() < 1e-9);
+        let nh = preds[0].get("node_hours").and_then(Json::as_f64).unwrap();
+        assert!((nh - expect * 64.0 / 3600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn advise_matches_offline_advisor() {
+        let router = test_router();
+        let resp = post(&router, "/v1/advise", r#"{"o": 120, "v": 900, "goal": "bq"}"#);
+        assert_eq!(resp.status, 200, "{:?}", String::from_utf8_lossy(&resp.body));
+        let v = json_of(&resp);
+        assert_eq!(v.get("goal").and_then(Json::as_str), Some("BQ"));
+
+        let model = router.registry().resolve(Some("gb"), None).unwrap().model;
+        let advisor = Advisor::new(model.as_ref(), by_name("aurora").unwrap());
+        let expect = advisor.answer_bq(120, 900).unwrap();
+        let rec = v.get("recommendation").unwrap();
+        assert_eq!(rec.get("nodes").and_then(Json::as_usize), Some(expect.nodes));
+        assert_eq!(rec.get("tile").and_then(Json::as_usize), Some(expect.tile));
+    }
+
+    #[test]
+    fn advise_pareto_returns_frontier() {
+        let router = test_router();
+        let resp = post(&router, "/v1/advise", r#"{"o": 120, "v": 900, "goal": "pareto"}"#);
+        let v = json_of(&resp);
+        let frontier = v.get("frontier").and_then(Json::as_array).unwrap();
+        assert!(!frontier.is_empty());
+        // Frontier is seconds-ascending, node-hours-descending.
+        let secs: Vec<f64> = frontier
+            .iter()
+            .map(|r| r.get("predicted_seconds").unwrap().as_f64().unwrap())
+            .collect();
+        assert!(secs.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn malformed_and_invalid_requests_get_400() {
+        let router = test_router();
+        assert_eq!(post(&router, "/v1/predict", "{not json").status, 400);
+        assert_eq!(post(&router, "/v1/predict", r#"{"rows": []}"#).status, 400);
+        assert_eq!(
+            post(&router, "/v1/predict", r#"{"rows": [{"o": 1, "v": 2, "nodes": 0, "tile": 4}]}"#)
+                .status,
+            400
+        );
+        assert_eq!(post(&router, "/v1/advise", r#"{"o": 120}"#).status, 400);
+        assert_eq!(
+            post(&router, "/v1/advise", r#"{"o": 120, "v": 900, "goal": "??"}"#).status,
+            400
+        );
+        assert_eq!(
+            post(&router, "/v1/advise", r#"{"o": 120, "v": 900, "machine": "summit"}"#).status,
+            400
+        );
+    }
+
+    #[test]
+    fn unknown_routes_404_and_bad_methods_405() {
+        let router = test_router();
+        assert_eq!(router.handle(&Request::new("GET", "/nope", b"")).status, 404);
+        assert_eq!(post(&router, "/v1/nope", "{}").status, 404);
+        assert_eq!(router.handle(&Request::new("DELETE", "/healthz", b"")).status, 405);
+    }
+
+    #[test]
+    fn unknown_model_404s() {
+        let router = test_router();
+        let resp = post(
+            &router,
+            "/v1/predict",
+            r#"{"model": "ghost", "rows": [{"o":1,"v":2,"nodes":4,"tile":8}]}"#,
+        );
+        assert_eq!(resp.status, 404);
+        assert_eq!(post(&router, "/v1/models/ghost/reload", "").status, 404);
+    }
+
+    #[test]
+    fn metrics_reflect_traffic() {
+        let router = test_router();
+        router.handle(&Request::new("GET", "/healthz", b""));
+        post(&router, "/v1/predict", "{bad");
+        let resp = router.handle(&Request::new("GET", "/metrics", b""));
+        assert_eq!(resp.status, 200);
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(text.contains("chemcost_requests_total{route=\"healthz\"} 1"), "{text}");
+        assert!(text.contains("chemcost_request_errors_total{route=\"predict\"} 1"), "{text}");
+    }
+
+    #[test]
+    fn shutdown_sets_flag() {
+        let router = test_router();
+        assert!(!router.shutdown_requested());
+        assert_eq!(post(&router, "/v1/shutdown", "").status, 200);
+        assert!(router.shutdown_requested());
+    }
+}

@@ -375,14 +375,10 @@ mod tests {
     #[test]
     fn bytes_positive_and_scale_with_tile() {
         let p = Problem::new(50, 300);
-        let small: f64 = iteration_task_classes(&p, 30)
-            .iter()
-            .map(|c| c.bytes_in * c.count as f64)
-            .sum();
-        let large: f64 = iteration_task_classes(&p, 100)
-            .iter()
-            .map(|c| c.bytes_in * c.count as f64)
-            .sum();
+        let small: f64 =
+            iteration_task_classes(&p, 30).iter().map(|c| c.bytes_in * c.count as f64).sum();
+        let large: f64 =
+            iteration_task_classes(&p, 100).iter().map(|c| c.bytes_in * c.count as f64).sum();
         assert!(small > 0.0 && large > 0.0);
         // Bigger tiles mean less total traffic (fewer redundant fetches).
         assert!(large < small, "total bytes should drop with tile size: {large} vs {small}");
@@ -394,10 +390,7 @@ mod tests {
         let terms = ccsd_terms();
         let ladder = terms.iter().find(|t| t.name == "pp_ladder").unwrap();
         let dim_at = |tile| {
-            term_task_classes(ladder, &p, tile)
-                .iter()
-                .map(|c| c.min_gemm_dim)
-                .fold(0.0, f64::max)
+            term_task_classes(ladder, &p, tile).iter().map(|c| c.min_gemm_dim).fold(0.0, f64::max)
         };
         assert!(dim_at(80) > dim_at(40));
     }

@@ -14,12 +14,12 @@ use crate::simulate::{fits_in_memory, simulate_iteration, Config};
 use chemcost_linalg::parallel;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
+
 use std::io::{BufRead, Write};
 use std::path::Path;
 
 /// One labelled experiment: the paper's feature vector and targets.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Sample {
     /// Occupied orbitals.
     pub o: usize,
@@ -128,8 +128,8 @@ pub fn table1_count(machine: &MachineModel) -> usize {
 /// Global node-count candidates, spanning the tables' observed range.
 pub fn node_candidates() -> Vec<usize> {
     vec![
-        5, 10, 15, 20, 25, 30, 35, 45, 50, 65, 70, 80, 90, 110, 120, 150, 185, 200, 220, 240,
-        260, 300, 320, 350, 400, 450, 500, 600, 700, 800, 900,
+        5, 10, 15, 20, 25, 30, 35, 45, 50, 65, 70, 80, 90, 110, 120, 150, 185, 200, 220, 240, 260,
+        300, 320, 350, 400, 450, 500, 600, 700, 800, 900,
     ]
 }
 
@@ -145,10 +145,8 @@ pub fn nodes_for_problem(
     machine: &MachineModel,
     max_per_problem: usize,
 ) -> Vec<usize> {
-    let feasible: Vec<usize> = node_candidates()
-        .into_iter()
-        .filter(|&n| fits_in_memory(p, n, machine))
-        .collect();
+    let feasible: Vec<usize> =
+        node_candidates().into_iter().filter(|&n| fits_in_memory(p, n, machine)).collect();
     thin(&feasible, max_per_problem)
 }
 
@@ -191,11 +189,7 @@ pub fn full_grid(machine: &MachineModel) -> Vec<(Problem, Config)> {
         let r = crate::simulate::simulate_iteration_clean(&p, &cfg, machine);
         r.feasible && r.seconds <= MAX_SWEEP_SECONDS
     });
-    candidates
-        .into_iter()
-        .zip(keep)
-        .filter_map(|(c, k)| k.then_some(c))
-        .collect()
+    candidates.into_iter().zip(keep).filter_map(|(c, k)| k.then_some(c)).collect()
 }
 
 /// Generate the machine's dataset at exactly the Table 1 size (or the full

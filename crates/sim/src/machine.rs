@@ -9,10 +9,8 @@
 //! nodes have fewer, faster GCDs and noisier timings (the paper finds
 //! Frontier consistently harder to predict).
 
-use serde::{Deserialize, Serialize};
-
 /// An abstract GPU supercomputer profile.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MachineModel {
     /// Display name ("aurora", "frontier").
     pub name: String,

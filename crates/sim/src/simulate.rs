@@ -5,10 +5,9 @@ use crate::machine::MachineModel;
 use crate::schedule::{lpt_classes, ScheduleStats};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// A runtime configuration: the two knobs the paper's users tune.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Config {
     /// Number of nodes.
     pub nodes: usize,
@@ -199,10 +198,8 @@ mod tests {
         let m = aurora();
         let p = Problem::new(180, 1070);
         let nodes = [10, 20, 35, 60, 100, 160, 260, 400, 650];
-        let results: Vec<SimResult> = nodes
-            .iter()
-            .map(|&n| simulate_iteration_clean(&p, &Config::new(n, 90), &m))
-            .collect();
+        let results: Vec<SimResult> =
+            nodes.iter().map(|&n| simulate_iteration_clean(&p, &Config::new(n, 90), &m)).collect();
         let best_time = nodes[results
             .iter()
             .enumerate()
@@ -289,11 +286,7 @@ mod tests {
         // nodes/t80 ≈ 394 s. We only require the same order of magnitude.
         let m = aurora();
         let small = simulate_iteration_clean(&Problem::new(44, 260), &Config::new(5, 40), &m);
-        assert!(
-            small.seconds > 2.0 && small.seconds < 200.0,
-            "small problem {} s",
-            small.seconds
-        );
+        assert!(small.seconds > 2.0 && small.seconds < 200.0, "small problem {} s", small.seconds);
         let big = simulate_iteration_clean(&Problem::new(146, 1568), &Config::new(800, 80), &m);
         assert!(big.seconds > 40.0 && big.seconds < 4000.0, "big problem {} s", big.seconds);
     }

@@ -200,9 +200,8 @@ mod tests {
     #[test]
     fn no_overlap_per_executor() {
         let machine = aurora();
-        let trace =
-            trace_iteration(&Problem::new(40, 200), &Config::new(5, 50), &machine, 0.05, 3)
-                .unwrap();
+        let trace = trace_iteration(&Problem::new(40, 200), &Config::new(5, 50), &machine, 0.05, 3)
+            .unwrap();
         let executors = machine.executors(5);
         let mut per_exec: Vec<Vec<(f64, f64)>> = vec![Vec::new(); executors];
         for r in &trace.records {
@@ -220,9 +219,8 @@ mod tests {
     #[test]
     fn utilization_in_unit_interval_and_high_when_many_tasks() {
         let machine = aurora();
-        let trace =
-            trace_iteration(&Problem::new(80, 400), &Config::new(10, 50), &machine, 0.0, 0)
-                .unwrap();
+        let trace = trace_iteration(&Problem::new(80, 400), &Config::new(10, 50), &machine, 0.0, 0)
+            .unwrap();
         let u = trace.utilization();
         assert!(u > 0.0 && u <= 1.0 + 1e-12);
         assert!(u > 0.8, "many small tasks should pack well: {u}");

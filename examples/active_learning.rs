@@ -13,10 +13,7 @@ use chemcost::core::pipeline::active_learning_run;
 use chemcost::sim::machine::{by_name, frontier};
 
 fn main() {
-    let machine = std::env::args()
-        .nth(1)
-        .and_then(|n| by_name(&n))
-        .unwrap_or_else(frontier);
+    let machine = std::env::args().nth(1).and_then(|n| by_name(&n)).unwrap_or_else(frontier);
     println!("generating corpus for {} …", machine.name);
     let data = MachineData::generate_sized(&machine, 1200, 7);
     let cfg = ActiveConfig {

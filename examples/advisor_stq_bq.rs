@@ -13,10 +13,7 @@ use chemcost::core::pipeline::{bq_table, render_opt_table, stq_table, train_pape
 use chemcost::sim::machine::{aurora, by_name};
 
 fn main() {
-    let machine = std::env::args()
-        .nth(1)
-        .and_then(|n| by_name(&n))
-        .unwrap_or_else(aurora);
+    let machine = std::env::args().nth(1).and_then(|n| by_name(&n)).unwrap_or_else(aurora);
     println!("building the full Table 1 corpus for {} …", machine.name);
     let data = MachineData::generate(&machine, 42);
     println!("training the deployed GB model (750 estimators, depth 10) …");

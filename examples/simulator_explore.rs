@@ -27,7 +27,10 @@ fn main() {
     );
 
     println!("\nnode sweep at tile = 70:");
-    println!("{:>6} {:>10} {:>10} {:>11} {:>10} {:>11}", "nodes", "seconds", "balanced", "imbalance", "overhead", "node-hours");
+    println!(
+        "{:>6} {:>10} {:>10} {:>11} {:>10} {:>11}",
+        "nodes", "seconds", "balanced", "imbalance", "overhead", "node-hours"
+    );
     for nodes in [10, 25, 50, 100, 200, 350, 600, 900] {
         if !fits_in_memory(&p, nodes, &machine) {
             println!("{nodes:>6}   — does not fit in memory —");
@@ -36,7 +39,11 @@ fn main() {
         let r = simulate_iteration_clean(&p, &Config::new(nodes, 70), &machine);
         println!(
             "{nodes:>6} {:>10.2} {:>10.2} {:>11.2} {:>10.2} {:>11.3}",
-            r.seconds, r.breakdown.balanced, r.breakdown.imbalance, r.breakdown.overhead, r.node_hours
+            r.seconds,
+            r.breakdown.balanced,
+            r.breakdown.imbalance,
+            r.breakdown.overhead,
+            r.node_hours
         );
     }
 
@@ -60,16 +67,8 @@ fn main() {
                 trace.makespan,
                 trace.utilization() * 100.0
             );
-            let busiest = trace
-                .executor_busy
-                .iter()
-                .cloned()
-                .fold(0.0f64, f64::max);
-            let laziest = trace
-                .executor_busy
-                .iter()
-                .cloned()
-                .fold(f64::INFINITY, f64::min);
+            let busiest = trace.executor_busy.iter().cloned().fold(0.0f64, f64::max);
+            let laziest = trace.executor_busy.iter().cloned().fold(f64::INFINITY, f64::min);
             println!(
                 "busiest GPU worked {busiest:.2} s, laziest {laziest:.2} s — that gap is the \
                  load imbalance the ML model has to learn"

@@ -14,7 +14,9 @@
 //!   runs on Aurora/Frontier,
 //! * [`active`] — active-learning strategies (RS / US / QC),
 //! * [`core`] — the user-facing advisor answering the shortest-time (STQ)
-//!   and budget (BQ) questions.
+//!   and budget (BQ) questions,
+//! * [`serve`] — the advisor-as-a-service HTTP daemon (`chemcost serve`)
+//!   with model registry, threadpool and Prometheus metrics.
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
 
@@ -22,4 +24,5 @@ pub use chemcost_active as active;
 pub use chemcost_core as core;
 pub use chemcost_linalg as linalg;
 pub use chemcost_ml as ml;
+pub use chemcost_serve as serve;
 pub use chemcost_sim as sim;

@@ -23,6 +23,7 @@ use chemcost::ml::importance::ranked_importance;
 use chemcost::ml::metrics::Scores;
 use chemcost::ml::persist::{load_gb, save_gb};
 use chemcost::ml::Regressor;
+use chemcost::serve::{ModelRegistry, Router, Server};
 use chemcost::sim::datagen::{generate_dataset_sized, read_csv, table1_count, write_csv};
 use chemcost::sim::machine::by_name;
 use chemcost::sim::molecules::{self, BasisSet};
@@ -30,10 +31,29 @@ use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-/// Parsed `--key value` options plus the leading subcommand.
+/// Parsed `--key value` / `--key=value` options plus the leading
+/// subcommand.
+#[derive(Debug)]
 struct Args {
     command: String,
     options: HashMap<String, String>,
+}
+
+/// The options each subcommand understands; anything else is an error.
+/// `None` means the command itself is unknown — main reports that with
+/// the usage text, so option validation stays out of the way.
+fn known_options(command: &str) -> Option<&'static [&'static str]> {
+    match command {
+        "generate" => Some(&["machine", "out", "size", "seed"]),
+        "train" => Some(&["data", "out", "fast", "seed"]),
+        "advise" => {
+            Some(&["model", "machine", "o", "v", "molecule", "basis", "goal", "budget", "deadline"])
+        }
+        "evaluate" | "importance" => Some(&["model", "data"]),
+        "serve" => Some(&["addr", "model", "machine", "workers"]),
+        "molecules" | "help" | "--help" | "-h" => Some(&[]),
+        _ => None,
+    }
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -44,7 +64,18 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         let key = argv[i]
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --option, got {:?}", argv[i]))?;
-        // Flags without a value (e.g. --fast) get "true".
+        // `--key=value` form.
+        if let Some((key, value)) = key.split_once('=') {
+            check_known(&command, key)?;
+            if value.is_empty() {
+                return Err(format!("--{key}= requires a value"));
+            }
+            options.insert(key.to_string(), value.to_string());
+            i += 1;
+            continue;
+        }
+        check_known(&command, key)?;
+        // `--key value` form; flags without a value (e.g. --fast) get "true".
         if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
             options.insert(key.to_string(), argv[i + 1].clone());
             i += 2;
@@ -54,6 +85,17 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         }
     }
     Ok(Args { command, options })
+}
+
+fn check_known(command: &str, key: &str) -> Result<(), String> {
+    if key.is_empty() {
+        return Err("empty option name".into());
+    }
+    match known_options(command) {
+        Some(allowed) if allowed.contains(&key) => Ok(()),
+        Some(_) => Err(format!("unknown option --{key} for '{command}' (see `chemcost help`)")),
+        None => Ok(()), // unknown command: main prints the usage text
+    }
 }
 
 impl Args {
@@ -80,7 +122,8 @@ fn usage() -> &'static str {
                   [--goal stq|bq|pareto] [--budget NH] [--deadline S]\n\
        molecules  (list the built-in molecule catalog)\n\
        evaluate   --model FILE --data FILE\n\
-       importance --model FILE --data FILE"
+       importance --model FILE --data FILE\n\
+       serve      --model FILE --machine NAME [--addr HOST:PORT] [--workers N]"
 }
 
 fn machine_of(args: &Args) -> Result<chemcost::sim::MachineModel, String> {
@@ -117,7 +160,12 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         GradientBoosting::paper_config()
     };
     gb.seed = args.get_parse::<u64>("seed").unwrap_or(0);
-    eprintln!("training GB ({} estimators, depth {}) on {} samples …", gb.n_estimators, gb.max_depth, train.len());
+    eprintln!(
+        "training GB ({} estimators, depth {}) on {} samples …",
+        gb.n_estimators,
+        gb.max_depth,
+        train.len()
+    );
     let started = std::time::Instant::now();
     gb.fit(&train.x, &train.y).map_err(|e| format!("training failed: {e}"))?;
     save_gb(&out, &gb).map_err(|e| format!("writing {}: {e}", out.display()))?;
@@ -134,13 +182,12 @@ fn cmd_train(args: &Args) -> Result<(), String> {
 /// `--molecule/--basis`.
 fn problem_of(args: &Args) -> Result<(usize, usize), String> {
     if let Ok(name) = args.get("molecule") {
-        let molecule =
-            molecules::by_name(name).ok_or_else(|| format!(
-                "unknown molecule {name:?}; run `chemcost molecules` for the catalog"
-            ))?;
+        let molecule = molecules::by_name(name).ok_or_else(|| {
+            format!("unknown molecule {name:?}; run `chemcost molecules` for the catalog")
+        })?;
         let basis_name = args.get("basis").unwrap_or("cc-pvtz");
-        let basis = BasisSet::parse(basis_name)
-            .ok_or_else(|| format!("unknown basis {basis_name:?}"))?;
+        let basis =
+            BasisSet::parse(basis_name).ok_or_else(|| format!("unknown basis {basis_name:?}"))?;
         let p = molecule.problem(basis);
         eprintln!(
             "{} in {}: {} electrons → O = {}, V = {}",
@@ -259,6 +306,39 @@ fn cmd_importance(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let machine_name = args.get("machine")?;
+    by_name(machine_name)
+        .ok_or_else(|| format!("unknown machine {machine_name:?} (aurora|frontier)"))?;
+    let model_path = PathBuf::from(args.get("model")?);
+    let addr = args.get("addr").unwrap_or("127.0.0.1:8080");
+    let workers = match args.options.get("workers") {
+        Some(_) => args.get_parse::<usize>("workers")?,
+        None => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+    };
+    if workers == 0 {
+        return Err("--workers must be at least 1".into());
+    }
+
+    let model_name = model_path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "default".to_string());
+    let registry = std::sync::Arc::new(ModelRegistry::new());
+    registry.load_file(&model_name, machine_name, &model_path)?;
+    registry.set_default(machine_name, &model_name)?;
+
+    let router = Router::new(registry);
+    let server = Server::bind(addr, router, workers).map_err(|e| format!("binding {addr}: {e}"))?;
+    let bound = server.local_addr().map_err(|e| format!("local addr: {e}"))?;
+    eprintln!(
+        "chemcost-serve listening on http://{bound} \
+         (model {model_name:?} for {machine_name}, {workers} workers; \
+         POST /v1/shutdown to stop)"
+    );
+    server.run().map_err(|e| format!("server error: {e}"))
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let args = match parse_args(&argv) {
@@ -274,6 +354,7 @@ fn main() -> ExitCode {
         "advise" => cmd_advise(&args),
         "evaluate" => cmd_evaluate(&args),
         "importance" => cmd_importance(&args),
+        "serve" => cmd_serve(&args),
         "molecules" => cmd_molecules(),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
@@ -300,10 +381,12 @@ mod tests {
 
     #[test]
     fn parses_subcommand_and_options() {
-        let a = parse_args(&argv(&["advise", "--o", "120", "--v", "900", "--fast"])).unwrap();
+        let a = parse_args(&argv(&["advise", "--o", "120", "--v", "900"])).unwrap();
         assert_eq!(a.command, "advise");
         assert_eq!(a.get("o").unwrap(), "120");
         assert_eq!(a.get_parse::<usize>("v").unwrap(), 900);
+        let a = parse_args(&argv(&["train", "--data", "d.csv", "--out", "m.ccgb", "--fast"]))
+            .unwrap();
         assert!(a.flag("fast"));
         assert!(!a.flag("slow"));
     }
@@ -330,5 +413,60 @@ mod tests {
         let a = parse_args(&argv(&["train", "--fast", "--data", "x.csv"])).unwrap();
         assert!(a.flag("fast"));
         assert_eq!(a.get("data").unwrap(), "x.csv");
+    }
+
+    #[test]
+    fn equals_syntax_parses() {
+        let a = parse_args(&argv(&["advise", "--o=120", "--v=900", "--goal=pareto"])).unwrap();
+        assert_eq!(a.get_parse::<usize>("o").unwrap(), 120);
+        assert_eq!(a.get("goal").unwrap(), "pareto");
+    }
+
+    #[test]
+    fn equals_syntax_keeps_later_equals_signs() {
+        let a = parse_args(&argv(&["generate", "--out=a=b.csv", "--machine", "aurora"])).unwrap();
+        assert_eq!(a.get("out").unwrap(), "a=b.csv");
+    }
+
+    #[test]
+    fn equals_without_value_errors() {
+        let err = parse_args(&argv(&["advise", "--goal="])).unwrap_err();
+        assert!(err.contains("requires a value"), "{err}");
+    }
+
+    #[test]
+    fn unknown_option_rejected_with_command_context() {
+        let err = parse_args(&argv(&["train", "--modle", "x.ccgb"])).unwrap_err();
+        assert!(err.contains("--modle") && err.contains("'train'"), "{err}");
+        let err = parse_args(&argv(&["advise", "--budge=3"])).unwrap_err();
+        assert!(err.contains("--budge"), "{err}");
+    }
+
+    #[test]
+    fn options_on_optionless_command_rejected() {
+        assert!(parse_args(&argv(&["molecules", "--basis", "cc-pvtz"])).is_err());
+        assert!(parse_args(&argv(&["help", "--verbose"])).is_err());
+    }
+
+    #[test]
+    fn unknown_command_defers_to_usage_error() {
+        // Options on an unknown command parse; main reports the command.
+        let a = parse_args(&argv(&["frobnicate", "--whatever", "1"])).unwrap();
+        assert_eq!(a.command, "frobnicate");
+    }
+
+    #[test]
+    fn serve_options_accepted() {
+        let a = parse_args(&argv(&[
+            "serve",
+            "--model=m.ccgb",
+            "--machine",
+            "aurora",
+            "--addr=127.0.0.1:0",
+            "--workers=2",
+        ]))
+        .unwrap();
+        assert_eq!(a.get("addr").unwrap(), "127.0.0.1:0");
+        assert_eq!(a.get_parse::<usize>("workers").unwrap(), 2);
     }
 }

@@ -33,7 +33,8 @@ fn all_strategies_learn_on_simulator_data() {
 fn goal_curves_are_recorded_for_stq_and_bq() {
     let md = MachineData::generate_sized(&aurora(), 350, 56);
     for goal in [Goal::ShortestTime, Goal::Budget] {
-        let run = active_learning_run(&md, Strategy::Committee { n_members: 3 }, Some(goal), &cfg());
+        let run =
+            active_learning_run(&md, Strategy::Committee { n_members: 3 }, Some(goal), &cfg());
         for r in &run.rounds {
             let g = r.goal.expect("goal scores recorded");
             assert!(g.mape >= 0.0 && g.mae >= 0.0);
@@ -76,9 +77,7 @@ fn informed_strategies_eventually_match_or_beat_random() {
     // assert the stable sanity form: the informed strategies land in the
     // same regime as RS (not catastrophically worse).
     let md = MachineData::generate_sized(&aurora(), 500, 59);
-    let final_mape = |s| {
-        active_learning_run(&md, s, None, &cfg()).rounds.last().unwrap().pool.mape
-    };
+    let final_mape = |s| active_learning_run(&md, s, None, &cfg()).rounds.last().unwrap().pool.mape;
     let rs = final_mape(Strategy::Random);
     let us = final_mape(Strategy::Uncertainty);
     let qc = final_mape(Strategy::Committee { n_members: 5 });

@@ -59,7 +59,16 @@ fn full_workflow_round_trips() {
     let out = bin()
         .args(["advise", "--model"])
         .arg(&model)
-        .args(["--machine", "aurora", "--molecule", "benzene", "--basis", "cc-pvtz", "--goal", "bq"])
+        .args([
+            "--machine",
+            "aurora",
+            "--molecule",
+            "benzene",
+            "--basis",
+            "cc-pvtz",
+            "--goal",
+            "bq",
+        ])
         .output()
         .expect("spawn advise molecule");
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
@@ -112,6 +121,110 @@ fn missing_arguments_reported() {
     let out = bin().args(["train"]).output().expect("spawn");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("--data"));
+}
+
+#[test]
+fn equals_syntax_accepted_end_to_end() {
+    let dir = workdir("equals");
+    let data = dir.join("data.csv");
+    let out = bin()
+        .arg("generate")
+        .arg(format!("--out={}", data.display()))
+        .args(["--machine=aurora", "--size=50", "--seed=9"])
+        .output()
+        .expect("spawn generate");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(data.exists());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unknown_option_rejected_with_usage_exit_code() {
+    let out = bin().args(["advise", "--budge", "3"]).output().expect("spawn");
+    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2), "parse errors exit with 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--budge"), "{stderr}");
+    assert!(stderr.contains("'advise'"), "{stderr}");
+}
+
+#[test]
+fn serve_requires_model_and_machine() {
+    let out = bin().args(["serve", "--addr", "127.0.0.1:0"]).output().expect("spawn");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--machine") || stderr.contains("--model"), "{stderr}");
+}
+
+#[test]
+fn serve_starts_answers_and_shuts_down() {
+    use std::io::{BufRead, BufReader, Read, Write};
+
+    let dir = workdir("serve");
+    let data = dir.join("data.csv");
+    let model = dir.join("tiny.ccgb");
+    let out = bin()
+        .args(["generate", "--machine", "aurora", "--out"])
+        .arg(&data)
+        .args(["--size", "80", "--seed", "3"])
+        .output()
+        .expect("spawn generate");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = bin()
+        .args(["train", "--fast", "--data"])
+        .arg(&data)
+        .arg("--out")
+        .arg(&model)
+        .output()
+        .expect("spawn train");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // Start the daemon on an ephemeral port and scrape the bound address
+    // from its startup line on stderr.
+    let mut child = bin()
+        .args(["serve", "--model"])
+        .arg(&model)
+        .args(["--machine", "aurora", "--addr", "127.0.0.1:0", "--workers", "2"])
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+    let stderr = child.stderr.take().expect("piped stderr");
+    let mut line = String::new();
+    BufReader::new(stderr).read_line(&mut line).expect("startup line");
+    let addr = line
+        .split("http://")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .unwrap_or_else(|| panic!("no address in startup line {line:?}"))
+        .to_string();
+
+    let exchange = |method: &str, path: &str, body: &str| -> (u16, String) {
+        let mut s = std::net::TcpStream::connect(&addr).expect("connect");
+        s.set_read_timeout(Some(std::time::Duration::from_secs(10))).unwrap();
+        write!(
+            s,
+            "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        )
+        .unwrap();
+        let mut resp = String::new();
+        s.read_to_string(&mut resp).unwrap();
+        let status = resp.split_whitespace().nth(1).unwrap().parse().unwrap();
+        let body = resp.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+        (status, body)
+    };
+
+    let (status, body) = exchange("GET", "/healthz", "");
+    assert_eq!(status, 200, "{body}");
+    let (status, body) = exchange("POST", "/v1/advise", r#"{"o": 120, "v": 900, "goal": "stq"}"#);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"recommendation\""), "{body}");
+    let (status, _) = exchange("POST", "/v1/shutdown", "");
+    assert_eq!(status, 200);
+
+    let code = child.wait().expect("wait for serve");
+    assert!(code.success(), "serve exited with {code:?}");
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

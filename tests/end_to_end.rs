@@ -4,7 +4,9 @@
 use chemcost::core::advisor::{Advisor, Goal};
 use chemcost::core::data::{MachineData, Target};
 use chemcost::core::evaluation::prediction_scores;
-use chemcost::core::pipeline::{bq_table, render_opt_table, stq_table, train_fast_gb, train_paper_gb};
+use chemcost::core::pipeline::{
+    bq_table, render_opt_table, stq_table, train_fast_gb, train_paper_gb,
+};
 use chemcost::ml::metrics::{mse, Scores};
 use chemcost::ml::Regressor;
 use chemcost::sim::machine::{aurora, frontier};

@@ -1,0 +1,302 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! A minimal wall-clock benchmark harness exposing the API subset the
+//! workspace's benches use: `Criterion`, `benchmark_group` with
+//! `sample_size`/`bench_function`/`bench_with_input`/`finish`,
+//! `BenchmarkId`, and the `criterion_group!`/`criterion_main!` macros.
+//! No statistical analysis or HTML reports — each benchmark prints its
+//! per-iteration median, mean, and min over the sampled runs. A filter
+//! substring may be passed on the command line (`cargo bench -- predict`)
+//! exactly like real criterion.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+/// Units processed per iteration; used to annotate reports with a rate.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iteration processes this many elements.
+    Elements(u64),
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// Things usable as a benchmark name (`&str`, `String`, [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// The display name.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `f`, collecting `sample_size` samples. Fast closures are
+    /// batched so each sample measures at least ~1 ms of work.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and batch calibration.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed();
+        let batch = if once < Duration::from_micros(100) {
+            (Duration::from_millis(1).as_nanos() / once.as_nanos().max(1)).clamp(1, 10_000) as u32
+        } else {
+            1
+        };
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples.push(start.elapsed() / batch);
+        }
+    }
+
+    fn report(&self, name: &str, throughput: Option<Throughput>) {
+        if self.samples.is_empty() {
+            println!("{name:<40} (no samples)");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        let median = sorted[sorted.len() / 2];
+        let min = sorted[0];
+        let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+        let rate = throughput
+            .map(|t| {
+                let (n, unit) = match t {
+                    Throughput::Elements(n) => (n, "elem/s"),
+                    Throughput::Bytes(n) => (n, "B/s"),
+                };
+                format!("  {:.3e} {unit}", n as f64 / median.as_secs_f64().max(1e-12))
+            })
+            .unwrap_or_default();
+        println!(
+            "{name:<48} median {median:>12.3?}  mean {mean:>12.3?}  min {min:>12.3?}  ({} samples){rate}",
+            sorted.len()
+        );
+    }
+}
+
+/// Benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` passes the filter as a free argument.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-') && a != "--bench");
+        Self { filter, sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+        }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.sample_size;
+        self.run_one(&id.into_id(), sample_size, None, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &self,
+        name: &str,
+        sample_size: usize,
+        throughput: Option<Throughput>,
+        mut f: F,
+    ) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher { samples: Vec::new(), sample_size };
+        f(&mut b);
+        b.report(name, throughput);
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotate subsequent benchmarks with units-per-iteration so the
+    /// report includes a rate.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim ignores it (sample
+    /// duration is governed by `sample_size` and auto-batching).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmark a closure under `group_name/id`.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.name, id.into_id());
+        self.criterion.run_one(&name, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Benchmark a closure that borrows a prepared input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id.id);
+        self.criterion.run_one(&name, self.sample_size, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion { filter: None, sample_size: 3 };
+        let mut runs = 0u32;
+        c.bench_function("counting", |b| {
+            b.iter(|| {
+                runs += 1;
+                std::thread::sleep(Duration::from_micros(200));
+            })
+        });
+        assert!(runs >= 3, "closure ran {runs} times");
+    }
+
+    #[test]
+    fn group_honors_sample_size_and_inputs() {
+        let mut c = Criterion { filter: None, sample_size: 10 };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        let data = vec![1u64, 2, 3];
+        let mut seen = 0usize;
+        group.bench_with_input(BenchmarkId::new("sum", data.len()), &data, |b, d| {
+            b.iter(|| {
+                seen = d.len();
+                d.iter().sum::<u64>()
+            })
+        });
+        group.finish();
+        assert_eq!(seen, 3);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let c = Criterion { filter: Some("match_me".into()), sample_size: 2 };
+        let mut ran = false;
+        c.run_one("other_name", 2, None, |_b| ran = true);
+        assert!(!ran);
+        c.run_one("does_match_me_yes", 2, None, |_b| ran = true);
+        assert!(ran);
+    }
+
+    #[test]
+    fn benchmark_id_forms() {
+        assert_eq!(BenchmarkId::new("f", 32).id, "f/32");
+        assert_eq!(BenchmarkId::from_parameter("p").id, "p");
+    }
+}
