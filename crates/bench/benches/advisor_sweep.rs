@@ -1,0 +1,120 @@
+//! The PR's headline benchmark: advisor candidate-sweep inference,
+//! recursive vs. flat (struct-of-arrays) vs. flat batched.
+//!
+//! Four inference strategies over the same fitted ensemble and the same
+//! ~465-row candidate matrix the advisor sweeps per question:
+//!
+//! * `recursive_per_row` — the naive path: `predict_one` per candidate,
+//!   pointer-chasing `Node` enums for every tree.
+//! * `recursive_batched` — `GradientBoosting::predict` over the matrix
+//!   (per-tree recursion, batched outer loop).
+//! * `flat_per_row` — `FlatGbt::predict_row` per candidate: iterative
+//!   traversal over the contiguous node arrays.
+//! * `flat_batched` — `FlatGbt::predict_batch`: the serving hot path,
+//!   rows parallelised over the worker pool. Target: ≥5× over
+//!   `recursive_batched`.
+//!
+//! Plus an end-to-end group timing `Advisor::answer` (which now sweeps
+//! once through whatever `Regressor` it wraps) with the recursive vs.
+//! the flat model behind it.
+
+use chemcost_core::advisor::{Advisor, Goal};
+use chemcost_core::data::{MachineData, Target};
+use chemcost_linalg::Matrix;
+use chemcost_ml::flat::FlatGbt;
+use chemcost_ml::gradient_boosting::GradientBoosting;
+use chemcost_ml::Regressor;
+use chemcost_sim::datagen::{node_candidates, tile_candidates};
+use chemcost_sim::machine::aurora;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+/// The paper's deployed ensemble (750 estimators, depth 10) fitted on the
+/// Aurora training split.
+fn fitted_model() -> GradientBoosting {
+    let md = MachineData::generate_sized(&aurora(), 1200, 42);
+    let train = md.train_dataset(Target::Seconds);
+    let mut gb = GradientBoosting::paper_config();
+    gb.fit(&train.x, &train.y).unwrap();
+    gb
+}
+
+/// The full (nodes, tile) candidate grid at a fixed water-cluster-sized
+/// problem — the exact matrix `Advisor::sweep` builds.
+fn candidate_matrix(o: usize, v: usize) -> Matrix {
+    let mut x = Matrix::zeros(0, 4);
+    for nodes in node_candidates() {
+        for tile in tile_candidates() {
+            x.push_row(&[o as f64, v as f64, nodes as f64, tile as f64]);
+        }
+    }
+    x
+}
+
+fn bench_sweep_inference(c: &mut Criterion) {
+    let gb = fitted_model();
+    let flat = FlatGbt::compile(&gb);
+    let x = candidate_matrix(116, 840);
+    let n_rows = x.nrows();
+
+    // Sanity: the strategies must agree bit-for-bit before we time them.
+    assert_eq!(flat.predict_batch(&x), gb.predict(&x));
+
+    let mut group = c.benchmark_group("advisor_sweep_inference");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(n_rows as u64));
+    group.bench_function("recursive_per_row", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..n_rows {
+                acc += gb.predict_one(black_box(x.row(i)));
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("recursive_batched", |b| b.iter(|| black_box(gb.predict(black_box(&x)))));
+    group.bench_function("flat_per_row", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..n_rows {
+                acc += flat.predict_row(black_box(x.row(i)));
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("flat_batched", |b| {
+        b.iter(|| black_box(flat.predict_batch(black_box(&x))))
+    });
+    group.finish();
+}
+
+fn bench_advisor_end_to_end(c: &mut Criterion) {
+    let machine = aurora();
+    let gb = fitted_model();
+    let flat = FlatGbt::compile(&gb);
+    let recursive_advisor = Advisor::new(&gb, machine.clone());
+    let flat_advisor = Advisor::new(&flat, machine);
+
+    // Same answers, or the comparison is meaningless.
+    assert_eq!(
+        recursive_advisor.answer(116, 840, Goal::ShortestTime),
+        flat_advisor.answer(116, 840, Goal::ShortestTime)
+    );
+
+    let mut group = c.benchmark_group("advisor_answer_stq");
+    group.sample_size(10);
+    group.bench_function("recursive_model", |b| {
+        b.iter(|| {
+            black_box(recursive_advisor.answer(black_box(116), black_box(840), Goal::ShortestTime))
+        })
+    });
+    group.bench_function("flat_model", |b| {
+        b.iter(|| {
+            black_box(flat_advisor.answer(black_box(116), black_box(840), Goal::ShortestTime))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep_inference, bench_advisor_end_to_end);
+criterion_main!(benches);

@@ -4,6 +4,33 @@
 //! seconds`, then, for the user's fixed `(O_user, V_user)`, query it over a
 //! grid of `(nodes, tile)` candidates of typical interest and return the
 //! argmin — of predicted seconds for STQ, of predicted node-hours for BQ.
+//!
+//! # The sweep is computed once
+//!
+//! Every question ([`Advisor::answer`], [`Advisor::pareto_frontier`], the
+//! budget/deadline variants) is a different reduction over the *same*
+//! predictions, so the advisor materialises one [`Sweep`] per problem: the
+//! feasible candidate matrix is built once and the model is asked for all
+//! candidates in a **single batched `predict` call**, which lets batched
+//! backends (notably the flat ensembles in `chemcost_ml::flat`) evaluate
+//! rows × trees in parallel instead of pointer-chasing per candidate.
+//! Callers answering several questions about one problem (as the serve
+//! daemon's `/v1/advise` does for goal + budget + deadline) should call
+//! [`Advisor::sweep`] once and reduce the result, paying for exactly one
+//! model evaluation.
+//!
+//! # Memory feasibility
+//!
+//! A candidate `(nodes, tile)` enters the sweep iff the problem's CCSD
+//! tensors fit in the machine's aggregate memory at that node count
+//! (`chemcost_sim::simulate::fits_in_memory`): the `V⁴/8 + 6·O²V² + O⁴ +
+//! 2·O³V` working set, divided over `nodes`, must not exceed
+//! `mem_per_node`. Feasibility depends only on `(O, V, nodes)` — the tile
+//! size shapes task granularity, not the resident footprint — so the check
+//! runs once per node count, with the `Problem` hoisted out of the loop,
+//! and every surviving node count is crossed with the full tile grid.
+//! An empty sweep therefore means *no* node count can hold the problem,
+//! which is itself useful guidance: the user needs a bigger machine.
 
 use chemcost_linalg::Matrix;
 use chemcost_ml::traits::{Regressor, UncertaintyRegressor};
@@ -55,6 +82,37 @@ pub struct Advisor<'a> {
 impl<'a> Advisor<'a> {
     /// Wrap a trained seconds-predictor with the default candidate grids
     /// (the same ranges the datasets sweep).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use chemcost_core::advisor::{Advisor, Goal};
+    /// use chemcost_linalg::Matrix;
+    /// use chemcost_ml::gradient_boosting::GradientBoosting;
+    /// use chemcost_ml::Regressor;
+    /// use chemcost_sim::datagen::generate_dataset_sized;
+    /// use chemcost_sim::machine::aurora;
+    ///
+    /// // Train a small runtime model on simulated CCSD timings.
+    /// let machine = aurora();
+    /// let samples = generate_dataset_sized(&machine, 120, 42);
+    /// let mut x = Matrix::zeros(0, 4);
+    /// let mut y = Vec::new();
+    /// for s in &samples {
+    ///     x.push_row(&s.features());
+    ///     y.push(s.seconds);
+    /// }
+    /// let mut model = GradientBoosting::new(25, 4, 0.2);
+    /// model.fit(&x, &y).unwrap();
+    ///
+    /// // One sweep answers every question about a problem.
+    /// let advisor = Advisor::new(&model, machine);
+    /// let sweep = advisor.sweep(116, 840);
+    /// let fastest = sweep.best(Goal::ShortestTime).unwrap();
+    /// let cheapest = sweep.best(Goal::Budget).unwrap();
+    /// assert!(fastest.predicted_seconds <= cheapest.predicted_seconds);
+    /// assert!(cheapest.predicted_node_hours <= fastest.predicted_node_hours);
+    /// ```
     pub fn new(model: &'a dyn Regressor, machine: MachineModel) -> Self {
         Self { model, machine, nodes_grid: node_candidates(), tiles_grid: tile_candidates() }
     }
@@ -68,13 +126,20 @@ impl<'a> Advisor<'a> {
     }
 
     /// Every memory-feasible candidate configuration for a problem.
+    ///
+    /// Feasibility is per node count (see the module docs); the `Problem`
+    /// is built once and each surviving node count is crossed with the
+    /// whole tile grid.
     pub fn candidates(&self, o: usize, v: usize) -> Vec<(usize, usize)> {
         let p = Problem::new(o, v);
-        let mut out = Vec::new();
-        for &n in &self.nodes_grid {
-            if !fits_in_memory(&p, n, &self.machine) {
-                continue;
-            }
+        let feasible_nodes: Vec<usize> = self
+            .nodes_grid
+            .iter()
+            .copied()
+            .filter(|&n| fits_in_memory(&p, n, &self.machine))
+            .collect();
+        let mut out = Vec::with_capacity(feasible_nodes.len() * self.tiles_grid.len());
+        for &n in &feasible_nodes {
             for &t in &self.tiles_grid {
                 out.push((n, t));
             }
@@ -82,79 +147,153 @@ impl<'a> Advisor<'a> {
         out
     }
 
+    /// Evaluate the model over every feasible candidate in **one batched
+    /// `predict` call** and return the reusable [`Sweep`].
+    ///
+    /// Every question this advisor answers is a reduction over the sweep;
+    /// callers with several questions about the same problem should sweep
+    /// once and reduce many times.
+    pub fn sweep(&self, o: usize, v: usize) -> Sweep {
+        let candidates = self.candidates(o, v);
+        let seconds = if candidates.is_empty() {
+            Vec::new()
+        } else {
+            let x = Matrix::from_fn(candidates.len(), 4, |i, j| match j {
+                0 => o as f64,
+                1 => v as f64,
+                2 => candidates[i].0 as f64,
+                _ => candidates[i].1 as f64,
+            });
+            self.model.predict(&x)
+        };
+        Sweep { candidates, seconds }
+    }
+
     /// Answer a question for problem size `(o, v)`.
     ///
     /// Returns `None` when no candidate fits in memory (the user needs a
     /// bigger machine, which is itself useful guidance).
     pub fn answer(&self, o: usize, v: usize, goal: Goal) -> Option<Recommendation> {
-        let cands = self.candidates(o, v);
-        if cands.is_empty() {
-            return None;
+        self.sweep(o, v).best(goal)
+    }
+
+    /// The predicted time/cost Pareto frontier for a problem; see
+    /// [`Sweep::pareto_frontier`].
+    pub fn pareto_frontier(&self, o: usize, v: usize) -> Vec<Recommendation> {
+        self.sweep(o, v).pareto_frontier()
+    }
+
+    /// Fastest configuration whose predicted cost stays within
+    /// `max_node_hours`; see [`Sweep::fastest_within_budget`].
+    pub fn fastest_within_budget(
+        &self,
+        o: usize,
+        v: usize,
+        max_node_hours: f64,
+    ) -> Option<Recommendation> {
+        self.sweep(o, v).fastest_within_budget(max_node_hours)
+    }
+
+    /// Cheapest configuration whose predicted wall time stays within
+    /// `max_seconds`; see [`Sweep::cheapest_within_deadline`].
+    pub fn cheapest_within_deadline(
+        &self,
+        o: usize,
+        v: usize,
+        max_seconds: f64,
+    ) -> Option<Recommendation> {
+        self.sweep(o, v).cheapest_within_deadline(max_seconds)
+    }
+
+    /// Answer the shortest-time question.
+    pub fn answer_stq(&self, o: usize, v: usize) -> Option<Recommendation> {
+        self.answer(o, v, Goal::ShortestTime)
+    }
+
+    /// Answer the budget question.
+    pub fn answer_bq(&self, o: usize, v: usize) -> Option<Recommendation> {
+        self.answer(o, v, Goal::Budget)
+    }
+}
+
+/// One batched model evaluation over every feasible candidate of a
+/// problem, from which every advisor question is a cheap reduction.
+///
+/// Produced by [`Advisor::sweep`]. The candidate list and the predicted
+/// seconds are index-aligned; non-finite predictions are retained here and
+/// skipped by each reduction, matching the recursive path's behaviour.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sweep {
+    candidates: Vec<(usize, usize)>,
+    seconds: Vec<f64>,
+}
+
+impl Sweep {
+    /// The feasible `(nodes, tile)` candidates, in grid order.
+    pub fn candidates(&self) -> &[(usize, usize)] {
+        &self.candidates
+    }
+
+    /// Predicted wall seconds per candidate (index-aligned).
+    pub fn seconds(&self) -> &[f64] {
+        &self.seconds
+    }
+
+    /// Number of feasible candidates.
+    pub fn len(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// True when no candidate fits in memory.
+    pub fn is_empty(&self) -> bool {
+        self.candidates.is_empty()
+    }
+
+    fn recommendation(&self, i: usize) -> Recommendation {
+        let (nodes, tile) = self.candidates[i];
+        Recommendation {
+            nodes,
+            tile,
+            predicted_seconds: self.seconds[i],
+            predicted_node_hours: self.seconds[i] * nodes as f64 / 3600.0,
         }
-        let x = Matrix::from_fn(cands.len(), 4, |i, j| match j {
-            0 => o as f64,
-            1 => v as f64,
-            2 => cands[i].0 as f64,
-            _ => cands[i].1 as f64,
-        });
-        let pred_seconds = self.model.predict(&x);
+    }
+
+    /// The goal's argmin over the sweep — predicted seconds for STQ,
+    /// predicted node-hours for BQ. `None` on an empty sweep or when every
+    /// prediction is non-finite.
+    pub fn best(&self, goal: Goal) -> Option<Recommendation> {
         let mut best: Option<(usize, f64)> = None;
-        for (i, &(n, _)) in cands.iter().enumerate() {
+        for (i, (&(n, _), &s)) in self.candidates.iter().zip(&self.seconds).enumerate() {
             let objective = match goal {
-                Goal::ShortestTime => pred_seconds[i],
-                Goal::Budget => pred_seconds[i] * n as f64 / 3600.0,
+                Goal::ShortestTime => s,
+                Goal::Budget => s * n as f64 / 3600.0,
             };
             if objective.is_finite() && best.is_none_or(|(_, b)| objective < b) {
                 best = Some((i, objective));
             }
         }
-        best.map(|(i, _)| {
-            let (nodes, tile) = cands[i];
-            Recommendation {
-                nodes,
-                tile,
-                predicted_seconds: pred_seconds[i],
-                predicted_node_hours: pred_seconds[i] * nodes as f64 / 3600.0,
-            }
-        })
+        best.map(|(i, _)| self.recommendation(i))
     }
 
-    /// The predicted time/cost Pareto frontier for a problem: every
-    /// candidate configuration not dominated in (seconds, node-hours),
-    /// sorted by predicted seconds ascending.
+    /// The predicted time/cost Pareto frontier: every candidate not
+    /// dominated in (seconds, node-hours), sorted by predicted seconds
+    /// ascending.
     ///
     /// The STQ answer is the frontier's first point and the BQ answer its
     /// last — everything between is the menu of rational compromises a
     /// user with both a deadline and a budget actually chooses from.
-    pub fn pareto_frontier(&self, o: usize, v: usize) -> Vec<Recommendation> {
-        let cands = self.candidates(o, v);
-        if cands.is_empty() {
-            return Vec::new();
-        }
-        let x = Matrix::from_fn(cands.len(), 4, |i, j| match j {
-            0 => o as f64,
-            1 => v as f64,
-            2 => cands[i].0 as f64,
-            _ => cands[i].1 as f64,
-        });
-        let pred = self.model.predict(&x);
-        let mut recs: Vec<Recommendation> = cands
-            .iter()
-            .zip(&pred)
-            .filter(|(_, s)| s.is_finite())
-            .map(|(&(nodes, tile), &s)| Recommendation {
-                nodes,
-                tile,
-                predicted_seconds: s,
-                predicted_node_hours: s * nodes as f64 / 3600.0,
-            })
+    pub fn pareto_frontier(&self) -> Vec<Recommendation> {
+        let mut recs: Vec<Recommendation> = (0..self.len())
+            .filter(|&i| self.seconds[i].is_finite())
+            .map(|i| self.recommendation(i))
             .collect();
         recs.sort_by(|a, b| {
             a.predicted_seconds
                 .partial_cmp(&b.predicted_seconds)
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
-        // Single sweep: with seconds ascending, a point is non-dominated
+        // Single pass: with seconds ascending, a point is non-dominated
         // iff its node-hours are strictly below everything kept so far.
         let mut frontier: Vec<Recommendation> = Vec::new();
         let mut best_nh = f64::INFINITY;
@@ -170,38 +309,18 @@ impl<'a> Advisor<'a> {
     /// Fastest configuration whose predicted cost stays within
     /// `max_node_hours` — "I have this much allocation left; how fast can
     /// I go?". `None` if no feasible candidate fits the budget.
-    pub fn fastest_within_budget(
-        &self,
-        o: usize,
-        v: usize,
-        max_node_hours: f64,
-    ) -> Option<Recommendation> {
-        self.pareto_frontier(o, v).into_iter().find(|r| r.predicted_node_hours <= max_node_hours)
+    pub fn fastest_within_budget(&self, max_node_hours: f64) -> Option<Recommendation> {
+        self.pareto_frontier().into_iter().find(|r| r.predicted_node_hours <= max_node_hours)
     }
 
     /// Cheapest configuration whose predicted wall time stays within
     /// `max_seconds` — "results by tomorrow morning, as cheap as possible".
     /// `None` if no feasible candidate meets the deadline.
-    pub fn cheapest_within_deadline(
-        &self,
-        o: usize,
-        v: usize,
-        max_seconds: f64,
-    ) -> Option<Recommendation> {
-        self.pareto_frontier(o, v)
+    pub fn cheapest_within_deadline(&self, max_seconds: f64) -> Option<Recommendation> {
+        self.pareto_frontier()
             .into_iter()
             .rev() // frontier is cheapest-last
             .find(|r| r.predicted_seconds <= max_seconds)
-    }
-
-    /// Answer the shortest-time question.
-    pub fn answer_stq(&self, o: usize, v: usize) -> Option<Recommendation> {
-        self.answer(o, v, Goal::ShortestTime)
-    }
-
-    /// Answer the budget question.
-    pub fn answer_bq(&self, o: usize, v: usize) -> Option<Recommendation> {
-        self.answer(o, v, Goal::Budget)
     }
 }
 
@@ -487,6 +606,75 @@ mod tests {
             rf.seed = 5;
             rf.fit(&x, &y).unwrap();
             (rf, samples.len())
+        }
+    }
+
+    #[test]
+    fn sweep_reductions_match_per_question_answers() {
+        let machine = aurora();
+        let model = OracleModel { machine: machine.clone() };
+        let advisor = Advisor::new(&model, machine);
+        let sweep = advisor.sweep(134, 951);
+        assert!(!sweep.is_empty());
+        assert_eq!(sweep.len(), sweep.seconds().len());
+        assert_eq!(sweep.best(Goal::ShortestTime), advisor.answer_stq(134, 951));
+        assert_eq!(sweep.best(Goal::Budget), advisor.answer_bq(134, 951));
+        assert_eq!(sweep.pareto_frontier(), advisor.pareto_frontier(134, 951));
+        let budget = sweep.best(Goal::ShortestTime).unwrap().predicted_node_hours;
+        assert_eq!(
+            sweep.fastest_within_budget(budget),
+            advisor.fastest_within_budget(134, 951, budget)
+        );
+        let deadline = sweep.best(Goal::Budget).unwrap().predicted_seconds;
+        assert_eq!(
+            sweep.cheapest_within_deadline(deadline),
+            advisor.cheapest_within_deadline(134, 951, deadline)
+        );
+    }
+
+    #[test]
+    fn empty_sweep_reduces_to_nothing() {
+        let machine = aurora();
+        let model = OracleModel { machine: machine.clone() };
+        let advisor = Advisor::new(&model, machine).with_grids(vec![5], vec![80]);
+        let sweep = advisor.sweep(400, 3000);
+        assert!(sweep.is_empty());
+        assert!(sweep.best(Goal::ShortestTime).is_none());
+        assert!(sweep.pareto_frontier().is_empty());
+        assert!(sweep.fastest_within_budget(f64::INFINITY).is_none());
+        assert!(sweep.cheapest_within_deadline(f64::INFINITY).is_none());
+    }
+
+    #[test]
+    fn flat_model_sweep_identical_to_recursive() {
+        // The real serving configuration: a trained GB queried through its
+        // flat compilation must produce the *same bits* over a real sweep,
+        // hence the same recommendations on every question.
+        use chemcost_ml::flat::FlatGbt;
+        use chemcost_ml::gradient_boosting::GradientBoosting;
+        let machine = aurora();
+        let samples = chemcost_sim::datagen::generate_dataset_sized(&machine, 250, 3);
+        let mut x = Matrix::zeros(0, 4);
+        let mut y = Vec::new();
+        for s in &samples {
+            x.push_row(&s.features());
+            y.push(s.seconds);
+        }
+        let mut gb = GradientBoosting::new(80, 6, 0.1);
+        gb.seed = 17;
+        gb.fit(&x, &y).unwrap();
+        let flat = FlatGbt::compile(&gb);
+
+        let recursive = Advisor::new(&gb, machine.clone());
+        let fast = Advisor::new(&flat, machine);
+        for &(o, v) in &[(116usize, 840usize), (134, 951), (44, 260), (280, 1040)] {
+            let a = recursive.sweep(o, v);
+            let b = fast.sweep(o, v);
+            assert_eq!(a.candidates(), b.candidates());
+            assert_eq!(a.seconds(), b.seconds(), "flat sweep differs at ({o},{v})");
+            assert_eq!(a.best(Goal::ShortestTime), b.best(Goal::ShortestTime));
+            assert_eq!(a.best(Goal::Budget), b.best(Goal::Budget));
+            assert_eq!(a.pareto_frontier(), b.pareto_frontier());
         }
     }
 

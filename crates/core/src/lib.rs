@@ -23,11 +23,15 @@
 //!   the `exp_*` benchmark binaries.
 //! * [`report`] — aligned text tables and CSV emission.
 
+#![deny(missing_docs)]
+
 pub mod advisor;
 pub mod data;
 pub mod evaluation;
 pub mod pipeline;
 pub mod report;
 
-pub use advisor::{Advisor, Goal, Recommendation, RiskAwareRecommendation, UncertaintyAdvisor};
+pub use advisor::{
+    Advisor, Goal, Recommendation, RiskAwareRecommendation, Sweep, UncertaintyAdvisor,
+};
 pub use data::MachineData;

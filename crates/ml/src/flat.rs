@@ -1,0 +1,529 @@
+//! Flat, struct-of-arrays tree-ensemble inference — the serving hot path.
+//!
+//! Fitted [`DecisionTree`]s store `enum` nodes in per-tree arenas; walking
+//! them means matching an enum and chasing per-tree allocations for every
+//! row × tree. That is fine for training-time evaluation but wasteful on
+//! the advisor's query path, where one `/v1/advise` request sweeps hundreds
+//! of candidate configurations through an ensemble of hundreds of trees.
+//!
+//! This module compiles a fitted ensemble into a single contiguous
+//! struct-of-arrays layout (`FlatNodes` inside [`FlatForest`] /
+//! [`FlatGbt`]): one `Vec` each for split feature, threshold, children and
+//! leaf value, with all trees concatenated and addressed by root offset.
+//! Traversal is a tight iterative loop — no enum match, no recursion, one
+//! predictable memory stream — and [`FlatForest::predict_batch`] /
+//! [`FlatGbt::predict_batch`] evaluate all rows × all trees in parallel
+//! over the [`chemcost_linalg::parallel`] worker pool. Evaluation is
+//! **tree-major** everywhere (trees outer, rows inner): a deep ensemble's
+//! node arrays are far larger than cache, so walking one tree across all
+//! rows before moving to the next keeps its hot nodes resident instead of
+//! re-streaming the whole ensemble per row. Large batches additionally
+//! parallelise over *trees* — each worker fills leaf values for its run
+//! of trees, streamed once in total, and a serial pass reduces each row's
+//! leaves in tree order so results stay bit-identical.
+//!
+//! Predictions are **bit-for-bit identical** to the recursive path: the
+//! per-row accumulation order over trees, the `<=`-threshold comparison
+//! (including its NaN behaviour) and the scaling operations are exactly
+//! those of [`RandomForest::predict`] and [`GradientBoosting::predict`].
+//! The equivalence battery in `tests/flat_equivalence.rs` asserts this
+//! with `==` on the raw `f64`s.
+
+use crate::forest::RandomForest;
+use crate::gradient_boosting::GradientBoosting;
+use crate::traits::{FitError, Regressor};
+use crate::tree::{DecisionTree, FlatNode};
+use chemcost_linalg::{parallel, Matrix};
+
+/// Sentinel feature index marking a leaf (same encoding as [`FlatNode`]).
+const LEAF: u32 = u32::MAX;
+
+/// Below this many rows a batch is predicted serially: spawning scoped
+/// threads costs more than walking a few hundred trees for a handful of
+/// rows.
+const PAR_MIN_ROWS: usize = 64;
+
+/// Rows per block in the parallel batch path; bounds the transient
+/// per-tree leaf buffer (`n_trees × ROW_BLOCK × 8` bytes).
+const ROW_BLOCK: usize = 1024;
+
+/// Concatenated struct-of-arrays node storage for a whole ensemble.
+///
+/// Node `i` of the ensemble lives at position `i` of every array; tree
+/// boundaries exist only as entries in `roots`. Leaves carry `LEAF` in
+/// `feature` and their prediction in `value`; split nodes carry the
+/// feature index, threshold and two absolute child indices.
+#[derive(Debug, Clone, Default)]
+struct FlatNodes {
+    feature: Vec<u32>,
+    threshold: Vec<f64>,
+    children: Vec<[u32; 2]>,
+    value: Vec<f64>,
+    roots: Vec<u32>,
+}
+
+impl FlatNodes {
+    fn with_capacity(trees: usize, nodes: usize) -> Self {
+        Self {
+            feature: Vec::with_capacity(nodes),
+            threshold: Vec::with_capacity(nodes),
+            children: Vec::with_capacity(nodes),
+            value: Vec::with_capacity(nodes),
+            roots: Vec::with_capacity(trees),
+        }
+    }
+
+    /// Append one tree's exported nodes, rebasing child indices to the
+    /// ensemble-wide address space.
+    fn push_tree(&mut self, nodes: &[FlatNode]) {
+        assert!(!nodes.is_empty(), "cannot flatten an unfitted tree");
+        let base = self.feature.len() as u32;
+        self.roots.push(base);
+        for n in nodes {
+            let abs = self.feature.len() as u32;
+            self.feature.push(n.feature);
+            if n.feature == LEAF {
+                // Leaves self-loop behind an always-true comparison so the
+                // interleaved traversal can keep stepping a finished row
+                // harmlessly while its lane-mates are still descending.
+                self.threshold.push(f64::INFINITY);
+                self.children.push([abs, abs]);
+                self.value.push(n.value);
+            } else {
+                assert!(
+                    (n.left as usize) < nodes.len() && (n.right as usize) < nodes.len(),
+                    "child index out of range in flattened tree"
+                );
+                self.threshold.push(n.threshold);
+                self.children.push([base + n.left, base + n.right]);
+                self.value.push(0.0);
+            }
+        }
+    }
+
+    /// Largest feature index referenced by any split, plus one.
+    fn min_features(&self) -> usize {
+        self.feature.iter().filter(|&&f| f != LEAF).map(|&f| f as usize + 1).max().unwrap_or(0)
+    }
+
+    /// Walk one tree for one row. Branch-light: the comparison selects a
+    /// child slot instead of branching, and the loop exits only at a leaf.
+    ///
+    /// The comparison is `!(x <= t)` rather than `x > t` so NaN feature
+    /// values fall right, exactly as in `DecisionTree::predict_row`.
+    #[inline]
+    #[allow(clippy::neg_cmp_op_on_partial_ord)] // deliberate: NaN must fall right
+    fn leaf_value(&self, root: u32, row: &[f64]) -> f64 {
+        let mut i = root as usize;
+        loop {
+            let f = self.feature[i];
+            if f == LEAF {
+                return self.value[i];
+            }
+            let go_right = !(row[f as usize] <= self.threshold[i]) as usize;
+            i = self.children[i][go_right] as usize;
+        }
+    }
+
+    /// Accumulate `init + Σ weight · tree(row)` over all trees, in tree
+    /// order — the exact floating-point sequence of the recursive path.
+    #[inline]
+    fn score_row(&self, row: &[f64], init: f64, weight: f64) -> f64 {
+        let mut acc = init;
+        for &root in &self.roots {
+            acc += weight * self.leaf_value(root, row);
+        }
+        acc
+    }
+
+    /// One traversal step for the interleaved path. `f` is node `i`'s
+    /// already-loaded feature; leaves (encoded with an always-true
+    /// comparison and self-pointing children) step to themselves, so this
+    /// is safe to apply to a row that already reached its leaf.
+    #[inline(always)]
+    #[allow(clippy::neg_cmp_op_on_partial_ord)] // deliberate: NaN must fall right
+    fn step(&self, f: u32, i: usize, row: &[f64]) -> usize {
+        let fi = if f == LEAF { 0 } else { f as usize };
+        let go_right = !(row[fi] <= self.threshold[i]) as usize;
+        self.children[i][go_right] as usize
+    }
+
+    /// Call `sink(k, leaf)` with tree `root`'s leaf value for each row
+    /// `start + k`, `k < n`, walking `LANES` rows at a time through the
+    /// tree. Tree traversal is a chain of dependent loads; independent
+    /// per-lane cursors give the core that many load chains to overlap,
+    /// which is worth ~2× even single-threaded. Rows that reach a leaf
+    /// early self-loop until the slowest lane finishes.
+    #[inline]
+    #[allow(clippy::needless_range_loop)] // j indexes three lock-step lane arrays
+    fn for_each_leaf<F: FnMut(usize, f64)>(
+        &self,
+        root: u32,
+        x: &Matrix,
+        start: usize,
+        n: usize,
+        mut sink: F,
+    ) {
+        const LANES: usize = 8;
+        let r = root as usize;
+        let mut k = 0;
+        while k + LANES <= n {
+            let rows: [&[f64]; LANES] = std::array::from_fn(|j| x.row(start + k + j));
+            let mut idx = [r; LANES];
+            loop {
+                let fs: [u32; LANES] = std::array::from_fn(|j| self.feature[idx[j]]);
+                // AND only clears bits, so the fold is LEAF exactly when
+                // every lane sits on a leaf.
+                if fs.iter().fold(LEAF, |acc, &f| acc & f) == LEAF {
+                    break;
+                }
+                for j in 0..LANES {
+                    idx[j] = self.step(fs[j], idx[j], rows[j]);
+                }
+            }
+            for j in 0..LANES {
+                sink(k + j, self.value[idx[j]]);
+            }
+            k += LANES;
+        }
+        while k < n {
+            sink(k, self.leaf_value(root, x.row(start + k)));
+            k += 1;
+        }
+    }
+
+    /// Score rows `offset..offset + out.len()` of `x` into `out`,
+    /// **tree-major**: the outer loop walks trees, the inner loop rows, so
+    /// one tree's nodes stay hot in cache across the whole chunk instead
+    /// of every row streaming the full ensemble. Each row still
+    /// accumulates `init + Σ weight·tree(row)` in tree order — the
+    /// identical floating-point sequence to [`Self::score_row`].
+    fn score_chunk(&self, x: &Matrix, offset: usize, out: &mut [f64], init: f64, weight: f64) {
+        out.fill(init);
+        let n = out.len();
+        for &root in &self.roots {
+            self.for_each_leaf(root, x, offset, n, |k, leaf| out[k] += weight * leaf);
+        }
+    }
+
+    /// Score every row of `x`, in parallel for large batches.
+    ///
+    /// The parallel split is over **trees**, not rows: each worker owns a
+    /// contiguous run of trees and fills their leaf values for every row
+    /// of the block, so the ensemble's node arrays are streamed through
+    /// cache once in total instead of once per row chunk (a deep ensemble
+    /// is tens of MB; the candidate rows are KB). A serial pass then
+    /// accumulates each row's leaves in tree order — the identical
+    /// floating-point sequence to [`Self::score_row`], so the parallel
+    /// path stays bit-for-bit equivalent.
+    fn score_batch(&self, x: &Matrix, init: f64, weight: f64) -> Vec<f64> {
+        let n = x.nrows();
+        let mut out = vec![0.0; n];
+        if n < PAR_MIN_ROWS {
+            self.score_chunk(x, 0, &mut out, init, weight);
+            return out;
+        }
+        let t = self.roots.len();
+        // Row blocking bounds the transient leaf buffer at
+        // `t × ROW_BLOCK × 8` bytes regardless of batch size.
+        let block = n.min(ROW_BLOCK);
+        let mut leaves = vec![0.0; t * block];
+        for start in (0..n).step_by(block) {
+            let rows = block.min(n - start);
+            let leaves = &mut leaves[..t * rows];
+            parallel::par_chunks_mut(leaves, rows, |offset, chunk| {
+                for (b, tree_leaves) in chunk.chunks_mut(rows).enumerate() {
+                    let root = self.roots[offset / rows + b];
+                    self.for_each_leaf(root, x, start, rows, |k, leaf| tree_leaves[k] = leaf);
+                }
+            });
+            let out_block = &mut out[start..start + rows];
+            out_block.fill(init);
+            for tree_leaves in leaves.chunks(rows) {
+                for (o, &l) in out_block.iter_mut().zip(tree_leaves) {
+                    *o += weight * l;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A fitted [`RandomForest`] compiled for fast batched inference.
+///
+/// Predictions equal `RandomForest::predict` bit-for-bit; see the module
+/// docs for why.
+///
+/// # Example
+///
+/// ```
+/// use chemcost_linalg::Matrix;
+/// use chemcost_ml::flat::FlatForest;
+/// use chemcost_ml::forest::RandomForest;
+/// use chemcost_ml::Regressor;
+///
+/// let x = Matrix::from_fn(60, 2, |i, j| ((i * (j + 2)) % 17) as f64);
+/// let y: Vec<f64> = (0..60).map(|i| x[(i, 0)] * 3.0 - x[(i, 1)]).collect();
+/// let mut rf = RandomForest::new(12, 6);
+/// rf.fit(&x, &y).unwrap();
+///
+/// let flat = FlatForest::compile(&rf);
+/// assert_eq!(flat.predict_batch(&x), rf.predict(&x)); // exact, not approximate
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlatForest {
+    nodes: FlatNodes,
+    /// `x.ncols()` must be at least this for prediction to be meaningful.
+    min_features: usize,
+}
+
+impl FlatForest {
+    /// Compile a fitted forest into the flat layout.
+    ///
+    /// # Panics
+    /// Panics if the forest has not been fitted.
+    pub fn compile(rf: &RandomForest) -> FlatForest {
+        assert!(!rf.trees().is_empty(), "FlatForest::compile before fit");
+        let total: usize = rf.trees().iter().map(DecisionTree::n_nodes).sum();
+        let mut nodes = FlatNodes::with_capacity(rf.trees().len(), total);
+        for tree in rf.trees() {
+            nodes.push_tree(&tree.export_nodes());
+        }
+        let min_features = nodes.min_features();
+        FlatForest { nodes, min_features }
+    }
+
+    /// Number of trees in the compiled ensemble.
+    pub fn n_trees(&self) -> usize {
+        self.nodes.roots.len()
+    }
+
+    /// Total nodes across all trees.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.feature.len()
+    }
+
+    /// Predict one row (iterative, allocation-free).
+    ///
+    /// # Panics
+    /// Panics if `row` is shorter than the largest feature index used.
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        assert!(row.len() >= self.min_features, "FlatForest::predict_row: row too short");
+        self.nodes.score_row(row, 0.0, 1.0) / self.n_trees() as f64
+    }
+
+    /// Predict every row of `x`, in parallel for large batches.
+    ///
+    /// # Panics
+    /// Panics if `x` has fewer columns than the largest feature index used.
+    pub fn predict_batch(&self, x: &Matrix) -> Vec<f64> {
+        assert!(x.ncols() >= self.min_features, "FlatForest::predict_batch: too few columns");
+        let k = self.n_trees() as f64;
+        let mut out = self.nodes.score_batch(x, 0.0, 1.0);
+        for o in &mut out {
+            *o /= k;
+        }
+        out
+    }
+}
+
+impl Regressor for FlatForest {
+    /// Compiled models are read-only; refit the source [`RandomForest`]
+    /// and re-[`compile`](FlatForest::compile) instead.
+    fn fit(&mut self, _x: &Matrix, _y: &[f64]) -> Result<(), FitError> {
+        Err(FitError::NotTrainable("FlatForest"))
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        self.predict_batch(x)
+    }
+
+    fn name(&self) -> &'static str {
+        "FlatRF"
+    }
+}
+
+/// A fitted [`GradientBoosting`] ensemble compiled for fast batched
+/// inference.
+///
+/// Predictions equal `GradientBoosting::predict` bit-for-bit: the flat
+/// path replays `init + Σ lr · treeᵗ(row)` in stage order, which is the
+/// exact floating-point sequence of the recursive path.
+#[derive(Debug, Clone)]
+pub struct FlatGbt {
+    nodes: FlatNodes,
+    init: f64,
+    learning_rate: f64,
+    n_features: usize,
+}
+
+impl FlatGbt {
+    /// Compile a fitted gradient-boosting ensemble into the flat layout.
+    ///
+    /// # Panics
+    /// Panics if the ensemble has no fitted stages.
+    pub fn compile(gb: &GradientBoosting) -> FlatGbt {
+        let (init, learning_rate, n_features, trees) = gb.export();
+        assert!(!trees.is_empty(), "FlatGbt::compile before fit");
+        let total: usize = trees.iter().map(Vec::len).sum();
+        let mut nodes = FlatNodes::with_capacity(trees.len(), total);
+        for tree in &trees {
+            nodes.push_tree(tree);
+        }
+        FlatGbt { nodes, init, learning_rate, n_features }
+    }
+
+    /// Number of boosting stages in the compiled ensemble.
+    pub fn n_trees(&self) -> usize {
+        self.nodes.roots.len()
+    }
+
+    /// Total nodes across all stages.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.feature.len()
+    }
+
+    /// Number of features the source model was fitted on.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Predict one row (iterative, allocation-free).
+    ///
+    /// # Panics
+    /// Panics on feature-count mismatch.
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        if self.n_features > 0 {
+            assert_eq!(row.len(), self.n_features, "FlatGbt::predict_row: feature-count mismatch");
+        }
+        self.nodes.score_row(row, self.init, self.learning_rate)
+    }
+
+    /// Predict every row of `x`, in parallel for large batches.
+    ///
+    /// # Panics
+    /// Panics on feature-count mismatch.
+    pub fn predict_batch(&self, x: &Matrix) -> Vec<f64> {
+        if self.n_features > 0 {
+            assert_eq!(
+                x.ncols(),
+                self.n_features,
+                "FlatGbt::predict_batch: feature-count mismatch"
+            );
+        }
+        self.nodes.score_batch(x, self.init, self.learning_rate)
+    }
+}
+
+impl Regressor for FlatGbt {
+    /// Compiled models are read-only; refit the source
+    /// [`GradientBoosting`] and re-[`compile`](FlatGbt::compile) instead.
+    fn fit(&mut self, _x: &Matrix, _y: &[f64]) -> Result<(), FitError> {
+        Err(FitError::NotTrainable("FlatGbt"))
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        self.predict_batch(x)
+    }
+
+    fn name(&self) -> &'static str {
+        "FlatGB"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn training_data(n: usize) -> (Matrix, Vec<f64>) {
+        let x = Matrix::from_fn(n, 3, |i, j| (((i * 41 + j * 17) % 59) as f64) / 3.0);
+        let y = (0..n).map(|i| (x[(i, 0)] * 0.7).sin() * 10.0 + x[(i, 1)] - x[(i, 2)]).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn forest_flat_matches_recursive_exactly() {
+        let (x, y) = training_data(150);
+        let mut rf = RandomForest::new(15, 7);
+        rf.seed = 11;
+        rf.fit(&x, &y).unwrap();
+        let flat = FlatForest::compile(&rf);
+        assert_eq!(flat.predict_batch(&x), rf.predict(&x));
+        assert_eq!(flat.n_trees(), 15);
+    }
+
+    #[test]
+    fn gbt_flat_matches_recursive_exactly() {
+        let (x, y) = training_data(120);
+        let mut gb = GradientBoosting::new(40, 4, 0.1);
+        gb.seed = 7;
+        gb.fit(&x, &y).unwrap();
+        let flat = FlatGbt::compile(&gb);
+        assert_eq!(flat.predict_batch(&x), gb.predict(&x));
+        assert_eq!(flat.n_trees(), gb.n_stages());
+        assert_eq!(flat.n_features(), 3);
+    }
+
+    #[test]
+    fn single_row_matches_batch() {
+        let (x, y) = training_data(90);
+        let mut gb = GradientBoosting::new(25, 3, 0.2);
+        gb.fit(&x, &y).unwrap();
+        let flat = FlatGbt::compile(&gb);
+        let batch = flat.predict_batch(&x);
+        for (i, &b) in batch.iter().enumerate() {
+            assert_eq!(flat.predict_row(x.row(i)), b);
+        }
+    }
+
+    #[test]
+    fn large_batch_takes_parallel_path() {
+        // More rows than PAR_MIN_ROWS so score_batch goes parallel; the
+        // result must be identical to the serial per-row path.
+        let (x, y) = training_data(PAR_MIN_ROWS * 4);
+        let mut rf = RandomForest::new(8, 6);
+        rf.fit(&x, &y).unwrap();
+        let flat = FlatForest::compile(&rf);
+        let batch = flat.predict_batch(&x);
+        for (i, &b) in batch.iter().enumerate() {
+            assert_eq!(flat.predict_row(x.row(i)), b);
+        }
+        assert_eq!(batch, rf.predict(&x));
+    }
+
+    #[test]
+    fn flat_models_are_not_trainable() {
+        let (x, y) = training_data(40);
+        let mut gb = GradientBoosting::new(5, 2, 0.5);
+        gb.fit(&x, &y).unwrap();
+        let mut flat = FlatGbt::compile(&gb);
+        assert!(matches!(flat.fit(&x, &y), Err(FitError::NotTrainable(_))));
+    }
+
+    #[test]
+    #[should_panic(expected = "before fit")]
+    fn compile_unfitted_forest_panics() {
+        let _ = FlatForest::compile(&RandomForest::new(5, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "feature-count mismatch")]
+    fn gbt_batch_rejects_wrong_width() {
+        let (x, y) = training_data(40);
+        let mut gb = GradientBoosting::new(5, 2, 0.5);
+        gb.fit(&x, &y).unwrap();
+        let flat = FlatGbt::compile(&gb);
+        let _ = flat.predict_batch(&Matrix::zeros(2, 2));
+    }
+
+    #[test]
+    fn regressor_impl_routes_through_flat_path() {
+        let (x, y) = training_data(60);
+        let mut gb = GradientBoosting::new(10, 3, 0.3);
+        gb.fit(&x, &y).unwrap();
+        let flat = FlatGbt::compile(&gb);
+        let as_regressor: &dyn Regressor = &flat;
+        assert_eq!(as_regressor.predict(&x), gb.predict(&x));
+        assert_eq!(as_regressor.name(), "FlatGB");
+    }
+}

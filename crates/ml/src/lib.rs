@@ -9,6 +9,10 @@
 //!   ([`adaboost`]), Gaussian processes ([`gaussian_process`]), Bayesian
 //!   ridge ([`bayesian_ridge`]) and ε-support-vector regression ([`svr`]),
 //!   all built on ordinary/ridge least squares ([`linear`]).
+//! * **Fast inference** — fitted tree ensembles compile into a contiguous
+//!   struct-of-arrays layout ([`flat`]) whose batched, parallel
+//!   predictions are bit-for-bit identical to the recursive path; this is
+//!   what the advisor sweep and the serving daemon query.
 //! * **Metrics** — R², MAE, MAPE (§3.2) and friends in [`metrics`].
 //! * **Model selection** — K-fold cross-validation plus grid, random and
 //!   Bayesian hyper-parameter search in [`model_selection`].
@@ -35,11 +39,14 @@
 //! assert!(chemcost_ml::metrics::r2_score(&y, &pred) > 0.95);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod adaboost;
 pub mod bayesian_ridge;
 pub mod dataset;
 pub mod elastic_net;
 pub mod ensemble;
+pub mod flat;
 pub mod forest;
 pub mod gaussian_process;
 pub mod gradient_boosting;
@@ -63,4 +70,5 @@ pub mod tree;
 pub mod zoo;
 
 pub use dataset::Dataset;
+pub use flat::{FlatForest, FlatGbt};
 pub use traits::{FitError, Regressor, UncertaintyRegressor};

@@ -8,13 +8,21 @@ pub enum FitError {
     /// Training data was empty.
     EmptyTrainingSet,
     /// Feature matrix and target length disagree.
-    ShapeMismatch { rows: usize, targets: usize },
+    ShapeMismatch {
+        /// Rows in the feature matrix.
+        rows: usize,
+        /// Entries in the target vector.
+        targets: usize,
+    },
     /// The training data contained NaN or infinite values.
     NonFiniteData,
     /// A linear system could not be solved even with jitter.
     Numerical(String),
     /// A hyper-parameter value is outside its valid range.
     InvalidHyperParameter(String),
+    /// The model is a compiled, read-only artifact (e.g. a flattened
+    /// ensemble) — fit the source model and re-compile instead.
+    NotTrainable(&'static str),
 }
 
 impl std::fmt::Display for FitError {
@@ -27,6 +35,9 @@ impl std::fmt::Display for FitError {
             FitError::NonFiniteData => write!(f, "training data contains NaN/inf"),
             FitError::Numerical(msg) => write!(f, "numerical failure: {msg}"),
             FitError::InvalidHyperParameter(msg) => write!(f, "invalid hyper-parameter: {msg}"),
+            FitError::NotTrainable(kind) => {
+                write!(f, "{kind} is a compiled read-only model; fit its source ensemble instead")
+            }
         }
     }
 }
@@ -52,6 +63,24 @@ pub(crate) fn validate_fit_inputs(x: &Matrix, y: &[f64]) -> Result<(), FitError>
 /// `fit` may be called repeatedly; each call discards previous state.
 /// `predict` panics if called before a successful `fit` (programmer error,
 /// like sklearn's `NotFittedError`).
+///
+/// # Example
+///
+/// ```
+/// use chemcost_linalg::Matrix;
+/// use chemcost_ml::tree::DecisionTree;
+/// use chemcost_ml::Regressor;
+///
+/// // A step function a shallow tree captures exactly.
+/// let x = Matrix::from_fn(20, 1, |i, _| i as f64);
+/// let y: Vec<f64> = (0..20).map(|i| if i < 10 { 1.0 } else { 5.0 }).collect();
+///
+/// let mut model = DecisionTree::new(3);
+/// model.fit(&x, &y).unwrap();
+/// assert_eq!(model.predict(&x), y);
+/// assert_eq!(model.predict_one(&[3.0]), 1.0);
+/// assert_eq!(model.name(), "DT");
+/// ```
 pub trait Regressor: Send + Sync {
     /// Train on feature matrix `x` (one sample per row) and targets `y`.
     fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<(), FitError>;

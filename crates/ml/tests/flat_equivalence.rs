@@ -1,0 +1,174 @@
+//! Equivalence battery: flat (struct-of-arrays, iterative, parallel)
+//! inference must match the recursive per-tree path **bit-for-bit** —
+//! every assertion here is `==` on raw `f64`s, never a tolerance.
+
+use chemcost_linalg::Matrix;
+use chemcost_ml::flat::{FlatForest, FlatGbt};
+use chemcost_ml::forest::RandomForest;
+use chemcost_ml::gradient_boosting::{GbLoss, GradientBoosting};
+use chemcost_ml::tree::MaxFeatures;
+use chemcost_ml::Regressor;
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random training corpus with a nonlinear target.
+fn corpus(n: usize, d: usize, salt: u64) -> (Matrix, Vec<f64>) {
+    let x = Matrix::from_fn(n, d, |i, j| {
+        let h = (i as u64)
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(j as u64)
+            .wrapping_mul(1442695040888963407)
+            .wrapping_add(salt);
+        ((h >> 33) % 10_000) as f64 / 100.0
+    });
+    let y = (0..n)
+        .map(|i| {
+            let r = x.row(i);
+            (r[0] * 0.11).sin() * 40.0 + r[1 % d] * 0.5 - (r[d - 1] * 0.07).cos() * 9.0
+        })
+        .collect();
+    (x, y)
+}
+
+/// Fresh query rows the models never saw during fitting.
+fn queries(n: usize, d: usize) -> Matrix {
+    corpus(n, d, 0xBEEF).0
+}
+
+#[test]
+fn forest_equivalence_across_hyperparameters() {
+    let (x, y) = corpus(200, 4, 1);
+    let q = queries(300, 4);
+    for (n_estimators, max_depth, bootstrap, max_features) in [
+        (1, 3, true, MaxFeatures::All),
+        (25, 6, true, MaxFeatures::Sqrt),
+        (40, usize::MAX, true, MaxFeatures::Count(2)),
+        (10, 8, false, MaxFeatures::All),
+    ] {
+        let mut rf = RandomForest::new(n_estimators, max_depth);
+        rf.bootstrap = bootstrap;
+        rf.max_features = max_features;
+        rf.seed = 99;
+        rf.fit(&x, &y).unwrap();
+        let flat = FlatForest::compile(&rf);
+        assert_eq!(flat.predict_batch(&q), rf.predict(&q), "config {n_estimators}/{max_depth}");
+        assert_eq!(flat.predict_batch(&x), rf.predict(&x));
+    }
+}
+
+#[test]
+fn gbt_equivalence_across_losses_and_controls() {
+    let (x, y) = corpus(180, 3, 2);
+    let q = queries(250, 3);
+    let configs: Vec<GradientBoosting> = vec![
+        GradientBoosting::new(60, 3, 0.1),
+        GradientBoosting::new(10, 1, 1.0),
+        {
+            let mut gb = GradientBoosting::new(50, 4, 0.2);
+            gb.loss = GbLoss::AbsoluteError;
+            gb
+        },
+        {
+            let mut gb = GradientBoosting::new(50, 4, 0.2);
+            gb.loss = GbLoss::Huber { alpha: 0.9 };
+            gb
+        },
+        {
+            let mut gb = GradientBoosting::new(80, 3, 0.3);
+            gb.subsample = 0.6;
+            gb.seed = 5;
+            gb
+        },
+        {
+            let mut gb = GradientBoosting::new(400, 3, 0.3);
+            gb.n_iter_no_change = Some(5);
+            gb.seed = 8;
+            gb
+        },
+    ];
+    for mut gb in configs {
+        gb.fit(&x, &y).unwrap();
+        let flat = FlatGbt::compile(&gb);
+        assert_eq!(flat.predict_batch(&q), gb.predict(&q), "loss {:?}", gb.loss);
+        assert_eq!(flat.predict_batch(&x), gb.predict(&x));
+        // Single-row path agrees with the batch path and with predict_one.
+        for i in (0..q.nrows()).step_by(37) {
+            assert_eq!(flat.predict_row(q.row(i)), gb.predict_one(q.row(i)));
+        }
+    }
+}
+
+#[test]
+fn equivalence_on_advisor_style_sweep_inputs() {
+    // The advisor's candidate matrices hold integer-valued (o, v, nodes,
+    // tile) columns of very different magnitudes — exactly the inputs the
+    // serving hot path sees.
+    let (x, y) = corpus(220, 4, 3);
+    // Rescale features into (o, v, nodes, tile)-like ranges.
+    let x = Matrix::from_fn(x.nrows(), 4, |i, j| match j {
+        0 => (40.0 + x[(i, 0)] * 3.0).round(),
+        1 => (260.0 + x[(i, 1)] * 13.0).round(),
+        2 => (5.0 + x[(i, 2)] * 9.0).round(),
+        _ => (40.0 + x[(i, 3)]).round(),
+    });
+    let mut gb = GradientBoosting::new(120, 6, 0.1);
+    gb.seed = 42;
+    gb.fit(&x, &y).unwrap();
+    let mut rf = RandomForest::new(40, 10);
+    rf.seed = 42;
+    rf.fit(&x, &y).unwrap();
+
+    // A dense (nodes, tile) grid at fixed (o, v) — the sweep shape.
+    let nodes_grid: Vec<f64> = vec![5.0, 10.0, 20.0, 35.0, 50.0, 80.0, 120.0, 200.0, 400.0, 900.0];
+    let tiles_grid: Vec<f64> = (4..=18).map(|k| (k * 10) as f64).collect();
+    let mut sweep = Matrix::zeros(0, 4);
+    for &n in &nodes_grid {
+        for &t in &tiles_grid {
+            sweep.push_row(&[116.0, 840.0, n, t]);
+        }
+    }
+    let flat_gb = FlatGbt::compile(&gb);
+    let flat_rf = FlatForest::compile(&rf);
+    assert_eq!(flat_gb.predict_batch(&sweep), gb.predict(&sweep));
+    assert_eq!(flat_rf.predict_batch(&sweep), rf.predict(&sweep));
+}
+
+#[test]
+fn compiled_model_survives_persistence_round_trip() {
+    // serve loads models from disk via export/from_export; the flat
+    // compilation of a round-tripped model must equal the original's.
+    let (x, y) = corpus(100, 4, 4);
+    let mut gb = GradientBoosting::new(30, 5, 0.1);
+    gb.fit(&x, &y).unwrap();
+    let (init, lr, d, trees) = gb.export();
+    let restored = GradientBoosting::from_export(init, lr, d, &trees);
+    let q = queries(120, 4);
+    assert_eq!(FlatGbt::compile(&restored).predict_batch(&q), gb.predict(&q));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Randomized shapes and hyper-parameters: flat == recursive, always.
+    #[test]
+    fn prop_flat_matches_recursive(
+        n in 20usize..120,
+        d in 1usize..6,
+        n_estimators in 1usize..30,
+        max_depth in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        let (x, y) = corpus(n, d, seed);
+        let q = queries(150, d);
+
+        let mut rf = RandomForest::new(n_estimators, max_depth);
+        rf.seed = seed;
+        rf.max_features = MaxFeatures::Sqrt;
+        rf.fit(&x, &y).unwrap();
+        prop_assert_eq!(FlatForest::compile(&rf).predict_batch(&q), rf.predict(&q));
+
+        let mut gb = GradientBoosting::new(n_estimators, max_depth, 0.15);
+        gb.seed = seed;
+        gb.fit(&x, &y).unwrap();
+        prop_assert_eq!(FlatGbt::compile(&gb).predict_batch(&q), gb.predict(&q));
+    }
+}

@@ -1,0 +1,191 @@
+//! Keyed LRU cache for `/v1/advise` answers.
+//!
+//! An advise answer is a pure function of `(model name, model version,
+//! machine, O, V, goal, budget, deadline)` — the model is immutable
+//! between reloads and the sweep is deterministic — so repeated traffic
+//! for the same question (the common case for job-script generators
+//! hammering a handful of production molecules) can skip the whole
+//! candidate sweep and replay the rendered response body.
+//!
+//! Staleness is handled twice over: the **model version is part of the
+//! key**, so a reloaded model can never serve a stale answer, and
+//! [`AdviseCache::invalidate_model`] additionally drops a model's entries
+//! eagerly on reload so dead versions stop occupying capacity.
+//!
+//! Eviction is least-recently-used via an access stamp per entry; the
+//! eviction scan is `O(capacity)` but runs only on insertion into a full
+//! cache, which the hit path never touches.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Cache key: everything an advise answer depends on.
+///
+/// `budget` and `deadline` are keyed on their IEEE-754 bit patterns so the
+/// key can be `Eq + Hash`; distinct bit patterns that compare `==` as
+/// floats (`0.0` vs `-0.0`) simply occupy two entries, which is harmless.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AdviseKey {
+    /// Registry model name.
+    pub model: String,
+    /// Registry model version (bumped on every reload).
+    pub version: u64,
+    /// Machine the sweep runs against.
+    pub machine: String,
+    /// Occupied orbitals.
+    pub o: usize,
+    /// Virtual orbitals.
+    pub v: usize,
+    /// Question asked ("stq" | "bq" | "pareto").
+    pub goal: String,
+    /// `f64::to_bits` of the node-hour budget, when given.
+    pub budget_bits: Option<u64>,
+    /// `f64::to_bits` of the deadline in seconds, when given.
+    pub deadline_bits: Option<u64>,
+}
+
+struct Entry {
+    body: String,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct State {
+    map: HashMap<AdviseKey, Entry>,
+    tick: u64,
+}
+
+/// Thread-safe LRU cache of rendered advise response bodies.
+pub struct AdviseCache {
+    capacity: usize,
+    state: Mutex<State>,
+}
+
+impl AdviseCache {
+    /// A cache holding at most `capacity` entries (minimum 1).
+    pub fn new(capacity: usize) -> AdviseCache {
+        AdviseCache { capacity: capacity.max(1), state: Mutex::new(State::default()) }
+    }
+
+    /// Look up a rendered response, refreshing its recency on hit.
+    pub fn get(&self, key: &AdviseKey) -> Option<String> {
+        let mut state = self.state.lock();
+        state.tick += 1;
+        let tick = state.tick;
+        state.map.get_mut(key).map(|e| {
+            e.last_used = tick;
+            e.body.clone()
+        })
+    }
+
+    /// Insert a rendered response, evicting the least-recently-used entry
+    /// if the cache is full.
+    pub fn insert(&self, key: AdviseKey, body: String) {
+        let mut state = self.state.lock();
+        state.tick += 1;
+        let tick = state.tick;
+        if state.map.len() >= self.capacity && !state.map.contains_key(&key) {
+            if let Some(lru) =
+                state.map.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| k.clone())
+            {
+                state.map.remove(&lru);
+            }
+        }
+        state.map.insert(key, Entry { body, last_used: tick });
+    }
+
+    /// Drop every entry belonging to `model` (all versions). Returns how
+    /// many entries were removed. Called on model reload.
+    pub fn invalidate_model(&self, model: &str) -> usize {
+        let mut state = self.state.lock();
+        let before = state.map.len();
+        state.map.retain(|k, _| k.model != model);
+        before - state.map.len()
+    }
+
+    /// Current number of cached entries.
+    pub fn len(&self) -> usize {
+        self.state.lock().map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(model: &str, version: u64, o: usize) -> AdviseKey {
+        AdviseKey {
+            model: model.to_string(),
+            version,
+            machine: "aurora".to_string(),
+            o,
+            v: 900,
+            goal: "stq".to_string(),
+            budget_bits: None,
+            deadline_bits: None,
+        }
+    }
+
+    #[test]
+    fn get_miss_then_hit() {
+        let cache = AdviseCache::new(8);
+        assert_eq!(cache.get(&key("m", 1, 100)), None);
+        cache.insert(key("m", 1, 100), "body".to_string());
+        assert_eq!(cache.get(&key("m", 1, 100)), Some("body".to_string()));
+        // A different version is a different key.
+        assert_eq!(cache.get(&key("m", 2, 100)), None);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let cache = AdviseCache::new(2);
+        cache.insert(key("m", 1, 1), "a".into());
+        cache.insert(key("m", 1, 2), "b".into());
+        // Touch entry 1 so entry 2 becomes the LRU.
+        assert!(cache.get(&key("m", 1, 1)).is_some());
+        cache.insert(key("m", 1, 3), "c".into());
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&key("m", 1, 1)).is_some());
+        assert!(cache.get(&key("m", 1, 2)).is_none(), "LRU entry should be evicted");
+        assert!(cache.get(&key("m", 1, 3)).is_some());
+    }
+
+    #[test]
+    fn reinserting_existing_key_does_not_evict() {
+        let cache = AdviseCache::new(2);
+        cache.insert(key("m", 1, 1), "a".into());
+        cache.insert(key("m", 1, 2), "b".into());
+        cache.insert(key("m", 1, 1), "a2".into());
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(&key("m", 1, 1)), Some("a2".to_string()));
+        assert!(cache.get(&key("m", 1, 2)).is_some());
+    }
+
+    #[test]
+    fn invalidate_model_drops_only_that_model() {
+        let cache = AdviseCache::new(16);
+        cache.insert(key("a", 1, 1), "x".into());
+        cache.insert(key("a", 2, 1), "y".into());
+        cache.insert(key("b", 1, 1), "z".into());
+        assert_eq!(cache.invalidate_model("a"), 2);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get(&key("b", 1, 1)).is_some());
+        assert_eq!(cache.invalidate_model("a"), 0);
+    }
+
+    #[test]
+    fn budget_and_deadline_partition_the_key_space() {
+        let cache = AdviseCache::new(8);
+        let mut with_budget = key("m", 1, 100);
+        with_budget.budget_bits = Some(3.0f64.to_bits());
+        cache.insert(key("m", 1, 100), "plain".into());
+        cache.insert(with_budget.clone(), "budgeted".into());
+        assert_eq!(cache.get(&key("m", 1, 100)), Some("plain".to_string()));
+        assert_eq!(cache.get(&with_budget), Some("budgeted".to_string()));
+    }
+}

@@ -17,6 +17,7 @@
 //! requests beyond the queue capacity are shed with `503` instead of
 //! buffering unboundedly. No external HTTP or JSON dependencies.
 
+pub mod cache;
 pub mod http;
 pub mod json;
 pub mod metrics;
@@ -24,6 +25,7 @@ pub mod pool;
 pub mod registry;
 pub mod routes;
 
+pub use cache::{AdviseCache, AdviseKey};
 pub use metrics::Metrics;
 pub use registry::{ModelInfo, ModelRegistry, ResolvedModel};
 pub use routes::Router;

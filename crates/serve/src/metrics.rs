@@ -89,6 +89,12 @@ pub struct Metrics {
     /// an atomic; micro resolution keeps rounding error negligible).
     latency_sum_micros: AtomicU64,
     latency_count: AtomicU64,
+    /// `/v1/advise` answers served from the recommendation cache.
+    cache_hits: AtomicU64,
+    /// `/v1/advise` answers that had to run the sweep.
+    cache_misses: AtomicU64,
+    /// Current number of cached advise answers (gauge).
+    cache_entries: AtomicU64,
 }
 
 impl Metrics {
@@ -120,6 +126,31 @@ impl Metrics {
     /// Total error responses recorded for a route.
     pub fn errors(&self, route: Route) -> u64 {
         self.routes[route.index()].errors.load(Ordering::Relaxed)
+    }
+
+    /// Record an advise-cache hit.
+    pub fn record_cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record an advise-cache miss.
+    pub fn record_cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Update the advise-cache size gauge.
+    pub fn set_cache_entries(&self, n: usize) {
+        self.cache_entries.store(n as u64, Ordering::Relaxed);
+    }
+
+    /// Advise-cache hits so far.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Advise-cache misses so far.
+    pub fn cache_misses(&self) -> u64 {
+        self.cache_misses.load(Ordering::Relaxed)
     }
 
     /// Render the Prometheus text exposition.
@@ -161,6 +192,20 @@ impl Metrics {
             "chemcost_request_duration_seconds_count {}\n",
             self.latency_count.load(Ordering::Relaxed)
         ));
+        out.push_str("# HELP chemcost_advise_cache_hits_total Advise answers served from cache.\n");
+        out.push_str("# TYPE chemcost_advise_cache_hits_total counter\n");
+        out.push_str(&format!("chemcost_advise_cache_hits_total {}\n", self.cache_hits()));
+        out.push_str(
+            "# HELP chemcost_advise_cache_misses_total Advise answers that ran the sweep.\n",
+        );
+        out.push_str("# TYPE chemcost_advise_cache_misses_total counter\n");
+        out.push_str(&format!("chemcost_advise_cache_misses_total {}\n", self.cache_misses()));
+        out.push_str("# HELP chemcost_advise_cache_entries Cached advise answers.\n");
+        out.push_str("# TYPE chemcost_advise_cache_entries gauge\n");
+        out.push_str(&format!(
+            "chemcost_advise_cache_entries {}\n",
+            self.cache_entries.load(Ordering::Relaxed)
+        ));
         out
     }
 }
@@ -192,6 +237,21 @@ mod tests {
         assert!(text.contains("chemcost_request_errors_total{route=\"healthz\"} 0"));
         assert!(text.contains("chemcost_request_duration_seconds_count 1"));
         assert!(text.contains("le=\"+Inf\"} 1"));
+    }
+
+    #[test]
+    fn cache_counters_render() {
+        let m = Metrics::new();
+        m.record_cache_miss();
+        m.record_cache_hit();
+        m.record_cache_hit();
+        m.set_cache_entries(1);
+        assert_eq!(m.cache_hits(), 2);
+        assert_eq!(m.cache_misses(), 1);
+        let text = m.render();
+        assert!(text.contains("chemcost_advise_cache_hits_total 2"));
+        assert!(text.contains("chemcost_advise_cache_misses_total 1"));
+        assert!(text.contains("chemcost_advise_cache_entries 1"));
     }
 
     #[test]

@@ -5,7 +5,13 @@
 //! it can be hot-reloaded; every successful (re)load bumps the entry's
 //! version. Lookups return an `Arc` clone, so a reload never invalidates
 //! predictions already in flight.
+//!
+//! Every registered ensemble is compiled once, at (re)load time, into a
+//! [`FlatGbt`] — the contiguous struct-of-arrays representation whose
+//! batched predictions are bit-for-bit identical to the recursive path —
+//! so the request handlers never pay per-row tree recursion.
 
+use chemcost_ml::flat::FlatGbt;
 use chemcost_ml::gradient_boosting::GradientBoosting;
 use chemcost_ml::persist::load_gb;
 use parking_lot::RwLock;
@@ -16,6 +22,8 @@ use std::sync::Arc;
 /// One registered model.
 struct Entry {
     model: Arc<GradientBoosting>,
+    /// The same ensemble compiled for fast batched inference.
+    flat: Arc<FlatGbt>,
     version: u64,
     machine: String,
     path: Option<PathBuf>,
@@ -41,8 +49,11 @@ pub struct ModelInfo {
 pub struct ResolvedModel {
     /// Registry name the lookup resolved to.
     pub name: String,
-    /// The shared trained model.
+    /// The shared trained model (recursive representation).
     pub model: Arc<GradientBoosting>,
+    /// The same ensemble compiled into the flat fast-inference layout;
+    /// predictions are bit-for-bit identical to `model`'s.
+    pub flat: Arc<FlatGbt>,
     /// Load generation.
     pub version: u64,
     /// Machine the model was trained against.
@@ -75,19 +86,28 @@ impl ModelRegistry {
 
     /// Register an in-memory model (no reload path).
     pub fn insert(&self, name: &str, machine: &str, model: GradientBoosting) {
+        let flat = Arc::new(FlatGbt::compile(&model));
         self.entries.write().insert(
             name.to_string(),
-            Entry { model: Arc::new(model), version: 1, machine: machine.to_string(), path: None },
+            Entry {
+                model: Arc::new(model),
+                flat,
+                version: 1,
+                machine: machine.to_string(),
+                path: None,
+            },
         );
     }
 
     /// Register a model from a persisted `.ccgb` file.
     pub fn load_file(&self, name: &str, machine: &str, path: &Path) -> Result<(), String> {
         let gb = load_gb(path).map_err(|e| format!("loading {}: {e}", path.display()))?;
+        let flat = Arc::new(FlatGbt::compile(&gb));
         self.entries.write().insert(
             name.to_string(),
             Entry {
                 model: Arc::new(gb),
+                flat,
                 version: 1,
                 machine: machine.to_string(),
                 path: Some(path.to_path_buf()),
@@ -110,9 +130,13 @@ impl ModelRegistry {
         // Read the file without holding the lock — disk I/O under a write
         // lock would stall every concurrent prediction.
         let gb = load_gb(&path).map_err(|e| format!("reloading {}: {e}", path.display()))?;
+        // Compile outside the write lock too — flattening a 750-tree
+        // ensemble is pure CPU work no request should wait behind.
+        let flat = Arc::new(FlatGbt::compile(&gb));
         let mut entries = self.entries.write();
         let entry = entries.get_mut(name).ok_or_else(|| format!("model {name:?} was removed"))?;
         entry.model = Arc::new(gb);
+        entry.flat = flat;
         entry.version += 1;
         Ok(entry.version)
     }
@@ -159,6 +183,7 @@ impl ModelRegistry {
         Ok(ResolvedModel {
             name: resolved_name,
             model: Arc::clone(&entry.model),
+            flat: Arc::clone(&entry.flat),
             version: entry.version,
             machine: entry.machine.clone(),
         })

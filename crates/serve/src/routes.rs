@@ -3,14 +3,22 @@
 //! `Router::handle` is a pure function from `Request` to `Response` —
 //! no sockets involved — so the same code path is driven by the TCP
 //! server, the end-to-end tests, and the throughput benchmarks.
+//!
+//! The two model-query endpoints ride the fast inference path:
+//! `/v1/predict` and `/v1/advise` both evaluate the registry's compiled
+//! [`chemcost_ml::flat::FlatGbt`] (bit-for-bit identical to the recursive
+//! ensemble), `/v1/advise` runs **one** candidate sweep per request via
+//! [`Advisor::sweep`] no matter how many questions the body asks, and
+//! fully-answered advise responses are replayed from a keyed LRU
+//! [`AdviseCache`] until the model is reloaded.
 
+use crate::cache::{AdviseCache, AdviseKey};
 use crate::http::{Request, Response};
 use crate::json::Json;
 use crate::metrics::{Metrics, Route};
 use crate::registry::{ModelRegistry, ResolvedModel};
 use chemcost_core::advisor::{Advisor, Goal, Recommendation};
 use chemcost_linalg::Matrix;
-use chemcost_ml::Regressor;
 use chemcost_sim::machine::by_name;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -19,20 +27,30 @@ use std::time::Instant;
 /// Most rows accepted in one `/v1/predict` batch.
 const MAX_PREDICT_ROWS: usize = 10_000;
 
+/// Default capacity of the advise recommendation cache.
+const DEFAULT_CACHE_CAPACITY: usize = 512;
+
 /// Shared request handler: model registry + metrics + shutdown signal.
 #[derive(Clone)]
 pub struct Router {
     registry: Arc<ModelRegistry>,
     metrics: Arc<Metrics>,
+    cache: Arc<AdviseCache>,
     shutdown: Arc<AtomicBool>,
 }
 
 impl Router {
     /// Build a router over a registry with fresh metrics.
     pub fn new(registry: Arc<ModelRegistry>) -> Router {
+        Router::with_cache_capacity(registry, DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// Build a router whose advise cache holds at most `capacity` entries.
+    pub fn with_cache_capacity(registry: Arc<ModelRegistry>, capacity: usize) -> Router {
         Router {
             registry,
             metrics: Arc::new(Metrics::new()),
+            cache: Arc::new(AdviseCache::new(capacity)),
             shutdown: Arc::new(AtomicBool::new(false)),
         }
     }
@@ -123,11 +141,17 @@ impl Router {
 
     fn reload(&self, name: &str) -> Response {
         match self.registry.reload(name) {
-            Ok(version) => Response::json(
-                200,
-                Json::obj([("model", name.into()), ("version", Json::Num(version as f64))])
-                    .encode(),
-            ),
+            Ok(version) => {
+                // The version-in-key already prevents stale answers; this
+                // eagerly frees the dead version's cache capacity.
+                self.cache.invalidate_model(name);
+                self.metrics.set_cache_entries(self.cache.len());
+                Response::json(
+                    200,
+                    Json::obj([("model", name.into()), ("version", Json::Num(version as f64))])
+                        .encode(),
+                )
+            }
             Err(e) => {
                 let status = if e.contains("no model named") { 404 } else { 500 };
                 error(status, &e)
@@ -173,7 +197,9 @@ impl Router {
             features.push(parsed);
         }
         let x = Matrix::from_fn(features.len(), 4, |i, j| features[i][j]);
-        let seconds = resolved.model.predict(&x);
+        // Flat inference is bit-for-bit identical to resolved.model's
+        // recursive path, just faster.
+        let seconds = resolved.flat.predict_batch(&x);
         let predictions: Vec<Json> = seconds
             .iter()
             .zip(&features)
@@ -220,8 +246,34 @@ impl Router {
             _ => return error(400, "\"o\" and \"v\" must be positive integers"),
         };
         let goal = body.get("goal").and_then(Json::as_str).unwrap_or("stq");
+        if !matches!(goal, "stq" | "bq" | "pareto") {
+            return error(400, &format!("unknown goal {goal:?} (stq|bq|pareto)"));
+        }
+        let budget = body.get("budget").and_then(Json::as_f64);
+        let deadline = body.get("deadline").and_then(Json::as_f64);
 
-        let advisor = Advisor::new(resolved.model.as_ref(), machine);
+        // The answer is a pure function of this key: replay it if cached.
+        let key = AdviseKey {
+            model: resolved.name.clone(),
+            version: resolved.version,
+            machine: machine_name.clone(),
+            o,
+            v,
+            goal: goal.to_string(),
+            budget_bits: budget.map(f64::to_bits),
+            deadline_bits: deadline.map(f64::to_bits),
+        };
+        if let Some(cached) = self.cache.get(&key) {
+            self.metrics.record_cache_hit();
+            return Response::json(200, cached);
+        }
+        self.metrics.record_cache_miss();
+
+        // One sweep answers every question in the request: the flat model
+        // predicts the whole candidate matrix in a single batched call and
+        // the per-goal answers are reductions over that shared sweep.
+        let advisor = Advisor::new(resolved.flat.as_ref(), machine);
+        let sweep = advisor.sweep(o, v);
         let mut fields: Vec<(&'static str, Json)> = vec![
             ("model", resolved.name.clone().into()),
             ("model_version", Json::Num(resolved.version as f64)),
@@ -233,35 +285,31 @@ impl Router {
             "stq" | "bq" => {
                 let g = if goal == "stq" { Goal::ShortestTime } else { Goal::Budget };
                 fields.push(("goal", g.abbrev().into()));
-                fields.push((
-                    "recommendation",
-                    advisor.answer(o, v, g).map(rec_json).unwrap_or(Json::Null),
-                ));
+                fields.push(("recommendation", sweep.best(g).map(rec_json).unwrap_or(Json::Null)));
             }
-            "pareto" => {
+            _ => {
                 fields.push(("goal", "pareto".into()));
                 let frontier: Vec<Json> =
-                    advisor.pareto_frontier(o, v).into_iter().map(rec_json).collect();
+                    sweep.pareto_frontier().into_iter().map(rec_json).collect();
                 fields.push(("frontier", Json::Arr(frontier)));
             }
-            other => return error(400, &format!("unknown goal {other:?} (stq|bq|pareto)")),
         }
-        if let Some(budget) = body.get("budget").and_then(Json::as_f64) {
+        if let Some(budget) = budget {
             fields.push((
                 "within_budget",
-                advisor.fastest_within_budget(o, v, budget).map(rec_json).unwrap_or(Json::Null),
+                sweep.fastest_within_budget(budget).map(rec_json).unwrap_or(Json::Null),
             ));
         }
-        if let Some(deadline) = body.get("deadline").and_then(Json::as_f64) {
+        if let Some(deadline) = deadline {
             fields.push((
                 "within_deadline",
-                advisor
-                    .cheapest_within_deadline(o, v, deadline)
-                    .map(rec_json)
-                    .unwrap_or(Json::Null),
+                sweep.cheapest_within_deadline(deadline).map(rec_json).unwrap_or(Json::Null),
             ));
         }
-        Response::json(200, Json::obj(fields).encode())
+        let rendered = Json::obj(fields).encode();
+        self.cache.insert(key, rendered.clone());
+        self.metrics.set_cache_entries(self.cache.len());
+        Response::json(200, rendered)
     }
 }
 
@@ -443,5 +491,99 @@ mod tests {
         assert!(!router.shutdown_requested());
         assert_eq!(post(&router, "/v1/shutdown", "").status, 200);
         assert!(router.shutdown_requested());
+    }
+
+    /// Scrape `/metrics` and pull one integer-valued series out of it.
+    fn scrape(router: &Router, series: &str) -> u64 {
+        let resp = router.handle(&Request::new("GET", "/metrics", b""));
+        let text = String::from_utf8(resp.body).unwrap();
+        text.lines()
+            .find_map(|l| l.strip_prefix(&format!("{series} ")))
+            .unwrap_or_else(|| panic!("series {series} missing from:\n{text}"))
+            .parse()
+            .unwrap()
+    }
+
+    #[test]
+    fn advise_cache_warm_answers_identical_to_cold() {
+        let router = test_router();
+        let body = r#"{"o": 120, "v": 900, "goal": "stq", "budget": 2.5, "deadline": 40.0}"#;
+        let cold = post(&router, "/v1/advise", body);
+        assert_eq!(cold.status, 200);
+        assert_eq!(scrape(&router, "chemcost_advise_cache_misses_total"), 1);
+        assert_eq!(scrape(&router, "chemcost_advise_cache_hits_total"), 0);
+        assert_eq!(scrape(&router, "chemcost_advise_cache_entries"), 1);
+
+        let warm = post(&router, "/v1/advise", body);
+        assert_eq!(warm.status, 200);
+        assert_eq!(warm.body, cold.body, "warm answer must be byte-identical to cold");
+        assert_eq!(scrape(&router, "chemcost_advise_cache_hits_total"), 1);
+        assert_eq!(scrape(&router, "chemcost_advise_cache_misses_total"), 1);
+
+        // A different question is its own cache line.
+        let other = post(&router, "/v1/advise", r#"{"o": 120, "v": 900, "goal": "bq"}"#);
+        assert_eq!(other.status, 200);
+        assert_eq!(scrape(&router, "chemcost_advise_cache_misses_total"), 2);
+        assert_eq!(scrape(&router, "chemcost_advise_cache_entries"), 2);
+
+        // Invalid requests never touch the cache.
+        assert_eq!(
+            post(&router, "/v1/advise", r#"{"o": 120, "v": 900, "goal": "??"}"#).status,
+            400
+        );
+        assert_eq!(scrape(&router, "chemcost_advise_cache_misses_total"), 2);
+    }
+
+    #[test]
+    fn reload_drops_stale_cache_entries() {
+        // File-backed model so reload has something to re-read.
+        let machine = by_name("aurora").unwrap();
+        let samples = generate_dataset_sized(&machine, 80, 7);
+        let x = Matrix::from_fn(samples.len(), 4, |i, j| match j {
+            0 => samples[i].o as f64,
+            1 => samples[i].v as f64,
+            2 => samples[i].nodes as f64,
+            _ => samples[i].tile as f64,
+        });
+        let y: Vec<f64> = samples.iter().map(|s| s.seconds).collect();
+        let mut gb = GradientBoosting::new(20, 3, 0.2);
+        gb.seed = 3;
+        gb.fit(&x, &y).unwrap();
+        let dir = std::env::temp_dir().join(format!("chemcost-cache-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.ccgb");
+        chemcost_ml::persist::save_gb(&path, &gb).unwrap();
+
+        let registry = Arc::new(ModelRegistry::new());
+        registry.load_file("gb", "aurora", &path).unwrap();
+        let router = Router::new(registry);
+
+        let body = r#"{"o": 120, "v": 900, "goal": "stq"}"#;
+        let v1 = post(&router, "/v1/advise", body);
+        assert_eq!(v1.status, 200);
+        assert_eq!(scrape(&router, "chemcost_advise_cache_entries"), 1);
+
+        // Swap a differently-seeded model onto disk and hot-reload.
+        let mut gb2 = GradientBoosting::new(20, 3, 0.2);
+        gb2.seed = 11;
+        gb2.fit(&x, &y).unwrap();
+        chemcost_ml::persist::save_gb(&path, &gb2).unwrap();
+        assert_eq!(post(&router, "/v1/models/gb/reload", "").status, 200);
+        assert_eq!(
+            scrape(&router, "chemcost_advise_cache_entries"),
+            0,
+            "reload must drop the model's cached answers"
+        );
+
+        // The next advise is a miss against the new version, not a stale hit.
+        let hits_before = scrape(&router, "chemcost_advise_cache_hits_total");
+        let v2 = post(&router, "/v1/advise", body);
+        assert_eq!(v2.status, 200);
+        assert_eq!(scrape(&router, "chemcost_advise_cache_hits_total"), hits_before);
+        assert_eq!(scrape(&router, "chemcost_advise_cache_misses_total"), 2);
+        let parsed = json_of(&v2);
+        assert_eq!(parsed.get("model_version").and_then(Json::as_usize), Some(2));
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -385,8 +385,8 @@ mod tests {
         assert_eq!(a.command, "advise");
         assert_eq!(a.get("o").unwrap(), "120");
         assert_eq!(a.get_parse::<usize>("v").unwrap(), 900);
-        let a = parse_args(&argv(&["train", "--data", "d.csv", "--out", "m.ccgb", "--fast"]))
-            .unwrap();
+        let a =
+            parse_args(&argv(&["train", "--data", "d.csv", "--out", "m.ccgb", "--fast"])).unwrap();
         assert!(a.flag("fast"));
         assert!(!a.flag("slow"));
     }
