@@ -5,6 +5,7 @@ use chemcost_ml::dataset::Dataset;
 use chemcost_ml::metrics::Scores;
 use chemcost_ml::rand_util::sample_without_replacement;
 use chemcost_ml::traits::Regressor;
+use chemcost_obs::{self as obs, Level};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -95,7 +96,7 @@ pub fn run_active_learning(
     let mut unlabeled: Vec<usize> = (0..n).filter(|i| !labeled.contains(i)).collect();
     let mut rounds = Vec::with_capacity(cfg.n_queries);
 
-    for _round in 0..cfg.n_queries {
+    for round in 0..cfg.n_queries {
         let x_lab = pool.x.select_rows(&labeled);
         let y_lab: Vec<f64> = labeled.iter().map(|&i| pool.y[i]).collect();
         let x_unl = pool.x.select_rows(&unlabeled);
@@ -103,6 +104,13 @@ pub fn run_active_learning(
         let Ok((round_model, scores)) =
             RoundModel::fit_and_score(strategy, &x_lab, &y_lab, &x_unl, cfg.gb_shape, &mut rng)
         else {
+            obs::event!(
+                Level::Warn,
+                "active.round_failed",
+                round = round,
+                strategy = strategy.to_string(),
+                n_labeled = labeled.len(),
+            );
             break; // numerically dead round; keep what we have
         };
 
@@ -110,6 +118,16 @@ pub fn run_active_learning(
         let pred = round_model.model.predict(&pool.x);
         let pool_scores = Scores::compute(&pool.y, &pred);
         let goal_scores = goal.map(|g| g(round_model.model.as_ref()));
+        obs::event!(
+            Level::Info,
+            "active.round",
+            round = round,
+            strategy = strategy.to_string(),
+            n_labeled = labeled.len(),
+            pool_size = n,
+            mape = pool_scores.mape,
+            r2 = pool_scores.r2,
+        );
         rounds.push(RoundRecord { n_labeled: labeled.len(), pool: pool_scores, goal: goal_scores });
 
         if unlabeled.is_empty() {

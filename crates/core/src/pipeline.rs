@@ -14,31 +14,52 @@ use chemcost_ml::model_selection::{
 };
 use chemcost_ml::traits::Regressor;
 use chemcost_ml::zoo::ModelKind;
+use chemcost_obs::{self as obs, Level};
 
 /// Train the paper's deployed model (GB, 750 estimators, depth 10) on a
 /// machine's training split.
 pub fn train_paper_gb(md: &MachineData) -> GradientBoosting {
-    let train = md.train_dataset(Target::Seconds);
-    let mut gb = GradientBoosting::paper_config();
-    gb.fit(&train.x, &train.y).expect("training the paper GB");
-    gb
+    train_gb(md, GradientBoosting::paper_config(), "paper")
 }
 
 /// A lighter GB for tests/examples where the 750×10 model is overkill.
 pub fn train_fast_gb(md: &MachineData) -> GradientBoosting {
-    let train = md.train_dataset(Target::Seconds);
-    let mut gb = GradientBoosting::new(200, 6, 0.1);
-    gb.fit(&train.x, &train.y).expect("training the fast GB");
+    train_gb(md, GradientBoosting::new(200, 6, 0.1), "fast")
+}
+
+/// The shared train pipeline: data load → fit, each under a timed span
+/// carrying its hyper-parameters.
+fn train_gb(md: &MachineData, mut gb: GradientBoosting, config: &'static str) -> GradientBoosting {
+    let _pipeline = obs::span!(
+        Level::Debug,
+        "pipeline.train",
+        config = config,
+        n_estimators = gb.n_estimators,
+        max_depth = gb.max_depth,
+        learning_rate = gb.learning_rate,
+    );
+    let train = {
+        let mut span = obs::span!(Level::Debug, "pipeline.data_load", config = config);
+        let train = md.train_dataset(Target::Seconds);
+        span.record("rows", train.len());
+        train
+    };
+    {
+        let _fit = obs::span!(Level::Debug, "pipeline.fit", config = config, rows = train.len());
+        gb.fit(&train.x, &train.y).expect("training the GB");
+    }
     gb
 }
 
 /// Run the full STQ evaluation (Table 3/4) for a trained seconds-model.
 pub fn stq_table(md: &MachineData, model: &dyn Regressor) -> OptTable {
+    let _span = obs::span!(Level::Debug, "pipeline.evaluate", goal = "stq");
     evaluate_model(model, &md.test_samples(), Goal::ShortestTime)
 }
 
 /// Run the full BQ evaluation (Table 5/6).
 pub fn bq_table(md: &MachineData, model: &dyn Regressor) -> OptTable {
+    let _span = obs::span!(Level::Debug, "pipeline.evaluate", goal = "bq");
     evaluate_model(model, &md.test_samples(), Goal::Budget)
 }
 
@@ -164,6 +185,13 @@ pub fn compare_one(
     strategy: SearchStrategy,
     budget: &ComparisonBudget,
 ) -> ComparisonRow {
+    let _span = obs::span!(
+        Level::Debug,
+        "pipeline.compare",
+        model = kind.abbrev(),
+        strategy = strategy.label(),
+        cv_folds = budget.cv_folds,
+    );
     let train = md.train_dataset(Target::Seconds);
     // Search on a (deterministic) subsample for tractability.
     let search_data: Dataset = if train.len() > budget.search_rows {

@@ -1,0 +1,261 @@
+//! The global dispatcher: level filter, registered sinks, and the
+//! monotonic id counters behind trace and span ids.
+
+use crate::event::{Event, Field, Level};
+use crate::sink::{JsonlSink, Sink, TextSink};
+use crate::span::current_context;
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Once, OnceLock, RwLock};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// A single dispatcher instance. The process normally uses one global
+/// (via [`global`]); tests can drive a private instance directly.
+pub struct Dispatcher {
+    /// Active filter: 0 = off, else the numeric value of the maximum
+    /// enabled [`Level`].
+    filter: AtomicU8,
+    sinks: RwLock<Vec<(u64, Arc<dyn Sink>)>>,
+    /// Cheap mirror of `sinks.len()` so the `enabled` fast path never
+    /// takes the lock.
+    sink_count: AtomicUsize,
+    next_sink_id: AtomicU64,
+    next_span_id: AtomicU64,
+    next_trace_id: AtomicU64,
+}
+
+impl Dispatcher {
+    /// Fresh dispatcher with the given filter and no sinks.
+    pub fn new(filter: Option<Level>) -> Dispatcher {
+        Dispatcher {
+            filter: AtomicU8::new(filter.map_or(0, |l| l as u8)),
+            sinks: RwLock::new(Vec::new()),
+            sink_count: AtomicUsize::new(0),
+            next_sink_id: AtomicU64::new(1),
+            next_span_id: AtomicU64::new(1),
+            next_trace_id: AtomicU64::new(1),
+        }
+    }
+
+    /// Would a record at `level` reach any sink?
+    pub fn enabled(&self, level: Level) -> bool {
+        self.sink_count.load(Ordering::Relaxed) > 0
+            && (level as u8) <= self.filter.load(Ordering::Relaxed)
+    }
+
+    /// Replace the level filter (`None` turns logging off entirely).
+    pub fn set_level(&self, level: Option<Level>) {
+        self.filter.store(level.map_or(0, |l| l as u8), Ordering::Relaxed);
+    }
+
+    /// The current level filter.
+    pub fn level(&self) -> Option<Level> {
+        Level::from_u8(self.filter.load(Ordering::Relaxed))
+    }
+
+    /// Register a sink; the returned handle removes it again.
+    pub fn add_sink(&self, sink: Arc<dyn Sink>) -> SinkHandle {
+        let id = self.next_sink_id.fetch_add(1, Ordering::Relaxed);
+        let mut sinks = self.sinks.write().unwrap();
+        sinks.push((id, sink));
+        self.sink_count.store(sinks.len(), Ordering::Relaxed);
+        SinkHandle(id)
+    }
+
+    /// Deregister a previously added sink.
+    pub fn remove_sink(&self, handle: SinkHandle) {
+        let mut sinks = self.sinks.write().unwrap();
+        sinks.retain(|(id, _)| *id != handle.0);
+        self.sink_count.store(sinks.len(), Ordering::Relaxed);
+    }
+
+    /// Deliver a fully-built event to every sink.
+    pub fn send(&self, event: &Event) {
+        for (_, sink) in self.sinks.read().unwrap().iter() {
+            sink.emit(event);
+        }
+    }
+
+    /// Allocate a process-monotonic span id.
+    pub fn alloc_span_id(&self) -> u64 {
+        self.next_span_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Allocate a process-monotonic trace id, rendered as 16 hex chars.
+    pub fn alloc_trace_id(&self) -> String {
+        format!("{:016x}", self.next_trace_id.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
+/// Opaque handle identifying a registered sink (see
+/// [`Dispatcher::add_sink`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SinkHandle(u64);
+
+/// The process-wide dispatcher. Its initial filter comes from the
+/// `CHEMCOST_LOG` environment variable (default `info`; an unparsable
+/// value also falls back to `info`); no sinks are attached until
+/// [`init_from_env`] or [`add_sink`] runs, so instrumentation is free
+/// until someone asks for output.
+pub fn global() -> &'static Dispatcher {
+    static GLOBAL: OnceLock<Dispatcher> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        let filter = match std::env::var("CHEMCOST_LOG") {
+            Ok(v) => Level::parse(&v).unwrap_or(Some(Level::Info)),
+            Err(_) => Some(Level::Info),
+        };
+        Dispatcher::new(filter)
+    })
+}
+
+/// Fast check against the global dispatcher; the `event!`/`span!`
+/// macros call this before building any fields.
+pub fn enabled(level: Level) -> bool {
+    global().enabled(level)
+}
+
+/// Set the global level filter (`None` = off).
+pub fn set_level(level: Option<Level>) {
+    global().set_level(level);
+}
+
+/// Register a sink on the global dispatcher.
+pub fn add_sink(sink: Arc<dyn Sink>) -> SinkHandle {
+    global().add_sink(sink)
+}
+
+/// Deregister a sink from the global dispatcher.
+pub fn remove_sink(handle: SinkHandle) {
+    global().remove_sink(handle);
+}
+
+/// Allocate a fresh trace id (16 hex chars, process-monotonic).
+pub fn next_trace_id() -> String {
+    global().alloc_trace_id()
+}
+
+/// Microseconds since the Unix epoch.
+pub(crate) fn now_micros() -> u64 {
+    SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_micros() as u64).unwrap_or(0)
+}
+
+/// Build an event from the calling thread's context and deliver it.
+/// Called by the `event!` macro *after* its `enabled` check.
+pub fn dispatch_event(level: Level, target: &'static str, name: &'static str, fields: Vec<Field>) {
+    let (trace, span) = current_context();
+    let event = Event {
+        ts_micros: now_micros(),
+        level,
+        target,
+        name,
+        trace,
+        span,
+        parent: None,
+        duration_micros: None,
+        fields,
+    };
+    global().send(&event);
+}
+
+/// Wire the global dispatcher to the environment, once:
+///
+/// * `CHEMCOST_LOG` — level filter (`error|warn|info|debug|trace|off`);
+///   when set to an actual level, a human-readable stderr sink is
+///   installed so the CLI logs without further setup.
+/// * `CHEMCOST_LOG_JSON=<path>` — additionally write every event as
+///   JSONL to `<path>` (truncated at startup).
+///
+/// Safe to call multiple times; only the first call installs sinks.
+pub fn init_from_env() {
+    static INIT: Once = Once::new();
+    INIT.call_once(|| {
+        let level = match std::env::var("CHEMCOST_LOG") {
+            Ok(v) => match Level::parse(&v) {
+                Ok(l) => l,
+                Err(e) => {
+                    eprintln!("chemcost-obs: {e}; defaulting to info");
+                    Some(Level::Info)
+                }
+            },
+            Err(_) => None, // unset: keep instrumentation silent
+        };
+        let Some(level) = level else {
+            global().set_level(None);
+            return;
+        };
+        global().set_level(Some(level));
+        global().add_sink(Arc::new(TextSink::stderr()));
+        if let Ok(path) = std::env::var("CHEMCOST_LOG_JSON") {
+            match JsonlSink::create(std::path::Path::new(&path)) {
+                Ok(sink) => {
+                    global().add_sink(Arc::new(sink));
+                }
+                Err(e) => eprintln!("chemcost-obs: cannot open {path:?} for JSONL logs: {e}"),
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::RingSink;
+
+    #[test]
+    fn filter_gates_enabled() {
+        let d = Dispatcher::new(Some(Level::Info));
+        // No sinks yet: nothing is enabled regardless of level.
+        assert!(!d.enabled(Level::Error));
+        let ring = Arc::new(RingSink::new(8));
+        let h = d.add_sink(ring.clone());
+        assert!(d.enabled(Level::Error));
+        assert!(d.enabled(Level::Info));
+        assert!(!d.enabled(Level::Debug));
+        d.set_level(Some(Level::Trace));
+        assert!(d.enabled(Level::Trace));
+        d.set_level(None);
+        assert!(!d.enabled(Level::Error));
+        assert_eq!(d.level(), None);
+        d.remove_sink(h);
+        d.set_level(Some(Level::Trace));
+        assert!(!d.enabled(Level::Error), "removed sink must disable dispatch");
+        assert_eq!(ring.len(), 0);
+    }
+
+    #[test]
+    fn ids_are_monotonic() {
+        let d = Dispatcher::new(Some(Level::Trace));
+        let a = d.alloc_span_id();
+        let b = d.alloc_span_id();
+        assert!(b > a);
+        let t1 = d.alloc_trace_id();
+        let t2 = d.alloc_trace_id();
+        assert_ne!(t1, t2);
+        assert_eq!(t1.len(), 16);
+        assert!(u64::from_str_radix(&t1, 16).unwrap() < u64::from_str_radix(&t2, 16).unwrap());
+    }
+
+    #[test]
+    fn send_fans_out_to_all_sinks() {
+        let d = Dispatcher::new(Some(Level::Trace));
+        let a = Arc::new(RingSink::new(4));
+        let b = Arc::new(RingSink::new(4));
+        d.add_sink(a.clone());
+        let hb = d.add_sink(b.clone());
+        let event = Event {
+            ts_micros: 1,
+            level: Level::Info,
+            target: "t",
+            name: "fanout",
+            trace: None,
+            span: None,
+            parent: None,
+            duration_micros: None,
+            fields: vec![],
+        };
+        d.send(&event);
+        d.remove_sink(hb);
+        d.send(&event);
+        assert_eq!(a.len(), 2);
+        assert_eq!(b.len(), 1);
+    }
+}

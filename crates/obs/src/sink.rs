@@ -1,0 +1,193 @@
+//! Pluggable event sinks: human-readable text, JSONL files, and an
+//! in-memory ring buffer for tests.
+
+use crate::event::Event;
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// Destination for resolved [`Event`]s. Implementations must be
+/// thread-safe; `emit` is called concurrently from every instrumented
+/// thread.
+pub trait Sink: Send + Sync {
+    /// Consume one event. Failures are swallowed — observability must
+    /// never take the service down.
+    fn emit(&self, event: &Event);
+}
+
+/// Human-readable single-line output to any writer (stderr by default).
+pub struct TextSink {
+    writer: Mutex<Box<dyn Write + Send>>,
+}
+
+impl TextSink {
+    /// Sink writing to standard error (the CLI default).
+    pub fn stderr() -> TextSink {
+        TextSink::new(Box::new(std::io::stderr()))
+    }
+
+    /// Sink writing to an arbitrary writer.
+    pub fn new(writer: Box<dyn Write + Send>) -> TextSink {
+        TextSink { writer: Mutex::new(writer) }
+    }
+}
+
+impl Sink for TextSink {
+    fn emit(&self, event: &Event) {
+        let line = event.to_text();
+        let mut w = self.writer.lock().unwrap();
+        let _ = writeln!(w, "{line}");
+        let _ = w.flush();
+    }
+}
+
+/// Machine-readable JSONL output, one event per line, flushed per line
+/// so the file is tail-able while the process runs.
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Create (truncate) `path` and write every event to it.
+    pub fn create(path: &Path) -> std::io::Result<JsonlSink> {
+        let file = File::create(path)?;
+        Ok(JsonlSink { writer: Mutex::new(BufWriter::new(file)) })
+    }
+}
+
+impl Sink for JsonlSink {
+    fn emit(&self, event: &Event) {
+        let line = event.to_jsonl();
+        let mut w = self.writer.lock().unwrap();
+        let _ = writeln!(w, "{line}");
+        let _ = w.flush();
+    }
+}
+
+/// Bounded in-memory buffer keeping the most recent events. Built for
+/// tests (capture, then assert) and for lightweight in-process
+/// inspection; when full, the oldest event is dropped.
+pub struct RingSink {
+    buf: Mutex<VecDeque<Event>>,
+    capacity: usize,
+}
+
+impl RingSink {
+    /// Ring holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> RingSink {
+        RingSink { buf: Mutex::new(VecDeque::new()), capacity: capacity.max(1) }
+    }
+
+    /// Snapshot of the buffered events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.buf.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// Buffered events with a given name, oldest first. Useful when the
+    /// global dispatcher is shared between concurrently-running tests.
+    pub fn events_named(&self, name: &str) -> Vec<Event> {
+        self.buf.lock().unwrap().iter().filter(|e| e.name == name).cloned().collect()
+    }
+
+    /// Number of currently buffered events.
+    pub fn len(&self) -> usize {
+        self.buf.lock().unwrap().len()
+    }
+
+    /// Is the buffer empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Sink for RingSink {
+    fn emit(&self, event: &Event) {
+        let mut buf = self.buf.lock().unwrap();
+        if buf.len() == self.capacity {
+            buf.pop_front();
+        }
+        buf.push_back(event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Field, Level};
+
+    fn event(name: &'static str, n: usize) -> Event {
+        Event {
+            ts_micros: n as u64,
+            level: Level::Info,
+            target: "test",
+            name,
+            trace: None,
+            span: None,
+            parent: None,
+            duration_micros: None,
+            fields: vec![Field::new("n", n)],
+        }
+    }
+
+    #[test]
+    fn ring_keeps_most_recent() {
+        let ring = RingSink::new(3);
+        for i in 0..5 {
+            ring.emit(&event("e", i));
+        }
+        let events = ring.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].ts_micros, 2);
+        assert_eq!(events[2].ts_micros, 4);
+    }
+
+    #[test]
+    fn ring_filters_by_name() {
+        let ring = RingSink::new(10);
+        ring.emit(&event("a", 0));
+        ring.emit(&event("b", 1));
+        ring.emit(&event("a", 2));
+        assert_eq!(ring.events_named("a").len(), 2);
+        assert_eq!(ring.events_named("c").len(), 0);
+        assert!(!ring.is_empty());
+    }
+
+    #[test]
+    fn text_sink_writes_lines() {
+        struct Shared(std::sync::Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let out = std::sync::Arc::new(Mutex::new(Vec::new()));
+        let sink = TextSink::new(Box::new(Shared(out.clone())));
+        sink.emit(&event("hello", 7));
+        let text = String::from_utf8(out.lock().unwrap().clone()).unwrap();
+        assert!(text.contains("hello"), "{text}");
+        assert!(text.contains("n=7"), "{text}");
+        assert!(text.ends_with('\n'));
+    }
+
+    #[test]
+    fn jsonl_sink_round_trips_through_file() {
+        let dir = std::env::temp_dir().join(format!("chemcost-obs-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sink.jsonl");
+        let sink = JsonlSink::create(&path).unwrap();
+        sink.emit(&event("one", 1));
+        sink.emit(&event("two", 2));
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"name\":\"one\""));
+        assert!(lines[1].contains("\"fields\":{\"n\":2}"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,224 @@
+//! Trace scopes and timed spans, tracked per thread.
+//!
+//! A [`TraceScope`] pins a trace id to the current thread for its
+//! lifetime (the serve layer opens one per request from
+//! `X-Request-Id`); [`Span`]s nest inside it, each emitting one close
+//! record with its measured duration when dropped. Both are RAII
+//! guards, so instrumentation can never leak context across requests
+//! on a reused worker thread.
+
+use crate::dispatch::{global, now_micros};
+use crate::event::{Event, Field, Level, Value};
+use std::cell::RefCell;
+use std::sync::Arc;
+use std::time::Instant;
+
+thread_local! {
+    static CONTEXT: RefCell<Context> = const { RefCell::new(Context { trace: None, spans: Vec::new() }) };
+}
+
+struct Context {
+    trace: Option<Arc<str>>,
+    spans: Vec<u64>,
+}
+
+/// The calling thread's `(trace id, innermost span id)`, if any.
+pub(crate) fn current_context() -> (Option<Arc<str>>, Option<u64>) {
+    CONTEXT.with(|c| {
+        let c = c.borrow();
+        (c.trace.clone(), c.spans.last().copied())
+    })
+}
+
+/// The trace id active on this thread, if a [`TraceScope`] is open.
+pub fn current_trace() -> Option<Arc<str>> {
+    CONTEXT.with(|c| c.borrow().trace.clone())
+}
+
+/// RAII guard that sets the thread's trace id, restoring the previous
+/// one (usually `None`) on drop.
+pub struct TraceScope {
+    prev: Option<Arc<str>>,
+}
+
+impl TraceScope {
+    /// Enter a trace: every event and span on this thread until the
+    /// guard drops is stamped with `id`.
+    pub fn enter(id: impl Into<Arc<str>>) -> TraceScope {
+        let id = id.into();
+        let prev = CONTEXT.with(|c| c.borrow_mut().trace.replace(id));
+        TraceScope { prev }
+    }
+}
+
+impl Drop for TraceScope {
+    fn drop(&mut self) {
+        CONTEXT.with(|c| c.borrow_mut().trace = self.prev.take());
+    }
+}
+
+/// A timed scope. Created by the [`span!`](crate::span!) macro; emits
+/// one record (name, fields, `duration_us`, its own span id, parent
+/// span id) when dropped. A span created while its level is filtered
+/// out is inert: no id, no context push, no close record.
+pub struct Span {
+    inner: Option<SpanInner>,
+}
+
+struct SpanInner {
+    id: u64,
+    parent: Option<u64>,
+    level: Level,
+    target: &'static str,
+    name: &'static str,
+    fields: Vec<Field>,
+    started: Instant,
+}
+
+impl Span {
+    /// Open a span. Prefer the [`span!`](crate::span!) macro, which
+    /// checks [`enabled`](crate::enabled) before building fields.
+    pub fn new(level: Level, target: &'static str, name: &'static str, fields: Vec<Field>) -> Span {
+        if !global().enabled(level) {
+            return Span::disabled();
+        }
+        let id = global().alloc_span_id();
+        let parent = CONTEXT.with(|c| {
+            let mut c = c.borrow_mut();
+            let parent = c.spans.last().copied();
+            c.spans.push(id);
+            parent
+        });
+        Span {
+            inner: Some(SpanInner {
+                id,
+                parent,
+                level,
+                target,
+                name,
+                fields,
+                started: Instant::now(),
+            }),
+        }
+    }
+
+    /// An inert span (what `span!` returns below the active filter).
+    pub fn disabled() -> Span {
+        Span { inner: None }
+    }
+
+    /// This span's id, or `None` when it is inert.
+    pub fn id(&self) -> Option<u64> {
+        self.inner.as_ref().map(|i| i.id)
+    }
+
+    /// Attach a field discovered after the span was opened (e.g. a row
+    /// count known only once the data is loaded). No-op when inert.
+    pub fn record(&mut self, key: &'static str, value: impl Into<Value>) {
+        if let Some(inner) = &mut self.inner {
+            inner.fields.push(Field { key, value: value.into() });
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(inner) = self.inner.take() else {
+            return;
+        };
+        let duration_micros = inner.started.elapsed().as_micros() as u64;
+        let trace = CONTEXT.with(|c| {
+            let mut c = c.borrow_mut();
+            // Pop our id; tolerate out-of-order drops from mem::drop.
+            if let Some(pos) = c.spans.iter().rposition(|&s| s == inner.id) {
+                c.spans.remove(pos);
+            }
+            c.trace.clone()
+        });
+        let event = Event {
+            ts_micros: now_micros(),
+            level: inner.level,
+            target: inner.target,
+            name: inner.name,
+            trace,
+            span: Some(inner.id),
+            parent: inner.parent,
+            duration_micros: Some(duration_micros),
+            fields: inner.fields,
+        };
+        global().send(&event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispatch::{add_sink, remove_sink, set_level};
+    use crate::sink::RingSink;
+
+    /// Capture events from the global dispatcher for one test body.
+    fn with_ring<R>(f: impl FnOnce(&RingSink) -> R) -> R {
+        set_level(Some(Level::Trace));
+        let ring = Arc::new(RingSink::new(256));
+        let handle = add_sink(ring.clone());
+        let out = f(&ring);
+        remove_sink(handle);
+        out
+    }
+
+    #[test]
+    fn trace_scope_sets_and_restores() {
+        assert_eq!(current_trace(), None);
+        {
+            let _outer = TraceScope::enter("outer-trace");
+            assert_eq!(current_trace().as_deref(), Some("outer-trace"));
+            {
+                let _inner = TraceScope::enter("inner-trace");
+                assert_eq!(current_trace().as_deref(), Some("inner-trace"));
+            }
+            assert_eq!(current_trace().as_deref(), Some("outer-trace"));
+        }
+        assert_eq!(current_trace(), None);
+    }
+
+    #[test]
+    fn span_close_carries_duration_parent_and_trace() {
+        with_ring(|ring| {
+            let _scope = TraceScope::enter("span-test-trace");
+            let outer = Span::new(Level::Debug, "t", "span.outer", vec![]);
+            let outer_id = outer.id().unwrap();
+            {
+                let mut inner = Span::new(Level::Debug, "t", "span.inner", vec![]);
+                inner.record("rows", 42usize);
+                assert!(inner.id().unwrap() > outer_id);
+            }
+            drop(outer);
+
+            let inner_close = &ring.events_named("span.inner")[0];
+            assert_eq!(inner_close.parent, Some(outer_id));
+            assert_eq!(inner_close.trace.as_deref(), Some("span-test-trace"));
+            assert!(inner_close.duration_micros.is_some());
+            assert_eq!(inner_close.field("rows"), Some(&Value::U64(42)));
+            let outer_close = &ring.events_named("span.outer")[0];
+            assert_eq!(outer_close.span, Some(outer_id));
+            assert_eq!(outer_close.parent, None);
+        });
+    }
+
+    #[test]
+    fn disabled_span_is_inert() {
+        let span = Span::disabled();
+        assert_eq!(span.id(), None);
+        drop(span); // must not emit or touch context
+        assert_eq!(current_context().1, None);
+    }
+
+    #[test]
+    fn context_does_not_leak_across_threads() {
+        with_ring(|_| {
+            let _scope = TraceScope::enter("main-thread-trace");
+            let seen = std::thread::spawn(current_trace).join().unwrap();
+            assert_eq!(seen, None, "trace scope is thread-local");
+        });
+    }
+}

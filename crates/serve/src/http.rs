@@ -55,6 +55,9 @@ pub struct Response {
     pub status: u16,
     /// Value for the Content-Type header.
     pub content_type: &'static str,
+    /// Extra response headers (e.g. `X-Request-Id`), written verbatim
+    /// after the standard ones.
+    pub headers: Vec<(&'static str, String)>,
     /// Response body bytes.
     pub body: Vec<u8>,
 }
@@ -62,12 +65,22 @@ pub struct Response {
 impl Response {
     /// JSON response with the given status.
     pub fn json(status: u16, body: String) -> Response {
-        Response { status, content_type: "application/json", body: body.into_bytes() }
+        Response {
+            status,
+            content_type: "application/json",
+            headers: Vec::new(),
+            body: body.into_bytes(),
+        }
     }
 
     /// Plain-text response with the given status.
     pub fn text(status: u16, body: String) -> Response {
-        Response { status, content_type: "text/plain; version=0.0.4", body: body.into_bytes() }
+        Response {
+            status,
+            content_type: "text/plain; version=0.0.4",
+            headers: Vec::new(),
+            body: body.into_bytes(),
+        }
     }
 
     /// Was this an error response (status >= 400)?
@@ -215,14 +228,21 @@ pub fn write_response<W: Write>(
     response: &Response,
     keep_alive: bool,
 ) -> std::io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         response.status,
         reason(response.status),
         response.content_type,
         response.body.len(),
         if keep_alive { "keep-alive" } else { "close" },
     );
+    for (name, value) in &response.headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     writer.write_all(head.as_bytes())?;
     writer.write_all(&response.body)?;
     writer.flush()
@@ -300,5 +320,18 @@ mod tests {
         assert!(text.contains("Content-Length: 11\r\n"));
         assert!(text.contains("Connection: keep-alive\r\n"));
         assert!(text.ends_with("{\"ok\":true}"));
+    }
+
+    #[test]
+    fn extra_headers_are_written_before_the_body() {
+        let mut resp = Response::json(200, "{}".into());
+        resp.headers.push(("X-Request-Id", "abc123".into()));
+        let mut out = Vec::new();
+        write_response(&mut out, &resp, false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("X-Request-Id: abc123\r\n"), "{text}");
+        let (head, body) = text.split_once("\r\n\r\n").unwrap();
+        assert!(head.contains("X-Request-Id"));
+        assert_eq!(body, "{}");
     }
 }

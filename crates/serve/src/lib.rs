@@ -50,10 +50,24 @@ pub struct Server {
 
 impl Server {
     /// Bind `addr` (e.g. `"127.0.0.1:8080"`, port 0 for ephemeral) and
-    /// prepare `workers` handler threads.
+    /// prepare `workers` handler threads. The connection queue defaults
+    /// to `workers * 4`; override with [`Server::with_queue_cap`].
     pub fn bind(addr: &str, router: Router, workers: usize) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         Ok(Server { listener, router, workers: workers.max(1), queue_cap: workers.max(1) * 4 })
+    }
+
+    /// Override the worker-pool connection queue capacity (`chemcost
+    /// serve --queue-cap`). Connections beyond `workers` in-flight plus
+    /// `cap` queued are shed with `503`. Clamped to at least 1.
+    pub fn with_queue_cap(mut self, cap: usize) -> Server {
+        self.queue_cap = cap.max(1);
+        self
+    }
+
+    /// The effective connection queue capacity.
+    pub fn queue_cap(&self) -> usize {
+        self.queue_cap
     }
 
     /// The address actually bound (resolves an ephemeral port).
@@ -66,6 +80,14 @@ impl Server {
     pub fn run(self) -> std::io::Result<()> {
         let local_addr = self.listener.local_addr()?;
         let pool = ThreadPool::new(self.workers, self.queue_cap);
+        let metrics = std::sync::Arc::clone(self.router.metrics());
+        chemcost_obs::event!(
+            chemcost_obs::Level::Info,
+            "serve.start",
+            addr = local_addr.to_string(),
+            workers = self.workers,
+            queue_cap = self.queue_cap,
+        );
         for stream in self.listener.incoming() {
             if self.router.shutdown_requested() {
                 break;
@@ -78,9 +100,24 @@ impl Server {
             // answer 503 after the closure (owning the original) is dropped.
             let spare = stream.try_clone();
             let router = self.router.clone();
-            let job: pool::Job = Box::new(move || handle_connection(stream, &router, local_addr));
+            let job_metrics = std::sync::Arc::clone(&metrics);
+            metrics.pool_enqueued();
+            let job: pool::Job = Box::new(move || {
+                job_metrics.pool_dequeued();
+                handle_connection(stream, &router, local_addr)
+            });
             if let Err(job) = pool.execute(job) {
                 drop(job);
+                // The connection never made it into the queue: undo the
+                // depth bump and account the shed 503.
+                metrics.pool_dequeued();
+                metrics.record_shed();
+                chemcost_obs::event!(
+                    chemcost_obs::Level::Warn,
+                    "http.shed",
+                    queue_cap = self.queue_cap,
+                    shed_total = metrics.shed_total(),
+                );
                 if let Ok(mut spare) = spare {
                     let resp = Response::json(503, r#"{"error":"server overloaded"}"#.into());
                     let _ = write_response(&mut spare, &resp, false);
@@ -90,6 +127,11 @@ impl Server {
         // Dropping the pool drains queued connections and joins workers,
         // so every accepted request gets its response before we return.
         pool.join();
+        chemcost_obs::event!(
+            chemcost_obs::Level::Info,
+            "serve.stop",
+            addr = local_addr.to_string()
+        );
         Ok(())
     }
 }

@@ -1,11 +1,15 @@
 //! Request metrics with Prometheus text exposition.
 //!
 //! Everything is lock-free atomics: fixed route labels, per-route request
-//! and error counters, and a shared latency histogram with
-//! log-spaced buckets. `render` produces the standard
-//! `text/plain; version=0.0.4` exposition format.
+//! and error counters, a shared latency histogram with log-spaced
+//! buckets, saturation gauges (queue depth, in-flight), shed-load and
+//! advise-cache counters, and a per-stage latency histogram for the
+//! `/v1/advise` pipeline (`cache` → `sweep` → `encode`). `render`
+//! produces the standard `text/plain; version=0.0.4` exposition format;
+//! [`lint_exposition`] validates that format and doubles as the CI smoke
+//! job's correctness check.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::time::Duration;
 
 /// Route label a request is accounted under. Fixed set — unknown paths
@@ -26,7 +30,7 @@ pub enum Route {
     Advise,
     /// `POST /v1/shutdown`
     Shutdown,
-    /// Anything else (404s, bad methods, …).
+    /// Anything else (404s, bad methods, shed connections, …).
     Other,
 }
 
@@ -70,8 +74,51 @@ impl Route {
     }
 }
 
+/// One stage of the `/v1/advise` pipeline, timed separately so a slow
+/// answer can be attributed to the model sweep, the cache, or JSON
+/// encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdviseStage {
+    /// Key construction + cache probe (and hit replay).
+    Cache,
+    /// The candidate sweep through the flat model.
+    Sweep,
+    /// Reductions + JSON rendering + cache insert.
+    Encode,
+}
+
+impl AdviseStage {
+    const ALL: [AdviseStage; 3] = [AdviseStage::Cache, AdviseStage::Sweep, AdviseStage::Encode];
+
+    fn index(self) -> usize {
+        match self {
+            AdviseStage::Cache => 0,
+            AdviseStage::Sweep => 1,
+            AdviseStage::Encode => 2,
+        }
+    }
+
+    /// The Prometheus `stage` label value.
+    pub fn label(self) -> &'static str {
+        match self {
+            AdviseStage::Cache => "cache",
+            AdviseStage::Sweep => "sweep",
+            AdviseStage::Encode => "encode",
+        }
+    }
+}
+
 /// Histogram bucket upper bounds, in seconds.
 const BUCKETS: [f64; 10] = [1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 1e-1, 5e-1, 1.0, 5.0];
+
+/// Version baked into `chemcost_build_info`.
+const BUILD_VERSION: &str = env!("CARGO_PKG_VERSION");
+/// Git SHA baked into `chemcost_build_info` (set `CHEMCOST_GIT_SHA` at
+/// build time; CI does).
+const BUILD_GIT_SHA: &str = match option_env!("CHEMCOST_GIT_SHA") {
+    Some(sha) => sha,
+    None => "unknown",
+};
 
 #[derive(Default)]
 struct RouteStats {
@@ -79,22 +126,70 @@ struct RouteStats {
     errors: AtomicU64,
 }
 
+/// Cumulative bucket counts (+ overflow) with sum and count — one
+/// Prometheus histogram series set.
+#[derive(Default)]
+struct Histogram {
+    buckets: [AtomicU64; 11],
+    sum_micros: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    fn observe(&self, elapsed: Duration) {
+        let secs = elapsed.as_secs_f64();
+        let bucket = BUCKETS.iter().position(|&b| secs <= b).unwrap_or(BUCKETS.len());
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(elapsed.as_micros() as u64, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Render `name{extra_labels,le="…"} …` bucket lines plus sum and
+    /// count. `extra` is either empty or `label="value",` (trailing
+    /// comma included).
+    fn render(&self, out: &mut String, name: &str, extra: &str) {
+        let mut cumulative = 0u64;
+        for (i, le) in BUCKETS.iter().enumerate() {
+            cumulative += self.buckets[i].load(Ordering::Relaxed);
+            out.push_str(&format!("{name}_bucket{{{extra}le=\"{le}\"}} {cumulative}\n"));
+        }
+        cumulative += self.buckets[BUCKETS.len()].load(Ordering::Relaxed);
+        out.push_str(&format!("{name}_bucket{{{extra}le=\"+Inf\"}} {cumulative}\n"));
+        let sum = self.sum_micros.load(Ordering::Relaxed) as f64 / 1e6;
+        if extra.is_empty() {
+            out.push_str(&format!("{name}_sum {sum}\n"));
+            out.push_str(&format!("{name}_count {}\n", self.count.load(Ordering::Relaxed)));
+        } else {
+            let labels = extra.trim_end_matches(',');
+            out.push_str(&format!("{name}_sum{{{labels}}} {sum}\n"));
+            out.push_str(&format!(
+                "{name}_count{{{labels}}} {}\n",
+                self.count.load(Ordering::Relaxed)
+            ));
+        }
+    }
+}
+
 /// Shared, thread-safe service metrics.
 #[derive(Default)]
 pub struct Metrics {
     routes: [RouteStats; 8],
-    /// Cumulative counts per latency bucket (+ one overflow bucket).
-    latency_buckets: [AtomicU64; 11],
-    /// Total observed latency, in microseconds (integer so it can live in
-    /// an atomic; micro resolution keeps rounding error negligible).
-    latency_sum_micros: AtomicU64,
-    latency_count: AtomicU64,
+    /// Whole-request handling latency.
+    latency: Histogram,
+    /// Per-stage `/v1/advise` latency, indexed by [`AdviseStage`].
+    advise_stages: [Histogram; 3],
     /// `/v1/advise` answers served from the recommendation cache.
     cache_hits: AtomicU64,
     /// `/v1/advise` answers that had to run the sweep.
     cache_misses: AtomicU64,
     /// Current number of cached advise answers (gauge).
     cache_entries: AtomicU64,
+    /// Requests currently being handled (gauge).
+    in_flight: AtomicI64,
+    /// Connections queued in the worker pool, not yet picked up (gauge).
+    pool_queue_depth: AtomicI64,
+    /// Connections shed with 503 because the pool queue was full.
+    shed: AtomicU64,
 }
 
 impl Metrics {
@@ -111,11 +206,65 @@ impl Metrics {
         if is_error {
             stats.errors.fetch_add(1, Ordering::Relaxed);
         }
-        let secs = elapsed.as_secs_f64();
-        let bucket = BUCKETS.iter().position(|&b| secs <= b).unwrap_or(BUCKETS.len());
-        self.latency_buckets[bucket].fetch_add(1, Ordering::Relaxed);
-        self.latency_sum_micros.fetch_add(elapsed.as_micros() as u64, Ordering::Relaxed);
-        self.latency_count.fetch_add(1, Ordering::Relaxed);
+        self.latency.observe(elapsed);
+    }
+
+    /// Account one connection shed with 503 before it reached the
+    /// router: a request *and* an error under the `other` route, plus
+    /// the dedicated shed counter. Shed connections never produce a
+    /// latency observation — they were refused, not handled.
+    pub fn record_shed(&self) {
+        let stats = &self.routes[Route::Other.index()];
+        stats.requests.fetch_add(1, Ordering::Relaxed);
+        stats.errors.fetch_add(1, Ordering::Relaxed);
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Connections shed so far.
+    pub fn shed_total(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Record one `/v1/advise` stage duration.
+    pub fn record_advise_stage(&self, stage: AdviseStage, elapsed: Duration) {
+        self.advise_stages[stage.index()].observe(elapsed);
+    }
+
+    /// Observations recorded for one advise stage.
+    pub fn advise_stage_count(&self, stage: AdviseStage) -> u64 {
+        self.advise_stages[stage.index()].count.load(Ordering::Relaxed)
+    }
+
+    /// A request entered the router.
+    pub fn inc_in_flight(&self) {
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request left the router.
+    pub fn dec_in_flight(&self) {
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Requests currently in flight (clamped at 0 — concurrent inc/dec
+    /// can transiently observe a negative value).
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight.load(Ordering::Relaxed).max(0) as u64
+    }
+
+    /// A connection was queued for the worker pool.
+    pub fn pool_enqueued(&self) {
+        self.pool_queue_depth.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A queued connection was picked up by a worker (or bounced back
+    /// on a full queue).
+    pub fn pool_dequeued(&self) {
+        self.pool_queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Connections waiting in the pool queue right now (clamped at 0).
+    pub fn pool_queue_depth(&self) -> u64 {
+        self.pool_queue_depth.load(Ordering::Relaxed).max(0) as u64
     }
 
     /// Total requests recorded for a route.
@@ -155,7 +304,12 @@ impl Metrics {
 
     /// Render the Prometheus text exposition.
     pub fn render(&self) -> String {
-        let mut out = String::with_capacity(2048);
+        let mut out = String::with_capacity(4096);
+        out.push_str("# HELP chemcost_build_info Build metadata; constant 1.\n");
+        out.push_str("# TYPE chemcost_build_info gauge\n");
+        out.push_str(&format!(
+            "chemcost_build_info{{version=\"{BUILD_VERSION}\",git_sha=\"{BUILD_GIT_SHA}\"}} 1\n"
+        ));
         out.push_str("# HELP chemcost_requests_total Requests handled, by route.\n");
         out.push_str("# TYPE chemcost_requests_total counter\n");
         for route in Route::ALL {
@@ -173,25 +327,31 @@ impl Metrics {
                 route.label()
             ));
         }
+        out.push_str("# HELP chemcost_requests_in_flight Requests currently being handled.\n");
+        out.push_str("# TYPE chemcost_requests_in_flight gauge\n");
+        out.push_str(&format!("chemcost_requests_in_flight {}\n", self.in_flight()));
+        out.push_str("# HELP chemcost_pool_queue_depth Connections queued for the worker pool.\n");
+        out.push_str("# TYPE chemcost_pool_queue_depth gauge\n");
+        out.push_str(&format!("chemcost_pool_queue_depth {}\n", self.pool_queue_depth()));
+        out.push_str(
+            "# HELP chemcost_requests_shed_total Connections answered 503 because the pool queue was full.\n",
+        );
+        out.push_str("# TYPE chemcost_requests_shed_total counter\n");
+        out.push_str(&format!("chemcost_requests_shed_total {}\n", self.shed_total()));
         out.push_str("# HELP chemcost_request_duration_seconds Request handling latency.\n");
         out.push_str("# TYPE chemcost_request_duration_seconds histogram\n");
-        let mut cumulative = 0u64;
-        for (i, le) in BUCKETS.iter().enumerate() {
-            cumulative += self.latency_buckets[i].load(Ordering::Relaxed);
-            out.push_str(&format!(
-                "chemcost_request_duration_seconds_bucket{{le=\"{le}\"}} {cumulative}\n"
-            ));
+        self.latency.render(&mut out, "chemcost_request_duration_seconds", "");
+        out.push_str(
+            "# HELP chemcost_advise_stage_duration_seconds Advise pipeline latency, by stage (cache probe, model sweep, JSON encode).\n",
+        );
+        out.push_str("# TYPE chemcost_advise_stage_duration_seconds histogram\n");
+        for stage in AdviseStage::ALL {
+            self.advise_stages[stage.index()].render(
+                &mut out,
+                "chemcost_advise_stage_duration_seconds",
+                &format!("stage=\"{}\",", stage.label()),
+            );
         }
-        cumulative += self.latency_buckets[BUCKETS.len()].load(Ordering::Relaxed);
-        out.push_str(&format!(
-            "chemcost_request_duration_seconds_bucket{{le=\"+Inf\"}} {cumulative}\n"
-        ));
-        let sum = self.latency_sum_micros.load(Ordering::Relaxed) as f64 / 1e6;
-        out.push_str(&format!("chemcost_request_duration_seconds_sum {sum}\n"));
-        out.push_str(&format!(
-            "chemcost_request_duration_seconds_count {}\n",
-            self.latency_count.load(Ordering::Relaxed)
-        ));
         out.push_str("# HELP chemcost_advise_cache_hits_total Advise answers served from cache.\n");
         out.push_str("# TYPE chemcost_advise_cache_hits_total counter\n");
         out.push_str(&format!("chemcost_advise_cache_hits_total {}\n", self.cache_hits()));
@@ -207,6 +367,201 @@ impl Metrics {
             self.cache_entries.load(Ordering::Relaxed)
         ));
         out
+    }
+}
+
+/// Validate a Prometheus text exposition: syntax of every sample line,
+/// `# HELP`/`# TYPE` metadata for every metric family, and histogram
+/// invariants (cumulative non-decreasing buckets ending in `+Inf` whose
+/// total matches `_count`). Returns every problem found, so a single
+/// run of the CI smoke job reports all defects at once.
+pub fn lint_exposition(text: &str) -> Result<(), Vec<String>> {
+    let mut problems = Vec::new();
+    let mut helped = std::collections::HashSet::new();
+    let mut typed: std::collections::HashMap<String, String> = std::collections::HashMap::new();
+    // (family, labels-without-le) -> cumulative bucket values in order,
+    // and the matching _count value when seen.
+    let mut hist_buckets: std::collections::HashMap<(String, String), Vec<(String, f64)>> =
+        std::collections::HashMap::new();
+    let mut hist_counts: std::collections::HashMap<(String, String), f64> =
+        std::collections::HashMap::new();
+
+    fn valid_name(name: &str) -> bool {
+        let mut chars = name.chars();
+        match chars.next() {
+            Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+            _ => return false,
+        }
+        chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    }
+
+    /// Split `key="value",…` into pairs; returns `None` on bad syntax.
+    fn parse_labels(s: &str) -> Option<Vec<(String, String)>> {
+        let mut pairs = Vec::new();
+        let mut rest = s;
+        while !rest.is_empty() {
+            let eq = rest.find('=')?;
+            let key = rest[..eq].trim().to_string();
+            rest = rest[eq + 1..].strip_prefix('"')?;
+            // Find the closing quote, honoring backslash escapes.
+            let mut end = None;
+            let mut escaped = false;
+            for (i, c) in rest.char_indices() {
+                match c {
+                    '\\' if !escaped => escaped = true,
+                    '"' if !escaped => {
+                        end = Some(i);
+                        break;
+                    }
+                    _ => escaped = false,
+                }
+            }
+            let end = end?;
+            pairs.push((key, rest[..end].to_string()));
+            rest = &rest[end + 1..];
+            rest = rest.strip_prefix(',').unwrap_or(rest).trim_start();
+        }
+        Some(pairs)
+    }
+
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(meta) = line.strip_prefix("# HELP ") {
+            match meta.split_once(' ') {
+                Some((name, _)) if valid_name(name) => {
+                    helped.insert(name.to_string());
+                }
+                _ => problems.push(format!("line {n}: malformed HELP: {line:?}")),
+            }
+            continue;
+        }
+        if let Some(meta) = line.strip_prefix("# TYPE ") {
+            match meta.split_once(' ') {
+                Some((name, kind)) if valid_name(name) => {
+                    if !matches!(kind, "counter" | "gauge" | "histogram" | "summary" | "untyped") {
+                        problems.push(format!("line {n}: unknown TYPE {kind:?} for {name}"));
+                    }
+                    if typed.insert(name.to_string(), kind.to_string()).is_some() {
+                        problems.push(format!("line {n}: duplicate TYPE for {name}"));
+                    }
+                }
+                _ => problems.push(format!("line {n}: malformed TYPE: {line:?}")),
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // arbitrary comment
+        }
+
+        // Sample line: name[{labels}] value
+        let (name_labels, value) = match line.rsplit_once(' ') {
+            Some(split) => split,
+            None => {
+                problems.push(format!("line {n}: no value: {line:?}"));
+                continue;
+            }
+        };
+        let value: f64 = match value.parse() {
+            Ok(v) => v,
+            Err(_) => {
+                problems.push(format!("line {n}: unparsable value {value:?}"));
+                continue;
+            }
+        };
+        let (name, labels) = match name_labels.split_once('{') {
+            None => (name_labels, Vec::new()),
+            Some((name, rest)) => match rest.strip_suffix('}').and_then(parse_labels) {
+                Some(pairs) => (name, pairs),
+                None => {
+                    problems.push(format!("line {n}: malformed labels: {line:?}"));
+                    continue;
+                }
+            },
+        };
+        if !valid_name(name) {
+            problems.push(format!("line {n}: invalid metric name {name:?}"));
+            continue;
+        }
+        for (key, _) in &labels {
+            if !valid_name(key) {
+                problems.push(format!("line {n}: invalid label name {key:?}"));
+            }
+        }
+
+        // Resolve the metric family (histogram series use suffixes).
+        let family = ["_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|suffix| {
+                let base = name.strip_suffix(suffix)?;
+                (typed.get(base).map(String::as_str) == Some("histogram")).then_some(base)
+            })
+            .unwrap_or(name)
+            .to_string();
+        match typed.get(&family).map(String::as_str) {
+            None => problems.push(format!("line {n}: sample {name} has no # TYPE")),
+            Some("counter") => {
+                if value < 0.0 {
+                    problems.push(format!("line {n}: counter {name} is negative ({value})"));
+                }
+                if !name.ends_with("_total") {
+                    problems.push(format!("line {n}: counter {name} should end in _total"));
+                }
+            }
+            Some("histogram") => {
+                let other: Vec<String> = labels
+                    .iter()
+                    .filter(|(k, _)| k != "le")
+                    .map(|(k, v)| format!("{k}={v}"))
+                    .collect();
+                let series = (family.clone(), other.join(","));
+                if name.ends_with("_bucket") {
+                    let le = labels
+                        .iter()
+                        .find(|(k, _)| k == "le")
+                        .map(|(_, v)| v.clone())
+                        .unwrap_or_else(|| {
+                            problems.push(format!("line {n}: bucket without le label"));
+                            String::new()
+                        });
+                    hist_buckets.entry(series).or_default().push((le, value));
+                } else if name.ends_with("_count") {
+                    hist_counts.insert(series, value);
+                }
+            }
+            Some(_) => {}
+        }
+        if !helped.contains(&family) {
+            problems.push(format!("line {n}: sample {name} has no # HELP"));
+            helped.insert(family); // report once per family
+        }
+    }
+
+    for ((family, labels), buckets) in &hist_buckets {
+        let label_note = if labels.is_empty() { String::new() } else { format!(" ({labels})") };
+        if buckets.last().map(|(le, _)| le.as_str()) != Some("+Inf") {
+            problems.push(format!("histogram {family}{label_note}: missing trailing +Inf bucket"));
+        }
+        if buckets.windows(2).any(|w| w[1].1 < w[0].1) {
+            problems.push(format!("histogram {family}{label_note}: buckets not cumulative"));
+        }
+        if let (Some((_, inf)), Some(count)) =
+            (buckets.last(), hist_counts.get(&(family.clone(), labels.clone())))
+        {
+            if (inf - count).abs() > 0.0 {
+                problems.push(format!(
+                    "histogram {family}{label_note}: +Inf bucket {inf} != _count {count}"
+                ));
+            }
+        }
+    }
+
+    if problems.is_empty() {
+        Ok(())
+    } else {
+        Err(problems)
     }
 }
 
@@ -237,6 +592,10 @@ mod tests {
         assert!(text.contains("chemcost_request_errors_total{route=\"healthz\"} 0"));
         assert!(text.contains("chemcost_request_duration_seconds_count 1"));
         assert!(text.contains("le=\"+Inf\"} 1"));
+        assert!(text.contains("chemcost_requests_in_flight 0"));
+        assert!(text.contains("chemcost_pool_queue_depth 0"));
+        assert!(text.contains("chemcost_requests_shed_total 0"));
+        assert!(text.contains("chemcost_advise_stage_duration_seconds_bucket{stage=\"sweep\","));
     }
 
     #[test]
@@ -265,5 +624,169 @@ mod tests {
         assert!(text.contains("le=\"0.05\"} 2"));
         assert!(text.contains("le=\"5\"} 2"));
         assert!(text.contains("le=\"+Inf\"} 3"));
+    }
+
+    #[test]
+    fn shed_accounts_route_error_and_counter() {
+        let m = Metrics::new();
+        m.record_shed();
+        m.record_shed();
+        assert_eq!(m.shed_total(), 2);
+        assert_eq!(m.requests(Route::Other), 2);
+        assert_eq!(m.errors(Route::Other), 2);
+        let text = m.render();
+        assert!(text.contains("chemcost_requests_shed_total 2"));
+        // Shed connections are refused, not timed.
+        assert!(text.contains("chemcost_request_duration_seconds_count 0"));
+    }
+
+    #[test]
+    fn gauges_track_in_flight_and_queue_depth() {
+        let m = Metrics::new();
+        m.inc_in_flight();
+        m.inc_in_flight();
+        m.dec_in_flight();
+        assert_eq!(m.in_flight(), 1);
+        m.pool_enqueued();
+        m.pool_enqueued();
+        m.pool_dequeued();
+        assert_eq!(m.pool_queue_depth(), 1);
+        // Transient underflow clamps to zero in the exposition.
+        m.dec_in_flight();
+        m.dec_in_flight();
+        assert_eq!(m.in_flight(), 0);
+    }
+
+    #[test]
+    fn advise_stage_histograms_render_per_stage() {
+        let m = Metrics::new();
+        m.record_advise_stage(AdviseStage::Cache, Duration::from_micros(30));
+        m.record_advise_stage(AdviseStage::Sweep, Duration::from_millis(6));
+        m.record_advise_stage(AdviseStage::Sweep, Duration::from_millis(8));
+        m.record_advise_stage(AdviseStage::Encode, Duration::from_micros(200));
+        assert_eq!(m.advise_stage_count(AdviseStage::Sweep), 2);
+        let text = m.render();
+        assert!(
+            text.contains("chemcost_advise_stage_duration_seconds_count{stage=\"cache\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("chemcost_advise_stage_duration_seconds_count{stage=\"sweep\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "chemcost_advise_stage_duration_seconds_bucket{stage=\"sweep\",le=\"+Inf\"} 2"
+            ),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn build_info_renders_version_and_sha() {
+        let text = Metrics::new().render();
+        assert!(
+            text.contains(&format!("chemcost_build_info{{version=\"{BUILD_VERSION}\",git_sha=")),
+            "{text}"
+        );
+        assert!(text.contains("} 1\n"), "{text}");
+    }
+
+    #[test]
+    fn exposition_passes_its_own_linter() {
+        let m = Metrics::new();
+        m.record(Route::Advise, false, Duration::from_millis(3));
+        m.record_advise_stage(AdviseStage::Sweep, Duration::from_millis(2));
+        m.record_shed();
+        m.record_cache_miss();
+        lint_exposition(&m.render()).expect("fresh exposition must lint clean");
+    }
+
+    #[test]
+    fn linter_rejects_malformed_expositions() {
+        // Sample without TYPE.
+        let errs = lint_exposition("mystery_metric 1\n").unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("no # TYPE")), "{errs:?}");
+        // Counter not ending in _total.
+        let errs = lint_exposition("# HELP x c\n# TYPE x counter\nx 3\n").unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("_total")), "{errs:?}");
+        // Unparsable value.
+        let errs = lint_exposition("# HELP y g\n# TYPE y gauge\ny banana\n").unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("unparsable value")), "{errs:?}");
+        // Histogram without +Inf.
+        let errs = lint_exposition(
+            "# HELP h hist\n# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_count 2\nh_sum 1\n",
+        )
+        .unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("+Inf")), "{errs:?}");
+        // Non-cumulative histogram.
+        let errs = lint_exposition(
+            "# HELP h hist\n# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_count 3\nh_sum 1\n",
+        )
+        .unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("not cumulative")), "{errs:?}");
+        // +Inf bucket disagreeing with _count.
+        let errs = lint_exposition(
+            "# HELP h hist\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_count 4\nh_sum 1\n",
+        )
+        .unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("!= _count")), "{errs:?}");
+        // Malformed labels.
+        let errs = lint_exposition("# HELP z g\n# TYPE z gauge\nz{oops} 1\n").unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("malformed labels")), "{errs:?}");
+    }
+
+    /// Satellite: N writer threads hammer every counter family while the
+    /// main thread renders mid-flight; every intermediate exposition must
+    /// stay well-formed, and the final counts must add up.
+    #[test]
+    fn concurrent_writers_keep_render_well_formed() {
+        use std::sync::Arc;
+        let m = Arc::new(Metrics::new());
+        let writers = 8;
+        let per_thread = 500;
+        let handles: Vec<_> = (0..writers)
+            .map(|t| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        let route = Route::ALL[(t + i) % Route::ALL.len()];
+                        m.inc_in_flight();
+                        m.pool_enqueued();
+                        m.record(route, i % 3 == 0, Duration::from_micros((i * 37) as u64));
+                        let stage = AdviseStage::ALL[i % 3];
+                        m.record_advise_stage(stage, Duration::from_micros((i * 11) as u64));
+                        if i % 5 == 0 {
+                            m.record_shed();
+                        }
+                        m.record_cache_miss();
+                        m.pool_dequeued();
+                        m.dec_in_flight();
+                    }
+                })
+            })
+            .collect();
+        // Render (and lint) while the writers are running.
+        for _ in 0..50 {
+            let text = m.render();
+            if let Err(problems) = lint_exposition(&text) {
+                panic!("mid-flight exposition malformed: {problems:?}\n{text}");
+            }
+            std::thread::yield_now();
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total: u64 = Route::ALL.iter().map(|&r| m.requests(r)).sum();
+        let expected = (writers * per_thread) as u64;
+        // record() calls + record_shed() calls (every 5th iteration).
+        assert_eq!(total, expected + expected / 5);
+        assert_eq!(m.cache_misses(), expected);
+        assert_eq!(m.shed_total(), expected / 5);
+        assert_eq!(m.in_flight(), 0);
+        assert_eq!(m.pool_queue_depth(), 0);
+        let stage_total: u64 = AdviseStage::ALL.iter().map(|&s| m.advise_stage_count(s)).sum();
+        assert_eq!(stage_total, expected);
+        lint_exposition(&m.render()).expect("final exposition must lint clean");
     }
 }

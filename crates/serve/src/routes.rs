@@ -15,20 +15,34 @@
 use crate::cache::{AdviseCache, AdviseKey};
 use crate::http::{Request, Response};
 use crate::json::Json;
-use crate::metrics::{Metrics, Route};
+use crate::metrics::{AdviseStage, Metrics, Route};
 use crate::registry::{ModelRegistry, ResolvedModel};
 use chemcost_core::advisor::{Advisor, Goal, Recommendation};
 use chemcost_linalg::Matrix;
+use chemcost_obs::{self as obs, Level};
 use chemcost_sim::machine::by_name;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::time::Instant;
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
 
 /// Most rows accepted in one `/v1/predict` batch.
 const MAX_PREDICT_ROWS: usize = 10_000;
 
 /// Default capacity of the advise recommendation cache.
 const DEFAULT_CACHE_CAPACITY: usize = 512;
+
+/// Requests slower than this get a `http.slow` warning record.
+/// Overridable in milliseconds via `CHEMCOST_SLOW_MS`.
+fn slow_threshold() -> Duration {
+    static THRESHOLD: OnceLock<Duration> = OnceLock::new();
+    *THRESHOLD.get_or_init(|| {
+        std::env::var("CHEMCOST_SLOW_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .map(Duration::from_millis)
+            .unwrap_or(Duration::from_millis(500))
+    })
+}
 
 /// Shared request handler: model registry + metrics + shutdown signal.
 #[derive(Clone)]
@@ -75,11 +89,51 @@ impl Router {
         Arc::clone(&self.shutdown)
     }
 
-    /// Dispatch one request, recording metrics (count, errors, latency).
+    /// Dispatch one request, recording metrics (count, errors, latency)
+    /// and the access log. Every record emitted while handling carries
+    /// the request's trace id: the client's `X-Request-Id` when it sent
+    /// one, a fresh monotonic id otherwise; either way the id is echoed
+    /// back in the response's `X-Request-Id` header.
     pub fn handle(&self, req: &Request) -> Response {
         let started = Instant::now();
-        let (route, response) = self.dispatch(req);
-        self.metrics.record(route, response.is_error(), started.elapsed());
+        let trace_id: Arc<str> = match req.headers.get("x-request-id").map(|v| v.trim()) {
+            Some(id) if !id.is_empty() => Arc::from(id),
+            _ => Arc::from(obs::next_trace_id()),
+        };
+        let _trace = obs::TraceScope::enter(Arc::clone(&trace_id));
+        obs::event!(
+            Level::Debug,
+            "http.accept",
+            method = req.method.as_str(),
+            path = req.path.as_str(),
+        );
+        self.metrics.inc_in_flight();
+        let (route, mut response) = self.dispatch(req);
+        self.metrics.dec_in_flight();
+        let elapsed = started.elapsed();
+        self.metrics.record(route, response.is_error(), elapsed);
+        response.headers.push(("X-Request-Id", trace_id.to_string()));
+        obs::event!(
+            Level::Info,
+            "http.request",
+            method = req.method.as_str(),
+            path = req.path.as_str(),
+            route = route.label(),
+            status = response.status,
+            duration_us = elapsed.as_micros() as u64,
+        );
+        if elapsed >= slow_threshold() {
+            obs::event!(
+                Level::Warn,
+                "http.slow",
+                method = req.method.as_str(),
+                path = req.path.as_str(),
+                route = route.label(),
+                status = response.status,
+                duration_us = elapsed.as_micros() as u64,
+                threshold_ms = slow_threshold().as_millis() as u64,
+            );
+        }
         response
     }
 
@@ -253,6 +307,7 @@ impl Router {
         let deadline = body.get("deadline").and_then(Json::as_f64);
 
         // The answer is a pure function of this key: replay it if cached.
+        let cache_started = Instant::now();
         let key = AdviseKey {
             model: resolved.name.clone(),
             version: resolved.version,
@@ -263,7 +318,11 @@ impl Router {
             budget_bits: budget.map(f64::to_bits),
             deadline_bits: deadline.map(f64::to_bits),
         };
-        if let Some(cached) = self.cache.get(&key) {
+        let cached = self.cache.get(&key);
+        let hit = cached.is_some();
+        self.metrics.record_advise_stage(AdviseStage::Cache, cache_started.elapsed());
+        obs::event!(Level::Debug, "advise.cache", hit = hit, o = o, v = v, goal = goal);
+        if let Some(cached) = cached {
             self.metrics.record_cache_hit();
             return Response::json(200, cached);
         }
@@ -272,8 +331,23 @@ impl Router {
         // One sweep answers every question in the request: the flat model
         // predicts the whole candidate matrix in a single batched call and
         // the per-goal answers are reductions over that shared sweep.
-        let advisor = Advisor::new(resolved.flat.as_ref(), machine);
-        let sweep = advisor.sweep(o, v);
+        let sweep_started = Instant::now();
+        let sweep = {
+            let _span = obs::span!(
+                Level::Debug,
+                "advise.sweep",
+                o = o,
+                v = v,
+                machine = machine_name.as_str(),
+                model = resolved.name.as_str(),
+                model_version = resolved.version,
+            );
+            let advisor = Advisor::new(resolved.flat.as_ref(), machine);
+            advisor.sweep(o, v)
+        };
+        self.metrics.record_advise_stage(AdviseStage::Sweep, sweep_started.elapsed());
+
+        let encode_started = Instant::now();
         let mut fields: Vec<(&'static str, Json)> = vec![
             ("model", resolved.name.clone().into()),
             ("model_version", Json::Num(resolved.version as f64)),
@@ -309,6 +383,7 @@ impl Router {
         let rendered = Json::obj(fields).encode();
         self.cache.insert(key, rendered.clone());
         self.metrics.set_cache_entries(self.cache.len());
+        self.metrics.record_advise_stage(AdviseStage::Encode, encode_started.elapsed());
         Response::json(200, rendered)
     }
 }

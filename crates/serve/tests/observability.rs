@@ -1,0 +1,201 @@
+//! End-to-end observability test: a real server on an ephemeral port
+//! with the structured-log layer wired to a JSONL file and an in-memory
+//! ring. Asserts the PR's acceptance criterion: one `/v1/advise` request
+//! at debug level produces correlated records (the same trace id from
+//! accept → sweep → respond), the trace id round-trips through
+//! `X-Request-Id`, and `/metrics` exposes queue depth, in-flight, shed,
+//! per-stage advise latency, and build info — in lint-clean exposition
+//! format.
+
+use chemcost_linalg::Matrix;
+use chemcost_ml::gradient_boosting::GradientBoosting;
+use chemcost_ml::Regressor;
+use chemcost_obs::{self as obs, JsonlSink, Level, RingSink};
+use chemcost_serve::json::Json;
+use chemcost_serve::metrics::lint_exposition;
+use chemcost_serve::{ModelRegistry, Router, Server};
+use chemcost_sim::datagen::generate_dataset_sized;
+use chemcost_sim::machine::by_name;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn tiny_model() -> GradientBoosting {
+    let machine = by_name("aurora").unwrap();
+    let samples = generate_dataset_sized(&machine, 100, 11);
+    let x = Matrix::from_fn(samples.len(), 4, |i, j| match j {
+        0 => samples[i].o as f64,
+        1 => samples[i].v as f64,
+        2 => samples[i].nodes as f64,
+        _ => samples[i].tile as f64,
+    });
+    let y: Vec<f64> = samples.iter().map(|s| s.seconds).collect();
+    let mut gb = GradientBoosting::new(25, 3, 0.2);
+    gb.seed = 5;
+    gb.fit(&x, &y).unwrap();
+    gb
+}
+
+/// One HTTP exchange on a fresh connection; returns (status, headers, body).
+fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    extra_headers: &str,
+    body: &str,
+) -> (u16, Vec<(String, String)>, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let raw = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\n{extra_headers}Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(raw.as_bytes()).expect("send");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read");
+    let status: u16 = response.split_whitespace().nth(1).unwrap().parse().unwrap();
+    let (head, body) = response.split_once("\r\n\r\n").unwrap();
+    let headers = head
+        .lines()
+        .skip(1)
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    (status, headers, body.to_string())
+}
+
+fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+}
+
+/// The whole scenario lives in one test function: the obs dispatcher is
+/// process-global, so a single test owning level + sinks avoids
+/// cross-test interference.
+#[test]
+fn advise_request_emits_correlated_records_and_saturation_metrics() {
+    obs::set_level(Some(Level::Debug));
+    let ring = Arc::new(RingSink::new(1024));
+    let ring_handle = obs::add_sink(ring.clone());
+    let log_path =
+        std::env::temp_dir().join(format!("chemcost-obs-e2e-{}.jsonl", std::process::id()));
+    let jsonl_handle =
+        obs::add_sink(Arc::new(JsonlSink::create(&log_path).expect("create log file")));
+
+    let registry = Arc::new(ModelRegistry::new());
+    registry.insert("gb", "aurora", tiny_model());
+    let server = Server::bind("127.0.0.1:0", Router::new(registry), 2).unwrap().with_queue_cap(8);
+    assert_eq!(server.queue_cap(), 8);
+    let addr = server.local_addr().unwrap();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    // -- one advise request with a client-chosen request id --
+    let trace_id = "e2e-advise-trace-1";
+    let (status, headers, body) = request(
+        addr,
+        "POST",
+        "/v1/advise",
+        &format!("X-Request-Id: {trace_id}\r\n"),
+        r#"{"o": 120, "v": 900, "goal": "stq"}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(
+        header(&headers, "x-request-id"),
+        Some(trace_id),
+        "client-sent id must be echoed back"
+    );
+
+    // -- the request's records correlate: accept → cache → sweep → respond,
+    //    all stamped with the same trace id --
+    let in_trace = |name: &str| {
+        ring.events_named(name).into_iter().find(|e| e.trace.as_deref() == Some(trace_id))
+    };
+    let accept = in_trace("http.accept").expect("http.accept record");
+    assert_eq!(accept.field("path"), Some(&obs::Value::Str("/v1/advise".into())));
+    let cache = in_trace("advise.cache").expect("advise.cache record");
+    assert_eq!(cache.field("hit"), Some(&obs::Value::Bool(false)), "cold cache");
+    let sweep = in_trace("advise.sweep").expect("advise.sweep span close");
+    assert!(sweep.duration_micros.is_some(), "sweep span must carry its duration");
+    assert!(sweep.span.is_some());
+    let done = in_trace("http.request").expect("http.request access-log record");
+    assert_eq!(done.field("route"), Some(&obs::Value::Str("advise".into())));
+    assert_eq!(done.field("status"), Some(&obs::Value::U64(200)));
+    assert!(done.field("duration_us").is_some());
+
+    // -- the same records landed in the JSONL file, parseable, same trace --
+    let log = std::fs::read_to_string(&log_path).expect("read log file");
+    let mut names_in_trace = Vec::new();
+    for line in log.lines() {
+        let v = Json::parse(line).unwrap_or_else(|e| panic!("bad JSONL line {line:?}: {e}"));
+        assert!(v.get("ts_us").is_some(), "{line}");
+        assert!(v.get("level").is_some(), "{line}");
+        assert!(v.get("fields").is_some(), "{line}");
+        if v.get("trace").and_then(Json::as_str) == Some(trace_id) {
+            names_in_trace.push(v.get("name").and_then(Json::as_str).unwrap().to_string());
+        }
+    }
+    for name in ["http.accept", "advise.cache", "advise.sweep", "http.request"] {
+        assert!(names_in_trace.iter().any(|n| n == name), "{name} missing from {names_in_trace:?}");
+    }
+
+    // -- a request without X-Request-Id gets a generated 16-hex id --
+    let (status, headers, _) = request(addr, "GET", "/healthz", "", "");
+    assert_eq!(status, 200);
+    let generated = header(&headers, "x-request-id").expect("generated id echoed");
+    assert_eq!(generated.len(), 16, "monotonic ids render as 16 hex chars: {generated}");
+    assert!(generated.chars().all(|c| c.is_ascii_hexdigit()), "{generated}");
+
+    // -- a warm repeat of the same advise is a cache hit, same correlation --
+    let warm_id = "e2e-advise-trace-2";
+    let (status, _, _) = request(
+        addr,
+        "POST",
+        "/v1/advise",
+        &format!("X-Request-Id: {warm_id}\r\n"),
+        r#"{"o": 120, "v": 900, "goal": "stq"}"#,
+    );
+    assert_eq!(status, 200);
+    let warm_cache = ring
+        .events_named("advise.cache")
+        .into_iter()
+        .find(|e| e.trace.as_deref() == Some(warm_id))
+        .expect("warm advise.cache record");
+    assert_eq!(warm_cache.field("hit"), Some(&obs::Value::Bool(true)));
+
+    // -- /metrics: saturation gauges, shed counter, per-stage histogram,
+    //    build info; the whole exposition lints clean --
+    let (status, _, text) = request(addr, "GET", "/metrics", "", "");
+    assert_eq!(status, 200);
+    assert!(
+        text.contains("\nchemcost_requests_in_flight 1\n"),
+        "scrape itself is in flight:\n{text}"
+    );
+    assert!(text.contains("\nchemcost_pool_queue_depth 0\n"), "{text}");
+    assert!(text.contains("\nchemcost_requests_shed_total 0\n"), "{text}");
+    assert!(text.contains("chemcost_build_info{version=\""), "{text}");
+    // Stage counts: the cache stage ran for both advises, the sweep and
+    // encode stages only for the cold one.
+    assert!(
+        text.contains("chemcost_advise_stage_duration_seconds_count{stage=\"cache\"} 2"),
+        "{text}"
+    );
+    assert!(
+        text.contains("chemcost_advise_stage_duration_seconds_count{stage=\"sweep\"} 1"),
+        "{text}"
+    );
+    assert!(
+        text.contains("chemcost_advise_stage_duration_seconds_count{stage=\"encode\"} 1"),
+        "{text}"
+    );
+    if let Err(problems) = lint_exposition(&text) {
+        panic!("/metrics exposition fails its own linter: {problems:?}\n{text}");
+    }
+
+    let (status, _, _) = request(addr, "POST", "/v1/shutdown", "", "");
+    assert_eq!(status, 200);
+    server_thread.join().unwrap().unwrap();
+
+    obs::remove_sink(ring_handle);
+    obs::remove_sink(jsonl_handle);
+    std::fs::remove_file(&log_path).ok();
+}

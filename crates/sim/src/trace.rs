@@ -61,6 +61,40 @@ impl ExecutionTrace {
     pub fn n_tasks(&self) -> usize {
         self.records.len()
     }
+
+    /// Render the trace as JSONL: one object per task, in scheduling
+    /// order, matching the observability layer's machine-readable style
+    /// (`chemcost trace` dumps this; see `docs/OBSERVABILITY.md`).
+    ///
+    /// ```text
+    /// {"task":0,"class":3,"executor":5,"start":0.0,"end":1.25,"duration":1.25}
+    /// ```
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(self.records.len() * 80);
+        for (i, r) in self.records.iter().enumerate() {
+            out.push_str(&format!(
+                "{{\"task\":{i},\"class\":{},\"executor\":{},\"start\":{},\"end\":{},\"duration\":{}}}\n",
+                r.class_id,
+                r.executor,
+                r.start,
+                r.end,
+                r.end - r.start,
+            ));
+        }
+        out
+    }
+
+    /// One-line human summary: task count, executors, makespan,
+    /// mean utilization.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} tasks on {} executors: makespan {:.3} s, utilization {:.1}%",
+            self.n_tasks(),
+            self.executor_busy.len(),
+            self.makespan,
+            self.utilization() * 100.0
+        )
+    }
 }
 
 /// Error from [`trace_iteration`].
@@ -248,6 +282,26 @@ mod tests {
         let b = trace_iteration(&p, &cfg, &machine, 0.08, 11).unwrap();
         assert_eq!(a.makespan, b.makespan);
         assert_eq!(a.records.len(), b.records.len());
+    }
+
+    #[test]
+    fn jsonl_dump_is_one_valid_object_per_task() {
+        let machine = aurora();
+        let trace =
+            trace_iteration(&Problem::new(40, 200), &Config::new(4, 60), &machine, 0.0, 0).unwrap();
+        let jsonl = trace.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), trace.n_tasks());
+        for (i, line) in lines.iter().enumerate() {
+            assert!(line.starts_with(&format!("{{\"task\":{i},")), "{line}");
+            assert!(line.ends_with('}'), "{line}");
+            for key in ["\"class\":", "\"executor\":", "\"start\":", "\"end\":", "\"duration\":"] {
+                assert!(line.contains(key), "{line} missing {key}");
+            }
+        }
+        let summary = trace.summary();
+        assert!(summary.contains(&format!("{} tasks", trace.n_tasks())), "{summary}");
+        assert!(summary.contains("utilization"), "{summary}");
     }
 
     #[test]

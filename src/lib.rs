@@ -16,7 +16,10 @@
 //! * [`core`] — the user-facing advisor answering the shortest-time (STQ)
 //!   and budget (BQ) questions,
 //! * [`serve`] — the advisor-as-a-service HTTP daemon (`chemcost serve`)
-//!   with model registry, threadpool and Prometheus metrics.
+//!   with model registry, threadpool and Prometheus metrics,
+//! * [`obs`] — the zero-dependency structured observability layer
+//!   (spans, events, `CHEMCOST_LOG` filtering, pluggable sinks) the
+//!   whole stack logs through.
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
 
@@ -24,5 +27,6 @@ pub use chemcost_active as active;
 pub use chemcost_core as core;
 pub use chemcost_linalg as linalg;
 pub use chemcost_ml as ml;
+pub use chemcost_obs as obs;
 pub use chemcost_serve as serve;
 pub use chemcost_sim as sim;

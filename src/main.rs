@@ -50,7 +50,10 @@ fn known_options(command: &str) -> Option<&'static [&'static str]> {
             Some(&["model", "machine", "o", "v", "molecule", "basis", "goal", "budget", "deadline"])
         }
         "evaluate" | "importance" => Some(&["model", "data"]),
-        "serve" => Some(&["addr", "model", "machine", "workers"]),
+        "serve" => Some(&["addr", "model", "machine", "workers", "queue-cap"]),
+        "trace" => Some(&[
+            "machine", "o", "v", "molecule", "basis", "nodes", "tile", "noise", "seed", "out",
+        ]),
         "molecules" | "help" | "--help" | "-h" => Some(&[]),
         _ => None,
     }
@@ -123,7 +126,11 @@ fn usage() -> &'static str {
        molecules  (list the built-in molecule catalog)\n\
        evaluate   --model FILE --data FILE\n\
        importance --model FILE --data FILE\n\
-       serve      --model FILE --machine NAME [--addr HOST:PORT] [--workers N]"
+       trace      --machine NAME --nodes N --tile T (--o O --v V | --molecule ... --basis ...)\n\
+                  [--noise SIGMA] [--seed S] [--out FILE]  (per-task JSONL + utilization)\n\
+       serve      --model FILE --machine NAME [--addr HOST:PORT] [--workers N] [--queue-cap N]\n\
+     observability: set CHEMCOST_LOG=error|warn|info|debug|trace for structured logs on\n\
+     stderr, CHEMCOST_LOG_JSON=FILE for a JSONL copy (see docs/OBSERVABILITY.md)"
 }
 
 fn machine_of(args: &Args) -> Result<chemcost::sim::MachineModel, String> {
@@ -306,6 +313,43 @@ fn cmd_importance(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Replay one CCSD iteration task-by-task and dump the execution trace
+/// as per-task JSONL (to `--out` or stdout) plus a utilization summary
+/// on stderr.
+fn cmd_trace(args: &Args) -> Result<(), String> {
+    let machine = machine_of(args)?;
+    let (o, v) = problem_of(args)?;
+    let nodes = args.get_parse::<usize>("nodes")?;
+    let tile = args.get_parse::<usize>("tile")?;
+    let noise = args.get_parse::<f64>("noise").unwrap_or(0.0);
+    let seed = args.get_parse::<u64>("seed").unwrap_or(0);
+    let problem = chemcost::sim::Problem::new(o, v);
+    let cfg = chemcost::sim::Config::new(nodes, tile);
+    let trace = chemcost::sim::trace::trace_iteration(&problem, &cfg, &machine, noise, seed)
+        .map_err(|e| e.to_string())?;
+    chemcost::obs::event!(
+        chemcost::obs::Level::Info,
+        "trace.done",
+        o = o,
+        v = v,
+        nodes = nodes,
+        tile = tile,
+        tasks = trace.n_tasks(),
+        makespan_s = trace.makespan,
+        utilization = trace.utilization(),
+    );
+    let jsonl = trace.to_jsonl();
+    match args.options.get("out") {
+        Some(path) => {
+            std::fs::write(path, &jsonl).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("wrote {} task records to {path}", trace.n_tasks());
+        }
+        None => print!("{jsonl}"),
+    }
+    eprintln!("{}", trace.summary());
+    Ok(())
+}
+
 fn cmd_serve(args: &Args) -> Result<(), String> {
     let machine_name = args.get("machine")?;
     by_name(machine_name)
@@ -329,17 +373,29 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     registry.set_default(machine_name, &model_name)?;
 
     let router = Router::new(registry);
-    let server = Server::bind(addr, router, workers).map_err(|e| format!("binding {addr}: {e}"))?;
+    let mut server =
+        Server::bind(addr, router, workers).map_err(|e| format!("binding {addr}: {e}"))?;
+    if args.options.contains_key("queue-cap") {
+        let cap = args.get_parse::<usize>("queue-cap")?;
+        if cap == 0 {
+            return Err("--queue-cap must be at least 1".into());
+        }
+        server = server.with_queue_cap(cap);
+    }
     let bound = server.local_addr().map_err(|e| format!("local addr: {e}"))?;
     eprintln!(
         "chemcost-serve listening on http://{bound} \
-         (model {model_name:?} for {machine_name}, {workers} workers; \
-         POST /v1/shutdown to stop)"
+         (model {model_name:?} for {machine_name}, {workers} workers, \
+         queue capacity {}; POST /v1/shutdown to stop)",
+        server.queue_cap()
     );
     server.run().map_err(|e| format!("server error: {e}"))
 }
 
 fn main() -> ExitCode {
+    // Structured logging: CHEMCOST_LOG=level turns on stderr records,
+    // CHEMCOST_LOG_JSON=path adds a JSONL copy. Silent when unset.
+    chemcost::obs::init_from_env();
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let args = match parse_args(&argv) {
         Ok(a) => a,
@@ -354,6 +410,7 @@ fn main() -> ExitCode {
         "advise" => cmd_advise(&args),
         "evaluate" => cmd_evaluate(&args),
         "importance" => cmd_importance(&args),
+        "trace" => cmd_trace(&args),
         "serve" => cmd_serve(&args),
         "molecules" => cmd_molecules(),
         "help" | "--help" | "-h" => {

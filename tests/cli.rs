@@ -228,6 +228,50 @@ fn serve_starts_answers_and_shuts_down() {
 }
 
 #[test]
+fn trace_dumps_per_task_jsonl_and_summary() {
+    let dir = workdir("trace");
+    let out_file = dir.join("trace.jsonl");
+
+    // To stdout: one JSON object per task, summary on stderr.
+    let out = bin()
+        .args(["trace", "--machine", "aurora", "--o", "40", "--v", "200"])
+        .args(["--nodes", "4", "--tile", "60"])
+        .output()
+        .expect("spawn trace");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let first = stdout.lines().next().expect("at least one task record");
+    assert!(first.starts_with("{\"task\":0,"), "{first}");
+    assert!(first.contains("\"executor\":") && first.contains("\"duration\":"), "{first}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("tasks") && stderr.contains("utilization"), "{stderr}");
+
+    // To a file, deterministic under an explicit seed with noise.
+    for _ in 0..2 {
+        let out = bin()
+            .args(["trace", "--machine", "aurora", "--o", "40", "--v", "200"])
+            .args(["--nodes", "4", "--tile", "60", "--noise", "0.05", "--seed", "7", "--out"])
+            .arg(&out_file)
+            .output()
+            .expect("spawn trace");
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    }
+    let written = std::fs::read_to_string(&out_file).unwrap();
+    assert!(written.lines().count() > 10, "expected many task records");
+
+    // An untraceable configuration fails cleanly.
+    let out = bin()
+        .args(["trace", "--machine", "aurora", "--o", "300", "--v", "1500"])
+        .args(["--nodes", "100", "--tile", "10"])
+        .output()
+        .expect("spawn trace");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("tracing cap"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn corrupt_model_file_rejected_cleanly() {
     let dir = workdir("corrupt");
     let model = dir.join("bad.ccgb");
