@@ -1,0 +1,114 @@
+//! Compare two bench baseline files (written by the criterion shim's
+//! `--save-baseline`) and fail on median regressions.
+//!
+//! CI's `bench-regression` job runs the `advisor_sweep` and
+//! `serve_throughput` benches into `BENCH_PR.json` and then:
+//!
+//! ```text
+//! bench_compare --baseline BENCH_baseline.json --candidate BENCH_PR.json
+//! ```
+//!
+//! exits non-zero if any benchmark present in both files got more than
+//! `--threshold` (default 0.20 = 20%) slower by median. Benchmarks only
+//! in one file are reported but never fail the run — filters and newly
+//! added benches must not break CI.
+
+use chemcost_serve::json::Json;
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// name → median ns, from one baseline file's `results` object.
+fn load(path: &str) -> Result<BTreeMap<String, f64>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let v = Json::parse(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    let results = v.get("results").ok_or_else(|| format!("{path}: no \"results\" object"))?;
+    let Json::Obj(pairs) = results else {
+        return Err(format!("{path}: \"results\" is not an object"));
+    };
+    let mut out = BTreeMap::new();
+    for (name, ns) in pairs {
+        let ns = ns.as_f64().ok_or_else(|| format!("{path}: {name:?} is not a number"))?;
+        out.insert(name.clone(), ns);
+    }
+    Ok(out)
+}
+
+fn parse_args() -> Result<(String, String, f64), String> {
+    let mut baseline = None;
+    let mut candidate = None;
+    let mut threshold = 0.20f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or(format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--baseline" => baseline = Some(value("--baseline")?),
+            "--candidate" => candidate = Some(value("--candidate")?),
+            "--threshold" => {
+                threshold =
+                    value("--threshold")?.parse().map_err(|e| format!("bad --threshold: {e}"))?;
+                if !(0.0..10.0).contains(&threshold) {
+                    return Err(format!("--threshold {threshold} out of range [0, 10)"));
+                }
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok((
+        baseline.ok_or("missing --baseline FILE")?,
+        candidate.ok_or("missing --candidate FILE")?,
+        threshold,
+    ))
+}
+
+fn run() -> Result<bool, String> {
+    let (baseline_path, candidate_path, threshold) = parse_args()?;
+    let baseline = load(&baseline_path)?;
+    let candidate = load(&candidate_path)?;
+
+    let mut regressions = Vec::new();
+    let mut compared = 0usize;
+    println!("{:<52} {:>12} {:>12} {:>8}", "benchmark", "baseline", "candidate", "ratio");
+    for (name, &base_ns) in &baseline {
+        let Some(&cand_ns) = candidate.get(name) else {
+            println!("{name:<52} {base_ns:>12.0} {:>12} {:>8}", "-", "-");
+            continue;
+        };
+        compared += 1;
+        let ratio = if base_ns > 0.0 { cand_ns / base_ns } else { f64::INFINITY };
+        let flag = if ratio > 1.0 + threshold { "  REGRESSED" } else { "" };
+        println!("{name:<52} {base_ns:>12.0} {cand_ns:>12.0} {ratio:>8.3}{flag}");
+        if ratio > 1.0 + threshold {
+            regressions.push((name.clone(), ratio));
+        }
+    }
+    for name in candidate.keys().filter(|n| !baseline.contains_key(*n)) {
+        println!("{name:<52} {:>12} {:>12} {:>8}  (new)", "-", candidate[name], "-");
+    }
+
+    if compared == 0 {
+        return Err("no benchmarks in common between baseline and candidate".into());
+    }
+    if regressions.is_empty() {
+        println!("\nok: {compared} benchmarks within {:.0}% of baseline", threshold * 100.0);
+        return Ok(true);
+    }
+    println!("\n{} regression(s) beyond {:.0}%:", regressions.len(), threshold * 100.0);
+    for (name, ratio) in &regressions {
+        println!("  {name}: {:.1}% slower", (ratio - 1.0) * 100.0);
+    }
+    Ok(false)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("bench_compare: {msg}");
+            eprintln!(
+                "usage: bench_compare --baseline FILE --candidate FILE [--threshold FRACTION]"
+            );
+            ExitCode::from(2)
+        }
+    }
+}

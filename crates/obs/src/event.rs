@@ -167,6 +167,13 @@ impl From<bool> for Value {
         Value::Bool(v)
     }
 }
+/// Durations log as whole microseconds — the same unit the request
+/// latency fields (`duration_us`) and deadline budgets already use.
+impl From<std::time::Duration> for Value {
+    fn from(v: std::time::Duration) -> Value {
+        Value::U64(v.as_micros() as u64)
+    }
+}
 
 /// One `key = value` pair attached to an event or span.
 #[derive(Debug, Clone, PartialEq)]
@@ -309,6 +316,12 @@ pub(crate) fn write_json_string(out: &mut String, s: &str) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn durations_convert_to_whole_microseconds() {
+        let v: Value = std::time::Duration::from_millis(3).into();
+        assert!(matches!(v, Value::U64(3000)));
+    }
 
     #[test]
     fn level_ordering_and_parse() {

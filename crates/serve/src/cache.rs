@@ -8,13 +8,20 @@
 //! candidate sweep and replay the rendered response body.
 //!
 //! Staleness is handled twice over: the **model version is part of the
-//! key**, so a reloaded model can never serve a stale answer, and
-//! [`AdviseCache::invalidate_model`] additionally drops a model's entries
-//! eagerly on reload so dead versions stop occupying capacity.
+//! key**, so a reloaded model can never *silently* serve a stale answer,
+//! and on reload [`AdviseCache::demote_model`] marks the dead versions'
+//! entries stale instead of dropping them. Stale entries are invisible to
+//! the normal [`AdviseCache::get`] path (the current version is in the
+//! probe key), are evicted first when capacity is needed, and exist only
+//! to back the **serve-stale-on-overload** escape hatch: when the worker
+//! pool is shedding, [`AdviseCache::get_stale`] lets the advise handler
+//! answer from a previous model version — clearly labelled — rather than
+//! burn a sweep. [`AdviseCache::invalidate_model`] still drops a model's
+//! entries outright for callers that want the old eager behaviour.
 //!
-//! Eviction is least-recently-used via an access stamp per entry; the
-//! eviction scan is `O(capacity)` but runs only on insertion into a full
-//! cache, which the hit path never touches.
+//! Eviction is least-recently-used via an access stamp per entry (stale
+//! entries first); the eviction scan is `O(capacity)` but runs only on
+//! insertion into a full cache, which the hit path never touches.
 
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -47,6 +54,8 @@ pub struct AdviseKey {
 struct Entry {
     body: String,
     last_used: u64,
+    /// Demoted by a model reload: only reachable via [`AdviseCache::get_stale`].
+    stale: bool,
 }
 
 #[derive(Default)]
@@ -85,22 +94,70 @@ impl AdviseCache {
         state.tick += 1;
         let tick = state.tick;
         if state.map.len() >= self.capacity && !state.map.contains_key(&key) {
-            if let Some(lru) =
-                state.map.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| k.clone())
+            // Stale (demoted) entries go first; fresh entries by recency.
+            if let Some(lru) = state
+                .map
+                .iter()
+                .min_by_key(|(_, e)| (!e.stale, e.last_used))
+                .map(|(k, _)| k.clone())
             {
                 state.map.remove(&lru);
             }
         }
-        state.map.insert(key, Entry { body, last_used: tick });
+        state.map.insert(key, Entry { body, last_used: tick, stale: false });
     }
 
     /// Drop every entry belonging to `model` (all versions). Returns how
-    /// many entries were removed. Called on model reload.
+    /// many entries were removed.
     pub fn invalidate_model(&self, model: &str) -> usize {
         let mut state = self.state.lock();
         let before = state.map.len();
         state.map.retain(|k, _| k.model != model);
         before - state.map.len()
+    }
+
+    /// Mark every entry of `model` whose version is not `current_version`
+    /// as stale. Called on model reload: the dead versions stay around —
+    /// first in line for eviction — as last-resort answers for
+    /// [`AdviseCache::get_stale`]. Returns how many entries were demoted.
+    pub fn demote_model(&self, model: &str, current_version: u64) -> usize {
+        let mut state = self.state.lock();
+        let mut demoted = 0;
+        for (k, e) in state.map.iter_mut() {
+            if k.model == model && k.version != current_version && !e.stale {
+                e.stale = true;
+                demoted += 1;
+            }
+        }
+        demoted
+    }
+
+    /// Overload escape hatch: find an answer for `key` from **any** model
+    /// version (the freshest available), stale or not. Returns the body
+    /// and the version it was computed against so the caller can label
+    /// the response. Does not refresh recency — a stale answer should not
+    /// out-survive fresh ones.
+    pub fn get_stale(&self, key: &AdviseKey) -> Option<(String, u64)> {
+        let state = self.state.lock();
+        state
+            .map
+            .iter()
+            .filter(|(k, _)| {
+                k.model == key.model
+                    && k.machine == key.machine
+                    && k.o == key.o
+                    && k.v == key.v
+                    && k.goal == key.goal
+                    && k.budget_bits == key.budget_bits
+                    && k.deadline_bits == key.deadline_bits
+            })
+            .max_by_key(|(k, _)| k.version)
+            .map(|(k, e)| (e.body.clone(), k.version))
+    }
+
+    /// How many entries are currently demoted (stale).
+    pub fn stale_len(&self) -> usize {
+        self.state.lock().map.values().filter(|e| e.stale).count()
     }
 
     /// Current number of cached entries.
@@ -176,6 +233,45 @@ mod tests {
         assert_eq!(cache.len(), 1);
         assert!(cache.get(&key("b", 1, 1)).is_some());
         assert_eq!(cache.invalidate_model("a"), 0);
+    }
+
+    #[test]
+    fn demote_marks_old_versions_and_get_stale_finds_them() {
+        let cache = AdviseCache::new(16);
+        cache.insert(key("m", 1, 100), "v1-answer".into());
+        cache.insert(key("m", 2, 100), "v2-answer".into());
+        cache.insert(key("other", 1, 100), "other".into());
+        // Reload bumped m to version 3: both old versions demote.
+        assert_eq!(cache.demote_model("m", 3), 2);
+        assert_eq!(cache.stale_len(), 2);
+        // Demoting again is idempotent.
+        assert_eq!(cache.demote_model("m", 3), 0);
+        // Exact-version get still works (the entries are not dropped)...
+        assert_eq!(cache.get(&key("m", 1, 100)), Some("v1-answer".to_string()));
+        // ...and get_stale picks the freshest version for the question.
+        let (body, version) = cache.get_stale(&key("m", 3, 100)).unwrap();
+        assert_eq!(body, "v2-answer");
+        assert_eq!(version, 2);
+        // A question never cached has no stale fallback.
+        assert!(cache.get_stale(&key("m", 3, 999)).is_none());
+        // Other models are untouched.
+        assert_eq!(cache.get(&key("other", 1, 100)), Some("other".to_string()));
+    }
+
+    #[test]
+    fn eviction_prefers_stale_entries() {
+        let cache = AdviseCache::new(2);
+        cache.insert(key("m", 1, 1), "old".into());
+        cache.insert(key("m", 2, 1), "new".into());
+        cache.demote_model("m", 2);
+        // The stale v1 entry was used most recently — it must still be
+        // the one evicted when capacity is needed.
+        assert!(cache.get(&key("m", 1, 1)).is_some());
+        cache.insert(key("m", 2, 2), "another".into());
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&key("m", 1, 1)).is_none(), "stale entry evicted first");
+        assert!(cache.get(&key("m", 2, 1)).is_some());
+        assert!(cache.get(&key("m", 2, 2)).is_some());
     }
 
     #[test]

@@ -1,0 +1,388 @@
+//! A small retrying HTTP client for the chemcost service.
+//!
+//! Used by the `chemcost call` subcommand, the smoke test, and the
+//! chaos soak. The retry loop is deliberately conservative:
+//!
+//! * only **idempotent** calls retry — `GET` anything, and
+//!   `POST /v1/advise`, whose answer is a pure function of its body;
+//!   other `POST`s get exactly one attempt;
+//! * transport failures (refused/torn connections, timeouts, unparsable
+//!   responses) and `503` sheds are the retryable outcomes — any other
+//!   HTTP status, error or not, is a *delivered* answer and is returned;
+//! * backoff is capped exponential with deterministic jitter
+//!   (SplitMix64 over the policy seed and attempt number), so a chaos
+//!   run replays identically under the same seeds.
+
+use crate::json::Json;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// How retries are paced. `max_attempts` counts the first try.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total tries, including the first (minimum 1).
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; doubles per retry.
+    pub base_backoff: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub max_backoff: Duration,
+    /// Seed for the deterministic jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(25),
+            max_backoff: Duration::from_millis(400),
+            seed: 1,
+        }
+    }
+}
+
+/// Why a call failed for good.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Could not reach the server (and retries, if allowed, ran out).
+    Io(std::io::Error),
+    /// The server's bytes were not a parsable HTTP response.
+    Malformed(String),
+    /// Every allowed attempt failed; `last` describes the final failure.
+    Exhausted {
+        /// Attempts made (== the policy's `max_attempts`).
+        attempts: u32,
+        /// Human-readable description of the last failure.
+        last: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Malformed(m) => write!(f, "malformed response: {m}"),
+            ClientError::Exhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts; last failure: {last}")
+            }
+        }
+    }
+}
+
+/// One delivered HTTP response.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+    /// How many attempts the call took (1 = no retries).
+    pub attempts: u32,
+}
+
+impl ClientResponse {
+    /// The body as UTF-8 (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    /// The body parsed as JSON, if it is JSON.
+    pub fn json(&self) -> Option<Json> {
+        Json::parse(std::str::from_utf8(&self.body).ok()?).ok()
+    }
+
+    /// Is the body well-formed JSON carrying either a successful answer
+    /// or a structured `error` field? This is the chaos soak's
+    /// invariant: every delivered response must satisfy it.
+    pub fn is_well_formed(&self) -> bool {
+        match self.json() {
+            Some(v) => self.status < 400 || v.get("error").is_some(),
+            None => false,
+        }
+    }
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Retrying client bound to one server address.
+pub struct Client {
+    addr: String,
+    policy: RetryPolicy,
+    timeout: Duration,
+    deadline_ms: Option<u64>,
+    /// Global jitter counter so consecutive backoffs de-correlate.
+    jitter_n: AtomicU64,
+}
+
+impl Client {
+    /// A client for `addr` (e.g. `"127.0.0.1:8080"`) with the default
+    /// retry policy and a 10 s per-attempt socket timeout.
+    pub fn new(addr: &str) -> Client {
+        Client {
+            addr: addr.to_string(),
+            policy: RetryPolicy::default(),
+            timeout: Duration::from_secs(10),
+            deadline_ms: None,
+            jitter_n: AtomicU64::new(0),
+        }
+    }
+
+    /// Override the retry policy.
+    pub fn with_policy(mut self, policy: RetryPolicy) -> Client {
+        self.policy = policy;
+        self
+    }
+
+    /// Override the per-attempt socket timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> Client {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Attach `X-Deadline-Ms` to every request (`None` removes it).
+    pub fn with_deadline_ms(mut self, ms: Option<u64>) -> Client {
+        self.deadline_ms = ms;
+        self
+    }
+
+    /// `GET path` — idempotent, retried per the policy.
+    pub fn get(&self, path: &str) -> Result<ClientResponse, ClientError> {
+        self.call("GET", path, b"")
+    }
+
+    /// `POST /v1/advise` — idempotent by construction (the answer is a
+    /// pure function of the body), so it retries like a GET.
+    pub fn advise(&self, body: &str) -> Result<ClientResponse, ClientError> {
+        self.call("POST", "/v1/advise", body.as_bytes())
+    }
+
+    /// `POST path` — assumed non-idempotent: exactly one attempt.
+    pub fn post(&self, path: &str, body: &[u8]) -> Result<ClientResponse, ClientError> {
+        self.call("POST", path, body)
+    }
+
+    /// Dispatch one call, retrying only when `method`/`path` make it
+    /// idempotent: every `GET`, plus `POST /v1/advise`.
+    pub fn call(
+        &self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> Result<ClientResponse, ClientError> {
+        let idempotent = method.eq_ignore_ascii_case("GET") || path == "/v1/advise";
+        let attempts = if idempotent { self.policy.max_attempts.max(1) } else { 1 };
+        let mut last_failure = String::new();
+        for attempt in 1..=attempts {
+            if attempt > 1 {
+                std::thread::sleep(self.backoff(attempt));
+            }
+            match self.one_attempt(method, path, body) {
+                Ok(resp) if resp.status == 503 && attempt < attempts => {
+                    // A shed is explicitly retryable: the server asked us
+                    // to come back, and backoff gives it room to drain.
+                    last_failure = "503 server overloaded".to_string();
+                }
+                Ok(mut resp) => {
+                    resp.attempts = attempt;
+                    return Ok(resp);
+                }
+                Err(e) if attempt < attempts => last_failure = e.to_string(),
+                Err(e) => {
+                    return Err(if attempts > 1 {
+                        ClientError::Exhausted { attempts, last: e.to_string() }
+                    } else {
+                        e
+                    })
+                }
+            }
+        }
+        Err(ClientError::Exhausted { attempts, last: last_failure })
+    }
+
+    /// Capped exponential backoff with deterministic jitter in
+    /// `[0.5, 1.5)` of the nominal delay.
+    fn backoff(&self, attempt: u32) -> Duration {
+        let nominal = self
+            .policy
+            .base_backoff
+            .saturating_mul(1u32 << (attempt.saturating_sub(2)).min(16))
+            .min(self.policy.max_backoff);
+        let n = self.jitter_n.fetch_add(1, Ordering::Relaxed);
+        let h = splitmix(self.policy.seed.wrapping_add(splitmix(n)));
+        let factor = 0.5 + (h >> 11) as f64 / (1u64 << 53) as f64; // [0.5, 1.5)
+        nominal.mul_f64(factor)
+    }
+
+    fn one_attempt(
+        &self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> Result<ClientResponse, ClientError> {
+        let stream = TcpStream::connect(&self.addr).map_err(ClientError::Io)?;
+        stream.set_read_timeout(Some(self.timeout)).map_err(ClientError::Io)?;
+        stream.set_write_timeout(Some(self.timeout)).map_err(ClientError::Io)?;
+        let _ = stream.set_nodelay(true);
+
+        let mut head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nConnection: close\r\nContent-Length: {}\r\n",
+            self.addr,
+            body.len(),
+        );
+        if let Some(ms) = self.deadline_ms {
+            head.push_str(&format!("X-Deadline-Ms: {ms}\r\n"));
+        }
+        head.push_str("\r\n");
+
+        let mut writer = stream.try_clone().map_err(ClientError::Io)?;
+        writer.write_all(head.as_bytes()).map_err(ClientError::Io)?;
+        writer.write_all(body).map_err(ClientError::Io)?;
+        writer.flush().map_err(ClientError::Io)?;
+
+        read_client_response(&mut BufReader::new(stream))
+    }
+}
+
+/// Parse one HTTP/1.1 response off `reader`. Strict enough that a torn
+/// (chaos-dropped) response surfaces as an error, never as a truncated
+/// body that happens to parse.
+fn read_client_response<R: BufRead>(reader: &mut R) -> Result<ClientResponse, ClientError> {
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).map_err(ClientError::Io)?;
+    if status_line.is_empty() {
+        return Err(ClientError::Malformed("connection closed before status line".into()));
+    }
+    let status: u16 = status_line
+        .strip_prefix("HTTP/1.1 ")
+        .or_else(|| status_line.strip_prefix("HTTP/1.0 "))
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|code| code.parse().ok())
+        .ok_or_else(|| ClientError::Malformed(format!("bad status line {status_line:?}")))?;
+
+    let mut content_length: Option<usize> = None;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).map_err(ClientError::Io)?;
+        let line = line.trim_end_matches(['\r', '\n']);
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = Some(value.trim().parse().map_err(|_| {
+                    ClientError::Malformed(format!("bad Content-Length {value:?}"))
+                })?);
+            }
+        }
+    }
+
+    let body = match content_length {
+        Some(len) => {
+            let mut body = vec![0u8; len];
+            let mut filled = 0;
+            while filled < len {
+                match reader.read(&mut body[filled..]) {
+                    Ok(0) => {
+                        return Err(ClientError::Malformed(format!(
+                            "body truncated at {filled}/{len} bytes"
+                        )))
+                    }
+                    Ok(n) => filled += n,
+                    Err(e) => return Err(ClientError::Io(e)),
+                }
+            }
+            body
+        }
+        None => {
+            let mut body = Vec::new();
+            reader.read_to_end(&mut body).map_err(ClientError::Io)?;
+            body
+        }
+    };
+
+    Ok(ClientResponse { status, body, attempts: 1 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(raw: &str) -> Result<ClientResponse, ClientError> {
+        read_client_response(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_a_complete_response() {
+        let r = parse("HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 11\r\n\r\n{\"ok\":true}")
+            .unwrap();
+        assert_eq!(r.status, 200);
+        assert_eq!(r.text(), "{\"ok\":true}");
+        assert!(r.is_well_formed());
+    }
+
+    #[test]
+    fn structured_errors_are_well_formed_and_bare_ones_are_not() {
+        let structured =
+            parse("HTTP/1.1 504 Gateway Timeout\r\nContent-Length: 35\r\n\r\n{\"error\":\"x\",\"stage\":\"sweep\",\"a\":1}")
+                .unwrap();
+        assert!(structured.is_well_formed());
+        let bare =
+            parse("HTTP/1.1 500 Internal Server Error\r\nContent-Length: 4\r\n\r\noops").unwrap();
+        assert!(!bare.is_well_formed());
+    }
+
+    #[test]
+    fn torn_responses_are_errors_not_short_bodies() {
+        let e = parse("HTTP/1.1 200 OK\r\nContent-Length: 100\r\n\r\nshort").unwrap_err();
+        assert!(matches!(e, ClientError::Malformed(_)), "{e}");
+        let e = parse("HTTP/1.1 ").unwrap_err();
+        assert!(matches!(e, ClientError::Malformed(_)), "{e}");
+        let e = parse("").unwrap_err();
+        assert!(matches!(e, ClientError::Malformed(_)), "{e}");
+    }
+
+    #[test]
+    fn backoff_is_capped_and_jittered_deterministically() {
+        let mk = || {
+            Client::new("127.0.0.1:1").with_policy(RetryPolicy {
+                max_attempts: 8,
+                base_backoff: Duration::from_millis(10),
+                max_backoff: Duration::from_millis(80),
+                seed: 7,
+            })
+        };
+        let a = mk();
+        let b = mk();
+        let seq_a: Vec<Duration> = (2..8).map(|i| a.backoff(i)).collect();
+        let seq_b: Vec<Duration> = (2..8).map(|i| b.backoff(i)).collect();
+        assert_eq!(seq_a, seq_b, "same seed, same jitter stream");
+        for (i, d) in seq_a.iter().enumerate() {
+            // Nominal doubles 10ms → 80ms cap; jitter stays in [0.5, 1.5).
+            assert!(*d <= Duration::from_millis(120), "attempt {i}: {d:?}");
+            assert!(*d >= Duration::from_millis(5), "attempt {i}: {d:?}");
+        }
+    }
+
+    #[test]
+    fn refused_connection_exhausts_retries_for_idempotent_calls() {
+        // Port 1 is essentially never listening.
+        let client = Client::new("127.0.0.1:1").with_policy(RetryPolicy {
+            max_attempts: 2,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(2),
+            seed: 1,
+        });
+        let err = client.get("/healthz").unwrap_err();
+        assert!(matches!(err, ClientError::Exhausted { attempts: 2, .. }), "{err}");
+        // Non-idempotent POSTs fail on the first error, no retry wrapper.
+        let err = client.post("/v1/models/gb/reload", b"").unwrap_err();
+        assert!(matches!(err, ClientError::Io(_)), "{err}");
+    }
+}

@@ -174,7 +174,20 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, HttpE
         let (name, value) = line
             .split_once(':')
             .ok_or_else(|| HttpError::Malformed(format!("header without ':': {line:?}")))?;
-        headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
+        // Repeated header names fold into one comma-joined value (RFC
+        // 9110 §5.2) instead of last-wins — so a request smuggling two
+        // `X-Deadline-Ms` values yields "a, b", which fails numeric
+        // parsing downstream rather than silently picking one.
+        match headers.entry(name.trim().to_ascii_lowercase()) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                let joined: &mut String = e.get_mut();
+                joined.push_str(", ");
+                joined.push_str(value.trim());
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(value.trim().to_string());
+            }
+        }
     }
 
     if headers.get("transfer-encoding").is_some_and(|v| !v.eq_ignore_ascii_case("identity")) {
@@ -217,6 +230,7 @@ fn reason(status: u16) -> &'static str {
         500 => "Internal Server Error",
         501 => "Not Implemented",
         503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         505 => "HTTP Version Not Supported",
         _ => "",
     }
@@ -296,6 +310,22 @@ mod tests {
     fn chunked_encoding_rejected() {
         let e = parse("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n").unwrap_err();
         assert!(matches!(e, HttpError::Unsupported(501, _)), "{e}");
+    }
+
+    #[test]
+    fn duplicate_headers_fold_comma_joined() {
+        let r = parse("GET / HTTP/1.1\r\nX-Deadline-Ms: 500\r\nX-Deadline-Ms: 9000\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(r.headers.get("x-deadline-ms").map(String::as_str), Some("500, 9000"));
+    }
+
+    #[test]
+    fn gateway_timeout_has_a_reason_phrase() {
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::json(504, "{}".into()), false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 504 Gateway Timeout\r\n"), "{text}");
     }
 
     #[test]

@@ -18,6 +18,8 @@
 //! buffering unboundedly. No external HTTP or JSON dependencies.
 
 pub mod cache;
+pub mod client;
+pub mod fault;
 pub mod http;
 pub mod json;
 pub mod metrics;
@@ -26,15 +28,19 @@ pub mod registry;
 pub mod routes;
 
 pub use cache::{AdviseCache, AdviseKey};
+pub use client::{Client, ClientError, RetryPolicy};
+pub use fault::{ChaosProfile, FaultKind, FaultPlane, FaultPlaneBuilder};
 pub use metrics::Metrics;
 pub use registry::{ModelInfo, ModelRegistry, ResolvedModel};
-pub use routes::Router;
+pub use routes::{parse_deadline_ms, Deadline, Router};
 
+use fault::TruncatingReader;
 use http::{read_request, write_response, HttpError, Response};
 use pool::ThreadPool;
-use std::io::BufReader;
+use std::io::{BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Per-connection socket read timeout: an idle keep-alive client is
 /// disconnected after this long so it cannot pin a worker forever.
@@ -46,6 +52,7 @@ pub struct Server {
     router: Router,
     workers: usize,
     queue_cap: usize,
+    faults: Option<Arc<FaultPlane>>,
 }
 
 impl Server {
@@ -54,7 +61,13 @@ impl Server {
     /// to `workers * 4`; override with [`Server::with_queue_cap`].
     pub fn bind(addr: &str, router: Router, workers: usize) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
-        Ok(Server { listener, router, workers: workers.max(1), queue_cap: workers.max(1) * 4 })
+        Ok(Server {
+            listener,
+            router,
+            workers: workers.max(1),
+            queue_cap: workers.max(1) * 4,
+            faults: None,
+        })
     }
 
     /// Override the worker-pool connection queue capacity (`chemcost
@@ -62,6 +75,18 @@ impl Server {
     /// `cap` queued are shed with `503`. Clamped to at least 1.
     pub fn with_queue_cap(mut self, cap: usize) -> Server {
         self.queue_cap = cap.max(1);
+        self
+    }
+
+    /// Install a fault-injection plane (`chemcost serve --chaos`, or the
+    /// builder API in tests). Wires the plane into the registry (so
+    /// reloads can be poisoned) and into metrics (so injections surface
+    /// as `chemcost_faults_injected_total`). Without this call the
+    /// request path pays only a null check.
+    pub fn with_faults(mut self, plane: Arc<FaultPlane>) -> Server {
+        plane.bind_metrics(Arc::clone(self.router.metrics()));
+        self.router.registry().set_fault_plane(Arc::clone(&plane));
+        self.faults = Some(plane);
         self
     }
 
@@ -80,7 +105,7 @@ impl Server {
     pub fn run(self) -> std::io::Result<()> {
         let local_addr = self.listener.local_addr()?;
         let pool = ThreadPool::new(self.workers, self.queue_cap);
-        let metrics = std::sync::Arc::clone(self.router.metrics());
+        let metrics = Arc::clone(self.router.metrics());
         chemcost_obs::event!(
             chemcost_obs::Level::Info,
             "serve.start",
@@ -92,19 +117,31 @@ impl Server {
             if self.router.shutdown_requested() {
                 break;
             }
-            let stream = match stream {
+            let mut stream = match stream {
                 Ok(s) => s,
                 Err(_) => continue, // transient accept failure
             };
+            // Chaos: saturate pretends the queue is already full, forcing
+            // the same structured-503 shed path real overload takes.
+            if let Some(plane) = &self.faults {
+                if plane.roll(fault::FaultKind::Saturate) {
+                    metrics.record_shed();
+                    let resp = Response::json(503, r#"{"error":"server overloaded"}"#.into());
+                    let _ = write_response(&mut stream, &resp, false);
+                    continue;
+                }
+            }
             // Keep a dup of the socket so an overloaded pool can still
             // answer 503 after the closure (owning the original) is dropped.
             let spare = stream.try_clone();
             let router = self.router.clone();
-            let job_metrics = std::sync::Arc::clone(&metrics);
+            let job_metrics = Arc::clone(&metrics);
+            let job_faults = self.faults.clone();
+            let enqueued = Instant::now();
             metrics.pool_enqueued();
             let job: pool::Job = Box::new(move || {
                 job_metrics.pool_dequeued();
-                handle_connection(stream, &router, local_addr)
+                handle_connection(stream, &router, local_addr, job_faults.as_deref(), enqueued)
             });
             if let Err(job) = pool.execute(job) {
                 drop(job);
@@ -137,20 +174,62 @@ impl Server {
 }
 
 /// Serve one connection: a keep-alive loop of read → route → respond.
-fn handle_connection(stream: TcpStream, router: &Router, local_addr: SocketAddr) {
+///
+/// `enqueued` is when the accept loop queued the connection — the first
+/// request's deadline anchor, so pool-queue wait counts against its
+/// budget. `faults` is the chaos plane (`None` in production: one branch,
+/// no injection logic on the hot path).
+fn handle_connection(
+    stream: TcpStream,
+    router: &Router,
+    local_addr: SocketAddr,
+    faults: Option<&FaultPlane>,
+    enqueued: Instant,
+) {
     let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
     let _ = stream.set_nodelay(true);
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
+    // Chaos: truncate-body makes the rest of this connection's request
+    // stream end early, as if the client died mid-upload.
+    let read_half: Box<dyn Read> = match faults {
+        Some(plane) if plane.roll(fault::FaultKind::TruncateBody) => {
+            Box::new(TruncatingReader::new(read_half, plane.truncate_after()))
+        }
+        _ => Box::new(read_half),
+    };
     let mut reader = BufReader::new(read_half);
     let mut writer = stream;
+    let mut first_request = true;
     loop {
+        // Chaos: slow-io stalls before the read, like a seizing disk or
+        // a slow-loris client.
+        if let Some(plane) = faults {
+            if plane.roll(fault::FaultKind::SlowIo) {
+                std::thread::sleep(plane.slow_io_delay());
+            }
+        }
         match read_request(&mut reader) {
             Ok(None) => break,
             Ok(Some(req)) => {
+                // The first request rode the accept queue, so its budget
+                // anchors at enqueue time; later keep-alive requests
+                // anchor at when their bytes finished arriving.
+                let arrived = if first_request { enqueued } else { Instant::now() };
+                first_request = false;
                 let keep_alive = req.keep_alive();
-                let resp = router.handle(&req);
+                let resp = router.handle_from(&req, arrived);
+                // Chaos: drop-conn abandons the response mid-write —
+                // the client sees a torn connection, never a torn body
+                // that parses.
+                if let Some(plane) = faults {
+                    if plane.roll(fault::FaultKind::DropConn) {
+                        let _ = writer.write_all(b"HTTP/1.1 ");
+                        let _ = writer.flush();
+                        break;
+                    }
+                }
                 if write_response(&mut writer, &resp, keep_alive).is_err() {
                     break;
                 }

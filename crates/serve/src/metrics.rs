@@ -3,14 +3,24 @@
 //! Everything is lock-free atomics: fixed route labels, per-route request
 //! and error counters, a shared latency histogram with log-spaced
 //! buckets, saturation gauges (queue depth, in-flight), shed-load and
-//! advise-cache counters, and a per-stage latency histogram for the
-//! `/v1/advise` pipeline (`cache` → `sweep` → `encode`). `render`
+//! advise-cache counters, a per-stage latency histogram for the
+//! `/v1/advise` pipeline (`cache` → `sweep` → `encode`), and the
+//! robustness series: deadline overruns per stage, model staleness,
+//! reload failures, stale cache serves, and injected faults. `render`
 //! produces the standard `text/plain; version=0.0.4` exposition format;
 //! [`lint_exposition`] validates that format and doubles as the CI smoke
-//! job's correctness check.
+//! and chaos jobs' correctness check.
+//!
+//! Every series is **pre-registered**: the label sets are fixed arrays,
+//! so each family appears in the very first scrape at zero rather than
+//! materializing on first increment (dashboards and the `increase()`
+//! family of PromQL functions need the zero point). The chaos job
+//! asserts this through [`REQUIRED_SERIES`] +
+//! [`lint_exposition_with_required`].
 
+use crate::fault::FaultKind;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Route label a request is accounted under. Fixed set — unknown paths
 /// all collapse into `Other` so label cardinality stays bounded.
@@ -108,8 +118,66 @@ impl AdviseStage {
     }
 }
 
+/// One deadline checkpoint in the request path; the label on
+/// `chemcost_deadline_exceeded_total`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeadlineStage {
+    /// The budget was already gone when a worker dequeued the request.
+    Queue,
+    /// Expired at the advise cache probe.
+    Cache,
+    /// Expired before the candidate sweep could start.
+    Sweep,
+}
+
+impl DeadlineStage {
+    /// Every stage, in label order.
+    pub const ALL: [DeadlineStage; 3] =
+        [DeadlineStage::Queue, DeadlineStage::Cache, DeadlineStage::Sweep];
+
+    fn index(self) -> usize {
+        match self {
+            DeadlineStage::Queue => 0,
+            DeadlineStage::Cache => 1,
+            DeadlineStage::Sweep => 2,
+        }
+    }
+
+    /// The Prometheus `stage` label value.
+    pub fn label(self) -> &'static str {
+        match self {
+            DeadlineStage::Queue => "queue",
+            DeadlineStage::Cache => "cache",
+            DeadlineStage::Sweep => "sweep",
+        }
+    }
+}
+
 /// Histogram bucket upper bounds, in seconds.
 const BUCKETS: [f64; 10] = [1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 1e-1, 5e-1, 1.0, 5.0];
+
+/// Every metric family the service exposes, by family name. The smoke
+/// and chaos CI jobs pass this to [`lint_exposition_with_required`] so
+/// a series silently dropped from [`Metrics::render`] (or one that only
+/// materializes after its first increment) fails the scrape check.
+pub const REQUIRED_SERIES: &[&str] = &[
+    "chemcost_build_info",
+    "chemcost_requests_total",
+    "chemcost_request_errors_total",
+    "chemcost_requests_in_flight",
+    "chemcost_pool_queue_depth",
+    "chemcost_requests_shed_total",
+    "chemcost_request_duration_seconds",
+    "chemcost_advise_stage_duration_seconds",
+    "chemcost_advise_cache_hits_total",
+    "chemcost_advise_cache_misses_total",
+    "chemcost_advise_cache_entries",
+    "chemcost_deadline_exceeded_total",
+    "chemcost_model_staleness_seconds",
+    "chemcost_model_reload_failures_total",
+    "chemcost_advise_stale_served_total",
+    "chemcost_faults_injected_total",
+];
 
 /// Version baked into `chemcost_build_info`.
 const BUILD_VERSION: &str = env!("CARGO_PKG_VERSION");
@@ -171,7 +239,6 @@ impl Histogram {
 }
 
 /// Shared, thread-safe service metrics.
-#[derive(Default)]
 pub struct Metrics {
     routes: [RouteStats; 8],
     /// Whole-request handling latency.
@@ -190,12 +257,56 @@ pub struct Metrics {
     pool_queue_depth: AtomicI64,
     /// Connections shed with 503 because the pool queue was full.
     shed: AtomicU64,
+    /// Requests answered 504, per [`DeadlineStage`].
+    deadline_exceeded: [AtomicU64; 3],
+    /// Failed model reloads (the last-good model kept serving).
+    reload_failures: AtomicU64,
+    /// Advise answers served from an older model version under overload.
+    stale_served: AtomicU64,
+    /// Injected faults, per [`FaultKind`].
+    faults_injected: [AtomicU64; 5],
+    /// Monotonic clock anchor for the two timestamps below.
+    start: Instant,
+    /// Micros-since-`start` + 1 of the moment the serving model went
+    /// stale (first failed reload after a success); 0 = fresh.
+    stale_since: AtomicU64,
+    /// Micros-since-`start` + 1 of the most recent shed; 0 = never.
+    last_shed: AtomicU64,
+}
+
+impl Default for Metrics {
+    fn default() -> Metrics {
+        Metrics {
+            routes: Default::default(),
+            latency: Histogram::default(),
+            advise_stages: Default::default(),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            cache_entries: AtomicU64::new(0),
+            in_flight: AtomicI64::new(0),
+            pool_queue_depth: AtomicI64::new(0),
+            shed: AtomicU64::new(0),
+            deadline_exceeded: Default::default(),
+            reload_failures: AtomicU64::new(0),
+            stale_served: AtomicU64::new(0),
+            faults_injected: Default::default(),
+            start: Instant::now(),
+            stale_since: AtomicU64::new(0),
+            last_shed: AtomicU64::new(0),
+        }
+    }
 }
 
 impl Metrics {
     /// Fresh zeroed metrics.
     pub fn new() -> Metrics {
         Metrics::default()
+    }
+
+    /// Micros elapsed since this `Metrics` was created, offset by +1 so
+    /// 0 can mean "unset" in the timestamp atomics.
+    fn now_stamp(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64 + 1
     }
 
     /// Record one request: its route, whether the response was an error
@@ -218,11 +329,85 @@ impl Metrics {
         stats.requests.fetch_add(1, Ordering::Relaxed);
         stats.errors.fetch_add(1, Ordering::Relaxed);
         self.shed.fetch_add(1, Ordering::Relaxed);
+        self.last_shed.store(self.now_stamp(), Ordering::Relaxed);
     }
 
     /// Connections shed so far.
     pub fn shed_total(&self) -> u64 {
         self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Did a shed happen within the last `window`? This is the overload
+    /// signal that unlocks serve-stale-on-overload in the advise path.
+    pub fn shed_within(&self, window: Duration) -> bool {
+        match self.last_shed.load(Ordering::Relaxed) {
+            0 => false,
+            // Strictly less-than: a zero window never matches, even if
+            // the shed landed on this very microsecond.
+            stamp => self.now_stamp().saturating_sub(stamp) < window.as_micros() as u64,
+        }
+    }
+
+    /// Record one 504: the request's budget ran out at `stage`.
+    pub fn record_deadline_exceeded(&self, stage: DeadlineStage) {
+        self.deadline_exceeded[stage.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Deadline overruns recorded at one stage.
+    pub fn deadline_exceeded(&self, stage: DeadlineStage) -> u64 {
+        self.deadline_exceeded[stage.index()].load(Ordering::Relaxed)
+    }
+
+    /// Record one fault injection (mirrored here by the bound
+    /// [`crate::fault::FaultPlane`]).
+    pub fn record_fault(&self, kind: FaultKind) {
+        self.faults_injected[kind.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Injections recorded for one fault kind.
+    pub fn faults_injected(&self, kind: FaultKind) -> u64 {
+        self.faults_injected[kind.index()].load(Ordering::Relaxed)
+    }
+
+    /// Record a failed model reload and start the staleness clock (if
+    /// it is not already running).
+    pub fn record_reload_failure(&self) {
+        self.reload_failures.fetch_add(1, Ordering::Relaxed);
+        let _ = self.stale_since.compare_exchange(
+            0,
+            self.now_stamp(),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Failed reloads so far.
+    pub fn reload_failures(&self) -> u64 {
+        self.reload_failures.load(Ordering::Relaxed)
+    }
+
+    /// A reload succeeded: the serving model is fresh again.
+    pub fn mark_model_fresh(&self) {
+        self.stale_since.store(0, Ordering::Relaxed);
+    }
+
+    /// Seconds the serving model has been known-stale (a reload has
+    /// failed and no reload has succeeded since); 0 when fresh.
+    pub fn model_staleness_seconds(&self) -> f64 {
+        match self.stale_since.load(Ordering::Relaxed) {
+            0 => 0.0,
+            stamp => self.now_stamp().saturating_sub(stamp) as f64 / 1e6,
+        }
+    }
+
+    /// Record an advise answer served from an older model version.
+    pub fn record_stale_served(&self) {
+        self.stale_served.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Stale advise answers served so far.
+    pub fn stale_served(&self) -> u64 {
+        self.stale_served.load(Ordering::Relaxed)
     }
 
     /// Record one `/v1/advise` stage duration.
@@ -366,6 +551,46 @@ impl Metrics {
             "chemcost_advise_cache_entries {}\n",
             self.cache_entries.load(Ordering::Relaxed)
         ));
+        out.push_str(
+            "# HELP chemcost_deadline_exceeded_total Requests answered 504, by the stage where the budget ran out.\n",
+        );
+        out.push_str("# TYPE chemcost_deadline_exceeded_total counter\n");
+        for stage in DeadlineStage::ALL {
+            out.push_str(&format!(
+                "chemcost_deadline_exceeded_total{{stage=\"{}\"}} {}\n",
+                stage.label(),
+                self.deadline_exceeded(stage)
+            ));
+        }
+        out.push_str(
+            "# HELP chemcost_model_staleness_seconds Seconds since the serving model went stale (a reload failed); 0 when fresh.\n",
+        );
+        out.push_str("# TYPE chemcost_model_staleness_seconds gauge\n");
+        out.push_str(&format!(
+            "chemcost_model_staleness_seconds {}\n",
+            self.model_staleness_seconds()
+        ));
+        out.push_str(
+            "# HELP chemcost_model_reload_failures_total Failed model reloads (the last-good model kept serving).\n",
+        );
+        out.push_str("# TYPE chemcost_model_reload_failures_total counter\n");
+        out.push_str(&format!("chemcost_model_reload_failures_total {}\n", self.reload_failures()));
+        out.push_str(
+            "# HELP chemcost_advise_stale_served_total Advise answers replayed from an older model version under overload.\n",
+        );
+        out.push_str("# TYPE chemcost_advise_stale_served_total counter\n");
+        out.push_str(&format!("chemcost_advise_stale_served_total {}\n", self.stale_served()));
+        out.push_str(
+            "# HELP chemcost_faults_injected_total Faults injected by the chaos plane, by kind.\n",
+        );
+        out.push_str("# TYPE chemcost_faults_injected_total counter\n");
+        for kind in FaultKind::ALL {
+            out.push_str(&format!(
+                "chemcost_faults_injected_total{{kind=\"{}\"}} {}\n",
+                kind.label(),
+                self.faults_injected(kind)
+            ));
+        }
         out
     }
 }
@@ -565,6 +790,36 @@ pub fn lint_exposition(text: &str) -> Result<(), Vec<String>> {
     }
 }
 
+/// [`lint_exposition`] plus a presence check: every family in
+/// `required` must have at least one **sample line** (histograms count
+/// through their `_bucket`/`_sum`/`_count` series) — `# HELP`/`# TYPE`
+/// metadata alone does not count. This is how the smoke and chaos CI
+/// jobs catch a series that would only materialize after its first
+/// increment: scrape a fresh server and require the full
+/// [`REQUIRED_SERIES`] catalog.
+pub fn lint_exposition_with_required(text: &str, required: &[&str]) -> Result<(), Vec<String>> {
+    let mut problems = lint_exposition(text).err().unwrap_or_default();
+    for family in required {
+        let present = text.lines().filter(|l| !l.starts_with('#') && !l.is_empty()).any(|l| {
+            let name = l.split(['{', ' ']).next().unwrap_or("");
+            name == *family
+                || ["_bucket", "_sum", "_count"]
+                    .iter()
+                    .any(|suffix| name.strip_suffix(suffix) == Some(family))
+        });
+        if !present {
+            problems.push(format!(
+                "required series {family} has no sample line (unregistered before first increment?)"
+            ));
+        }
+    }
+    if problems.is_empty() {
+        Ok(())
+    } else {
+        Err(problems)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -734,6 +989,110 @@ mod tests {
         // Malformed labels.
         let errs = lint_exposition("# HELP z g\n# TYPE z gauge\nz{oops} 1\n").unwrap_err();
         assert!(errs.iter().any(|e| e.contains("malformed labels")), "{errs:?}");
+    }
+
+    /// Satellite (PR 4 bugfix): every family in [`REQUIRED_SERIES`] must
+    /// have sample lines on a *fresh* registry — before any request,
+    /// fault, or deadline event has incremented it. A scrape of a
+    /// just-started server must already show the whole catalog at zero.
+    #[test]
+    fn all_required_series_render_before_first_increment() {
+        let text = Metrics::new().render();
+        lint_exposition_with_required(&text, REQUIRED_SERIES)
+            .expect("fresh exposition must pre-register every required series");
+        // Spot-check the PR 4 families explicitly at zero.
+        assert!(text.contains("chemcost_deadline_exceeded_total{stage=\"queue\"} 0"), "{text}");
+        assert!(text.contains("chemcost_deadline_exceeded_total{stage=\"cache\"} 0"), "{text}");
+        assert!(text.contains("chemcost_deadline_exceeded_total{stage=\"sweep\"} 0"), "{text}");
+        assert!(text.contains("chemcost_model_staleness_seconds 0"), "{text}");
+        assert!(text.contains("chemcost_model_reload_failures_total 0"), "{text}");
+        assert!(text.contains("chemcost_advise_stale_served_total 0"), "{text}");
+        assert!(
+            text.contains("chemcost_faults_injected_total{kind=\"poison-reload\"} 0"),
+            "{text}"
+        );
+    }
+
+    /// Negative: the required-series linter must flag a family whose
+    /// sample lines are absent, even if its `# HELP`/`# TYPE` metadata
+    /// is present (the unregistered-until-first-increment failure mode).
+    #[test]
+    fn required_linter_flags_missing_sample_lines() {
+        let full = Metrics::new().render();
+        let stripped: String = full
+            .lines()
+            .filter(|l| !l.starts_with("chemcost_deadline_exceeded_total"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let errs = lint_exposition_with_required(&stripped, REQUIRED_SERIES).unwrap_err();
+        assert!(
+            errs.iter()
+                .any(|e| e.contains("chemcost_deadline_exceeded_total")
+                    && e.contains("no sample line")),
+            "{errs:?}"
+        );
+        // Histogram families are satisfied through their suffixed series.
+        lint_exposition_with_required(&full, &["chemcost_request_duration_seconds"])
+            .expect("histogram counted via _bucket/_sum/_count");
+        // A family that never existed is reported too.
+        let errs =
+            lint_exposition_with_required(&full, &["chemcost_nonexistent_total"]).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("chemcost_nonexistent_total")), "{errs:?}");
+    }
+
+    #[test]
+    fn deadline_and_fault_counters_track_per_label() {
+        let m = Metrics::new();
+        m.record_deadline_exceeded(DeadlineStage::Queue);
+        m.record_deadline_exceeded(DeadlineStage::Sweep);
+        m.record_deadline_exceeded(DeadlineStage::Sweep);
+        assert_eq!(m.deadline_exceeded(DeadlineStage::Queue), 1);
+        assert_eq!(m.deadline_exceeded(DeadlineStage::Cache), 0);
+        assert_eq!(m.deadline_exceeded(DeadlineStage::Sweep), 2);
+        m.record_fault(FaultKind::SlowIo);
+        m.record_fault(FaultKind::PoisonReload);
+        m.record_fault(FaultKind::PoisonReload);
+        assert_eq!(m.faults_injected(FaultKind::SlowIo), 1);
+        assert_eq!(m.faults_injected(FaultKind::PoisonReload), 2);
+        let text = m.render();
+        assert!(text.contains("chemcost_deadline_exceeded_total{stage=\"sweep\"} 2"), "{text}");
+        assert!(text.contains("chemcost_faults_injected_total{kind=\"slow-io\"} 1"), "{text}");
+        lint_exposition_with_required(&text, REQUIRED_SERIES).expect("lint clean");
+    }
+
+    #[test]
+    fn staleness_gauge_follows_reload_outcomes() {
+        let m = Metrics::new();
+        // Fresh registry: never failed, staleness pinned to zero.
+        assert_eq!(m.model_staleness_seconds(), 0.0);
+        m.record_reload_failure();
+        assert_eq!(m.reload_failures(), 1);
+        std::thread::sleep(Duration::from_millis(5));
+        let stale = m.model_staleness_seconds();
+        assert!(stale > 0.0, "staleness should accrue after a failed reload, got {stale}");
+        // A later failure does not reset the clock to a smaller value.
+        m.record_reload_failure();
+        assert!(m.model_staleness_seconds() >= stale);
+        // A successful reload clears it.
+        m.mark_model_fresh();
+        assert_eq!(m.model_staleness_seconds(), 0.0);
+    }
+
+    #[test]
+    fn shed_within_reports_recent_overload_only() {
+        let m = Metrics::new();
+        assert!(!m.shed_within(Duration::from_secs(60)), "no shed yet");
+        m.record_shed();
+        assert!(m.shed_within(Duration::from_secs(60)));
+        assert!(!m.shed_within(Duration::ZERO), "zero window excludes the past");
+    }
+
+    #[test]
+    fn stale_served_counter_renders() {
+        let m = Metrics::new();
+        m.record_stale_served();
+        assert_eq!(m.stale_served(), 1);
+        assert!(m.render().contains("chemcost_advise_stale_served_total 1"));
     }
 
     /// Satellite: N writer threads hammer every counter family while the

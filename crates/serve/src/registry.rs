@@ -11,6 +11,7 @@
 //! batched predictions are bit-for-bit identical to the recursive path —
 //! so the request handlers never pay per-row tree recursion.
 
+use crate::fault::{FaultKind, FaultPlane};
 use chemcost_ml::flat::FlatGbt;
 use chemcost_ml::gradient_boosting::GradientBoosting;
 use chemcost_ml::persist::load_gb;
@@ -76,12 +77,22 @@ pub struct ModelRegistry {
     entries: RwLock<HashMap<String, Entry>>,
     /// machine name → model name
     defaults: RwLock<HashMap<String, String>>,
+    /// Chaos hook: when set, reloads roll for poison-reload injection.
+    faults: RwLock<Option<Arc<FaultPlane>>>,
 }
 
 impl ModelRegistry {
     /// Empty registry.
     pub fn new() -> ModelRegistry {
         ModelRegistry::default()
+    }
+
+    /// Install a fault plane: subsequent [`ModelRegistry::reload`] calls
+    /// roll for [`FaultKind::PoisonReload`] and fail as if the file on
+    /// disk were corrupt when the roll fires. The last-good model stays
+    /// live either way.
+    pub fn set_fault_plane(&self, plane: Arc<FaultPlane>) {
+        *self.faults.write() = Some(plane);
     }
 
     /// Register an in-memory model (no reload path).
@@ -127,6 +138,13 @@ impl ModelRegistry {
                 .clone()
                 .ok_or_else(|| format!("model {name:?} is in-memory only (no file to reload)"))?
         };
+        let poisoned = self.faults.read().as_ref().is_some_and(|p| p.roll(FaultKind::PoisonReload));
+        if poisoned {
+            return Err(format!(
+                "reloading {}: injected corrupt model file (chaos poison-reload)",
+                path.display()
+            ));
+        }
         // Read the file without holding the lock — disk I/O under a write
         // lock would stall every concurrent prediction.
         let gb = load_gb(&path).map_err(|e| format!("reloading {}: {e}", path.display()))?;
@@ -287,6 +305,56 @@ mod tests {
         // The old Arc is still usable by in-flight requests.
         let probe = Matrix::from_fn(1, 4, |_, j| j as f64);
         let _ = before.model.predict(&probe);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_file_reload_keeps_last_good_model() {
+        let dir = std::env::temp_dir().join(format!("chemcost-lastgood-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.ccgb");
+        chemcost_ml::persist::save_gb(&path, &tiny_model(1)).unwrap();
+
+        let reg = ModelRegistry::new();
+        reg.load_file("m", "aurora", &path).unwrap();
+
+        // Overwrite with garbage: reload errors, last-good stays live at v1.
+        std::fs::write(&path, b"definitely not a model").unwrap();
+        assert!(reg.reload("m").is_err());
+        let still = reg.resolve(Some("m"), None).unwrap();
+        assert_eq!(still.version, 1);
+        let probe = Matrix::from_fn(1, 4, |_, j| j as f64);
+        assert!(still.model.predict(&probe)[0].is_finite());
+
+        // Restore a valid file: the next reload succeeds and bumps to v2.
+        chemcost_ml::persist::save_gb(&path, &tiny_model(2)).unwrap();
+        assert_eq!(reg.reload("m").unwrap(), 2);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn poison_reload_injects_failure_without_touching_the_model() {
+        use crate::fault::{FaultKind, FaultPlane};
+
+        let dir = std::env::temp_dir().join(format!("chemcost-poison-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.ccgb");
+        chemcost_ml::persist::save_gb(&path, &tiny_model(1)).unwrap();
+
+        let reg = ModelRegistry::new();
+        reg.load_file("m", "aurora", &path).unwrap();
+        let plane =
+            Arc::new(FaultPlane::builder().seed(1).rate(FaultKind::PoisonReload, 1.0).build());
+        reg.set_fault_plane(Arc::clone(&plane));
+
+        // The file on disk is perfectly valid, yet the injected fault
+        // fails the reload — and the last-good model keeps serving.
+        let err = reg.reload("m").unwrap_err();
+        assert!(err.contains("poison-reload"), "{err}");
+        assert_eq!(plane.injected(FaultKind::PoisonReload), 1);
+        assert_eq!(reg.resolve(Some("m"), None).unwrap().version, 1);
 
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -15,7 +15,7 @@
 use crate::cache::{AdviseCache, AdviseKey};
 use crate::http::{Request, Response};
 use crate::json::Json;
-use crate::metrics::{AdviseStage, Metrics, Route};
+use crate::metrics::{AdviseStage, DeadlineStage, Metrics, Route};
 use crate::registry::{ModelRegistry, ResolvedModel};
 use chemcost_core::advisor::{Advisor, Goal, Recommendation};
 use chemcost_linalg::Matrix;
@@ -30,6 +30,69 @@ const MAX_PREDICT_ROWS: usize = 10_000;
 
 /// Default capacity of the advise recommendation cache.
 const DEFAULT_CACHE_CAPACITY: usize = 512;
+
+/// How recently the pool must have shed a connection for `/v1/advise`
+/// to prefer a demoted (stale) cached answer over running a sweep.
+const STALE_SERVE_WINDOW: Duration = Duration::from_secs(5);
+
+/// A request's time budget, anchored at its arrival (enqueue) instant so
+/// queue wait counts against it. Built from the `X-Deadline-Ms` header,
+/// falling back to `--default-deadline-ms`.
+#[derive(Debug, Clone, Copy)]
+pub struct Deadline {
+    /// `None` when `arrived + budget` overflows `Instant` — effectively
+    /// unbounded, which is what a multi-century budget means.
+    expires: Option<Instant>,
+    budget_ms: u64,
+}
+
+impl Deadline {
+    /// A budget of `budget_ms` starting at `arrived`.
+    pub fn new(arrived: Instant, budget_ms: u64) -> Deadline {
+        Deadline { expires: arrived.checked_add(Duration::from_millis(budget_ms)), budget_ms }
+    }
+
+    /// Has the budget run out?
+    pub fn expired(&self) -> bool {
+        self.expires.is_some_and(|e| Instant::now() >= e)
+    }
+
+    /// Milliseconds of budget left (saturating at zero).
+    pub fn remaining_ms(&self) -> u64 {
+        match self.expires {
+            Some(e) => e.saturating_duration_since(Instant::now()).as_millis() as u64,
+            None => u64::MAX,
+        }
+    }
+
+    /// The budget the client asked for.
+    pub fn budget_ms(&self) -> u64 {
+        self.budget_ms
+    }
+}
+
+/// Parse the `X-Deadline-Ms` request header. `Ok(None)` means the header
+/// is absent; the error string is safe to echo back in a 400. Duplicate
+/// headers arrive comma-joined from the parser and are rejected here —
+/// two conflicting budgets is a client bug, not a tiebreak to guess at.
+pub fn parse_deadline_ms(req: &Request) -> Result<Option<u64>, String> {
+    let Some(raw) = req.headers.get("x-deadline-ms") else {
+        return Ok(None);
+    };
+    let raw = raw.trim();
+    if raw.contains(',') {
+        return Err(format!("conflicting X-Deadline-Ms values: {raw:?}"));
+    }
+    let ms: u64 = raw.parse().map_err(|_| {
+        format!("X-Deadline-Ms must be a positive integer of milliseconds, got {raw:?}")
+    })?;
+    if ms == 0 {
+        return Err(
+            "X-Deadline-Ms: 0 allows no time at all; omit the header for no deadline".into()
+        );
+    }
+    Ok(Some(ms))
+}
 
 /// Requests slower than this get a `http.slow` warning record.
 /// Overridable in milliseconds via `CHEMCOST_SLOW_MS`.
@@ -51,6 +114,8 @@ pub struct Router {
     metrics: Arc<Metrics>,
     cache: Arc<AdviseCache>,
     shutdown: Arc<AtomicBool>,
+    /// Budget applied to requests that don't send `X-Deadline-Ms`.
+    default_deadline_ms: Option<u64>,
 }
 
 impl Router {
@@ -66,7 +131,15 @@ impl Router {
             metrics: Arc::new(Metrics::new()),
             cache: Arc::new(AdviseCache::new(capacity)),
             shutdown: Arc::new(AtomicBool::new(false)),
+            default_deadline_ms: None,
         }
+    }
+
+    /// Apply `ms` as the deadline for requests without `X-Deadline-Ms`
+    /// (`chemcost serve --default-deadline-ms`). `None` disables it.
+    pub fn with_default_deadline_ms(mut self, ms: Option<u64>) -> Router {
+        self.default_deadline_ms = ms.filter(|&ms| ms > 0);
+        self
     }
 
     /// The model registry behind this router.
@@ -95,6 +168,13 @@ impl Router {
     /// one, a fresh monotonic id otherwise; either way the id is echoed
     /// back in the response's `X-Request-Id` header.
     pub fn handle(&self, req: &Request) -> Response {
+        self.handle_from(req, Instant::now())
+    }
+
+    /// Like [`Router::handle`] but anchored at `arrived` — the instant
+    /// the request entered the server (its enqueue time) — so time spent
+    /// waiting in the worker-pool queue counts against the deadline.
+    pub fn handle_from(&self, req: &Request, arrived: Instant) -> Response {
         let started = Instant::now();
         let trace_id: Arc<str> = match req.headers.get("x-request-id").map(|v| v.trim()) {
             Some(id) if !id.is_empty() => Arc::from(id),
@@ -107,8 +187,19 @@ impl Router {
             method = req.method.as_str(),
             path = req.path.as_str(),
         );
+        let deadline = parse_deadline_ms(req)
+            .map(|header_ms| header_ms.or(self.default_deadline_ms))
+            .map(|ms| ms.map(|ms| Deadline::new(arrived, ms)));
+        if let Ok(Some(d)) = &deadline {
+            obs::event!(
+                Level::Debug,
+                "http.deadline",
+                budget_ms = d.budget_ms(),
+                remaining_ms = d.remaining_ms(),
+            );
+        }
         self.metrics.inc_in_flight();
-        let (route, mut response) = self.dispatch(req);
+        let (route, mut response) = self.dispatch(req, deadline);
         self.metrics.dec_in_flight();
         let elapsed = started.elapsed();
         self.metrics.record(route, response.is_error(), elapsed);
@@ -137,7 +228,21 @@ impl Router {
         response
     }
 
-    fn dispatch(&self, req: &Request) -> (Route, Response) {
+    fn dispatch(
+        &self,
+        req: &Request,
+        deadline: Result<Option<Deadline>, String>,
+    ) -> (Route, Response) {
+        let deadline = match deadline {
+            Ok(d) => d,
+            Err(msg) => return (Route::Other, error(400, &msg)),
+        };
+        // Queue-dequeue stage: a request that burned its whole budget
+        // waiting in the pool queue is answered 504 without touching a
+        // model — the worker frees up immediately.
+        if let Some(d) = deadline.filter(|d| d.expired()) {
+            return (Route::Other, self.deadline_504(DeadlineStage::Queue, d));
+        }
         match (req.method.as_str(), req.path.as_str()) {
             ("GET", "/healthz") => {
                 (Route::Healthz, Response::json(200, r#"{"status":"ok"}"#.to_string()))
@@ -145,7 +250,7 @@ impl Router {
             ("GET", "/metrics") => (Route::Metrics, Response::text(200, self.metrics.render())),
             ("GET", "/v1/models") => (Route::Models, self.models()),
             ("POST", "/v1/predict") => (Route::Predict, self.predict(&req.body)),
-            ("POST", "/v1/advise") => (Route::Advise, self.advise(&req.body)),
+            ("POST", "/v1/advise") => (Route::Advise, self.advise(&req.body, deadline)),
             ("POST", "/v1/shutdown") => {
                 self.shutdown.store(true, Ordering::SeqCst);
                 (Route::Shutdown, Response::json(200, r#"{"status":"shutting down"}"#.to_string()))
@@ -196,10 +301,19 @@ impl Router {
     fn reload(&self, name: &str) -> Response {
         match self.registry.reload(name) {
             Ok(version) => {
-                // The version-in-key already prevents stale answers; this
-                // eagerly frees the dead version's cache capacity.
-                self.cache.invalidate_model(name);
+                // The version-in-key already prevents silent stale hits;
+                // demotion keeps the dead version's answers around as
+                // last-resort overload fallbacks instead of dropping them.
+                let demoted = self.cache.demote_model(name, version);
                 self.metrics.set_cache_entries(self.cache.len());
+                self.metrics.mark_model_fresh();
+                obs::event!(
+                    Level::Info,
+                    "registry.reload",
+                    model = name,
+                    version = version,
+                    cache_demoted = demoted,
+                );
                 Response::json(
                     200,
                     Json::obj([("model", name.into()), ("version", Json::Num(version as f64))])
@@ -208,7 +322,26 @@ impl Router {
             }
             Err(e) => {
                 let status = if e.contains("no model named") { 404 } else { 500 };
-                error(status, &e)
+                if status == 500 {
+                    // Stale-while-revalidate: the registry kept the
+                    // last-good model live; start (or continue) the
+                    // staleness clock and tell the client what is still
+                    // being served.
+                    self.metrics.record_reload_failure();
+                    obs::event!(
+                        Level::Error,
+                        "registry.reload_failed",
+                        model = name,
+                        error = e.as_str(),
+                        staleness_s = self.metrics.model_staleness_seconds(),
+                    );
+                }
+                let mut fields: Vec<(&'static str, Json)> = vec![("error", e.as_str().into())];
+                if let Ok(still) = self.registry.resolve(Some(name), None) {
+                    fields.push(("serving_model", still.name.into()));
+                    fields.push(("serving_version", Json::Num(still.version as f64)));
+                }
+                Response::json(status, Json::obj(fields).encode())
             }
         }
     }
@@ -275,7 +408,31 @@ impl Router {
         )
     }
 
-    fn advise(&self, body: &[u8]) -> Response {
+    /// 504 for `stage`, recording the counter and an obs event.
+    fn deadline_504(&self, stage: DeadlineStage, d: Deadline) -> Response {
+        self.metrics.record_deadline_exceeded(stage);
+        obs::event!(
+            Level::Warn,
+            "http.deadline_exceeded",
+            stage = stage.label(),
+            budget_ms = d.budget_ms(),
+            exceeded_total = self.metrics.deadline_exceeded(stage),
+        );
+        Response::json(
+            504,
+            Json::obj([
+                ("error", "deadline exceeded".into()),
+                ("stage", stage.label().into()),
+                ("deadline_ms", Json::Num(d.budget_ms() as f64)),
+            ])
+            .encode(),
+        )
+    }
+
+    // `wall_budget` is the request's wall-clock deadline; the body's
+    // "budget"/"deadline" fields are the user's node-hour and
+    // job-walltime questions. Distinct concepts.
+    fn advise(&self, body: &[u8], wall_budget: Option<Deadline>) -> Response {
         let body = match parse_body(body) {
             Ok(v) => v,
             Err(resp) => return resp,
@@ -306,6 +463,11 @@ impl Router {
         let budget = body.get("budget").and_then(Json::as_f64);
         let deadline = body.get("deadline").and_then(Json::as_f64);
 
+        // Cache-probe stage: out of budget before even probing? 504.
+        if let Some(d) = wall_budget.filter(|d| d.expired()) {
+            return self.deadline_504(DeadlineStage::Cache, d);
+        }
+
         // The answer is a pure function of this key: replay it if cached.
         let cache_started = Instant::now();
         let key = AdviseKey {
@@ -327,6 +489,41 @@ impl Router {
             return Response::json(200, cached);
         }
         self.metrics.record_cache_miss();
+
+        // Serve-stale-on-overload: while the pool is shedding, an answer
+        // computed by a previous model version beats burning a sweep. The
+        // replay is labelled `"stale": true` and keeps its original
+        // `model_version` so the client can tell what it got.
+        if self.metrics.shed_within(STALE_SERVE_WINDOW) {
+            if let Some((stale_body, stale_version)) = self.cache.get_stale(&key) {
+                self.metrics.record_stale_served();
+                obs::event!(
+                    Level::Warn,
+                    "advise.stale",
+                    o = o,
+                    v = v,
+                    goal = goal,
+                    stale_version = stale_version,
+                    current_version = resolved.version,
+                );
+                let labelled = match Json::parse(&stale_body) {
+                    Ok(Json::Obj(mut fields)) => {
+                        fields.push(("stale".to_string(), Json::Bool(true)));
+                        Json::Obj(fields).encode()
+                    }
+                    _ => stale_body,
+                };
+                return Response::json(200, labelled);
+            }
+        }
+
+        // Sweep stage: the most expensive step gets its own budget gate.
+        if let Some(d) = wall_budget.filter(|d| d.expired()) {
+            return self.deadline_504(DeadlineStage::Sweep, d);
+        }
+        if let Some(d) = &wall_budget {
+            obs::event!(Level::Debug, "advise.budget", remaining_ms = d.remaining_ms());
+        }
 
         // One sweep answers every question in the request: the flat model
         // predicts the whole candidate matrix in a single batched call and
@@ -609,9 +806,9 @@ mod tests {
         assert_eq!(scrape(&router, "chemcost_advise_cache_misses_total"), 2);
     }
 
-    #[test]
-    fn reload_drops_stale_cache_entries() {
-        // File-backed model so reload has something to re-read.
+    /// A file-backed router (reload has something to re-read) plus the
+    /// training matrix/labels so tests can write new model generations.
+    fn file_backed_router(tag: &str) -> (Router, std::path::PathBuf, Matrix, Vec<f64>) {
         let machine = by_name("aurora").unwrap();
         let samples = generate_dataset_sized(&machine, 80, 7);
         let x = Matrix::from_fn(samples.len(), 4, |i, j| match j {
@@ -624,14 +821,19 @@ mod tests {
         let mut gb = GradientBoosting::new(20, 3, 0.2);
         gb.seed = 3;
         gb.fit(&x, &y).unwrap();
-        let dir = std::env::temp_dir().join(format!("chemcost-cache-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("chemcost-{tag}-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("m.ccgb");
         chemcost_ml::persist::save_gb(&path, &gb).unwrap();
 
         let registry = Arc::new(ModelRegistry::new());
         registry.load_file("gb", "aurora", &path).unwrap();
-        let router = Router::new(registry);
+        (Router::new(registry), path, x, y)
+    }
+
+    #[test]
+    fn reload_demotes_stale_cache_entries() {
+        let (router, path, x, y) = file_backed_router("cache");
 
         let body = r#"{"o": 120, "v": 900, "goal": "stq"}"#;
         let v1 = post(&router, "/v1/advise", body);
@@ -644,11 +846,10 @@ mod tests {
         gb2.fit(&x, &y).unwrap();
         chemcost_ml::persist::save_gb(&path, &gb2).unwrap();
         assert_eq!(post(&router, "/v1/models/gb/reload", "").status, 200);
-        assert_eq!(
-            scrape(&router, "chemcost_advise_cache_entries"),
-            0,
-            "reload must drop the model's cached answers"
-        );
+
+        // The old answer is demoted, not dropped: it stays cached as an
+        // overload fallback but is invisible to the normal probe.
+        assert_eq!(scrape(&router, "chemcost_advise_cache_entries"), 1);
 
         // The next advise is a miss against the new version, not a stale hit.
         let hits_before = scrape(&router, "chemcost_advise_cache_hits_total");
@@ -658,7 +859,107 @@ mod tests {
         assert_eq!(scrape(&router, "chemcost_advise_cache_misses_total"), 2);
         let parsed = json_of(&v2);
         assert_eq!(parsed.get("model_version").and_then(Json::as_usize), Some(2));
+        assert!(parsed.get("stale").is_none(), "fresh answer must not be stale-labelled");
 
-        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn overloaded_advise_serves_labelled_stale_answer() {
+        let (router, path, x, y) = file_backed_router("stale");
+
+        let body = r#"{"o": 120, "v": 900, "goal": "stq"}"#;
+        assert_eq!(post(&router, "/v1/advise", body).status, 200);
+
+        // Reload to v2 so the cached v1 answer demotes to stale.
+        let mut gb2 = GradientBoosting::new(20, 3, 0.2);
+        gb2.seed = 11;
+        gb2.fit(&x, &y).unwrap();
+        chemcost_ml::persist::save_gb(&path, &gb2).unwrap();
+        assert_eq!(post(&router, "/v1/models/gb/reload", "").status, 200);
+
+        // Simulate overload: the pool just shed a connection.
+        router.metrics().record_shed();
+        let resp = post(&router, "/v1/advise", body);
+        assert_eq!(resp.status, 200);
+        let parsed = json_of(&resp);
+        assert_eq!(parsed.get("stale").and_then(Json::as_bool), Some(true));
+        // The stale replay keeps the version it was computed against.
+        assert_eq!(parsed.get("model_version").and_then(Json::as_usize), Some(1));
+        assert_eq!(scrape(&router, "chemcost_advise_stale_served_total"), 1);
+
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn failed_reload_keeps_serving_and_reports_last_good() {
+        let (router, path, _x, _y) = file_backed_router("swr");
+        std::fs::write(&path, b"garbage, not a model").unwrap();
+
+        let resp = post(&router, "/v1/models/gb/reload", "");
+        assert_eq!(resp.status, 500);
+        let parsed = json_of(&resp);
+        assert!(parsed.get("error").is_some());
+        assert_eq!(parsed.get("serving_model").and_then(Json::as_str), Some("gb"));
+        assert_eq!(parsed.get("serving_version").and_then(Json::as_usize), Some(1));
+
+        // The service still answers from the last-good model...
+        let ok = post(&router, "/v1/advise", r#"{"o": 120, "v": 900, "goal": "stq"}"#);
+        assert_eq!(ok.status, 200);
+        assert_eq!(json_of(&ok).get("model_version").and_then(Json::as_usize), Some(1));
+        // ...and the staleness instruments are live.
+        assert_eq!(scrape(&router, "chemcost_model_reload_failures_total"), 1);
+        assert!(router.metrics().model_staleness_seconds() >= 0.0);
+
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    fn with_deadline(path: &str, body: &str, deadline: &str) -> Request {
+        let mut req = Request::new("POST", path, body.as_bytes());
+        req.headers.insert("x-deadline-ms".to_string(), deadline.to_string());
+        req
+    }
+
+    #[test]
+    fn bad_deadline_headers_get_structured_400() {
+        let router = test_router();
+        let body = r#"{"o": 120, "v": 900, "goal": "stq"}"#;
+        for bad in ["0", "-5", "banana", "18446744073709551616", "500, 9000", ""] {
+            let resp = router.handle(&with_deadline("/v1/advise", body, bad));
+            assert_eq!(resp.status, 400, "deadline {bad:?}");
+            assert!(json_of(&resp).get("error").is_some(), "deadline {bad:?}");
+        }
+        // A generous valid deadline passes through untouched.
+        let resp = router.handle(&with_deadline("/v1/advise", body, "60000"));
+        assert_eq!(resp.status, 200);
+    }
+
+    #[test]
+    fn queue_expired_budget_is_504_at_dequeue() {
+        let router = test_router();
+        let req = with_deadline("/v1/advise", r#"{"o": 120, "v": 900, "goal": "stq"}"#, "10");
+        // The request "arrived" 50 ms ago with a 10 ms budget: it spent
+        // its whole deadline in the queue.
+        let arrived = Instant::now() - Duration::from_millis(50);
+        let resp = router.handle_from(&req, arrived);
+        assert_eq!(resp.status, 504);
+        let parsed = json_of(&resp);
+        assert_eq!(parsed.get("error").and_then(Json::as_str), Some("deadline exceeded"));
+        assert_eq!(parsed.get("stage").and_then(Json::as_str), Some("queue"));
+        assert_eq!(parsed.get("deadline_ms").and_then(Json::as_usize), Some(10));
+        assert_eq!(scrape(&router, "chemcost_deadline_exceeded_total{stage=\"queue\"}"), 1);
+    }
+
+    #[test]
+    fn default_deadline_applies_when_header_absent() {
+        let router = test_router().with_default_deadline_ms(Some(10));
+        let req = Request::new("POST", "/v1/advise", br#"{"o": 120, "v": 900, "goal": "stq"}"#);
+        let arrived = Instant::now() - Duration::from_millis(50);
+        let resp = router.handle_from(&req, arrived);
+        assert_eq!(resp.status, 504);
+        // An explicit header beats the default.
+        let generous =
+            with_deadline("/v1/advise", r#"{"o": 120, "v": 900, "goal": "stq"}"#, "60000");
+        assert_eq!(router.handle_from(&generous, arrived).status, 200);
     }
 }

@@ -23,7 +23,9 @@ use chemcost::ml::importance::ranked_importance;
 use chemcost::ml::metrics::Scores;
 use chemcost::ml::persist::{load_gb, save_gb};
 use chemcost::ml::Regressor;
-use chemcost::serve::{ModelRegistry, Router, Server};
+use chemcost::serve::{
+    ChaosProfile, Client, FaultPlane, ModelRegistry, RetryPolicy, Router, Server,
+};
 use chemcost::sim::datagen::{generate_dataset_sized, read_csv, table1_count, write_csv};
 use chemcost::sim::machine::by_name;
 use chemcost::sim::molecules::{self, BasisSet};
@@ -50,7 +52,16 @@ fn known_options(command: &str) -> Option<&'static [&'static str]> {
             Some(&["model", "machine", "o", "v", "molecule", "basis", "goal", "budget", "deadline"])
         }
         "evaluate" | "importance" => Some(&["model", "data"]),
-        "serve" => Some(&["addr", "model", "machine", "workers", "queue-cap"]),
+        "serve" => Some(&[
+            "addr",
+            "model",
+            "machine",
+            "workers",
+            "queue-cap",
+            "chaos",
+            "default-deadline-ms",
+        ]),
+        "call" => Some(&["addr", "method", "path", "body", "deadline-ms", "retries"]),
         "trace" => Some(&[
             "machine", "o", "v", "molecule", "basis", "nodes", "tile", "noise", "seed", "out",
         ]),
@@ -129,8 +140,14 @@ fn usage() -> &'static str {
        trace      --machine NAME --nodes N --tile T (--o O --v V | --molecule ... --basis ...)\n\
                   [--noise SIGMA] [--seed S] [--out FILE]  (per-task JSONL + utilization)\n\
        serve      --model FILE --machine NAME [--addr HOST:PORT] [--workers N] [--queue-cap N]\n\
+                  [--default-deadline-ms MS] [--chaos slow-io|drop-conn|truncate-body|\n\
+                   saturate|poison-reload|all]  (chaos seeded by CHEMCOST_CHAOS_SEED)\n\
+       call       --path /v1/… [--addr HOST:PORT] [--method GET|POST] [--body JSON]\n\
+                  [--deadline-ms MS] [--retries N]  (retrying client; GET and\n\
+                   /v1/advise retry, other POSTs get one attempt)\n\
      observability: set CHEMCOST_LOG=error|warn|info|debug|trace for structured logs on\n\
-     stderr, CHEMCOST_LOG_JSON=FILE for a JSONL copy (see docs/OBSERVABILITY.md)"
+     stderr, CHEMCOST_LOG_JSON=FILE for a JSONL copy (see docs/OBSERVABILITY.md,\n\
+     docs/ROBUSTNESS.md)"
 }
 
 fn machine_of(args: &Args) -> Result<chemcost::sim::MachineModel, String> {
@@ -372,7 +389,17 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     registry.load_file(&model_name, machine_name, &model_path)?;
     registry.set_default(machine_name, &model_name)?;
 
-    let router = Router::new(registry);
+    let default_deadline_ms = match args.options.get("default-deadline-ms") {
+        Some(_) => {
+            let ms = args.get_parse::<u64>("default-deadline-ms")?;
+            if ms == 0 {
+                return Err("--default-deadline-ms must be at least 1".into());
+            }
+            Some(ms)
+        }
+        None => None,
+    };
+    let router = Router::new(registry).with_default_deadline_ms(default_deadline_ms);
     let mut server =
         Server::bind(addr, router, workers).map_err(|e| format!("binding {addr}: {e}"))?;
     if args.options.contains_key("queue-cap") {
@@ -382,14 +409,62 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         }
         server = server.with_queue_cap(cap);
     }
+    let mut chaos_note = String::new();
+    if let Some(profile) = args.options.get("chaos") {
+        let profile = ChaosProfile::parse(profile)
+            .ok_or_else(|| format!("unknown --chaos {profile:?} ({})", ChaosProfile::NAMES))?;
+        let plane = std::sync::Arc::new(FaultPlane::from_profile(profile));
+        chaos_note = format!(", CHAOS {} seed {}", profile.name(), plane.seed());
+        server = server.with_faults(plane);
+    }
     let bound = server.local_addr().map_err(|e| format!("local addr: {e}"))?;
     eprintln!(
         "chemcost-serve listening on http://{bound} \
          (model {model_name:?} for {machine_name}, {workers} workers, \
-         queue capacity {}; POST /v1/shutdown to stop)",
+         queue capacity {}{chaos_note}; POST /v1/shutdown to stop)",
         server.queue_cap()
     );
     server.run().map_err(|e| format!("server error: {e}"))
+}
+
+/// `chemcost call` — one HTTP call through the retrying client. Prints
+/// the response body to stdout and a short status line to stderr; the
+/// exit code is 0 for 2xx, 1 otherwise, so scripts can branch on it.
+fn cmd_call(args: &Args) -> Result<(), String> {
+    let addr = args.get("addr").unwrap_or("127.0.0.1:8080");
+    let path = args.get("path")?;
+    if !path.starts_with('/') {
+        return Err(format!("--path must start with '/', got {path:?}"));
+    }
+    let body = args.get("body").unwrap_or("");
+    let method = match args.get("method") {
+        Ok(m) => m.to_ascii_uppercase(),
+        Err(_) if body.is_empty() => "GET".to_string(),
+        Err(_) => "POST".to_string(),
+    };
+    let mut policy = RetryPolicy::default();
+    if args.options.contains_key("retries") {
+        policy.max_attempts = args.get_parse::<u32>("retries")?.saturating_add(1);
+    }
+    let mut client = Client::new(addr).with_policy(policy);
+    if args.options.contains_key("deadline-ms") {
+        client = client.with_deadline_ms(Some(args.get_parse::<u64>("deadline-ms")?));
+    }
+    let resp =
+        client.call(&method, path, body.as_bytes()).map_err(|e| format!("{method} {path}: {e}"))?;
+    eprintln!(
+        "{} {} → {} ({} attempt{})",
+        method,
+        path,
+        resp.status,
+        resp.attempts,
+        if resp.attempts == 1 { "" } else { "s" }
+    );
+    println!("{}", resp.text());
+    if resp.status >= 400 {
+        return Err(format!("server answered {}", resp.status));
+    }
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -412,6 +487,7 @@ fn main() -> ExitCode {
         "importance" => cmd_importance(&args),
         "trace" => cmd_trace(&args),
         "serve" => cmd_serve(&args),
+        "call" => cmd_call(&args),
         "molecules" => cmd_molecules(),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
@@ -510,6 +586,38 @@ mod tests {
         // Options on an unknown command parse; main reports the command.
         let a = parse_args(&argv(&["frobnicate", "--whatever", "1"])).unwrap();
         assert_eq!(a.command, "frobnicate");
+    }
+
+    #[test]
+    fn chaos_and_deadline_serve_options_accepted() {
+        let a = parse_args(&argv(&[
+            "serve",
+            "--model=m.ccgb",
+            "--machine=aurora",
+            "--chaos=poison-reload",
+            "--default-deadline-ms=250",
+        ]))
+        .unwrap();
+        assert_eq!(a.get("chaos").unwrap(), "poison-reload");
+        assert_eq!(a.get_parse::<u64>("default-deadline-ms").unwrap(), 250);
+        // Typos are still rejected.
+        assert!(parse_args(&argv(&["serve", "--model=m.ccgb", "--kaos=all"])).is_err());
+    }
+
+    #[test]
+    fn call_options_accepted() {
+        let a = parse_args(&argv(&[
+            "call",
+            "--path=/v1/advise",
+            "--body",
+            r#"{"o":120,"v":900}"#,
+            "--deadline-ms=500",
+            "--retries=2",
+        ]))
+        .unwrap();
+        assert_eq!(a.get("path").unwrap(), "/v1/advise");
+        assert_eq!(a.get_parse::<u64>("deadline-ms").unwrap(), 500);
+        assert_eq!(a.get_parse::<u32>("retries").unwrap(), 2);
     }
 
     #[test]

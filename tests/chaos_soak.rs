@@ -1,0 +1,237 @@
+//! Chaos soak: drive the real `chemcost serve` binary under fault
+//! injection with the retrying client, and hold the robustness layer to
+//! its contract (docs/ROBUSTNESS.md):
+//!
+//! * every *delivered* response is well-formed — a 2xx answer or a
+//!   structured JSON error, never a bare string or a torn body that
+//!   parses;
+//! * advise answers always name the model and version that served them;
+//! * the robustness metrics (`chemcost_deadline_exceeded_total`,
+//!   `chemcost_model_staleness_seconds`, …) are scrapeable and the
+//!   exposition passes the in-repo linter with every required family
+//!   present.
+//!
+//! Injection is deterministic (seeded SplitMix64 streams), so these
+//! soaks replay identically run to run; CI executes this file as the
+//! `chaos` job.
+
+use chemcost::serve::metrics::{lint_exposition_with_required, REQUIRED_SERIES};
+use chemcost::serve::{Client, RetryPolicy};
+use std::io::{BufRead, BufReader};
+use std::path::PathBuf;
+use std::process::{Child, Command};
+use std::time::Duration;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_chemcost"))
+}
+
+/// A running `chemcost serve --chaos <profile>` child plus its address.
+struct ChaosServer {
+    child: Child,
+    addr: String,
+    dir: PathBuf,
+}
+
+impl ChaosServer {
+    /// Generate data, train a tiny model, and start the server under
+    /// the given chaos profile.
+    fn start(profile: &str, tag: &str) -> ChaosServer {
+        let dir = std::env::temp_dir().join(format!("chemcost_chaos_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("data.csv");
+        let model = dir.join("tiny.ccgb");
+
+        let out = bin()
+            .args(["generate", "--machine", "aurora", "--out"])
+            .arg(&data)
+            .args(["--size", "80", "--seed", "3"])
+            .output()
+            .expect("spawn generate");
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        let out = bin()
+            .args(["train", "--fast", "--data"])
+            .arg(&data)
+            .arg("--out")
+            .arg(&model)
+            .output()
+            .expect("spawn train");
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+        let mut child = bin()
+            .args(["serve", "--model"])
+            .arg(&model)
+            .args(["--machine", "aurora", "--addr", "127.0.0.1:0", "--workers", "2"])
+            .args(["--chaos", profile])
+            .stderr(std::process::Stdio::piped())
+            .spawn()
+            .expect("spawn serve");
+        let stderr = child.stderr.take().expect("piped stderr");
+        let mut line = String::new();
+        BufReader::new(stderr).read_line(&mut line).expect("startup line");
+        assert!(line.contains("CHAOS"), "chaos profile missing from startup line: {line:?}");
+        let addr = line
+            .split("http://")
+            .nth(1)
+            .and_then(|rest| rest.split_whitespace().next())
+            .unwrap_or_else(|| panic!("no address in startup line {line:?}"))
+            .to_string();
+        ChaosServer { child, addr, dir }
+    }
+
+    fn client(&self) -> Client {
+        Client::new(&self.addr).with_policy(RetryPolicy {
+            max_attempts: 5,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(50),
+            seed: 11,
+        })
+    }
+
+    /// Scrape `/metrics` and require a lint-clean exposition with every
+    /// catalogued family present.
+    fn assert_metrics_clean(&self) -> String {
+        let resp = self.client().get("/metrics").expect("scrape /metrics");
+        assert_eq!(resp.status, 200);
+        let text = resp.text();
+        if let Err(problems) = lint_exposition_with_required(&text, REQUIRED_SERIES) {
+            panic!("exposition fails the linter: {problems:?}\n{text}");
+        }
+        text
+    }
+
+    fn shutdown(mut self) {
+        // Shutdown itself may race in-flight chaos; a transport error
+        // here just means the server saw the request and died mid-write.
+        let _ = self.client().post("/v1/shutdown", b"");
+        let status = self.child.wait().expect("wait for serve");
+        assert!(status.success(), "serve exited with {status:?}");
+        std::fs::remove_dir_all(&self.dir).ok();
+    }
+}
+
+/// The acceptance soak: 500 sequential advise calls under poisoned
+/// reloads must all deliver well-formed, version-stamped answers.
+#[test]
+fn poison_reload_soak_keeps_every_answer_well_formed() {
+    let server = ChaosServer::start("poison-reload", "poison");
+    let client = server.client();
+
+    let mut reload_failures = 0u32;
+    for i in 0..500 {
+        // Interleave hot reloads so the poison actually fires; the file
+        // on disk stays valid, so only injected faults can fail them.
+        if i % 10 == 0 {
+            match client.post("/v1/models/tiny/reload", b"") {
+                Ok(resp) => {
+                    assert!(
+                        resp.is_well_formed(),
+                        "reload response not well-formed: {} {}",
+                        resp.status,
+                        resp.text()
+                    );
+                    if resp.status == 500 {
+                        reload_failures += 1;
+                        // Degraded reloads still report what is serving.
+                        let v = resp.json().unwrap();
+                        assert!(v.get("serving_version").is_some(), "{}", resp.text());
+                    }
+                }
+                Err(e) => panic!("reload call {i} failed at transport level: {e}"),
+            }
+        }
+        let resp = client
+            .advise(r#"{"o": 120, "v": 900, "goal": "stq"}"#)
+            .unwrap_or_else(|e| panic!("advise call {i} not delivered: {e}"));
+        assert!(
+            resp.is_well_formed(),
+            "advise call {i} not well-formed: {} {}",
+            resp.status,
+            resp.text()
+        );
+        assert_eq!(resp.status, 200, "advise call {i}: {}", resp.text());
+        let v = resp.json().unwrap();
+        assert!(v.get("model").is_some(), "call {i} lost the model name: {}", resp.text());
+        let version = v.get("model_version").and_then(|j| j.as_usize());
+        assert!(version.is_some_and(|v| v >= 1), "call {i} lost the version: {}", resp.text());
+    }
+    assert!(reload_failures > 0, "poison-reload never fired across 50 reloads");
+
+    let metrics = server.assert_metrics_clean();
+    for series in ["chemcost_deadline_exceeded_total", "chemcost_model_staleness_seconds"] {
+        assert!(metrics.contains(series), "{series} missing:\n{metrics}");
+    }
+    // The injected failures surface in both the fault and reload series.
+    assert!(
+        metrics.contains(r#"chemcost_faults_injected_total{kind="poison-reload"}"#),
+        "{metrics}"
+    );
+    let failures = metrics
+        .lines()
+        .find_map(|l| l.strip_prefix("chemcost_model_reload_failures_total "))
+        .and_then(|v| v.trim().parse::<u32>().ok())
+        .expect("reload failure counter present");
+    assert_eq!(failures, reload_failures, "metrics disagree with observed 500s");
+
+    server.shutdown();
+}
+
+/// Slow reads delay answers but never malform them; a generous deadline
+/// rides along on every request to exercise the header path end to end.
+#[test]
+fn slow_io_soak_delays_but_never_malforms() {
+    let server = ChaosServer::start("slow-io", "slowio");
+    let client = server.client().with_deadline_ms(Some(8_000));
+
+    for i in 0..150 {
+        let resp = client
+            .advise(r#"{"o": 100, "v": 800, "goal": "stq"}"#)
+            .unwrap_or_else(|e| panic!("advise call {i} not delivered: {e}"));
+        assert!(resp.is_well_formed(), "call {i}: {} {}", resp.status, resp.text());
+        assert_eq!(resp.status, 200, "call {i}: {}", resp.text());
+    }
+
+    let metrics = server.assert_metrics_clean();
+    assert!(
+        metrics.contains(r#"chemcost_faults_injected_total{kind="slow-io"}"#),
+        "slow-io never fired:\n{metrics}"
+    );
+    server.shutdown();
+}
+
+/// Dropped connections tear responses mid-write; the strict client
+/// parser must surface each tear as a transport error (retried), never
+/// as a short body, and retries must recover nearly every call.
+#[test]
+fn drop_conn_soak_retries_through_torn_responses() {
+    let server = ChaosServer::start("drop-conn", "dropconn");
+    let client = server.client();
+
+    let (mut delivered, mut exhausted) = (0u32, 0u32);
+    let mut retried_calls = 0u32;
+    for i in 0..200 {
+        match client.advise(r#"{"o": 110, "v": 850, "goal": "stq"}"#) {
+            Ok(resp) => {
+                delivered += 1;
+                if resp.attempts > 1 {
+                    retried_calls += 1;
+                }
+                assert!(resp.is_well_formed(), "call {i}: {} {}", resp.status, resp.text());
+                assert_eq!(resp.status, 200, "call {i}: {}", resp.text());
+            }
+            // With a 15% drop rate, five attempts exhaust ~0.008% of
+            // the time — and deterministically so under fixed seeds.
+            Err(e) => {
+                exhausted += 1;
+                assert!(
+                    matches!(e, chemcost::serve::ClientError::Exhausted { .. }),
+                    "call {i}: unexpected terminal error {e}"
+                );
+            }
+        }
+    }
+    assert!(delivered >= 195, "only {delivered}/200 delivered ({exhausted} exhausted)");
+    assert!(retried_calls > 0, "drop-conn never forced a retry across 200 calls");
+
+    server.shutdown();
+}

@@ -8,7 +8,17 @@
 //! per-iteration median, mean, and min over the sampled runs. A filter
 //! substring may be passed on the command line (`cargo bench -- predict`)
 //! exactly like real criterion.
+//!
+//! `--save-baseline NAME` (also criterion-compatible) additionally
+//! records every benchmark's median into `BENCH_NAME.json` — or the
+//! path in `CHEMCOST_BENCH_JSON` when set — merging with any results
+//! already in the file so several bench binaries can contribute to one
+//! baseline. CI's bench-regression job diffs two such files with the
+//! `bench_compare` binary.
 
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -93,6 +103,13 @@ impl Bencher {
         }
     }
 
+    /// Median per-iteration time over the collected samples.
+    fn median(&self) -> Option<Duration> {
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        sorted.get(sorted.len() / 2).copied()
+    }
+
     fn report(&self, name: &str, throughput: Option<Throughput>) {
         if self.samples.is_empty() {
             println!("{name:<40} (no samples)");
@@ -119,6 +136,123 @@ impl Bencher {
     }
 }
 
+/// Command-line options recognized by the harness.
+#[derive(Debug, Default, Clone, PartialEq)]
+struct CliArgs {
+    /// Substring filter on benchmark names (first free argument).
+    filter: Option<String>,
+    /// Baseline name from `--save-baseline NAME` / `--save-baseline=NAME`.
+    save_baseline: Option<String>,
+}
+
+/// Parse bench CLI arguments (everything after the binary name). The
+/// value following `--save-baseline` is an option value, **not** a
+/// filter, so `cargo bench -- --save-baseline pr` runs every benchmark.
+fn parse_cli<I: Iterator<Item = String>>(mut args: I) -> CliArgs {
+    let mut parsed = CliArgs::default();
+    while let Some(arg) = args.next() {
+        if arg == "--save-baseline" {
+            parsed.save_baseline = args.next();
+        } else if let Some(name) = arg.strip_prefix("--save-baseline=") {
+            parsed.save_baseline = Some(name.to_string());
+        } else if arg == "--bench" || arg.starts_with('-') {
+            // Harness flags (real criterion accepts many); ignored.
+        } else if parsed.filter.is_none() {
+            parsed.filter = Some(arg);
+        }
+    }
+    parsed
+}
+
+/// Process-wide baseline recorder, shared by every group so one JSON
+/// file collects the whole binary's medians.
+struct BaselineSaver {
+    path: PathBuf,
+    baseline: String,
+    /// name → median nanoseconds per iteration; pre-seeded from the
+    /// file on disk so successive bench binaries merge, not clobber.
+    results: Mutex<BTreeMap<String, f64>>,
+}
+
+impl BaselineSaver {
+    /// Build from parsed args: `None` unless `--save-baseline` was given.
+    /// `CHEMCOST_BENCH_JSON` overrides the default `BENCH_<name>.json`
+    /// output path (cargo runs bench binaries from the package root, so
+    /// CI pins an absolute path).
+    fn from_args(args: &CliArgs) -> Option<BaselineSaver> {
+        let baseline = args.save_baseline.clone()?;
+        let path = std::env::var_os("CHEMCOST_BENCH_JSON")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from(format!("BENCH_{baseline}.json")));
+        let results = std::fs::read_to_string(&path)
+            .ok()
+            .map(|text| parse_results(&text))
+            .unwrap_or_default();
+        Some(BaselineSaver { path, baseline, results: Mutex::new(results) })
+    }
+
+    /// Record one median and rewrite the file (a handful of benchmarks,
+    /// so write-per-result keeps partial runs useful).
+    fn record(&self, name: &str, median: Duration) {
+        let mut results = self.results.lock().unwrap();
+        results.insert(name.to_string(), median.as_nanos() as f64);
+        let _ = std::fs::write(&self.path, render_results(&self.baseline, &results));
+    }
+}
+
+/// Serialize a baseline file: one `"name": ns` pair per line, sorted,
+/// so diffs between committed baselines stay reviewable.
+fn render_results(baseline: &str, results: &BTreeMap<String, f64>) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"baseline\": \"{}\",\n", escape(baseline)));
+    out.push_str("  \"unit\": \"median_ns_per_iter\",\n");
+    out.push_str("  \"results\": {\n");
+    for (i, (name, ns)) in results.iter().enumerate() {
+        let sep = if i + 1 == results.len() { "" } else { "," };
+        out.push_str(&format!("    \"{}\": {ns:.1}{sep}\n", escape(name)));
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// Parse the `results` object back out of a baseline file. Line-based:
+/// this reads only the format `render_results` writes (one pair per
+/// line), which is all the merge path needs.
+fn parse_results(text: &str) -> BTreeMap<String, f64> {
+    let mut results = BTreeMap::new();
+    let mut in_results = false;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.starts_with("\"results\"") {
+            in_results = true;
+            continue;
+        }
+        if !in_results {
+            continue;
+        }
+        if line.starts_with('}') {
+            break;
+        }
+        if let Some((key, value)) = line.split_once(':') {
+            let key = key.trim().trim_matches('"').replace("\\\"", "\"").replace("\\\\", "\\");
+            if let Ok(ns) = value.trim().trim_end_matches(',').parse::<f64>() {
+                results.insert(key, ns);
+            }
+        }
+    }
+    results
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn global_saver() -> Option<&'static BaselineSaver> {
+    static SAVER: OnceLock<Option<BaselineSaver>> = OnceLock::new();
+    SAVER.get_or_init(|| BaselineSaver::from_args(&parse_cli(std::env::args().skip(1)))).as_ref()
+}
+
 /// Benchmark driver.
 pub struct Criterion {
     filter: Option<String>,
@@ -127,9 +261,8 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        // `cargo bench -- <filter>` passes the filter as a free argument.
-        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-') && a != "--bench");
-        Self { filter, sample_size: 10 }
+        let args = parse_cli(std::env::args().skip(1));
+        Self { filter: args.filter, sample_size: 10 }
     }
 }
 
@@ -169,6 +302,9 @@ impl Criterion {
         let mut b = Bencher { samples: Vec::new(), sample_size };
         f(&mut b);
         b.report(name, throughput);
+        if let (Some(saver), Some(median)) = (global_saver(), b.median()) {
+            saver.record(name, median);
+        }
     }
 }
 
@@ -298,5 +434,54 @@ mod tests {
     fn benchmark_id_forms() {
         assert_eq!(BenchmarkId::new("f", 32).id, "f/32");
         assert_eq!(BenchmarkId::from_parameter("p").id, "p");
+    }
+
+    fn cli(args: &[&str]) -> CliArgs {
+        parse_cli(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn save_baseline_value_is_not_a_filter() {
+        let parsed = cli(&["--save-baseline", "pr"]);
+        assert_eq!(parsed.save_baseline.as_deref(), Some("pr"));
+        assert_eq!(parsed.filter, None, "baseline name must not filter benchmarks");
+
+        let parsed = cli(&["--save-baseline=main", "gemm", "--bench"]);
+        assert_eq!(parsed.save_baseline.as_deref(), Some("main"));
+        assert_eq!(parsed.filter.as_deref(), Some("gemm"));
+    }
+
+    #[test]
+    fn results_render_parse_roundtrip_and_merge() {
+        let mut results = BTreeMap::new();
+        results.insert("serve/advise".to_string(), 1234.5);
+        results.insert("sweep/flat_batched".to_string(), 9.0);
+        let text = render_results("pr", &results);
+        assert!(text.contains("\"baseline\": \"pr\""), "{text}");
+        assert_eq!(parse_results(&text), results);
+
+        // Merging: a second binary's saver seeds from the existing file.
+        let dir = std::env::temp_dir().join(format!("criterion-shim-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_test.json");
+        std::fs::write(&path, &text).unwrap();
+        let saver = BaselineSaver {
+            path: path.clone(),
+            baseline: "pr".to_string(),
+            results: Mutex::new(parse_results(&std::fs::read_to_string(&path).unwrap())),
+        };
+        saver.record("other/bench", Duration::from_nanos(500));
+        let merged = parse_results(&std::fs::read_to_string(&path).unwrap());
+        assert_eq!(merged.len(), 3, "{merged:?}");
+        assert_eq!(merged["serve/advise"], 1234.5);
+        assert_eq!(merged["other/bench"], 500.0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_results_render_as_valid_empty_object() {
+        let text = render_results("pr", &BTreeMap::new());
+        assert!(text.contains("\"results\": {\n  }"), "{text}");
+        assert!(parse_results(&text).is_empty());
     }
 }
