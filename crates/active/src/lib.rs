@@ -24,4 +24,4 @@ pub mod learner;
 pub mod strategy;
 
 pub use learner::{run_active_learning, ActiveConfig, ActiveRun, GoalEvaluator, RoundRecord};
-pub use strategy::Strategy;
+pub use strategy::{rank_next_experiments, RankedCandidate, Strategy};

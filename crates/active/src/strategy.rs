@@ -7,7 +7,7 @@ use chemcost_ml::preprocessing::StandardScaler;
 use chemcost_ml::rand_util::bootstrap_indices;
 use chemcost_ml::traits::{Regressor, UncertaintyRegressor};
 use rand::rngs::StdRng;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 
 /// An active-learning query strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -217,6 +217,50 @@ fn make_gb(
     gb
 }
 
+/// One pool candidate ranked by an acquisition strategy: its row index
+/// into the caller's candidate matrix plus its informativeness score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankedCandidate {
+    /// Row of the candidate in the unlabelled pool passed in.
+    pub index: usize,
+    /// Acquisition score (higher = measure first). For
+    /// [`Strategy::Uncertainty`] this is the GP's relative uncertainty
+    /// `σ/|μ|` at the candidate.
+    pub score: f64,
+}
+
+/// Rank an unlabelled candidate pool by uncertainty sampling (US,
+/// Algorithm 1) against a labelled observation set, returning the `k`
+/// most informative candidates, best first.
+///
+/// This is the crate's strategy machinery exposed as a one-shot call so
+/// other layers — e.g. the serving daemon's drift-triggered "which
+/// configurations should we measure next?" endpoint — can reuse it over
+/// an arbitrary observation pool without running the full simulated
+/// learning loop. Fails like any model fit does (e.g. fewer labelled
+/// rows than the GP can work with).
+pub fn rank_next_experiments(
+    x_labeled: &Matrix,
+    y_labeled: &[f64],
+    x_pool: &Matrix,
+    k: usize,
+    seed: u64,
+) -> Result<Vec<RankedCandidate>, chemcost_ml::FitError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (_, scores) = RoundModel::fit_and_score(
+        Strategy::Uncertainty,
+        x_labeled,
+        y_labeled,
+        x_pool,
+        (60, 3, 0.1),
+        &mut rng,
+    )?;
+    Ok(top_k(&scores, k)
+        .into_iter()
+        .map(|index| RankedCandidate { index, score: scores[index] })
+        .collect())
+}
+
 /// Indices of the `k` highest-scoring candidates (the paper's
 /// `argsort(-score)[..query_size]`).
 pub(crate) fn top_k(scores: &[f64], k: usize) -> Vec<usize> {
@@ -229,7 +273,6 @@ pub(crate) fn top_k(scores: &[f64], k: usize) -> Vec<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn abbrevs() {
@@ -342,6 +385,36 @@ mod tests {
         assert_eq!(Strategy::all_extended().len(), 5);
         assert_eq!(Strategy::ExpectedModelChange { n_members: 5 }.abbrev(), "EMC");
         assert_eq!(Strategy::Diversity.abbrev(), "DIV");
+    }
+
+    #[test]
+    fn rank_next_experiments_orders_by_uncertainty() {
+        let x_lab = Matrix::from_fn(20, 1, |i, _| i as f64 * 0.1);
+        let y_lab: Vec<f64> = (0..20).map(|i| (i as f64 * 0.1).sin() + 2.0).collect();
+        // Pool: rows 0..5 interleave the labelled region, rows 5..10 are far out.
+        let x_pool =
+            Matrix::from_fn(
+                10,
+                1,
+                |i, _| {
+                    if i < 5 {
+                        i as f64 * 0.1 + 0.05
+                    } else {
+                        20.0 + i as f64
+                    }
+                },
+            );
+        let ranked = rank_next_experiments(&x_lab, &y_lab, &x_pool, 3, 7).unwrap();
+        assert_eq!(ranked.len(), 3);
+        // Best-first ordering with distinct indices.
+        assert!(ranked[0].score >= ranked[1].score && ranked[1].score >= ranked[2].score);
+        let mut idx: Vec<usize> = ranked.iter().map(|r| r.index).collect();
+        idx.dedup();
+        assert_eq!(idx.len(), 3);
+        // The far, unseen region must dominate the ranking.
+        assert!(ranked.iter().all(|r| r.index >= 5), "{ranked:?}");
+        // Determinism: same seed, same ranking.
+        assert_eq!(rank_next_experiments(&x_lab, &y_lab, &x_pool, 3, 7).unwrap(), ranked);
     }
 
     #[test]

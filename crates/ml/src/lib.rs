@@ -58,6 +58,7 @@ pub mod linear;
 pub mod metrics;
 pub mod mlp;
 pub mod model_selection;
+pub mod monitor;
 pub mod partial_dependence;
 pub mod persist;
 pub mod polynomial;

@@ -1,0 +1,314 @@
+//! Incremental model-quality accumulators for production monitoring.
+//!
+//! The serving layer records every `(predicted, measured)` runtime pair
+//! it learns about; this module turns that stream into the numbers a
+//! dashboard wants without ever storing more than a bounded window:
+//!
+//! * [`RollingQuality`] — a sliding window of residuals exposing
+//!   windowed MAPE, signed bias, absolute-residual quantiles, and
+//!   GP-uncertainty calibration (the fraction of residuals inside the
+//!   predicted `±σ` band);
+//! * [`PageHinkley`] — the classic Page–Hinkley cumulative-deviation
+//!   test over a non-negative error stream (here: absolute percentage
+//!   errors), which trips when the stream's level rises by more than a
+//!   tolerated drift for long enough — the "this model has gone stale"
+//!   signal that kicks off retraining advice.
+//!
+//! Everything is plain `f64` arithmetic over a `VecDeque`; the caller
+//! supplies the locking (one accumulator per served model, behind the
+//! serving layer's registry lock).
+
+use std::collections::VecDeque;
+
+/// One prediction/ground-truth pair, plus the model's uncertainty for
+/// the prediction when it had one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Residual {
+    /// The runtime the model promised, in seconds.
+    pub predicted: f64,
+    /// The runtime actually measured, in seconds (must be `> 0`).
+    pub measured: f64,
+    /// The model's 1-σ uncertainty for this prediction, when available.
+    pub sigma: Option<f64>,
+}
+
+impl Residual {
+    /// Signed error in seconds (`predicted − measured`).
+    pub fn signed(&self) -> f64 {
+        self.predicted - self.measured
+    }
+
+    /// Absolute percentage error `|predicted − measured| / measured`.
+    pub fn ape(&self) -> f64 {
+        (self.predicted - self.measured).abs() / self.measured
+    }
+}
+
+/// Sliding-window rolling accuracy statistics.
+///
+/// Keeps the most recent `capacity` residuals; all statistics are over
+/// that window, while [`RollingQuality::observations`] counts every pair
+/// ever pushed. Windowed statistics of an **empty** window are `NaN`
+/// (the Prometheus idiom for "no data yet"), never a misleading `0`.
+#[derive(Debug, Clone)]
+pub struct RollingQuality {
+    window: VecDeque<Residual>,
+    capacity: usize,
+    total: u64,
+}
+
+impl RollingQuality {
+    /// A window holding at most `capacity` residuals (minimum 1).
+    pub fn new(capacity: usize) -> RollingQuality {
+        RollingQuality { window: VecDeque::new(), capacity: capacity.max(1), total: 0 }
+    }
+
+    /// Record one pair, evicting the oldest when the window is full.
+    /// `measured` must be positive and finite — the caller validates
+    /// wire input before it gets here.
+    pub fn push(&mut self, predicted: f64, measured: f64, sigma: Option<f64>) {
+        if self.window.len() == self.capacity {
+            self.window.pop_front();
+        }
+        self.window.push_back(Residual { predicted, measured, sigma });
+        self.total += 1;
+    }
+
+    /// Residuals currently in the window.
+    pub fn len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Is the window empty?
+    pub fn is_empty(&self) -> bool {
+        self.window.is_empty()
+    }
+
+    /// Every pair ever pushed (not just the current window).
+    pub fn observations(&self) -> u64 {
+        self.total
+    }
+
+    /// Windowed mean absolute percentage error; `NaN` when empty.
+    pub fn mape(&self) -> f64 {
+        if self.window.is_empty() {
+            return f64::NAN;
+        }
+        self.window.iter().map(Residual::ape).sum::<f64>() / self.window.len() as f64
+    }
+
+    /// Windowed signed bias in seconds, `mean(predicted − measured)`:
+    /// positive means the model over-promises runtime. `NaN` when empty.
+    pub fn bias_seconds(&self) -> f64 {
+        if self.window.is_empty() {
+            return f64::NAN;
+        }
+        self.window.iter().map(Residual::signed).sum::<f64>() / self.window.len() as f64
+    }
+
+    /// Nearest-rank `q`-quantile of the windowed **absolute** residuals
+    /// in seconds (`q` in `(0, 1]`); `NaN` when empty.
+    pub fn residual_quantile(&self, q: f64) -> f64 {
+        if self.window.is_empty() {
+            return f64::NAN;
+        }
+        let mut abs: Vec<f64> = self.window.iter().map(|r| r.signed().abs()).collect();
+        abs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let rank = (q.clamp(0.0, 1.0) * abs.len() as f64).ceil() as usize;
+        abs[rank.max(1) - 1]
+    }
+
+    /// Uncertainty calibration: among windowed residuals that carried a
+    /// σ, the fraction whose absolute error is within that σ. A
+    /// well-calibrated Gaussian lands ≈ 0.68 here; ≈ 1.0 means σ is
+    /// too wide, ≈ 0.0 too confident. `NaN` until a σ-carrying
+    /// residual arrives.
+    pub fn calibration_ratio(&self) -> f64 {
+        let with_sigma: Vec<&Residual> = self.window.iter().filter(|r| r.sigma.is_some()).collect();
+        if with_sigma.is_empty() {
+            return f64::NAN;
+        }
+        let inside =
+            with_sigma.iter().filter(|r| r.signed().abs() <= r.sigma.expect("filtered")).count();
+        inside as f64 / with_sigma.len() as f64
+    }
+}
+
+/// Page–Hinkley test for an upward level shift in a non-negative error
+/// stream (Page 1954; the standard drift detector in streaming ML).
+///
+/// Maintains the cumulative sum of deviations from the running mean,
+/// minus a tolerated per-step drift `delta`; when the cumulative sum
+/// rises more than `lambda` above its historical minimum, the stream's
+/// level has shifted up and the detector trips. After a trip the caller
+/// decides what to do (flag the model degraded, propose experiments)
+/// and may [`PageHinkley::reset`] to re-arm.
+#[derive(Debug, Clone)]
+pub struct PageHinkley {
+    /// Tolerated drift per observation (shifts smaller than this never trip).
+    delta: f64,
+    /// Trip threshold on the cumulative deviation.
+    lambda: f64,
+    /// Minimum observations before the test may trip (warm-up).
+    min_n: u64,
+    n: u64,
+    mean: f64,
+    cum: f64,
+    cum_min: f64,
+}
+
+impl PageHinkley {
+    /// A detector with explicit parameters.
+    pub fn new(delta: f64, lambda: f64, min_n: u64) -> PageHinkley {
+        PageHinkley { delta, lambda, min_n, n: 0, mean: 0.0, cum: 0.0, cum_min: 0.0 }
+    }
+
+    /// Defaults tuned for an absolute-percentage-error stream: tolerate
+    /// a 0.02 APE level rise, trip once the cumulative excess reaches
+    /// 1.0 (e.g. ~4 observations at +0.25 APE), after a 10-observation
+    /// warm-up.
+    pub fn for_ape_stream() -> PageHinkley {
+        PageHinkley::new(0.02, 1.0, 10)
+    }
+
+    /// Observations consumed since construction or the last reset.
+    pub fn observations(&self) -> u64 {
+        self.n
+    }
+
+    /// Feed one observation; returns `true` when the detector trips.
+    /// Non-finite inputs are ignored (they are wire-validation bugs,
+    /// not drift).
+    pub fn update(&mut self, x: f64) -> bool {
+        if !x.is_finite() {
+            return false;
+        }
+        self.n += 1;
+        // Running mean first, so the deviation is against the stream's
+        // own history including this point (Page's original form).
+        self.mean += (x - self.mean) / self.n as f64;
+        self.cum += x - self.mean - self.delta;
+        self.cum_min = self.cum_min.min(self.cum);
+        self.n >= self.min_n && self.cum - self.cum_min > self.lambda
+    }
+
+    /// Re-arm after a trip: forget all state.
+    pub fn reset(&mut self) {
+        self.n = 0;
+        self.mean = 0.0;
+        self.cum = 0.0;
+        self.cum_min = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_window_is_nan_not_zero() {
+        let q = RollingQuality::new(8);
+        assert!(q.mape().is_nan());
+        assert!(q.bias_seconds().is_nan());
+        assert!(q.residual_quantile(0.5).is_nan());
+        assert!(q.calibration_ratio().is_nan());
+        assert_eq!(q.observations(), 0);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn mape_bias_and_quantiles_match_hand_computation() {
+        let mut q = RollingQuality::new(8);
+        q.push(110.0, 100.0, None); // ape 0.10, signed +10
+        q.push(90.0, 100.0, None); // ape 0.10, signed -10
+        q.push(130.0, 100.0, None); // ape 0.30, signed +30
+        assert!((q.mape() - (0.1 + 0.1 + 0.3) / 3.0).abs() < 1e-12);
+        assert!((q.bias_seconds() - 10.0).abs() < 1e-12);
+        // |residuals| sorted: [10, 10, 30]
+        assert_eq!(q.residual_quantile(0.5), 10.0);
+        assert_eq!(q.residual_quantile(0.99), 30.0);
+        assert_eq!(q.residual_quantile(1.0), 30.0);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.observations(), 3);
+    }
+
+    #[test]
+    fn window_slides_and_total_keeps_counting() {
+        let mut q = RollingQuality::new(2);
+        q.push(200.0, 100.0, None); // ape 1.0 — about to slide out
+        q.push(105.0, 100.0, None); // ape 0.05
+        q.push(110.0, 100.0, None); // ape 0.10
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.observations(), 3);
+        assert!((q.mape() - 0.075).abs() < 1e-12, "old residual must have slid out");
+    }
+
+    #[test]
+    fn calibration_counts_only_sigma_residuals() {
+        let mut q = RollingQuality::new(8);
+        q.push(105.0, 100.0, Some(10.0)); // |err| 5 <= 10: inside
+        q.push(130.0, 100.0, Some(10.0)); // |err| 30 > 10: outside
+        q.push(500.0, 100.0, None); // no sigma: excluded
+        assert!((q.calibration_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn page_hinkley_stays_quiet_on_a_stationary_stream() {
+        let mut ph = PageHinkley::for_ape_stream();
+        // A healthy APE stream: deterministic wobble around 0.10.
+        for i in 0..1000u64 {
+            let wobble = ((i as f64 * 0.7).sin() + (i as f64 * 1.3).cos()) * 0.04;
+            assert!(!ph.update(0.10 + wobble), "false trip at observation {i}");
+        }
+        assert_eq!(ph.observations(), 1000);
+    }
+
+    #[test]
+    fn page_hinkley_trips_quickly_on_a_level_shift() {
+        let mut ph = PageHinkley::for_ape_stream();
+        for i in 0..200u64 {
+            let wobble = ((i as f64 * 0.7).sin()) * 0.04;
+            assert!(!ph.update(0.10 + wobble));
+        }
+        // The model went stale: APE jumps to ~0.45.
+        let mut tripped_at = None;
+        for i in 0..50u64 {
+            if ph.update(0.45 + ((i as f64 * 0.9).cos()) * 0.05) {
+                tripped_at = Some(i);
+                break;
+            }
+        }
+        let at = tripped_at.expect("a 4.5x error level shift must trip Page-Hinkley");
+        assert!(at < 30, "tripped only after {at} drifted observations");
+    }
+
+    #[test]
+    fn page_hinkley_respects_warm_up_and_reset() {
+        let mut ph = PageHinkley::new(0.0, 0.1, 10);
+        // A huge shift inside the warm-up window cannot trip...
+        for _ in 0..4 {
+            assert!(!ph.update(0.0));
+        }
+        for i in 0..5 {
+            assert!(!ph.update(10.0), "inside warm-up at {i}");
+        }
+        // ...but the very next observation past warm-up can.
+        assert!(ph.update(10.0));
+        ph.reset();
+        assert_eq!(ph.observations(), 0);
+        for _ in 0..9 {
+            assert!(!ph.update(0.0));
+        }
+    }
+
+    #[test]
+    fn page_hinkley_ignores_non_finite_input() {
+        let mut ph = PageHinkley::new(0.0, 0.1, 1);
+        assert!(!ph.update(f64::NAN));
+        assert!(!ph.update(f64::INFINITY));
+        assert_eq!(ph.observations(), 0);
+        // The detector still works afterwards.
+        ph.update(0.0);
+        assert!(ph.update(100.0));
+    }
+}

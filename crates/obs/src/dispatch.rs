@@ -75,6 +75,15 @@ impl Dispatcher {
         }
     }
 
+    /// Flush every registered sink (see [`Sink::flush`]). Graceful
+    /// drain, model reloads, and CLI exit call this so buffered JSONL
+    /// records — e.g. the last window of quality residuals — reach disk.
+    pub fn flush(&self) {
+        for (_, sink) in self.sinks.read().unwrap().iter() {
+            sink.flush();
+        }
+    }
+
     /// Allocate a process-monotonic span id.
     pub fn alloc_span_id(&self) -> u64 {
         self.next_span_id.fetch_add(1, Ordering::Relaxed)
@@ -131,6 +140,11 @@ pub fn remove_sink(handle: SinkHandle) {
 /// Allocate a fresh trace id (16 hex chars, process-monotonic).
 pub fn next_trace_id() -> String {
     global().alloc_trace_id()
+}
+
+/// Flush every sink registered on the global dispatcher.
+pub fn flush() {
+    global().flush();
 }
 
 /// Microseconds since the Unix epoch.
@@ -257,5 +271,31 @@ mod tests {
         d.send(&event);
         assert_eq!(a.len(), 2);
         assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn flush_fans_out_to_every_sink() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        struct Counting(AtomicUsize);
+        impl Sink for Counting {
+            fn emit(&self, _: &Event) {}
+            fn flush(&self) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let d = Dispatcher::new(Some(Level::Trace));
+        let a = Arc::new(Counting(AtomicUsize::new(0)));
+        let b = Arc::new(Counting(AtomicUsize::new(0)));
+        d.add_sink(a.clone());
+        let hb = d.add_sink(b.clone());
+        d.flush();
+        d.remove_sink(hb);
+        d.flush();
+        assert_eq!(a.0.load(Ordering::Relaxed), 2);
+        assert_eq!(b.0.load(Ordering::Relaxed), 1);
+        // RingSink's default flush is a no-op and must not panic.
+        let ring = Arc::new(RingSink::new(2));
+        d.add_sink(ring);
+        d.flush();
     }
 }

@@ -52,7 +52,7 @@ mod sink;
 mod span;
 
 pub use dispatch::{
-    add_sink, dispatch_event, enabled, global, init_from_env, next_trace_id, remove_sink,
+    add_sink, dispatch_event, enabled, flush, global, init_from_env, next_trace_id, remove_sink,
     set_level, Dispatcher, SinkHandle,
 };
 pub use event::{Event, Field, Level, Value};

@@ -15,6 +15,11 @@ pub trait Sink: Send + Sync {
     /// Consume one event. Failures are swallowed — observability must
     /// never take the service down.
     fn emit(&self, event: &Event);
+
+    /// Push any buffered events to durable storage. Called on graceful
+    /// shutdown, model reloads, and other "don't lose the tail" points;
+    /// the default is a no-op for unbuffered sinks.
+    fn flush(&self) {}
 }
 
 /// Human-readable single-line output to any writer (stderr by default).
@@ -43,8 +48,10 @@ impl Sink for TextSink {
     }
 }
 
-/// Machine-readable JSONL output, one event per line, flushed per line
-/// so the file is tail-able while the process runs.
+/// Machine-readable JSONL output, one event per line. Writes are
+/// buffered for throughput; callers that need the file current on disk
+/// (graceful drain, reload, process exit) go through [`Sink::flush`] —
+/// the dispatcher's [`crate::flush`] fans out to every sink.
 pub struct JsonlSink {
     writer: Mutex<BufWriter<File>>,
 }
@@ -62,7 +69,10 @@ impl Sink for JsonlSink {
         let line = event.to_jsonl();
         let mut w = self.writer.lock().unwrap();
         let _ = writeln!(w, "{line}");
-        let _ = w.flush();
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().unwrap().flush();
     }
 }
 
@@ -183,6 +193,8 @@ mod tests {
         let sink = JsonlSink::create(&path).unwrap();
         sink.emit(&event("one", 1));
         sink.emit(&event("two", 2));
+        // Writes are buffered; nothing is promised on disk until flush.
+        sink.flush();
         let text = std::fs::read_to_string(&path).unwrap();
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 2);

@@ -51,8 +51,16 @@ pub struct AdviseKey {
     pub deadline_bits: Option<u64>,
 }
 
+/// The primary recommendation `(nodes, tile, predicted_seconds)` carried
+/// alongside a cached body, so cache replays can be journaled for
+/// quality tracking without re-parsing the rendered JSON. `None` for
+/// answers with no actionable recommendation (e.g. nothing feasible).
+pub type CachedRec = (usize, usize, f64);
+
 struct Entry {
     body: String,
+    /// See [`CachedRec`].
+    rec: Option<CachedRec>,
     last_used: u64,
     /// Demoted by a model reload: only reachable via [`AdviseCache::get_stale`].
     stale: bool,
@@ -76,20 +84,21 @@ impl AdviseCache {
         AdviseCache { capacity: capacity.max(1), state: Mutex::new(State::default()) }
     }
 
-    /// Look up a rendered response, refreshing its recency on hit.
-    pub fn get(&self, key: &AdviseKey) -> Option<String> {
+    /// Look up a rendered response (body plus its journaled
+    /// recommendation summary), refreshing its recency on hit.
+    pub fn get(&self, key: &AdviseKey) -> Option<(String, Option<CachedRec>)> {
         let mut state = self.state.lock();
         state.tick += 1;
         let tick = state.tick;
         state.map.get_mut(key).map(|e| {
             e.last_used = tick;
-            e.body.clone()
+            (e.body.clone(), e.rec)
         })
     }
 
-    /// Insert a rendered response, evicting the least-recently-used entry
-    /// if the cache is full.
-    pub fn insert(&self, key: AdviseKey, body: String) {
+    /// Insert a rendered response and its recommendation summary,
+    /// evicting the least-recently-used entry if the cache is full.
+    pub fn insert(&self, key: AdviseKey, body: String, rec: Option<CachedRec>) {
         let mut state = self.state.lock();
         state.tick += 1;
         let tick = state.tick;
@@ -104,7 +113,7 @@ impl AdviseCache {
                 state.map.remove(&lru);
             }
         }
-        state.map.insert(key, Entry { body, last_used: tick, stale: false });
+        state.map.insert(key, Entry { body, rec, last_used: tick, stale: false });
     }
 
     /// Drop every entry belonging to `model` (all versions). Returns how
@@ -133,11 +142,12 @@ impl AdviseCache {
     }
 
     /// Overload escape hatch: find an answer for `key` from **any** model
-    /// version (the freshest available), stale or not. Returns the body
-    /// and the version it was computed against so the caller can label
-    /// the response. Does not refresh recency — a stale answer should not
-    /// out-survive fresh ones.
-    pub fn get_stale(&self, key: &AdviseKey) -> Option<(String, u64)> {
+    /// version (the freshest available), stale or not. Returns the body,
+    /// the version it was computed against so the caller can label the
+    /// response, and the recommendation summary for quality journaling.
+    /// Does not refresh recency — a stale answer should not out-survive
+    /// fresh ones.
+    pub fn get_stale(&self, key: &AdviseKey) -> Option<(String, u64, Option<CachedRec>)> {
         let state = self.state.lock();
         state
             .map
@@ -152,7 +162,7 @@ impl AdviseCache {
                     && k.deadline_bits == key.deadline_bits
             })
             .max_by_key(|(k, _)| k.version)
-            .map(|(k, e)| (e.body.clone(), k.version))
+            .map(|(k, e)| (e.body.clone(), k.version, e.rec))
     }
 
     /// How many entries are currently demoted (stale).
@@ -192,8 +202,8 @@ mod tests {
     fn get_miss_then_hit() {
         let cache = AdviseCache::new(8);
         assert_eq!(cache.get(&key("m", 1, 100)), None);
-        cache.insert(key("m", 1, 100), "body".to_string());
-        assert_eq!(cache.get(&key("m", 1, 100)), Some("body".to_string()));
+        cache.insert(key("m", 1, 100), "body".to_string(), None);
+        assert_eq!(cache.get(&key("m", 1, 100)).map(|(b, _)| b), Some("body".to_string()));
         // A different version is a different key.
         assert_eq!(cache.get(&key("m", 2, 100)), None);
     }
@@ -201,11 +211,11 @@ mod tests {
     #[test]
     fn evicts_least_recently_used() {
         let cache = AdviseCache::new(2);
-        cache.insert(key("m", 1, 1), "a".into());
-        cache.insert(key("m", 1, 2), "b".into());
+        cache.insert(key("m", 1, 1), "a".into(), None);
+        cache.insert(key("m", 1, 2), "b".into(), None);
         // Touch entry 1 so entry 2 becomes the LRU.
         assert!(cache.get(&key("m", 1, 1)).is_some());
-        cache.insert(key("m", 1, 3), "c".into());
+        cache.insert(key("m", 1, 3), "c".into(), None);
         assert_eq!(cache.len(), 2);
         assert!(cache.get(&key("m", 1, 1)).is_some());
         assert!(cache.get(&key("m", 1, 2)).is_none(), "LRU entry should be evicted");
@@ -215,20 +225,20 @@ mod tests {
     #[test]
     fn reinserting_existing_key_does_not_evict() {
         let cache = AdviseCache::new(2);
-        cache.insert(key("m", 1, 1), "a".into());
-        cache.insert(key("m", 1, 2), "b".into());
-        cache.insert(key("m", 1, 1), "a2".into());
+        cache.insert(key("m", 1, 1), "a".into(), None);
+        cache.insert(key("m", 1, 2), "b".into(), None);
+        cache.insert(key("m", 1, 1), "a2".into(), None);
         assert_eq!(cache.len(), 2);
-        assert_eq!(cache.get(&key("m", 1, 1)), Some("a2".to_string()));
+        assert_eq!(cache.get(&key("m", 1, 1)).map(|(b, _)| b), Some("a2".to_string()));
         assert!(cache.get(&key("m", 1, 2)).is_some());
     }
 
     #[test]
     fn invalidate_model_drops_only_that_model() {
         let cache = AdviseCache::new(16);
-        cache.insert(key("a", 1, 1), "x".into());
-        cache.insert(key("a", 2, 1), "y".into());
-        cache.insert(key("b", 1, 1), "z".into());
+        cache.insert(key("a", 1, 1), "x".into(), None);
+        cache.insert(key("a", 2, 1), "y".into(), None);
+        cache.insert(key("b", 1, 1), "z".into(), None);
         assert_eq!(cache.invalidate_model("a"), 2);
         assert_eq!(cache.len(), 1);
         assert!(cache.get(&key("b", 1, 1)).is_some());
@@ -238,36 +248,37 @@ mod tests {
     #[test]
     fn demote_marks_old_versions_and_get_stale_finds_them() {
         let cache = AdviseCache::new(16);
-        cache.insert(key("m", 1, 100), "v1-answer".into());
-        cache.insert(key("m", 2, 100), "v2-answer".into());
-        cache.insert(key("other", 1, 100), "other".into());
+        cache.insert(key("m", 1, 100), "v1-answer".into(), None);
+        cache.insert(key("m", 2, 100), "v2-answer".into(), None);
+        cache.insert(key("other", 1, 100), "other".into(), None);
         // Reload bumped m to version 3: both old versions demote.
         assert_eq!(cache.demote_model("m", 3), 2);
         assert_eq!(cache.stale_len(), 2);
         // Demoting again is idempotent.
         assert_eq!(cache.demote_model("m", 3), 0);
         // Exact-version get still works (the entries are not dropped)...
-        assert_eq!(cache.get(&key("m", 1, 100)), Some("v1-answer".to_string()));
+        assert_eq!(cache.get(&key("m", 1, 100)).map(|(b, _)| b), Some("v1-answer".to_string()));
         // ...and get_stale picks the freshest version for the question.
-        let (body, version) = cache.get_stale(&key("m", 3, 100)).unwrap();
+        let (body, version, rec) = cache.get_stale(&key("m", 3, 100)).unwrap();
         assert_eq!(body, "v2-answer");
         assert_eq!(version, 2);
+        assert_eq!(rec, None);
         // A question never cached has no stale fallback.
         assert!(cache.get_stale(&key("m", 3, 999)).is_none());
         // Other models are untouched.
-        assert_eq!(cache.get(&key("other", 1, 100)), Some("other".to_string()));
+        assert_eq!(cache.get(&key("other", 1, 100)).map(|(b, _)| b), Some("other".to_string()));
     }
 
     #[test]
     fn eviction_prefers_stale_entries() {
         let cache = AdviseCache::new(2);
-        cache.insert(key("m", 1, 1), "old".into());
-        cache.insert(key("m", 2, 1), "new".into());
+        cache.insert(key("m", 1, 1), "old".into(), None);
+        cache.insert(key("m", 2, 1), "new".into(), None);
         cache.demote_model("m", 2);
         // The stale v1 entry was used most recently — it must still be
         // the one evicted when capacity is needed.
         assert!(cache.get(&key("m", 1, 1)).is_some());
-        cache.insert(key("m", 2, 2), "another".into());
+        cache.insert(key("m", 2, 2), "another".into(), None);
         assert_eq!(cache.len(), 2);
         assert!(cache.get(&key("m", 1, 1)).is_none(), "stale entry evicted first");
         assert!(cache.get(&key("m", 2, 1)).is_some());
@@ -279,9 +290,21 @@ mod tests {
         let cache = AdviseCache::new(8);
         let mut with_budget = key("m", 1, 100);
         with_budget.budget_bits = Some(3.0f64.to_bits());
-        cache.insert(key("m", 1, 100), "plain".into());
-        cache.insert(with_budget.clone(), "budgeted".into());
-        assert_eq!(cache.get(&key("m", 1, 100)), Some("plain".to_string()));
-        assert_eq!(cache.get(&with_budget), Some("budgeted".to_string()));
+        cache.insert(key("m", 1, 100), "plain".into(), None);
+        cache.insert(with_budget.clone(), "budgeted".into(), None);
+        assert_eq!(cache.get(&key("m", 1, 100)).map(|(b, _)| b), Some("plain".to_string()));
+        assert_eq!(cache.get(&with_budget).map(|(b, _)| b), Some("budgeted".to_string()));
+    }
+
+    #[test]
+    fn recommendation_summary_rides_along_hits_and_stale_replays() {
+        let cache = AdviseCache::new(8);
+        cache.insert(key("m", 1, 100), "answer".into(), Some((400, 90, 123.5)));
+        let (_, rec) = cache.get(&key("m", 1, 100)).unwrap();
+        assert_eq!(rec, Some((400, 90, 123.5)));
+        cache.demote_model("m", 2);
+        let (_, version, stale_rec) = cache.get_stale(&key("m", 2, 100)).unwrap();
+        assert_eq!(version, 1);
+        assert_eq!(stale_rec, Some((400, 90, 123.5)));
     }
 }

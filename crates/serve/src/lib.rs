@@ -10,6 +10,11 @@
 //!   offline `chemcost advise` CLI prints
 //! - `GET /v1/models`, `POST /v1/models/{name}/reload` — model registry
 //!   with versions and hot reload
+//! - `POST /v1/observe`, `GET /v1/quality`,
+//!   `GET /v1/quality/next_experiments` — the model-quality loop: report
+//!   measured runtimes against issued predictions, read rolling accuracy
+//!   and drift state, and get active-learning-ranked configurations to
+//!   measure next (see [`quality`])
 //! - `GET /healthz`, `GET /metrics` — liveness and Prometheus metrics
 //! - `POST /v1/shutdown` — graceful drain-and-exit
 //!
@@ -24,6 +29,7 @@ pub mod http;
 pub mod json;
 pub mod metrics;
 pub mod pool;
+pub mod quality;
 pub mod registry;
 pub mod routes;
 
@@ -31,6 +37,7 @@ pub use cache::{AdviseCache, AdviseKey};
 pub use client::{Client, ClientError, RetryPolicy};
 pub use fault::{ChaosProfile, FaultKind, FaultPlane, FaultPlaneBuilder};
 pub use metrics::Metrics;
+pub use quality::{ObserveError, ObserveOutcome, QualityHub};
 pub use registry::{ModelInfo, ModelRegistry, ResolvedModel};
 pub use routes::{parse_deadline_ms, Deadline, Router};
 
@@ -169,6 +176,10 @@ impl Server {
             "serve.stop",
             addr = local_addr.to_string()
         );
+        // Every in-flight request has been answered; push whatever the
+        // buffered sinks are still holding (including the stop marker
+        // above) to durable storage before the process exits.
+        chemcost_obs::flush();
         Ok(())
     }
 }

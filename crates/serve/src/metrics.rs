@@ -38,6 +38,10 @@ pub enum Route {
     Predict,
     /// `POST /v1/advise`
     Advise,
+    /// `POST /v1/observe` — ground-truth runtime reports.
+    Observe,
+    /// `GET /v1/quality` and `GET /v1/quality/next_experiments`.
+    Quality,
     /// `POST /v1/shutdown`
     Shutdown,
     /// Anything else (404s, bad methods, shed connections, …).
@@ -45,13 +49,15 @@ pub enum Route {
 }
 
 impl Route {
-    const ALL: [Route; 8] = [
+    const ALL: [Route; 10] = [
         Route::Healthz,
         Route::Metrics,
         Route::Models,
         Route::Reload,
         Route::Predict,
         Route::Advise,
+        Route::Observe,
+        Route::Quality,
         Route::Shutdown,
         Route::Other,
     ];
@@ -64,8 +70,10 @@ impl Route {
             Route::Reload => 3,
             Route::Predict => 4,
             Route::Advise => 5,
-            Route::Shutdown => 6,
-            Route::Other => 7,
+            Route::Observe => 6,
+            Route::Quality => 7,
+            Route::Shutdown => 8,
+            Route::Other => 9,
         }
     }
 
@@ -78,6 +86,8 @@ impl Route {
             Route::Reload => "reload",
             Route::Predict => "predict",
             Route::Advise => "advise",
+            Route::Observe => "observe",
+            Route::Quality => "quality",
             Route::Shutdown => "shutdown",
             Route::Other => "other",
         }
@@ -177,6 +187,13 @@ pub const REQUIRED_SERIES: &[&str] = &[
     "chemcost_model_reload_failures_total",
     "chemcost_advise_stale_served_total",
     "chemcost_faults_injected_total",
+    "chemcost_quality_observations_total",
+    "chemcost_model_mape",
+    "chemcost_model_bias_seconds",
+    "chemcost_residual_seconds",
+    "chemcost_calibration_ratio",
+    "chemcost_model_degraded",
+    "chemcost_drift_trips_total",
 ];
 
 /// Version baked into `chemcost_build_info`.
@@ -187,6 +204,21 @@ const BUILD_GIT_SHA: &str = match option_env!("CHEMCOST_GIT_SHA") {
     Some(sha) => sha,
     None => "unknown",
 };
+/// Working-tree dirtiness baked into `chemcost_build_info` (set
+/// `CHEMCOST_GIT_DIRTY` to `"true"`/`"false"` at build time; CI does).
+/// `unknown` means the build script didn't say — e.g. a plain local
+/// `cargo build`.
+const BUILD_DIRTY: &str = match option_env!("CHEMCOST_GIT_DIRTY") {
+    Some(dirty) => dirty,
+    None => "unknown",
+};
+
+/// The `(version, git_sha, dirty)` triple stamped on
+/// `chemcost_build_info`, reused verbatim by `GET /v1/quality` and
+/// `chemcost --version` so every surface reports the same build.
+pub fn build_info() -> (&'static str, &'static str, &'static str) {
+    (BUILD_VERSION, BUILD_GIT_SHA, BUILD_DIRTY)
+}
 
 #[derive(Default)]
 struct RouteStats {
@@ -238,9 +270,70 @@ impl Histogram {
     }
 }
 
+/// Rolling model-quality numbers for one `(model, version, machine)`
+/// serving group, as computed by the quality hub from observed runtimes
+/// and pushed here for exposition. All window statistics are `NaN`
+/// until the first ground-truth observation arrives — the gauges render
+/// `NaN` rather than a misleading zero.
+#[derive(Debug, Clone, Copy)]
+pub struct QualityStats {
+    /// Ground-truth observations ever accepted for this group.
+    pub observations: u64,
+    /// Residuals currently inside the sliding window.
+    pub window: u64,
+    /// Windowed mean absolute percentage error.
+    pub mape: f64,
+    /// Windowed signed bias in seconds (`mean(predicted − measured)`).
+    pub bias_seconds: f64,
+    /// Windowed absolute-residual median, in seconds.
+    pub residual_p50: f64,
+    /// Windowed absolute-residual 90th percentile, in seconds.
+    pub residual_p90: f64,
+    /// Windowed absolute-residual 99th percentile, in seconds.
+    pub residual_p99: f64,
+    /// Fraction of σ-carrying residuals inside the predicted ±σ band.
+    pub calibration_ratio: f64,
+    /// Times the Page–Hinkley drift detector tripped for this group.
+    pub drift_trips: u64,
+    /// Is the group currently flagged degraded (drift tripped and no
+    /// successful reload since)?
+    pub degraded: bool,
+}
+
+impl Default for QualityStats {
+    fn default() -> QualityStats {
+        QualityStats {
+            observations: 0,
+            window: 0,
+            mape: f64::NAN,
+            bias_seconds: f64::NAN,
+            residual_p50: f64::NAN,
+            residual_p90: f64::NAN,
+            residual_p99: f64::NAN,
+            calibration_ratio: f64::NAN,
+            drift_trips: 0,
+            degraded: false,
+        }
+    }
+}
+
+/// One registered quality group: its identifying labels plus the most
+/// recently pushed stats.
+#[derive(Debug, Clone)]
+pub struct QualityEntry {
+    /// Model name label.
+    pub model: String,
+    /// Model version label.
+    pub version: u64,
+    /// Machine label.
+    pub machine: String,
+    /// Latest stats snapshot.
+    pub stats: QualityStats,
+}
+
 /// Shared, thread-safe service metrics.
 pub struct Metrics {
-    routes: [RouteStats; 8],
+    routes: [RouteStats; 10],
     /// Whole-request handling latency.
     latency: Histogram,
     /// Per-stage `/v1/advise` latency, indexed by [`AdviseStage`].
@@ -265,6 +358,15 @@ pub struct Metrics {
     stale_served: AtomicU64,
     /// Injected faults, per [`FaultKind`].
     faults_injected: [AtomicU64; 5],
+    /// `/v1/observe` reports accepted into the quality stats.
+    quality_accepted: AtomicU64,
+    /// `/v1/observe` reports rejected (4xx) without touching the stats.
+    quality_rejected: AtomicU64,
+    /// Per-`(model, version, machine)` quality gauges, upserted by the
+    /// quality hub. A `Vec` behind a lock, not atomics: the label set is
+    /// dynamic (it follows the model registry) but tiny and updated only
+    /// on observe/reload, never on the request hot path.
+    quality: parking_lot::RwLock<Vec<QualityEntry>>,
     /// Monotonic clock anchor for the two timestamps below.
     start: Instant,
     /// Micros-since-`start` + 1 of the moment the serving model went
@@ -290,6 +392,9 @@ impl Default for Metrics {
             reload_failures: AtomicU64::new(0),
             stale_served: AtomicU64::new(0),
             faults_injected: Default::default(),
+            quality_accepted: AtomicU64::new(0),
+            quality_rejected: AtomicU64::new(0),
+            quality: parking_lot::RwLock::new(Vec::new()),
             start: Instant::now(),
             stale_since: AtomicU64::new(0),
             last_shed: AtomicU64::new(0),
@@ -400,6 +505,51 @@ impl Metrics {
         }
     }
 
+    /// Record the outcome of one `/v1/observe` report: accepted into
+    /// the rolling stats, or rejected with a structured 4xx.
+    pub fn record_quality_observation(&self, accepted: bool) {
+        if accepted {
+            self.quality_accepted.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.quality_rejected.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// `/v1/observe` reports accepted so far.
+    pub fn quality_accepted(&self) -> u64 {
+        self.quality_accepted.load(Ordering::Relaxed)
+    }
+
+    /// `/v1/observe` reports rejected so far.
+    pub fn quality_rejected(&self) -> u64 {
+        self.quality_rejected.load(Ordering::Relaxed)
+    }
+
+    /// Upsert the quality gauges for one `(model, version, machine)`
+    /// group. Registering a group with [`QualityStats::default`] at
+    /// startup (the router does this for every registry entry) is what
+    /// makes the quality series appear on the very first scrape.
+    pub fn set_model_quality(&self, model: &str, version: u64, machine: &str, stats: QualityStats) {
+        let mut groups = self.quality.write();
+        match groups
+            .iter_mut()
+            .find(|e| e.model == model && e.version == version && e.machine == machine)
+        {
+            Some(entry) => entry.stats = stats,
+            None => groups.push(QualityEntry {
+                model: model.to_string(),
+                version,
+                machine: machine.to_string(),
+                stats,
+            }),
+        }
+    }
+
+    /// Snapshot of every registered quality group.
+    pub fn quality_entries(&self) -> Vec<QualityEntry> {
+        self.quality.read().clone()
+    }
+
     /// Record an advise answer served from an older model version.
     pub fn record_stale_served(&self) {
         self.stale_served.fetch_add(1, Ordering::Relaxed);
@@ -493,7 +643,7 @@ impl Metrics {
         out.push_str("# HELP chemcost_build_info Build metadata; constant 1.\n");
         out.push_str("# TYPE chemcost_build_info gauge\n");
         out.push_str(&format!(
-            "chemcost_build_info{{version=\"{BUILD_VERSION}\",git_sha=\"{BUILD_GIT_SHA}\"}} 1\n"
+            "chemcost_build_info{{version=\"{BUILD_VERSION}\",git_sha=\"{BUILD_GIT_SHA}\",dirty=\"{BUILD_DIRTY}\"}} 1\n"
         ));
         out.push_str("# HELP chemcost_requests_total Requests handled, by route.\n");
         out.push_str("# TYPE chemcost_requests_total counter\n");
@@ -589,6 +739,89 @@ impl Metrics {
                 "chemcost_faults_injected_total{{kind=\"{}\"}} {}\n",
                 kind.label(),
                 self.faults_injected(kind)
+            ));
+        }
+        out.push_str(
+            "# HELP chemcost_quality_observations_total Ground-truth runtime reports on /v1/observe, by outcome (accepted into the rolling stats, or rejected 4xx).\n",
+        );
+        out.push_str("# TYPE chemcost_quality_observations_total counter\n");
+        out.push_str(&format!(
+            "chemcost_quality_observations_total{{outcome=\"accepted\"}} {}\n",
+            self.quality_accepted()
+        ));
+        out.push_str(&format!(
+            "chemcost_quality_observations_total{{outcome=\"rejected\"}} {}\n",
+            self.quality_rejected()
+        ));
+        let groups = self.quality.read().clone();
+        let labels = |e: &QualityEntry| {
+            format!("model=\"{}\",version=\"{}\",machine=\"{}\"", e.model, e.version, e.machine)
+        };
+        out.push_str(
+            "# HELP chemcost_model_mape Windowed mean absolute percentage error of served predictions against observed runtimes; NaN until the first observation.\n",
+        );
+        out.push_str("# TYPE chemcost_model_mape gauge\n");
+        for e in &groups {
+            out.push_str(&format!("chemcost_model_mape{{{}}} {}\n", labels(e), e.stats.mape));
+        }
+        out.push_str(
+            "# HELP chemcost_model_bias_seconds Windowed signed bias mean(predicted - measured) in seconds; positive means the model over-promises runtime.\n",
+        );
+        out.push_str("# TYPE chemcost_model_bias_seconds gauge\n");
+        for e in &groups {
+            out.push_str(&format!(
+                "chemcost_model_bias_seconds{{{}}} {}\n",
+                labels(e),
+                e.stats.bias_seconds
+            ));
+        }
+        out.push_str(
+            "# HELP chemcost_residual_seconds Windowed absolute prediction residual quantiles, in seconds.\n",
+        );
+        out.push_str("# TYPE chemcost_residual_seconds gauge\n");
+        for e in &groups {
+            for (q, v) in [
+                ("0.5", e.stats.residual_p50),
+                ("0.9", e.stats.residual_p90),
+                ("0.99", e.stats.residual_p99),
+            ] {
+                out.push_str(&format!(
+                    "chemcost_residual_seconds{{{},quantile=\"{q}\"}} {v}\n",
+                    labels(e)
+                ));
+            }
+        }
+        out.push_str(
+            "# HELP chemcost_calibration_ratio Fraction of sigma-carrying residuals inside the predicted +/-sigma band (well-calibrated Gaussian: ~0.68).\n",
+        );
+        out.push_str("# TYPE chemcost_calibration_ratio gauge\n");
+        for e in &groups {
+            out.push_str(&format!(
+                "chemcost_calibration_ratio{{{}}} {}\n",
+                labels(e),
+                e.stats.calibration_ratio
+            ));
+        }
+        out.push_str(
+            "# HELP chemcost_model_degraded 1 when the drift detector has tripped for the group and the model has not been refreshed since, else 0.\n",
+        );
+        out.push_str("# TYPE chemcost_model_degraded gauge\n");
+        for e in &groups {
+            out.push_str(&format!(
+                "chemcost_model_degraded{{{}}} {}\n",
+                labels(e),
+                u64::from(e.stats.degraded)
+            ));
+        }
+        out.push_str(
+            "# HELP chemcost_drift_trips_total Page-Hinkley drift-detector trips over the residual stream, per serving group.\n",
+        );
+        out.push_str("# TYPE chemcost_drift_trips_total counter\n");
+        for e in &groups {
+            out.push_str(&format!(
+                "chemcost_drift_trips_total{{{}}} {}\n",
+                labels(e),
+                e.stats.drift_trips
             ));
         }
         out
@@ -938,13 +1171,18 @@ mod tests {
     }
 
     #[test]
-    fn build_info_renders_version_and_sha() {
+    fn build_info_renders_version_sha_and_dirty() {
         let text = Metrics::new().render();
         assert!(
             text.contains(&format!("chemcost_build_info{{version=\"{BUILD_VERSION}\",git_sha=")),
             "{text}"
         );
-        assert!(text.contains("} 1\n"), "{text}");
+        assert!(text.contains(&format!(",dirty=\"{BUILD_DIRTY}\"}} 1\n")), "{text}");
+        // The CLI and /v1/quality surface the identical triple.
+        let (version, sha, dirty) = build_info();
+        assert_eq!(version, BUILD_VERSION);
+        assert_eq!(sha, BUILD_GIT_SHA);
+        assert_eq!(dirty, BUILD_DIRTY);
     }
 
     #[test]
@@ -997,7 +1235,11 @@ mod tests {
     /// just-started server must already show the whole catalog at zero.
     #[test]
     fn all_required_series_render_before_first_increment() {
-        let text = Metrics::new().render();
+        let m = Metrics::new();
+        // The router registers one quality group per registry entry at
+        // startup; a just-started server always has at least one.
+        m.set_model_quality("gb", 1, "aurora", QualityStats::default());
+        let text = m.render();
         lint_exposition_with_required(&text, REQUIRED_SERIES)
             .expect("fresh exposition must pre-register every required series");
         // Spot-check the PR 4 families explicitly at zero.
@@ -1011,6 +1253,83 @@ mod tests {
             text.contains("chemcost_faults_injected_total{kind=\"poison-reload\"} 0"),
             "{text}"
         );
+        // The PR 5 quality families: counters at zero, windowed gauges
+        // at NaN (no data yet — never a misleading zero).
+        assert!(text.contains("chemcost_quality_observations_total{outcome=\"accepted\"} 0"));
+        assert!(text.contains("chemcost_quality_observations_total{outcome=\"rejected\"} 0"));
+        let quality_labels = "model=\"gb\",version=\"1\",machine=\"aurora\"";
+        assert!(text.contains(&format!("chemcost_model_mape{{{quality_labels}}} NaN")), "{text}");
+        assert!(
+            text.contains(&format!(
+                "chemcost_residual_seconds{{{quality_labels},quantile=\"0.99\"}} NaN"
+            )),
+            "{text}"
+        );
+        assert!(text.contains(&format!("chemcost_model_degraded{{{quality_labels}}} 0")));
+        assert!(text.contains(&format!("chemcost_drift_trips_total{{{quality_labels}}} 0")));
+    }
+
+    /// Negative: without a registered quality group the per-model
+    /// families have metadata but no sample lines, and the required
+    /// linter must say so — this is exactly the regression the router's
+    /// startup pre-registration guards against.
+    #[test]
+    fn required_linter_flags_unregistered_quality_groups() {
+        let errs =
+            lint_exposition_with_required(&Metrics::new().render(), REQUIRED_SERIES).unwrap_err();
+        for family in
+            ["chemcost_model_mape", "chemcost_residual_seconds", "chemcost_drift_trips_total"]
+        {
+            assert!(
+                errs.iter().any(|e| e.contains(family) && e.contains("no sample line")),
+                "{family} should be flagged: {errs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn quality_gauges_render_and_upsert_by_group() {
+        let m = Metrics::new();
+        m.set_model_quality("gb", 1, "aurora", QualityStats::default());
+        let stats = QualityStats {
+            observations: 12,
+            window: 12,
+            mape: 0.08,
+            bias_seconds: -1.5,
+            residual_p50: 2.0,
+            residual_p90: 6.0,
+            residual_p99: 9.0,
+            calibration_ratio: 0.7,
+            drift_trips: 1,
+            degraded: true,
+        };
+        // Same triple: upsert, not a second series.
+        m.set_model_quality("gb", 1, "aurora", stats);
+        // New version after a reload: its own labelled series.
+        m.set_model_quality("gb", 2, "aurora", QualityStats::default());
+        assert_eq!(m.quality_entries().len(), 2);
+        m.record_quality_observation(true);
+        m.record_quality_observation(false);
+        m.record_quality_observation(true);
+        assert_eq!(m.quality_accepted(), 2);
+        assert_eq!(m.quality_rejected(), 1);
+        let text = m.render();
+        let v1 = "model=\"gb\",version=\"1\",machine=\"aurora\"";
+        assert!(text.contains(&format!("chemcost_model_mape{{{v1}}} 0.08")), "{text}");
+        assert!(text.contains(&format!("chemcost_model_bias_seconds{{{v1}}} -1.5")), "{text}");
+        assert!(
+            text.contains(&format!("chemcost_residual_seconds{{{v1},quantile=\"0.9\"}} 6")),
+            "{text}"
+        );
+        assert!(text.contains(&format!("chemcost_calibration_ratio{{{v1}}} 0.7")), "{text}");
+        assert!(text.contains(&format!("chemcost_model_degraded{{{v1}}} 1")), "{text}");
+        assert!(text.contains(&format!("chemcost_drift_trips_total{{{v1}}} 1")), "{text}");
+        assert!(
+            text.contains("chemcost_model_mape{model=\"gb\",version=\"2\",machine=\"aurora\"} NaN"),
+            "{text}"
+        );
+        assert!(text.contains("chemcost_quality_observations_total{outcome=\"accepted\"} 2"));
+        lint_exposition_with_required(&text, REQUIRED_SERIES).expect("lint clean");
     }
 
     /// Negative: the required-series linter must flag a family whose
@@ -1054,6 +1373,7 @@ mod tests {
         m.record_fault(FaultKind::PoisonReload);
         assert_eq!(m.faults_injected(FaultKind::SlowIo), 1);
         assert_eq!(m.faults_injected(FaultKind::PoisonReload), 2);
+        m.set_model_quality("gb", 1, "aurora", QualityStats::default());
         let text = m.render();
         assert!(text.contains("chemcost_deadline_exceeded_total{stage=\"sweep\"} 2"), "{text}");
         assert!(text.contains("chemcost_faults_injected_total{kind=\"slow-io\"} 1"), "{text}");

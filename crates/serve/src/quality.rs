@@ -1,0 +1,763 @@
+//! Model-quality observability: the advise→observe→retrain loop.
+//!
+//! The advisor's value rests on its predictions staying accurate as
+//! users run real configurations, so the serving layer closes the loop
+//! the paper's active-learning campaign runs offline:
+//!
+//! 1. every `/v1/advise` answer is assigned a `prediction_id` and its
+//!    primary recommendation journaled to a bounded in-memory ring
+//!    (spilled to the obs sinks as `quality.prediction` debug events);
+//! 2. `POST /v1/observe {prediction_id, measured_seconds}` matches a
+//!    measured wall time back to its journal entry and scores it — one
+//!    `quality.residual` event per accepted report, carrying the
+//!    originating advise request's trace id;
+//! 3. per `(model, version, machine)` serving group, a sliding window
+//!    of residuals ([`chemcost_ml::monitor::RollingQuality`]) feeds the
+//!    `/metrics` quality gauges and `GET /v1/quality`;
+//! 4. a Page–Hinkley detector over the absolute-percentage-error stream
+//!    flags the group `degraded` on trip (a `quality.drift` event +
+//!    `chemcost_drift_trips_total`), and the accumulated observation
+//!    pool is handed to `chemcost-active`'s uncertainty-sampling
+//!    strategy to rank which configurations to measure next
+//!    (`GET /v1/quality/next_experiments`).
+//!
+//! A [`chemcost_ml::gaussian_process::GaussianProcess`] is refit
+//! periodically on the observation pool so each journaled prediction
+//! carries a 1-σ uncertainty; the fraction of residuals inside that ±σ
+//! band is the calibration ratio on `/metrics`.
+
+use crate::metrics::{Metrics, QualityStats};
+use chemcost_linalg::Matrix;
+use chemcost_ml::gaussian_process::GaussianProcess;
+use chemcost_ml::monitor::{PageHinkley, RollingQuality};
+use chemcost_ml::{Regressor, UncertaintyRegressor};
+use chemcost_obs::{self as obs, Level};
+use chemcost_sim::machine::by_name;
+use chemcost_sim::simulate::fits_in_memory;
+use chemcost_sim::Problem;
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Journal capacity: predictions awaiting ground truth. When full, the
+/// oldest pending prediction is evicted (a later report for it answers
+/// 404, like any unknown id).
+pub const JOURNAL_CAPACITY: usize = 4096;
+/// Consumed-id memory: how many already-observed ids are remembered for
+/// replay rejection (409) before the oldest are forgotten.
+const CONSUMED_CAPACITY: usize = 8192;
+/// Sliding residual window per serving group.
+const WINDOW: usize = 128;
+/// Labelled observation pool per group (feeds the GP and the
+/// next-experiments ranking).
+const POOL_CAPACITY: usize = 512;
+/// Refit the per-group uncertainty GP every this many accepted
+/// observations (an O(n³) fit — not a per-request cost).
+const GP_REFIT_EVERY: u64 = 16;
+/// Most recent pool rows used for GP fits and experiment ranking.
+const GP_MAX_FIT: usize = 96;
+/// Minimum accepted observations before experiment ranking is offered.
+pub const MIN_OBSERVATIONS_FOR_EXPERIMENTS: usize = 8;
+/// Candidate-grid cap for one `next_experiments` ranking pass.
+const MAX_CANDIDATES: usize = 2000;
+/// Serving groups tracked at once (registry entries × surviving
+/// versions); oldest groups are dropped past this.
+const MAX_GROUPS: usize = 64;
+
+/// One journaled `/v1/advise` answer awaiting its measured runtime.
+#[derive(Debug, Clone)]
+pub struct PredictionRecord {
+    /// The id handed to the client (`prediction_id` in the response).
+    pub id: u64,
+    /// Serving model name.
+    pub model: String,
+    /// Serving model version.
+    pub version: u64,
+    /// Machine the recommendation targets.
+    pub machine: String,
+    /// Occupied orbitals of the question.
+    pub o: usize,
+    /// Virtual orbitals of the question.
+    pub v: usize,
+    /// Recommended node count.
+    pub nodes: usize,
+    /// Recommended tile size.
+    pub tile: usize,
+    /// The runtime the model promised, in seconds.
+    pub predicted_seconds: f64,
+    /// GP 1-σ uncertainty at the recommended configuration, once the
+    /// group's GP has enough observations to be fit.
+    pub gp_uncertainty: Option<f64>,
+    /// Trace id of the advise request that produced this prediction.
+    pub advise_trace: Option<String>,
+}
+
+/// Why a ground-truth report was turned away (the route maps these to
+/// structured 4xx responses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObserveError {
+    /// The id was never issued, or its journal entry has been evicted.
+    UnknownId,
+    /// The id was already consumed by an earlier report (replay).
+    Replayed,
+    /// `measured_seconds` was not a finite positive number. The routes
+    /// reject this on the wire; the hub re-checks so bad input can
+    /// never skew the rolling stats.
+    InvalidMeasurement,
+}
+
+/// The result of one accepted ground-truth report.
+#[derive(Debug, Clone)]
+pub struct ObserveOutcome {
+    /// The journaled prediction the report was matched to.
+    pub record: PredictionRecord,
+    /// `predicted − measured`, in seconds.
+    pub residual_seconds: f64,
+    /// Absolute percentage error of this single observation.
+    pub ape: f64,
+    /// The group's windowed MAPE after folding this observation in.
+    pub window_mape: f64,
+    /// Did this observation trip the Page–Hinkley drift detector?
+    pub drift_tripped: bool,
+    /// Is the group flagged degraded (now or from an earlier trip)?
+    pub degraded: bool,
+}
+
+/// One `(model, version, machine)` group's public quality snapshot.
+#[derive(Debug, Clone)]
+pub struct GroupSnapshot {
+    /// Model name.
+    pub model: String,
+    /// Model version.
+    pub version: u64,
+    /// Machine name.
+    pub machine: String,
+    /// Rolling stats as exported on `/metrics`.
+    pub stats: QualityStats,
+}
+
+/// One recommended measurement from the active-learning ranking.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExperimentConfig {
+    /// Occupied orbitals.
+    pub o: usize,
+    /// Virtual orbitals.
+    pub v: usize,
+    /// Node count.
+    pub nodes: usize,
+    /// Tile size.
+    pub tile: usize,
+    /// Acquisition score (GP relative uncertainty; higher = run first).
+    pub score: f64,
+}
+
+/// The ranked next-experiments answer for `GET /v1/quality/next_experiments`.
+#[derive(Debug, Clone)]
+pub struct NextExperiments {
+    /// The serving group the ranking targets (degraded groups first,
+    /// then the group with the most observations); `None` when no group
+    /// has enough observations.
+    pub group: Option<(String, u64, String)>,
+    /// Acquisition strategy abbreviation (always "US").
+    pub strategy: &'static str,
+    /// Ranked configurations, best first. Empty when ranking is not
+    /// possible yet — see `reason`.
+    pub configs: Vec<ExperimentConfig>,
+    /// Why `configs` is empty, when it is.
+    pub reason: Option<String>,
+}
+
+struct Group {
+    model: String,
+    version: u64,
+    machine: String,
+    window: RollingQuality,
+    detector: PageHinkley,
+    degraded: bool,
+    drift_trips: u64,
+    /// Labelled observations `([o, v, nodes, tile], measured_seconds)`.
+    pool: VecDeque<([f64; 4], f64)>,
+    gp: Option<GaussianProcess>,
+    accepted_since_fit: u64,
+}
+
+impl Group {
+    fn new(model: &str, version: u64, machine: &str) -> Group {
+        Group {
+            model: model.to_string(),
+            version,
+            machine: machine.to_string(),
+            window: RollingQuality::new(WINDOW),
+            detector: PageHinkley::for_ape_stream(),
+            degraded: false,
+            drift_trips: 0,
+            pool: VecDeque::new(),
+            gp: None,
+            accepted_since_fit: 0,
+        }
+    }
+
+    fn stats(&self) -> QualityStats {
+        QualityStats {
+            observations: self.window.observations(),
+            window: self.window.len() as u64,
+            mape: self.window.mape(),
+            bias_seconds: self.window.bias_seconds(),
+            residual_p50: self.window.residual_quantile(0.5),
+            residual_p90: self.window.residual_quantile(0.9),
+            residual_p99: self.window.residual_quantile(0.99),
+            calibration_ratio: self.window.calibration_ratio(),
+            drift_trips: self.drift_trips,
+            degraded: self.degraded,
+        }
+    }
+
+    /// σ at one configuration from the group's GP, when fit.
+    fn sigma_at(&self, x: [f64; 4]) -> Option<f64> {
+        let gp = self.gp.as_ref()?;
+        let (_, std) = gp.predict_with_std(&Matrix::from_rows(&[&x]));
+        std.first().copied().filter(|s| s.is_finite())
+    }
+
+    /// Refit the uncertainty GP on the most recent pool rows. Failures
+    /// (degenerate pools) just leave the previous GP in place.
+    fn refit_gp(&mut self) {
+        let n = self.pool.len().min(GP_MAX_FIT);
+        if n < 4 {
+            return;
+        }
+        let rows: Vec<&([f64; 4], f64)> = self.pool.iter().rev().take(n).collect();
+        let x = Matrix::from_fn(n, 4, |i, j| rows[i].0[j]);
+        let y: Vec<f64> = rows.iter().map(|(_, m)| *m).collect();
+        let mut gp = GaussianProcess::tuned();
+        if gp.fit(&x, &y).is_ok() {
+            self.gp = Some(gp);
+        }
+        self.accepted_since_fit = 0;
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    journal: HashMap<u64, PredictionRecord>,
+    /// Issue order of journal ids, for FIFO eviction. May hold ids
+    /// already consumed (removed from `journal`); eviction skips them.
+    order: VecDeque<u64>,
+    consumed: HashSet<u64>,
+    consumed_order: VecDeque<u64>,
+    groups: Vec<Group>,
+}
+
+impl Inner {
+    fn group_mut(&mut self, model: &str, version: u64, machine: &str) -> &mut Group {
+        if let Some(i) = self
+            .groups
+            .iter()
+            .position(|g| g.model == model && g.version == version && g.machine == machine)
+        {
+            return &mut self.groups[i];
+        }
+        if self.groups.len() == MAX_GROUPS {
+            self.groups.remove(0);
+        }
+        self.groups.push(Group::new(model, version, machine));
+        self.groups.last_mut().expect("just pushed")
+    }
+}
+
+/// The serving daemon's quality tracker. One per [`crate::Router`];
+/// thread-safe.
+pub struct QualityHub {
+    next_id: AtomicU64,
+    metrics: Arc<Metrics>,
+    inner: Mutex<Inner>,
+}
+
+impl QualityHub {
+    /// A hub pushing its per-group gauges into `metrics`.
+    pub fn new(metrics: Arc<Metrics>) -> QualityHub {
+        QualityHub { next_id: AtomicU64::new(1), metrics, inner: Mutex::new(Inner::default()) }
+    }
+
+    /// Journal capacity (pending predictions).
+    pub fn journal_capacity(&self) -> usize {
+        JOURNAL_CAPACITY
+    }
+
+    /// Predictions currently awaiting ground truth.
+    pub fn journal_len(&self) -> usize {
+        self.inner.lock().journal.len()
+    }
+
+    /// Ensure a `(model, version, machine)` group exists and its gauges
+    /// are pre-registered on `/metrics`. The router calls this for every
+    /// registry entry at startup and again after each successful reload,
+    /// so the quality series appear on the very first scrape.
+    pub fn register_group(&self, model: &str, version: u64, machine: &str) {
+        let mut inner = self.inner.lock();
+        let stats = inner.group_mut(model, version, machine).stats();
+        drop(inner);
+        self.metrics.set_model_quality(model, version, machine, stats);
+    }
+
+    /// Journal one advise answer; returns the `prediction_id` to hand
+    /// to the client. `config` is `(o, v, nodes, tile)`.
+    pub fn record_prediction(
+        &self,
+        model: &str,
+        version: u64,
+        machine: &str,
+        config: (usize, usize, usize, usize),
+        predicted_seconds: f64,
+    ) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (o, v, nodes, tile) = config;
+        let mut inner = self.inner.lock();
+        let sigma = inner.group_mut(model, version, machine).sigma_at([
+            o as f64,
+            v as f64,
+            nodes as f64,
+            tile as f64,
+        ]);
+        let record = PredictionRecord {
+            id,
+            model: model.to_string(),
+            version,
+            machine: machine.to_string(),
+            o,
+            v,
+            nodes,
+            tile,
+            predicted_seconds,
+            gp_uncertainty: sigma,
+            advise_trace: obs::current_trace().map(|t| t.to_string()),
+        };
+        // FIFO-evict once the journal is full; consumed ids linger in
+        // `order` without journal entries, so skip them.
+        while inner.journal.len() >= JOURNAL_CAPACITY {
+            match inner.order.pop_front() {
+                Some(old) => {
+                    inner.journal.remove(&old);
+                }
+                None => break,
+            }
+        }
+        inner.order.push_back(id);
+        inner.journal.insert(id, record);
+        drop(inner);
+        obs::event!(
+            Level::Debug,
+            "quality.prediction",
+            prediction_id = id,
+            model = model,
+            version = version,
+            machine = machine,
+            o = o,
+            v = v,
+            nodes = nodes,
+            tile = tile,
+            predicted_seconds = predicted_seconds,
+            gp_uncertainty = sigma.unwrap_or(f64::NAN),
+        );
+        id
+    }
+
+    /// Score one measured runtime against its journaled prediction.
+    ///
+    /// Validation happens **before** any state changes: a rejected
+    /// report can never skew the rolling stats. Accepted reports update
+    /// the group's window, observation pool, GP refit counter, and the
+    /// drift detector, then push the new stats to `/metrics` and emit a
+    /// `quality.residual` event (plus `quality.drift` on a trip).
+    pub fn observe(
+        &self,
+        prediction_id: u64,
+        measured_seconds: f64,
+    ) -> Result<ObserveOutcome, ObserveError> {
+        if !measured_seconds.is_finite() || measured_seconds <= 0.0 {
+            return Err(ObserveError::InvalidMeasurement);
+        }
+        let mut inner = self.inner.lock();
+        if inner.consumed.contains(&prediction_id) {
+            return Err(ObserveError::Replayed);
+        }
+        let Some(record) = inner.journal.remove(&prediction_id) else {
+            return Err(ObserveError::UnknownId);
+        };
+        inner.consumed.insert(prediction_id);
+        inner.consumed_order.push_back(prediction_id);
+        while inner.consumed_order.len() > CONSUMED_CAPACITY {
+            if let Some(old) = inner.consumed_order.pop_front() {
+                inner.consumed.remove(&old);
+            }
+        }
+
+        let residual_seconds = record.predicted_seconds - measured_seconds;
+        let ape = residual_seconds.abs() / measured_seconds;
+        let group = inner.group_mut(&record.model, record.version, &record.machine);
+        group.window.push(record.predicted_seconds, measured_seconds, record.gp_uncertainty);
+        if group.pool.len() == POOL_CAPACITY {
+            group.pool.pop_front();
+        }
+        group.pool.push_back((
+            [record.o as f64, record.v as f64, record.nodes as f64, record.tile as f64],
+            measured_seconds,
+        ));
+        group.accepted_since_fit += 1;
+        if group.gp.is_none() || group.accepted_since_fit >= GP_REFIT_EVERY {
+            group.refit_gp();
+        }
+        let drift_tripped = group.detector.update(ape);
+        if drift_tripped {
+            group.drift_trips += 1;
+            group.degraded = true;
+            // Re-arm so a persisting shift is re-confirmed from scratch
+            // rather than re-reported on every subsequent observation.
+            group.detector.reset();
+        }
+        let stats = group.stats();
+        let degraded = group.degraded;
+        let window_mape = stats.mape;
+        drop(inner);
+
+        self.metrics.set_model_quality(&record.model, record.version, &record.machine, stats);
+        obs::event!(
+            Level::Info,
+            "quality.residual",
+            prediction_id = prediction_id,
+            model = record.model.as_str(),
+            version = record.version,
+            machine = record.machine.as_str(),
+            o = record.o,
+            v = record.v,
+            nodes = record.nodes,
+            tile = record.tile,
+            predicted_seconds = record.predicted_seconds,
+            measured_seconds = measured_seconds,
+            residual_seconds = residual_seconds,
+            ape = ape,
+            window_mape = window_mape,
+            advise_trace = record.advise_trace.clone().unwrap_or_default(),
+        );
+        if drift_tripped {
+            obs::event!(
+                Level::Warn,
+                "quality.drift",
+                model = record.model.as_str(),
+                version = record.version,
+                machine = record.machine.as_str(),
+                window_mape = window_mape,
+                observations = stats.observations,
+            );
+        }
+        Ok(ObserveOutcome { record, residual_seconds, ape, window_mape, drift_tripped, degraded })
+    }
+
+    /// Every tracked group's current stats, for `GET /v1/quality`.
+    /// Degraded groups sort first, then by observation count.
+    pub fn snapshot(&self) -> Vec<GroupSnapshot> {
+        let inner = self.inner.lock();
+        let mut out: Vec<GroupSnapshot> = inner
+            .groups
+            .iter()
+            .map(|g| GroupSnapshot {
+                model: g.model.clone(),
+                version: g.version,
+                machine: g.machine.clone(),
+                stats: g.stats(),
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            (b.stats.degraded, b.stats.observations, &a.model)
+                .partial_cmp(&(a.stats.degraded, a.stats.observations, &b.model))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        out
+    }
+
+    /// Rank the next configurations to measure with `chemcost-active`'s
+    /// uncertainty-sampling strategy, trained on the chosen group's
+    /// observation pool. The candidate grid is the group's observed
+    /// `(O, V)` problems crossed with the full in-grid node/tile
+    /// candidates, memory-feasibility-filtered, minus configurations
+    /// already measured.
+    pub fn next_experiments(&self, k: usize) -> NextExperiments {
+        let inner = self.inner.lock();
+        // Degraded groups first (they are the ones needing retraining
+        // data), then the best-observed group.
+        let group = inner
+            .groups
+            .iter()
+            .max_by_key(|g| (g.degraded, g.pool.len(), std::cmp::Reverse(g.version)));
+        let Some(group) = group else {
+            return NextExperiments {
+                group: None,
+                strategy: "US",
+                configs: Vec::new(),
+                reason: Some("no serving group has received observations yet".to_string()),
+            };
+        };
+        let chosen = (group.model.clone(), group.version, group.machine.clone());
+        if group.pool.len() < MIN_OBSERVATIONS_FOR_EXPERIMENTS {
+            return NextExperiments {
+                group: Some(chosen),
+                strategy: "US",
+                configs: Vec::new(),
+                reason: Some(format!(
+                    "only {} observations; need at least {MIN_OBSERVATIONS_FOR_EXPERIMENTS}",
+                    group.pool.len()
+                )),
+            };
+        }
+        let Some(machine) = by_name(&group.machine) else {
+            return NextExperiments {
+                group: Some(chosen),
+                strategy: "US",
+                configs: Vec::new(),
+                reason: Some(format!("unknown machine {:?}", group.machine)),
+            };
+        };
+
+        // Labelled set: the most recent pool rows (bounds the GP fit).
+        let rows: Vec<&([f64; 4], f64)> = group.pool.iter().rev().take(GP_MAX_FIT).collect();
+        let x_labeled = Matrix::from_fn(rows.len(), 4, |i, j| rows[i].0[j]);
+        let y_labeled: Vec<f64> = rows.iter().map(|(_, m)| *m).collect();
+        let seed = group.window.observations();
+
+        // Candidate grid: observed problems × full node/tile grid,
+        // memory-feasible, minus already-measured configurations.
+        let mut problems: Vec<(usize, usize)> =
+            group.pool.iter().map(|(f, _)| (f[0] as usize, f[1] as usize)).collect();
+        problems.sort_unstable();
+        problems.dedup();
+        let measured: HashSet<[u64; 4]> = group
+            .pool
+            .iter()
+            .map(|(f, _)| [f[0] as u64, f[1] as u64, f[2] as u64, f[3] as u64])
+            .collect();
+        let mut candidates: Vec<(usize, usize, usize, usize)> = Vec::new();
+        for &(o, v) in &problems {
+            let problem = Problem::new(o, v);
+            for &nodes in &chemcost_sim::datagen::node_candidates() {
+                if !fits_in_memory(&problem, nodes, &machine) {
+                    continue;
+                }
+                for &tile in &chemcost_sim::datagen::tile_candidates() {
+                    if measured.contains(&[o as u64, v as u64, nodes as u64, tile as u64]) {
+                        continue;
+                    }
+                    candidates.push((o, v, nodes, tile));
+                }
+            }
+        }
+        drop(inner);
+        if candidates.is_empty() {
+            return NextExperiments {
+                group: Some(chosen),
+                strategy: "US",
+                configs: Vec::new(),
+                reason: Some("every in-grid feasible configuration is already measured".into()),
+            };
+        }
+        // Stride-thin an oversized grid so the GP scoring pass stays
+        // bounded; log nothing — the ranking is a sample either way.
+        if candidates.len() > MAX_CANDIDATES {
+            let stride = candidates.len().div_ceil(MAX_CANDIDATES);
+            candidates = candidates.into_iter().step_by(stride).collect();
+        }
+        let x_pool = Matrix::from_fn(candidates.len(), 4, |i, j| match j {
+            0 => candidates[i].0 as f64,
+            1 => candidates[i].1 as f64,
+            2 => candidates[i].2 as f64,
+            _ => candidates[i].3 as f64,
+        });
+        match chemcost_active::rank_next_experiments(&x_labeled, &y_labeled, &x_pool, k, seed) {
+            Ok(ranked) => NextExperiments {
+                group: Some(chosen),
+                strategy: "US",
+                configs: ranked
+                    .into_iter()
+                    .map(|r| {
+                        let (o, v, nodes, tile) = candidates[r.index];
+                        ExperimentConfig { o, v, nodes, tile, score: r.score }
+                    })
+                    .collect(),
+                reason: None,
+            },
+            Err(e) => NextExperiments {
+                group: Some(chosen),
+                strategy: "US",
+                configs: Vec::new(),
+                reason: Some(format!("ranking model failed to fit: {e}")),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hub() -> QualityHub {
+        QualityHub::new(Arc::new(Metrics::new()))
+    }
+
+    fn journal_one(h: &QualityHub, predicted: f64) -> u64 {
+        h.record_prediction("gb", 1, "aurora", (99, 718, 120, 90), predicted)
+    }
+
+    #[test]
+    fn ids_are_unique_and_monotonic() {
+        let h = hub();
+        let a = journal_one(&h, 100.0);
+        let b = journal_one(&h, 100.0);
+        assert!(b > a);
+        assert_eq!(h.journal_len(), 2);
+    }
+
+    #[test]
+    fn observe_scores_matches_and_updates_metrics() {
+        let metrics = Arc::new(Metrics::new());
+        let h = QualityHub::new(metrics.clone());
+        let id = h.record_prediction("gb", 1, "aurora", (99, 718, 120, 90), 110.0);
+        let out = h.observe(id, 100.0).unwrap();
+        assert_eq!(out.record.id, id);
+        assert!((out.residual_seconds - 10.0).abs() < 1e-12);
+        assert!((out.ape - 0.1).abs() < 1e-12);
+        assert!((out.window_mape - 0.1).abs() < 1e-12);
+        assert!(!out.drift_tripped);
+        assert!(!out.degraded);
+        let entries = metrics.quality_entries();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].model, "gb");
+        assert!((entries[0].stats.mape - 0.1).abs() < 1e-12);
+        assert_eq!(entries[0].stats.observations, 1);
+        assert_eq!(h.journal_len(), 0, "observed entries leave the journal");
+    }
+
+    #[test]
+    fn unknown_replayed_and_invalid_reports_are_rejected_without_skew() {
+        let h = hub();
+        assert_eq!(h.observe(999, 1.0).unwrap_err(), ObserveError::UnknownId);
+        let id = journal_one(&h, 50.0);
+        assert_eq!(h.observe(id, f64::NAN).unwrap_err(), ObserveError::InvalidMeasurement);
+        assert_eq!(h.observe(id, -3.0).unwrap_err(), ObserveError::InvalidMeasurement);
+        assert_eq!(h.observe(id, 0.0).unwrap_err(), ObserveError::InvalidMeasurement);
+        // Rejections must not have consumed the id or touched the stats.
+        let out = h.observe(id, 50.0).unwrap();
+        assert_eq!(out.record.id, id);
+        assert_eq!(h.snapshot()[0].stats.observations, 1);
+        // A second report for the same id is a replay.
+        assert_eq!(h.observe(id, 50.0).unwrap_err(), ObserveError::Replayed);
+        assert_eq!(h.snapshot()[0].stats.observations, 1, "replay must not skew stats");
+    }
+
+    #[test]
+    fn journal_evicts_oldest_when_full() {
+        let h = hub();
+        let first = journal_one(&h, 1.0);
+        for _ in 0..JOURNAL_CAPACITY {
+            journal_one(&h, 1.0);
+        }
+        assert_eq!(h.journal_len(), JOURNAL_CAPACITY);
+        assert_eq!(h.observe(first, 1.0).unwrap_err(), ObserveError::UnknownId);
+    }
+
+    #[test]
+    fn drift_detector_trips_on_sustained_error_shift_and_flags_degraded() {
+        let h = hub();
+        // Healthy phase: ~5% error.
+        for i in 0..40 {
+            let id = journal_one(&h, 100.0);
+            let measured = 100.0 / (1.0 + 0.05 * if i % 2 == 0 { 1.0 } else { -1.0 });
+            let out = h.observe(id, measured).unwrap();
+            assert!(!out.drift_tripped, "false trip at healthy observation {i}");
+        }
+        // The world shifts: real runtimes jump 60% above predictions.
+        let mut tripped = false;
+        for _ in 0..50 {
+            let id = journal_one(&h, 100.0);
+            let out = h.observe(id, 160.0).unwrap();
+            if out.drift_tripped {
+                tripped = true;
+                break;
+            }
+        }
+        assert!(tripped, "a 60% runtime shift must trip the detector within 50 observations");
+        let snap = h.snapshot();
+        assert!(snap[0].stats.degraded);
+        assert_eq!(snap[0].stats.drift_trips, 1);
+    }
+
+    #[test]
+    fn predictions_carry_gp_uncertainty_once_the_pool_warms_up() {
+        let h = hub();
+        for i in 0..(GP_REFIT_EVERY as usize + 4) {
+            let id = h.record_prediction(
+                "gb",
+                1,
+                "aurora",
+                (99, 718, 20 + 10 * (i % 6), 40 + 10 * (i % 5)),
+                100.0 + i as f64,
+            );
+            h.observe(id, 95.0 + i as f64).unwrap();
+        }
+        let id = journal_one(&h, 120.0);
+        let out = h.observe(id, 118.0).unwrap();
+        assert!(
+            out.record.gp_uncertainty.is_some(),
+            "after {} observations the GP must be fit",
+            GP_REFIT_EVERY + 4
+        );
+        assert!(out.record.gp_uncertainty.unwrap() >= 0.0);
+        // Calibration ratio becomes defined once σ-carrying residuals land.
+        assert!(!h.snapshot()[0].stats.calibration_ratio.is_nan());
+    }
+
+    #[test]
+    fn next_experiments_requires_observations_then_ranks_in_grid() {
+        let h = hub();
+        let none = h.next_experiments(5);
+        assert!(none.group.is_none());
+        assert!(none.configs.is_empty());
+        assert!(none.reason.is_some());
+
+        // Two observed problems, several configs each.
+        for i in 0..12 {
+            let id = h.record_prediction(
+                "gb",
+                1,
+                "aurora",
+                (
+                    if i % 2 == 0 { 99 } else { 134 },
+                    if i % 2 == 0 { 718 } else { 951 },
+                    [20, 30, 50, 80, 120, 150][i % 6],
+                    40 + 10 * (i % 4),
+                ),
+                500.0 + 20.0 * i as f64,
+            );
+            h.observe(id, 480.0 + 21.0 * i as f64).unwrap();
+        }
+        let plan = h.next_experiments(10);
+        assert_eq!(plan.group.as_ref().map(|(m, ..)| m.as_str()), Some("gb"));
+        assert_eq!(plan.strategy, "US");
+        assert!(plan.reason.is_none(), "{:?}", plan.reason);
+        assert!(!plan.configs.is_empty());
+        assert!(plan.configs.len() <= 10);
+        let nodes_grid = chemcost_sim::datagen::node_candidates();
+        let tile_grid = chemcost_sim::datagen::tile_candidates();
+        let mut seen = HashSet::new();
+        for c in &plan.configs {
+            assert!([(99, 718), (134, 951)].contains(&(c.o, c.v)), "{c:?}");
+            assert!(nodes_grid.contains(&c.nodes), "{c:?} nodes not in grid");
+            assert!(tile_grid.contains(&c.tile), "{c:?} tile not in grid");
+            assert!(c.score.is_finite() && c.score >= 0.0);
+            assert!(seen.insert((c.o, c.v, c.nodes, c.tile)), "duplicate {c:?}");
+        }
+        // Ranked best-first.
+        for pair in plan.configs.windows(2) {
+            assert!(pair[0].score >= pair[1].score);
+        }
+    }
+}

@@ -12,10 +12,11 @@
 //! fully-answered advise responses are replayed from a keyed LRU
 //! [`AdviseCache`] until the model is reloaded.
 
-use crate::cache::{AdviseCache, AdviseKey};
+use crate::cache::{AdviseCache, AdviseKey, CachedRec};
 use crate::http::{Request, Response};
 use crate::json::Json;
-use crate::metrics::{AdviseStage, DeadlineStage, Metrics, Route};
+use crate::metrics::{build_info, AdviseStage, DeadlineStage, Metrics, Route};
+use crate::quality::{ObserveError, QualityHub};
 use crate::registry::{ModelRegistry, ResolvedModel};
 use chemcost_core::advisor::{Advisor, Goal, Recommendation};
 use chemcost_linalg::Matrix;
@@ -113,6 +114,7 @@ pub struct Router {
     registry: Arc<ModelRegistry>,
     metrics: Arc<Metrics>,
     cache: Arc<AdviseCache>,
+    quality: Arc<QualityHub>,
     shutdown: Arc<AtomicBool>,
     /// Budget applied to requests that don't send `X-Deadline-Ms`.
     default_deadline_ms: Option<u64>,
@@ -126,10 +128,18 @@ impl Router {
 
     /// Build a router whose advise cache holds at most `capacity` entries.
     pub fn with_cache_capacity(registry: Arc<ModelRegistry>, capacity: usize) -> Router {
+        let metrics = Arc::new(Metrics::new());
+        let quality = Arc::new(QualityHub::new(Arc::clone(&metrics)));
+        // Pre-register every serving group so the quality series exist on
+        // the very first /metrics scrape, not only after traffic.
+        for info in registry.list() {
+            quality.register_group(&info.name, info.version, &info.machine);
+        }
         Router {
             registry,
-            metrics: Arc::new(Metrics::new()),
+            metrics,
             cache: Arc::new(AdviseCache::new(capacity)),
+            quality,
             shutdown: Arc::new(AtomicBool::new(false)),
             default_deadline_ms: None,
         }
@@ -150,6 +160,11 @@ impl Router {
     /// The metrics this router records into.
     pub fn metrics(&self) -> &Arc<Metrics> {
         &self.metrics
+    }
+
+    /// The model-quality tracker behind `/v1/observe` and `/v1/quality`.
+    pub fn quality(&self) -> &Arc<QualityHub> {
+        &self.quality
     }
 
     /// Has `POST /v1/shutdown` been received?
@@ -249,8 +264,13 @@ impl Router {
             }
             ("GET", "/metrics") => (Route::Metrics, Response::text(200, self.metrics.render())),
             ("GET", "/v1/models") => (Route::Models, self.models()),
+            ("GET", "/v1/quality") => (Route::Quality, self.quality_report()),
+            ("GET", "/v1/quality/next_experiments") => {
+                (Route::Quality, self.next_experiments_report())
+            }
             ("POST", "/v1/predict") => (Route::Predict, self.predict(&req.body)),
             ("POST", "/v1/advise") => (Route::Advise, self.advise(&req.body, deadline)),
+            ("POST", "/v1/observe") => (Route::Observe, self.observe(&req.body)),
             ("POST", "/v1/shutdown") => {
                 self.shutdown.store(true, Ordering::SeqCst);
                 (Route::Shutdown, Response::json(200, r#"{"status":"shutting down"}"#.to_string()))
@@ -307,6 +327,12 @@ impl Router {
                 let demoted = self.cache.demote_model(name, version);
                 self.metrics.set_cache_entries(self.cache.len());
                 self.metrics.mark_model_fresh();
+                // Track the new generation's quality from its first answer,
+                // and flush buffered obs lines so the reload marker reaches
+                // durable sinks even if the process dies mid-generation.
+                if let Ok(resolved) = self.registry.resolve(Some(name), None) {
+                    self.quality.register_group(&resolved.name, version, &resolved.machine);
+                }
                 obs::event!(
                     Level::Info,
                     "registry.reload",
@@ -314,6 +340,7 @@ impl Router {
                     version = version,
                     cache_demoted = demoted,
                 );
+                obs::flush();
                 Response::json(
                     200,
                     Json::obj([("model", name.into()), ("version", Json::Num(version as f64))])
@@ -484,9 +511,22 @@ impl Router {
         let hit = cached.is_some();
         self.metrics.record_advise_stage(AdviseStage::Cache, cache_started.elapsed());
         obs::event!(Level::Debug, "advise.cache", hit = hit, o = o, v = v, goal = goal);
-        if let Some(cached) = cached {
+        if let Some((cached, rec)) = cached {
             self.metrics.record_cache_hit();
-            return Response::json(200, cached);
+            let mut resp = Response::json(200, cached);
+            // A replayed answer is a fresh prediction as far as the quality
+            // loop is concerned: each round trip gets its own id, so the
+            // cached body stays byte-identical and the id rides a header.
+            self.journal_prediction(
+                &mut resp,
+                &resolved.name,
+                resolved.version,
+                &machine_name,
+                o,
+                v,
+                rec,
+            );
+            return resp;
         }
         self.metrics.record_cache_miss();
 
@@ -495,7 +535,7 @@ impl Router {
         // replay is labelled `"stale": true` and keeps its original
         // `model_version` so the client can tell what it got.
         if self.metrics.shed_within(STALE_SERVE_WINDOW) {
-            if let Some((stale_body, stale_version)) = self.cache.get_stale(&key) {
+            if let Some((stale_body, stale_version, stale_rec)) = self.cache.get_stale(&key) {
                 self.metrics.record_stale_served();
                 obs::event!(
                     Level::Warn,
@@ -513,7 +553,19 @@ impl Router {
                     }
                     _ => stale_body,
                 };
-                return Response::json(200, labelled);
+                let mut resp = Response::json(200, labelled);
+                // Journal against the version that computed the answer, so
+                // its residuals score the model that actually promised them.
+                self.journal_prediction(
+                    &mut resp,
+                    &resolved.name,
+                    stale_version,
+                    &machine_name,
+                    o,
+                    v,
+                    stale_rec,
+                );
+                return resp;
             }
         }
 
@@ -552,17 +604,22 @@ impl Router {
             ("o", o.into()),
             ("v", v.into()),
         ];
+        // The primary recommendation is what the quality loop journals:
+        // the goal answer for stq/bq, the frontier's fastest for pareto.
+        let primary: Option<Recommendation>;
         match goal {
             "stq" | "bq" => {
                 let g = if goal == "stq" { Goal::ShortestTime } else { Goal::Budget };
                 fields.push(("goal", g.abbrev().into()));
-                fields.push(("recommendation", sweep.best(g).map(rec_json).unwrap_or(Json::Null)));
+                let best = sweep.best(g);
+                primary = best;
+                fields.push(("recommendation", best.map(rec_json).unwrap_or(Json::Null)));
             }
             _ => {
                 fields.push(("goal", "pareto".into()));
-                let frontier: Vec<Json> =
-                    sweep.pareto_frontier().into_iter().map(rec_json).collect();
-                fields.push(("frontier", Json::Arr(frontier)));
+                let frontier = sweep.pareto_frontier();
+                primary = frontier.first().copied();
+                fields.push(("frontier", Json::Arr(frontier.into_iter().map(rec_json).collect())));
             }
         }
         if let Some(budget) = budget {
@@ -578,10 +635,220 @@ impl Router {
             ));
         }
         let rendered = Json::obj(fields).encode();
-        self.cache.insert(key, rendered.clone());
+        let rec = primary.map(|r| (r.nodes, r.tile, r.predicted_seconds));
+        self.cache.insert(key, rendered.clone(), rec);
         self.metrics.set_cache_entries(self.cache.len());
         self.metrics.record_advise_stage(AdviseStage::Encode, encode_started.elapsed());
-        Response::json(200, rendered)
+        let mut resp = Response::json(200, rendered);
+        self.journal_prediction(
+            &mut resp,
+            &resolved.name,
+            resolved.version,
+            &machine_name,
+            o,
+            v,
+            rec,
+        );
+        resp
+    }
+
+    /// Journal one advise answer's primary recommendation and attach its
+    /// `prediction_id` to the response as an `X-Prediction-Id` header.
+    /// Answers with no feasible recommendation journal nothing.
+    #[allow(clippy::too_many_arguments)]
+    fn journal_prediction(
+        &self,
+        resp: &mut Response,
+        model: &str,
+        version: u64,
+        machine: &str,
+        o: usize,
+        v: usize,
+        rec: Option<CachedRec>,
+    ) {
+        if let Some((nodes, tile, predicted_seconds)) = rec {
+            let id = self.quality.record_prediction(
+                model,
+                version,
+                machine,
+                (o, v, nodes, tile),
+                predicted_seconds,
+            );
+            resp.headers.push(("X-Prediction-Id", id.to_string()));
+        }
+    }
+
+    /// `POST /v1/observe`: match one measured runtime back to its
+    /// journaled prediction. Parsing is deliberately strict — a quality
+    /// feed polluted by sloppy clients is worse than none — so unknown
+    /// keys, duplicate keys, non-integer ids, and non-positive
+    /// measurements are all structured 4xx, and none of them touch the
+    /// rolling statistics.
+    fn observe(&self, body: &[u8]) -> Response {
+        let reject = |metrics: &Metrics, status: u16, msg: &str| {
+            metrics.record_quality_observation(false);
+            error(status, msg)
+        };
+        let parsed = match parse_body(body) {
+            Ok(v) => v,
+            Err(resp) => {
+                self.metrics.record_quality_observation(false);
+                return resp;
+            }
+        };
+        let Json::Obj(ref obj_fields) = parsed else {
+            return reject(&self.metrics, 400, "request body must be a JSON object");
+        };
+        // `Json::get` returns the first match, so duplicate keys need an
+        // explicit scan: two `measured_seconds` values is a client bug to
+        // report, not a tiebreak to guess at.
+        for (i, (key, _)) in obj_fields.iter().enumerate() {
+            if obj_fields.iter().skip(i + 1).any(|(other, _)| other == key) {
+                return reject(&self.metrics, 400, &format!("duplicate key {key:?}"));
+            }
+            if key != "prediction_id" && key != "measured_seconds" {
+                return reject(&self.metrics, 400, &format!("unknown key {key:?}"));
+            }
+        }
+        let id = match parsed.get("prediction_id").and_then(Json::as_f64) {
+            Some(f) if f.fract() == 0.0 && (1.0..=9_007_199_254_740_992.0).contains(&f) => f as u64,
+            _ => {
+                return reject(
+                    &self.metrics,
+                    400,
+                    "\"prediction_id\" must be a positive integer (as issued in X-Prediction-Id)",
+                )
+            }
+        };
+        let Some(measured) = parsed.get("measured_seconds").and_then(Json::as_f64) else {
+            return reject(&self.metrics, 400, "missing \"measured_seconds\" number");
+        };
+        match self.quality.observe(id, measured) {
+            Ok(out) => {
+                self.metrics.record_quality_observation(true);
+                Response::json(
+                    200,
+                    Json::obj([
+                        ("prediction_id", Json::Num(id as f64)),
+                        ("model", out.record.model.into()),
+                        ("model_version", Json::Num(out.record.version as f64)),
+                        ("machine", out.record.machine.into()),
+                        ("residual_seconds", Json::Num(out.residual_seconds)),
+                        ("ape", Json::Num(out.ape)),
+                        ("window_mape", Json::Num(out.window_mape)),
+                        ("drift_tripped", Json::Bool(out.drift_tripped)),
+                        ("degraded", Json::Bool(out.degraded)),
+                    ])
+                    .encode(),
+                )
+            }
+            Err(ObserveError::UnknownId) => reject(
+                &self.metrics,
+                404,
+                &format!("prediction_id {id} is unknown (never issued, or evicted)"),
+            ),
+            Err(ObserveError::Replayed) => {
+                reject(&self.metrics, 409, &format!("prediction_id {id} was already observed"))
+            }
+            Err(ObserveError::InvalidMeasurement) => {
+                reject(&self.metrics, 400, "\"measured_seconds\" must be a finite positive number")
+            }
+        }
+    }
+
+    /// `GET /v1/quality`: the quality loop's state in one JSON document —
+    /// build identity, journal occupancy, accept/reject counters, and
+    /// per-(model, version, machine) rolling statistics.
+    fn quality_report(&self) -> Response {
+        let (version, git_sha, dirty) = build_info();
+        let groups: Vec<Json> = self
+            .quality
+            .snapshot()
+            .into_iter()
+            .map(|g| {
+                Json::obj([
+                    ("model", g.model.into()),
+                    ("version", Json::Num(g.version as f64)),
+                    ("machine", g.machine.into()),
+                    ("observations", Json::Num(g.stats.observations as f64)),
+                    ("window", Json::Num(g.stats.window as f64)),
+                    ("mape", Json::Num(g.stats.mape)),
+                    ("bias_seconds", Json::Num(g.stats.bias_seconds)),
+                    ("residual_p50", Json::Num(g.stats.residual_p50)),
+                    ("residual_p90", Json::Num(g.stats.residual_p90)),
+                    ("residual_p99", Json::Num(g.stats.residual_p99)),
+                    ("calibration_ratio", Json::Num(g.stats.calibration_ratio)),
+                    ("drift_trips", Json::Num(g.stats.drift_trips as f64)),
+                    ("degraded", Json::Bool(g.stats.degraded)),
+                ])
+            })
+            .collect();
+        Response::json(
+            200,
+            Json::obj([
+                (
+                    "build",
+                    Json::obj([
+                        ("version", version.into()),
+                        ("git_sha", git_sha.into()),
+                        ("dirty", dirty.into()),
+                    ]),
+                ),
+                (
+                    "journal",
+                    Json::obj([
+                        ("pending", Json::Num(self.quality.journal_len() as f64)),
+                        ("capacity", Json::Num(self.quality.journal_capacity() as f64)),
+                    ]),
+                ),
+                (
+                    "observations",
+                    Json::obj([
+                        ("accepted", Json::Num(self.metrics.quality_accepted() as f64)),
+                        ("rejected", Json::Num(self.metrics.quality_rejected() as f64)),
+                    ]),
+                ),
+                ("groups", Json::Arr(groups)),
+            ])
+            .encode(),
+        )
+    }
+
+    /// `GET /v1/quality/next_experiments`: configurations the active
+    /// learner most wants measured, ranked by GP relative uncertainty.
+    fn next_experiments_report(&self) -> Response {
+        let plan = self.quality.next_experiments(10);
+        let mut fields: Vec<(&'static str, Json)> = vec![("strategy", plan.strategy.into())];
+        match plan.group {
+            Some((model, version, machine)) => {
+                fields.push(("model", model.into()));
+                fields.push(("model_version", Json::Num(version as f64)));
+                fields.push(("machine", machine.into()));
+            }
+            None => fields.push(("model", Json::Null)),
+        }
+        fields.push((
+            "configs",
+            Json::Arr(
+                plan.configs
+                    .into_iter()
+                    .map(|c| {
+                        Json::obj([
+                            ("o", c.o.into()),
+                            ("v", c.v.into()),
+                            ("nodes", c.nodes.into()),
+                            ("tile", c.tile.into()),
+                            ("score", Json::Num(c.score)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+        match plan.reason {
+            Some(reason) => fields.push(("reason", reason.into())),
+            None => fields.push(("reason", Json::Null)),
+        }
+        Response::json(200, Json::obj(fields).encode())
     }
 }
 

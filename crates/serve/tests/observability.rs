@@ -123,6 +123,8 @@ fn advise_request_emits_correlated_records_and_saturation_metrics() {
     assert!(done.field("duration_us").is_some());
 
     // -- the same records landed in the JSONL file, parseable, same trace --
+    // The JSONL sink buffers; flush before reading mid-life.
+    obs::flush();
     let log = std::fs::read_to_string(&log_path).expect("read log file");
     let mut names_in_trace = Vec::new();
     for line in log.lines() {

@@ -62,6 +62,8 @@ fn known_options(command: &str) -> Option<&'static [&'static str]> {
             "default-deadline-ms",
         ]),
         "call" => Some(&["addr", "method", "path", "body", "deadline-ms", "retries"]),
+        "quality" => Some(&["addr", "next"]),
+        "version" | "--version" | "-V" => Some(&[]),
         "trace" => Some(&[
             "machine", "o", "v", "molecule", "basis", "nodes", "tile", "noise", "seed", "out",
         ]),
@@ -145,6 +147,9 @@ fn usage() -> &'static str {
        call       --path /v1/… [--addr HOST:PORT] [--method GET|POST] [--body JSON]\n\
                   [--deadline-ms MS] [--retries N]  (retrying client; GET and\n\
                    /v1/advise retry, other POSTs get one attempt)\n\
+       quality    [--addr HOST:PORT] [--next]  (model-quality report from a running\n\
+                   daemon; --next asks for active-learning-ranked experiments)\n\
+       version    (build identity: version, git sha, dirty flag)\n\
      observability: set CHEMCOST_LOG=error|warn|info|debug|trace for structured logs on\n\
      stderr, CHEMCOST_LOG_JSON=FILE for a JSONL copy (see docs/OBSERVABILITY.md,\n\
      docs/ROBUSTNESS.md)"
@@ -467,6 +472,127 @@ fn cmd_call(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `chemcost quality`: fetch and summarize a running daemon's
+/// model-quality report (or, with `--next`, its ranked experiment plan).
+fn cmd_quality(args: &Args) -> Result<(), String> {
+    use chemcost::serve::json::Json;
+    let addr = args.get("addr").unwrap_or("127.0.0.1:8080");
+    let path = if args.flag("next") { "/v1/quality/next_experiments" } else { "/v1/quality" };
+    let client = Client::new(addr);
+    let resp = client.call("GET", path, b"").map_err(|e| format!("GET {path}: {e}"))?;
+    if resp.status >= 400 {
+        return Err(format!("server answered {}: {}", resp.status, resp.text()));
+    }
+    let parsed = Json::parse(&resp.text()).map_err(|e| format!("bad response JSON: {e}"))?;
+    if args.flag("next") {
+        match parsed.get("model").and_then(Json::as_str) {
+            Some(model) => println!(
+                "next experiments for {} v{} on {} (strategy {}):",
+                model,
+                parsed.get("model_version").and_then(Json::as_usize).unwrap_or(0),
+                parsed.get("machine").and_then(Json::as_str).unwrap_or("?"),
+                parsed.get("strategy").and_then(Json::as_str).unwrap_or("US"),
+            ),
+            None => println!("no serving group has observations yet"),
+        }
+        let configs = parsed.get("configs").and_then(Json::as_array);
+        match configs {
+            Some(configs) if !configs.is_empty() => {
+                // The ranked table can be long; write it so that a
+                // closed pipe (`chemcost quality --next | head`) ends
+                // the listing instead of panicking on broken pipe.
+                use std::io::Write;
+                let mut out = std::io::stdout().lock();
+                let _ = writeln!(
+                    out,
+                    "{:>4} {:>6} {:>6} {:>6} {:>6} {:>10}",
+                    "#", "O", "V", "nodes", "tile", "score"
+                );
+                for (i, c) in configs.iter().enumerate() {
+                    if writeln!(
+                        out,
+                        "{:>4} {:>6} {:>6} {:>6} {:>6} {:>10.4}",
+                        i + 1,
+                        c.get("o").and_then(Json::as_usize).unwrap_or(0),
+                        c.get("v").and_then(Json::as_usize).unwrap_or(0),
+                        c.get("nodes").and_then(Json::as_usize).unwrap_or(0),
+                        c.get("tile").and_then(Json::as_usize).unwrap_or(0),
+                        c.get("score").and_then(Json::as_f64).unwrap_or(f64::NAN),
+                    )
+                    .is_err()
+                    {
+                        break;
+                    }
+                }
+            }
+            _ => {
+                if let Some(reason) = parsed.get("reason").and_then(Json::as_str) {
+                    println!("no experiments ranked: {reason}");
+                }
+            }
+        }
+        return Ok(());
+    }
+    if let Some(build) = parsed.get("build") {
+        println!(
+            "build: {} (git {}, dirty {})",
+            build.get("version").and_then(Json::as_str).unwrap_or("?"),
+            build.get("git_sha").and_then(Json::as_str).unwrap_or("?"),
+            build.get("dirty").and_then(Json::as_str).unwrap_or("?"),
+        );
+    }
+    if let (Some(journal), Some(obs)) = (parsed.get("journal"), parsed.get("observations")) {
+        println!(
+            "journal: {}/{} pending; observations: {} accepted, {} rejected",
+            journal.get("pending").and_then(Json::as_usize).unwrap_or(0),
+            journal.get("capacity").and_then(Json::as_usize).unwrap_or(0),
+            obs.get("accepted").and_then(Json::as_usize).unwrap_or(0),
+            obs.get("rejected").and_then(Json::as_usize).unwrap_or(0),
+        );
+    }
+    let groups = parsed.get("groups").and_then(Json::as_array);
+    match groups {
+        Some(groups) if !groups.is_empty() => {
+            for g in groups {
+                let fmt = |key: &str| match g.get(key).and_then(Json::as_f64) {
+                    Some(x) if x.is_finite() => format!("{x:.4}"),
+                    _ => "n/a".to_string(),
+                };
+                println!(
+                    "{} v{} on {}: {} obs (window {}), mape {}, bias_s {}, p50/p90/p99 {}/{}/{}, calib {}, drift_trips {}{}",
+                    g.get("model").and_then(Json::as_str).unwrap_or("?"),
+                    g.get("version").and_then(Json::as_usize).unwrap_or(0),
+                    g.get("machine").and_then(Json::as_str).unwrap_or("?"),
+                    g.get("observations").and_then(Json::as_usize).unwrap_or(0),
+                    g.get("window").and_then(Json::as_usize).unwrap_or(0),
+                    fmt("mape"),
+                    fmt("bias_seconds"),
+                    fmt("residual_p50"),
+                    fmt("residual_p90"),
+                    fmt("residual_p99"),
+                    fmt("calibration_ratio"),
+                    g.get("drift_trips").and_then(Json::as_usize).unwrap_or(0),
+                    if g.get("degraded").and_then(Json::as_bool) == Some(true) {
+                        "  ** DEGRADED **"
+                    } else {
+                        ""
+                    },
+                );
+            }
+        }
+        _ => println!("no serving groups tracked"),
+    }
+    Ok(())
+}
+
+/// `chemcost version`: the build identity also exported as
+/// `chemcost_build_info` on `/metrics` and under `build` in `/v1/quality`.
+fn cmd_version() -> Result<(), String> {
+    let (version, git_sha, dirty) = chemcost::serve::metrics::build_info();
+    println!("chemcost {version} (git {git_sha}, dirty {dirty})");
+    Ok(())
+}
+
 fn main() -> ExitCode {
     // Structured logging: CHEMCOST_LOG=level turns on stderr records,
     // CHEMCOST_LOG_JSON=path adds a JSONL copy. Silent when unset.
@@ -488,6 +614,8 @@ fn main() -> ExitCode {
         "trace" => cmd_trace(&args),
         "serve" => cmd_serve(&args),
         "call" => cmd_call(&args),
+        "quality" => cmd_quality(&args),
+        "version" | "--version" | "-V" => cmd_version(),
         "molecules" => cmd_molecules(),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
@@ -495,6 +623,9 @@ fn main() -> ExitCode {
         }
         other => Err(format!("unknown command {other:?}\n\n{}", usage())),
     };
+    // Push anything still sitting in buffered log sinks (the JSONL file
+    // from CHEMCOST_LOG_JSON) before the process exits.
+    chemcost::obs::flush();
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -618,6 +749,25 @@ mod tests {
         assert_eq!(a.get("path").unwrap(), "/v1/advise");
         assert_eq!(a.get_parse::<u64>("deadline-ms").unwrap(), 500);
         assert_eq!(a.get_parse::<u32>("retries").unwrap(), 2);
+    }
+
+    #[test]
+    fn quality_and_version_options_accepted() {
+        let a = parse_args(&argv(&["quality", "--addr=127.0.0.1:9100", "--next"])).unwrap();
+        assert_eq!(a.get("addr").unwrap(), "127.0.0.1:9100");
+        assert!(a.flag("next"));
+        // version takes no options; typos are rejected with context.
+        assert!(parse_args(&argv(&["version"])).is_ok());
+        assert!(parse_args(&argv(&["--version"])).is_ok());
+        assert!(parse_args(&argv(&["version", "--short"])).is_err());
+        assert!(parse_args(&argv(&["quality", "--adr=x"])).is_err());
+    }
+
+    #[test]
+    fn version_prints_the_build_triple() {
+        let (version, _, _) = chemcost::serve::metrics::build_info();
+        assert!(!version.is_empty());
+        assert!(cmd_version().is_ok());
     }
 
     #[test]
