@@ -16,7 +16,14 @@
 //! n_trees u32
 //! per tree: n_nodes u32, then nodes as
 //!   feature u32, threshold f64, left u32, right u32, value f64
+//! version 2 only, after the last tree (the lineage trailer):
+//!   parent_version u64, train_rows u32, observed_rows u32,
+//!   fit_duration_ms u64, seed u64
 //! ```
+//!
+//! Version 2 is version 1 plus a fixed [`Lineage`] trailer recording a
+//! retrained model's provenance (see the `lifecycle` subsystem); both
+//! versions decode with [`decode_gb_full`].
 //!
 //! Decoding validates every structural field (magic, version, counts,
 //! child indices in range, split features < n_features), so arbitrary or
@@ -30,6 +37,29 @@ use std::path::Path;
 
 const MAGIC: u32 = 0x4343_4742;
 const VERSION: u32 = 1;
+/// Format version 2 = the version-1 payload plus a 32-byte [`Lineage`]
+/// trailer after the last tree. Version-1 files remain readable forever;
+/// [`encode_gb`] keeps writing version 1 so artifacts stay compatible
+/// with older builds unless lineage is explicitly requested.
+const VERSION_LINEAGE: u32 = 2;
+
+/// Provenance of a retrained model: where it came from and what data and
+/// effort produced it. Persisted as a fixed 32-byte trailer in version-2
+/// model files so a promoted candidate on disk explains itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lineage {
+    /// Registry version of the serving model this candidate was
+    /// warm-started from (0 when trained from scratch).
+    pub parent_version: u64,
+    /// Rows in the original training set the parent retains knowledge of.
+    pub train_rows: u32,
+    /// Redeemed live observations the warm-start stages were fitted on.
+    pub observed_rows: u32,
+    /// Wall-clock fit duration in milliseconds.
+    pub fit_duration_ms: u64,
+    /// RNG seed the fit ran with, for reproducibility.
+    pub seed: u64,
+}
 
 /// Error decoding a persisted model.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -57,13 +87,22 @@ impl std::fmt::Display for DecodeError {
 
 impl std::error::Error for DecodeError {}
 
-/// Serialize a fitted GB model to bytes.
+/// Serialize a fitted GB model to bytes (version 1, no lineage).
 pub fn encode_gb(gb: &GradientBoosting) -> Bytes {
+    encode_gb_at(gb, None)
+}
+
+/// Serialize a fitted GB model with its [`Lineage`] trailer (version 2).
+pub fn encode_gb_with_lineage(gb: &GradientBoosting, lineage: &Lineage) -> Bytes {
+    encode_gb_at(gb, Some(lineage))
+}
+
+fn encode_gb_at(gb: &GradientBoosting, lineage: Option<&Lineage>) -> Bytes {
     let (init, lr, n_features, trees) = gb.export();
     let node_total: usize = trees.iter().map(|t| t.len()).sum();
-    let mut buf = BytesMut::with_capacity(36 + trees.len() * 4 + node_total * 28);
+    let mut buf = BytesMut::with_capacity(36 + trees.len() * 4 + node_total * 28 + 32);
     buf.put_u32_le(MAGIC);
-    buf.put_u32_le(VERSION);
+    buf.put_u32_le(if lineage.is_some() { VERSION_LINEAGE } else { VERSION });
     buf.put_f64_le(init);
     buf.put_f64_le(lr);
     buf.put_u32_le(n_features as u32);
@@ -78,11 +117,24 @@ pub fn encode_gb(gb: &GradientBoosting) -> Bytes {
             buf.put_f64_le(n.value);
         }
     }
+    if let Some(l) = lineage {
+        buf.put_u64_le(l.parent_version);
+        buf.put_u32_le(l.train_rows);
+        buf.put_u32_le(l.observed_rows);
+        buf.put_u64_le(l.fit_duration_ms);
+        buf.put_u64_le(l.seed);
+    }
     buf.freeze()
 }
 
-/// Deserialize a GB model from bytes.
-pub fn decode_gb(mut buf: &[u8]) -> Result<GradientBoosting, DecodeError> {
+/// Deserialize a GB model from bytes, discarding any lineage trailer.
+pub fn decode_gb(buf: &[u8]) -> Result<GradientBoosting, DecodeError> {
+    decode_gb_full(buf).map(|(gb, _)| gb)
+}
+
+/// Deserialize a GB model plus its [`Lineage`] (version-2 files; `None`
+/// for version-1 files, which predate lineage).
+pub fn decode_gb_full(mut buf: &[u8]) -> Result<(GradientBoosting, Option<Lineage>), DecodeError> {
     let need = |n: usize, buf: &[u8]| {
         if buf.remaining() < n {
             Err(DecodeError::Truncated)
@@ -95,7 +147,7 @@ pub fn decode_gb(mut buf: &[u8]) -> Result<GradientBoosting, DecodeError> {
         return Err(DecodeError::BadMagic);
     }
     let version = buf.get_u32_le();
-    if version != VERSION {
+    if version != VERSION && version != VERSION_LINEAGE {
         return Err(DecodeError::UnsupportedVersion(version));
     }
     need(24, buf)?;
@@ -140,13 +192,25 @@ pub fn decode_gb(mut buf: &[u8]) -> Result<GradientBoosting, DecodeError> {
         }
         trees.push(nodes);
     }
+    let lineage = if version == VERSION_LINEAGE {
+        need(32, buf)?;
+        Some(Lineage {
+            parent_version: buf.get_u64_le(),
+            train_rows: buf.get_u32_le(),
+            observed_rows: buf.get_u32_le(),
+            fit_duration_ms: buf.get_u64_le(),
+            seed: buf.get_u64_le(),
+        })
+    } else {
+        None
+    };
     if buf.remaining() > 0 {
         return Err(DecodeError::Corrupt(format!(
             "{} trailing bytes after last tree",
             buf.remaining()
         )));
     }
-    Ok(GradientBoosting::from_export(init, lr, n_features, &trees))
+    Ok((GradientBoosting::from_export(init, lr, n_features, &trees), lineage))
 }
 
 /// Save a fitted GB model to a file.
@@ -157,10 +221,28 @@ pub fn save_gb(path: &Path, gb: &GradientBoosting) -> std::io::Result<()> {
     std::fs::write(path, encode_gb(gb))
 }
 
+/// Save a fitted GB model with its [`Lineage`] trailer (version-2 file).
+pub fn save_gb_with_lineage(
+    path: &Path,
+    gb: &GradientBoosting,
+    lineage: &Lineage,
+) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, encode_gb_with_lineage(gb, lineage))
+}
+
 /// Load a GB model from a file.
 pub fn load_gb(path: &Path) -> std::io::Result<GradientBoosting> {
     let data = std::fs::read(path)?;
     decode_gb(&data).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+/// Load a GB model plus its lineage (if the file is version 2).
+pub fn load_gb_full(path: &Path) -> std::io::Result<(GradientBoosting, Option<Lineage>)> {
+    let data = std::fs::read(path)?;
+    decode_gb_full(&data).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
 }
 
 #[cfg(test)]
@@ -320,6 +402,65 @@ mod tests {
         assert_eq!(DecodeError::UnsupportedVersion(9).to_string(), "unsupported model version 9");
         assert_eq!(DecodeError::Truncated.to_string(), "model file truncated");
         assert!(DecodeError::Corrupt("x".into()).to_string().contains("x"));
+    }
+
+    fn lineage() -> Lineage {
+        Lineage {
+            parent_version: 3,
+            train_rows: 240,
+            observed_rows: 57,
+            fit_duration_ms: 1234,
+            seed: 0xDEAD_BEEF,
+        }
+    }
+
+    #[test]
+    fn lineage_round_trip_preserves_model_and_trailer() {
+        let (gb, x) = fitted_gb();
+        let bytes = encode_gb_with_lineage(&gb, &lineage());
+        let (back, l) = decode_gb_full(&bytes).unwrap();
+        assert_eq!(gb.predict(&x), back.predict(&x));
+        assert_eq!(l, Some(lineage()));
+        // The v2 payload is exactly the v1 payload plus the 32-byte
+        // trailer and the version field difference.
+        assert_eq!(bytes.len(), encode_gb(&gb).len() + 32);
+    }
+
+    #[test]
+    fn v1_files_decode_with_no_lineage() {
+        let (gb, x) = fitted_gb();
+        let (back, l) = decode_gb_full(&encode_gb(&gb)).unwrap();
+        assert_eq!(l, None);
+        assert_eq!(gb.predict(&x), back.predict(&x));
+    }
+
+    #[test]
+    fn lineage_file_round_trip() {
+        let (gb, x) = fitted_gb();
+        let dir = std::env::temp_dir().join("chemcost_persist_lineage_test");
+        let path = dir.join("model.ccgb");
+        save_gb_with_lineage(&path, &gb, &lineage()).unwrap();
+        // load_gb tolerates the trailer; load_gb_full surfaces it.
+        assert_eq!(load_gb(&path).unwrap().predict(&x), gb.predict(&x));
+        let (_, l) = load_gb_full(&path).unwrap();
+        assert_eq!(l, Some(lineage()));
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir(&dir).ok();
+    }
+
+    #[test]
+    fn v2_rejects_truncated_trailer_and_trailing_garbage() {
+        let (gb, _) = fitted_gb();
+        let bytes = encode_gb_with_lineage(&gb, &lineage());
+        for cut in 1..32 {
+            assert!(
+                decode_gb_full(&bytes[..bytes.len() - cut]).is_err(),
+                "trailer cut by {cut} accepted"
+            );
+        }
+        let mut noisy = bytes.to_vec();
+        noisy.extend_from_slice(&[0xCD; 5]);
+        assert!(matches!(decode_gb_full(&noisy), Err(DecodeError::Corrupt(_))));
     }
 
     #[test]

@@ -15,6 +15,10 @@
 //!   measured runtimes against issued predictions, read rolling accuracy
 //!   and drift state, and get active-learning-ranked configurations to
 //!   measure next (see [`quality`])
+//! - `GET /v1/lifecycle`, `POST /v1/lifecycle/{promote,rollback,freeze}`
+//!   — the in-service model lifecycle: background retraining on drift,
+//!   shadow scoring, guarded auto-promotion, and operator overrides
+//!   (see [`chemcost_lifecycle`])
 //! - `GET /healthz`, `GET /metrics` — liveness and Prometheus metrics
 //! - `POST /v1/shutdown` — graceful drain-and-exit
 //!
@@ -171,6 +175,9 @@ impl Server {
         // Dropping the pool drains queued connections and joins workers,
         // so every accepted request gets its response before we return.
         pool.join();
+        // With no request left to enqueue retrains, stop the background
+        // trainer: cancels queued jobs and joins the worker thread.
+        self.router.lifecycle().shutdown();
         chemcost_obs::event!(
             chemcost_obs::Level::Info,
             "serve.stop",

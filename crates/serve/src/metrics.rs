@@ -19,7 +19,9 @@
 //! [`lint_exposition_with_required`].
 
 use crate::fault::FaultKind;
+use chemcost_lifecycle::{LifecycleObserver, LifecycleState, PromotionOutcome, TRANSITIONS};
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Route label a request is accounted under. Fixed set — unknown paths
@@ -42,6 +44,8 @@ pub enum Route {
     Observe,
     /// `GET /v1/quality` and `GET /v1/quality/next_experiments`.
     Quality,
+    /// `GET /v1/lifecycle` and `POST /v1/lifecycle/*` operator overrides.
+    Lifecycle,
     /// `POST /v1/shutdown`
     Shutdown,
     /// Anything else (404s, bad methods, shed connections, …).
@@ -49,7 +53,7 @@ pub enum Route {
 }
 
 impl Route {
-    const ALL: [Route; 10] = [
+    const ALL: [Route; 11] = [
         Route::Healthz,
         Route::Metrics,
         Route::Models,
@@ -58,6 +62,7 @@ impl Route {
         Route::Advise,
         Route::Observe,
         Route::Quality,
+        Route::Lifecycle,
         Route::Shutdown,
         Route::Other,
     ];
@@ -72,8 +77,9 @@ impl Route {
             Route::Advise => 5,
             Route::Observe => 6,
             Route::Quality => 7,
-            Route::Shutdown => 8,
-            Route::Other => 9,
+            Route::Lifecycle => 8,
+            Route::Shutdown => 9,
+            Route::Other => 10,
         }
     }
 
@@ -88,6 +94,7 @@ impl Route {
             Route::Advise => "advise",
             Route::Observe => "observe",
             Route::Quality => "quality",
+            Route::Lifecycle => "lifecycle",
             Route::Shutdown => "shutdown",
             Route::Other => "other",
         }
@@ -105,16 +112,20 @@ pub enum AdviseStage {
     Sweep,
     /// Reductions + JSON rendering + cache insert.
     Encode,
+    /// Shadow-candidate scoring of the primary recommendation.
+    Shadow,
 }
 
 impl AdviseStage {
-    const ALL: [AdviseStage; 3] = [AdviseStage::Cache, AdviseStage::Sweep, AdviseStage::Encode];
+    const ALL: [AdviseStage; 4] =
+        [AdviseStage::Cache, AdviseStage::Sweep, AdviseStage::Encode, AdviseStage::Shadow];
 
     fn index(self) -> usize {
         match self {
             AdviseStage::Cache => 0,
             AdviseStage::Sweep => 1,
             AdviseStage::Encode => 2,
+            AdviseStage::Shadow => 3,
         }
     }
 
@@ -124,6 +135,7 @@ impl AdviseStage {
             AdviseStage::Cache => "cache",
             AdviseStage::Sweep => "sweep",
             AdviseStage::Encode => "encode",
+            AdviseStage::Shadow => "shadow",
         }
     }
 }
@@ -194,6 +206,13 @@ pub const REQUIRED_SERIES: &[&str] = &[
     "chemcost_calibration_ratio",
     "chemcost_model_degraded",
     "chemcost_drift_trips_total",
+    "chemcost_quality_pool_size",
+    "chemcost_quality_pool_evictions_total",
+    "chemcost_lifecycle_state",
+    "chemcost_lifecycle_transitions_total",
+    "chemcost_lifecycle_queue_depth",
+    "chemcost_lifecycle_fit_duration_seconds",
+    "chemcost_lifecycle_promotions_total",
 ];
 
 /// Version baked into `chemcost_build_info`.
@@ -298,6 +317,10 @@ pub struct QualityStats {
     /// Is the group currently flagged degraded (drift tripped and no
     /// successful reload since)?
     pub degraded: bool,
+    /// Observations currently retained in the group's training pool.
+    pub pool_size: u64,
+    /// Observations silently evicted from the full training pool.
+    pub pool_evictions: u64,
 }
 
 impl Default for QualityStats {
@@ -313,6 +336,8 @@ impl Default for QualityStats {
             calibration_ratio: f64::NAN,
             drift_trips: 0,
             degraded: false,
+            pool_size: 0,
+            pool_evictions: 0,
         }
     }
 }
@@ -331,13 +356,26 @@ pub struct QualityEntry {
     pub stats: QualityStats,
 }
 
+/// One lifecycle group's current state, for the per-group state gauge.
+/// Keyed by (model, machine) — unlike quality groups, the lifecycle of a
+/// model spans its versions.
+#[derive(Debug, Clone)]
+pub struct LifecycleEntry {
+    /// Model name label.
+    pub model: String,
+    /// Machine label.
+    pub machine: String,
+    /// Current state (the gauge exports [`LifecycleState::code`]).
+    pub state: LifecycleState,
+}
+
 /// Shared, thread-safe service metrics.
 pub struct Metrics {
-    routes: [RouteStats; 10],
+    routes: [RouteStats; 11],
     /// Whole-request handling latency.
     latency: Histogram,
     /// Per-stage `/v1/advise` latency, indexed by [`AdviseStage`].
-    advise_stages: [Histogram; 3],
+    advise_stages: [Histogram; 4],
     /// `/v1/advise` answers served from the recommendation cache.
     cache_hits: AtomicU64,
     /// `/v1/advise` answers that had to run the sweep.
@@ -367,6 +405,18 @@ pub struct Metrics {
     /// dynamic (it follows the model registry) but tiny and updated only
     /// on observe/reload, never on the request hot path.
     quality: parking_lot::RwLock<Vec<QualityEntry>>,
+    /// Per-`(model, machine)` lifecycle state gauge, upserted by the
+    /// lifecycle hub through the [`LifecycleObserver`] bridge.
+    lifecycle: parking_lot::RwLock<Vec<LifecycleEntry>>,
+    /// Valid lifecycle transitions taken, indexed by position in
+    /// [`chemcost_lifecycle::TRANSITIONS`].
+    lifecycle_transitions: [AtomicU64; 13],
+    /// Retrain jobs waiting in the trainer queue (gauge).
+    lifecycle_queue_depth: AtomicI64,
+    /// Candidate fit wall time (success or failure).
+    lifecycle_fit_duration: Histogram,
+    /// Promotion decisions, indexed by [`PromotionOutcome::ALL`] position.
+    lifecycle_promotions: [AtomicU64; 4],
     /// Monotonic clock anchor for the two timestamps below.
     start: Instant,
     /// Micros-since-`start` + 1 of the moment the serving model went
@@ -395,6 +445,11 @@ impl Default for Metrics {
             quality_accepted: AtomicU64::new(0),
             quality_rejected: AtomicU64::new(0),
             quality: parking_lot::RwLock::new(Vec::new()),
+            lifecycle: parking_lot::RwLock::new(Vec::new()),
+            lifecycle_transitions: Default::default(),
+            lifecycle_queue_depth: AtomicI64::new(0),
+            lifecycle_fit_duration: Histogram::default(),
+            lifecycle_promotions: Default::default(),
             start: Instant::now(),
             stale_since: AtomicU64::new(0),
             last_shed: AtomicU64::new(0),
@@ -550,6 +605,74 @@ impl Metrics {
         self.quality.read().clone()
     }
 
+    /// Upsert the lifecycle state gauge for one `(model, machine)` group.
+    /// Registering every group as `Idle` at startup is what makes
+    /// `chemcost_lifecycle_state` appear on the very first scrape.
+    pub fn set_lifecycle_state(&self, model: &str, machine: &str, state: LifecycleState) {
+        let mut groups = self.lifecycle.write();
+        match groups.iter_mut().find(|e| e.model == model && e.machine == machine) {
+            Some(entry) => entry.state = state,
+            None => groups.push(LifecycleEntry {
+                model: model.to_string(),
+                machine: machine.to_string(),
+                state,
+            }),
+        }
+    }
+
+    /// Snapshot of every registered lifecycle group.
+    pub fn lifecycle_entries(&self) -> Vec<LifecycleEntry> {
+        self.lifecycle.read().clone()
+    }
+
+    /// Count one valid lifecycle transition. Pairs outside the enumerated
+    /// [`TRANSITIONS`] table are ignored (the hub never emits them).
+    pub fn record_lifecycle_transition(&self, from: LifecycleState, to: LifecycleState) {
+        if let Some(i) = TRANSITIONS.iter().position(|&(f, t)| f == from && t == to) {
+            self.lifecycle_transitions[i].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Transitions counted for one `(from, to)` pair.
+    pub fn lifecycle_transitions(&self, from: LifecycleState, to: LifecycleState) -> u64 {
+        TRANSITIONS
+            .iter()
+            .position(|&(f, t)| f == from && t == to)
+            .map_or(0, |i| self.lifecycle_transitions[i].load(Ordering::Relaxed))
+    }
+
+    /// Update the trainer-queue depth gauge.
+    pub fn set_lifecycle_queue_depth(&self, depth: usize) {
+        self.lifecycle_queue_depth.store(depth as i64, Ordering::Relaxed);
+    }
+
+    /// Retrain jobs waiting in the trainer queue right now.
+    pub fn lifecycle_queue_depth(&self) -> u64 {
+        self.lifecycle_queue_depth.load(Ordering::Relaxed).max(0) as u64
+    }
+
+    /// Record one candidate fit's wall time (success or failure).
+    pub fn record_lifecycle_fit_duration(&self, elapsed: Duration) {
+        self.lifecycle_fit_duration.observe(elapsed);
+    }
+
+    /// Candidate fits recorded so far.
+    pub fn lifecycle_fits(&self) -> u64 {
+        self.lifecycle_fit_duration.count.load(Ordering::Relaxed)
+    }
+
+    /// Count one promotion decision.
+    pub fn record_lifecycle_promotion(&self, outcome: PromotionOutcome) {
+        let i = PromotionOutcome::ALL.iter().position(|&o| o == outcome).expect("outcome in ALL");
+        self.lifecycle_promotions[i].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Promotion decisions counted for one outcome.
+    pub fn lifecycle_promotions(&self, outcome: PromotionOutcome) -> u64 {
+        let i = PromotionOutcome::ALL.iter().position(|&o| o == outcome).expect("outcome in ALL");
+        self.lifecycle_promotions[i].load(Ordering::Relaxed)
+    }
+
     /// Record an advise answer served from an older model version.
     pub fn record_stale_served(&self) {
         self.stale_served.fetch_add(1, Ordering::Relaxed);
@@ -568,6 +691,18 @@ impl Metrics {
     /// Observations recorded for one advise stage.
     pub fn advise_stage_count(&self, stage: AdviseStage) -> u64 {
         self.advise_stages[stage.index()].count.load(Ordering::Relaxed)
+    }
+
+    /// Mean recorded duration for one advise stage, in seconds (NaN when
+    /// the stage has no observations). Used by the promotion-safety tests
+    /// to bound the shadow stage's overhead against the full pipeline.
+    pub fn advise_stage_mean_seconds(&self, stage: AdviseStage) -> f64 {
+        let h = &self.advise_stages[stage.index()];
+        let n = h.count.load(Ordering::Relaxed);
+        if n == 0 {
+            return f64::NAN;
+        }
+        h.sum_micros.load(Ordering::Relaxed) as f64 / 1e6 / n as f64
     }
 
     /// A request entered the router.
@@ -824,7 +959,101 @@ impl Metrics {
                 e.stats.drift_trips
             ));
         }
+        out.push_str(
+            "# HELP chemcost_quality_pool_size Observations currently retained in the group's training pool.\n",
+        );
+        out.push_str("# TYPE chemcost_quality_pool_size gauge\n");
+        for e in &groups {
+            out.push_str(&format!(
+                "chemcost_quality_pool_size{{{}}} {}\n",
+                labels(e),
+                e.stats.pool_size
+            ));
+        }
+        out.push_str(
+            "# HELP chemcost_quality_pool_evictions_total Observations silently evicted from the full training pool, per serving group.\n",
+        );
+        out.push_str("# TYPE chemcost_quality_pool_evictions_total counter\n");
+        for e in &groups {
+            out.push_str(&format!(
+                "chemcost_quality_pool_evictions_total{{{}}} {}\n",
+                labels(e),
+                e.stats.pool_evictions
+            ));
+        }
+        let lifecycle = self.lifecycle.read().clone();
+        out.push_str(
+            "# HELP chemcost_lifecycle_state Retrain/shadow/promote state per (model, machine) group: 0=idle 1=queued 2=training 3=shadow 4=promoted 5=rejected 6=rolled-back.\n",
+        );
+        out.push_str("# TYPE chemcost_lifecycle_state gauge\n");
+        for e in &lifecycle {
+            out.push_str(&format!(
+                "chemcost_lifecycle_state{{model=\"{}\",machine=\"{}\"}} {}\n",
+                e.model,
+                e.machine,
+                e.state.code()
+            ));
+        }
+        out.push_str(
+            "# HELP chemcost_lifecycle_transitions_total Lifecycle state-machine transitions taken, by (from, to) pair.\n",
+        );
+        out.push_str("# TYPE chemcost_lifecycle_transitions_total counter\n");
+        for (i, (from, to)) in TRANSITIONS.iter().enumerate() {
+            out.push_str(&format!(
+                "chemcost_lifecycle_transitions_total{{from=\"{}\",to=\"{}\"}} {}\n",
+                from.label(),
+                to.label(),
+                self.lifecycle_transitions[i].load(Ordering::Relaxed)
+            ));
+        }
+        out.push_str(
+            "# HELP chemcost_lifecycle_queue_depth Retrain jobs waiting in the background trainer's bounded queue.\n",
+        );
+        out.push_str("# TYPE chemcost_lifecycle_queue_depth gauge\n");
+        out.push_str(&format!("chemcost_lifecycle_queue_depth {}\n", self.lifecycle_queue_depth()));
+        out.push_str(
+            "# HELP chemcost_lifecycle_fit_duration_seconds Wall time of one background candidate fit (success or failure).\n",
+        );
+        out.push_str("# TYPE chemcost_lifecycle_fit_duration_seconds histogram\n");
+        self.lifecycle_fit_duration.render(&mut out, "chemcost_lifecycle_fit_duration_seconds", "");
+        out.push_str(
+            "# HELP chemcost_lifecycle_promotions_total Promotion decisions, by outcome (auto, operator, rejected, rolled-back).\n",
+        );
+        out.push_str("# TYPE chemcost_lifecycle_promotions_total counter\n");
+        for outcome in PromotionOutcome::ALL {
+            out.push_str(&format!(
+                "chemcost_lifecycle_promotions_total{{outcome=\"{}\"}} {}\n",
+                outcome.label(),
+                self.lifecycle_promotions(outcome)
+            ));
+        }
         out
+    }
+}
+
+/// Bridge handing [`LifecycleObserver`] callbacks from the lifecycle hub's
+/// trainer thread to the shared [`Metrics`] registry.
+pub struct LifecycleMetricsBridge(pub Arc<Metrics>);
+
+impl LifecycleObserver for LifecycleMetricsBridge {
+    fn on_state(&self, model: &str, machine: &str, state: LifecycleState) {
+        self.0.set_lifecycle_state(model, machine, state);
+    }
+
+    fn on_transition(&self, from: LifecycleState, to: LifecycleState) {
+        self.0.record_lifecycle_transition(from, to);
+    }
+
+    fn on_queue_depth(&self, depth: usize) {
+        self.0.set_lifecycle_queue_depth(depth);
+    }
+
+    fn on_fit_duration(&self, seconds: f64) {
+        self.0.record_lifecycle_fit_duration(Duration::from_secs_f64(seconds.max(0.0)));
+    }
+
+    fn on_promotion(&self, outcome: PromotionOutcome) {
+        self.0.record_lifecycle_promotion(outcome);
     }
 }
 
@@ -1152,7 +1381,10 @@ mod tests {
         m.record_advise_stage(AdviseStage::Sweep, Duration::from_millis(6));
         m.record_advise_stage(AdviseStage::Sweep, Duration::from_millis(8));
         m.record_advise_stage(AdviseStage::Encode, Duration::from_micros(200));
+        m.record_advise_stage(AdviseStage::Shadow, Duration::from_micros(100));
         assert_eq!(m.advise_stage_count(AdviseStage::Sweep), 2);
+        assert!((m.advise_stage_mean_seconds(AdviseStage::Shadow) - 1e-4).abs() < 1e-9);
+        assert!(m.advise_stage_mean_seconds(AdviseStage::Sweep) > 0.005);
         let text = m.render();
         assert!(
             text.contains("chemcost_advise_stage_duration_seconds_count{stage=\"cache\"} 1"),
@@ -1166,6 +1398,10 @@ mod tests {
             text.contains(
                 "chemcost_advise_stage_duration_seconds_bucket{stage=\"sweep\",le=\"+Inf\"} 2"
             ),
+            "{text}"
+        );
+        assert!(
+            text.contains("chemcost_advise_stage_duration_seconds_count{stage=\"shadow\"} 1"),
             "{text}"
         );
     }
@@ -1236,9 +1472,11 @@ mod tests {
     #[test]
     fn all_required_series_render_before_first_increment() {
         let m = Metrics::new();
-        // The router registers one quality group per registry entry at
-        // startup; a just-started server always has at least one.
+        // The router registers one quality group and one lifecycle group
+        // per registry entry at startup; a just-started server always has
+        // at least one of each.
         m.set_model_quality("gb", 1, "aurora", QualityStats::default());
+        m.set_lifecycle_state("gb", "aurora", LifecycleState::Idle);
         let text = m.render();
         lint_exposition_with_required(&text, REQUIRED_SERIES)
             .expect("fresh exposition must pre-register every required series");
@@ -1267,6 +1505,35 @@ mod tests {
         );
         assert!(text.contains(&format!("chemcost_model_degraded{{{quality_labels}}} 0")));
         assert!(text.contains(&format!("chemcost_drift_trips_total{{{quality_labels}}} 0")));
+        // The PR 6 lifecycle families, all at their zero points.
+        assert!(text.contains(&format!("chemcost_quality_pool_size{{{quality_labels}}} 0")));
+        assert!(
+            text.contains(&format!("chemcost_quality_pool_evictions_total{{{quality_labels}}} 0"))
+        );
+        assert!(
+            text.contains("chemcost_lifecycle_state{model=\"gb\",machine=\"aurora\"} 0"),
+            "{text}"
+        );
+        assert!(
+            text.contains("chemcost_lifecycle_transitions_total{from=\"idle\",to=\"queued\"} 0"),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "chemcost_lifecycle_transitions_total{from=\"shadow\",to=\"promoted\"} 0"
+            ),
+            "{text}"
+        );
+        assert!(text.contains("chemcost_lifecycle_queue_depth 0"), "{text}");
+        assert!(text.contains("chemcost_lifecycle_fit_duration_seconds_count 0"), "{text}");
+        for outcome in ["auto", "operator", "rejected", "rolled-back"] {
+            assert!(
+                text.contains(&format!(
+                    "chemcost_lifecycle_promotions_total{{outcome=\"{outcome}\"}} 0"
+                )),
+                "{outcome} missing: {text}"
+            );
+        }
     }
 
     /// Negative: without a registered quality group the per-model
@@ -1302,6 +1569,8 @@ mod tests {
             calibration_ratio: 0.7,
             drift_trips: 1,
             degraded: true,
+            pool_size: 12,
+            pool_evictions: 4,
         };
         // Same triple: upsert, not a second series.
         m.set_model_quality("gb", 1, "aurora", stats);
@@ -1313,6 +1582,7 @@ mod tests {
         m.record_quality_observation(true);
         assert_eq!(m.quality_accepted(), 2);
         assert_eq!(m.quality_rejected(), 1);
+        m.set_lifecycle_state("gb", "aurora", LifecycleState::Idle);
         let text = m.render();
         let v1 = "model=\"gb\",version=\"1\",machine=\"aurora\"";
         assert!(text.contains(&format!("chemcost_model_mape{{{v1}}} 0.08")), "{text}");
@@ -1360,6 +1630,115 @@ mod tests {
     }
 
     #[test]
+    fn lifecycle_series_render_and_upsert_by_group() {
+        let m = Metrics::new();
+        m.set_lifecycle_state("gb", "aurora", LifecycleState::Idle);
+        // Same (model, machine): upsert, not a second series.
+        m.set_lifecycle_state("gb", "aurora", LifecycleState::Shadow);
+        m.set_lifecycle_state("gb2", "frontier", LifecycleState::Idle);
+        assert_eq!(m.lifecycle_entries().len(), 2);
+        m.record_lifecycle_transition(LifecycleState::Idle, LifecycleState::Queued);
+        m.record_lifecycle_transition(LifecycleState::Queued, LifecycleState::Training);
+        m.record_lifecycle_transition(LifecycleState::Queued, LifecycleState::Training);
+        // Invalid pairs are ignored, never counted under a wrong label.
+        m.record_lifecycle_transition(LifecycleState::Idle, LifecycleState::Promoted);
+        assert_eq!(m.lifecycle_transitions(LifecycleState::Queued, LifecycleState::Training), 2);
+        assert_eq!(m.lifecycle_transitions(LifecycleState::Idle, LifecycleState::Promoted), 0);
+        m.set_lifecycle_queue_depth(3);
+        assert_eq!(m.lifecycle_queue_depth(), 3);
+        m.record_lifecycle_fit_duration(Duration::from_millis(40));
+        assert_eq!(m.lifecycle_fits(), 1);
+        m.record_lifecycle_promotion(PromotionOutcome::Auto);
+        m.record_lifecycle_promotion(PromotionOutcome::Rejected);
+        m.record_lifecycle_promotion(PromotionOutcome::Rejected);
+        assert_eq!(m.lifecycle_promotions(PromotionOutcome::Auto), 1);
+        assert_eq!(m.lifecycle_promotions(PromotionOutcome::Rejected), 2);
+        assert_eq!(m.lifecycle_promotions(PromotionOutcome::RolledBack), 0);
+        let text = m.render();
+        assert!(
+            text.contains("chemcost_lifecycle_state{model=\"gb\",machine=\"aurora\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("chemcost_lifecycle_state{model=\"gb2\",machine=\"frontier\"} 0"),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "chemcost_lifecycle_transitions_total{from=\"queued\",to=\"training\"} 2"
+            ),
+            "{text}"
+        );
+        assert!(text.contains("chemcost_lifecycle_queue_depth 3"), "{text}");
+        assert!(text.contains("chemcost_lifecycle_fit_duration_seconds_count 1"), "{text}");
+        assert!(
+            text.contains("chemcost_lifecycle_promotions_total{outcome=\"rejected\"} 2"),
+            "{text}"
+        );
+        lint_exposition(&text).expect("lifecycle exposition must lint clean");
+    }
+
+    /// The observer bridge forwards every hub callback into the registry.
+    #[test]
+    fn lifecycle_bridge_forwards_observer_callbacks() {
+        let m = Arc::new(Metrics::new());
+        let bridge = LifecycleMetricsBridge(Arc::clone(&m));
+        bridge.on_state("gb", "aurora", LifecycleState::Training);
+        bridge.on_transition(LifecycleState::Queued, LifecycleState::Training);
+        bridge.on_queue_depth(2);
+        bridge.on_fit_duration(0.25);
+        bridge.on_promotion(PromotionOutcome::Operator);
+        assert_eq!(m.lifecycle_entries()[0].state, LifecycleState::Training);
+        assert_eq!(m.lifecycle_transitions(LifecycleState::Queued, LifecycleState::Training), 1);
+        assert_eq!(m.lifecycle_queue_depth(), 2);
+        assert_eq!(m.lifecycle_fits(), 1);
+        assert_eq!(m.lifecycle_promotions(PromotionOutcome::Operator), 1);
+    }
+
+    /// Negative (satellite): stripping any lifecycle family's sample lines
+    /// must trip the required-series linter, exactly like the quality
+    /// families — pre-registration is load-bearing for all of them.
+    #[test]
+    fn required_linter_flags_missing_lifecycle_series() {
+        let m = Metrics::new();
+        m.set_model_quality("gb", 1, "aurora", QualityStats::default());
+        m.set_lifecycle_state("gb", "aurora", LifecycleState::Idle);
+        let full = m.render();
+        lint_exposition_with_required(&full, REQUIRED_SERIES).expect("full exposition is complete");
+        for family in [
+            "chemcost_lifecycle_state",
+            "chemcost_lifecycle_transitions_total",
+            "chemcost_lifecycle_queue_depth",
+            "chemcost_lifecycle_fit_duration_seconds",
+            "chemcost_lifecycle_promotions_total",
+            "chemcost_quality_pool_size",
+            "chemcost_quality_pool_evictions_total",
+        ] {
+            let stripped: String = full
+                .lines()
+                .filter(|l| {
+                    l.starts_with('#')
+                        || !l.split(['{', ' ']).next().unwrap_or("").starts_with(family)
+                })
+                .map(|l| format!("{l}\n"))
+                .collect();
+            let errs = lint_exposition_with_required(&stripped, REQUIRED_SERIES).unwrap_err();
+            assert!(
+                errs.iter().any(|e| e.contains(family) && e.contains("no sample line")),
+                "{family} should be flagged: {errs:?}"
+            );
+        }
+        // A lifecycle group that never registers is caught the same way.
+        let errs =
+            lint_exposition_with_required(&Metrics::new().render(), REQUIRED_SERIES).unwrap_err();
+        assert!(
+            errs.iter()
+                .any(|e| e.contains("chemcost_lifecycle_state") && e.contains("no sample line")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
     fn deadline_and_fault_counters_track_per_label() {
         let m = Metrics::new();
         m.record_deadline_exceeded(DeadlineStage::Queue);
@@ -1374,6 +1753,7 @@ mod tests {
         assert_eq!(m.faults_injected(FaultKind::SlowIo), 1);
         assert_eq!(m.faults_injected(FaultKind::PoisonReload), 2);
         m.set_model_quality("gb", 1, "aurora", QualityStats::default());
+        m.set_lifecycle_state("gb", "aurora", LifecycleState::Idle);
         let text = m.render();
         assert!(text.contains("chemcost_deadline_exceeded_total{stage=\"sweep\"} 2"), "{text}");
         assert!(text.contains("chemcost_faults_injected_total{kind=\"slow-io\"} 1"), "{text}");

@@ -89,6 +89,10 @@ pub struct PredictionRecord {
     /// GP 1-σ uncertainty at the recommended configuration, once the
     /// group's GP has enough observations to be fit.
     pub gp_uncertainty: Option<f64>,
+    /// The shadow candidate's prediction for the same configuration, when
+    /// the group had a candidate in shadow at journal time. Scored against
+    /// the measured runtime on `/v1/observe` without ever being served.
+    pub shadow_predicted: Option<f64>,
     /// Trace id of the advise request that produced this prediction.
     pub advise_trace: Option<String>,
 }
@@ -122,6 +126,10 @@ pub struct ObserveOutcome {
     pub drift_tripped: bool,
     /// Is the group flagged degraded (now or from an earlier trip)?
     pub degraded: bool,
+    /// Retained-pool fill for the group after folding this observation in.
+    pub pool_len: usize,
+    /// Total accepted observations for the group (monotonic).
+    pub observations: u64,
 }
 
 /// One `(model, version, machine)` group's public quality snapshot.
@@ -178,6 +186,9 @@ struct Group {
     drift_trips: u64,
     /// Labelled observations `([o, v, nodes, tile], measured_seconds)`.
     pool: VecDeque<([f64; 4], f64)>,
+    /// Observations silently dropped from the full pool — exported so the
+    /// retrainer's data loss is visible, not silent.
+    pool_evictions: u64,
     gp: Option<GaussianProcess>,
     accepted_since_fit: u64,
 }
@@ -193,6 +204,7 @@ impl Group {
             degraded: false,
             drift_trips: 0,
             pool: VecDeque::new(),
+            pool_evictions: 0,
             gp: None,
             accepted_since_fit: 0,
         }
@@ -210,6 +222,8 @@ impl Group {
             calibration_ratio: self.window.calibration_ratio(),
             drift_trips: self.drift_trips,
             degraded: self.degraded,
+            pool_size: self.pool.len() as u64,
+            pool_evictions: self.pool_evictions,
         }
     }
 
@@ -311,6 +325,21 @@ impl QualityHub {
         config: (usize, usize, usize, usize),
         predicted_seconds: f64,
     ) -> u64 {
+        self.record_prediction_with_shadow(model, version, machine, config, predicted_seconds, None)
+    }
+
+    /// [`QualityHub::record_prediction`] plus the shadow candidate's
+    /// prediction for the same configuration, so `/v1/observe` can score
+    /// the candidate's window alongside the serving model's.
+    pub fn record_prediction_with_shadow(
+        &self,
+        model: &str,
+        version: u64,
+        machine: &str,
+        config: (usize, usize, usize, usize),
+        predicted_seconds: f64,
+        shadow_predicted: Option<f64>,
+    ) -> u64 {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let (o, v, nodes, tile) = config;
         let mut inner = self.inner.lock();
@@ -331,6 +360,7 @@ impl QualityHub {
             tile,
             predicted_seconds,
             gp_uncertainty: sigma,
+            shadow_predicted,
             advise_trace: obs::current_trace().map(|t| t.to_string()),
         };
         // FIFO-evict once the journal is full; consumed ids linger in
@@ -399,6 +429,7 @@ impl QualityHub {
         group.window.push(record.predicted_seconds, measured_seconds, record.gp_uncertainty);
         if group.pool.len() == POOL_CAPACITY {
             group.pool.pop_front();
+            group.pool_evictions += 1;
         }
         group.pool.push_back((
             [record.o as f64, record.v as f64, record.nodes as f64, record.tile as f64],
@@ -419,6 +450,8 @@ impl QualityHub {
         let stats = group.stats();
         let degraded = group.degraded;
         let window_mape = stats.mape;
+        let pool_len = stats.pool_size as usize;
+        let observations = stats.observations;
         drop(inner);
 
         self.metrics.set_model_quality(&record.model, record.version, &record.machine, stats);
@@ -451,7 +484,30 @@ impl QualityHub {
                 observations = stats.observations,
             );
         }
-        Ok(ObserveOutcome { record, residual_seconds, ape, window_mape, drift_tripped, degraded })
+        Ok(ObserveOutcome {
+            record,
+            residual_seconds,
+            ape,
+            window_mape,
+            drift_tripped,
+            degraded,
+            pool_len,
+            observations,
+        })
+    }
+
+    /// Snapshot of one group's retained observations
+    /// (`([o, v, nodes, tile], measured_seconds)`), oldest first — the
+    /// training set the lifecycle trainer consumes. Empty when the group
+    /// is unknown.
+    pub fn retained_pool(&self, model: &str, version: u64, machine: &str) -> Vec<([f64; 4], f64)> {
+        let inner = self.inner.lock();
+        inner
+            .groups
+            .iter()
+            .find(|g| g.model == model && g.version == version && g.machine == machine)
+            .map(|g| g.pool.iter().copied().collect())
+            .unwrap_or_default()
     }
 
     /// Every tracked group's current stats, for `GET /v1/quality`.
@@ -713,6 +769,46 @@ mod tests {
         assert!(out.record.gp_uncertainty.unwrap() >= 0.0);
         // Calibration ratio becomes defined once σ-carrying residuals land.
         assert!(!h.snapshot()[0].stats.calibration_ratio.is_nan());
+    }
+
+    #[test]
+    fn pool_evictions_are_counted_and_retained_pool_snapshots() {
+        let h = hub();
+        for i in 0..POOL_CAPACITY + 3 {
+            let id = h.record_prediction("gb", 1, "aurora", (99, 718, 120, 90), 100.0 + i as f64);
+            let out = h.observe(id, 100.0 + i as f64).unwrap();
+            assert_eq!(out.observations, i as u64 + 1);
+            assert_eq!(out.pool_len, (i + 1).min(POOL_CAPACITY));
+        }
+        let snap = &h.snapshot()[0];
+        assert_eq!(snap.stats.pool_size, POOL_CAPACITY as u64);
+        assert_eq!(snap.stats.pool_evictions, 3, "silent drops must be counted");
+        let pool = h.retained_pool("gb", 1, "aurora");
+        assert_eq!(pool.len(), POOL_CAPACITY);
+        // Oldest first; the three oldest measurements were evicted.
+        assert!((pool[0].1 - 103.0).abs() < 1e-12);
+        assert!((pool[POOL_CAPACITY - 1].1 - (100.0 + (POOL_CAPACITY + 2) as f64)).abs() < 1e-12);
+        assert!(h.retained_pool("gb", 2, "aurora").is_empty());
+        assert!(h.retained_pool("other", 1, "aurora").is_empty());
+    }
+
+    #[test]
+    fn shadow_predictions_round_trip_through_observe() {
+        let h = hub();
+        let id = h.record_prediction_with_shadow(
+            "gb",
+            1,
+            "aurora",
+            (99, 718, 120, 90),
+            110.0,
+            Some(101.5),
+        );
+        let out = h.observe(id, 100.0).unwrap();
+        assert_eq!(out.record.shadow_predicted, Some(101.5));
+        // The plain journal path leaves the shadow slot empty.
+        let id = journal_one(&h, 110.0);
+        let out = h.observe(id, 100.0).unwrap();
+        assert_eq!(out.record.shadow_predicted, None);
     }
 
     #[test]

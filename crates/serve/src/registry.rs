@@ -28,6 +28,9 @@ struct Entry {
     version: u64,
     machine: String,
     path: Option<PathBuf>,
+    /// Displaced (model, flat, version) kept by the last promotion so one
+    /// rollback command can restore it.
+    prior: Option<(Arc<GradientBoosting>, Arc<FlatGbt>, u64)>,
 }
 
 /// Summary of a registered model, as reported by `GET /v1/models`.
@@ -106,6 +109,7 @@ impl ModelRegistry {
                 version: 1,
                 machine: machine.to_string(),
                 path: None,
+                prior: None,
             },
         );
     }
@@ -122,6 +126,7 @@ impl ModelRegistry {
                 version: 1,
                 machine: machine.to_string(),
                 path: Some(path.to_path_buf()),
+                prior: None,
             },
         );
         Ok(())
@@ -154,6 +159,54 @@ impl ModelRegistry {
         let mut entries = self.entries.write();
         let entry = entries.get_mut(name).ok_or_else(|| format!("model {name:?} was removed"))?;
         entry.model = Arc::new(gb);
+        entry.flat = flat;
+        entry.version += 1;
+        // A reload is explicit operator intervention: the pre-promotion
+        // snapshot no longer describes the previous serving model.
+        entry.prior = None;
+        Ok(entry.version)
+    }
+
+    /// Atomically swap a retrained candidate in as the serving model,
+    /// keeping the displaced (model, flat, version) triple for
+    /// [`ModelRegistry::rollback`]. Returns the new version.
+    ///
+    /// Mirrors [`ModelRegistry::reload`]: the candidate is compiled outside
+    /// the write lock, versions only ever move forward, and in-flight
+    /// requests keep their `Arc` to the displaced model.
+    pub fn promote(&self, name: &str, candidate: GradientBoosting) -> Result<u64, String> {
+        if !self.entries.read().contains_key(name) {
+            return Err(format!("no model named {name:?}"));
+        }
+        let flat = Arc::new(FlatGbt::compile(&candidate));
+        let model = Arc::new(candidate);
+        let mut entries = self.entries.write();
+        let entry = entries.get_mut(name).ok_or_else(|| format!("model {name:?} was removed"))?;
+        let displaced = (
+            std::mem::replace(&mut entry.model, model),
+            std::mem::replace(&mut entry.flat, flat),
+            entry.version,
+        );
+        entry.prior = Some(displaced);
+        entry.version += 1;
+        Ok(entry.version)
+    }
+
+    /// Restore the model displaced by the last [`ModelRegistry::promote`].
+    ///
+    /// The prior model comes back **byte-identical** (the same `Arc`s the
+    /// promotion displaced) but under a *new*, higher version number — never
+    /// the old one — so caches and quality groups keyed by (name, version)
+    /// can never confuse pre- and post-rollback answers. The snapshot is
+    /// consumed: a second rollback without an intervening promotion errors.
+    pub fn rollback(&self, name: &str) -> Result<u64, String> {
+        let mut entries = self.entries.write();
+        let entry = entries.get_mut(name).ok_or_else(|| format!("no model named {name:?}"))?;
+        let (model, flat, _) = entry
+            .prior
+            .take()
+            .ok_or_else(|| format!("model {name:?} has no prior version to roll back to"))?;
+        entry.model = model;
         entry.flat = flat;
         entry.version += 1;
         Ok(entry.version)
@@ -365,6 +418,97 @@ mod tests {
         reg.insert("mem", "aurora", tiny_model(1));
         let err = reg.reload("mem").unwrap_err();
         assert!(err.contains("in-memory"), "{err}");
+    }
+
+    #[test]
+    fn promote_swaps_and_rollback_restores_byte_identically() {
+        use chemcost_ml::persist::encode_gb;
+
+        let reg = ModelRegistry::new();
+        let original = tiny_model(1);
+        let original_bytes = encode_gb(&original);
+        reg.insert("m", "aurora", original);
+        let candidate = tiny_model(99);
+        let candidate_bytes = encode_gb(&candidate);
+
+        assert_eq!(reg.promote("m", candidate).unwrap(), 2);
+        let promoted = reg.resolve(Some("m"), None).unwrap();
+        assert_eq!(promoted.version, 2);
+        assert_eq!(encode_gb(&promoted.model), candidate_bytes);
+
+        // Rollback restores the displaced model byte-identically, under a
+        // NEW version — never a reused one.
+        assert_eq!(reg.rollback("m").unwrap(), 3);
+        let restored = reg.resolve(Some("m"), None).unwrap();
+        assert_eq!(restored.version, 3);
+        assert_eq!(encode_gb(&restored.model), original_bytes);
+
+        // The snapshot is consumed: no double rollback.
+        let err = reg.rollback("m").unwrap_err();
+        assert!(err.contains("no prior"), "{err}");
+    }
+
+    #[test]
+    fn rollback_without_promotion_errors() {
+        let reg = ModelRegistry::new();
+        reg.insert("m", "aurora", tiny_model(1));
+        assert!(reg.rollback("m").unwrap_err().contains("no prior"));
+        assert!(reg.rollback("ghost").unwrap_err().contains("no model"));
+        assert!(reg.promote("ghost", tiny_model(2)).is_err());
+    }
+
+    #[test]
+    fn reload_clears_the_rollback_snapshot() {
+        let dir = std::env::temp_dir().join(format!("chemcost-promote-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.ccgb");
+        chemcost_ml::persist::save_gb(&path, &tiny_model(1)).unwrap();
+
+        let reg = ModelRegistry::new();
+        reg.load_file("m", "aurora", &path).unwrap();
+        reg.promote("m", tiny_model(99)).unwrap();
+        assert_eq!(reg.reload("m").unwrap(), 3);
+        // Operator reload invalidates the pre-promotion snapshot.
+        assert!(reg.rollback("m").unwrap_err().contains("no prior"));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn concurrent_reload_and_promote_last_writer_wins() {
+        let dir = std::env::temp_dir().join(format!("chemcost-race-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.ccgb");
+        chemcost_ml::persist::save_gb(&path, &tiny_model(1)).unwrap();
+
+        let reg = Arc::new(ModelRegistry::new());
+        reg.load_file("m", "aurora", &path).unwrap();
+
+        let mut handles = Vec::new();
+        for i in 0..4u64 {
+            let reg = Arc::clone(&reg);
+            handles.push(std::thread::spawn(move || {
+                for j in 0..8u64 {
+                    if (i + j) % 2 == 0 {
+                        reg.promote("m", tiny_model(100 + i * 8 + j)).unwrap();
+                    } else {
+                        reg.reload("m").unwrap();
+                    }
+                    // Every interleaving must leave a servable model.
+                    let r = reg.resolve(Some("m"), None).unwrap();
+                    let probe = Matrix::from_fn(1, 4, |_, j| j as f64);
+                    assert!(r.flat.predict_row(&[0.0, 1.0, 2.0, 3.0]).is_finite());
+                    assert!(r.model.predict(&probe)[0].is_finite());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // 32 swaps from version 1: versions are monotonic, no lost updates.
+        assert_eq!(reg.resolve(Some("m"), None).unwrap().version, 33);
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

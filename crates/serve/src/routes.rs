@@ -15,11 +15,18 @@
 use crate::cache::{AdviseCache, AdviseKey, CachedRec};
 use crate::http::{Request, Response};
 use crate::json::Json;
-use crate::metrics::{build_info, AdviseStage, DeadlineStage, Metrics, Route};
-use crate::quality::{ObserveError, QualityHub};
+use crate::metrics::{
+    build_info, AdviseStage, DeadlineStage, LifecycleMetricsBridge, Metrics, Route,
+};
+use crate::quality::{ObserveError, ObserveOutcome, QualityHub};
 use crate::registry::{ModelRegistry, ResolvedModel};
 use chemcost_core::advisor::{Advisor, Goal, Recommendation};
+use chemcost_lifecycle::{
+    LifecycleConfig, LifecycleHub, LifecycleState, PromotionTicket, RetrainReason, RetrainRequest,
+    ShadowVerdict,
+};
 use chemcost_linalg::Matrix;
+use chemcost_ml::persist::save_gb_with_lineage;
 use chemcost_obs::{self as obs, Level};
 use chemcost_sim::machine::by_name;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -115,6 +122,7 @@ pub struct Router {
     metrics: Arc<Metrics>,
     cache: Arc<AdviseCache>,
     quality: Arc<QualityHub>,
+    lifecycle: Arc<LifecycleHub>,
     shutdown: Arc<AtomicBool>,
     /// Budget applied to requests that don't send `X-Deadline-Ms`.
     default_deadline_ms: Option<u64>,
@@ -128,18 +136,36 @@ impl Router {
 
     /// Build a router whose advise cache holds at most `capacity` entries.
     pub fn with_cache_capacity(registry: Arc<ModelRegistry>, capacity: usize) -> Router {
+        Router::with_lifecycle_config(registry, capacity, LifecycleConfig::default())
+    }
+
+    /// Build a router with explicit lifecycle tuning. The soak tests use
+    /// this to shrink shadow windows and pool triggers so the full
+    /// retrain → shadow → promote loop closes in seconds.
+    pub fn with_lifecycle_config(
+        registry: Arc<ModelRegistry>,
+        capacity: usize,
+        lifecycle_config: LifecycleConfig,
+    ) -> Router {
         let metrics = Arc::new(Metrics::new());
         let quality = Arc::new(QualityHub::new(Arc::clone(&metrics)));
-        // Pre-register every serving group so the quality series exist on
-        // the very first /metrics scrape, not only after traffic.
+        let lifecycle = Arc::new(LifecycleHub::with_observer(
+            lifecycle_config,
+            Box::new(LifecycleMetricsBridge(Arc::clone(&metrics))),
+        ));
+        // Pre-register every serving group so the quality and lifecycle
+        // series exist on the very first /metrics scrape, not only after
+        // traffic.
         for info in registry.list() {
             quality.register_group(&info.name, info.version, &info.machine);
+            lifecycle.register_group(&info.name, &info.machine);
         }
         Router {
             registry,
             metrics,
             cache: Arc::new(AdviseCache::new(capacity)),
             quality,
+            lifecycle,
             shutdown: Arc::new(AtomicBool::new(false)),
             default_deadline_ms: None,
         }
@@ -165,6 +191,11 @@ impl Router {
     /// The model-quality tracker behind `/v1/observe` and `/v1/quality`.
     pub fn quality(&self) -> &Arc<QualityHub> {
         &self.quality
+    }
+
+    /// The retrain/shadow/promote machinery behind `GET /v1/lifecycle`.
+    pub fn lifecycle(&self) -> &Arc<LifecycleHub> {
+        &self.lifecycle
     }
 
     /// Has `POST /v1/shutdown` been received?
@@ -267,6 +298,16 @@ impl Router {
             ("GET", "/v1/quality") => (Route::Quality, self.quality_report()),
             ("GET", "/v1/quality/next_experiments") => {
                 (Route::Quality, self.next_experiments_report())
+            }
+            ("GET", "/v1/lifecycle") => (Route::Lifecycle, self.lifecycle_report()),
+            ("POST", "/v1/lifecycle/promote") => {
+                (Route::Lifecycle, self.lifecycle_promote(&req.body))
+            }
+            ("POST", "/v1/lifecycle/rollback") => {
+                (Route::Lifecycle, self.lifecycle_rollback(&req.body))
+            }
+            ("POST", "/v1/lifecycle/freeze") => {
+                (Route::Lifecycle, self.lifecycle_freeze(&req.body))
             }
             ("POST", "/v1/predict") => (Route::Predict, self.predict(&req.body)),
             ("POST", "/v1/advise") => (Route::Advise, self.advise(&req.body, deadline)),
@@ -410,6 +451,10 @@ impl Router {
             }
             features.push(parsed);
         }
+        // Shadow-score the request's first row so a candidate in Shadow
+        // sees live /v1/predict traffic (and poison candidates are caught)
+        // without the response or its latency depending on the result.
+        self.lifecycle.shadow_predict(&resolved.name, &resolved.machine, &features[0]);
         let x = Matrix::from_fn(features.len(), 4, |i, j| features[i][j]);
         // Flat inference is bit-for-bit identical to resolved.model's
         // recursive path, just faster.
@@ -667,12 +712,24 @@ impl Router {
         rec: Option<CachedRec>,
     ) {
         if let Some((nodes, tile, predicted_seconds)) = rec {
-            let id = self.quality.record_prediction(
+            // Shadow stage: score the primary recommendation with the
+            // group's candidate (if one is in Shadow) so `/v1/observe` can
+            // later credit the same measurement to both windows. Timed as
+            // its own advise stage so the overhead is measurable.
+            let shadow_started = Instant::now();
+            let shadow = self.lifecycle.shadow_predict(
+                model,
+                machine,
+                &[o as f64, v as f64, nodes as f64, tile as f64],
+            );
+            self.metrics.record_advise_stage(AdviseStage::Shadow, shadow_started.elapsed());
+            let id = self.quality.record_prediction_with_shadow(
                 model,
                 version,
                 machine,
                 (o, v, nodes, tile),
                 predicted_seconds,
+                shadow,
             );
             resp.headers.push(("X-Prediction-Id", id.to_string()));
         }
@@ -726,6 +783,10 @@ impl Router {
         match self.quality.observe(id, measured) {
             Ok(out) => {
                 self.metrics.record_quality_observation(true);
+                // Every accepted measurement drives the lifecycle loop:
+                // shadow windows fill, retrain triggers fire, and shadow
+                // candidates are judged — all before the response leaves.
+                self.drive_lifecycle(&out, measured);
                 Response::json(
                     200,
                     Json::obj([
@@ -850,6 +911,332 @@ impl Router {
         }
         Response::json(200, Json::obj(fields).encode())
     }
+
+    /// Feed one accepted observation through the lifecycle loop: credit
+    /// the shadow window, fire retrain triggers, and judge the shadow
+    /// candidate against the serving window the measurement just updated.
+    fn drive_lifecycle(&self, out: &ObserveOutcome, measured_seconds: f64) {
+        let model = out.record.model.as_str();
+        let machine = out.record.machine.as_str();
+        if let Some(shadow) = out.record.shadow_predicted {
+            self.lifecycle.record_shadow(model, machine, shadow, measured_seconds);
+        }
+        // A drift trip always asks for a retrain; a full retained pool asks
+        // too, and the hub spaces repeat pool triggers by `pool_trigger`
+        // new observations.
+        let reason = if out.drift_tripped {
+            Some(RetrainReason::DriftTrip)
+        } else if out.pool_len >= self.lifecycle.config().pool_trigger {
+            Some(RetrainReason::PoolThreshold)
+        } else {
+            None
+        };
+        if let Some(reason) = reason {
+            self.request_retrain(model, machine, out, reason);
+        }
+        match self.lifecycle.evaluate_shadow(model, machine, out.window_mape) {
+            ShadowVerdict::Promote(ticket) => {
+                if let Err(e) = self.execute_promotion(*ticket) {
+                    obs::event!(
+                        Level::Error,
+                        "lifecycle.promote_failed",
+                        model = model,
+                        machine = machine,
+                        error = e.as_str(),
+                    );
+                }
+            }
+            ShadowVerdict::Rejected | ShadowVerdict::KeepShadowing => {}
+        }
+    }
+
+    /// Enqueue a retrain for the group that produced `out`, warm-started
+    /// from the serving model. Skipped (not an error) when the registry has
+    /// already moved past the version that produced the residuals; refusals
+    /// from the hub (in-flight job, frozen group, thin pool, full queue)
+    /// are logged and dropped.
+    fn request_retrain(
+        &self,
+        model: &str,
+        machine: &str,
+        out: &ObserveOutcome,
+        reason: RetrainReason,
+    ) {
+        let Ok(resolved) = self.registry.resolve(Some(model), None) else {
+            return;
+        };
+        if resolved.version != out.record.version || resolved.machine != machine {
+            return;
+        }
+        let rows = self.quality.retained_pool(model, resolved.version, machine);
+        let request = RetrainRequest {
+            model: model.to_string(),
+            machine: machine.to_string(),
+            parent_version: resolved.version,
+            base: (*resolved.model).clone(),
+            rows,
+            observations: out.observations,
+            reason,
+        };
+        if let Err(e) = self.lifecycle.request_retrain(request) {
+            obs::event!(
+                Level::Debug,
+                "lifecycle.retrain_refused",
+                model = model,
+                machine = machine,
+                reason = reason.label(),
+                error = e.as_str(),
+            );
+        }
+    }
+
+    /// Swap a winning candidate into the registry and run the same
+    /// freshness bookkeeping as a hot reload: demote stale cache entries,
+    /// reset the staleness clock, and open a clean quality window (which
+    /// also un-latches the drift detector) for the new generation.
+    fn execute_promotion(&self, ticket: PromotionTicket) -> Result<u64, String> {
+        let PromotionTicket {
+            model,
+            machine,
+            candidate,
+            lineage,
+            shadow_mape,
+            serving_mape,
+            outcome,
+        } = ticket;
+        let version = self.registry.promote(&model, candidate)?;
+        let demoted = self.cache.demote_model(&model, version);
+        self.metrics.set_cache_entries(self.cache.len());
+        self.metrics.mark_model_fresh();
+        self.quality.register_group(&model, version, &machine);
+        // Best-effort durability for file-backed models: write the promoted
+        // candidate (lineage included) next to the serving artifact, so an
+        // operator can pin or inspect the exact promoted generation.
+        if let Some(path) =
+            self.registry.list().into_iter().find(|i| i.name == model).and_then(|i| i.path)
+        {
+            if let Ok(resolved) = self.registry.resolve(Some(&model), None) {
+                let sidecar = path.with_extension(format!("v{version}.ccgb"));
+                if let Err(e) = save_gb_with_lineage(&sidecar, &resolved.model, &lineage) {
+                    obs::event!(
+                        Level::Warn,
+                        "lifecycle.persist_failed",
+                        model = model.as_str(),
+                        path = sidecar.display().to_string(),
+                        error = e.to_string(),
+                    );
+                }
+            }
+        }
+        obs::event!(
+            Level::Info,
+            "lifecycle.promoted",
+            model = model.as_str(),
+            machine = machine.as_str(),
+            version = version,
+            outcome = outcome.label(),
+            shadow_mape = shadow_mape,
+            serving_mape = serving_mape,
+            cache_demoted = demoted,
+        );
+        obs::flush();
+        Ok(version)
+    }
+
+    /// Resolve the lifecycle group an operator request names: `model` and
+    /// `machine` are both optional and default through the registry's
+    /// usual resolution rules.
+    fn resolve_group(&self, parsed: &Json) -> Result<(String, String), Response> {
+        let name = parsed.get("model").and_then(Json::as_str);
+        let machine = parsed.get("machine").and_then(Json::as_str);
+        let resolved = self.registry.resolve(name, machine).map_err(|e| error(404, &e))?;
+        Ok((resolved.name, resolved.machine))
+    }
+
+    /// Parse an operator body that may legitimately be empty.
+    fn parse_operator_body(body: &[u8]) -> Result<Json, Response> {
+        if body.is_empty() {
+            return Ok(Json::Obj(Vec::new()));
+        }
+        parse_body(body)
+    }
+
+    /// `GET /v1/lifecycle`: every group's retrain/shadow/promote state,
+    /// the trainer queue depth, and the loop's tuning knobs.
+    fn lifecycle_report(&self) -> Response {
+        let cfg = self.lifecycle.config();
+        let groups: Vec<Json> = self
+            .lifecycle
+            .snapshot()
+            .into_iter()
+            .map(|g| {
+                let lineage = match g.lineage {
+                    Some(l) => Json::obj([
+                        ("parent_version", Json::Num(l.parent_version as f64)),
+                        ("train_rows", Json::Num(l.train_rows as f64)),
+                        ("observed_rows", Json::Num(l.observed_rows as f64)),
+                        ("fit_duration_ms", Json::Num(l.fit_duration_ms as f64)),
+                        ("seed", Json::Num(l.seed as f64)),
+                    ]),
+                    None => Json::Null,
+                };
+                Json::obj([
+                    ("model", g.model.into()),
+                    ("machine", g.machine.into()),
+                    ("state", g.state.label().into()),
+                    ("frozen", g.frozen.into()),
+                    ("retrains", Json::Num(g.retrains as f64)),
+                    ("shadow_len", Json::Num(g.shadow_len as f64)),
+                    ("shadow_mape", num_or_null(g.shadow_mape)),
+                    ("lineage", lineage),
+                    ("last_outcome", g.last_outcome.map(Json::from).unwrap_or(Json::Null)),
+                ])
+            })
+            .collect();
+        Response::json(
+            200,
+            Json::obj([
+                ("queue_depth", Json::Num(self.lifecycle.queue_depth() as f64)),
+                (
+                    "config",
+                    Json::obj([
+                        ("min_shadow", cfg.min_shadow.into()),
+                        ("max_shadow", cfg.max_shadow.into()),
+                        ("guardband", Json::Num(cfg.guardband)),
+                        ("pool_trigger", cfg.pool_trigger.into()),
+                        ("extra_stages", cfg.extra_stages.into()),
+                    ]),
+                ),
+                ("groups", Json::Arr(groups)),
+            ])
+            .encode(),
+        )
+    }
+
+    /// `POST /v1/lifecycle/promote`: operator override — promote the
+    /// current shadow candidate without waiting for the guardband.
+    fn lifecycle_promote(&self, body: &[u8]) -> Response {
+        let parsed = match Router::parse_operator_body(body) {
+            Ok(v) => v,
+            Err(resp) => return resp,
+        };
+        let (model, machine) = match self.resolve_group(&parsed) {
+            Ok(g) => g,
+            Err(resp) => return resp,
+        };
+        let ticket = match self.lifecycle.force_promote(&model, &machine) {
+            Ok(t) => t,
+            Err(e) => return error(409, &e),
+        };
+        let shadow_mape = ticket.shadow_mape;
+        match self.execute_promotion(ticket) {
+            Ok(version) => Response::json(
+                200,
+                Json::obj([
+                    ("model", model.into()),
+                    ("machine", machine.into()),
+                    ("version", Json::Num(version as f64)),
+                    ("outcome", "operator".into()),
+                    ("shadow_mape", num_or_null(shadow_mape)),
+                ])
+                .encode(),
+            ),
+            Err(e) => error(500, &e),
+        }
+    }
+
+    /// `POST /v1/lifecycle/rollback`: restore the version displaced by the
+    /// last promotion. Refused while a retrain is in flight (the candidate
+    /// still owns the group) or when no promotion snapshot exists.
+    fn lifecycle_rollback(&self, body: &[u8]) -> Response {
+        let parsed = match Router::parse_operator_body(body) {
+            Ok(v) => v,
+            Err(resp) => return resp,
+        };
+        let (model, machine) = match self.resolve_group(&parsed) {
+            Ok(g) => g,
+            Err(resp) => return resp,
+        };
+        if let Some(state @ (LifecycleState::Queued | LifecycleState::Training)) =
+            self.lifecycle.group_state(&model, &machine)
+        {
+            return error(
+                409,
+                &format!("cannot roll back while a retrain is in flight (state {})", state.label()),
+            );
+        }
+        let version = match self.registry.rollback(&model) {
+            Ok(v) => v,
+            Err(e) => return error(409, &e),
+        };
+        // The registry already swapped; a hub refusal here (a retrain that
+        // raced in since the check above) only costs the state-machine
+        // bookkeeping, never the serving path.
+        if let Err(e) = self.lifecycle.mark_rolled_back(&model, &machine) {
+            obs::event!(
+                Level::Warn,
+                "lifecycle.rollback_unrecorded",
+                model = model.as_str(),
+                machine = machine.as_str(),
+                error = e.as_str(),
+            );
+        }
+        let demoted = self.cache.demote_model(&model, version);
+        self.metrics.set_cache_entries(self.cache.len());
+        self.metrics.mark_model_fresh();
+        self.quality.register_group(&model, version, &machine);
+        obs::event!(
+            Level::Info,
+            "lifecycle.rolled_back",
+            model = model.as_str(),
+            machine = machine.as_str(),
+            version = version,
+            cache_demoted = demoted,
+        );
+        obs::flush();
+        Response::json(
+            200,
+            Json::obj([
+                ("model", model.into()),
+                ("machine", machine.into()),
+                ("version", Json::Num(version as f64)),
+                ("outcome", "rolled-back".into()),
+            ])
+            .encode(),
+        )
+    }
+
+    /// `POST /v1/lifecycle/freeze`: pin a group — no retrain triggers, no
+    /// auto-promotion — until unfrozen with `{"frozen": false}`. An
+    /// existing shadow keeps scoring so the operator can inspect it.
+    fn lifecycle_freeze(&self, body: &[u8]) -> Response {
+        let parsed = match Router::parse_operator_body(body) {
+            Ok(v) => v,
+            Err(resp) => return resp,
+        };
+        let frozen = match parsed.get("frozen") {
+            None => true,
+            Some(Json::Bool(b)) => *b,
+            Some(_) => return error(400, "\"frozen\" must be a boolean"),
+        };
+        let (model, machine) = match self.resolve_group(&parsed) {
+            Ok(g) => g,
+            Err(resp) => return resp,
+        };
+        match self.lifecycle.set_frozen(&model, &machine, frozen) {
+            Ok(was) => Response::json(
+                200,
+                Json::obj([
+                    ("model", model.into()),
+                    ("machine", machine.into()),
+                    ("frozen", frozen.into()),
+                    ("was_frozen", was.into()),
+                ])
+                .encode(),
+            ),
+            Err(e) => error(404, &e),
+        }
+    }
 }
 
 fn parse_body(body: &[u8]) -> Result<Json, Response> {
@@ -869,6 +1256,16 @@ fn rec_json(r: Recommendation) -> Json {
 
 fn error(status: u16, message: &str) -> Response {
     Response::json(status, Json::obj([("error", message.into())]).encode())
+}
+
+/// NaN-safe JSON number: JSON has no NaN literal, so a statistic that is
+/// not yet available serializes as `null`.
+fn num_or_null(v: f64) -> Json {
+    if v.is_finite() {
+        Json::Num(v)
+    } else {
+        Json::Null
+    }
 }
 
 #[cfg(test)]

@@ -143,6 +143,20 @@ fn quality_loop_soak_converges_then_catches_drift() {
     let (router, path, problems) = soak_router("quality-soak");
     let group = r#"{model="gb",version="1",machine="aurora"}"#;
 
+    // This soak measures the quality loop in isolation: 300 healthy
+    // observations would fill the retained pool and let the lifecycle
+    // subsystem retrain and auto-promote mid-test, moving the group to
+    // version 2 under our feet (docs/LIFECYCLE.md). Freeze pins the
+    // serving generation for the duration — exactly the operator
+    // control built for "do not touch this model right now".
+    let freeze = router.handle(&request(
+        "POST",
+        "/v1/lifecycle/freeze",
+        r#"{"model": "gb", "machine": "aurora"}"#,
+        "soak-freeze",
+    ));
+    assert_eq!(freeze.status, 200, "{}", String::from_utf8_lossy(&freeze.body));
+
     // The quality series are pre-registered: present (if NaN) before any
     // traffic, and the whole exposition is lint-clean.
     {

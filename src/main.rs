@@ -63,6 +63,9 @@ fn known_options(command: &str) -> Option<&'static [&'static str]> {
         ]),
         "call" => Some(&["addr", "method", "path", "body", "deadline-ms", "retries"]),
         "quality" => Some(&["addr", "next"]),
+        "lifecycle" => {
+            Some(&["addr", "model", "machine", "promote", "rollback", "freeze", "unfreeze"])
+        }
         "version" | "--version" | "-V" => Some(&[]),
         "trace" => Some(&[
             "machine", "o", "v", "molecule", "basis", "nodes", "tile", "noise", "seed", "out",
@@ -149,6 +152,9 @@ fn usage() -> &'static str {
                    /v1/advise retry, other POSTs get one attempt)\n\
        quality    [--addr HOST:PORT] [--next]  (model-quality report from a running\n\
                    daemon; --next asks for active-learning-ranked experiments)\n\
+       lifecycle  [--addr HOST:PORT] [--model NAME] [--machine NAME]\n\
+                  [--promote | --rollback | --freeze | --unfreeze]  (retrain/shadow/\n\
+                   promote state from a running daemon; see docs/LIFECYCLE.md)\n\
        version    (build identity: version, git sha, dirty flag)\n\
      observability: set CHEMCOST_LOG=error|warn|info|debug|trace for structured logs on\n\
      stderr, CHEMCOST_LOG_JSON=FILE for a JSONL copy (see docs/OBSERVABILITY.md,\n\
@@ -585,6 +591,98 @@ fn cmd_quality(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `chemcost lifecycle`: the retrain/shadow/promote state of a running
+/// daemon, plus operator overrides — `--promote` swaps the current shadow
+/// candidate in immediately, `--rollback` restores the version the last
+/// promotion displaced, `--freeze`/`--unfreeze` pin or release a group.
+fn cmd_lifecycle(args: &Args) -> Result<(), String> {
+    use chemcost::serve::json::Json;
+    let addr = args.get("addr").unwrap_or("127.0.0.1:8080");
+    let client = Client::new(addr);
+    let picked =
+        [args.flag("promote"), args.flag("rollback"), args.flag("freeze"), args.flag("unfreeze")];
+    if picked.iter().filter(|&&p| p).count() > 1 {
+        return Err("pick at most one of --promote, --rollback, --freeze, --unfreeze".into());
+    }
+    let mut fields: Vec<(&'static str, Json)> = Vec::new();
+    if let Ok(model) = args.get("model") {
+        fields.push(("model", model.into()));
+    }
+    if let Ok(machine) = args.get("machine") {
+        fields.push(("machine", machine.into()));
+    }
+    let action = if args.flag("promote") {
+        Some("promote")
+    } else if args.flag("rollback") {
+        Some("rollback")
+    } else if args.flag("freeze") {
+        Some("freeze")
+    } else if args.flag("unfreeze") {
+        fields.push(("frozen", Json::Bool(false)));
+        Some("freeze")
+    } else {
+        None
+    };
+    if let Some(action) = action {
+        let path = format!("/v1/lifecycle/{action}");
+        let body = Json::obj(fields).encode();
+        let resp =
+            client.call("POST", &path, body.as_bytes()).map_err(|e| format!("POST {path}: {e}"))?;
+        if resp.status >= 400 {
+            return Err(format!("server answered {}: {}", resp.status, resp.text()));
+        }
+        println!("{}", resp.text());
+        return Ok(());
+    }
+    let resp =
+        client.call("GET", "/v1/lifecycle", b"").map_err(|e| format!("GET /v1/lifecycle: {e}"))?;
+    if resp.status >= 400 {
+        return Err(format!("server answered {}: {}", resp.status, resp.text()));
+    }
+    let parsed = Json::parse(&resp.text()).map_err(|e| format!("bad response JSON: {e}"))?;
+    println!(
+        "trainer queue depth: {}",
+        parsed.get("queue_depth").and_then(Json::as_usize).unwrap_or(0)
+    );
+    match parsed.get("groups").and_then(Json::as_array) {
+        Some(groups) if !groups.is_empty() => {
+            for g in groups {
+                println!(
+                    "{} on {}: state {}{}, retrains {}, shadow {} obs (mape {})",
+                    g.get("model").and_then(Json::as_str).unwrap_or("?"),
+                    g.get("machine").and_then(Json::as_str).unwrap_or("?"),
+                    g.get("state").and_then(Json::as_str).unwrap_or("?"),
+                    if g.get("frozen").and_then(Json::as_bool) == Some(true) {
+                        " (FROZEN)"
+                    } else {
+                        ""
+                    },
+                    g.get("retrains").and_then(Json::as_usize).unwrap_or(0),
+                    g.get("shadow_len").and_then(Json::as_usize).unwrap_or(0),
+                    match g.get("shadow_mape").and_then(Json::as_f64) {
+                        Some(x) if x.is_finite() => format!("{x:.4}"),
+                        _ => "n/a".to_string(),
+                    },
+                );
+                if let Some(lineage) = g.get("lineage").filter(|l| !matches!(**l, Json::Null)) {
+                    println!(
+                        "  lineage: parent v{}, {} observed rows, fit {} ms, seed {}",
+                        lineage.get("parent_version").and_then(Json::as_usize).unwrap_or(0),
+                        lineage.get("observed_rows").and_then(Json::as_usize).unwrap_or(0),
+                        lineage.get("fit_duration_ms").and_then(Json::as_usize).unwrap_or(0),
+                        lineage.get("seed").and_then(Json::as_f64).unwrap_or(0.0),
+                    );
+                }
+                if let Some(last) = g.get("last_outcome").and_then(Json::as_str) {
+                    println!("  last: {last}");
+                }
+            }
+        }
+        _ => println!("no lifecycle groups tracked"),
+    }
+    Ok(())
+}
+
 /// `chemcost version`: the build identity also exported as
 /// `chemcost_build_info` on `/metrics` and under `build` in `/v1/quality`.
 fn cmd_version() -> Result<(), String> {
@@ -615,6 +713,7 @@ fn main() -> ExitCode {
         "serve" => cmd_serve(&args),
         "call" => cmd_call(&args),
         "quality" => cmd_quality(&args),
+        "lifecycle" => cmd_lifecycle(&args),
         "version" | "--version" | "-V" => cmd_version(),
         "molecules" => cmd_molecules(),
         "help" | "--help" | "-h" => {
@@ -761,6 +860,25 @@ mod tests {
         assert!(parse_args(&argv(&["--version"])).is_ok());
         assert!(parse_args(&argv(&["version", "--short"])).is_err());
         assert!(parse_args(&argv(&["quality", "--adr=x"])).is_err());
+    }
+
+    #[test]
+    fn lifecycle_options_accepted() {
+        let a = parse_args(&argv(&[
+            "lifecycle",
+            "--addr=127.0.0.1:9100",
+            "--model=gb",
+            "--machine=aurora",
+            "--promote",
+        ]))
+        .unwrap();
+        assert_eq!(a.get("addr").unwrap(), "127.0.0.1:9100");
+        assert_eq!(a.get("model").unwrap(), "gb");
+        assert!(a.flag("promote"));
+        assert!(parse_args(&argv(&["lifecycle", "--rollback"])).is_ok());
+        assert!(parse_args(&argv(&["lifecycle", "--freeze"])).is_ok());
+        assert!(parse_args(&argv(&["lifecycle", "--unfreeze"])).is_ok());
+        assert!(parse_args(&argv(&["lifecycle", "--promot"])).is_err());
     }
 
     #[test]
