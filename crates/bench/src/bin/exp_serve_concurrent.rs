@@ -1,0 +1,213 @@
+//! Concurrent-serving experiment: latency and coalescing of the
+//! event-driven data plane across a connections × batch-window grid.
+//!
+//! For each combination, a real `Server` is bound on loopback and
+//! driven by N keep-alive client threads issuing sequential
+//! `/v1/predict` requests; per-request round-trip latencies and the
+//! server's own batcher metrics are recorded. Writes
+//! `results/serve_concurrent.csv` with one row per combination:
+//!
+//! ```text
+//! conns,batch_window_us,requests,p50_us,p99_us,throughput_rps,batch_calls,batch_rows
+//! ```
+//!
+//! Reproduce: `cargo run --release -p chemcost-bench --bin exp_serve_concurrent`
+
+use chemcost_core::data::{MachineData, Target};
+use chemcost_ml::gradient_boosting::GradientBoosting;
+use chemcost_ml::Regressor;
+use chemcost_serve::{BatcherConfig, ModelRegistry, Router, Server};
+use chemcost_sim::machine::aurora;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+const REQUESTS_PER_CONN: usize = 50;
+const PREDICT: &str = r#"{"rows": [{"o": 100, "v": 800, "nodes": 32, "tile": 24}]}"#;
+
+fn trained_model() -> GradientBoosting {
+    let md = MachineData::generate_sized(&aurora(), 400, 42);
+    let train = md.train_dataset(Target::Seconds);
+    let mut gb = GradientBoosting::new(100, 6, 0.1);
+    gb.seed = 42;
+    gb.fit(&train.x, &train.y).unwrap();
+    gb
+}
+
+fn request_bytes(path: &str, body: &str, close: bool) -> Vec<u8> {
+    format!(
+        "POST {path} HTTP/1.1\r\nHost: exp\r\nContent-Length: {}{}\r\n\r\n{body}",
+        body.len(),
+        if close { "\r\nConnection: close" } else { "" },
+    )
+    .into_bytes()
+}
+
+/// Read one Content-Length-framed response; returns the body.
+fn read_response(stream: &mut TcpStream, carry: &mut Vec<u8>) -> String {
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = carry.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos + 4;
+        }
+        let n = stream.read(&mut chunk).expect("read head");
+        assert!(n > 0, "EOF before response head");
+        carry.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(&carry[..head_end]).expect("UTF-8 head").to_string();
+    assert!(head.starts_with("HTTP/1.1 200"), "non-200: {head:?}");
+    let length: usize = head
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("Content-Length");
+    while carry.len() < head_end + length {
+        let n = stream.read(&mut chunk).expect("read body");
+        assert!(n > 0, "EOF mid-body");
+        carry.extend_from_slice(&chunk[..n]);
+    }
+    let body = String::from_utf8_lossy(&carry[head_end..head_end + length]).into_owned();
+    carry.drain(..head_end + length);
+    body
+}
+
+/// Simple HTTP exchange on a fresh connection.
+fn oneshot(addr: SocketAddr, method: &str, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(
+            format!(
+                "{method} {path} HTTP/1.1\r\nHost: exp\r\nContent-Length: 0\r\nConnection: close\r\n\r\n"
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    raw.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default()
+}
+
+/// `chemcost_<name> <value>` from a /metrics scrape.
+fn series(metrics: &str, name: &str) -> u64 {
+    metrics
+        .lines()
+        .find(|l| l.starts_with(name) && l.as_bytes().get(name.len()) == Some(&b' '))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("series {name} missing"))
+}
+
+struct Row {
+    conns: usize,
+    window_us: u64,
+    requests: usize,
+    p50: Duration,
+    p99: Duration,
+    rps: f64,
+    batch_calls: u64,
+    batch_rows: u64,
+}
+
+fn run_cell(gb: &GradientBoosting, conns: usize, window_us: u64) -> Row {
+    let registry = Arc::new(ModelRegistry::new());
+    registry.insert("gb", "aurora", gb.clone());
+    let server = Server::bind("127.0.0.1:0", Router::new(registry), 4)
+        .expect("bind")
+        .with_queue_cap(2 * conns.max(4))
+        .with_batch_config(BatcherConfig {
+            window: Duration::from_micros(window_us),
+            max_rows: 1024,
+        });
+    let addr = server.local_addr().unwrap();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    let barrier = Arc::new(Barrier::new(conns));
+    let wall = Instant::now();
+    let clients: Vec<_> = (0..conns)
+        .map(|_| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut stream = TcpStream::connect(addr).expect("connect");
+                stream.set_nodelay(true).ok();
+                stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+                let mut carry = Vec::new();
+                let mut latencies = Vec::with_capacity(REQUESTS_PER_CONN);
+                barrier.wait();
+                for n in 0..REQUESTS_PER_CONN {
+                    let start = Instant::now();
+                    stream
+                        .write_all(&request_bytes(
+                            "/v1/predict",
+                            PREDICT,
+                            n + 1 == REQUESTS_PER_CONN,
+                        ))
+                        .unwrap();
+                    read_response(&mut stream, &mut carry);
+                    latencies.push(start.elapsed());
+                }
+                latencies
+            })
+        })
+        .collect();
+    let mut all: Vec<Duration> =
+        clients.into_iter().flat_map(|c| c.join().expect("client")).collect();
+    let elapsed = wall.elapsed();
+    all.sort_unstable();
+
+    let metrics = oneshot(addr, "GET", "/metrics");
+    let row = Row {
+        conns,
+        window_us,
+        requests: all.len(),
+        p50: all[all.len() / 2],
+        p99: all[(all.len() * 99) / 100 - 1],
+        rps: all.len() as f64 / elapsed.as_secs_f64(),
+        batch_calls: series(&metrics, "chemcost_batch_size_count"),
+        batch_rows: series(&metrics, "chemcost_batch_size_sum"),
+    };
+    oneshot(addr, "POST", "/v1/shutdown");
+    server_thread.join().expect("server thread").expect("clean shutdown");
+    row
+}
+
+fn main() {
+    let gb = trained_model();
+    let mut csv = String::from(
+        "conns,batch_window_us,requests,p50_us,p99_us,throughput_rps,batch_calls,batch_rows\n",
+    );
+    println!(
+        "{:>6} {:>10} {:>9} {:>9} {:>9} {:>11} {:>11} {:>10}",
+        "conns", "window_us", "requests", "p50_us", "p99_us", "rps", "batch_calls", "batch_rows"
+    );
+    for &conns in &[1usize, 8, 32, 64] {
+        for &window_us in &[0u64, 200, 1000] {
+            let r = run_cell(&gb, conns, window_us);
+            println!(
+                "{:>6} {:>10} {:>9} {:>9.0} {:>9.0} {:>11.0} {:>11} {:>10}",
+                r.conns,
+                r.window_us,
+                r.requests,
+                r.p50.as_secs_f64() * 1e6,
+                r.p99.as_secs_f64() * 1e6,
+                r.rps,
+                r.batch_calls,
+                r.batch_rows
+            );
+            csv.push_str(&format!(
+                "{},{},{},{:.0},{:.0},{:.0},{},{}\n",
+                r.conns,
+                r.window_us,
+                r.requests,
+                r.p50.as_secs_f64() * 1e6,
+                r.p99.as_secs_f64() * 1e6,
+                r.rps,
+                r.batch_calls,
+                r.batch_rows
+            ));
+        }
+    }
+    std::fs::create_dir_all("results").expect("mkdir results");
+    std::fs::write("results/serve_concurrent.csv", csv).expect("write csv");
+    println!("\nwrote results/serve_concurrent.csv");
+}

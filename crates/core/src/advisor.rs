@@ -154,6 +154,19 @@ impl<'a> Advisor<'a> {
     /// callers with several questions about the same problem should sweep
     /// once and reduce many times.
     pub fn sweep(&self, o: usize, v: usize) -> Sweep {
+        self.sweep_with(o, v, |x| self.model.predict(x))
+    }
+
+    /// Like [`Advisor::sweep`] but evaluating the candidate matrix
+    /// through `eval` instead of this advisor's own model. This is how
+    /// a serving layer routes the sweep through shared machinery (e.g.
+    /// a micro-batcher coalescing concurrent evaluations) while reusing
+    /// the candidate enumeration and `Sweep` reductions unchanged —
+    /// `eval` must return one predicted-seconds value per matrix row.
+    pub fn sweep_with<F>(&self, o: usize, v: usize, eval: F) -> Sweep
+    where
+        F: FnOnce(&Matrix) -> Vec<f64>,
+    {
         let candidates = self.candidates(o, v);
         let seconds = if candidates.is_empty() {
             Vec::new()
@@ -164,7 +177,13 @@ impl<'a> Advisor<'a> {
                 2 => candidates[i].0 as f64,
                 _ => candidates[i].1 as f64,
             });
-            self.model.predict(&x)
+            let seconds = eval(&x);
+            assert_eq!(
+                seconds.len(),
+                candidates.len(),
+                "sweep_with eval must return one value per candidate row"
+            );
+            seconds
         };
         Sweep { candidates, seconds }
     }

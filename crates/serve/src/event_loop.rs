@@ -1,0 +1,594 @@
+//! The event-driven serving data plane.
+//!
+//! One thread runs a level-triggered epoll loop (via the vendored
+//! [`polling`] crate) that owns every socket: it accepts connections,
+//! reads request bytes into per-connection buffers, parses them
+//! incrementally ([`crate::http::parse_request`]), and writes encoded
+//! responses back out — all nonblocking. Compute never happens on this
+//! thread: each parsed request is dispatched to the bounded worker pool,
+//! and the finished response comes back over a channel (plus an eventfd
+//! [`Waker`] nudge). HTTP/1.1 keep-alive and pipelining are native:
+//! a connection can have many requests in flight, and responses are
+//! reordered by sequence number so the wire order always matches the
+//! request order.
+//!
+//! The backpressure ladder, from the outside in (see `docs/SERVING.md`):
+//!
+//! 1. **Connection budget** — beyond `--max-conns` open connections the
+//!    accept handler answers `503` and closes (`chemcost_requests_shed_total`).
+//! 2. **Compute queue** — a parsed request that cannot enter the worker
+//!    pool's bounded queue gets a per-request `503`; the connection
+//!    itself stays open (keep-alive preserved).
+//! 3. **Parser limits** — oversized header lines (`431`) and bodies
+//!    (`413`) are rejected mid-stream, before buffering the rest.
+//! 4. **Write high-water mark** — a connection whose response backlog
+//!    passes [`WRITE_HIGH_WATER`] stops being read until it drains, so
+//!    a slow consumer cannot balloon server memory.
+//!
+//! Graceful drain: when `POST /v1/shutdown` is handled, the loop stops
+//! accepting (the listener is closed), stops reading every connection,
+//! forces `Connection: close` on every response still in flight, closes
+//! idle keep-alive connections immediately, and exits once the last
+//! response byte is flushed.
+//!
+//! The PR-4 chaos plane maps onto the loop without new semantics:
+//! `saturate` sheds at accept, `slow-io` stalls the worker before
+//! compute, `drop-conn` tears the response mid-status-line, and
+//! `truncate-body` gives the connection a read budget after which the
+//! client appears to die mid-upload.
+
+use crate::fault::{FaultKind, FaultPlane};
+use crate::http::{encode_response, parse_request, HttpError, Request, Response};
+use crate::json::Json;
+use crate::metrics::Metrics;
+use crate::pool::ThreadPool;
+use crate::routes::Router;
+use polling::{Event, Interest, Poller, Waker};
+use std::collections::{BTreeMap, HashMap};
+use std::io::{self, ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Default bound on simultaneously open client connections
+/// (`--max-conns`). Accepts beyond it are shed with `503`.
+pub const DEFAULT_MAX_CONNS: usize = 1024;
+
+/// Pause reading a connection whose unsent response bytes exceed this.
+const WRITE_HIGH_WATER: usize = 256 * 1024;
+
+/// Most requests one connection may have in flight (dispatched, not yet
+/// responded). Bounds the reorder buffer under aggressive pipelining;
+/// further pipelined bytes simply wait in the read buffer.
+const MAX_PIPELINE: usize = 64;
+
+/// Bytes read from a socket per `read` call.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// Poll timeout, which doubles as the idle-connection sweep cadence.
+const SWEEP_INTERVAL: Duration = Duration::from_millis(250);
+
+/// Poller key of the listening socket.
+const KEY_LISTENER: usize = usize::MAX - 1;
+/// Poller key of the cross-thread waker.
+const KEY_WAKER: usize = usize::MAX;
+
+/// Event-loop tuning, from the `Server` builder / CLI flags.
+#[derive(Debug, Clone, Copy)]
+pub struct EventLoopConfig {
+    /// Open-connection budget; accepts beyond it are shed with `503`.
+    pub max_conns: usize,
+    /// Idle keep-alive connections are closed after this long.
+    pub idle_timeout: Duration,
+}
+
+impl Default for EventLoopConfig {
+    fn default() -> EventLoopConfig {
+        EventLoopConfig { max_conns: DEFAULT_MAX_CONNS, idle_timeout: Duration::from_secs(5) }
+    }
+}
+
+/// A finished request riding back from a worker to the loop.
+struct Done {
+    token: usize,
+    seq: u64,
+    response: Response,
+    keep_alive: bool,
+}
+
+/// Per-connection state machine.
+struct Conn {
+    stream: TcpStream,
+    /// Bytes received, not yet parsed into a complete request.
+    read_buf: Vec<u8>,
+    /// Encoded responses not yet accepted by the socket.
+    write_buf: Vec<u8>,
+    /// Sequence number for the next parsed request.
+    next_seq: u64,
+    /// Sequence number of the next response to encode — responses
+    /// finishing out of order wait in `done` until their turn.
+    next_flush: u64,
+    done: BTreeMap<u64, (Response, bool)>,
+    /// Requests dispatched to workers, response not yet applied.
+    in_flight: usize,
+    /// Requests parsed on this connection (for the keep-alive metric).
+    requests: u64,
+    /// Stop reading; close once flushed and nothing is in flight.
+    closing: bool,
+    /// Chaos `drop-conn`: close as soon as the (torn) buffer is flushed,
+    /// discarding any responses still in flight.
+    abort: bool,
+    /// The peer half-closed its sending side (read returned 0).
+    peer_closed: bool,
+    /// Chaos `truncate-body`: remaining bytes we pretend the client
+    /// still managed to send before dying.
+    read_budget: Option<usize>,
+    /// What the poller currently watches for this socket.
+    registered: Option<Interest>,
+    /// Last moment this connection made progress (for the idle sweep).
+    idle_since: Instant,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, read_budget: Option<usize>) -> Conn {
+        Conn {
+            stream,
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+            next_seq: 0,
+            next_flush: 0,
+            done: BTreeMap::new(),
+            in_flight: 0,
+            requests: 0,
+            closing: false,
+            abort: false,
+            peer_closed: false,
+            read_budget,
+            registered: None,
+            idle_since: Instant::now(),
+        }
+    }
+
+    /// Should this connection be torn down right now?
+    fn finished(&self) -> bool {
+        if self.abort {
+            return self.write_buf.is_empty();
+        }
+        if self.closing {
+            return self.write_buf.is_empty() && self.in_flight == 0 && self.done.is_empty();
+        }
+        // Peer gone, nothing left to answer: nothing to wait for.
+        self.peer_closed && self.write_buf.is_empty() && self.in_flight == 0 && self.done.is_empty()
+    }
+
+    /// The poller interest this connection's state calls for. `None`
+    /// means the socket needs no watching (e.g. only waiting on worker
+    /// completions) and should be deregistered.
+    fn desired_interest(&self) -> Option<Interest> {
+        let want_read = !self.closing
+            && !self.abort
+            && !self.peer_closed
+            && self.in_flight < MAX_PIPELINE
+            && self.write_buf.len() < WRITE_HIGH_WATER;
+        let want_write = !self.write_buf.is_empty();
+        match (want_read, want_write) {
+            (true, true) => Some(Interest::Both),
+            (true, false) => Some(Interest::Read),
+            (false, true) => Some(Interest::Write),
+            (false, false) => None,
+        }
+    }
+}
+
+/// Everything the loop thread needs in one place.
+struct Loop<'a> {
+    poller: Poller,
+    waker: Arc<Waker>,
+    listener: Option<TcpListener>,
+    router: Router,
+    metrics: Arc<Metrics>,
+    pool: &'a ThreadPool,
+    faults: Option<Arc<FaultPlane>>,
+    config: EventLoopConfig,
+    conns: HashMap<usize, Conn>,
+    next_token: usize,
+    done_tx: Sender<Done>,
+    done_rx: Receiver<Done>,
+    /// Shutdown observed: listener closed, all responses forced
+    /// `Connection: close`, loop exits when the last conn drains.
+    draining: bool,
+}
+
+/// Run the event loop until graceful drain completes. Owns the
+/// listener; the worker `pool` and the router's installed [`Batcher`]
+/// stay alive for the caller to join/shut down afterwards.
+pub(crate) fn run(
+    listener: TcpListener,
+    router: Router,
+    pool: &ThreadPool,
+    faults: Option<Arc<FaultPlane>>,
+    config: EventLoopConfig,
+) -> io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let poller = Poller::new()?;
+    poller.register(listener.as_raw_fd(), KEY_LISTENER, Interest::Read)?;
+    let waker = Arc::new(Waker::new(&poller, KEY_WAKER)?);
+    let metrics = Arc::clone(router.metrics());
+    let (done_tx, done_rx) = channel();
+    let mut lp = Loop {
+        poller,
+        waker,
+        listener: Some(listener),
+        router,
+        metrics,
+        pool,
+        faults,
+        config,
+        conns: HashMap::new(),
+        next_token: 0,
+        done_tx,
+        done_rx,
+        draining: false,
+    };
+    let mut events: Vec<Event> = Vec::new();
+
+    loop {
+        events.clear();
+        lp.poller.wait(&mut events, Some(SWEEP_INTERVAL))?;
+        for ev in &events {
+            match ev.key {
+                KEY_WAKER => lp.waker.drain(),
+                KEY_LISTENER => lp.accept_ready(),
+                token => lp.conn_ready(token, ev),
+            }
+        }
+        lp.drain_completions();
+        lp.maybe_start_drain();
+        lp.sweep_idle();
+        if lp.draining && lp.conns.is_empty() {
+            return Ok(());
+        }
+    }
+}
+
+impl Loop<'_> {
+    /// Accept until the listener would block, shedding over-budget and
+    /// chaos-saturated connections with an immediate `503` + close.
+    fn accept_ready(&mut self) {
+        loop {
+            let Some(listener) = &self.listener else { return };
+            let stream = match listener.accept() {
+                Ok((stream, _)) => stream,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                Err(_) => continue, // transient accept failure
+            };
+            if stream.set_nonblocking(true).is_err() {
+                continue;
+            }
+            let _ = stream.set_nodelay(true);
+            let saturated =
+                self.faults.as_ref().is_some_and(|plane| plane.roll(FaultKind::Saturate));
+            let over_budget = self.conns.len() >= self.config.max_conns;
+            let read_budget = self.faults.as_ref().and_then(|plane| {
+                plane.roll(FaultKind::TruncateBody).then(|| plane.truncate_after())
+            });
+            let token = self.next_token;
+            self.next_token += 1;
+            let mut conn = Conn::new(stream, read_budget);
+            if saturated || over_budget {
+                // Shed ladder rung 1: refuse before buffering anything.
+                self.metrics.record_shed();
+                chemcost_obs::event!(
+                    chemcost_obs::Level::Warn,
+                    "http.shed",
+                    open_conns = self.conns.len(),
+                    max_conns = self.config.max_conns,
+                    shed_total = self.metrics.shed_total(),
+                );
+                let resp = Response::json(503, r#"{"error":"server overloaded"}"#.into());
+                conn.write_buf.extend_from_slice(&encode_response(&resp, false));
+                conn.closing = true;
+            }
+            self.metrics.inc_connections_open();
+            self.conns.insert(token, conn);
+            self.drive(token);
+        }
+    }
+
+    /// Handle readiness on one connection's socket.
+    fn conn_ready(&mut self, token: usize, ev: &Event) {
+        let Some(conn) = self.conns.get_mut(&token) else { return };
+        if ev.error && !ev.readable && !ev.writable {
+            self.close(token);
+            return;
+        }
+        if ev.readable {
+            if !Self::fill_read_buf(conn) {
+                self.close(token);
+                return;
+            }
+            self.parse_available(token);
+        }
+        self.drive(token);
+    }
+
+    /// Pull bytes from the socket into the read buffer. Returns `false`
+    /// when the connection is dead (hard error).
+    fn fill_read_buf(conn: &mut Conn) -> bool {
+        if conn.closing || conn.abort {
+            return true; // ignore further client bytes
+        }
+        let mut chunk = [0u8; READ_CHUNK];
+        loop {
+            if conn.read_budget == Some(0) {
+                // Chaos truncate-body: the client "died" mid-upload.
+                conn.peer_closed = true;
+                return true;
+            }
+            let cap = conn.read_budget.map_or(READ_CHUNK, |b| b.min(READ_CHUNK));
+            match conn.stream.read(&mut chunk[..cap]) {
+                Ok(0) => {
+                    conn.peer_closed = true;
+                    return true;
+                }
+                Ok(n) => {
+                    conn.read_buf.extend_from_slice(&chunk[..n]);
+                    if let Some(budget) = &mut conn.read_budget {
+                        *budget -= n;
+                    }
+                    conn.idle_since = Instant::now();
+                    // Backpressure: beyond the pipeline cap the rest of
+                    // the bytes wait in the kernel buffer.
+                    if conn.in_flight >= MAX_PIPELINE || conn.write_buf.len() >= WRITE_HIGH_WATER {
+                        return true;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return true,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+    }
+
+    /// Parse every complete request sitting in the read buffer and
+    /// dispatch each to the worker pool (or answer parse errors
+    /// directly). Pipelining lives here: the loop keeps going until the
+    /// buffer holds no complete request.
+    fn parse_available(&mut self, token: usize) {
+        loop {
+            let Some(conn) = self.conns.get_mut(&token) else { return };
+            if conn.closing || conn.abort || conn.in_flight >= MAX_PIPELINE {
+                return;
+            }
+            match parse_request(&conn.read_buf) {
+                Ok(None) => return, // incomplete — wait for more bytes
+                Ok(Some((req, consumed))) => {
+                    conn.read_buf.drain(..consumed);
+                    conn.requests += 1;
+                    if conn.requests > 1 {
+                        self.metrics.record_keepalive_reuse();
+                    }
+                    let seq = conn.next_seq;
+                    conn.next_seq += 1;
+                    conn.in_flight += 1;
+                    let keep_alive = req.keep_alive();
+                    if !keep_alive {
+                        // The client said close: answer this request,
+                        // ignore anything pipelined behind it.
+                        conn.closing = true;
+                    }
+                    self.dispatch(token, seq, req, keep_alive);
+                }
+                Err(err) => {
+                    // Rungs 3 of the shed ladder: the bytes are not (or
+                    // cannot become) a servable request. Answer in
+                    // sequence — pipelined predecessors still get their
+                    // real responses first — then close.
+                    let (status, msg) = match err {
+                        HttpError::Malformed(msg) => (400, msg),
+                        HttpError::Unsupported(status, msg) => (status, msg),
+                        HttpError::Io(_) => {
+                            self.close(token);
+                            return;
+                        }
+                    };
+                    let seq = conn.next_seq;
+                    conn.next_seq += 1;
+                    conn.in_flight += 1;
+                    conn.closing = true;
+                    let resp = Response::json(status, Json::obj([("error", msg.into())]).encode());
+                    self.apply_done(Done { token, seq, response: resp, keep_alive: false });
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Hand one parsed request to the worker pool. A full compute queue
+    /// is rung 2 of the shed ladder: this request gets a `503`, but the
+    /// connection (and everything else pipelined on it) survives.
+    fn dispatch(&mut self, token: usize, seq: u64, req: Request, keep_alive: bool) {
+        // Deadline anchor: the instant the request finished arriving.
+        // Worker-queue wait happens after this, so it counts against the
+        // request's budget exactly as the threadpool server's did.
+        let arrived = Instant::now();
+        let slow_io = self
+            .faults
+            .as_ref()
+            .and_then(|plane| plane.roll(FaultKind::SlowIo).then(|| plane.slow_io_delay()));
+        let router = self.router.clone();
+        let metrics = Arc::clone(&self.metrics);
+        let tx = self.done_tx.clone();
+        let waker = Arc::clone(&self.waker);
+        self.metrics.pool_enqueued();
+        let job: crate::pool::Job = Box::new(move || {
+            metrics.pool_dequeued();
+            // Chaos slow-io: the stall a seizing disk or GC pause would
+            // cause, now on the worker so the loop thread never blocks.
+            if let Some(delay) = slow_io {
+                std::thread::sleep(delay);
+            }
+            let response = router.handle_from(&req, arrived);
+            let _ = tx.send(Done { token, seq, response, keep_alive });
+            let _ = waker.wake();
+        });
+        if self.pool.execute(job).is_err() {
+            self.metrics.pool_dequeued();
+            self.metrics.record_shed();
+            chemcost_obs::event!(
+                chemcost_obs::Level::Warn,
+                "http.shed",
+                queue_cap = self.pool.queue_cap(),
+                shed_total = self.metrics.shed_total(),
+            );
+            let resp = Response::json(503, r#"{"error":"server overloaded"}"#.into());
+            self.apply_done(Done { token, seq, response: resp, keep_alive });
+        }
+    }
+
+    /// Apply every completion workers have sent since the last pass.
+    fn drain_completions(&mut self) {
+        while let Ok(done) = self.done_rx.try_recv() {
+            self.apply_done(done);
+        }
+    }
+
+    /// Slot one finished response into its connection and encode every
+    /// response that is now next-in-order onto the wire buffer.
+    fn apply_done(&mut self, done: Done) {
+        let draining = self.draining || self.router.shutdown_requested();
+        let Some(conn) = self.conns.get_mut(&done.token) else { return };
+        conn.in_flight -= 1;
+        conn.done.insert(done.seq, (done.response, done.keep_alive));
+        while let Some((response, keep_alive)) = conn.done.remove(&conn.next_flush) {
+            conn.next_flush += 1;
+            // Chaos drop-conn: a torn status line, then nothing — the
+            // client must see a broken connection, never a half-body
+            // that parses.
+            if self.faults.as_ref().is_some_and(|plane| plane.roll(FaultKind::DropConn)) {
+                conn.write_buf.extend_from_slice(b"HTTP/1.1 ");
+                conn.abort = true;
+                conn.closing = true;
+                break;
+            }
+            // Graceful drain: every response sent after shutdown was
+            // requested tells the client this connection is over.
+            let keep_alive = keep_alive && !draining;
+            conn.write_buf.extend_from_slice(&encode_response(&response, keep_alive));
+            if !keep_alive {
+                conn.closing = true;
+            }
+            conn.idle_since = Instant::now();
+        }
+        let token = done.token;
+        // Responses may have freed pipeline slots: parse what waited.
+        self.parse_available(token);
+        self.drive(token);
+    }
+
+    /// Flush pending writes, then reconcile poller registration with the
+    /// connection's desired interest — or close it if it is finished.
+    fn drive(&mut self, token: usize) {
+        let Some(conn) = self.conns.get_mut(&token) else { return };
+        if !Self::flush_writes(conn) || conn.finished() {
+            self.close(token);
+            return;
+        }
+        let desired = conn.desired_interest();
+        let fd = conn.stream.as_raw_fd();
+        if desired == conn.registered {
+            return;
+        }
+        let ok = match (conn.registered, desired) {
+            (None, Some(interest)) => self.poller.register(fd, token, interest).is_ok(),
+            (Some(_), Some(interest)) => self.poller.modify(fd, token, interest).is_ok(),
+            (Some(_), None) => self.poller.deregister(fd).is_ok(),
+            (None, None) => true,
+        };
+        match ok {
+            true => conn.registered = desired,
+            false => self.close(token),
+        }
+    }
+
+    /// Write as much of the response buffer as the socket accepts.
+    /// Returns `false` when the connection died under the write.
+    fn flush_writes(conn: &mut Conn) -> bool {
+        let mut written = 0;
+        while written < conn.write_buf.len() {
+            match conn.stream.write(&conn.write_buf[written..]) {
+                Ok(0) => return false,
+                Ok(n) => {
+                    written += n;
+                    conn.idle_since = Instant::now();
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+        if written > 0 {
+            conn.write_buf.drain(..written);
+            if conn.write_buf.is_empty() {
+                let _ = conn.stream.flush();
+            }
+        }
+        true
+    }
+
+    /// Tear a connection down: deregister, close, account.
+    fn close(&mut self, token: usize) {
+        if let Some(conn) = self.conns.remove(&token) {
+            if conn.registered.is_some() {
+                let _ = self.poller.deregister(conn.stream.as_raw_fd());
+            }
+            self.metrics.dec_connections_open();
+        }
+    }
+
+    /// First pass after `POST /v1/shutdown` lands: stop accepting, stop
+    /// reading, close idle connections, and let in-flight responses
+    /// (which now carry `Connection: close`) finish.
+    fn maybe_start_drain(&mut self) {
+        if self.draining || !self.router.shutdown_requested() {
+            return;
+        }
+        self.draining = true;
+        if let Some(listener) = self.listener.take() {
+            let _ = self.poller.deregister(listener.as_raw_fd());
+        }
+        let tokens: Vec<usize> = self.conns.keys().copied().collect();
+        for token in tokens {
+            if let Some(conn) = self.conns.get_mut(&token) {
+                conn.closing = true;
+            }
+            self.drive(token);
+        }
+        chemcost_obs::event!(
+            chemcost_obs::Level::Info,
+            "serve.drain",
+            open_conns = self.conns.len(),
+        );
+    }
+
+    /// Close keep-alive connections that have sat idle past the timeout
+    /// — the event-loop equivalent of the old per-socket read timeout,
+    /// so a slow-loris client cannot pin state forever.
+    fn sweep_idle(&mut self) {
+        let timeout = self.config.idle_timeout;
+        let now = Instant::now();
+        let stale: Vec<usize> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| {
+                c.in_flight == 0 && c.done.is_empty() && now.duration_since(c.idle_since) > timeout
+            })
+            .map(|(t, _)| *t)
+            .collect();
+        for token in stale {
+            self.close(token);
+        }
+    }
+}

@@ -1,9 +1,18 @@
-//! Minimal HTTP/1.1 framing over `std::io` streams.
+//! Minimal HTTP/1.1 framing: blocking streams and incremental buffers.
 //!
 //! Supports exactly what the service needs: request line + headers +
-//! `Content-Length` bodies, keep-alive, and plain responses. Chunked
-//! transfer encoding is rejected; bodies and header sections are
+//! `Content-Length` bodies, keep-alive, pipelining, and plain responses.
+//! Chunked transfer encoding is rejected; bodies and header sections are
 //! size-limited so a misbehaving client cannot balloon memory.
+//!
+//! Two entry points share one grammar: [`read_request`] parses off a
+//! blocking `BufRead` (tests, the retrying client's server stub), and
+//! [`parse_request`] parses incrementally out of a byte buffer — the
+//! event loop's per-connection state machine feeds it whatever bytes
+//! have arrived and gets back either a complete request plus how many
+//! bytes it consumed, or "need more". Size limits are enforced *while*
+//! bytes accumulate, so an attacker streaming an endless header line is
+//! rejected long before the connection buffer grows.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -142,13 +151,11 @@ fn read_line<R: BufRead>(reader: &mut R) -> Result<Option<String>, HttpError> {
     }
 }
 
-/// Read one request off the stream. `Ok(None)` means the client closed
-/// the connection cleanly before sending another request.
-pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, HttpError> {
-    let Some(request_line) = read_line(reader)? else {
-        return Ok(None);
-    };
-    let mut parts = request_line.split_whitespace();
+/// Parse an HTTP/1.x request line into `(method, path)`. The query
+/// string is stripped (the API doesn't use one); a non-1.x version is a
+/// 505.
+fn parse_request_line(line: &str) -> Result<(String, String), HttpError> {
+    let mut parts = line.split_whitespace();
     let method =
         parts.next().ok_or_else(|| HttpError::Malformed("empty request line".into()))?.to_string();
     let target =
@@ -158,8 +165,60 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, HttpE
     if !version.starts_with("HTTP/1.") {
         return Err(HttpError::Unsupported(505, format!("unsupported version {version}")));
     }
-    // Strip any query string; the API doesn't use one.
     let path = target.split('?').next().unwrap_or(target).to_string();
+    Ok((method, path))
+}
+
+/// Fold one header line into the map. Repeated header names fold into
+/// one comma-joined value (RFC 9110 §5.2) instead of last-wins — so a
+/// request smuggling two `X-Deadline-Ms` values yields "a, b", which
+/// fails numeric parsing downstream rather than silently picking one.
+fn insert_header(headers: &mut HashMap<String, String>, line: &str) -> Result<(), HttpError> {
+    if headers.len() >= MAX_HEADERS {
+        return Err(HttpError::Unsupported(431, "too many headers".into()));
+    }
+    let (name, value) = line
+        .split_once(':')
+        .ok_or_else(|| HttpError::Malformed(format!("header without ':': {line:?}")))?;
+    match headers.entry(name.trim().to_ascii_lowercase()) {
+        std::collections::hash_map::Entry::Occupied(mut e) => {
+            let joined: &mut String = e.get_mut();
+            joined.push_str(", ");
+            joined.push_str(value.trim());
+        }
+        std::collections::hash_map::Entry::Vacant(e) => {
+            e.insert(value.trim().to_string());
+        }
+    }
+    Ok(())
+}
+
+/// Validate framing headers and return the declared body length.
+fn body_length(headers: &HashMap<String, String>) -> Result<usize, HttpError> {
+    if headers.get("transfer-encoding").is_some_and(|v| !v.eq_ignore_ascii_case("identity")) {
+        return Err(HttpError::Unsupported(501, "chunked transfer encoding not supported".into()));
+    }
+    match headers.get("content-length") {
+        None => Ok(0),
+        Some(len) => {
+            let n: usize = len
+                .parse()
+                .map_err(|_| HttpError::Malformed(format!("bad Content-Length {len:?}")))?;
+            if n > MAX_BODY {
+                return Err(HttpError::Unsupported(413, "request body too large".into()));
+            }
+            Ok(n)
+        }
+    }
+}
+
+/// Read one request off the stream. `Ok(None)` means the client closed
+/// the connection cleanly before sending another request.
+pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, HttpError> {
+    let Some(request_line) = read_line(reader)? else {
+        return Ok(None);
+    };
+    let (method, path) = parse_request_line(&request_line)?;
 
     let mut headers = HashMap::new();
     loop {
@@ -168,55 +227,77 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, HttpE
         if line.is_empty() {
             break;
         }
-        if headers.len() >= MAX_HEADERS {
-            return Err(HttpError::Unsupported(431, "too many headers".into()));
-        }
-        let (name, value) = line
-            .split_once(':')
-            .ok_or_else(|| HttpError::Malformed(format!("header without ':': {line:?}")))?;
-        // Repeated header names fold into one comma-joined value (RFC
-        // 9110 §5.2) instead of last-wins — so a request smuggling two
-        // `X-Deadline-Ms` values yields "a, b", which fails numeric
-        // parsing downstream rather than silently picking one.
-        match headers.entry(name.trim().to_ascii_lowercase()) {
-            std::collections::hash_map::Entry::Occupied(mut e) => {
-                let joined: &mut String = e.get_mut();
-                joined.push_str(", ");
-                joined.push_str(value.trim());
-            }
-            std::collections::hash_map::Entry::Vacant(e) => {
-                e.insert(value.trim().to_string());
-            }
-        }
+        insert_header(&mut headers, &line)?;
     }
 
-    if headers.get("transfer-encoding").is_some_and(|v| !v.eq_ignore_ascii_case("identity")) {
-        return Err(HttpError::Unsupported(501, "chunked transfer encoding not supported".into()));
-    }
-
-    let body = match headers.get("content-length") {
-        None => Vec::new(),
-        Some(len) => {
-            let len: usize = len
-                .parse()
-                .map_err(|_| HttpError::Malformed(format!("bad Content-Length {len:?}")))?;
-            if len > MAX_BODY {
-                return Err(HttpError::Unsupported(413, "request body too large".into()));
-            }
-            let mut body = vec![0u8; len];
-            let mut filled = 0;
-            while filled < len {
-                match reader.read(&mut body[filled..]) {
-                    Ok(0) => return Err(HttpError::Malformed("EOF inside body".into())),
-                    Ok(n) => filled += n,
-                    Err(e) => return Err(HttpError::Io(e)),
-                }
-            }
-            body
+    let len = body_length(&headers)?;
+    let mut body = vec![0u8; len];
+    let mut filled = 0;
+    while filled < len {
+        match reader.read(&mut body[filled..]) {
+            Ok(0) => return Err(HttpError::Malformed("EOF inside body".into())),
+            Ok(n) => filled += n,
+            Err(e) => return Err(HttpError::Io(e)),
         }
-    };
+    }
 
     Ok(Some(Request { method, path, headers, body }))
+}
+
+/// Try to parse one complete request out of the front of `buf`.
+///
+/// Returns `Ok(Some((request, consumed)))` when `buf` holds a complete
+/// request in its first `consumed` bytes, `Ok(None)` when more bytes are
+/// needed, and `Err` when the bytes already received can never become a
+/// well-formed request. Limits are enforced incrementally: a header line
+/// beyond [`MAX_LINE`] bytes, more than [`MAX_HEADERS`] headers, or a
+/// declared body beyond [`MAX_BODY`] are rejected as soon as the
+/// offending bytes arrive, even mid-request. This is the parser behind
+/// the event loop's per-connection state machine; the grammar is shared
+/// with [`read_request`].
+pub fn parse_request(buf: &[u8]) -> Result<Option<(Request, usize)>, HttpError> {
+    let mut line_start = 0usize;
+    let mut request_line: Option<(String, String)> = None;
+    let mut headers = HashMap::new();
+    let mut head_len: Option<usize> = None;
+    for (i, &b) in buf.iter().enumerate() {
+        if b != b'\n' {
+            // `+ 1` mirrors read_line, which counts the not-yet-stripped
+            // `\r` against the limit as well.
+            if i - line_start + 1 > MAX_LINE {
+                return Err(HttpError::Unsupported(431, "header line too long".into()));
+            }
+            continue;
+        }
+        let mut line = &buf[line_start..i];
+        if line.last() == Some(&b'\r') {
+            line = &line[..line.len() - 1];
+        }
+        let line = std::str::from_utf8(line)
+            .map_err(|_| HttpError::Malformed("non-UTF-8 header line".into()))?;
+        line_start = i + 1;
+        if request_line.is_none() {
+            request_line = Some(parse_request_line(line)?);
+        } else if line.is_empty() {
+            head_len = Some(i + 1);
+            break;
+        } else {
+            insert_header(&mut headers, line)?;
+        }
+    }
+    let Some(head_len) = head_len else {
+        // Head incomplete. The per-line length check above already ran
+        // for the partial trailing line; header count is bounded by
+        // insert_header. Just wait for more bytes.
+        return Ok(None);
+    };
+    let (method, path) = request_line.expect("head complete implies request line parsed");
+    let len = body_length(&headers)?;
+    if buf.len() < head_len + len {
+        return Ok(None);
+    }
+    let body = buf[head_len..head_len + len].to_vec();
+    Ok(Some((Request { method, path, headers, body }, head_len + len)))
 }
 
 fn reason(status: u16) -> &'static str {
@@ -236,12 +317,10 @@ fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Serialize a response onto the stream (does not flush-close).
-pub fn write_response<W: Write>(
-    writer: &mut W,
-    response: &Response,
-    keep_alive: bool,
-) -> std::io::Result<()> {
+/// Serialize a response to wire bytes. `keep_alive` controls the
+/// `Connection` header: the event loop forces `close` during graceful
+/// drain regardless of what the client asked for.
+pub fn encode_response(response: &Response, keep_alive: bool) -> Vec<u8> {
     let mut head = format!(
         "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         response.status,
@@ -257,8 +336,18 @@ pub fn write_response<W: Write>(
         head.push_str("\r\n");
     }
     head.push_str("\r\n");
-    writer.write_all(head.as_bytes())?;
-    writer.write_all(&response.body)?;
+    let mut out = head.into_bytes();
+    out.extend_from_slice(&response.body);
+    out
+}
+
+/// Serialize a response onto the stream (does not flush-close).
+pub fn write_response<W: Write>(
+    writer: &mut W,
+    response: &Response,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    writer.write_all(&encode_response(response, keep_alive))?;
     writer.flush()
 }
 
@@ -350,6 +439,66 @@ mod tests {
         assert!(text.contains("Content-Length: 11\r\n"));
         assert!(text.contains("Connection: keep-alive\r\n"));
         assert!(text.ends_with("{\"ok\":true}"));
+    }
+
+    #[test]
+    fn incremental_parse_matches_streaming_parse() {
+        let raw =
+            "POST /v1/predict HTTP/1.1\r\nX-Request-Id: r1\r\nContent-Length: 7\r\n\r\n{\"a\":1}";
+        let (inc, consumed) = parse_request(raw.as_bytes()).unwrap().unwrap();
+        let streamed = parse(raw).unwrap().unwrap();
+        assert_eq!(consumed, raw.len());
+        assert_eq!(inc.method, streamed.method);
+        assert_eq!(inc.path, streamed.path);
+        assert_eq!(inc.headers, streamed.headers);
+        assert_eq!(inc.body, streamed.body);
+    }
+
+    #[test]
+    fn incremental_parse_needs_more_on_any_prefix() {
+        let raw = "POST /v1/advise HTTP/1.1\r\nContent-Length: 9\r\n\r\n{\"o\":120}";
+        for cut in 0..raw.len() {
+            let r = parse_request(&raw.as_bytes()[..cut]).unwrap();
+            assert!(r.is_none(), "prefix of {cut} bytes parsed early");
+        }
+        let (req, consumed) = parse_request(raw.as_bytes()).unwrap().unwrap();
+        assert_eq!(consumed, raw.len());
+        assert_eq!(req.body, b"{\"o\":120}");
+    }
+
+    #[test]
+    fn incremental_parse_consumes_only_the_first_pipelined_request() {
+        let raw = "GET /healthz HTTP/1.1\r\n\r\nGET /metrics HTTP/1.1\r\n\r\n";
+        let (first, consumed) = parse_request(raw.as_bytes()).unwrap().unwrap();
+        assert_eq!(first.path, "/healthz");
+        let (second, consumed2) = parse_request(&raw.as_bytes()[consumed..]).unwrap().unwrap();
+        assert_eq!(second.path, "/metrics");
+        assert_eq!(consumed + consumed2, raw.len());
+    }
+
+    #[test]
+    fn incremental_parse_rejects_oversized_line_before_completion() {
+        // No newline yet — a streaming attacker. Rejected as soon as the
+        // line crosses MAX_LINE, not when (never) it completes.
+        let raw = format!("GET /{} ", "a".repeat(MAX_LINE + 10));
+        let e = parse_request(raw.as_bytes()).unwrap_err();
+        assert!(matches!(e, HttpError::Unsupported(431, _)), "{e}");
+    }
+
+    #[test]
+    fn incremental_parse_folds_duplicate_headers_like_streaming() {
+        let raw = "GET / HTTP/1.1\r\nX-Deadline-Ms: 500\r\nX-Deadline-Ms: 9000\r\n\r\n";
+        let (req, _) = parse_request(raw.as_bytes()).unwrap().unwrap();
+        assert_eq!(req.headers.get("x-deadline-ms").map(String::as_str), Some("500, 9000"));
+    }
+
+    #[test]
+    fn encode_response_matches_write_response() {
+        let mut resp = Response::json(200, "{}".into());
+        resp.headers.push(("X-Request-Id", "abc".into()));
+        let mut streamed = Vec::new();
+        write_response(&mut streamed, &resp, true).unwrap();
+        assert_eq!(encode_response(&resp, true), streamed);
     }
 
     #[test]

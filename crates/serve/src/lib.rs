@@ -22,12 +22,18 @@
 //! - `GET /healthz`, `GET /metrics` — liveness and Prometheus metrics
 //! - `POST /v1/shutdown` — graceful drain-and-exit
 //!
-//! Built on `std::net::TcpListener` plus a bounded worker threadpool;
-//! requests beyond the queue capacity are shed with `503` instead of
-//! buffering unboundedly. No external HTTP or JSON dependencies.
+//! Built as an event-driven data plane (see [`event_loop`] and
+//! `docs/SERVING.md`): one nonblocking epoll loop owns every socket —
+//! HTTP/1.1 keep-alive and pipelining, bounded buffers, per-request
+//! `503` shedding — while a bounded worker pool runs the handlers and a
+//! micro-batcher ([`batcher`]) coalesces concurrent flat-model
+//! evaluations into single batched calls. No external HTTP or JSON
+//! dependencies.
 
+pub mod batcher;
 pub mod cache;
 pub mod client;
+pub mod event_loop;
 pub mod fault;
 pub mod http;
 pub mod json;
@@ -37,24 +43,23 @@ pub mod quality;
 pub mod registry;
 pub mod routes;
 
+pub use batcher::{Batcher, BatcherConfig, FlushReason};
 pub use cache::{AdviseCache, AdviseKey};
 pub use client::{Client, ClientError, RetryPolicy};
+pub use event_loop::{EventLoopConfig, DEFAULT_MAX_CONNS};
 pub use fault::{ChaosProfile, FaultKind, FaultPlane, FaultPlaneBuilder};
 pub use metrics::Metrics;
 pub use quality::{ObserveError, ObserveOutcome, QualityHub};
 pub use registry::{ModelInfo, ModelRegistry, ResolvedModel};
 pub use routes::{parse_deadline_ms, Deadline, Router};
 
-use fault::TruncatingReader;
-use http::{read_request, write_response, HttpError, Response};
 use pool::ThreadPool;
-use std::io::{BufReader, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-/// Per-connection socket read timeout: an idle keep-alive client is
-/// disconnected after this long so it cannot pin a worker forever.
+/// Idle keep-alive connections are closed after this long, so a silent
+/// client cannot pin per-connection state forever.
 const READ_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// A bound-but-not-yet-running server.
@@ -63,6 +68,8 @@ pub struct Server {
     router: Router,
     workers: usize,
     queue_cap: usize,
+    max_conns: usize,
+    batch_config: BatcherConfig,
     faults: Option<Arc<FaultPlane>>,
 }
 
@@ -77,15 +84,34 @@ impl Server {
             router,
             workers: workers.max(1),
             queue_cap: workers.max(1) * 4,
+            max_conns: DEFAULT_MAX_CONNS,
+            batch_config: BatcherConfig::default(),
             faults: None,
         })
     }
 
-    /// Override the worker-pool connection queue capacity (`chemcost
-    /// serve --queue-cap`). Connections beyond `workers` in-flight plus
-    /// `cap` queued are shed with `503`. Clamped to at least 1.
+    /// Override the worker-pool compute queue capacity (`chemcost serve
+    /// --queue-cap`). Requests beyond `workers` in-flight plus `cap`
+    /// queued are answered `503` (the connection itself stays open).
+    /// Clamped to at least 1.
     pub fn with_queue_cap(mut self, cap: usize) -> Server {
         self.queue_cap = cap.max(1);
+        self
+    }
+
+    /// Override the open-connection budget (`chemcost serve
+    /// --max-conns`). Accepts beyond it are shed with `503` + close.
+    /// Clamped to at least 1.
+    pub fn with_max_conns(mut self, max: usize) -> Server {
+        self.max_conns = max.max(1);
+        self
+    }
+
+    /// Override the micro-batcher tuning (`chemcost serve
+    /// --batch-window-us` / `--batch-max`).
+    pub fn with_batch_config(mut self, config: BatcherConfig) -> Server {
+        self.batch_config =
+            BatcherConfig { window: config.window, max_rows: config.max_rows.max(1) };
         self
     }
 
@@ -101,9 +127,14 @@ impl Server {
         self
     }
 
-    /// The effective connection queue capacity.
+    /// The effective compute queue capacity.
     pub fn queue_cap(&self) -> usize {
         self.queue_cap
+    }
+
+    /// The effective open-connection budget.
+    pub fn max_conns(&self) -> usize {
+        self.max_conns
     }
 
     /// The address actually bound (resolves an ephemeral port).
@@ -111,72 +142,35 @@ impl Server {
         self.listener.local_addr()
     }
 
-    /// Accept and serve connections until `POST /v1/shutdown` arrives,
-    /// then drain in-flight work and return.
+    /// Run the event loop until `POST /v1/shutdown` arrives, then drain
+    /// in-flight work (forcing `Connection: close` on every persistent
+    /// connection) and return.
     pub fn run(self) -> std::io::Result<()> {
         let local_addr = self.listener.local_addr()?;
         let pool = ThreadPool::new(self.workers, self.queue_cap);
         let metrics = Arc::clone(self.router.metrics());
+        // The batcher outlives the event loop: workers blocked inside
+        // `Batcher::predict` must get their answers before `pool.join()`
+        // below can return.
+        let batcher = Batcher::start(self.batch_config, Arc::clone(&metrics));
+        self.router.install_batcher(Arc::clone(&batcher));
         chemcost_obs::event!(
             chemcost_obs::Level::Info,
             "serve.start",
             addr = local_addr.to_string(),
             workers = self.workers,
             queue_cap = self.queue_cap,
+            max_conns = self.max_conns,
+            batch_window_us = self.batch_config.window.as_micros() as u64,
+            batch_max = self.batch_config.max_rows,
         );
-        for stream in self.listener.incoming() {
-            if self.router.shutdown_requested() {
-                break;
-            }
-            let mut stream = match stream {
-                Ok(s) => s,
-                Err(_) => continue, // transient accept failure
-            };
-            // Chaos: saturate pretends the queue is already full, forcing
-            // the same structured-503 shed path real overload takes.
-            if let Some(plane) = &self.faults {
-                if plane.roll(fault::FaultKind::Saturate) {
-                    metrics.record_shed();
-                    let resp = Response::json(503, r#"{"error":"server overloaded"}"#.into());
-                    let _ = write_response(&mut stream, &resp, false);
-                    continue;
-                }
-            }
-            // Keep a dup of the socket so an overloaded pool can still
-            // answer 503 after the closure (owning the original) is dropped.
-            let spare = stream.try_clone();
-            let router = self.router.clone();
-            let job_metrics = Arc::clone(&metrics);
-            let job_faults = self.faults.clone();
-            let enqueued = Instant::now();
-            metrics.pool_enqueued();
-            let job: pool::Job = Box::new(move || {
-                job_metrics.pool_dequeued();
-                handle_connection(stream, &router, local_addr, job_faults.as_deref(), enqueued)
-            });
-            if let Err(job) = pool.execute(job) {
-                drop(job);
-                // The connection never made it into the queue: undo the
-                // depth bump and account the shed 503.
-                metrics.pool_dequeued();
-                metrics.record_shed();
-                chemcost_obs::event!(
-                    chemcost_obs::Level::Warn,
-                    "http.shed",
-                    queue_cap = self.queue_cap,
-                    shed_total = metrics.shed_total(),
-                );
-                if let Ok(mut spare) = spare {
-                    let resp = Response::json(503, r#"{"error":"server overloaded"}"#.into());
-                    let _ = write_response(&mut spare, &resp, false);
-                }
-            }
-        }
-        // Dropping the pool drains queued connections and joins workers,
-        // so every accepted request gets its response before we return.
+        let config = EventLoopConfig { max_conns: self.max_conns, idle_timeout: READ_TIMEOUT };
+        let result =
+            event_loop::run(self.listener, self.router.clone(), &pool, self.faults.clone(), config);
+        // Drain order matters: join the workers (they stop submitting),
+        // then stop the batcher's collector, then the background trainer.
         pool.join();
-        // With no request left to enqueue retrains, stop the background
-        // trainer: cancels queued jobs and joins the worker thread.
+        batcher.shutdown();
         self.router.lifecycle().shutdown();
         chemcost_obs::event!(
             chemcost_obs::Level::Info,
@@ -187,92 +181,6 @@ impl Server {
         // buffered sinks are still holding (including the stop marker
         // above) to durable storage before the process exits.
         chemcost_obs::flush();
-        Ok(())
-    }
-}
-
-/// Serve one connection: a keep-alive loop of read → route → respond.
-///
-/// `enqueued` is when the accept loop queued the connection — the first
-/// request's deadline anchor, so pool-queue wait counts against its
-/// budget. `faults` is the chaos plane (`None` in production: one branch,
-/// no injection logic on the hot path).
-fn handle_connection(
-    stream: TcpStream,
-    router: &Router,
-    local_addr: SocketAddr,
-    faults: Option<&FaultPlane>,
-    enqueued: Instant,
-) {
-    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
-    let _ = stream.set_nodelay(true);
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    // Chaos: truncate-body makes the rest of this connection's request
-    // stream end early, as if the client died mid-upload.
-    let read_half: Box<dyn Read> = match faults {
-        Some(plane) if plane.roll(fault::FaultKind::TruncateBody) => {
-            Box::new(TruncatingReader::new(read_half, plane.truncate_after()))
-        }
-        _ => Box::new(read_half),
-    };
-    let mut reader = BufReader::new(read_half);
-    let mut writer = stream;
-    let mut first_request = true;
-    loop {
-        // Chaos: slow-io stalls before the read, like a seizing disk or
-        // a slow-loris client.
-        if let Some(plane) = faults {
-            if plane.roll(fault::FaultKind::SlowIo) {
-                std::thread::sleep(plane.slow_io_delay());
-            }
-        }
-        match read_request(&mut reader) {
-            Ok(None) => break,
-            Ok(Some(req)) => {
-                // The first request rode the accept queue, so its budget
-                // anchors at enqueue time; later keep-alive requests
-                // anchor at when their bytes finished arriving.
-                let arrived = if first_request { enqueued } else { Instant::now() };
-                first_request = false;
-                let keep_alive = req.keep_alive();
-                let resp = router.handle_from(&req, arrived);
-                // Chaos: drop-conn abandons the response mid-write —
-                // the client sees a torn connection, never a torn body
-                // that parses.
-                if let Some(plane) = faults {
-                    if plane.roll(fault::FaultKind::DropConn) {
-                        let _ = writer.write_all(b"HTTP/1.1 ");
-                        let _ = writer.flush();
-                        break;
-                    }
-                }
-                if write_response(&mut writer, &resp, keep_alive).is_err() {
-                    break;
-                }
-                if router.shutdown_requested() {
-                    // The accept loop is blocked in accept(); poke it so
-                    // it observes the flag and stops.
-                    let _ = TcpStream::connect(local_addr);
-                    break;
-                }
-                if !keep_alive {
-                    break;
-                }
-            }
-            Err(HttpError::Io(_)) => break, // timeout or reset
-            Err(HttpError::Malformed(msg)) => {
-                let resp = Response::json(400, json::Json::obj([("error", msg.into())]).encode());
-                let _ = write_response(&mut writer, &resp, false);
-                break;
-            }
-            Err(HttpError::Unsupported(status, msg)) => {
-                let resp =
-                    Response::json(status, json::Json::obj([("error", msg.into())]).encode());
-                let _ = write_response(&mut writer, &resp, false);
-                break;
-            }
-        }
+        result
     }
 }

@@ -18,6 +18,7 @@
 //! asserts this through [`REQUIRED_SERIES`] +
 //! [`lint_exposition_with_required`].
 
+use crate::batcher::FlushReason;
 use crate::fault::FaultKind;
 use chemcost_lifecycle::{LifecycleObserver, LifecycleState, PromotionOutcome, TRANSITIONS};
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
@@ -213,6 +214,10 @@ pub const REQUIRED_SERIES: &[&str] = &[
     "chemcost_lifecycle_queue_depth",
     "chemcost_lifecycle_fit_duration_seconds",
     "chemcost_lifecycle_promotions_total",
+    "chemcost_connections_open",
+    "chemcost_batch_size",
+    "chemcost_batch_flush_total",
+    "chemcost_keepalive_reuses_total",
 ];
 
 /// Version baked into `chemcost_build_info`.
@@ -286,6 +291,41 @@ impl Histogram {
                 self.count.load(Ordering::Relaxed)
             ));
         }
+    }
+}
+
+/// Bucket upper bounds for `chemcost_batch_size` — coalesced rows per
+/// flat-model call. Powers of two up to the default `--batch-max`.
+const SIZE_BUCKETS: [u64; 10] = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512];
+
+/// A histogram over discrete sizes (row counts), same Prometheus shape
+/// as [`Histogram`] but with integer bucket bounds and a plain sum.
+#[derive(Default)]
+struct SizeHistogram {
+    buckets: [AtomicU64; 11],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl SizeHistogram {
+    fn observe(&self, n: usize) {
+        let n = n as u64;
+        let bucket = SIZE_BUCKETS.iter().position(|&b| n <= b).unwrap_or(SIZE_BUCKETS.len());
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(n, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn render(&self, out: &mut String, name: &str) {
+        let mut cumulative = 0u64;
+        for (i, le) in SIZE_BUCKETS.iter().enumerate() {
+            cumulative += self.buckets[i].load(Ordering::Relaxed);
+            out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+        }
+        cumulative += self.buckets[SIZE_BUCKETS.len()].load(Ordering::Relaxed);
+        out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cumulative}\n"));
+        out.push_str(&format!("{name}_sum {}\n", self.sum.load(Ordering::Relaxed)));
+        out.push_str(&format!("{name}_count {}\n", self.count.load(Ordering::Relaxed)));
     }
 }
 
@@ -417,6 +457,14 @@ pub struct Metrics {
     lifecycle_fit_duration: Histogram,
     /// Promotion decisions, indexed by [`PromotionOutcome::ALL`] position.
     lifecycle_promotions: [AtomicU64; 4],
+    /// Open client connections in the event loop (gauge).
+    connections_open: AtomicI64,
+    /// Requests served on a reused (non-first) keep-alive exchange.
+    keepalive_reuses: AtomicU64,
+    /// Batcher flushes, indexed by [`FlushReason`].
+    batch_flushes: [AtomicU64; 4],
+    /// Coalesced rows per flat-model batch call.
+    batch_size: SizeHistogram,
     /// Monotonic clock anchor for the two timestamps below.
     start: Instant,
     /// Micros-since-`start` + 1 of the moment the serving model went
@@ -450,6 +498,10 @@ impl Default for Metrics {
             lifecycle_queue_depth: AtomicI64::new(0),
             lifecycle_fit_duration: Histogram::default(),
             lifecycle_promotions: Default::default(),
+            connections_open: AtomicI64::new(0),
+            keepalive_reuses: AtomicU64::new(0),
+            batch_flushes: Default::default(),
+            batch_size: SizeHistogram::default(),
             start: Instant::now(),
             stale_since: AtomicU64::new(0),
             last_shed: AtomicU64::new(0),
@@ -747,6 +799,54 @@ impl Metrics {
         self.routes[route.index()].errors.load(Ordering::Relaxed)
     }
 
+    /// A client connection was accepted by the event loop.
+    pub fn inc_connections_open(&self) {
+        self.connections_open.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A client connection was closed (either side).
+    pub fn dec_connections_open(&self) {
+        self.connections_open.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Client connections open right now (clamped at 0).
+    pub fn connections_open(&self) -> u64 {
+        self.connections_open.load(Ordering::Relaxed).max(0) as u64
+    }
+
+    /// Record a request served on a reused keep-alive exchange (any
+    /// request after the first on one connection).
+    pub fn record_keepalive_reuse(&self) {
+        self.keepalive_reuses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Keep-alive reuses so far.
+    pub fn keepalive_reuses(&self) -> u64 {
+        self.keepalive_reuses.load(Ordering::Relaxed)
+    }
+
+    /// Record one batcher flush: why it closed and how many rows the
+    /// resulting flat-model call carried.
+    pub fn record_batch_flush(&self, reason: FlushReason, rows: usize) {
+        self.batch_flushes[reason.index()].fetch_add(1, Ordering::Relaxed);
+        self.batch_size.observe(rows);
+    }
+
+    /// Flushes recorded for one reason.
+    pub fn batch_flushes(&self, reason: FlushReason) -> u64 {
+        self.batch_flushes[reason.index()].load(Ordering::Relaxed)
+    }
+
+    /// Batched flat-model calls recorded so far (all reasons).
+    pub fn batch_calls(&self) -> u64 {
+        self.batch_size.count.load(Ordering::Relaxed)
+    }
+
+    /// Total rows scored through the batcher so far.
+    pub fn batch_rows(&self) -> u64 {
+        self.batch_size.sum.load(Ordering::Relaxed)
+    }
+
     /// Record an advise-cache hit.
     pub fn record_cache_hit(&self) {
         self.cache_hits.fetch_add(1, Ordering::Relaxed);
@@ -1027,6 +1127,32 @@ impl Metrics {
                 self.lifecycle_promotions(outcome)
             ));
         }
+        out.push_str(
+            "# HELP chemcost_connections_open Client connections currently open in the event loop.\n",
+        );
+        out.push_str("# TYPE chemcost_connections_open gauge\n");
+        out.push_str(&format!("chemcost_connections_open {}\n", self.connections_open()));
+        out.push_str(
+            "# HELP chemcost_batch_size Coalesced rows per flat-model batch call made by the micro-batcher.\n",
+        );
+        out.push_str("# TYPE chemcost_batch_size histogram\n");
+        self.batch_size.render(&mut out, "chemcost_batch_size");
+        out.push_str(
+            "# HELP chemcost_batch_flush_total Micro-batcher flushes, by trigger (full budget, window expiry, drain, shutdown).\n",
+        );
+        out.push_str("# TYPE chemcost_batch_flush_total counter\n");
+        for reason in FlushReason::ALL {
+            out.push_str(&format!(
+                "chemcost_batch_flush_total{{reason=\"{}\"}} {}\n",
+                reason.label(),
+                self.batch_flushes(reason)
+            ));
+        }
+        out.push_str(
+            "# HELP chemcost_keepalive_reuses_total Requests served on a reused keep-alive exchange (any request after a connection's first).\n",
+        );
+        out.push_str("# TYPE chemcost_keepalive_reuses_total counter\n");
+        out.push_str(&format!("chemcost_keepalive_reuses_total {}\n", self.keepalive_reuses()));
         out
     }
 }
@@ -1793,6 +1919,73 @@ mod tests {
         m.record_stale_served();
         assert_eq!(m.stale_served(), 1);
         assert!(m.render().contains("chemcost_advise_stale_served_total 1"));
+    }
+
+    /// Satellite: the serving-data-plane families render with labels and
+    /// correct accounting.
+    #[test]
+    fn serving_series_render_and_count() {
+        let m = Metrics::new();
+        m.inc_connections_open();
+        m.inc_connections_open();
+        m.dec_connections_open();
+        assert_eq!(m.connections_open(), 1);
+        m.record_keepalive_reuse();
+        m.record_keepalive_reuse();
+        m.record_keepalive_reuse();
+        assert_eq!(m.keepalive_reuses(), 3);
+        m.record_batch_flush(FlushReason::Drain, 2);
+        m.record_batch_flush(FlushReason::Window, 7);
+        m.record_batch_flush(FlushReason::Window, 600);
+        assert_eq!(m.batch_flushes(FlushReason::Drain), 1);
+        assert_eq!(m.batch_flushes(FlushReason::Window), 2);
+        assert_eq!(m.batch_flushes(FlushReason::Full), 0);
+        assert_eq!(m.batch_calls(), 3);
+        assert_eq!(m.batch_rows(), 609);
+        let text = m.render();
+        assert!(text.contains("chemcost_connections_open 1"), "{text}");
+        assert!(text.contains("chemcost_keepalive_reuses_total 3"), "{text}");
+        assert!(text.contains("chemcost_batch_flush_total{reason=\"drain\"} 1"), "{text}");
+        assert!(text.contains("chemcost_batch_flush_total{reason=\"window\"} 2"), "{text}");
+        assert!(text.contains("chemcost_batch_flush_total{reason=\"shutdown\"} 0"), "{text}");
+        assert!(text.contains("chemcost_batch_size_bucket{le=\"2\"} 1"), "{text}");
+        assert!(text.contains("chemcost_batch_size_bucket{le=\"8\"} 2"), "{text}");
+        assert!(text.contains("chemcost_batch_size_bucket{le=\"+Inf\"} 3"), "{text}");
+        assert!(text.contains("chemcost_batch_size_sum 609"), "{text}");
+        assert!(text.contains("chemcost_batch_size_count 3"), "{text}");
+        lint_exposition(&text).expect("serving exposition must lint clean");
+    }
+
+    /// Negative (satellite): stripping any serving-data-plane family's
+    /// sample lines must trip the required-series linter — the event
+    /// loop and batcher series are pre-registered like every other.
+    #[test]
+    fn required_linter_flags_missing_serving_series() {
+        let m = Metrics::new();
+        m.set_model_quality("gb", 1, "aurora", QualityStats::default());
+        m.set_lifecycle_state("gb", "aurora", LifecycleState::Idle);
+        let full = m.render();
+        lint_exposition_with_required(&full, REQUIRED_SERIES).expect("full exposition is complete");
+        for family in [
+            "chemcost_connections_open",
+            "chemcost_batch_size",
+            "chemcost_batch_flush_total",
+            "chemcost_keepalive_reuses_total",
+        ] {
+            let stripped: String = full
+                .lines()
+                .filter(|l| {
+                    l.starts_with('#')
+                        || !l.split(['{', ' ']).next().unwrap_or("").starts_with(family)
+                })
+                .map(|l| format!("{l}\n"))
+                .collect();
+            let errs = lint_exposition_with_required(&stripped, REQUIRED_SERIES).unwrap_err();
+            assert!(
+                errs.iter().any(|e| e.contains(family) && e.contains("no sample line")),
+                "{family} should be flagged: {errs:?}"
+            );
+        }
     }
 
     /// Satellite: N writer threads hammer every counter family while the

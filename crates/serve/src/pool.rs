@@ -15,6 +15,7 @@ pub type Job = Box<dyn FnOnce() + Send + 'static>;
 pub struct ThreadPool {
     sender: Option<Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
+    queue_cap: usize,
 }
 
 impl ThreadPool {
@@ -38,12 +39,17 @@ impl ThreadPool {
                     .expect("spawn worker thread")
             })
             .collect();
-        ThreadPool { sender: Some(sender), workers: handles }
+        ThreadPool { sender: Some(sender), workers: handles, queue_cap }
     }
 
     /// Number of worker threads.
     pub fn workers(&self) -> usize {
         self.workers.len()
+    }
+
+    /// Capacity of the bounded job queue.
+    pub fn queue_cap(&self) -> usize {
+        self.queue_cap
     }
 
     /// Queue a job without blocking. On a full or closed queue the job is

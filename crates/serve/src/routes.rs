@@ -12,6 +12,7 @@
 //! fully-answered advise responses are replayed from a keyed LRU
 //! [`AdviseCache`] until the model is reloaded.
 
+use crate::batcher::{Batcher, RouteGuard};
 use crate::cache::{AdviseCache, AdviseKey, CachedRec};
 use crate::http::{Request, Response};
 use crate::json::Json;
@@ -126,6 +127,11 @@ pub struct Router {
     shutdown: Arc<AtomicBool>,
     /// Budget applied to requests that don't send `X-Deadline-Ms`.
     default_deadline_ms: Option<u64>,
+    /// Micro-batcher coalescing concurrent flat-model evaluations.
+    /// Installed once by `Server::run`; empty in tests and benches that
+    /// drive the router in-process, which then score directly — the
+    /// handler stays a pure function either way.
+    batcher: Arc<OnceLock<Arc<Batcher>>>,
 }
 
 impl Router {
@@ -168,7 +174,27 @@ impl Router {
             lifecycle,
             shutdown: Arc::new(AtomicBool::new(false)),
             default_deadline_ms: None,
+            batcher: Arc::new(OnceLock::new()),
         }
+    }
+
+    /// Install the micro-batcher all clones of this router will score
+    /// `/v1/predict` and `/v1/advise` through. One-shot: later calls on
+    /// the same router (or any clone) are ignored.
+    pub fn install_batcher(&self, batcher: Arc<Batcher>) {
+        let _ = self.batcher.set(batcher);
+    }
+
+    /// The installed micro-batcher, if any.
+    pub fn batcher(&self) -> Option<&Arc<Batcher>> {
+        self.batcher.get()
+    }
+
+    /// Mark the calling thread as inside a predict-capable route while
+    /// the guard lives, so the batcher knows whether more submissions
+    /// can still arrive. `None` (no batcher installed) costs nothing.
+    fn enter_batched_route(&self) -> Option<RouteGuard> {
+        self.batcher.get().map(Batcher::enter_route)
     }
 
     /// Apply `ms` as the deadline for requests without `X-Deadline-Ms`
@@ -421,6 +447,9 @@ impl Router {
     }
 
     fn predict(&self, body: &[u8]) -> Response {
+        // Declare interest to the batcher before parsing: a concurrent
+        // sibling mid-parse still counts as a pending submission.
+        let _batch_interest = self.enter_batched_route();
         let body = match parse_body(body) {
             Ok(v) => v,
             Err(resp) => return resp,
@@ -457,8 +486,13 @@ impl Router {
         self.lifecycle.shadow_predict(&resolved.name, &resolved.machine, &features[0]);
         let x = Matrix::from_fn(features.len(), 4, |i, j| features[i][j]);
         // Flat inference is bit-for-bit identical to resolved.model's
-        // recursive path, just faster.
-        let seconds = resolved.flat.predict_batch(&x);
+        // recursive path, just faster. Under the event-loop server the
+        // call rides the micro-batcher, coalescing with concurrent
+        // requests; the result is identical either way.
+        let seconds = match self.batcher.get() {
+            Some(batcher) => batcher.predict(&resolved.flat, x),
+            None => resolved.flat.predict_batch(&x),
+        };
         let predictions: Vec<Json> = seconds
             .iter()
             .zip(&features)
@@ -505,6 +539,9 @@ impl Router {
     // "budget"/"deadline" fields are the user's node-hour and
     // job-walltime questions. Distinct concepts.
     fn advise(&self, body: &[u8], wall_budget: Option<Deadline>) -> Response {
+        // Declare interest to the batcher before parsing: a concurrent
+        // sibling mid-parse still counts as a pending submission.
+        let _batch_interest = self.enter_batched_route();
         let body = match parse_body(body) {
             Ok(v) => v,
             Err(resp) => return resp,
@@ -637,7 +674,15 @@ impl Router {
                 model_version = resolved.version,
             );
             let advisor = Advisor::new(resolved.flat.as_ref(), machine);
-            advisor.sweep(o, v)
+            match self.batcher.get() {
+                // The sweep's one batched evaluation rides the
+                // micro-batcher like any other, so concurrent advise
+                // and predict requests coalesce into shared calls.
+                Some(batcher) => {
+                    advisor.sweep_with(o, v, |x| batcher.predict(&resolved.flat, x.clone()))
+                }
+                None => advisor.sweep(o, v),
+            }
         };
         self.metrics.record_advise_stage(AdviseStage::Sweep, sweep_started.elapsed());
 

@@ -1,0 +1,445 @@
+//! Wire-level HTTP/1.1 tests against the event-driven data plane: raw
+//! `TcpStream` clients exercising the real incremental parser through a
+//! real `Server` — pipelining, arbitrary packet splits mid-header and
+//! mid-body, oversized headers, keep-alive reuse after a 4xx, graceful
+//! drain under keep-alive, and the concurrent keep-alive soak the old
+//! thread-per-connection core could not survive.
+
+use chemcost_linalg::Matrix;
+use chemcost_ml::gradient_boosting::GradientBoosting;
+use chemcost_ml::Regressor;
+use chemcost_serve::{ModelRegistry, Router, Server};
+use chemcost_sim::datagen::generate_dataset_sized;
+use chemcost_sim::machine::by_name;
+use proptest::prelude::*;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Barrier, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Train a small-but-real GB model on simulated aurora data.
+fn tiny_model() -> GradientBoosting {
+    let machine = by_name("aurora").unwrap();
+    let samples = generate_dataset_sized(&machine, 80, 23);
+    let x = Matrix::from_fn(samples.len(), 4, |i, j| match j {
+        0 => samples[i].o as f64,
+        1 => samples[i].v as f64,
+        2 => samples[i].nodes as f64,
+        _ => samples[i].tile as f64,
+    });
+    let y: Vec<f64> = samples.iter().map(|s| s.seconds).collect();
+    let mut gb = GradientBoosting::new(15, 3, 0.2);
+    gb.seed = 7;
+    gb.fit(&x, &y).unwrap();
+    gb
+}
+
+fn new_server(workers: usize) -> Server {
+    let registry = Arc::new(ModelRegistry::new());
+    registry.insert("gb-aurora", "aurora", tiny_model());
+    registry.set_default("aurora", "gb-aurora").unwrap();
+    Server::bind("127.0.0.1:0", Router::new(registry), workers).expect("bind ephemeral")
+}
+
+/// One long-lived server shared by every test that never shuts it down;
+/// the thread leaks deliberately (the process exit reaps it).
+fn shared_addr() -> SocketAddr {
+    static ADDR: OnceLock<SocketAddr> = OnceLock::new();
+    *ADDR.get_or_init(|| {
+        let server = new_server(2);
+        let addr = server.local_addr().unwrap();
+        std::thread::spawn(move || server.run());
+        addr
+    })
+}
+
+const PREDICT_BODY: &str = r#"{"rows": [{"o": 100, "v": 800, "nodes": 32, "tile": 24}]}"#;
+
+fn http(method: &str, path: &str, body: &str, close: bool) -> Vec<u8> {
+    format!(
+        "{method} {path} HTTP/1.1\r\nHost: wire\r\nContent-Length: {}{}\r\n\r\n{body}",
+        body.len(),
+        if close { "\r\nConnection: close" } else { "" },
+    )
+    .into_bytes()
+}
+
+struct Resp {
+    status: u16,
+    connection: String,
+    body: String,
+}
+
+/// Read exactly one response off `stream`, carrying pipelined leftovers
+/// between calls in `carry`. Panics on malformed framing — every server
+/// response carries a Content-Length.
+fn read_response(stream: &mut TcpStream, carry: &mut Vec<u8>) -> Resp {
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = carry.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos + 4;
+        }
+        let n = stream.read(&mut chunk).expect("read response head");
+        assert!(n > 0, "EOF before response head; got {:?}", String::from_utf8_lossy(carry));
+        carry.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8(carry[..head_end].to_vec()).expect("UTF-8 head");
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line: {head:?}"));
+    let mut connection = String::new();
+    let mut content_length = 0usize;
+    for line in head.lines().skip(1) {
+        if let Some((name, value)) = line.split_once(':') {
+            match name.trim().to_ascii_lowercase().as_str() {
+                "connection" => connection = value.trim().to_string(),
+                "content-length" => content_length = value.trim().parse().expect("length"),
+                _ => {}
+            }
+        }
+    }
+    while carry.len() < head_end + content_length {
+        let n = stream.read(&mut chunk).expect("read response body");
+        assert!(n > 0, "EOF mid-body");
+        carry.extend_from_slice(&chunk[..n]);
+    }
+    let body = String::from_utf8_lossy(&carry[head_end..head_end + content_length]).into_owned();
+    carry.drain(..head_end + content_length);
+    Resp { status, connection, body }
+}
+
+fn connect(addr: SocketAddr) -> TcpStream {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    stream.set_nodelay(true).ok();
+    stream
+}
+
+// -- pipelining ---------------------------------------------------------
+
+#[test]
+fn pipelined_requests_are_answered_in_order() {
+    let mut stream = connect(shared_addr());
+    // Three requests in a single write: the responses must come back in
+    // request order even though the handlers run on different workers.
+    let mut burst = http("GET", "/healthz", "", false);
+    burst.extend(http("POST", "/v1/predict", PREDICT_BODY, false));
+    burst.extend(http("GET", "/v1/models", "", false));
+    stream.write_all(&burst).unwrap();
+
+    let mut carry = Vec::new();
+    let first = read_response(&mut stream, &mut carry);
+    let second = read_response(&mut stream, &mut carry);
+    let third = read_response(&mut stream, &mut carry);
+    assert_eq!(first.status, 200, "{}", first.body);
+    assert!(first.body.contains("\"ok\""), "healthz first: {}", first.body);
+    assert_eq!(second.status, 200, "{}", second.body);
+    assert!(second.body.contains("predictions"), "predict second: {}", second.body);
+    assert_eq!(third.status, 200, "{}", third.body);
+    assert!(third.body.contains("models"), "models third: {}", third.body);
+    for resp in [&first, &second, &third] {
+        assert_eq!(resp.connection, "keep-alive");
+    }
+}
+
+#[test]
+fn request_split_mid_header_and_mid_body_still_parses() {
+    let mut stream = connect(shared_addr());
+    let raw = http("POST", "/v1/predict", PREDICT_BODY, true);
+    // Cut inside the request line, inside a header, at the head/body
+    // boundary, and inside the JSON body.
+    let head_len = raw.windows(4).position(|w| w == b"\r\n\r\n").unwrap() + 4;
+    let cuts = [4, 20, head_len, head_len + PREDICT_BODY.len() / 2, raw.len()];
+    let mut start = 0;
+    for cut in cuts {
+        stream.write_all(&raw[start..cut]).unwrap();
+        stream.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(2));
+        start = cut;
+    }
+    let resp = read_response(&mut stream, &mut Vec::new());
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert!(resp.body.contains("predictions"), "{}", resp.body);
+}
+
+// -- parser limits and malformed input ----------------------------------
+
+#[test]
+fn oversized_header_line_is_rejected_with_431_and_close() {
+    let mut stream = connect(shared_addr());
+    // A single 9 KiB header line crosses MAX_LINE (8 KiB) mid-stream;
+    // the parser must reject it without waiting for the line to end.
+    let raw = format!("GET /healthz HTTP/1.1\r\nX-Padding: {}\r\n\r\n", "a".repeat(9 * 1024));
+    stream.write_all(raw.as_bytes()).unwrap();
+    let resp = read_response(&mut stream, &mut Vec::new());
+    assert_eq!(resp.status, 431, "{}", resp.body);
+    assert_eq!(resp.connection, "close");
+    // And the server hangs up: the next read is a clean EOF.
+    let mut rest = Vec::new();
+    assert_eq!(stream.read_to_end(&mut rest).unwrap(), 0);
+}
+
+#[test]
+fn keep_alive_survives_a_4xx_response() {
+    let mut stream = connect(shared_addr());
+    let mut carry = Vec::new();
+    // Malformed JSON is the application's problem, not the connection's:
+    // the 400 must keep the connection open for the next request.
+    stream.write_all(&http("POST", "/v1/advise", "{not json", false)).unwrap();
+    let bad = read_response(&mut stream, &mut carry);
+    assert_eq!(bad.status, 400, "{}", bad.body);
+    assert_eq!(bad.connection, "keep-alive");
+
+    stream.write_all(&http("GET", "/healthz", "", true)).unwrap();
+    let ok = read_response(&mut stream, &mut carry);
+    assert_eq!(ok.status, 200, "{}", ok.body);
+    assert_eq!(ok.connection, "close");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// However the client fragments its writes — any number of splits at
+    /// any byte offsets, including mid-header and mid-body — a pipelined
+    /// two-request burst parses into exactly two 200s.
+    #[test]
+    fn any_write_fragmentation_yields_the_same_responses(
+        splits in collection::vec(1usize..220, 0..6),
+    ) {
+        let mut raw = http("POST", "/v1/predict", PREDICT_BODY, false);
+        raw.extend(http("GET", "/healthz", "", true));
+        let mut cuts: Vec<usize> = splits.iter().map(|s| s % raw.len()).collect();
+        cuts.push(raw.len());
+        cuts.sort_unstable();
+        cuts.dedup();
+
+        let mut stream = connect(shared_addr());
+        let mut start = 0;
+        for cut in cuts {
+            if cut == 0 {
+                continue;
+            }
+            stream.write_all(&raw[start..cut]).unwrap();
+            stream.flush().unwrap();
+            std::thread::sleep(Duration::from_millis(1));
+            start = cut;
+        }
+        let mut carry = Vec::new();
+        let predict = read_response(&mut stream, &mut carry);
+        let health = read_response(&mut stream, &mut carry);
+        prop_assert_eq!(predict.status, 200);
+        prop_assert!(predict.body.contains("predictions"), "{}", predict.body);
+        prop_assert_eq!(health.status, 200);
+        prop_assert_eq!(health.connection, "close");
+    }
+
+    /// Garbage in place of a request line gets a clean 400 and a close,
+    /// never a hang or a crash.
+    #[test]
+    fn garbage_request_lines_get_a_400_and_a_close(seed in 0u64..u64::MAX, len in 1usize..12) {
+        // A single whitespace-free token: the parser rejects it for the
+        // missing request target, deterministically a 400.
+        let noise: String =
+            (0..len).map(|i| (b'a' + ((seed >> (i * 5)) % 26) as u8) as char).collect();
+        let mut stream = connect(shared_addr());
+        stream.write_all(format!("{noise}\r\n\r\n").as_bytes()).unwrap();
+        let resp = read_response(&mut stream, &mut Vec::new());
+        prop_assert_eq!(resp.status, 400);
+        prop_assert_eq!(resp.connection.as_str(), "close");
+        let mut rest = Vec::new();
+        prop_assert_eq!(stream.read_to_end(&mut rest).unwrap(), 0);
+    }
+}
+
+// -- graceful drain under keep-alive ------------------------------------
+
+#[test]
+fn shutdown_under_keepalive_forces_close_and_stops_accepting() {
+    let server = new_server(2);
+    let addr = server.local_addr().unwrap();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    // A persistent connection, established and idle when drain begins.
+    let mut idle = connect(addr);
+    let mut idle_carry = Vec::new();
+    idle.write_all(&http("GET", "/healthz", "", false)).unwrap();
+    let warm = read_response(&mut idle, &mut idle_carry);
+    assert_eq!(warm.status, 200);
+    assert_eq!(warm.connection, "keep-alive");
+
+    // The shutdown request itself rides a keep-alive connection — the
+    // drain must override the client's wish and answer with a close.
+    let mut trigger = connect(addr);
+    trigger.write_all(&http("POST", "/v1/shutdown", "", false)).unwrap();
+    let bye = read_response(&mut trigger, &mut Vec::new());
+    assert_eq!(bye.status, 200, "{}", bye.body);
+    assert_eq!(bye.connection, "close", "drain must force Connection: close");
+    let mut rest = Vec::new();
+    assert_eq!(trigger.read_to_end(&mut rest).unwrap(), 0, "server must hang up after drain");
+
+    // The idle persistent connection is closed too, not left dangling.
+    assert_eq!(idle.read(&mut [0u8; 64]).unwrap_or(0), 0, "idle keep-alive conn must be closed");
+
+    // And the listener is gone: new connects are refused (allow a short
+    // grace for the kernel backlog to empty).
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        match TcpStream::connect(addr) {
+            Err(_) => break,
+            Ok(mut s) => {
+                // A backlog leftover: completed by the kernel before the
+                // listener closed; the server never accepts it, so any
+                // read ends in EOF or a reset. Either way, retry.
+                s.set_read_timeout(Some(Duration::from_millis(200))).ok();
+                let _ = s.read(&mut [0u8; 16]);
+            }
+        }
+        assert!(Instant::now() < deadline, "listener still accepting after drain");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    server_thread.join().unwrap().expect("server run() returns Ok after drain");
+}
+
+// -- concurrent keep-alive soak -----------------------------------------
+
+/// The acceptance soak: the seed thread-per-connection core pinned one
+/// worker for a connection's whole keep-alive lifetime, so at 2 workers
+/// it topped out at ~10 concurrent persistent connections (2 active + 8
+/// queue slots) before shedding at accept — no queue depth could fix
+/// that, because idle connections held their slot. The event loop must
+/// hold 100 concurrent keep-alive connections — 10× — at the same
+/// worker count, answering every request 200 with zero 503s. The
+/// compute queue is sized to absorb the barrier-synchronized burst of
+/// 100 simultaneous one-row predicts; connections themselves no longer
+/// consume compute slots.
+#[test]
+fn soak_100_keepalive_connections_on_two_workers_without_sheds() {
+    const CONNS: usize = 100;
+    const REQUESTS_PER_CONN: usize = 5;
+
+    let server = new_server(2).with_queue_cap(2 * CONNS);
+    let addr = server.local_addr().unwrap();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    let barrier = Arc::new(Barrier::new(CONNS));
+    let clients: Vec<_> = (0..CONNS)
+        .map(|i| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || -> Result<(), String> {
+                let mut stream = connect(addr);
+                // Hold until every connection is open, so the server
+                // really does carry all 100 at once.
+                barrier.wait();
+                let mut carry = Vec::new();
+                for n in 0..REQUESTS_PER_CONN {
+                    let last = n + 1 == REQUESTS_PER_CONN;
+                    stream
+                        .write_all(&http("POST", "/v1/predict", PREDICT_BODY, last))
+                        .map_err(|e| format!("conn {i} write {n}: {e}"))?;
+                    let resp = read_response(&mut stream, &mut carry);
+                    if resp.status != 200 {
+                        return Err(format!("conn {i} req {n}: {} {}", resp.status, resp.body));
+                    }
+                }
+                Ok(())
+            })
+        })
+        .collect();
+    let failures: Vec<String> =
+        clients.into_iter().filter_map(|c| c.join().expect("client thread").err()).collect();
+    assert!(failures.is_empty(), "soak failures: {failures:?}");
+
+    // The server's own accounting agrees: no sheds, and every connection
+    // was reused REQUESTS_PER_CONN - 1 times.
+    let mut stream = connect(addr);
+    stream.write_all(&http("GET", "/metrics", "", true)).unwrap();
+    let metrics = read_response(&mut stream, &mut Vec::new());
+    assert_eq!(metrics.status, 200);
+    let series = |name: &str| -> u64 {
+        metrics
+            .body
+            .lines()
+            .find(|l| l.starts_with(name) && l.as_bytes().get(name.len()) == Some(&b' '))
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("series {name} missing from /metrics"))
+    };
+    assert_eq!(series("chemcost_requests_shed_total"), 0, "soak must not shed");
+    assert_eq!(
+        series("chemcost_keepalive_reuses_total"),
+        (CONNS * (REQUESTS_PER_CONN - 1)) as u64,
+        "every connection must have been reused"
+    );
+
+    let mut trigger = connect(addr);
+    trigger.write_all(&http("POST", "/v1/shutdown", "", true)).unwrap();
+    let bye = read_response(&mut trigger, &mut Vec::new());
+    assert_eq!(bye.status, 200);
+    server_thread.join().unwrap().expect("clean shutdown after soak");
+}
+
+// -- micro-batching is observable on the wire ----------------------------
+
+/// Concurrent predicts through real sockets land in the batcher: with a
+/// generous window, simultaneous requests coalesce into fewer flat-model
+/// batch calls than requests.
+#[test]
+fn concurrent_predicts_are_micro_batched() {
+    use chemcost_serve::BatcherConfig;
+    const CLIENTS: usize = 8;
+
+    let server = new_server(4)
+        .with_batch_config(BatcherConfig { window: Duration::from_millis(5), max_rows: 1024 });
+    let addr = server.local_addr().unwrap();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    let barrier = Arc::new(Barrier::new(CLIENTS));
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut stream = connect(addr);
+                barrier.wait();
+                stream.write_all(&http("POST", "/v1/predict", PREDICT_BODY, true)).unwrap();
+                let resp = read_response(&mut stream, &mut Vec::new());
+                assert_eq!(resp.status, 200, "{}", resp.body);
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().expect("client thread");
+    }
+
+    let mut stream = connect(addr);
+    stream.write_all(&http("GET", "/metrics", "", true)).unwrap();
+    let metrics = read_response(&mut stream, &mut Vec::new());
+    let batch_rows: u64 = metrics
+        .body
+        .lines()
+        .find(|l| l.starts_with("chemcost_batch_size_sum "))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+        .expect("chemcost_batch_size_sum in /metrics");
+    let batch_calls: u64 = metrics
+        .body
+        .lines()
+        .find(|l| l.starts_with("chemcost_batch_size_count "))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+        .expect("chemcost_batch_size_count in /metrics");
+    // 8 one-row requests arrived together under a 5 ms window: the rows
+    // all went through the batcher, in strictly fewer calls than rows.
+    assert_eq!(batch_rows, CLIENTS as u64, "every predict row must route through the batcher");
+    assert!(
+        batch_calls < CLIENTS as u64,
+        "expected coalescing: {batch_calls} batch calls for {CLIENTS} rows"
+    );
+
+    let mut trigger = connect(addr);
+    trigger.write_all(&http("POST", "/v1/shutdown", "", true)).unwrap();
+    let _ = read_response(&mut trigger, &mut Vec::new());
+    server_thread.join().unwrap().expect("clean shutdown");
+}

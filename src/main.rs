@@ -58,6 +58,9 @@ fn known_options(command: &str) -> Option<&'static [&'static str]> {
             "machine",
             "workers",
             "queue-cap",
+            "max-conns",
+            "batch-window-us",
+            "batch-max",
             "chaos",
             "default-deadline-ms",
         ]),
@@ -145,6 +148,7 @@ fn usage() -> &'static str {
        trace      --machine NAME --nodes N --tile T (--o O --v V | --molecule ... --basis ...)\n\
                   [--noise SIGMA] [--seed S] [--out FILE]  (per-task JSONL + utilization)\n\
        serve      --model FILE --machine NAME [--addr HOST:PORT] [--workers N] [--queue-cap N]\n\
+                  [--max-conns N] [--batch-window-us US] [--batch-max ROWS]\n\
                   [--default-deadline-ms MS] [--chaos slow-io|drop-conn|truncate-body|\n\
                    saturate|poison-reload|all]  (chaos seeded by CHEMCOST_CHAOS_SEED)\n\
        call       --path /v1/… [--addr HOST:PORT] [--method GET|POST] [--body JSON]\n\
@@ -420,6 +424,30 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         }
         server = server.with_queue_cap(cap);
     }
+    if args.options.contains_key("max-conns") {
+        let max = args.get_parse::<usize>("max-conns")?;
+        if max == 0 {
+            return Err("--max-conns must be at least 1".into());
+        }
+        server = server.with_max_conns(max);
+    }
+    if args.options.contains_key("batch-window-us") || args.options.contains_key("batch-max") {
+        let mut config = chemcost::serve::BatcherConfig::default();
+        if args.options.contains_key("batch-window-us") {
+            // Zero is legal: "never wait", flushing every submission as
+            // its own (or an already-coalesced) batch.
+            config.window =
+                std::time::Duration::from_micros(args.get_parse::<u64>("batch-window-us")?);
+        }
+        if args.options.contains_key("batch-max") {
+            let max_rows = args.get_parse::<usize>("batch-max")?;
+            if max_rows == 0 {
+                return Err("--batch-max must be at least 1".into());
+            }
+            config.max_rows = max_rows;
+        }
+        server = server.with_batch_config(config);
+    }
     let mut chaos_note = String::new();
     if let Some(profile) = args.options.get("chaos") {
         let profile = ChaosProfile::parse(profile)
@@ -432,8 +460,9 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     eprintln!(
         "chemcost-serve listening on http://{bound} \
          (model {model_name:?} for {machine_name}, {workers} workers, \
-         queue capacity {}{chaos_note}; POST /v1/shutdown to stop)",
-        server.queue_cap()
+         queue capacity {}, max {} conns{chaos_note}; POST /v1/shutdown to stop)",
+        server.queue_cap(),
+        server.max_conns()
     );
     server.run().map_err(|e| format!("server error: {e}"))
 }
@@ -901,5 +930,24 @@ mod tests {
         .unwrap();
         assert_eq!(a.get("addr").unwrap(), "127.0.0.1:0");
         assert_eq!(a.get_parse::<usize>("workers").unwrap(), 2);
+    }
+
+    #[test]
+    fn serve_data_plane_options_accepted() {
+        let a = parse_args(&argv(&[
+            "serve",
+            "--model=m.ccgb",
+            "--machine=aurora",
+            "--max-conns=2048",
+            "--batch-window-us=150",
+            "--batch-max=512",
+        ]))
+        .unwrap();
+        assert_eq!(a.get_parse::<usize>("max-conns").unwrap(), 2048);
+        assert_eq!(a.get_parse::<u64>("batch-window-us").unwrap(), 150);
+        assert_eq!(a.get_parse::<usize>("batch-max").unwrap(), 512);
+        // Typos are rejected like any other unknown option.
+        assert!(parse_args(&argv(&["serve", "--model=m.ccgb", "--batch-window=1"])).is_err());
+        assert!(parse_args(&argv(&["serve", "--model=m.ccgb", "--maxconns=9"])).is_err());
     }
 }

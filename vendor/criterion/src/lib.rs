@@ -103,6 +103,20 @@ impl Bencher {
         }
     }
 
+    /// Time with a caller-supplied measurement: `f` receives an
+    /// iteration count and returns the total elapsed time for that many
+    /// iterations. This is how benchmarks report quantities that are
+    /// not a simple start-to-stop wall clock — e.g. a tail latency
+    /// measured across concurrent clients, returned as `p99 * iters` so
+    /// the reported per-iteration time IS the p99.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let iters = 1u64;
+            self.samples.push(f(iters) / iters as u32);
+        }
+    }
+
     /// Median per-iteration time over the collected samples.
     fn median(&self) -> Option<Duration> {
         let mut sorted = self.samples.clone();

@@ -1,0 +1,331 @@
+//! Offline stand-in for the `polling` crate: a minimal epoll-backed
+//! readiness poller for Linux.
+//!
+//! Exposes the subset `chemcost-serve`'s event loop needs — [`Poller`]
+//! (register / modify / deregister file descriptors, wait for [`Event`]s)
+//! and [`Waker`] (wake a blocked [`Poller::wait`] from another thread) —
+//! built directly on `std::os::fd` plus `extern "C"` declarations of the
+//! epoll/eventfd entry points the C library already links. No `libc`
+//! crate, no crates.io access, matching the `vendor/` pattern.
+//!
+//! Readiness is **level-triggered** (the epoll default): an fd with
+//! unread bytes or writable space keeps reporting ready until drained,
+//! so a consumer that processes only part of the data is re-notified on
+//! the next [`Poller::wait`] instead of hanging.
+#![deny(missing_docs)]
+#![cfg(target_os = "linux")]
+
+use std::io;
+use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+use std::time::Duration;
+
+// epoll / eventfd entry points, resolved from the C library that std
+// already links. Signatures match the glibc/musl prototypes.
+mod sys {
+    use std::os::raw::{c_int, c_uint, c_void};
+
+    extern "C" {
+        pub fn epoll_create1(flags: c_int) -> c_int;
+        pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        pub fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout_ms: c_int,
+        ) -> c_int;
+        pub fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+        pub fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        pub fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    }
+
+    pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+    pub const EPOLL_CTL_ADD: c_int = 1;
+    pub const EPOLL_CTL_DEL: c_int = 2;
+    pub const EPOLL_CTL_MOD: c_int = 3;
+
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+
+    pub const EFD_CLOEXEC: c_int = 0o2000000;
+    pub const EFD_NONBLOCK: c_int = 0o0004000;
+
+    /// The kernel's `struct epoll_event`. On x86-64 the C definition is
+    /// `__attribute__((packed))` (the 64-bit data field is 4-byte
+    /// aligned); elsewhere it is naturally aligned.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+}
+
+/// What a registration (or returned event) is interested in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Interest {
+    /// Readable readiness only.
+    Read,
+    /// Writable readiness only.
+    Write,
+    /// Both readable and writable readiness.
+    Both,
+}
+
+impl Interest {
+    fn mask(self) -> u32 {
+        match self {
+            Interest::Read => sys::EPOLLIN | sys::EPOLLRDHUP,
+            Interest::Write => sys::EPOLLOUT,
+            Interest::Both => sys::EPOLLIN | sys::EPOLLRDHUP | sys::EPOLLOUT,
+        }
+    }
+}
+
+/// One readiness notification from [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The `key` the fd was registered under.
+    pub key: usize,
+    /// The fd has bytes to read (or a peer hang-up to observe).
+    pub readable: bool,
+    /// The fd can accept writes without blocking.
+    pub writable: bool,
+    /// The fd is in an error or hang-up state; the owner should tear the
+    /// registration down after draining what it can.
+    pub error: bool,
+}
+
+fn check(ret: i32) -> io::Result<i32> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// An epoll instance: a set of registered file descriptors and a
+/// [`wait`](Poller::wait) call that blocks until one is ready.
+pub struct Poller {
+    epfd: OwnedFd,
+}
+
+impl Poller {
+    /// Create a fresh poller (`epoll_create1(EPOLL_CLOEXEC)`).
+    pub fn new() -> io::Result<Poller> {
+        let fd = check(unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) })?;
+        Ok(Poller { epfd: unsafe { OwnedFd::from_raw_fd(fd) } })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, key: usize, interest: Interest) -> io::Result<()> {
+        let mut ev = sys::EpollEvent { events: interest.mask(), data: key as u64 };
+        check(unsafe { sys::epoll_ctl(self.epfd.as_raw_fd(), op, fd, &mut ev) })?;
+        Ok(())
+    }
+
+    /// Register `fd` under `key` with the given interest. The caller
+    /// keeps ownership of the fd and must [`deregister`](Self::deregister)
+    /// it before closing.
+    pub fn register(&self, fd: RawFd, key: usize, interest: Interest) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_ADD, fd, key, interest)
+    }
+
+    /// Change an existing registration's interest (and/or key).
+    pub fn modify(&self, fd: RawFd, key: usize, interest: Interest) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_MOD, fd, key, interest)
+    }
+
+    /// Remove `fd` from the poller.
+    pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+        let mut ev = sys::EpollEvent { events: 0, data: 0 };
+        check(unsafe { sys::epoll_ctl(self.epfd.as_raw_fd(), sys::EPOLL_CTL_DEL, fd, &mut ev) })?;
+        Ok(())
+    }
+
+    /// Block until at least one registered fd is ready, `timeout`
+    /// elapses (`None` = forever), or a [`Waker`] fires. Ready events
+    /// are appended to `events`; returns how many were appended.
+    /// A timeout of `Some(0)` polls without blocking. `EINTR` is
+    /// retried internally.
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        const CAP: usize = 256;
+        let mut raw = [sys::EpollEvent { events: 0, data: 0 }; CAP];
+        // epoll_wait takes whole milliseconds; round sub-millisecond
+        // timeouts up so `Some(small)` never degenerates to a busy loop.
+        let timeout_ms = match timeout {
+            None => -1,
+            Some(d) => i32::try_from(d.as_millis().max(u128::from(d.as_nanos() % 1_000_000 != 0)))
+                .unwrap_or(i32::MAX),
+        };
+        let n = loop {
+            let ret = unsafe {
+                sys::epoll_wait(self.epfd.as_raw_fd(), raw.as_mut_ptr(), CAP as i32, timeout_ms)
+            };
+            match check(ret) {
+                Ok(n) => break n as usize,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        };
+        for ev in &raw[..n] {
+            let bits = ev.events;
+            events.push(Event {
+                key: ev.data as usize,
+                readable: bits & (sys::EPOLLIN | sys::EPOLLRDHUP | sys::EPOLLHUP) != 0,
+                writable: bits & sys::EPOLLOUT != 0,
+                error: bits & (sys::EPOLLERR | sys::EPOLLHUP) != 0,
+            });
+        }
+        Ok(n)
+    }
+}
+
+/// Wakes a blocked [`Poller::wait`] from another thread, via an
+/// `eventfd` registered on the poller. Cheap and edge-coalescing: any
+/// number of [`wake`](Waker::wake) calls between two waits collapse
+/// into one readable event, drained by [`drain`](Waker::drain).
+pub struct Waker {
+    efd: OwnedFd,
+}
+
+impl Waker {
+    /// Create an eventfd and register it on `poller` under `key`.
+    pub fn new(poller: &Poller, key: usize) -> io::Result<Waker> {
+        let fd = check(unsafe { sys::eventfd(0, sys::EFD_CLOEXEC | sys::EFD_NONBLOCK) })?;
+        let efd = unsafe { OwnedFd::from_raw_fd(fd) };
+        poller.register(efd.as_raw_fd(), key, Interest::Read)?;
+        Ok(Waker { efd })
+    }
+
+    /// Make the poller's next (or current) `wait` return.
+    pub fn wake(&self) -> io::Result<()> {
+        let one: u64 = 1;
+        let ret = unsafe {
+            sys::write(
+                self.efd.as_raw_fd(),
+                (&one as *const u64).cast(),
+                std::mem::size_of::<u64>(),
+            )
+        };
+        // A full eventfd counter (EAGAIN) already guarantees a pending
+        // wake, so "would block" is success here.
+        if ret < 0 {
+            let e = io::Error::last_os_error();
+            if e.kind() != io::ErrorKind::WouldBlock {
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    /// Consume pending wakes so level-triggered epoll stops reporting
+    /// the eventfd readable.
+    pub fn drain(&self) {
+        let mut buf = 0u64;
+        unsafe {
+            let _ = sys::read(
+                self.efd.as_raw_fd(),
+                (&mut buf as *mut u64).cast(),
+                std::mem::size_of::<u64>(),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::time::Instant;
+
+    #[test]
+    fn timeout_elapses_without_events() {
+        let poller = Poller::new().unwrap();
+        let mut events = Vec::new();
+        let start = Instant::now();
+        let n = poller.wait(&mut events, Some(Duration::from_millis(30))).unwrap();
+        assert_eq!(n, 0);
+        assert!(start.elapsed() >= Duration::from_millis(25), "{:?}", start.elapsed());
+    }
+
+    #[test]
+    fn listener_becomes_readable_on_connect() {
+        let poller = Poller::new().unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        poller.register(listener.as_raw_fd(), 7, Interest::Read).unwrap();
+        let _client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let mut events = Vec::new();
+        poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert!(events.iter().any(|e| e.key == 7 && e.readable), "{events:?}");
+        poller.deregister(listener.as_raw_fd()).unwrap();
+    }
+
+    #[test]
+    fn stream_reports_readable_then_drains() {
+        let poller = Poller::new().unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (mut server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+        poller.register(server.as_raw_fd(), 1, Interest::Read).unwrap();
+
+        client.write_all(b"ping").unwrap();
+        let mut events = Vec::new();
+        poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert!(events.iter().any(|e| e.key == 1 && e.readable), "{events:?}");
+
+        // Level-triggered: still readable until the bytes are consumed.
+        events.clear();
+        poller.wait(&mut events, Some(Duration::from_millis(50))).unwrap();
+        assert!(events.iter().any(|e| e.key == 1 && e.readable), "{events:?}");
+        let mut buf = [0u8; 8];
+        let n = server.read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"ping");
+        events.clear();
+        poller.wait(&mut events, Some(Duration::from_millis(50))).unwrap();
+        assert!(!events.iter().any(|e| e.key == 1), "{events:?}");
+        poller.deregister(server.as_raw_fd()).unwrap();
+    }
+
+    #[test]
+    fn modify_switches_interest_to_writable() {
+        let poller = Poller::new().unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let _client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+        poller.register(server.as_raw_fd(), 2, Interest::Read).unwrap();
+        poller.modify(server.as_raw_fd(), 2, Interest::Write).unwrap();
+        let mut events = Vec::new();
+        poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert!(events.iter().any(|e| e.key == 2 && e.writable), "{events:?}");
+        poller.deregister(server.as_raw_fd()).unwrap();
+    }
+
+    #[test]
+    fn waker_interrupts_a_blocked_wait_and_coalesces() {
+        let poller = std::sync::Arc::new(Poller::new().unwrap());
+        let waker = std::sync::Arc::new(Waker::new(&poller, usize::MAX).unwrap());
+        let w = std::sync::Arc::clone(&waker);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            // Multiple wakes before the wait returns collapse into one
+            // readable event.
+            w.wake().unwrap();
+            w.wake().unwrap();
+        });
+        let mut events = Vec::new();
+        poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert!(events.iter().any(|e| e.key == usize::MAX && e.readable), "{events:?}");
+        waker.drain();
+        events.clear();
+        poller.wait(&mut events, Some(Duration::from_millis(30))).unwrap();
+        assert!(!events.iter().any(|e| e.key == usize::MAX), "drain left a pending wake");
+        t.join().unwrap();
+    }
+}
