@@ -154,7 +154,7 @@ impl<'a> Advisor<'a> {
     /// callers with several questions about the same problem should sweep
     /// once and reduce many times.
     pub fn sweep(&self, o: usize, v: usize) -> Sweep {
-        self.sweep_with(o, v, |x| self.model.predict(x))
+        self.sweep_with(o, v, |x| self.model.predict(&x))
     }
 
     /// Like [`Advisor::sweep`] but evaluating the candidate matrix
@@ -163,9 +163,11 @@ impl<'a> Advisor<'a> {
     /// a micro-batcher coalescing concurrent evaluations) while reusing
     /// the candidate enumeration and `Sweep` reductions unchanged —
     /// `eval` must return one predicted-seconds value per matrix row.
+    /// The matrix is handed over by value (it is built here and used
+    /// exactly once) so an owning consumer needs no defensive clone.
     pub fn sweep_with<F>(&self, o: usize, v: usize, eval: F) -> Sweep
     where
-        F: FnOnce(&Matrix) -> Vec<f64>,
+        F: FnOnce(Matrix) -> Vec<f64>,
     {
         let candidates = self.candidates(o, v);
         let seconds = if candidates.is_empty() {
@@ -177,7 +179,7 @@ impl<'a> Advisor<'a> {
                 2 => candidates[i].0 as f64,
                 _ => candidates[i].1 as f64,
             });
-            let seconds = eval(&x);
+            let seconds = eval(x);
             assert_eq!(
                 seconds.len(),
                 candidates.len(),

@@ -81,7 +81,9 @@ impl FlushReason {
 /// the channel the caller is blocked on.
 struct Job {
     flat: Arc<FlatGbt>,
-    x: Matrix,
+    /// Shared with the submitter, which keeps its own handle so it can
+    /// score inline if the collector ever drops the job unanswered.
+    x: Arc<Matrix>,
     tx: SyncSender<Vec<f64>>,
 }
 
@@ -167,36 +169,55 @@ impl Batcher {
     pub fn predict(&self, flat: &Arc<FlatGbt>, x: Matrix) -> Vec<f64> {
         // Already a full batch on its own (e.g. an advise sweep):
         // coalescing cannot help, so score inline and skip the queue.
-        if x.nrows() >= self.config.max_rows || self.shared.shutdown.load(Ordering::SeqCst) {
+        if x.nrows() >= self.config.max_rows {
             self.metrics.record_batch_flush(FlushReason::Full, x.nrows());
             return flat.predict_batch(&x);
         }
         let (tx, rx) = sync_channel(1);
-        let nrows = x.nrows();
+        // Shared so the fallback arm below still has the inputs.
+        let x = Arc::new(x);
         {
             let mut queue = self.shared.queue.lock().unwrap();
-            queue.push(Job { flat: Arc::clone(flat), x, tx });
+            // Check shutdown *under the queue lock*: the collector's
+            // decision to exit (shutdown set + queue empty) is made
+            // under this same lock, so either we observe shutdown here
+            // and score inline, or the collector observes our job and
+            // flushes it — a push after the collector has exited cannot
+            // happen.
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                drop(queue);
+                self.metrics.record_batch_flush(FlushReason::Shutdown, x.nrows());
+                return flat.predict_batch(&x);
+            }
+            queue.push(Job { flat: Arc::clone(flat), x: Arc::clone(&x), tx });
             self.shared.arrived.notify_all();
         }
         match rx.recv() {
             Ok(seconds) => seconds,
-            // The collector died (never expected) or shut down between
-            // the check above and the enqueue; leftovers are flushed on
-            // shutdown, so this arm means the job really was dropped.
+            // The collector dropped the job without answering — only
+            // possible if its thread died, which is never expected.
             // Fall back to an inline call rather than failing requests.
             Err(_) => {
-                let _ = nrows;
-                unreachable!("batcher collector dropped a job without answering")
+                self.metrics.record_batch_flush(FlushReason::Shutdown, x.nrows());
+                flat.predict_batch(&x)
             }
         }
     }
 
     /// Stop the collector: flush whatever is queued (reason `shutdown`)
-    /// and join the thread. Idempotent. Callers must stop submitting
-    /// first (the server joins its worker pool before calling this).
+    /// and join the thread. Idempotent. A `predict` racing this call is
+    /// safe — it re-checks the flag under the queue lock and scores
+    /// inline once set — though the server still joins its worker pool
+    /// first so in-flight requests batch normally.
     pub fn shutdown(&self) {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
-        self.shared.arrived.notify_all();
+        {
+            // Store + notify under the queue lock, or a collector that
+            // has checked the predicate but not yet parked misses the
+            // wakeup and the join below never returns.
+            let _queue = self.shared.queue.lock().unwrap();
+            self.shared.shutdown.store(true, Ordering::SeqCst);
+            self.shared.arrived.notify_all();
+        }
         if let Some(handle) = self.collector.lock().unwrap().take() {
             let _ = handle.join();
         }
@@ -402,6 +423,20 @@ mod tests {
         );
         assert_eq!(metrics.batch_flushes(FlushReason::Drain), 1);
         batcher.shutdown();
+    }
+
+    #[test]
+    fn predict_after_shutdown_scores_inline_as_shutdown_flush() {
+        let flat = tiny_flat();
+        let (batcher, metrics) = batcher(200, 1024);
+        batcher.shutdown();
+        // The collector is gone; a late submitter must not hang or
+        // panic — it scores inline and labels the flush `shutdown`.
+        let x = some_rows(3, 5);
+        let expect = flat.predict_batch(&x);
+        assert_eq!(batcher.predict(&flat, x), expect);
+        assert_eq!(metrics.batch_flushes(FlushReason::Shutdown), 1);
+        assert_eq!(metrics.batch_flushes(FlushReason::Full), 0);
     }
 
     #[test]

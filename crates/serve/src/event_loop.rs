@@ -45,6 +45,7 @@ use crate::pool::ThreadPool;
 use crate::routes::Router;
 use polling::{Event, Interest, Poller, Waker};
 use std::collections::{BTreeMap, HashMap};
+use std::fs::File;
 use std::io::{self, ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
@@ -199,6 +200,10 @@ struct Loop<'a> {
     /// Shutdown observed: listener closed, all responses forced
     /// `Connection: close`, loop exits when the last conn drains.
     draining: bool,
+    /// One fd held in reserve so fd exhaustion (`EMFILE`/`ENFILE`) can
+    /// be recovered: release it, accept the pending connection, close
+    /// it immediately, reclaim it. See [`Loop::accept_failed`].
+    fd_reserve: Option<File>,
 }
 
 /// Run the event loop until graceful drain completes. Owns the
@@ -231,6 +236,7 @@ pub(crate) fn run(
         done_tx,
         done_rx,
         draining: false,
+        fd_reserve: File::open("/dev/null").ok(),
     };
     let mut events: Vec<Event> = Vec::new();
 
@@ -262,7 +268,22 @@ impl Loop<'_> {
             let stream = match listener.accept() {
                 Ok((stream, _)) => stream,
                 Err(e) if e.kind() == ErrorKind::WouldBlock => return,
-                Err(_) => continue, // transient accept failure
+                // The queued connection died before we reached it, or
+                // the call was interrupted: the entry is consumed (or
+                // nothing was), so trying the next one makes progress.
+                Err(e)
+                    if e.kind() == ErrorKind::ConnectionAborted
+                        || e.kind() == ErrorKind::Interrupted =>
+                {
+                    continue
+                }
+                // Any other failure (fd exhaustion, ENOMEM, ...) would
+                // fail identically on retry: do NOT loop in place, or
+                // the whole data plane livelocks behind this listener.
+                Err(e) => {
+                    self.accept_failed(&e);
+                    return;
+                }
             };
             if stream.set_nonblocking(true).is_err() {
                 continue;
@@ -295,6 +316,42 @@ impl Loop<'_> {
             self.conns.insert(token, conn);
             self.drive(token);
         }
+    }
+
+    /// A persistent `accept` failure. The caller returns to the main
+    /// loop (the level-triggered poller re-reports the listener while
+    /// the backlog is non-empty), so existing connections keep being
+    /// serviced and the idle sweep keeps freeing fds.
+    ///
+    /// Fd exhaustion needs more than that: the pending connection is
+    /// never dequeued by a failing `accept`, so the listener would stay
+    /// ready and the loop would spin hot forever. Release the reserve
+    /// fd, accept the connection into it, close it immediately (a
+    /// budget-free shed), then reclaim the reserve — the backlog
+    /// drains one entry per event-loop pass while starved.
+    fn accept_failed(&mut self, e: &io::Error) {
+        // Raw errno values (identical on Linux and the BSDs): std has
+        // no stable `ErrorKind` for either.
+        const ENFILE: i32 = 23;
+        const EMFILE: i32 = 24;
+        let fd_exhausted = matches!(e.raw_os_error(), Some(EMFILE) | Some(ENFILE));
+        if fd_exhausted {
+            self.fd_reserve = None;
+            if let Some(listener) = &self.listener {
+                if let Ok((stream, _)) = listener.accept() {
+                    drop(stream); // immediate close: nothing buffered, nothing leaked
+                    self.metrics.record_shed();
+                }
+            }
+            self.fd_reserve = File::open("/dev/null").ok();
+        }
+        chemcost_obs::event!(
+            chemcost_obs::Level::Warn,
+            "http.accept_error",
+            error = e.to_string(),
+            fd_exhausted = fd_exhausted,
+            open_conns = self.conns.len(),
+        );
     }
 
     /// Handle readiness on one connection's socket.

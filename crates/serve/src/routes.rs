@@ -679,7 +679,7 @@ impl Router {
                 // micro-batcher like any other, so concurrent advise
                 // and predict requests coalesce into shared calls.
                 Some(batcher) => {
-                    advisor.sweep_with(o, v, |x| batcher.predict(&resolved.flat, x.clone()))
+                    advisor.sweep_with(o, v, |x| batcher.predict(&resolved.flat, x))
                 }
                 None => advisor.sweep(o, v),
             }
