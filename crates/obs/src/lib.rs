@@ -11,6 +11,9 @@
 //!   `duration_us`, its own monotonic span id, and its parent's;
 //! * [`TraceScope`] — pins a trace id (e.g. an HTTP `X-Request-Id`) to
 //!   the current thread so every record in a request correlates;
+//! * [`Timeline`] — an ordered set of named stage durations emitted as
+//!   one event (`total_us` plus one field per stage), the record shape
+//!   behind stage-resolved request timelines;
 //! * sinks — human-readable text ([`TextSink`]), machine-readable
 //!   JSONL ([`JsonlSink`]), and an in-memory ring buffer for tests
 //!   ([`RingSink`]);
@@ -50,6 +53,7 @@ mod dispatch;
 mod event;
 mod sink;
 mod span;
+mod timeline;
 
 pub use dispatch::{
     add_sink, dispatch_event, enabled, flush, global, init_from_env, next_trace_id, remove_sink,
@@ -58,6 +62,7 @@ pub use dispatch::{
 pub use event::{Event, Field, Level, Value};
 pub use sink::{JsonlSink, RingSink, Sink, TextSink};
 pub use span::{current_trace, Span, TraceScope};
+pub use timeline::Timeline;
 
 /// Emit one structured event: `event!(Level::Info, "name", key = value, …)`.
 ///

@@ -1,0 +1,116 @@
+//! Stage-resolved timelines as structured events.
+//!
+//! A [`Timeline`] is an ordered list of named stages, each with a
+//! duration in microseconds. It is the obs-side shape of the Dapper-style
+//! "where did the time go" record: a caller that has stamped a request
+//! (or job, or pipeline run) at its lifecycle edges collects the
+//! per-stage durations here and emits them as **one** event whose fields
+//! are the stage durations plus `total_us` — so a JSONL sink sees the
+//! whole story on a single line, correlated by the thread's current
+//! trace id like any other record.
+//!
+//! The type is deliberately generic: the serve crate uses it for HTTP
+//! request timelines (`request.timeline`), but nothing here knows about
+//! HTTP — any staged process can emit one.
+
+use crate::event::{Field, Level};
+
+/// An ordered set of named stage durations, emitted as one event.
+///
+/// Stage keys become field keys verbatim; by convention they carry a
+/// `_us` suffix (`read_us`, `queue_us`, …) since values are microseconds.
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    stages: Vec<(&'static str, u64)>,
+}
+
+impl Timeline {
+    /// An empty timeline.
+    pub fn new() -> Timeline {
+        Timeline::default()
+    }
+
+    /// Append one stage (builder-style).
+    pub fn stage(mut self, key: &'static str, micros: u64) -> Timeline {
+        self.stages.push((key, micros));
+        self
+    }
+
+    /// The recorded stages, in insertion order.
+    pub fn stages(&self) -> &[(&'static str, u64)] {
+        &self.stages
+    }
+
+    /// Sum of every stage duration, in microseconds.
+    pub fn total_us(&self) -> u64 {
+        self.stages.iter().map(|(_, us)| us).sum()
+    }
+
+    /// Emit the timeline as one structured event named `name`: `extra`
+    /// fields first (identity — path, status, …), then `total_us`, then
+    /// one field per stage. Free when `level` is filtered out. The
+    /// record is stamped with the thread's current trace id, so emit
+    /// inside the request's [`crate::TraceScope`] to correlate.
+    pub fn emit(&self, level: Level, name: &'static str, extra: Vec<Field>) {
+        if !crate::enabled(level) {
+            return;
+        }
+        let mut fields = extra;
+        fields.reserve(self.stages.len() + 1);
+        fields.push(Field::new("total_us", self.total_us()));
+        for &(key, us) in &self.stages {
+            fields.push(Field::new(key, us));
+        }
+        crate::dispatch_event(level, module_path!(), name, fields);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{add_sink, remove_sink, set_level, RingSink, TraceScope, Value};
+    use std::sync::Arc;
+
+    #[test]
+    fn total_is_the_stage_sum() {
+        let tl = Timeline::new().stage("read_us", 10).stage("work_us", 300).stage("write_us", 5);
+        assert_eq!(tl.total_us(), 315);
+        assert_eq!(tl.stages().len(), 3);
+        assert_eq!(Timeline::new().total_us(), 0);
+    }
+
+    #[test]
+    fn emit_carries_stages_total_extra_fields_and_trace() {
+        set_level(Some(Level::Debug));
+        let ring = Arc::new(RingSink::new(16));
+        let handle = add_sink(ring.clone());
+        {
+            let _scope = TraceScope::enter("tl-trace-1");
+            Timeline::new().stage("a_us", 7).stage("b_us", 13).emit(
+                Level::Debug,
+                "test.timeline",
+                vec![Field::new("path", "/x")],
+            );
+        }
+        let events = ring.events_named("test.timeline");
+        assert_eq!(events.len(), 1);
+        let e = &events[0];
+        assert_eq!(e.trace.as_deref(), Some("tl-trace-1"));
+        assert_eq!(e.field("path"), Some(&Value::Str("/x".into())));
+        assert_eq!(e.field("total_us"), Some(&Value::U64(20)));
+        assert_eq!(e.field("a_us"), Some(&Value::U64(7)));
+        assert_eq!(e.field("b_us"), Some(&Value::U64(13)));
+        remove_sink(handle);
+    }
+
+    #[test]
+    fn emit_below_the_filter_is_silent() {
+        set_level(Some(Level::Error));
+        let ring = Arc::new(RingSink::new(16));
+        let handle = add_sink(ring.clone());
+        Timeline::new().stage("a_us", 1).emit(Level::Debug, "test.timeline.quiet", vec![]);
+        assert!(ring.events_named("test.timeline.quiet").is_empty());
+        set_level(Some(Level::Trace));
+        remove_sink(handle);
+    }
+}

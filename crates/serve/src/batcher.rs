@@ -20,11 +20,20 @@
 //!
 //! Each flush increments `chemcost_batch_flush_total{reason}` and
 //! records the coalesced row count in `chemcost_batch_size`
-//! (see `docs/SERVING.md`).
+//! (see `docs/SERVING.md`), and — when `Debug` logging is enabled —
+//! emits one `batch.flush` obs event carrying the reason, job and row
+//! counts, how long the oldest job waited, by how much that overran the
+//! configured window, and the comma-joined trace ids of every request
+//! in the batch so JSONL sinks can correlate a flush back to the access
+//! log. Each job also remembers its submitter's trace id and submit
+//! instant, which feed the per-request `batch_wait` timeline stage (see
+//! [`crate::timeline`]).
 
 use crate::metrics::Metrics;
+use crate::timeline;
 use chemcost_linalg::Matrix;
 use chemcost_ml::flat::FlatGbt;
+use chemcost_obs::{self as obs, Level};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, SyncSender};
 use std::sync::{Arc, Condvar, Mutex};
@@ -84,7 +93,14 @@ struct Job {
     /// Shared with the submitter, which keeps its own handle so it can
     /// score inline if the collector ever drops the job unanswered.
     x: Arc<Matrix>,
-    tx: SyncSender<Vec<f64>>,
+    /// Answer channel: the slice plus which reason closed the batch.
+    tx: SyncSender<(Vec<f64>, FlushReason)>,
+    /// The submitter's trace id, captured at submit so `batch.flush`
+    /// events can name the requests a flush served.
+    trace: Option<Arc<str>>,
+    /// When the submitter handed the matrix over; the oldest job's age
+    /// at flush time is the batch's measured window overrun.
+    submitted: Instant,
 }
 
 /// State shared between submitters and the collector thread.
@@ -167,11 +183,15 @@ impl Batcher {
     /// submissions are in flight. Blocks the calling worker for at most
     /// roughly the batch window plus the batched model call itself.
     pub fn predict(&self, flat: &Arc<FlatGbt>, x: Matrix) -> Vec<f64> {
+        let submitted = Instant::now();
+        let rows = x.nrows();
         // Already a full batch on its own (e.g. an advise sweep):
         // coalescing cannot help, so score inline and skip the queue.
-        if x.nrows() >= self.config.max_rows {
-            self.metrics.record_batch_flush(FlushReason::Full, x.nrows());
-            return flat.predict_batch(&x);
+        if rows >= self.config.max_rows {
+            self.metrics.record_batch_flush(FlushReason::Full, rows);
+            let seconds = flat.predict_batch(&x);
+            timeline::note_batch(submitted.elapsed(), rows, FlushReason::Full);
+            return seconds;
         }
         let (tx, rx) = sync_channel(1);
         // Shared so the fallback arm below still has the inputs.
@@ -186,20 +206,33 @@ impl Batcher {
             // happen.
             if self.shared.shutdown.load(Ordering::SeqCst) {
                 drop(queue);
-                self.metrics.record_batch_flush(FlushReason::Shutdown, x.nrows());
-                return flat.predict_batch(&x);
+                self.metrics.record_batch_flush(FlushReason::Shutdown, rows);
+                let seconds = flat.predict_batch(&x);
+                timeline::note_batch(submitted.elapsed(), rows, FlushReason::Shutdown);
+                return seconds;
             }
-            queue.push(Job { flat: Arc::clone(flat), x: Arc::clone(&x), tx });
+            queue.push(Job {
+                flat: Arc::clone(flat),
+                x: Arc::clone(&x),
+                tx,
+                trace: obs::current_trace(),
+                submitted,
+            });
             self.shared.arrived.notify_all();
         }
         match rx.recv() {
-            Ok(seconds) => seconds,
+            Ok((seconds, reason)) => {
+                timeline::note_batch(submitted.elapsed(), rows, reason);
+                seconds
+            }
             // The collector dropped the job without answering — only
             // possible if its thread died, which is never expected.
             // Fall back to an inline call rather than failing requests.
             Err(_) => {
-                self.metrics.record_batch_flush(FlushReason::Shutdown, x.nrows());
-                flat.predict_batch(&x)
+                self.metrics.record_batch_flush(FlushReason::Shutdown, rows);
+                let seconds = flat.predict_batch(&x);
+                timeline::note_batch(submitted.elapsed(), rows, FlushReason::Shutdown);
+                seconds
             }
         }
     }
@@ -278,13 +311,33 @@ fn collect_loop(shared: &Shared, config: BatcherConfig, metrics: &Metrics) {
             };
             (std::mem::take(&mut *queue), reason)
         };
-        flush(jobs, reason, metrics);
+        flush(jobs, reason, metrics, config.window);
     }
 }
 
 /// Score a flushed set of jobs: group by model identity, one batched
-/// call per model, and hand each caller its slice.
-fn flush(jobs: Vec<Job>, reason: FlushReason, metrics: &Metrics) {
+/// call per model, and hand each caller its slice. Emits one
+/// `batch.flush` obs event per flush (satellite of PR 8) before the
+/// model calls, so the event's `waited_us` measures queueing, not
+/// inference.
+fn flush(jobs: Vec<Job>, reason: FlushReason, metrics: &Metrics, window: Duration) {
+    if obs::enabled(Level::Debug) && !jobs.is_empty() {
+        let rows: usize = jobs.iter().map(|j| j.x.nrows()).sum();
+        // Age of the oldest job: how long the batch actually waited.
+        let waited = jobs.iter().map(|j| j.submitted.elapsed()).max().unwrap_or_default();
+        let overrun = waited.saturating_sub(window);
+        let traces: Vec<&str> = jobs.iter().filter_map(|j| j.trace.as_deref()).collect();
+        obs::event!(
+            Level::Debug,
+            "batch.flush",
+            reason = reason.label(),
+            jobs = jobs.len(),
+            rows = rows,
+            waited_us = waited.as_micros() as u64,
+            window_overrun_us = overrun.as_micros() as u64,
+            traces = traces.join(","),
+        );
+    }
     // Group by (model pointer, feature width). Vec scan, not a map: a
     // flush holds a handful of jobs, nearly always one group.
     let mut groups: Vec<(usize, usize, Vec<Job>)> = Vec::new();
@@ -301,7 +354,7 @@ fn flush(jobs: Vec<Job>, reason: FlushReason, metrics: &Metrics) {
         if group.len() == 1 {
             let job = group.into_iter().next().expect("single-job group");
             let seconds = job.flat.predict_batch(&job.x);
-            let _ = job.tx.send(seconds);
+            let _ = job.tx.send((seconds, reason));
             continue;
         }
         let mut data = Vec::with_capacity(total_rows * cols);
@@ -313,7 +366,7 @@ fn flush(jobs: Vec<Job>, reason: FlushReason, metrics: &Metrics) {
         let mut offset = 0;
         for job in group {
             let n = job.x.nrows();
-            let _ = job.tx.send(seconds[offset..offset + n].to_vec());
+            let _ = job.tx.send((seconds[offset..offset + n].to_vec(), reason));
             offset += n;
         }
     }
@@ -437,6 +490,43 @@ mod tests {
         assert_eq!(batcher.predict(&flat, x), expect);
         assert_eq!(metrics.batch_flushes(FlushReason::Shutdown), 1);
         assert_eq!(metrics.batch_flushes(FlushReason::Full), 0);
+    }
+
+    /// Satellite (PR 8): a flush emits one `batch.flush` obs event with
+    /// the reason, size, window overrun, and the submitting request's
+    /// trace id.
+    #[test]
+    fn flush_emits_a_batch_flush_event_with_traces() {
+        let flat = tiny_flat();
+        let (batcher, _metrics) = batcher(200, 1024);
+        obs::set_level(Some(Level::Debug));
+        let ring = Arc::new(obs::RingSink::new(64));
+        let handle = obs::add_sink(ring.clone());
+        {
+            let _scope = obs::TraceScope::enter("batch-trace-1");
+            let _guard = batcher.enter_route();
+            let _ = batcher.predict(&flat, some_rows(3, 7));
+        }
+        // The collector emits from its own thread; wait for the record.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        let event = loop {
+            if let Some(e) = ring.events_named("batch.flush").into_iter().next() {
+                break e;
+            }
+            assert!(Instant::now() < deadline, "no batch.flush event arrived");
+            std::thread::sleep(Duration::from_millis(5));
+        };
+        obs::remove_sink(handle);
+        assert_eq!(event.field("reason"), Some(&obs::Value::Str("drain".into())));
+        assert_eq!(event.field("jobs"), Some(&obs::Value::U64(1)));
+        assert_eq!(event.field("rows"), Some(&obs::Value::U64(3)));
+        assert!(event.field("waited_us").is_some());
+        assert!(event.field("window_overrun_us").is_some());
+        match event.field("traces") {
+            Some(obs::Value::Str(t)) => assert!(t.contains("batch-trace-1"), "traces: {t}"),
+            other => panic!("traces field missing or mistyped: {other:?}"),
+        }
+        batcher.shutdown();
     }
 
     #[test]

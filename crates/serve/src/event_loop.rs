@@ -36,6 +36,17 @@
 //! compute, `drop-conn` tears the response mid-status-line, and
 //! `truncate-body` gives the connection a read budget after which the
 //! client appears to die mid-upload.
+//!
+//! Every request additionally carries a [`TimelineBuilder`] (PR 8):
+//! the loop stamps it at first byte, parse completion, worker dequeue,
+//! handler return, reorder release, and last flushed byte, then folds
+//! the completed timeline into the
+//! `chemcost_request_stage_duration_seconds` histograms, the router's
+//! [`crate::timeline::FlightRecorder`] (`GET /debug/requests`), and a
+//! `request.timeline` obs event. The loop itself reports health series:
+//! iteration duration, events per epoll wake, and gauges for
+//! connections whose reads are paused by backpressure or whose writes
+//! are stalled on the socket.
 
 use crate::fault::{FaultKind, FaultPlane};
 use crate::http::{encode_response, parse_request, HttpError, Request, Response};
@@ -43,8 +54,9 @@ use crate::json::Json;
 use crate::metrics::Metrics;
 use crate::pool::ThreadPool;
 use crate::routes::Router;
+use crate::timeline::TimelineBuilder;
 use polling::{Event, Interest, Poller, Waker};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fs::File;
 use std::io::{self, ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -97,6 +109,9 @@ struct Done {
     seq: u64,
     response: Response,
     keep_alive: bool,
+    /// The request's timeline, stamped by the worker; `None` for
+    /// loop-synthesized responses (parse errors, queue-full sheds).
+    timeline: Option<Box<TimelineBuilder>>,
 }
 
 /// Per-connection state machine.
@@ -111,11 +126,27 @@ struct Conn {
     /// Sequence number of the next response to encode — responses
     /// finishing out of order wait in `done` until their turn.
     next_flush: u64,
-    done: BTreeMap<u64, (Response, bool)>,
+    done: BTreeMap<u64, (Response, bool, Option<Box<TimelineBuilder>>)>,
     /// Requests dispatched to workers, response not yet applied.
     in_flight: usize,
     /// Requests parsed on this connection (for the keep-alive metric).
     requests: u64,
+    /// When the first byte of the *next* request landed in `read_buf`.
+    /// Taken at parse completion; the `read` timeline stage starts here.
+    req_first_byte: Option<Instant>,
+    /// Total response bytes ever appended to `write_buf`.
+    bytes_enqueued: u64,
+    /// Total response bytes the socket has accepted.
+    bytes_flushed: u64,
+    /// Timelines of encoded responses, keyed by the `bytes_enqueued`
+    /// offset at which each response ends — once `bytes_flushed` passes
+    /// that offset, the response's last byte is on the wire and the
+    /// timeline completes.
+    pending_timelines: VecDeque<(u64, Box<TimelineBuilder>)>,
+    /// Mirror of the `chemcost_connections_read_paused` gauge.
+    read_paused: bool,
+    /// Mirror of the `chemcost_connections_write_stalled` gauge.
+    write_stalled: bool,
     /// Stop reading; close once flushed and nothing is in flight.
     closing: bool,
     /// Chaos `drop-conn`: close as soon as the (torn) buffer is flushed,
@@ -143,6 +174,12 @@ impl Conn {
             done: BTreeMap::new(),
             in_flight: 0,
             requests: 0,
+            req_first_byte: None,
+            bytes_enqueued: 0,
+            bytes_flushed: 0,
+            pending_timelines: VecDeque::new(),
+            read_paused: false,
+            write_stalled: false,
             closing: false,
             abort: false,
             peer_closed: false,
@@ -150,6 +187,14 @@ impl Conn {
             registered: None,
             idle_since: Instant::now(),
         }
+    }
+
+    /// Append response bytes to the wire buffer. Every append MUST go
+    /// through here: `bytes_enqueued` offsets key `pending_timelines`,
+    /// so a raw `write_buf` push would desync write-stage attribution.
+    fn enqueue_bytes(&mut self, bytes: &[u8]) {
+        self.write_buf.extend_from_slice(bytes);
+        self.bytes_enqueued += bytes.len() as u64;
     }
 
     /// Should this connection be torn down right now?
@@ -243,6 +288,9 @@ pub(crate) fn run(
     loop {
         events.clear();
         lp.poller.wait(&mut events, Some(SWEEP_INTERVAL))?;
+        // Measured from after the wait: the histogram is time the loop
+        // spends *working* per wake, not time parked in epoll.
+        let iter_start = Instant::now();
         for ev in &events {
             match ev.key {
                 KEY_WAKER => lp.waker.drain(),
@@ -253,6 +301,7 @@ pub(crate) fn run(
         lp.drain_completions();
         lp.maybe_start_drain();
         lp.sweep_idle();
+        lp.metrics.record_loop_iteration(iter_start.elapsed(), events.len());
         if lp.draining && lp.conns.is_empty() {
             return Ok(());
         }
@@ -309,7 +358,7 @@ impl Loop<'_> {
                     shed_total = self.metrics.shed_total(),
                 );
                 let resp = Response::json(503, r#"{"error":"server overloaded"}"#.into());
-                conn.write_buf.extend_from_slice(&encode_response(&resp, false));
+                conn.enqueue_bytes(&encode_response(&resp, false));
                 conn.closing = true;
             }
             self.metrics.inc_connections_open();
@@ -392,6 +441,9 @@ impl Loop<'_> {
                 }
                 Ok(n) => {
                     conn.read_buf.extend_from_slice(&chunk[..n]);
+                    // The read stage of the next request starts at its
+                    // first byte (a no-op mid-request).
+                    conn.req_first_byte.get_or_insert_with(Instant::now);
                     if let Some(budget) = &mut conn.read_budget {
                         *budget -= n;
                     }
@@ -423,6 +475,13 @@ impl Loop<'_> {
                 Ok(None) => return, // incomplete — wait for more bytes
                 Ok(Some((req, consumed))) => {
                     conn.read_buf.drain(..consumed);
+                    // This request's read stage ran from its first byte
+                    // to now. Leftover bytes belong to the next
+                    // pipelined request, whose clock starts immediately.
+                    let first_byte = conn.req_first_byte.take().unwrap_or_else(Instant::now);
+                    if !conn.read_buf.is_empty() {
+                        conn.req_first_byte = Some(Instant::now());
+                    }
                     conn.requests += 1;
                     if conn.requests > 1 {
                         self.metrics.record_keepalive_reuse();
@@ -436,7 +495,7 @@ impl Loop<'_> {
                         // ignore anything pipelined behind it.
                         conn.closing = true;
                     }
-                    self.dispatch(token, seq, req, keep_alive);
+                    self.dispatch(token, seq, req, keep_alive, first_byte);
                 }
                 Err(err) => {
                     // Rungs 3 of the shed ladder: the bytes are not (or
@@ -456,7 +515,13 @@ impl Loop<'_> {
                     conn.in_flight += 1;
                     conn.closing = true;
                     let resp = Response::json(status, Json::obj([("error", msg.into())]).encode());
-                    self.apply_done(Done { token, seq, response: resp, keep_alive: false });
+                    self.apply_done(Done {
+                        token,
+                        seq,
+                        response: resp,
+                        keep_alive: false,
+                        timeline: None,
+                    });
                     return;
                 }
             }
@@ -466,11 +531,20 @@ impl Loop<'_> {
     /// Hand one parsed request to the worker pool. A full compute queue
     /// is rung 2 of the shed ladder: this request gets a `503`, but the
     /// connection (and everything else pipelined on it) survives.
-    fn dispatch(&mut self, token: usize, seq: u64, req: Request, keep_alive: bool) {
+    fn dispatch(
+        &mut self,
+        token: usize,
+        seq: u64,
+        req: Request,
+        keep_alive: bool,
+        first_byte: Instant,
+    ) {
         // Deadline anchor: the instant the request finished arriving.
         // Worker-queue wait happens after this, so it counts against the
         // request's budget exactly as the threadpool server's did.
         let arrived = Instant::now();
+        let mut timeline =
+            Box::new(TimelineBuilder::new(first_byte, arrived, &req.method, &req.path));
         let slow_io = self
             .faults
             .as_ref()
@@ -484,11 +558,17 @@ impl Loop<'_> {
             metrics.pool_dequeued();
             // Chaos slow-io: the stall a seizing disk or GC pause would
             // cause, now on the worker so the loop thread never blocks.
+            // It lands in the queue stage: the worker not getting to the
+            // request is exactly what slow-io models.
             if let Some(delay) = slow_io {
                 std::thread::sleep(delay);
             }
+            timeline.stamp_dequeued();
+            crate::timeline::begin_capture();
             let response = router.handle_from(&req, arrived);
-            let _ = tx.send(Done { token, seq, response, keep_alive });
+            timeline.stamp_handler_done();
+            timeline.absorb(crate::timeline::end_capture(), response.status);
+            let _ = tx.send(Done { token, seq, response, keep_alive, timeline: Some(timeline) });
             let _ = waker.wake();
         });
         if self.pool.execute(job).is_err() {
@@ -501,7 +581,7 @@ impl Loop<'_> {
                 shed_total = self.metrics.shed_total(),
             );
             let resp = Response::json(503, r#"{"error":"server overloaded"}"#.into());
-            self.apply_done(Done { token, seq, response: resp, keep_alive });
+            self.apply_done(Done { token, seq, response: resp, keep_alive, timeline: None });
         }
     }
 
@@ -518,14 +598,15 @@ impl Loop<'_> {
         let draining = self.draining || self.router.shutdown_requested();
         let Some(conn) = self.conns.get_mut(&done.token) else { return };
         conn.in_flight -= 1;
-        conn.done.insert(done.seq, (done.response, done.keep_alive));
-        while let Some((response, keep_alive)) = conn.done.remove(&conn.next_flush) {
+        conn.done.insert(done.seq, (done.response, done.keep_alive, done.timeline));
+        while let Some((response, keep_alive, timeline)) = conn.done.remove(&conn.next_flush) {
             conn.next_flush += 1;
             // Chaos drop-conn: a torn status line, then nothing — the
             // client must see a broken connection, never a half-body
-            // that parses.
+            // that parses. The timeline dies with the response: the
+            // request never completed on the wire.
             if self.faults.as_ref().is_some_and(|plane| plane.roll(FaultKind::DropConn)) {
-                conn.write_buf.extend_from_slice(b"HTTP/1.1 ");
+                conn.enqueue_bytes(b"HTTP/1.1 ");
                 conn.abort = true;
                 conn.closing = true;
                 break;
@@ -533,7 +614,14 @@ impl Loop<'_> {
             // Graceful drain: every response sent after shutdown was
             // requested tells the client this connection is over.
             let keep_alive = keep_alive && !draining;
-            conn.write_buf.extend_from_slice(&encode_response(&response, keep_alive));
+            conn.enqueue_bytes(&encode_response(&response, keep_alive));
+            // Reorder release: the response's turn came up and its last
+            // byte now sits at offset `bytes_enqueued`; the timeline
+            // completes once the socket has accepted that many bytes.
+            if let Some(mut timeline) = timeline {
+                timeline.stamp_encoded();
+                conn.pending_timelines.push_back((conn.bytes_enqueued, timeline));
+            }
             if !keep_alive {
                 conn.closing = true;
             }
@@ -545,13 +633,48 @@ impl Loop<'_> {
         self.drive(token);
     }
 
-    /// Flush pending writes, then reconcile poller registration with the
-    /// connection's desired interest — or close it if it is finished.
+    /// Flush pending writes, finalize timelines whose last byte made it
+    /// onto the wire, update the backpressure gauges, then reconcile
+    /// poller registration with the connection's desired interest — or
+    /// close the connection if it is finished.
     fn drive(&mut self, token: usize) {
-        let Some(conn) = self.conns.get_mut(&token) else { return };
-        if !Self::flush_writes(conn) || conn.finished() {
+        let (alive, completed) = {
+            let Some(conn) = self.conns.get_mut(&token) else { return };
+            let ok = Self::flush_writes(conn);
+            let completed = if ok { Self::take_flushed(conn) } else { Vec::new() };
+            (ok && !conn.finished(), completed)
+        };
+        for timeline in completed {
+            self.finalize_timeline(timeline);
+        }
+        if !alive {
             self.close(token);
             return;
+        }
+        let metrics = Arc::clone(&self.metrics);
+        let Some(conn) = self.conns.get_mut(&token) else { return };
+        // Gauge reconciliation: a connection is read-paused when it is
+        // still a live reader but backpressure (pipeline cap or write
+        // high-water) gates it; write-stalled when the socket would not
+        // take the whole backlog.
+        let read_gated = !conn.closing
+            && !conn.abort
+            && !conn.peer_closed
+            && (conn.in_flight >= MAX_PIPELINE || conn.write_buf.len() >= WRITE_HIGH_WATER);
+        if read_gated != conn.read_paused {
+            conn.read_paused = read_gated;
+            match read_gated {
+                true => metrics.inc_read_paused(),
+                false => metrics.dec_read_paused(),
+            }
+        }
+        let stalled = !conn.write_buf.is_empty();
+        if stalled != conn.write_stalled {
+            conn.write_stalled = stalled;
+            match stalled {
+                true => metrics.inc_write_stalled(),
+                false => metrics.dec_write_stalled(),
+            }
         }
         let desired = conn.desired_interest();
         let fd = conn.stream.as_raw_fd();
@@ -568,6 +691,28 @@ impl Loop<'_> {
             true => conn.registered = desired,
             false => self.close(token),
         }
+    }
+
+    /// Pop every pending timeline whose response's last byte the socket
+    /// has now accepted.
+    fn take_flushed(conn: &mut Conn) -> Vec<TimelineBuilder> {
+        let mut out = Vec::new();
+        while conn.pending_timelines.front().is_some_and(|(end, _)| *end <= conn.bytes_flushed) {
+            let (_, timeline) = conn.pending_timelines.pop_front().expect("checked front");
+            out.push(*timeline);
+        }
+        out
+    }
+
+    /// A request's last byte is on the wire: derive the six stages, feed
+    /// the histograms and the flight recorder, emit `request.timeline`.
+    fn finalize_timeline(&self, timeline: TimelineBuilder) {
+        let done = timeline.complete(Instant::now());
+        for (stage, duration) in done.stage_durations() {
+            self.metrics.record_request_stage(stage, duration);
+        }
+        done.emit_event();
+        self.router.flight().record(done);
     }
 
     /// Write as much of the response buffer as the socket accepts.
@@ -588,6 +733,7 @@ impl Loop<'_> {
         }
         if written > 0 {
             conn.write_buf.drain(..written);
+            conn.bytes_flushed += written as u64;
             if conn.write_buf.is_empty() {
                 let _ = conn.stream.flush();
             }
@@ -600,6 +746,12 @@ impl Loop<'_> {
         if let Some(conn) = self.conns.remove(&token) {
             if conn.registered.is_some() {
                 let _ = self.poller.deregister(conn.stream.as_raw_fd());
+            }
+            if conn.read_paused {
+                self.metrics.dec_read_paused();
+            }
+            if conn.write_stalled {
+                self.metrics.dec_write_stalled();
             }
             self.metrics.dec_connections_open();
         }

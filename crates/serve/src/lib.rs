@@ -42,6 +42,7 @@ pub mod pool;
 pub mod quality;
 pub mod registry;
 pub mod routes;
+pub mod timeline;
 
 pub use batcher::{Batcher, BatcherConfig, FlushReason};
 pub use cache::{AdviseCache, AdviseKey};
@@ -52,6 +53,7 @@ pub use metrics::Metrics;
 pub use quality::{ObserveError, ObserveOutcome, QualityHub};
 pub use registry::{ModelInfo, ModelRegistry, ResolvedModel};
 pub use routes::{parse_deadline_ms, Deadline, Router};
+pub use timeline::{CompletedTimeline, FlightRecorder};
 
 use pool::ThreadPool;
 use std::net::{SocketAddr, TcpListener};

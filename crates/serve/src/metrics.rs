@@ -49,12 +49,14 @@ pub enum Route {
     Lifecycle,
     /// `POST /v1/shutdown`
     Shutdown,
+    /// `GET /debug/requests` — the flight recorder.
+    Debug,
     /// Anything else (404s, bad methods, shed connections, …).
     Other,
 }
 
 impl Route {
-    const ALL: [Route; 11] = [
+    const ALL: [Route; 12] = [
         Route::Healthz,
         Route::Metrics,
         Route::Models,
@@ -65,6 +67,7 @@ impl Route {
         Route::Quality,
         Route::Lifecycle,
         Route::Shutdown,
+        Route::Debug,
         Route::Other,
     ];
 
@@ -80,7 +83,8 @@ impl Route {
             Route::Quality => 7,
             Route::Lifecycle => 8,
             Route::Shutdown => 9,
-            Route::Other => 10,
+            Route::Debug => 10,
+            Route::Other => 11,
         }
     }
 
@@ -97,6 +101,7 @@ impl Route {
             Route::Quality => "quality",
             Route::Lifecycle => "lifecycle",
             Route::Shutdown => "shutdown",
+            Route::Debug => "debug",
             Route::Other => "other",
         }
     }
@@ -176,6 +181,78 @@ impl DeadlineStage {
     }
 }
 
+/// One stage of a request's end-to-end timeline through the event-driven
+/// data plane; the `stage` label on
+/// `chemcost_request_stage_duration_seconds`. The six stages partition
+/// the first-byte → last-byte wall time (see `crate::timeline`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestStage {
+    /// First byte read → parse complete (the deadline anchor).
+    Read,
+    /// Parse complete → a worker dequeued the request.
+    Queue,
+    /// Time the worker spent blocked in the micro-batcher (window wait
+    /// plus the coalesced model call).
+    BatchWait,
+    /// Worker dequeue → handler done, minus the batch wait.
+    Handler,
+    /// Handler done → response encoded onto the wire buffer (waiting for
+    /// its turn in the pipeline reorder).
+    Reorder,
+    /// Response encoded → last byte accepted by the socket.
+    Write,
+}
+
+impl RequestStage {
+    /// Every stage, in timeline order.
+    pub const ALL: [RequestStage; 6] = [
+        RequestStage::Read,
+        RequestStage::Queue,
+        RequestStage::BatchWait,
+        RequestStage::Handler,
+        RequestStage::Reorder,
+        RequestStage::Write,
+    ];
+
+    /// Position in [`RequestStage::ALL`] (metric array index).
+    pub fn index(self) -> usize {
+        match self {
+            RequestStage::Read => 0,
+            RequestStage::Queue => 1,
+            RequestStage::BatchWait => 2,
+            RequestStage::Handler => 3,
+            RequestStage::Reorder => 4,
+            RequestStage::Write => 5,
+        }
+    }
+
+    /// The Prometheus `stage` label value.
+    pub fn label(self) -> &'static str {
+        match self {
+            RequestStage::Read => "read",
+            RequestStage::Queue => "queue",
+            RequestStage::BatchWait => "batch_wait",
+            RequestStage::Handler => "handler",
+            RequestStage::Reorder => "reorder",
+            RequestStage::Write => "write",
+        }
+    }
+
+    /// The field key in `request.timeline` obs events and in the
+    /// `/debug/requests` `stages` object (label + `_us`, values are
+    /// microseconds).
+    pub fn field_key(self) -> &'static str {
+        match self {
+            RequestStage::Read => "read_us",
+            RequestStage::Queue => "queue_us",
+            RequestStage::BatchWait => "batch_wait_us",
+            RequestStage::Handler => "handler_us",
+            RequestStage::Reorder => "reorder_us",
+            RequestStage::Write => "write_us",
+        }
+    }
+}
+
 /// Histogram bucket upper bounds, in seconds.
 const BUCKETS: [f64; 10] = [1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 1e-1, 5e-1, 1.0, 5.0];
 
@@ -218,6 +295,11 @@ pub const REQUIRED_SERIES: &[&str] = &[
     "chemcost_batch_size",
     "chemcost_batch_flush_total",
     "chemcost_keepalive_reuses_total",
+    "chemcost_request_stage_duration_seconds",
+    "chemcost_event_loop_iteration_duration_seconds",
+    "chemcost_event_loop_events_per_wake",
+    "chemcost_connections_read_paused",
+    "chemcost_connections_write_stalled",
 ];
 
 /// Version baked into `chemcost_build_info`.
@@ -411,9 +493,19 @@ pub struct LifecycleEntry {
 
 /// Shared, thread-safe service metrics.
 pub struct Metrics {
-    routes: [RouteStats; 11],
+    routes: [RouteStats; 12],
     /// Whole-request handling latency.
     latency: Histogram,
+    /// Per-stage request-timeline latency, indexed by [`RequestStage`].
+    request_stages: [Histogram; 6],
+    /// Event-loop iteration duration (one epoll wake's processing).
+    loop_iteration: Histogram,
+    /// Readiness events delivered per epoll wake.
+    loop_events_per_wake: SizeHistogram,
+    /// Connections whose reads are paused by backpressure (gauge).
+    read_paused: AtomicI64,
+    /// Connections with unsent response bytes after a flush (gauge).
+    write_stalled: AtomicI64,
     /// Per-stage `/v1/advise` latency, indexed by [`AdviseStage`].
     advise_stages: [Histogram; 4],
     /// `/v1/advise` answers served from the recommendation cache.
@@ -479,6 +571,11 @@ impl Default for Metrics {
         Metrics {
             routes: Default::default(),
             latency: Histogram::default(),
+            request_stages: Default::default(),
+            loop_iteration: Histogram::default(),
+            loop_events_per_wake: SizeHistogram::default(),
+            read_paused: AtomicI64::new(0),
+            write_stalled: AtomicI64::new(0),
             advise_stages: Default::default(),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
@@ -847,6 +944,65 @@ impl Metrics {
         self.batch_size.sum.load(Ordering::Relaxed)
     }
 
+    /// Record one stage of a completed request timeline.
+    pub fn record_request_stage(&self, stage: RequestStage, elapsed: Duration) {
+        self.request_stages[stage.index()].observe(elapsed);
+    }
+
+    /// Observations recorded for one request-timeline stage.
+    pub fn request_stage_count(&self, stage: RequestStage) -> u64 {
+        self.request_stages[stage.index()].count.load(Ordering::Relaxed)
+    }
+
+    /// Seconds recorded for one request-timeline stage, summed.
+    pub fn request_stage_sum_seconds(&self, stage: RequestStage) -> f64 {
+        self.request_stages[stage.index()].sum_micros.load(Ordering::Relaxed) as f64 / 1e6
+    }
+
+    /// Record one event-loop pass: how long processing one epoll wake
+    /// took and how many readiness events it delivered.
+    pub fn record_loop_iteration(&self, elapsed: Duration, events: usize) {
+        self.loop_iteration.observe(elapsed);
+        self.loop_events_per_wake.observe(events);
+    }
+
+    /// Event-loop iterations recorded so far.
+    pub fn loop_iterations(&self) -> u64 {
+        self.loop_iteration.count.load(Ordering::Relaxed)
+    }
+
+    /// A connection's reads were paused by backpressure (pipeline cap or
+    /// write high-water mark).
+    pub fn inc_read_paused(&self) {
+        self.read_paused.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A read-paused connection resumed (or closed).
+    pub fn dec_read_paused(&self) {
+        self.read_paused.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Connections currently read-paused (clamped at 0).
+    pub fn read_paused(&self) -> u64 {
+        self.read_paused.load(Ordering::Relaxed).max(0) as u64
+    }
+
+    /// A connection was left with unsent response bytes after a flush
+    /// (the socket would block — a slow or stalled consumer).
+    pub fn inc_write_stalled(&self) {
+        self.write_stalled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A write-stalled connection drained (or closed).
+    pub fn dec_write_stalled(&self) {
+        self.write_stalled.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Connections currently write-stalled (clamped at 0).
+    pub fn write_stalled(&self) -> u64 {
+        self.write_stalled.load(Ordering::Relaxed).max(0) as u64
+    }
+
     /// Record an advise-cache hit.
     pub fn record_cache_hit(&self) {
         self.cache_hits.fetch_add(1, Ordering::Relaxed);
@@ -1153,6 +1309,37 @@ impl Metrics {
         );
         out.push_str("# TYPE chemcost_keepalive_reuses_total counter\n");
         out.push_str(&format!("chemcost_keepalive_reuses_total {}\n", self.keepalive_reuses()));
+        out.push_str(
+            "# HELP chemcost_request_stage_duration_seconds Per-stage request-timeline latency through the event loop (read, queue, batch_wait, handler, reorder, write); the stages of one request sum to its first-byte to last-byte wall time.\n",
+        );
+        out.push_str("# TYPE chemcost_request_stage_duration_seconds histogram\n");
+        for stage in RequestStage::ALL {
+            self.request_stages[stage.index()].render(
+                &mut out,
+                "chemcost_request_stage_duration_seconds",
+                &format!("stage=\"{}\",", stage.label()),
+            );
+        }
+        out.push_str(
+            "# HELP chemcost_event_loop_iteration_duration_seconds Processing time of one event-loop pass (one epoll wake).\n",
+        );
+        out.push_str("# TYPE chemcost_event_loop_iteration_duration_seconds histogram\n");
+        self.loop_iteration.render(&mut out, "chemcost_event_loop_iteration_duration_seconds", "");
+        out.push_str(
+            "# HELP chemcost_event_loop_events_per_wake Readiness events delivered per epoll wake.\n",
+        );
+        out.push_str("# TYPE chemcost_event_loop_events_per_wake histogram\n");
+        self.loop_events_per_wake.render(&mut out, "chemcost_event_loop_events_per_wake");
+        out.push_str(
+            "# HELP chemcost_connections_read_paused Connections whose reads are paused by backpressure (pipeline cap or write high-water mark).\n",
+        );
+        out.push_str("# TYPE chemcost_connections_read_paused gauge\n");
+        out.push_str(&format!("chemcost_connections_read_paused {}\n", self.read_paused()));
+        out.push_str(
+            "# HELP chemcost_connections_write_stalled Connections holding unsent response bytes after a flush (slow consumers).\n",
+        );
+        out.push_str("# TYPE chemcost_connections_write_stalled gauge\n");
+        out.push_str(&format!("chemcost_connections_write_stalled {}\n", self.write_stalled()));
         out
     }
 }
@@ -1971,6 +2158,101 @@ mod tests {
             "chemcost_batch_size",
             "chemcost_batch_flush_total",
             "chemcost_keepalive_reuses_total",
+        ] {
+            let stripped: String = full
+                .lines()
+                .filter(|l| {
+                    l.starts_with('#')
+                        || !l.split(['{', ' ']).next().unwrap_or("").starts_with(family)
+                })
+                .map(|l| format!("{l}\n"))
+                .collect();
+            let errs = lint_exposition_with_required(&stripped, REQUIRED_SERIES).unwrap_err();
+            assert!(
+                errs.iter().any(|e| e.contains(family) && e.contains("no sample line")),
+                "{family} should be flagged: {errs:?}"
+            );
+        }
+    }
+
+    /// Tentpole (PR 8): the request-timeline stage histograms and the
+    /// event-loop health series render with labels, count correctly, and
+    /// lint clean.
+    #[test]
+    fn timeline_series_render_and_count() {
+        let m = Metrics::new();
+        m.record_request_stage(RequestStage::Read, Duration::from_micros(40));
+        m.record_request_stage(RequestStage::Queue, Duration::from_micros(90));
+        m.record_request_stage(RequestStage::BatchWait, Duration::from_micros(210));
+        m.record_request_stage(RequestStage::Handler, Duration::from_micros(800));
+        m.record_request_stage(RequestStage::Handler, Duration::from_micros(700));
+        m.record_request_stage(RequestStage::Reorder, Duration::from_micros(5));
+        m.record_request_stage(RequestStage::Write, Duration::from_micros(60));
+        assert_eq!(m.request_stage_count(RequestStage::Handler), 2);
+        assert_eq!(m.request_stage_count(RequestStage::Write), 1);
+        assert!((m.request_stage_sum_seconds(RequestStage::BatchWait) - 210e-6).abs() < 1e-12);
+        m.record_loop_iteration(Duration::from_micros(120), 3);
+        m.record_loop_iteration(Duration::from_micros(80), 0);
+        assert_eq!(m.loop_iterations(), 2);
+        m.inc_read_paused();
+        m.inc_write_stalled();
+        m.inc_write_stalled();
+        m.dec_write_stalled();
+        assert_eq!(m.read_paused(), 1);
+        assert_eq!(m.write_stalled(), 1);
+        let text = m.render();
+        assert!(
+            text.contains("chemcost_request_stage_duration_seconds_count{stage=\"handler\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("chemcost_request_stage_duration_seconds_count{stage=\"batch_wait\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "chemcost_request_stage_duration_seconds_bucket{stage=\"read\",le=\"+Inf\"} 1"
+            ),
+            "{text}"
+        );
+        assert!(text.contains("chemcost_event_loop_iteration_duration_seconds_count 2"), "{text}");
+        assert!(text.contains("chemcost_event_loop_events_per_wake_count 2"), "{text}");
+        assert!(text.contains("chemcost_event_loop_events_per_wake_sum 3"), "{text}");
+        assert!(text.contains("chemcost_connections_read_paused 1"), "{text}");
+        assert!(text.contains("chemcost_connections_write_stalled 1"), "{text}");
+        lint_exposition(&text).expect("timeline exposition must lint clean");
+        // Every stage label renders even before its first observation.
+        let fresh = Metrics::new().render();
+        for stage in RequestStage::ALL {
+            assert!(
+                fresh.contains(&format!(
+                    "chemcost_request_stage_duration_seconds_count{{stage=\"{}\"}} 0",
+                    stage.label()
+                )),
+                "stage {} not pre-registered: {fresh}",
+                stage.label()
+            );
+        }
+        // The /debug/requests route is accounted like any other.
+        m.record(Route::Debug, false, Duration::from_micros(30));
+        assert!(m.render().contains("chemcost_requests_total{route=\"debug\"} 1"));
+    }
+
+    /// Negative (satellite): stripping any PR 8 timeline/event-loop
+    /// family's sample lines must trip the required-series linter.
+    #[test]
+    fn required_linter_flags_missing_timeline_series() {
+        let m = Metrics::new();
+        m.set_model_quality("gb", 1, "aurora", QualityStats::default());
+        m.set_lifecycle_state("gb", "aurora", LifecycleState::Idle);
+        let full = m.render();
+        lint_exposition_with_required(&full, REQUIRED_SERIES).expect("full exposition is complete");
+        for family in [
+            "chemcost_request_stage_duration_seconds",
+            "chemcost_event_loop_iteration_duration_seconds",
+            "chemcost_event_loop_events_per_wake",
+            "chemcost_connections_read_paused",
+            "chemcost_connections_write_stalled",
         ] {
             let stripped: String = full
                 .lines()

@@ -21,6 +21,7 @@ use crate::metrics::{
 };
 use crate::quality::{ObserveError, ObserveOutcome, QualityHub};
 use crate::registry::{ModelRegistry, ResolvedModel};
+use crate::timeline::FlightRecorder;
 use chemcost_core::advisor::{Advisor, Goal, Recommendation};
 use chemcost_lifecycle::{
     LifecycleConfig, LifecycleHub, LifecycleState, PromotionTicket, RetrainReason, RetrainRequest,
@@ -132,6 +133,9 @@ pub struct Router {
     /// drive the router in-process, which then score directly — the
     /// handler stays a pure function either way.
     batcher: Arc<OnceLock<Arc<Batcher>>>,
+    /// Flight recorder behind `GET /debug/requests`: the event loop
+    /// records every completed request timeline here.
+    flight: Arc<FlightRecorder>,
 }
 
 impl Router {
@@ -175,7 +179,13 @@ impl Router {
             shutdown: Arc::new(AtomicBool::new(false)),
             default_deadline_ms: None,
             batcher: Arc::new(OnceLock::new()),
+            flight: Arc::new(FlightRecorder::new()),
         }
+    }
+
+    /// The flight recorder served from `GET /debug/requests`.
+    pub fn flight(&self) -> &Arc<FlightRecorder> {
+        &self.flight
     }
 
     /// Install the micro-batcher all clones of this router will score
@@ -253,6 +263,9 @@ impl Router {
             _ => Arc::from(obs::next_trace_id()),
         };
         let _trace = obs::TraceScope::enter(Arc::clone(&trace_id));
+        // Hand the resolved id to the event loop's timeline capture (a
+        // no-op when the router is driven in-process).
+        crate::timeline::note_trace(&trace_id);
         obs::event!(
             Level::Debug,
             "http.accept",
@@ -273,8 +286,15 @@ impl Router {
         self.metrics.inc_in_flight();
         let (route, mut response) = self.dispatch(req, deadline);
         self.metrics.dec_in_flight();
-        let elapsed = started.elapsed();
-        self.metrics.record(route, response.is_error(), elapsed);
+        // Two clocks (satellite of PR 8): `handler` is pure handler
+        // time (the per-route latency histograms keep their meaning),
+        // while the access log and the slow-request warning measure
+        // from `arrived` — the deadline anchor — so queue and batch
+        // wait count toward them. `max` guards callers passing a future
+        // `arrived` (never the event loop, but `Instant` math panics).
+        let handler = started.elapsed();
+        let total = arrived.elapsed().max(handler);
+        self.metrics.record(route, response.is_error(), handler);
         response.headers.push(("X-Request-Id", trace_id.to_string()));
         obs::event!(
             Level::Info,
@@ -283,9 +303,10 @@ impl Router {
             path = req.path.as_str(),
             route = route.label(),
             status = response.status,
-            duration_us = elapsed.as_micros() as u64,
+            duration_us = total.as_micros() as u64,
+            handler_us = handler.as_micros() as u64,
         );
-        if elapsed >= slow_threshold() {
+        if total >= slow_threshold() {
             obs::event!(
                 Level::Warn,
                 "http.slow",
@@ -293,7 +314,8 @@ impl Router {
                 path = req.path.as_str(),
                 route = route.label(),
                 status = response.status,
-                duration_us = elapsed.as_micros() as u64,
+                duration_us = total.as_micros() as u64,
+                handler_us = handler.as_micros() as u64,
                 threshold_ms = slow_threshold().as_millis() as u64,
             );
         }
@@ -326,6 +348,9 @@ impl Router {
                 (Route::Quality, self.next_experiments_report())
             }
             ("GET", "/v1/lifecycle") => (Route::Lifecycle, self.lifecycle_report()),
+            ("GET", "/debug/requests") => {
+                (Route::Debug, Response::json(200, self.flight.to_json().encode()))
+            }
             ("POST", "/v1/lifecycle/promote") => {
                 (Route::Lifecycle, self.lifecycle_promote(&req.body))
             }
@@ -678,9 +703,7 @@ impl Router {
                 // The sweep's one batched evaluation rides the
                 // micro-batcher like any other, so concurrent advise
                 // and predict requests coalesce into shared calls.
-                Some(batcher) => {
-                    advisor.sweep_with(o, v, |x| batcher.predict(&resolved.flat, x))
-                }
+                Some(batcher) => advisor.sweep_with(o, v, |x| batcher.predict(&resolved.flat, x)),
                 None => advisor.sweep(o, v),
             }
         };

@@ -66,6 +66,7 @@ fn known_options(command: &str) -> Option<&'static [&'static str]> {
         ]),
         "call" => Some(&["addr", "method", "path", "body", "deadline-ms", "retries"]),
         "quality" => Some(&["addr", "next"]),
+        "top" => Some(&["addr", "slowest", "recent", "n"]),
         "lifecycle" => {
             Some(&["addr", "model", "machine", "promote", "rollback", "freeze", "unfreeze"])
         }
@@ -156,6 +157,8 @@ fn usage() -> &'static str {
                    /v1/advise retry, other POSTs get one attempt)\n\
        quality    [--addr HOST:PORT] [--next]  (model-quality report from a running\n\
                    daemon; --next asks for active-learning-ranked experiments)\n\
+       top        [--addr HOST:PORT] [--slowest | --recent] [--n ROWS]  (per-request\n\
+                   stage timelines from a daemon's flight recorder, /debug/requests)\n\
        lifecycle  [--addr HOST:PORT] [--model NAME] [--machine NAME]\n\
                   [--promote | --rollback | --freeze | --unfreeze]  (retrain/shadow/\n\
                    promote state from a running daemon; see docs/LIFECYCLE.md)\n\
@@ -620,6 +623,104 @@ fn cmd_quality(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `chemcost top`: fetch a running daemon's flight recorder
+/// (`GET /debug/requests`) and render the slowest and most recent
+/// request timelines with per-stage attribution. `--slowest` or
+/// `--recent` limits the output to one section; `--n` caps rows.
+fn cmd_top(args: &Args) -> Result<(), String> {
+    use chemcost::serve::json::Json;
+    use std::io::Write;
+    let addr = args.get("addr").unwrap_or("127.0.0.1:8080");
+    if args.flag("slowest") && args.flag("recent") {
+        return Err("pick at most one of --slowest, --recent".into());
+    }
+    let limit = args.get_parse::<usize>("n").unwrap_or(usize::MAX).max(1);
+    let client = Client::new(addr);
+    let resp = client
+        .call("GET", "/debug/requests", b"")
+        .map_err(|e| format!("GET /debug/requests: {e}"))?;
+    if resp.status >= 400 {
+        return Err(format!("server answered {}: {}", resp.status, resp.text()));
+    }
+    let parsed = Json::parse(&resp.text()).map_err(|e| format!("bad response JSON: {e}"))?;
+    println!(
+        "{} requests completed; keeping slowest {} + most recent {}",
+        parsed.get("completed").and_then(Json::as_usize).unwrap_or(0),
+        parsed.get("slowest_cap").and_then(Json::as_usize).unwrap_or(0),
+        parsed.get("recent_cap").and_then(Json::as_usize).unwrap_or(0),
+    );
+    // Broken-pipe-safe listing (`chemcost top | head`), like `quality`.
+    let mut out = std::io::stdout().lock();
+    let mut section = |title: &str, key: &str, newest_first: bool| {
+        let Some(entries) = parsed.get(key).and_then(Json::as_array) else { return };
+        if entries.is_empty() {
+            let _ = writeln!(out, "\n{title}: none yet");
+            return;
+        }
+        let _ = writeln!(out, "\n{title}:");
+        let _ = writeln!(
+            out,
+            "{:>9} {:>4} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>12} {:<18} request",
+            "total_ms",
+            "st",
+            "read_us",
+            "queue_us",
+            "batch_us",
+            "hand_us",
+            "reord_us",
+            "write_us",
+            "batch",
+            "trace"
+        );
+        let rows: Vec<&Json> = if newest_first {
+            entries.iter().rev().take(limit).collect()
+        } else {
+            entries.iter().take(limit).collect()
+        };
+        for e in rows {
+            let stage = |name: &str| {
+                e.get("stages").and_then(|s| s.get(name)).and_then(Json::as_f64).unwrap_or(0.0)
+            };
+            let batch = e.get("batch");
+            let batch_col = match batch.and_then(|b| b.get("calls")).and_then(Json::as_usize) {
+                Some(0) | None => "-".to_string(),
+                Some(_) => format!(
+                    "{}r@{}",
+                    batch.and_then(|b| b.get("rows")).and_then(Json::as_usize).unwrap_or(0),
+                    batch.and_then(|b| b.get("last_reason")).and_then(Json::as_str).unwrap_or("?"),
+                ),
+            };
+            if writeln!(
+                out,
+                "{:>9.3} {:>4} {:>8.0} {:>8.0} {:>8.0} {:>8.0} {:>8.0} {:>8.0} {:>12} {:<18} {} {}",
+                e.get("total_us").and_then(Json::as_f64).unwrap_or(0.0) / 1000.0,
+                e.get("status").and_then(Json::as_usize).unwrap_or(0),
+                stage("read_us"),
+                stage("queue_us"),
+                stage("batch_wait_us"),
+                stage("handler_us"),
+                stage("reorder_us"),
+                stage("write_us"),
+                batch_col,
+                e.get("trace").and_then(Json::as_str).unwrap_or(""),
+                e.get("method").and_then(Json::as_str).unwrap_or("?"),
+                e.get("path").and_then(Json::as_str).unwrap_or("?"),
+            )
+            .is_err()
+            {
+                break;
+            }
+        }
+    };
+    if !args.flag("recent") {
+        section("slowest", "slowest", false);
+    }
+    if !args.flag("slowest") {
+        section("most recent (newest first)", "recent", true);
+    }
+    Ok(())
+}
+
 /// `chemcost lifecycle`: the retrain/shadow/promote state of a running
 /// daemon, plus operator overrides — `--promote` swaps the current shadow
 /// candidate in immediately, `--rollback` restores the version the last
@@ -742,6 +843,7 @@ fn main() -> ExitCode {
         "serve" => cmd_serve(&args),
         "call" => cmd_call(&args),
         "quality" => cmd_quality(&args),
+        "top" => cmd_top(&args),
         "lifecycle" => cmd_lifecycle(&args),
         "version" | "--version" | "-V" => cmd_version(),
         "molecules" => cmd_molecules(),
@@ -889,6 +991,16 @@ mod tests {
         assert!(parse_args(&argv(&["--version"])).is_ok());
         assert!(parse_args(&argv(&["version", "--short"])).is_err());
         assert!(parse_args(&argv(&["quality", "--adr=x"])).is_err());
+    }
+
+    #[test]
+    fn top_options_accepted() {
+        let a = parse_args(&argv(&["top", "--addr=127.0.0.1:9100", "--slowest", "--n=5"])).unwrap();
+        assert_eq!(a.get("addr").unwrap(), "127.0.0.1:9100");
+        assert!(a.flag("slowest"));
+        assert_eq!(a.get_parse::<usize>("n").unwrap(), 5);
+        assert!(parse_args(&argv(&["top", "--recent"])).is_ok());
+        assert!(parse_args(&argv(&["top", "--slow"])).is_err());
     }
 
     #[test]

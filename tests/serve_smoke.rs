@@ -118,6 +118,34 @@ fn serve_smoke_predict_advise_metrics_and_logs() {
         panic!("exposition fails the linter: {problems:?}\n{metrics}");
     }
 
+    // /debug/requests: the flight recorder saw the predict and advise
+    // requests, its JSON parses, and every timeline's stage durations
+    // reconcile with its end-to-end total (±5%).
+    let (status, _, debug) = exchange("GET", "/debug/requests", "", "");
+    assert_eq!(status, 200);
+    let doc = Json::parse(&debug).unwrap_or_else(|e| panic!("bad /debug/requests JSON: {e}"));
+    assert!(doc.get("completed").and_then(Json::as_usize).unwrap_or(0) >= 2, "{debug}");
+    let recent = doc.get("recent").and_then(Json::as_array).expect("recent array");
+    assert!(!recent.is_empty(), "{debug}");
+    assert!(
+        recent.iter().any(|e| e.get("trace").and_then(Json::as_str) == Some(trace_id)),
+        "advise request missing from flight recorder: {debug}"
+    );
+    for entry in recent {
+        let total = entry.get("total_us").and_then(Json::as_f64).expect("total_us");
+        let stages = entry.get("stages").expect("stages object");
+        let sum: f64 =
+            ["read_us", "queue_us", "batch_wait_us", "handler_us", "reorder_us", "write_us"]
+                .iter()
+                .map(|k| stages.get(k).and_then(Json::as_f64).expect("stage value"))
+                .sum();
+        let tolerance = (total * 0.05).max(10.0);
+        assert!(
+            (sum - total).abs() <= tolerance,
+            "stage sum {sum} vs total {total} µs out of tolerance: {entry:?}"
+        );
+    }
+
     let (status, _, _) = exchange("POST", "/v1/shutdown", "", "");
     assert_eq!(status, 200);
     let code = child.wait().expect("wait for serve");
@@ -127,15 +155,28 @@ fn serve_smoke_predict_advise_metrics_and_logs() {
     // trace id from accept through sweep to the access-log line.
     let text = std::fs::read_to_string(&log).expect("read JSONL log");
     let mut names = Vec::new();
+    let mut batch_flush_correlated = false;
     for l in text.lines() {
         let v = Json::parse(l).unwrap_or_else(|e| panic!("bad JSONL line {l:?}: {e}"));
         if v.get("trace").and_then(Json::as_str) == Some(trace_id) {
             names.push(v.get("name").and_then(Json::as_str).unwrap().to_string());
         }
+        // `batch.flush` is emitted by the collector thread (no trace
+        // scope); it correlates through its `traces` field instead.
+        if v.get("name").and_then(Json::as_str) == Some("batch.flush")
+            && v.get("fields")
+                .and_then(|f| f.get("traces"))
+                .and_then(Json::as_str)
+                .is_some_and(|t| t.split(',').any(|t| t == trace_id))
+        {
+            batch_flush_correlated = true;
+        }
     }
-    for name in ["http.accept", "advise.cache", "advise.sweep", "http.request"] {
+    for name in ["http.accept", "advise.cache", "advise.sweep", "http.request", "request.timeline"]
+    {
         assert!(names.iter().any(|n| n == name), "{name} missing from trace: {names:?}");
     }
+    assert!(batch_flush_correlated, "no batch.flush event names the advise trace id");
 
     std::fs::remove_dir_all(&dir).ok();
 }
