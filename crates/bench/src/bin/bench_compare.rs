@@ -15,6 +15,11 @@
 //! are gated by the looser `--tail-threshold` (default 0.50 = 50%)
 //! instead. Benchmarks only in one file are reported but never fail the
 //! run — filters and newly added benches must not break CI.
+//!
+//! `--summary FILE` additionally writes the comparison as a GitHub
+//! markdown table (before/after/Δ%); the bench-regression job appends
+//! it to `$GITHUB_STEP_SUMMARY` so the delta shows up on the run page
+//! without digging through logs.
 
 use chemcost_serve::json::Json;
 use std::collections::BTreeMap;
@@ -41,6 +46,7 @@ struct Args {
     candidate: String,
     threshold: f64,
     tail_threshold: f64,
+    summary: Option<String>,
 }
 
 impl Args {
@@ -60,6 +66,7 @@ fn parse_args() -> Result<Args, String> {
     let mut candidate = None;
     let mut threshold = 0.20f64;
     let mut tail_threshold = 0.50f64;
+    let mut summary = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |flag: &str| args.next().ok_or(format!("{flag} needs a value"));
@@ -77,6 +84,7 @@ fn parse_args() -> Result<Args, String> {
             "--tail-threshold" => {
                 tail_threshold = fraction("--tail-threshold", value("--tail-threshold")?)?
             }
+            "--summary" => summary = Some(value("--summary")?),
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
@@ -85,7 +93,69 @@ fn parse_args() -> Result<Args, String> {
         candidate: candidate.ok_or("missing --candidate FILE")?,
         threshold,
         tail_threshold,
+        summary,
     })
+}
+
+/// One comparison row, shared by the console table and the markdown
+/// summary.
+struct Row {
+    name: String,
+    base_ns: Option<f64>,
+    cand_ns: Option<f64>,
+    /// Over-budget by this row's threshold (always false for one-sided
+    /// rows).
+    regressed: bool,
+}
+
+/// Human time: `942075` → `"942.1 µs"`. Keeps the markdown table
+/// readable across the ns-to-ms span the suite covers.
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.0} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.1} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Render the comparison as a GitHub markdown table.
+fn render_markdown(rows: &[Row], args: &Args) -> String {
+    let mut out = String::new();
+    out.push_str("### Bench comparison\n\n");
+    out.push_str("| benchmark | baseline | candidate | Δ | status |\n");
+    out.push_str("|---|--:|--:|--:|---|\n");
+    for row in rows {
+        let (base, cand) = (row.base_ns, row.cand_ns);
+        let delta = match (base, cand) {
+            (Some(b), Some(c)) if b > 0.0 => format!("{:+.1}%", (c / b - 1.0) * 100.0),
+            _ => "—".to_string(),
+        };
+        let status = match (base, cand) {
+            (Some(_), Some(_)) if row.regressed => "**REGRESSED**",
+            (Some(_), Some(_)) => "ok",
+            (Some(_), None) => "missing in candidate",
+            _ => "new",
+        };
+        let fmt = |ns: Option<f64>| ns.map(format_ns).unwrap_or_else(|| "—".to_string());
+        out.push_str(&format!(
+            "| `{}` | {} | {} | {} | {} |\n",
+            row.name,
+            fmt(base),
+            fmt(cand),
+            delta,
+            status
+        ));
+    }
+    out.push_str(&format!(
+        "\nBudgets: {:.0}% by median, {:.0}% for `/p99` tails.\n",
+        args.threshold * 100.0,
+        args.tail_threshold * 100.0
+    ));
+    out
 }
 
 fn run() -> Result<bool, String> {
@@ -94,11 +164,18 @@ fn run() -> Result<bool, String> {
     let candidate = load(&args.candidate)?;
 
     let mut regressions = Vec::new();
+    let mut rows = Vec::new();
     let mut compared = 0usize;
     println!("{:<52} {:>12} {:>12} {:>8}", "benchmark", "baseline", "candidate", "ratio");
     for (name, &base_ns) in &baseline {
         let Some(&cand_ns) = candidate.get(name) else {
             println!("{name:<52} {base_ns:>12.0} {:>12} {:>8}", "-", "-");
+            rows.push(Row {
+                name: name.clone(),
+                base_ns: Some(base_ns),
+                cand_ns: None,
+                regressed: false,
+            });
             continue;
         };
         compared += 1;
@@ -106,12 +183,29 @@ fn run() -> Result<bool, String> {
         let ratio = if base_ns > 0.0 { cand_ns / base_ns } else { f64::INFINITY };
         let flag = if ratio > 1.0 + threshold { "  REGRESSED" } else { "" };
         println!("{name:<52} {base_ns:>12.0} {cand_ns:>12.0} {ratio:>8.3}{flag}");
+        rows.push(Row {
+            name: name.clone(),
+            base_ns: Some(base_ns),
+            cand_ns: Some(cand_ns),
+            regressed: ratio > 1.0 + threshold,
+        });
         if ratio > 1.0 + threshold {
             regressions.push((name.clone(), ratio, threshold));
         }
     }
     for name in candidate.keys().filter(|n| !baseline.contains_key(*n)) {
         println!("{name:<52} {:>12} {:>12} {:>8}  (new)", "-", candidate[name], "-");
+        rows.push(Row {
+            name: name.clone(),
+            base_ns: None,
+            cand_ns: Some(candidate[name]),
+            regressed: false,
+        });
+    }
+
+    if let Some(path) = &args.summary {
+        let markdown = render_markdown(&rows, &args);
+        std::fs::write(path, markdown).map_err(|e| format!("writing {path}: {e}"))?;
     }
 
     if compared == 0 {
@@ -143,9 +237,59 @@ fn main() -> ExitCode {
         Err(msg) => {
             eprintln!("bench_compare: {msg}");
             eprintln!(
-                "usage: bench_compare --baseline FILE --candidate FILE [--threshold FRACTION]"
+                "usage: bench_compare --baseline FILE --candidate FILE \
+                 [--threshold FRACTION] [--tail-threshold FRACTION] [--summary FILE]"
             );
             ExitCode::from(2)
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args() -> Args {
+        Args {
+            baseline: String::new(),
+            candidate: String::new(),
+            threshold: 0.20,
+            tail_threshold: 0.50,
+            summary: None,
+        }
+    }
+
+    #[test]
+    fn format_ns_picks_readable_units() {
+        assert_eq!(format_ns(318.0), "318 ns");
+        assert_eq!(format_ns(942_075.0), "942.1 µs");
+        assert_eq!(format_ns(6_294_680.0), "6.29 ms");
+        assert_eq!(format_ns(2_500_000_000.0), "2.50 s");
+    }
+
+    #[test]
+    fn markdown_table_shows_delta_and_status() {
+        let rows = [
+            Row {
+                name: "serve_predict/batch/256".into(),
+                base_ns: Some(942_075.0),
+                cand_ns: Some(400_000.0),
+                regressed: false,
+            },
+            Row {
+                name: "serve_advise/goal/stq".into(),
+                base_ns: Some(1_000.0),
+                cand_ns: Some(1_400.0),
+                regressed: true,
+            },
+            Row { name: "fresh/bench".into(), base_ns: None, cand_ns: Some(5.0), regressed: false },
+        ];
+        let md = render_markdown(&rows, &args());
+        assert!(md.contains("| `serve_predict/batch/256` | 942.1 µs | 400.0 µs | -57.5% | ok |"));
+        assert!(
+            md.contains("| `serve_advise/goal/stq` | 1.0 µs | 1.4 µs | +40.0% | **REGRESSED** |")
+        );
+        assert!(md.contains("| `fresh/bench` | — | 5 ns | — | new |"));
+        assert!(md.contains("Budgets: 20% by median, 50% for `/p99` tails."));
     }
 }

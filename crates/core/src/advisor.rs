@@ -669,9 +669,14 @@ mod tests {
     #[test]
     fn flat_model_sweep_identical_to_recursive() {
         // The real serving configuration: a trained GB queried through its
-        // flat compilation must produce the *same bits* over a real sweep,
-        // hence the same recommendations on every question.
-        use chemcost_ml::flat::FlatGbt;
+        // flat compilation. The flat default is the quantized path — the
+        // candidate grid is all small integers (exactly representable in
+        // f32), so routing matches the recursive model exactly and sweep
+        // predictions agree within QUANT_REL_TOL (leaf-value rounding
+        // only), while the recommendations on every question must agree
+        // outright whenever the winner is not inside a tolerance-sized
+        // tie (checked via each answer's predicted seconds).
+        use chemcost_ml::flat::{FlatGbt, QUANT_REL_TOL};
         use chemcost_ml::gradient_boosting::GradientBoosting;
         let machine = aurora();
         let samples = chemcost_sim::datagen::generate_dataset_sized(&machine, 250, 3);
@@ -686,16 +691,40 @@ mod tests {
         gb.fit(&x, &y).unwrap();
         let flat = FlatGbt::compile(&gb);
 
+        let close = |q: f64, e: f64| (q - e).abs() <= QUANT_REL_TOL * (1.0 + e.abs());
         let recursive = Advisor::new(&gb, machine.clone());
         let fast = Advisor::new(&flat, machine);
         for &(o, v) in &[(116usize, 840usize), (134, 951), (44, 260), (280, 1040)] {
             let a = recursive.sweep(o, v);
             let b = fast.sweep(o, v);
             assert_eq!(a.candidates(), b.candidates());
-            assert_eq!(a.seconds(), b.seconds(), "flat sweep differs at ({o},{v})");
-            assert_eq!(a.best(Goal::ShortestTime), b.best(Goal::ShortestTime));
-            assert_eq!(a.best(Goal::Budget), b.best(Goal::Budget));
-            assert_eq!(a.pareto_frontier(), b.pareto_frontier());
+            assert_eq!(a.seconds().len(), b.seconds().len());
+            for (&ea, &qb) in a.seconds().iter().zip(b.seconds()) {
+                assert!(close(qb, ea), "flat sweep differs at ({o},{v}): {qb} vs {ea}");
+            }
+            for (ra, rb) in [
+                (a.best(Goal::ShortestTime), b.best(Goal::ShortestTime)),
+                (a.best(Goal::Budget), b.best(Goal::Budget)),
+            ] {
+                let (ra, rb) = (ra.unwrap(), rb.unwrap());
+                // The quantized winner may differ from the exact winner
+                // only if the two configurations' predictions are within
+                // tolerance of each other — a genuine tie at the model's
+                // resolution, not a wrong answer.
+                assert!(
+                    close(rb.predicted_seconds, ra.predicted_seconds),
+                    "flat recommendation off at ({o},{v}): {rb:?} vs {ra:?}"
+                );
+            }
+            // Every exact-frontier point must have a tolerance-equal
+            // counterpart on the quantized frontier.
+            let bf = b.pareto_frontier();
+            for ra in a.pareto_frontier() {
+                assert!(
+                    bf.iter().any(|rb| close(rb.predicted_seconds, ra.predicted_seconds)),
+                    "frontier point lost at ({o},{v}): {ra:?}"
+                );
+            }
         }
     }
 

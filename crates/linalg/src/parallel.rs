@@ -50,9 +50,10 @@ where
 /// Split `data` into contiguous chunks whose lengths are multiples of
 /// `stride` (except possibly the last) and process them in parallel.
 /// The callback receives the chunk's starting offset within `data`.
-pub fn par_chunks_mut<F>(data: &mut [f64], stride: usize, f: F)
+pub fn par_chunks_mut<T, F>(data: &mut [T], stride: usize, f: F)
 where
-    F: Fn(usize, &mut [f64]) + Sync,
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
 {
     let stride = stride.max(1);
     let units = data.len().div_ceil(stride);

@@ -10,9 +10,10 @@
 //!   ridge ([`bayesian_ridge`]) and ε-support-vector regression ([`svr`]),
 //!   all built on ordinary/ridge least squares ([`linear`]).
 //! * **Fast inference** — fitted tree ensembles compile into a contiguous
-//!   struct-of-arrays layout ([`flat`]) whose batched, parallel
-//!   predictions are bit-for-bit identical to the recursive path; this is
-//!   what the advisor sweep and the serving daemon query.
+//!   flat layout ([`flat`]) with two entry points: a quantized default
+//!   within `flat::QUANT_REL_TOL` of the recursive path, and `*_exact`
+//!   variants that stay bit-for-bit; this is what the advisor sweep and
+//!   the serving daemon query.
 //! * **Metrics** — R², MAE, MAPE (§3.2) and friends in [`metrics`].
 //! * **Model selection** — K-fold cross-validation plus grid, random and
 //!   Bayesian hyper-parameter search in [`model_selection`].

@@ -1,9 +1,19 @@
-//! Equivalence battery: flat (struct-of-arrays, iterative, parallel)
-//! inference must match the recursive per-tree path **bit-for-bit** —
-//! every assertion here is `==` on raw `f64`s, never a tolerance.
+//! Equivalence battery for flat (struct-of-arrays, iterative, parallel)
+//! inference, in two tiers:
+//!
+//! * **Exact tier** — `predict_batch_exact` / `predict_row_exact` must
+//!   match the recursive per-tree path **bit-for-bit**: every assertion
+//!   is `==` on raw `f64`s, never a tolerance. This is PR 2's original
+//!   contract, now carried by the exact path.
+//! * **Tolerance tier** — the default quantized (`f32`) path must stay
+//!   within [`QUANT_REL_TOL`] of the recursive model on `f32`-representable
+//!   inputs (which the advisor's integer candidate grids always are):
+//!   thresholds quantize toward −∞ so routing is preserved exactly, and
+//!   the only error is one `f64 → f32` rounding per leaf value. Covered on
+//!   proptest-generated models and on the 750-tree paper-config ensemble.
 
 use chemcost_linalg::Matrix;
-use chemcost_ml::flat::{FlatForest, FlatGbt};
+use chemcost_ml::flat::{FlatForest, FlatGbt, QUANT_REL_TOL};
 use chemcost_ml::forest::RandomForest;
 use chemcost_ml::gradient_boosting::{GbLoss, GradientBoosting};
 use chemcost_ml::tree::MaxFeatures;
@@ -11,6 +21,10 @@ use chemcost_ml::Regressor;
 use proptest::prelude::*;
 
 /// Deterministic pseudo-random training corpus with a nonlinear target.
+/// Feature values are snapped through `f32` so they are exactly
+/// representable on the quantized path (routing then matches the
+/// recursive model leaf-for-leaf; see the module docs in
+/// `chemcost_ml::flat`).
 fn corpus(n: usize, d: usize, salt: u64) -> (Matrix, Vec<f64>) {
     let x = Matrix::from_fn(n, d, |i, j| {
         let h = (i as u64)
@@ -18,7 +32,7 @@ fn corpus(n: usize, d: usize, salt: u64) -> (Matrix, Vec<f64>) {
             .wrapping_add(j as u64)
             .wrapping_mul(1442695040888963407)
             .wrapping_add(salt);
-        ((h >> 33) % 10_000) as f64 / 100.0
+        (((h >> 33) % 10_000) as f64 / 100.0) as f32 as f64
     });
     let y = (0..n)
         .map(|i| {
@@ -34,8 +48,19 @@ fn queries(n: usize, d: usize) -> Matrix {
     corpus(n, d, 0xBEEF).0
 }
 
+/// Tolerance-tier assertion: quantized vs exact within `QUANT_REL_TOL`.
+fn assert_close(quantized: &[f64], exact: &[f64], what: &str) {
+    assert_eq!(quantized.len(), exact.len(), "{what}: length mismatch");
+    for (i, (q, e)) in quantized.iter().zip(exact).enumerate() {
+        assert!(
+            (q - e).abs() <= QUANT_REL_TOL * (1.0 + e.abs()),
+            "{what} row {i}: quantized {q} vs exact {e} outside QUANT_REL_TOL"
+        );
+    }
+}
+
 #[test]
-fn forest_equivalence_across_hyperparameters() {
+fn forest_exact_equivalence_across_hyperparameters() {
     let (x, y) = corpus(200, 4, 1);
     let q = queries(300, 4);
     for (n_estimators, max_depth, bootstrap, max_features) in [
@@ -50,8 +75,14 @@ fn forest_equivalence_across_hyperparameters() {
         rf.seed = 99;
         rf.fit(&x, &y).unwrap();
         let flat = FlatForest::compile(&rf);
-        assert_eq!(flat.predict_batch(&q), rf.predict(&q), "config {n_estimators}/{max_depth}");
-        assert_eq!(flat.predict_batch(&x), rf.predict(&x));
+        assert_eq!(
+            flat.predict_batch_exact(&q),
+            rf.predict(&q),
+            "config {n_estimators}/{max_depth}"
+        );
+        assert_eq!(flat.predict_batch_exact(&x), rf.predict(&x));
+        // Tolerance tier on the same configurations.
+        assert_close(&flat.predict_batch(&q), &rf.predict(&q), "forest quantized");
     }
 }
 
@@ -88,11 +119,14 @@ fn gbt_equivalence_across_losses_and_controls() {
     for mut gb in configs {
         gb.fit(&x, &y).unwrap();
         let flat = FlatGbt::compile(&gb);
-        assert_eq!(flat.predict_batch(&q), gb.predict(&q), "loss {:?}", gb.loss);
-        assert_eq!(flat.predict_batch(&x), gb.predict(&x));
-        // Single-row path agrees with the batch path and with predict_one.
+        assert_eq!(flat.predict_batch_exact(&q), gb.predict(&q), "loss {:?}", gb.loss);
+        assert_eq!(flat.predict_batch_exact(&x), gb.predict(&x));
+        assert_close(&flat.predict_batch(&q), &gb.predict(&q), "gbt quantized");
+        // Single-row paths agree with their batch counterparts and with
+        // predict_one.
         for i in (0..q.nrows()).step_by(37) {
-            assert_eq!(flat.predict_row(q.row(i)), gb.predict_one(q.row(i)));
+            assert_eq!(flat.predict_row_exact(q.row(i)), gb.predict_one(q.row(i)));
+            assert_eq!(flat.predict_row(q.row(i)), flat.predict_batch(&q)[i]);
         }
     }
 }
@@ -101,7 +135,8 @@ fn gbt_equivalence_across_losses_and_controls() {
 fn equivalence_on_advisor_style_sweep_inputs() {
     // The advisor's candidate matrices hold integer-valued (o, v, nodes,
     // tile) columns of very different magnitudes — exactly the inputs the
-    // serving hot path sees.
+    // serving hot path sees. Integers are f32-representable, so the
+    // quantized path routes identically to the recursive model here.
     let (x, y) = corpus(220, 4, 3);
     // Rescale features into (o, v, nodes, tile)-like ranges.
     let x = Matrix::from_fn(x.nrows(), 4, |i, j| match j {
@@ -128,8 +163,45 @@ fn equivalence_on_advisor_style_sweep_inputs() {
     }
     let flat_gb = FlatGbt::compile(&gb);
     let flat_rf = FlatForest::compile(&rf);
-    assert_eq!(flat_gb.predict_batch(&sweep), gb.predict(&sweep));
-    assert_eq!(flat_rf.predict_batch(&sweep), rf.predict(&sweep));
+    assert_eq!(flat_gb.predict_batch_exact(&sweep), gb.predict(&sweep));
+    assert_eq!(flat_rf.predict_batch_exact(&sweep), rf.predict(&sweep));
+    assert_close(&flat_gb.predict_batch(&sweep), &gb.predict(&sweep), "gbt sweep");
+    assert_close(&flat_rf.predict_batch(&sweep), &rf.predict(&sweep), "rf sweep");
+}
+
+#[test]
+fn paper_config_model_within_tolerance() {
+    // The deployed shape: the 750-estimator paper-config ensemble. The
+    // quantized serving path must stay inside QUANT_REL_TOL of the
+    // recursive model across a full advisor-style sweep, and the exact
+    // path must stay bit-for-bit.
+    let (x, y) = corpus(400, 4, 7);
+    let x = Matrix::from_fn(x.nrows(), 4, |i, j| match j {
+        0 => (40.0 + x[(i, 0)] * 3.0).round(),
+        1 => (260.0 + x[(i, 1)] * 13.0).round(),
+        2 => (5.0 + x[(i, 2)] * 9.0).round(),
+        _ => (40.0 + x[(i, 3)]).round(),
+    });
+    let mut gb = GradientBoosting::paper_config();
+    gb.seed = 42;
+    gb.fit(&x, &y).unwrap();
+    let flat = FlatGbt::compile(&gb);
+    assert_eq!(flat.n_trees(), gb.n_stages());
+
+    let mut sweep = Matrix::zeros(0, 4);
+    for nodes in [5.0, 10.0, 20.0, 50.0, 120.0, 400.0, 900.0] {
+        for k in 4..=18 {
+            sweep.push_row(&[116.0, 840.0, nodes, (k * 10) as f64]);
+        }
+    }
+    let exact = gb.predict(&sweep);
+    assert_eq!(flat.predict_batch_exact(&sweep), exact);
+    assert_close(&flat.predict_batch(&sweep), &exact, "paper-config quantized");
+    // Row path and batch path are bit-identical within the quantized tier.
+    let batch = flat.predict_batch(&sweep);
+    for (i, &b) in batch.iter().enumerate() {
+        assert_eq!(flat.predict_row(sweep.row(i)), b);
+    }
 }
 
 #[test]
@@ -142,13 +214,20 @@ fn compiled_model_survives_persistence_round_trip() {
     let (init, lr, d, trees) = gb.export();
     let restored = GradientBoosting::from_export(init, lr, d, &trees);
     let q = queries(120, 4);
-    assert_eq!(FlatGbt::compile(&restored).predict_batch(&q), gb.predict(&q));
+    assert_eq!(FlatGbt::compile(&restored).predict_batch_exact(&q), gb.predict(&q));
+    // The quantized layouts of original and round-tripped models must
+    // agree bit-for-bit too (same nodes in, same quantization out).
+    assert_eq!(
+        FlatGbt::compile(&restored).predict_batch(&q),
+        FlatGbt::compile(&gb).predict_batch(&q)
+    );
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
-    /// Randomized shapes and hyper-parameters: flat == recursive, always.
+    /// Randomized shapes and hyper-parameters: exact flat == recursive,
+    /// always; quantized flat within QUANT_REL_TOL, always.
     #[test]
     fn prop_flat_matches_recursive(
         n in 20usize..120,
@@ -164,11 +243,25 @@ proptest! {
         rf.seed = seed;
         rf.max_features = MaxFeatures::Sqrt;
         rf.fit(&x, &y).unwrap();
-        prop_assert_eq!(FlatForest::compile(&rf).predict_batch(&q), rf.predict(&q));
+        let flat_rf = FlatForest::compile(&rf);
+        prop_assert_eq!(flat_rf.predict_batch_exact(&q), rf.predict(&q));
+        for (i, (qv, e)) in flat_rf.predict_batch(&q).iter().zip(rf.predict(&q)).enumerate() {
+            prop_assert!(
+                (qv - e).abs() <= QUANT_REL_TOL * (1.0 + e.abs()),
+                "rf row {} quantized {} vs exact {}", i, qv, e
+            );
+        }
 
         let mut gb = GradientBoosting::new(n_estimators, max_depth, 0.15);
         gb.seed = seed;
         gb.fit(&x, &y).unwrap();
-        prop_assert_eq!(FlatGbt::compile(&gb).predict_batch(&q), gb.predict(&q));
+        let flat_gb = FlatGbt::compile(&gb);
+        prop_assert_eq!(flat_gb.predict_batch_exact(&q), gb.predict(&q));
+        for (i, (qv, e)) in flat_gb.predict_batch(&q).iter().zip(gb.predict(&q)).enumerate() {
+            prop_assert!(
+                (qv - e).abs() <= QUANT_REL_TOL * (1.0 + e.abs()),
+                "gbt row {} quantized {} vs exact {}", i, qv, e
+            );
+        }
     }
 }

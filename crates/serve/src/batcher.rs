@@ -278,9 +278,17 @@ impl Drop for RouteGuard {
 }
 
 /// The collector: wait for work, coalesce under the window, flush.
+///
+/// The job list and the row-concatenation scratch live here, outside the
+/// loop, and are recycled flush after flush: swapping the queue out
+/// hands its capacity back on the next cycle, so a steady request rate
+/// reaches a state where a flush allocates only the per-job result
+/// vectors it must send back.
 fn collect_loop(shared: &Shared, config: BatcherConfig, metrics: &Metrics) {
+    let mut jobs: Vec<Job> = Vec::new();
+    let mut scratch: Vec<f64> = Vec::new();
     loop {
-        let (jobs, reason) = {
+        let reason = {
             let mut queue = shared.queue.lock().unwrap();
             while queue.is_empty() && !shared.shutdown.load(Ordering::SeqCst) {
                 queue = shared.arrived.wait(queue).unwrap();
@@ -309,9 +317,12 @@ fn collect_loop(shared: &Shared, config: BatcherConfig, metrics: &Metrics) {
                 let (q, _timeout) = shared.arrived.wait_timeout(queue, deadline - now).unwrap();
                 queue = q;
             };
-            (std::mem::take(&mut *queue), reason)
+            // `jobs` comes back empty from the previous flush; the swap
+            // donates its retained capacity to the queue.
+            std::mem::swap(&mut *queue, &mut jobs);
+            reason
         };
-        flush(jobs, reason, metrics, config.window);
+        flush(&mut jobs, reason, metrics, config.window, &mut scratch);
     }
 }
 
@@ -320,7 +331,13 @@ fn collect_loop(shared: &Shared, config: BatcherConfig, metrics: &Metrics) {
 /// `batch.flush` obs event per flush (satellite of PR 8) before the
 /// model calls, so the event's `waited_us` measures queueing, not
 /// inference.
-fn flush(jobs: Vec<Job>, reason: FlushReason, metrics: &Metrics, window: Duration) {
+fn flush(
+    jobs: &mut Vec<Job>,
+    reason: FlushReason,
+    metrics: &Metrics,
+    window: Duration,
+    scratch: &mut Vec<f64>,
+) {
     if obs::enabled(Level::Debug) && !jobs.is_empty() {
         let rows: usize = jobs.iter().map(|j| j.x.nrows()).sum();
         // Age of the oldest job: how long the batch actually waited.
@@ -341,7 +358,7 @@ fn flush(jobs: Vec<Job>, reason: FlushReason, metrics: &Metrics, window: Duratio
     // Group by (model pointer, feature width). Vec scan, not a map: a
     // flush holds a handful of jobs, nearly always one group.
     let mut groups: Vec<(usize, usize, Vec<Job>)> = Vec::new();
-    for job in jobs {
+    for job in jobs.drain(..) {
         let key = (Arc::as_ptr(&job.flat) as usize, job.x.ncols());
         match groups.iter_mut().find(|(p, c, _)| (*p, *c) == key) {
             Some((_, _, g)) => g.push(job),
@@ -357,12 +374,16 @@ fn flush(jobs: Vec<Job>, reason: FlushReason, metrics: &Metrics, window: Duratio
             let _ = job.tx.send((seconds, reason));
             continue;
         }
-        let mut data = Vec::with_capacity(total_rows * cols);
+        // Concatenate rows into the recycled scratch, lend it to the
+        // Matrix for the batched call, then take it back for next time.
+        scratch.clear();
+        scratch.reserve(total_rows * cols);
         for job in &group {
-            data.extend_from_slice(job.x.as_slice());
+            scratch.extend_from_slice(job.x.as_slice());
         }
-        let x = Matrix::from_vec(total_rows, cols, data);
+        let x = Matrix::from_vec(total_rows, cols, std::mem::take(scratch));
         let seconds = group[0].flat.predict_batch(&x);
+        *scratch = x.into_vec();
         let mut offset = 0;
         for job in group {
             let n = job.x.nrows();

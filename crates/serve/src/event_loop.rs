@@ -49,7 +49,7 @@
 //! are stalled on the socket.
 
 use crate::fault::{FaultKind, FaultPlane};
-use crate::http::{encode_response, parse_request, HttpError, Request, Response};
+use crate::http::{encode_response_into, parse_request, HttpError, Request, Response};
 use crate::json::Json;
 use crate::metrics::Metrics;
 use crate::pool::ThreadPool;
@@ -195,6 +195,16 @@ impl Conn {
     fn enqueue_bytes(&mut self, bytes: &[u8]) {
         self.write_buf.extend_from_slice(bytes);
         self.bytes_enqueued += bytes.len() as u64;
+    }
+
+    /// Serialize a response straight into the wire buffer — no
+    /// intermediate allocation; the buffer's capacity is reused across
+    /// every response on this connection. Same `bytes_enqueued`
+    /// bookkeeping contract as [`Conn::enqueue_bytes`].
+    fn enqueue_response(&mut self, response: &Response, keep_alive: bool) {
+        let before = self.write_buf.len();
+        encode_response_into(response, keep_alive, &mut self.write_buf);
+        self.bytes_enqueued += (self.write_buf.len() - before) as u64;
     }
 
     /// Should this connection be torn down right now?
@@ -357,8 +367,8 @@ impl Loop<'_> {
                     max_conns = self.config.max_conns,
                     shed_total = self.metrics.shed_total(),
                 );
-                let resp = Response::json(503, r#"{"error":"server overloaded"}"#.into());
-                conn.enqueue_bytes(&encode_response(&resp, false));
+                let resp = Response::json(503, r#"{"error":"server overloaded"}"#);
+                conn.enqueue_response(&resp, false);
                 conn.closing = true;
             }
             self.metrics.inc_connections_open();
@@ -553,6 +563,12 @@ impl Loop<'_> {
         let metrics = Arc::clone(&self.metrics);
         let tx = self.done_tx.clone();
         let waker = Arc::clone(&self.waker);
+        // Declare batch interest for the whole queue wait: a parsed
+        // predict/advise request can still join a micro-batch, so the
+        // collector must not drain while it sits in the compute queue.
+        // The guard moves into the job and drops when handling ends.
+        let batch_interest =
+            self.router.is_batched_path(&req.path).then(|| self.router.batch_interest());
         self.metrics.pool_enqueued();
         let job: crate::pool::Job = Box::new(move || {
             metrics.pool_dequeued();
@@ -566,6 +582,7 @@ impl Loop<'_> {
             timeline.stamp_dequeued();
             crate::timeline::begin_capture();
             let response = router.handle_from(&req, arrived);
+            drop(batch_interest);
             timeline.stamp_handler_done();
             timeline.absorb(crate::timeline::end_capture(), response.status);
             let _ = tx.send(Done { token, seq, response, keep_alive, timeline: Some(timeline) });
@@ -580,7 +597,7 @@ impl Loop<'_> {
                 queue_cap = self.pool.queue_cap(),
                 shed_total = self.metrics.shed_total(),
             );
-            let resp = Response::json(503, r#"{"error":"server overloaded"}"#.into());
+            let resp = Response::json(503, r#"{"error":"server overloaded"}"#);
             self.apply_done(Done { token, seq, response: resp, keep_alive, timeline: None });
         }
     }
@@ -614,7 +631,7 @@ impl Loop<'_> {
             // Graceful drain: every response sent after shutdown was
             // requested tells the client this connection is over.
             let keep_alive = keep_alive && !draining;
-            conn.enqueue_bytes(&encode_response(&response, keep_alive));
+            conn.enqueue_response(&response, keep_alive);
             // Reorder release: the response's turn came up and its last
             // byte now sits at offset `bytes_enqueued`; the timeline
             // completes once the socket has accepted that many bytes.

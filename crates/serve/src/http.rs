@@ -16,7 +16,10 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::fmt::Write as _;
 use std::io::{BufRead, Write};
+use std::ops::Deref;
+use std::sync::Arc;
 
 /// Longest accepted request line / header line, in bytes.
 const MAX_LINE: usize = 8 * 1024;
@@ -57,6 +60,84 @@ impl Request {
     }
 }
 
+/// Response body bytes: owned, or shared out of the advise cache so a
+/// warm cache hit replays the rendered answer without copying it.
+#[derive(Debug, Clone)]
+pub enum Body {
+    /// Exclusively owned bytes (the common case: freshly rendered JSON).
+    Bytes(Vec<u8>),
+    /// A reference-counted string slab shared with the response cache; a
+    /// hit is a refcount bump, not a copy.
+    Shared(Arc<str>),
+}
+
+impl Body {
+    /// The body bytes, whichever variant holds them.
+    pub fn as_bytes(&self) -> &[u8] {
+        match self {
+            Body::Bytes(b) => b,
+            Body::Shared(s) => s.as_bytes(),
+        }
+    }
+
+    /// Body length in bytes.
+    pub fn len(&self) -> usize {
+        self.as_bytes().len()
+    }
+
+    /// Is the body empty?
+    pub fn is_empty(&self) -> bool {
+        self.as_bytes().is_empty()
+    }
+
+    /// Extract owned bytes, copying only for the shared variant.
+    pub fn into_bytes(self) -> Vec<u8> {
+        match self {
+            Body::Bytes(b) => b,
+            Body::Shared(s) => s.as_bytes().to_vec(),
+        }
+    }
+}
+
+impl Deref for Body {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_bytes()
+    }
+}
+
+impl PartialEq for Body {
+    fn eq(&self, other: &Body) -> bool {
+        self.as_bytes() == other.as_bytes()
+    }
+}
+
+impl Eq for Body {}
+
+impl From<Vec<u8>> for Body {
+    fn from(b: Vec<u8>) -> Body {
+        Body::Bytes(b)
+    }
+}
+
+impl From<String> for Body {
+    fn from(s: String) -> Body {
+        Body::Bytes(s.into_bytes())
+    }
+}
+
+impl From<Arc<str>> for Body {
+    fn from(s: Arc<str>) -> Body {
+        Body::Shared(s)
+    }
+}
+
+impl From<&str> for Body {
+    fn from(s: &str) -> Body {
+        Body::Bytes(s.as_bytes().to_vec())
+    }
+}
+
 /// An HTTP response to serialize.
 #[derive(Debug, Clone)]
 pub struct Response {
@@ -67,28 +148,28 @@ pub struct Response {
     /// Extra response headers (e.g. `X-Request-Id`), written verbatim
     /// after the standard ones.
     pub headers: Vec<(&'static str, String)>,
-    /// Response body bytes.
-    pub body: Vec<u8>,
+    /// Response body bytes (owned or cache-shared).
+    pub body: Body,
 }
 
 impl Response {
     /// JSON response with the given status.
-    pub fn json(status: u16, body: String) -> Response {
+    pub fn json(status: u16, body: impl Into<Body>) -> Response {
         Response {
             status,
             content_type: "application/json",
             headers: Vec::new(),
-            body: body.into_bytes(),
+            body: body.into(),
         }
     }
 
     /// Plain-text response with the given status.
-    pub fn text(status: u16, body: String) -> Response {
+    pub fn text(status: u16, body: impl Into<Body>) -> Response {
         Response {
             status,
             content_type: "text/plain; version=0.0.4",
             headers: Vec::new(),
-            body: body.into_bytes(),
+            body: body.into(),
         }
     }
 
@@ -321,7 +402,19 @@ fn reason(status: u16) -> &'static str {
 /// `Connection` header: the event loop forces `close` during graceful
 /// drain regardless of what the client asked for.
 pub fn encode_response(response: &Response, keep_alive: bool) -> Vec<u8> {
-    let mut head = format!(
+    let mut out = Vec::with_capacity(192 + response.body.len());
+    encode_response_into(response, keep_alive, &mut out);
+    out
+}
+
+/// Append the wire encoding of `response` to `out` without any
+/// intermediate buffer — the event loop serializes straight into each
+/// connection's (reused) write buffer, so a warm response costs no
+/// per-response allocation here.
+pub fn encode_response_into(response: &Response, keep_alive: bool, out: &mut Vec<u8>) {
+    let mut head = ByteWriter(out);
+    let _ = write!(
+        head,
         "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         response.status,
         reason(response.status),
@@ -330,15 +423,24 @@ pub fn encode_response(response: &Response, keep_alive: bool) -> Vec<u8> {
         if keep_alive { "keep-alive" } else { "close" },
     );
     for (name, value) in &response.headers {
-        head.push_str(name);
-        head.push_str(": ");
-        head.push_str(value);
-        head.push_str("\r\n");
+        out.extend_from_slice(name.as_bytes());
+        out.extend_from_slice(b": ");
+        out.extend_from_slice(value.as_bytes());
+        out.extend_from_slice(b"\r\n");
     }
-    head.push_str("\r\n");
-    let mut out = head.into_bytes();
+    out.extend_from_slice(b"\r\n");
     out.extend_from_slice(&response.body);
-    out
+}
+
+/// `fmt::Write` adapter over a byte buffer (header text is always ASCII
+/// here, and UTF-8 regardless, so pushing the formatted bytes is safe).
+struct ByteWriter<'a>(&'a mut Vec<u8>);
+
+impl fmt::Write for ByteWriter<'_> {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        self.0.extend_from_slice(s.as_bytes());
+        Ok(())
+    }
 }
 
 /// Serialize a response onto the stream (does not flush-close).
@@ -412,7 +514,7 @@ mod tests {
     #[test]
     fn gateway_timeout_has_a_reason_phrase() {
         let mut out = Vec::new();
-        write_response(&mut out, &Response::json(504, "{}".into()), false).unwrap();
+        write_response(&mut out, &Response::json(504, "{}"), false).unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 504 Gateway Timeout\r\n"), "{text}");
     }
@@ -433,7 +535,7 @@ mod tests {
     #[test]
     fn response_serialization_round_trips() {
         let mut out = Vec::new();
-        write_response(&mut out, &Response::json(200, "{\"ok\":true}".into()), true).unwrap();
+        write_response(&mut out, &Response::json(200, "{\"ok\":true}"), true).unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
         assert!(text.contains("Content-Length: 11\r\n"));
@@ -494,7 +596,7 @@ mod tests {
 
     #[test]
     fn encode_response_matches_write_response() {
-        let mut resp = Response::json(200, "{}".into());
+        let mut resp = Response::json(200, "{}");
         resp.headers.push(("X-Request-Id", "abc".into()));
         let mut streamed = Vec::new();
         write_response(&mut streamed, &resp, true).unwrap();
@@ -503,7 +605,7 @@ mod tests {
 
     #[test]
     fn extra_headers_are_written_before_the_body() {
-        let mut resp = Response::json(200, "{}".into());
+        let mut resp = Response::json(200, "{}");
         resp.headers.push(("X-Request-Id", "abc123".into()));
         let mut out = Vec::new();
         write_response(&mut out, &resp, false).unwrap();

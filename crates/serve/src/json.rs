@@ -6,8 +6,18 @@
 //! error carries the byte offset it occurred at. Encoding writes the
 //! minimal text form (no pretty-printing): non-finite numbers encode as
 //! `null`, since JSON has no representation for them.
+//!
+//! For the serving hot paths there is also a borrowing [`Scanner`]: a
+//! flat cursor over the request text that yields `&str` slices and
+//! `f64`s without building a [`Json`] tree — the predict/advise handlers
+//! scan the canonical body shapes allocation-free and fall back to the
+//! general parser (identical errors, identical semantics) on anything
+//! unusual. The scanner deliberately recognises only a strict subset
+//! (no escapes in strings, for instance); returning `None` always means
+//! "let the general parser decide", never a verdict of its own.
 
 use std::fmt;
+use std::fmt::Write as _;
 
 /// A JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -117,7 +127,7 @@ impl Json {
 
     /// Serialize to minimal JSON text.
     pub fn encode(&self) -> String {
-        let mut out = String::new();
+        let mut out = String::with_capacity(128);
         self.write(&mut out);
         out
     }
@@ -127,14 +137,7 @@ impl Json {
             Json::Null => out.push_str("null"),
             Json::Bool(true) => out.push_str("true"),
             Json::Bool(false) => out.push_str("false"),
-            Json::Num(n) => {
-                if n.is_finite() {
-                    // f64 Display is the shortest round-trippable form.
-                    out.push_str(&n.to_string());
-                } else {
-                    out.push_str("null");
-                }
-            }
+            Json::Num(n) => write_num(*n, out),
             Json::Str(s) => write_escaped(s, out),
             Json::Arr(items) => {
                 out.push('[');
@@ -204,7 +207,21 @@ impl fmt::Display for Json {
     }
 }
 
-fn write_escaped(s: &str, out: &mut String) {
+/// Append one number exactly as [`Json::Num`] encodes it: `f64` Display
+/// (the shortest round-trippable form) for finite values, `null`
+/// otherwise. `pub(crate)` so direct-writing response builders stay
+/// byte-compatible with tree encoding.
+pub(crate) fn write_num(n: f64, out: &mut String) {
+    if n.is_finite() {
+        let _ = write!(out, "{n}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Append one string exactly as [`Json::Str`] encodes it (quoted and
+/// escaped). `pub(crate)` for the same reason as [`write_num`].
+pub(crate) fn write_escaped(s: &str, out: &mut String) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -214,7 +231,7 @@ fn write_escaped(s: &str, out: &mut String) {
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
             c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
+                let _ = write!(out, "\\u{:04x}", c as u32);
             }
             c => out.push(c),
         }
@@ -420,6 +437,102 @@ impl<'a> Parser<'a> {
                 }
                 _ => return Err(self.err("expected ',' or '}' in object")),
             }
+        }
+    }
+}
+
+/// Borrowing cursor over request text for the serving fast paths.
+///
+/// Yields `&str` slices (escape-free strings only) and `f64`s without
+/// building a [`Json`] tree. Every method returns `Option`: `None`
+/// means "this body is outside the strict subset I recognise" and the
+/// caller must fall back to [`Json::parse`], which then reproduces the
+/// general semantics (including every error message) byte-for-byte.
+///
+/// Number scanning is an exact replica of the tree parser's grammar —
+/// optional `-`, then the maximal run of `[0-9.eE+-]`, then
+/// `str::parse::<f64>` with a finiteness check — so any number the
+/// scanner accepts produces the *identical* `f64` the tree parser
+/// would.
+pub(crate) struct Scanner<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Scanner<'a> {
+    pub(crate) fn new(src: &'a str) -> Self {
+        Scanner { src, pos: 0 }
+    }
+
+    fn bytes(&self) -> &'a [u8] {
+        self.src.as_bytes()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes().get(self.pos).copied()
+    }
+
+    pub(crate) fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    /// Consume `b` if it is the next byte; report whether it was.
+    pub(crate) fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// True once every remaining byte is whitespace (the tree parser's
+    /// "trailing characters" check passes).
+    pub(crate) fn at_end(&mut self) -> bool {
+        self.skip_ws();
+        self.pos == self.src.len()
+    }
+
+    /// A quoted string with no escapes and no control bytes, returned
+    /// as a borrowed slice. Escaped or malformed strings yield `None`
+    /// (fall back to the tree parser).
+    pub(crate) fn string(&mut self) -> Option<&'a str> {
+        if !self.eat(b'"') {
+            return None;
+        }
+        let start = self.pos;
+        loop {
+            match self.peek()? {
+                b'"' => {
+                    let s = &self.src[start..self.pos];
+                    self.pos += 1;
+                    return Some(s);
+                }
+                b'\\' => return None,
+                b if b < 0x20 => return None,
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    /// A finite JSON number, scanned and parsed exactly like the tree
+    /// parser. `None` for anything else (fall back).
+    pub(crate) fn number(&mut self) -> Option<f64> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return None;
+        }
+        match self.src[start..self.pos].parse::<f64>() {
+            Ok(n) if n.is_finite() => Some(n),
+            _ => None,
         }
     }
 }

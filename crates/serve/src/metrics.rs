@@ -11,6 +11,19 @@
 //! [`lint_exposition`] validates that format and doubles as the CI smoke
 //! and chaos jobs' correctness check.
 //!
+//! # Hot-path layout
+//!
+//! The per-request counters (route requests/errors, advise-cache
+//! hits/misses, keep-alive reuses) are [`ShardedCounter`]s: each is a
+//! small array of cache-line-padded atomics and every thread increments
+//! its own stripe, so concurrent request threads never bounce one
+//! counter's cache line between cores. Reads sum the stripes — counters
+//! are read on scrape, written per request, so the trade goes the right
+//! way. Histogram bucket lines render through preformatted name slabs
+//! (`name_bucket{…le="x"} ` prefixes built once per process), keeping
+//! the scrape path to integer formatting instead of per-line `format!`
+//! allocations.
+//!
 //! Every series is **pre-registered**: the label sets are fixed arrays,
 //! so each family appears in the very first scrape at zero rather than
 //! materializing on first increment (dashboards and the `increase()`
@@ -21,8 +34,9 @@
 use crate::batcher::FlushReason;
 use crate::fault::FaultKind;
 use chemcost_lifecycle::{LifecycleObserver, LifecycleState, PromotionOutcome, TRANSITIONS};
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Route label a request is accounted under. Fixed set — unknown paths
@@ -326,10 +340,84 @@ pub fn build_info() -> (&'static str, &'static str, &'static str) {
     (BUILD_VERSION, BUILD_GIT_SHA, BUILD_DIRTY)
 }
 
+/// Stripes per [`ShardedCounter`]. Power of two so the per-thread pick
+/// is a mask.
+const COUNTER_SHARDS: usize = 8;
+
+/// One cache line's worth of counter, so neighbouring stripes never
+/// false-share.
+#[repr(align(64))]
+#[derive(Default)]
+struct PaddedU64(AtomicU64);
+
+/// Per-thread stripe index, handed out round-robin on first use so a
+/// steady pool of request threads spreads evenly over the stripes.
+fn counter_stripe() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static STRIPE: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
+    }
+    STRIPE.with(|s| {
+        let v = s.get();
+        if v != usize::MAX {
+            return v;
+        }
+        let v = NEXT.fetch_add(1, Ordering::Relaxed) & (COUNTER_SHARDS - 1);
+        s.set(v);
+        v
+    })
+}
+
+/// A monotonically increasing counter striped across cache-line-padded
+/// shards: increments touch only the calling thread's stripe, reads sum
+/// all stripes. Written per request, read per scrape.
+#[derive(Default)]
+struct ShardedCounter {
+    stripes: [PaddedU64; COUNTER_SHARDS],
+}
+
+impl ShardedCounter {
+    #[inline]
+    fn inc(&self) {
+        self.stripes[counter_stripe()].0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn load(&self) -> u64 {
+        self.stripes.iter().map(|s| s.0.load(Ordering::Relaxed)).sum()
+    }
+}
+
 #[derive(Default)]
 struct RouteStats {
-    requests: AtomicU64,
-    errors: AtomicU64,
+    requests: ShardedCounter,
+    errors: ShardedCounter,
+}
+
+/// Preformatted line prefixes for one histogram's fixed series names —
+/// everything up to the sample value, built once per process so a scrape
+/// only formats the integers.
+struct RenderSlab {
+    /// `name_bucket{extra,le="…"} ` for each bucket, `+Inf` last.
+    bucket_prefixes: Vec<String>,
+    /// `name_sum ` / `name_sum{labels} `.
+    sum_prefix: String,
+    /// `name_count ` / `name_count{labels} `.
+    count_prefix: String,
+}
+
+impl RenderSlab {
+    fn build<B: std::fmt::Display>(name: &str, extra: &str, bounds: &[B]) -> RenderSlab {
+        let mut bucket_prefixes: Vec<String> =
+            bounds.iter().map(|le| format!("{name}_bucket{{{extra}le=\"{le}\"}} ")).collect();
+        bucket_prefixes.push(format!("{name}_bucket{{{extra}le=\"+Inf\"}} "));
+        let (sum_prefix, count_prefix) = if extra.is_empty() {
+            (format!("{name}_sum "), format!("{name}_count "))
+        } else {
+            let labels = extra.trim_end_matches(',');
+            (format!("{name}_sum{{{labels}}} "), format!("{name}_count{{{labels}}} "))
+        };
+        RenderSlab { bucket_prefixes, sum_prefix, count_prefix }
+    }
 }
 
 /// Cumulative bucket counts (+ overflow) with sum and count — one
@@ -339,6 +427,9 @@ struct Histogram {
     buckets: [AtomicU64; 11],
     sum_micros: AtomicU64,
     count: AtomicU64,
+    /// Built on first render; each histogram instance renders under one
+    /// fixed `(name, extra)` pair.
+    slab: OnceLock<RenderSlab>,
 }
 
 impl Histogram {
@@ -354,25 +445,18 @@ impl Histogram {
     /// count. `extra` is either empty or `label="value",` (trailing
     /// comma included).
     fn render(&self, out: &mut String, name: &str, extra: &str) {
+        let slab = self.slab.get_or_init(|| RenderSlab::build(name, extra, &BUCKETS));
         let mut cumulative = 0u64;
-        for (i, le) in BUCKETS.iter().enumerate() {
-            cumulative += self.buckets[i].load(Ordering::Relaxed);
-            out.push_str(&format!("{name}_bucket{{{extra}le=\"{le}\"}} {cumulative}\n"));
+        for (bucket, prefix) in self.buckets.iter().zip(&slab.bucket_prefixes) {
+            cumulative += bucket.load(Ordering::Relaxed);
+            out.push_str(prefix);
+            let _ = writeln!(out, "{cumulative}");
         }
-        cumulative += self.buckets[BUCKETS.len()].load(Ordering::Relaxed);
-        out.push_str(&format!("{name}_bucket{{{extra}le=\"+Inf\"}} {cumulative}\n"));
         let sum = self.sum_micros.load(Ordering::Relaxed) as f64 / 1e6;
-        if extra.is_empty() {
-            out.push_str(&format!("{name}_sum {sum}\n"));
-            out.push_str(&format!("{name}_count {}\n", self.count.load(Ordering::Relaxed)));
-        } else {
-            let labels = extra.trim_end_matches(',');
-            out.push_str(&format!("{name}_sum{{{labels}}} {sum}\n"));
-            out.push_str(&format!(
-                "{name}_count{{{labels}}} {}\n",
-                self.count.load(Ordering::Relaxed)
-            ));
-        }
+        out.push_str(&slab.sum_prefix);
+        let _ = writeln!(out, "{sum}");
+        out.push_str(&slab.count_prefix);
+        let _ = writeln!(out, "{}", self.count.load(Ordering::Relaxed));
     }
 }
 
@@ -387,6 +471,8 @@ struct SizeHistogram {
     buckets: [AtomicU64; 11],
     sum: AtomicU64,
     count: AtomicU64,
+    /// Built on first render; see [`Histogram::slab`].
+    slab: OnceLock<RenderSlab>,
 }
 
 impl SizeHistogram {
@@ -399,15 +485,17 @@ impl SizeHistogram {
     }
 
     fn render(&self, out: &mut String, name: &str) {
+        let slab = self.slab.get_or_init(|| RenderSlab::build(name, "", &SIZE_BUCKETS));
         let mut cumulative = 0u64;
-        for (i, le) in SIZE_BUCKETS.iter().enumerate() {
-            cumulative += self.buckets[i].load(Ordering::Relaxed);
-            out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+        for (bucket, prefix) in self.buckets.iter().zip(&slab.bucket_prefixes) {
+            cumulative += bucket.load(Ordering::Relaxed);
+            out.push_str(prefix);
+            let _ = writeln!(out, "{cumulative}");
         }
-        cumulative += self.buckets[SIZE_BUCKETS.len()].load(Ordering::Relaxed);
-        out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cumulative}\n"));
-        out.push_str(&format!("{name}_sum {}\n", self.sum.load(Ordering::Relaxed)));
-        out.push_str(&format!("{name}_count {}\n", self.count.load(Ordering::Relaxed)));
+        out.push_str(&slab.sum_prefix);
+        let _ = writeln!(out, "{}", self.sum.load(Ordering::Relaxed));
+        out.push_str(&slab.count_prefix);
+        let _ = writeln!(out, "{}", self.count.load(Ordering::Relaxed));
     }
 }
 
@@ -509,9 +597,9 @@ pub struct Metrics {
     /// Per-stage `/v1/advise` latency, indexed by [`AdviseStage`].
     advise_stages: [Histogram; 4],
     /// `/v1/advise` answers served from the recommendation cache.
-    cache_hits: AtomicU64,
+    cache_hits: ShardedCounter,
     /// `/v1/advise` answers that had to run the sweep.
-    cache_misses: AtomicU64,
+    cache_misses: ShardedCounter,
     /// Current number of cached advise answers (gauge).
     cache_entries: AtomicU64,
     /// Requests currently being handled (gauge).
@@ -552,7 +640,7 @@ pub struct Metrics {
     /// Open client connections in the event loop (gauge).
     connections_open: AtomicI64,
     /// Requests served on a reused (non-first) keep-alive exchange.
-    keepalive_reuses: AtomicU64,
+    keepalive_reuses: ShardedCounter,
     /// Batcher flushes, indexed by [`FlushReason`].
     batch_flushes: [AtomicU64; 4],
     /// Coalesced rows per flat-model batch call.
@@ -577,8 +665,8 @@ impl Default for Metrics {
             read_paused: AtomicI64::new(0),
             write_stalled: AtomicI64::new(0),
             advise_stages: Default::default(),
-            cache_hits: AtomicU64::new(0),
-            cache_misses: AtomicU64::new(0),
+            cache_hits: ShardedCounter::default(),
+            cache_misses: ShardedCounter::default(),
             cache_entries: AtomicU64::new(0),
             in_flight: AtomicI64::new(0),
             pool_queue_depth: AtomicI64::new(0),
@@ -596,7 +684,7 @@ impl Default for Metrics {
             lifecycle_fit_duration: Histogram::default(),
             lifecycle_promotions: Default::default(),
             connections_open: AtomicI64::new(0),
-            keepalive_reuses: AtomicU64::new(0),
+            keepalive_reuses: ShardedCounter::default(),
             batch_flushes: Default::default(),
             batch_size: SizeHistogram::default(),
             start: Instant::now(),
@@ -622,9 +710,9 @@ impl Metrics {
     /// (HTTP status >= 400), and how long handling took.
     pub fn record(&self, route: Route, is_error: bool, elapsed: Duration) {
         let stats = &self.routes[route.index()];
-        stats.requests.fetch_add(1, Ordering::Relaxed);
+        stats.requests.inc();
         if is_error {
-            stats.errors.fetch_add(1, Ordering::Relaxed);
+            stats.errors.inc();
         }
         self.latency.observe(elapsed);
     }
@@ -635,8 +723,8 @@ impl Metrics {
     /// latency observation — they were refused, not handled.
     pub fn record_shed(&self) {
         let stats = &self.routes[Route::Other.index()];
-        stats.requests.fetch_add(1, Ordering::Relaxed);
-        stats.errors.fetch_add(1, Ordering::Relaxed);
+        stats.requests.inc();
+        stats.errors.inc();
         self.shed.fetch_add(1, Ordering::Relaxed);
         self.last_shed.store(self.now_stamp(), Ordering::Relaxed);
     }
@@ -888,12 +976,12 @@ impl Metrics {
 
     /// Total requests recorded for a route.
     pub fn requests(&self, route: Route) -> u64 {
-        self.routes[route.index()].requests.load(Ordering::Relaxed)
+        self.routes[route.index()].requests.load()
     }
 
     /// Total error responses recorded for a route.
     pub fn errors(&self, route: Route) -> u64 {
-        self.routes[route.index()].errors.load(Ordering::Relaxed)
+        self.routes[route.index()].errors.load()
     }
 
     /// A client connection was accepted by the event loop.
@@ -914,12 +1002,12 @@ impl Metrics {
     /// Record a request served on a reused keep-alive exchange (any
     /// request after the first on one connection).
     pub fn record_keepalive_reuse(&self) {
-        self.keepalive_reuses.fetch_add(1, Ordering::Relaxed);
+        self.keepalive_reuses.inc();
     }
 
     /// Keep-alive reuses so far.
     pub fn keepalive_reuses(&self) -> u64 {
-        self.keepalive_reuses.load(Ordering::Relaxed)
+        self.keepalive_reuses.load()
     }
 
     /// Record one batcher flush: why it closed and how many rows the
@@ -1005,12 +1093,12 @@ impl Metrics {
 
     /// Record an advise-cache hit.
     pub fn record_cache_hit(&self) {
-        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        self.cache_hits.inc();
     }
 
     /// Record an advise-cache miss.
     pub fn record_cache_miss(&self) {
-        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        self.cache_misses.inc();
     }
 
     /// Update the advise-cache size gauge.
@@ -1020,12 +1108,12 @@ impl Metrics {
 
     /// Advise-cache hits so far.
     pub fn cache_hits(&self) -> u64 {
-        self.cache_hits.load(Ordering::Relaxed)
+        self.cache_hits.load()
     }
 
     /// Advise-cache misses so far.
     pub fn cache_misses(&self) -> u64 {
-        self.cache_misses.load(Ordering::Relaxed)
+        self.cache_misses.load()
     }
 
     /// Render the Prometheus text exposition.

@@ -7,9 +7,11 @@
 //! predictions already in flight.
 //!
 //! Every registered ensemble is compiled once, at (re)load time, into a
-//! [`FlatGbt`] — the contiguous struct-of-arrays representation whose
-//! batched predictions are bit-for-bit identical to the recursive path —
-//! so the request handlers never pay per-row tree recursion.
+//! [`FlatGbt`] — the contiguous quantized representation whose batched
+//! predictions agree with the recursive path within
+//! `chemcost_ml::flat::QUANT_REL_TOL` (and whose exact `f64` entry
+//! points stay bit-for-bit) — so the request handlers never pay per-row
+//! tree recursion.
 
 use crate::fault::{FaultKind, FaultPlane};
 use chemcost_ml::flat::FlatGbt;
@@ -56,7 +58,9 @@ pub struct ResolvedModel {
     /// The shared trained model (recursive representation).
     pub model: Arc<GradientBoosting>,
     /// The same ensemble compiled into the flat fast-inference layout;
-    /// predictions are bit-for-bit identical to `model`'s.
+    /// predictions agree with `model`'s within
+    /// `chemcost_ml::flat::QUANT_REL_TOL` (the quantized default path),
+    /// bit-for-bit on the `*_exact` entry points.
     pub flat: Arc<FlatGbt>,
     /// Load generation.
     pub version: u64,

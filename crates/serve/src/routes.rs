@@ -6,16 +6,19 @@
 //!
 //! The two model-query endpoints ride the fast inference path:
 //! `/v1/predict` and `/v1/advise` both evaluate the registry's compiled
-//! [`chemcost_ml::flat::FlatGbt`] (bit-for-bit identical to the recursive
-//! ensemble), `/v1/advise` runs **one** candidate sweep per request via
-//! [`Advisor::sweep`] no matter how many questions the body asks, and
-//! fully-answered advise responses are replayed from a keyed LRU
-//! [`AdviseCache`] until the model is reloaded.
+//! [`chemcost_ml::flat::FlatGbt`] (quantized traversal, within the
+//! documented `QUANT_REL_TOL` of the recursive ensemble and identical
+//! across the batched/unbatched serving paths), `/v1/advise` runs **one**
+//! candidate sweep per request via [`Advisor::sweep`] no matter how many
+//! questions the body asks, and fully-answered advise responses are
+//! replayed from a keyed, sharded LRU [`AdviseCache`] until the model is
+//! reloaded — a warm hit probes with a borrowed key and replays the
+//! `Arc<str>` body without copying it.
 
 use crate::batcher::{Batcher, RouteGuard};
-use crate::cache::{AdviseCache, AdviseKey, CachedRec};
-use crate::http::{Request, Response};
-use crate::json::Json;
+use crate::cache::{AdviseCache, AdviseKeyRef, CachedRec};
+use crate::http::{Body, Request, Response};
+use crate::json::{self, Json, Scanner};
 use crate::metrics::{
     build_info, AdviseStage, DeadlineStage, LifecycleMetricsBridge, Metrics, Route,
 };
@@ -203,8 +206,29 @@ impl Router {
     /// Mark the calling thread as inside a predict-capable route while
     /// the guard lives, so the batcher knows whether more submissions
     /// can still arrive. `None` (no batcher installed) costs nothing.
+    ///
+    /// The event loop also takes a guard per *parsed* predict request at
+    /// worker-handoff time (see `event_loop::EventLoop::dispatch`):
+    /// requests sitting in the compute queue can still join a batch, so
+    /// counting them keeps the collector from draining a micro-batch
+    /// while queued submitters are seconds of scheduling away. Handlers
+    /// keep their own guard for in-process callers (tests, benches, the
+    /// CLI) that never cross the event loop.
     fn enter_batched_route(&self) -> Option<RouteGuard> {
         self.batcher.get().map(Batcher::enter_route)
+    }
+
+    /// Whether `path` routes to a handler that submits to the batcher —
+    /// the event loop pins batch interest across the worker-queue wait
+    /// for exactly these requests.
+    pub(crate) fn is_batched_path(&self, path: &str) -> bool {
+        self.batcher.get().is_some() && matches!(path, "/v1/predict" | "/v1/advise")
+    }
+
+    /// Take a batch-interest guard (see [`Router::enter_batched_route`]);
+    /// `pub(crate)` for the event loop's queued-request interest.
+    pub(crate) fn batch_interest(&self) -> Option<RouteGuard> {
+        self.enter_batched_route()
     }
 
     /// Apply `ms` as the deadline for requests without `X-Deadline-Ms`
@@ -465,23 +489,32 @@ impl Router {
         }
     }
 
-    fn resolve(&self, body: &Json) -> Result<ResolvedModel, Response> {
-        let name = body.get("model").and_then(Json::as_str);
-        let machine = body.get("machine").and_then(Json::as_str);
-        self.registry.resolve(name, machine).map_err(|e| error(404, &e))
-    }
-
     fn predict(&self, body: &[u8]) -> Response {
         // Declare interest to the batcher before parsing: a concurrent
         // sibling mid-parse still counts as a pending submission.
         let _batch_interest = self.enter_batched_route();
+        // Fast scan of the canonical body shape: borrowed strings, no
+        // Json tree. Anything unusual (escapes, extra keys, bad values)
+        // falls back to the tree parser, which owns every error message.
+        if let Some((features, model, machine)) =
+            std::str::from_utf8(body).ok().and_then(scan_predict)
+        {
+            let resolved = match self.registry.resolve(model, machine) {
+                Ok(r) => r,
+                Err(e) => return error(404, &e),
+            };
+            return self.finish_predict(resolved, features);
+        }
         let body = match parse_body(body) {
             Ok(v) => v,
             Err(resp) => return resp,
         };
-        let resolved = match self.resolve(&body) {
+        let resolved = match self.registry.resolve(
+            body.get("model").and_then(Json::as_str),
+            body.get("machine").and_then(Json::as_str),
+        ) {
             Ok(r) => r,
-            Err(resp) => return resp,
+            Err(e) => return error(404, &e),
         };
         let Some(rows) = body.get("rows").and_then(Json::as_array) else {
             return error(400, "missing \"rows\" array");
@@ -505,38 +538,46 @@ impl Router {
             }
             features.push(parsed);
         }
+        self.finish_predict(resolved, features)
+    }
+
+    /// Inference + response encoding shared by the fast-scanned and
+    /// tree-parsed predict paths. Features are already validated.
+    fn finish_predict(&self, resolved: ResolvedModel, features: Vec<[f64; 4]>) -> Response {
         // Shadow-score the request's first row so a candidate in Shadow
         // sees live /v1/predict traffic (and poison candidates are caught)
         // without the response or its latency depending on the result.
         self.lifecycle.shadow_predict(&resolved.name, &resolved.machine, &features[0]);
         let x = Matrix::from_fn(features.len(), 4, |i, j| features[i][j]);
-        // Flat inference is bit-for-bit identical to resolved.model's
-        // recursive path, just faster. Under the event-loop server the
-        // call rides the micro-batcher, coalescing with concurrent
-        // requests; the result is identical either way.
+        // Flat inference runs the quantized traversal: within QUANT_REL_TOL
+        // of resolved.model's recursive path, and bit-identical whether or
+        // not it rides the micro-batcher — under the event-loop server the
+        // call coalesces with concurrent requests into shared batches.
         let seconds = match self.batcher.get() {
             Some(batcher) => batcher.predict(&resolved.flat, x),
             None => resolved.flat.predict_batch(&x),
         };
-        let predictions: Vec<Json> = seconds
-            .iter()
-            .zip(&features)
-            .map(|(&s, row)| {
-                Json::obj([
-                    ("seconds", Json::Num(s)),
-                    ("node_hours", Json::Num(s * row[2] / 3600.0)),
-                ])
-            })
-            .collect();
-        Response::json(
-            200,
-            Json::obj([
-                ("model", resolved.name.into()),
-                ("model_version", Json::Num(resolved.version as f64)),
-                ("predictions", Json::Arr(predictions)),
-            ])
-            .encode(),
-        )
+        // Direct-write the response: byte-identical to encoding a Json
+        // tree (write_num/write_escaped are the tree encoder's own
+        // writers) without allocating per-row objects.
+        let mut out = String::with_capacity(64 + resolved.name.len() + seconds.len() * 48);
+        out.push_str("{\"model\":");
+        json::write_escaped(&resolved.name, &mut out);
+        out.push_str(",\"model_version\":");
+        json::write_num(resolved.version as f64, &mut out);
+        out.push_str(",\"predictions\":[");
+        for (i, (&s, row)) in seconds.iter().zip(&features).enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"seconds\":");
+            json::write_num(s, &mut out);
+            out.push_str(",\"node_hours\":");
+            json::write_num(s * row[2] / 3600.0, &mut out);
+            out.push('}');
+        }
+        out.push_str("]}");
+        Response::json(200, out)
     }
 
     /// 504 for `stage`, recording the counter and an obs event.
@@ -567,35 +608,52 @@ impl Router {
         // Declare interest to the batcher before parsing: a concurrent
         // sibling mid-parse still counts as a pending submission.
         let _batch_interest = self.enter_batched_route();
-        let body = match parse_body(body) {
+        // Fast scan of the canonical body shape: borrowed strings, no
+        // Json tree, nothing allocated before the cache probe. Anything
+        // unusual falls back to the tree parser, which owns every error
+        // message.
+        if let Some(f) = std::str::from_utf8(body).ok().and_then(scan_advise) {
+            return self.advise_fields(f, wall_budget);
+        }
+        let tree = match parse_body(body) {
             Ok(v) => v,
             Err(resp) => return resp,
         };
-        let resolved = match self.resolve(&body) {
+        self.advise_fields(
+            AdviseFields {
+                model: tree.get("model").and_then(Json::as_str),
+                machine: tree.get("machine").and_then(Json::as_str),
+                o: tree.get("o").and_then(Json::as_usize),
+                v: tree.get("v").and_then(Json::as_usize),
+                goal: tree.get("goal").and_then(Json::as_str),
+                budget: tree.get("budget").and_then(Json::as_f64),
+                deadline: tree.get("deadline").and_then(Json::as_f64),
+            },
+            wall_budget,
+        )
+    }
+
+    /// Validation, cache probe, sweep and encode shared by the
+    /// fast-scanned and tree-parsed advise paths.
+    fn advise_fields(&self, f: AdviseFields<'_>, wall_budget: Option<Deadline>) -> Response {
+        let resolved = match self.registry.resolve(f.model, f.machine) {
             Ok(r) => r,
-            Err(resp) => return resp,
+            Err(e) => return error(404, &e),
         };
-        let machine_name = body
-            .get("machine")
-            .and_then(Json::as_str)
-            .map(str::to_string)
-            .unwrap_or_else(|| resolved.machine.clone());
-        let Some(machine) = by_name(&machine_name) else {
+        let machine_name = f.machine.unwrap_or(&resolved.machine);
+        let Some(machine) = by_name(machine_name) else {
             return error(400, &format!("unknown machine {machine_name:?} (aurora|frontier)"));
         };
-        let (o, v) = match (
-            body.get("o").and_then(Json::as_usize),
-            body.get("v").and_then(Json::as_usize),
-        ) {
+        let (o, v) = match (f.o, f.v) {
             (Some(o), Some(v)) if o > 0 && v > 0 => (o, v),
             _ => return error(400, "\"o\" and \"v\" must be positive integers"),
         };
-        let goal = body.get("goal").and_then(Json::as_str).unwrap_or("stq");
+        let goal = f.goal.unwrap_or("stq");
         if !matches!(goal, "stq" | "bq" | "pareto") {
             return error(400, &format!("unknown goal {goal:?} (stq|bq|pareto)"));
         }
-        let budget = body.get("budget").and_then(Json::as_f64);
-        let deadline = body.get("deadline").and_then(Json::as_f64);
+        let budget = f.budget;
+        let deadline = f.deadline;
 
         // Cache-probe stage: out of budget before even probing? 504.
         if let Some(d) = wall_budget.filter(|d| d.expired()) {
@@ -603,14 +661,16 @@ impl Router {
         }
 
         // The answer is a pure function of this key: replay it if cached.
+        // The probe borrows every string, so a warm hit allocates nothing
+        // for the key and shares the cached body by refcount.
         let cache_started = Instant::now();
-        let key = AdviseKey {
-            model: resolved.name.clone(),
+        let key = AdviseKeyRef {
+            model: &resolved.name,
             version: resolved.version,
-            machine: machine_name.clone(),
+            machine: machine_name,
             o,
             v,
-            goal: goal.to_string(),
+            goal,
             budget_bits: budget.map(f64::to_bits),
             deadline_bits: deadline.map(f64::to_bits),
         };
@@ -628,7 +688,7 @@ impl Router {
                 &mut resp,
                 &resolved.name,
                 resolved.version,
-                &machine_name,
+                machine_name,
                 o,
                 v,
                 rec,
@@ -653,12 +713,12 @@ impl Router {
                     stale_version = stale_version,
                     current_version = resolved.version,
                 );
-                let labelled = match Json::parse(&stale_body) {
+                let labelled: Body = match Json::parse(&stale_body) {
                     Ok(Json::Obj(mut fields)) => {
                         fields.push(("stale".to_string(), Json::Bool(true)));
-                        Json::Obj(fields).encode()
+                        Json::Obj(fields).encode().into()
                     }
-                    _ => stale_body,
+                    _ => stale_body.into(),
                 };
                 let mut resp = Response::json(200, labelled);
                 // Journal against the version that computed the answer, so
@@ -667,7 +727,7 @@ impl Router {
                     &mut resp,
                     &resolved.name,
                     stale_version,
-                    &machine_name,
+                    machine_name,
                     o,
                     v,
                     stale_rec,
@@ -694,7 +754,7 @@ impl Router {
                 "advise.sweep",
                 o = o,
                 v = v,
-                machine = machine_name.as_str(),
+                machine = machine_name,
                 model = resolved.name.as_str(),
                 model_version = resolved.version,
             );
@@ -713,7 +773,7 @@ impl Router {
         let mut fields: Vec<(&'static str, Json)> = vec![
             ("model", resolved.name.clone().into()),
             ("model_version", Json::Num(resolved.version as f64)),
-            ("machine", machine_name.clone().into()),
+            ("machine", machine_name.into()),
             ("o", o.into()),
             ("v", v.into()),
         ];
@@ -747,9 +807,11 @@ impl Router {
                 sweep.cheapest_within_deadline(deadline).map(rec_json).unwrap_or(Json::Null),
             ));
         }
-        let rendered = Json::obj(fields).encode();
+        // One rendered slab shared between the cache and this response:
+        // the insert is a refcount bump, not a body copy.
+        let rendered: Arc<str> = Json::obj(fields).encode().into();
         let rec = primary.map(|r| (r.nodes, r.tile, r.predicted_seconds));
-        self.cache.insert(key, rendered.clone(), rec);
+        self.cache.insert(key.to_owned_key(), Arc::clone(&rendered), rec);
         self.metrics.set_cache_entries(self.cache.len());
         self.metrics.record_advise_stage(AdviseStage::Encode, encode_started.elapsed());
         let mut resp = Response::json(200, rendered);
@@ -757,7 +819,7 @@ impl Router {
             &mut resp,
             &resolved.name,
             resolved.version,
-            &machine_name,
+            machine_name,
             o,
             v,
             rec,
@@ -1326,6 +1388,237 @@ fn error(status: u16, message: &str) -> Response {
     Response::json(status, Json::obj([("error", message.into())]).encode())
 }
 
+/// The fields an advise request can carry, extracted either by the
+/// zero-alloc fast scanner or from a parsed [`Json`] tree. Strings
+/// borrow from the request body (fast path) or the tree (fallback).
+struct AdviseFields<'a> {
+    model: Option<&'a str>,
+    machine: Option<&'a str>,
+    o: Option<usize>,
+    v: Option<usize>,
+    goal: Option<&'a str>,
+    budget: Option<f64>,
+    deadline: Option<f64>,
+}
+
+/// [`Json::as_usize`] semantics applied to an already-scanned number.
+fn num_as_usize(n: f64) -> Option<usize> {
+    (n >= 0.0 && n.fract() == 0.0 && n <= u32::MAX as f64).then_some(n as usize)
+}
+
+/// Zero-alloc scan of the canonical advise body: a flat object whose
+/// keys are a subset of `{o, v, goal, budget, deadline, model, machine}`
+/// with escape-free string values. `None` ("fall back to the tree
+/// parser") for anything else — unknown keys, duplicates, escapes,
+/// wrongly-typed values — so every error path is decided by the parser
+/// whose messages the API contract pins.
+fn scan_advise(text: &str) -> Option<AdviseFields<'_>> {
+    let mut sc = Scanner::new(text);
+    sc.skip_ws();
+    if !sc.eat(b'{') {
+        return None;
+    }
+    let mut f = AdviseFields {
+        model: None,
+        machine: None,
+        o: None,
+        v: None,
+        goal: None,
+        budget: None,
+        deadline: None,
+    };
+    let mut seen = 0u8;
+    sc.skip_ws();
+    if sc.eat(b'}') {
+        return sc.at_end().then_some(f);
+    }
+    loop {
+        sc.skip_ws();
+        let key = sc.string()?;
+        sc.skip_ws();
+        if !sc.eat(b':') {
+            return None;
+        }
+        sc.skip_ws();
+        let bit: u8 = match key {
+            "o" => 1,
+            "v" => 2,
+            "goal" => 4,
+            "budget" => 8,
+            "deadline" => 16,
+            "model" => 32,
+            "machine" => 64,
+            _ => return None,
+        };
+        if seen & bit != 0 {
+            // Duplicate keys: first-match semantics live in the tree parser.
+            return None;
+        }
+        seen |= bit;
+        match key {
+            // A number that fails the `as_usize` contract leaves the
+            // field `None`, exactly like the tree path's
+            // `get("o").and_then(Json::as_usize)`.
+            "o" => f.o = num_as_usize(sc.number()?),
+            "v" => f.v = num_as_usize(sc.number()?),
+            "goal" => f.goal = Some(sc.string()?),
+            "budget" => f.budget = Some(sc.number()?),
+            "deadline" => f.deadline = Some(sc.number()?),
+            "model" => f.model = Some(sc.string()?),
+            "machine" => f.machine = Some(sc.string()?),
+            _ => unreachable!("key already matched above"),
+        }
+        sc.skip_ws();
+        if sc.eat(b',') {
+            continue;
+        }
+        if sc.eat(b'}') {
+            break;
+        }
+        return None;
+    }
+    sc.at_end().then_some(f)
+}
+
+/// Zero-tree scan of the canonical predict body:
+/// `{"rows": [{o, v, nodes, tile}, ...]}` with optional escape-free
+/// `"model"`/`"machine"` strings. Returns the validated feature rows,
+/// or `None` to fall back to the tree parser (which owns every error
+/// message, including the rows-shape 400s).
+type ScannedPredict<'a> = (Vec<[f64; 4]>, Option<&'a str>, Option<&'a str>);
+
+fn scan_predict(text: &str) -> Option<ScannedPredict<'_>> {
+    let mut sc = Scanner::new(text);
+    sc.skip_ws();
+    if !sc.eat(b'{') {
+        return None;
+    }
+    let mut rows = None;
+    let mut model = None;
+    let mut machine = None;
+    let mut seen = 0u8;
+    sc.skip_ws();
+    if sc.eat(b'}') {
+        return None;
+    }
+    loop {
+        sc.skip_ws();
+        let key = sc.string()?;
+        sc.skip_ws();
+        if !sc.eat(b':') {
+            return None;
+        }
+        sc.skip_ws();
+        let bit: u8 = match key {
+            "rows" => 1,
+            "model" => 2,
+            "machine" => 4,
+            _ => return None,
+        };
+        if seen & bit != 0 {
+            return None;
+        }
+        seen |= bit;
+        match key {
+            "rows" => rows = Some(scan_rows(&mut sc)?),
+            "model" => model = Some(sc.string()?),
+            "machine" => machine = Some(sc.string()?),
+            _ => unreachable!("key already matched above"),
+        }
+        sc.skip_ws();
+        if sc.eat(b',') {
+            continue;
+        }
+        if sc.eat(b'}') {
+            break;
+        }
+        return None;
+    }
+    if !sc.at_end() {
+        return None;
+    }
+    let rows = rows?;
+    if rows.is_empty() || rows.len() > MAX_PREDICT_ROWS {
+        return None;
+    }
+    Some((rows, model, machine))
+}
+
+fn scan_rows(sc: &mut Scanner<'_>) -> Option<Vec<[f64; 4]>> {
+    if !sc.eat(b'[') {
+        return None;
+    }
+    let mut rows = Vec::new();
+    sc.skip_ws();
+    if sc.eat(b']') {
+        return Some(rows);
+    }
+    loop {
+        sc.skip_ws();
+        rows.push(scan_row(sc)?);
+        if rows.len() > MAX_PREDICT_ROWS {
+            return None;
+        }
+        sc.skip_ws();
+        if sc.eat(b',') {
+            continue;
+        }
+        if sc.eat(b']') {
+            return Some(rows);
+        }
+        return None;
+    }
+}
+
+/// One feature object with exactly the keys `o`, `v`, `nodes`, `tile`
+/// (any order, each once) and positive finite number values — the shape
+/// the tree path accepts without a 400. Anything else falls back.
+fn scan_row(sc: &mut Scanner<'_>) -> Option<[f64; 4]> {
+    if !sc.eat(b'{') {
+        return None;
+    }
+    let mut row = [0.0f64; 4];
+    let mut seen = 0u8;
+    sc.skip_ws();
+    if sc.eat(b'}') {
+        return None;
+    }
+    loop {
+        sc.skip_ws();
+        let key = sc.string()?;
+        sc.skip_ws();
+        if !sc.eat(b':') {
+            return None;
+        }
+        sc.skip_ws();
+        let idx = match key {
+            "o" => 0,
+            "v" => 1,
+            "nodes" => 2,
+            "tile" => 3,
+            _ => return None,
+        };
+        if seen & (1 << idx) != 0 {
+            return None;
+        }
+        seen |= 1 << idx;
+        let n = sc.number()?;
+        if n <= 0.0 {
+            return None;
+        }
+        row[idx] = n;
+        sc.skip_ws();
+        if sc.eat(b',') {
+            continue;
+        }
+        if sc.eat(b'}') {
+            break;
+        }
+        return None;
+    }
+    (seen == 0b1111).then_some(row)
+}
+
 /// NaN-safe JSON number: JSON has no NaN literal, so a statistic that is
 /// not yet available serializes as `null`.
 fn num_or_null(v: f64) -> Json {
@@ -1339,6 +1632,7 @@ fn num_or_null(v: f64) -> Json {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use chemcost_ml::flat::QUANT_REL_TOL;
     use chemcost_ml::gradient_boosting::GradientBoosting;
     use chemcost_ml::Regressor;
     use chemcost_sim::datagen::generate_dataset_sized;
@@ -1396,13 +1690,96 @@ mod tests {
         let preds = v.get("predictions").and_then(Json::as_array).unwrap();
         assert_eq!(preds.len(), 2);
 
+        // The served path runs the quantized flat traversal: within
+        // QUANT_REL_TOL of the recursive model (routing is exact on these
+        // integer features; only leaf rounding differs).
         let model = router.registry().resolve(Some("gb"), None).unwrap().model;
         let x = Matrix::from_fn(1, 4, |_, j| [120.0, 900.0, 64.0, 24.0][j]);
         let expect = model.predict(&x)[0];
         let got = preds[0].get("seconds").and_then(Json::as_f64).unwrap();
-        assert!((got - expect).abs() < 1e-9);
+        assert!((got - expect).abs() <= QUANT_REL_TOL * (1.0 + expect.abs()));
         let nh = preds[0].get("node_hours").and_then(Json::as_f64).unwrap();
-        assert!((nh - expect * 64.0 / 3600.0).abs() < 1e-9);
+        assert!((nh - got * 64.0 / 3600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn predict_fast_scan_and_tree_path_agree_byte_for_byte() {
+        let router = test_router();
+        // Canonical body: taken by the fast scanner.
+        let fast = post(
+            &router,
+            "/v1/predict",
+            r#"{"rows":[{"o":120,"v":900,"nodes":64,"tile":24},{"o":60,"v":500,"nodes":16,"tile":30}]}"#,
+        );
+        // Same request with an extra (ignored) key in a row: the scanner
+        // rejects it, so this one rides the tree parser.
+        let slow = post(
+            &router,
+            "/v1/predict",
+            r#"{"rows":[{"o":120,"v":900,"nodes":64,"tile":24,"note":1},{"o":60,"v":500,"nodes":16,"tile":30}]}"#,
+        );
+        assert_eq!(fast.status, 200);
+        assert_eq!(slow.status, 200);
+        assert_eq!(fast.body.as_bytes(), slow.body.as_bytes());
+    }
+
+    #[test]
+    fn advise_fast_scan_and_tree_path_agree() {
+        let router = test_router();
+        let fast = post(&router, "/v1/advise", r#"{"o":120,"v":900,"goal":"bq"}"#);
+        // An ignored extra key forces the tree parser; the answer (modulo
+        // the per-round-trip prediction id header) must match the cached
+        // body the fast path produced.
+        let slow = post(&router, "/v1/advise", r#"{"o":120,"v":900,"goal":"bq","x":1}"#);
+        assert_eq!(fast.status, 200);
+        assert_eq!(slow.status, 200);
+        assert_eq!(fast.body.as_bytes(), slow.body.as_bytes());
+    }
+
+    #[test]
+    fn fast_scanners_reject_noncanonical_shapes() {
+        // Every one of these must fall back (None) so the tree parser
+        // decides the semantics.
+        for body in [
+            "{\"o\": 1, \"v\": 2, \"goal\": \"st\\u0071\"}", // escaped string
+            r#"{"o": 1, "o": 2, "v": 3}"#,                   // duplicate key
+            r#"{"o": 1, "v": 2, "extra": true}"#,            // unknown key
+            r#"{"o": "1", "v": 2}"#,                         // wrong type
+            r#"[1, 2]"#,                                     // not an object
+            r#"{"o": 1, "v": 2} trailing"#,                  // trailing garbage
+            r#"{"o": 1e999, "v": 2}"#,                       // non-finite number
+        ] {
+            assert!(scan_advise(body).is_none(), "{body}");
+        }
+        for body in [
+            r#"{"rows": []}"#,                                               // empty rows
+            r#"{"rows": [{"o":1,"v":2,"nodes":3}]}"#,                        // missing tile
+            r#"{"rows": [{"o":1,"v":2,"nodes":3,"tile":0}]}"#,               // non-positive
+            r#"{"rows": [{"o":1,"v":2,"nodes":3,"tile":4,"tile":5}]}"#,      // duplicate
+            r#"{"rows": [{"o":1,"v":2,"nodes":3,"tile":4}], "goal":"stq"}"#, // unknown key
+        ] {
+            assert!(scan_predict(body).is_none(), "{body}");
+        }
+    }
+
+    #[test]
+    fn fast_scan_extracts_same_fields_as_tree() {
+        let body = r#" {"model":"gb","machine":"aurora","o":116,"v":840,"goal":"pareto","budget":12.5,"deadline":3600} "#;
+        let f = scan_advise(body).expect("canonical body should fast-scan");
+        let tree = Json::parse(body).unwrap();
+        assert_eq!(f.model, tree.get("model").and_then(Json::as_str));
+        assert_eq!(f.machine, tree.get("machine").and_then(Json::as_str));
+        assert_eq!(f.o, tree.get("o").and_then(Json::as_usize));
+        assert_eq!(f.v, tree.get("v").and_then(Json::as_usize));
+        assert_eq!(f.goal, tree.get("goal").and_then(Json::as_str));
+        assert_eq!(f.budget, tree.get("budget").and_then(Json::as_f64));
+        assert_eq!(f.deadline, tree.get("deadline").and_then(Json::as_f64));
+
+        // Fractional o: key present but not a usize — same as the tree's
+        // as_usize returning None.
+        let f = scan_advise(r#"{"o": 1.5, "v": 2}"#).unwrap();
+        assert_eq!(f.o, None);
+        assert_eq!(f.v, Some(2));
     }
 
     #[test]
@@ -1484,7 +1861,7 @@ mod tests {
         post(&router, "/v1/predict", "{bad");
         let resp = router.handle(&Request::new("GET", "/metrics", b""));
         assert_eq!(resp.status, 200);
-        let text = String::from_utf8(resp.body).unwrap();
+        let text = String::from_utf8(resp.body.into_bytes()).unwrap();
         assert!(text.contains("chemcost_requests_total{route=\"healthz\"} 1"), "{text}");
         assert!(text.contains("chemcost_request_errors_total{route=\"predict\"} 1"), "{text}");
     }
@@ -1500,7 +1877,7 @@ mod tests {
     /// Scrape `/metrics` and pull one integer-valued series out of it.
     fn scrape(router: &Router, series: &str) -> u64 {
         let resp = router.handle(&Request::new("GET", "/metrics", b""));
-        let text = String::from_utf8(resp.body).unwrap();
+        let text = String::from_utf8(resp.body.into_bytes()).unwrap();
         text.lines()
             .find_map(|l| l.strip_prefix(&format!("{series} ")))
             .unwrap_or_else(|| panic!("series {series} missing from:\n{text}"))

@@ -1,11 +1,14 @@
 //! End-to-end test: a real `Server` on an ephemeral port, driven by a
 //! plain `TcpStream` client, serving a tiny model trained on simulated
-//! data. Asserts the wire answers match the offline `Advisor` exactly,
-//! that `/metrics` reflects the traffic, and that `POST /v1/shutdown`
-//! drains and stops the server.
+//! data. Asserts the wire answers match the offline `Advisor` within the
+//! quantized-inference tolerance (the server runs the quantized flat
+//! path; see `chemcost_ml::flat::QUANT_REL_TOL`), that `/metrics`
+//! reflects the traffic, and that `POST /v1/shutdown` drains and stops
+//! the server.
 
 use chemcost_core::advisor::Advisor;
 use chemcost_linalg::Matrix;
+use chemcost_ml::flat::QUANT_REL_TOL;
 use chemcost_ml::gradient_boosting::GradientBoosting;
 use chemcost_ml::Regressor;
 use chemcost_serve::json::Json;
@@ -105,14 +108,17 @@ fn server_answers_like_the_offline_advisor_then_drains() {
     let x =
         Matrix::from_fn(2, 4, |i, j| [[100.0, 800.0, 32.0, 24.0], [50.0, 400.0, 8.0, 16.0]][i][j]);
     let expect = reference.predict(&x);
+    // The served path runs the quantized flat traversal, so compare
+    // against the recursive reference within QUANT_REL_TOL.
     for (pred, (want_s, nodes)) in preds.iter().zip(expect.iter().zip([32.0, 8.0])) {
         let got_s = pred.get("seconds").and_then(Json::as_f64).unwrap();
         let got_nh = pred.get("node_hours").and_then(Json::as_f64).unwrap();
-        assert!((got_s - want_s).abs() <= 1e-9 * want_s.abs().max(1.0));
-        assert!((got_nh - want_s * nodes / 3600.0).abs() <= 1e-9);
+        assert!((got_s - want_s).abs() <= QUANT_REL_TOL * (1.0 + want_s.abs()));
+        assert!((got_nh - want_s * nodes / 3600.0).abs() <= QUANT_REL_TOL * (1.0 + want_s.abs()));
     }
 
-    // -- /v1/advise (stq and bq) matches the offline Advisor exactly --
+    // -- /v1/advise (stq and bq) matches the offline Advisor (seconds
+    // within the quantized tolerance, same recommended point) --
     let advisor = Advisor::new(reference.as_ref(), by_name("aurora").unwrap());
     for goal in ["stq", "bq"] {
         let (status, body) = request(
@@ -129,8 +135,9 @@ fn server_answers_like_the_offline_advisor_then_drains() {
         let (nodes, tile, secs, nh) = rec_fields(v.get("recommendation").unwrap());
         assert_eq!(nodes, offline.nodes, "{goal} nodes");
         assert_eq!(tile, offline.tile, "{goal} tile");
-        assert!((secs - offline.predicted_seconds).abs() <= 1e-6, "{goal} seconds");
-        assert!((nh - offline.predicted_node_hours).abs() <= 1e-6, "{goal} node-hours");
+        let tol = QUANT_REL_TOL * (1.0 + offline.predicted_seconds.abs());
+        assert!((secs - offline.predicted_seconds).abs() <= tol, "{goal} seconds");
+        assert!((nh - offline.predicted_node_hours).abs() <= tol, "{goal} node-hours");
     }
 
     // -- malformed JSON gets a 400 with an error message --

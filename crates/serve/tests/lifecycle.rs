@@ -98,7 +98,7 @@ fn body_json(resp: &Response) -> Json {
 /// Scrape one float-valued series (with its full label set) off /metrics.
 fn gauge(router: &Router, series: &str) -> f64 {
     let resp = router.handle(&Request::new("GET", "/metrics", b""));
-    let text = String::from_utf8(resp.body).unwrap();
+    let text = String::from_utf8(resp.body.into_bytes()).unwrap();
     text.lines()
         .find_map(|l| l.strip_prefix(&format!("{series} ")))
         .unwrap_or_else(|| panic!("series {series} missing from:\n{text}"))
@@ -169,7 +169,7 @@ fn lifecycle_soak_drift_retrain_shadow_promote_recover() {
     // before any traffic, with the group idle.
     {
         let resp = router.handle(&Request::new("GET", "/metrics", b""));
-        let text = String::from_utf8(resp.body).unwrap();
+        let text = String::from_utf8(resp.body.into_bytes()).unwrap();
         lint_exposition_with_required(&text, REQUIRED_SERIES)
             .unwrap_or_else(|p| panic!("pre-traffic lint: {p:?}"));
         assert!(
@@ -267,7 +267,7 @@ fn lifecycle_soak_drift_retrain_shadow_promote_recover() {
 
     // The exposition still lints clean after the whole loop.
     let resp = router.handle(&Request::new("GET", "/metrics", b""));
-    let text = String::from_utf8(resp.body).unwrap();
+    let text = String::from_utf8(resp.body.into_bytes()).unwrap();
     lint_exposition_with_required(&text, REQUIRED_SERIES)
         .unwrap_or_else(|p| panic!("post-soak lint: {p:?}"));
 

@@ -87,7 +87,7 @@ fn body_json(resp: &Response) -> Json {
 /// Scrape one float-valued series (with its full label set) off /metrics.
 fn gauge(router: &Router, series: &str) -> f64 {
     let resp = router.handle(&Request::new("GET", "/metrics", b""));
-    let text = String::from_utf8(resp.body).unwrap();
+    let text = String::from_utf8(resp.body.into_bytes()).unwrap();
     text.lines()
         .find_map(|l| l.strip_prefix(&format!("{series} ")))
         .unwrap_or_else(|| panic!("series {series} missing from:\n{text}"))
@@ -161,7 +161,7 @@ fn quality_loop_soak_converges_then_catches_drift() {
     // traffic, and the whole exposition is lint-clean.
     {
         let resp = router.handle(&Request::new("GET", "/metrics", b""));
-        let text = String::from_utf8(resp.body).unwrap();
+        let text = String::from_utf8(resp.body.into_bytes()).unwrap();
         lint_exposition_with_required(&text, REQUIRED_SERIES)
             .unwrap_or_else(|p| panic!("pre-traffic lint: {p:?}"));
         assert!(text.contains(&format!("chemcost_model_mape{group} NaN")), "{text}");
@@ -269,7 +269,7 @@ fn quality_loop_soak_converges_then_catches_drift() {
 
     // The full exposition is still lint-clean after both phases.
     let resp = router.handle(&Request::new("GET", "/metrics", b""));
-    let text = String::from_utf8(resp.body).unwrap();
+    let text = String::from_utf8(resp.body.into_bytes()).unwrap();
     lint_exposition_with_required(&text, REQUIRED_SERIES)
         .unwrap_or_else(|p| panic!("post-soak lint: {p:?}"));
 
