@@ -1,0 +1,69 @@
+//! Minimal JSON emission helpers. The health surfaces hand-render
+//! their JSON (this crate cannot depend on serve's parser), so the
+//! two lossy spots — string escaping and non-finite floats — live
+//! here, tested.
+
+/// Escape a string for inclusion inside JSON double quotes.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a float as a JSON value. JSON has no NaN/Infinity; those
+/// become `null` (the health endpoints use NaN for "no data yet").
+pub fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        // Trim float noise: SLO values are human-read thresholds and
+        // ratios, six significant decimals is plenty.
+        let s = format!("{v:.6}");
+        let s = s.trim_end_matches('0').trim_end_matches('.');
+        if s.is_empty() || s == "-" {
+            "0".to_string()
+        } else {
+            s.to_string()
+        }
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_quotes_backslashes_and_controls() {
+        assert_eq!(json_escape("a\"b\\c\nd\te\r"), "a\\\"b\\\\c\\nd\\te\\r");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        assert_eq!(json_escape("plain"), "plain");
+    }
+
+    #[test]
+    fn numbers_render_compactly() {
+        assert_eq!(json_num(0.5), "0.5");
+        assert_eq!(json_num(0.0), "0");
+        assert_eq!(json_num(-2.0), "-2");
+        assert_eq!(json_num(0.050000), "0.05");
+        assert_eq!(json_num(1.0 / 3.0), "0.333333");
+    }
+
+    #[test]
+    fn non_finite_becomes_null() {
+        assert_eq!(json_num(f64::NAN), "null");
+        assert_eq!(json_num(f64::INFINITY), "null");
+        assert_eq!(json_num(f64::NEG_INFINITY), "null");
+    }
+}

@@ -1,0 +1,195 @@
+//! The serve-agnostic snapshot schema: what one self-scrape looks like.
+//!
+//! A [`Schema`] fixes the series names and histogram bucket bounds once,
+//! at sampler start; every [`Sample`] then carries only values, in
+//! schema order. That fixed order is what makes the ring's delta
+//! encoding trivial — two consecutive samples are the same-length word
+//! vector, so a delta is a per-word subtraction.
+
+/// Bucket bounds for one histogram series (upper bounds in seconds,
+/// `+Inf` implied as a final overflow bucket).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistSchema {
+    /// Series name, e.g. `latency` or `stage.read`.
+    pub name: String,
+    /// Finite bucket upper bounds; samples carry `bounds.len() + 1`
+    /// bucket counts (the last is the overflow bucket).
+    pub bounds: Vec<f64>,
+}
+
+/// The fixed set of series one sampler produces. Built once; every
+/// sample indexes into these name vectors positionally.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Schema {
+    /// Monotonic counters (`u64`).
+    pub counters: Vec<String>,
+    /// Integer gauges (`i64`, may go negative transiently).
+    pub gauges: Vec<String>,
+    /// Float gauges (`f64`; `NaN` allowed, e.g. MAPE before data).
+    pub values: Vec<String>,
+    /// Histograms (cumulative-free bucket counts + sum + count).
+    pub histograms: Vec<HistSchema>,
+}
+
+impl Schema {
+    /// Number of `u64` words one flattened sample occupies (excluding
+    /// the timestamp, which the ring stores per entry).
+    pub fn width(&self) -> usize {
+        self.counters.len()
+            + self.gauges.len()
+            + self.values.len()
+            + self.histograms.iter().map(|h| h.bounds.len() + 1 + 2).sum::<usize>()
+    }
+
+    /// Position of a counter by name.
+    pub fn counter_index(&self, name: &str) -> Option<usize> {
+        self.counters.iter().position(|n| n == name)
+    }
+
+    /// Position of a gauge by name.
+    pub fn gauge_index(&self, name: &str) -> Option<usize> {
+        self.gauges.iter().position(|n| n == name)
+    }
+
+    /// Position of a float value by name.
+    pub fn value_index(&self, name: &str) -> Option<usize> {
+        self.values.iter().position(|n| n == name)
+    }
+
+    /// Position of a histogram by name.
+    pub fn histogram_index(&self, name: &str) -> Option<usize> {
+        self.histograms.iter().position(|h| h.name == name)
+    }
+
+    /// Flatten a sample into schema-ordered `u64` words. Gauges are
+    /// stored as two's-complement bit patterns, float values as IEEE
+    /// bit patterns — both delta-encode well because consecutive
+    /// samples usually repeat the exact bits.
+    pub fn flatten(&self, sample: &Sample) -> Vec<u64> {
+        debug_assert_eq!(sample.counters.len(), self.counters.len());
+        debug_assert_eq!(sample.gauges.len(), self.gauges.len());
+        debug_assert_eq!(sample.values.len(), self.values.len());
+        debug_assert_eq!(sample.hists.len(), self.histograms.len());
+        let mut words = Vec::with_capacity(self.width());
+        words.extend_from_slice(&sample.counters);
+        words.extend(sample.gauges.iter().map(|&g| g as u64));
+        words.extend(sample.values.iter().map(|v| v.to_bits()));
+        for h in &sample.hists {
+            words.extend_from_slice(&h.buckets);
+            words.push(h.sum_micros);
+            words.push(h.count);
+        }
+        words
+    }
+
+    /// Rebuild a sample from schema-ordered words (inverse of
+    /// [`Schema::flatten`]).
+    pub fn unflatten(&self, unix_us: u64, words: &[u64]) -> Sample {
+        debug_assert_eq!(words.len(), self.width());
+        let mut at = 0usize;
+        let counters = words[at..at + self.counters.len()].to_vec();
+        at += self.counters.len();
+        let gauges: Vec<i64> =
+            words[at..at + self.gauges.len()].iter().map(|&w| w as i64).collect();
+        at += self.gauges.len();
+        let values: Vec<f64> =
+            words[at..at + self.values.len()].iter().map(|&w| f64::from_bits(w)).collect();
+        at += self.values.len();
+        let mut hists = Vec::with_capacity(self.histograms.len());
+        for h in &self.histograms {
+            let n = h.bounds.len() + 1;
+            let buckets = words[at..at + n].to_vec();
+            at += n;
+            let sum_micros = words[at];
+            let count = words[at + 1];
+            at += 2;
+            hists.push(HistSample { buckets, sum_micros, count });
+        }
+        Sample { unix_us, counters, gauges, values, hists }
+    }
+}
+
+/// One histogram's worth of a snapshot: per-bucket counts (not
+/// cumulative), total observed micros, and observation count.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HistSample {
+    /// Per-bucket counts, overflow bucket last (`bounds.len() + 1`).
+    pub buckets: Vec<u64>,
+    /// Sum of observed durations, in microseconds.
+    pub sum_micros: u64,
+    /// Total observations.
+    pub count: u64,
+}
+
+impl HistSample {
+    /// Total observations according to the bucket counts (used by the
+    /// consistency checks: must be >= `count` when the producer reads
+    /// `count` before the buckets).
+    pub fn bucket_total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+}
+
+/// One self-scrape snapshot: every schema series, read at (close to)
+/// one instant, stamped with wall-clock microseconds.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Sample {
+    /// Wall-clock timestamp, microseconds since the Unix epoch.
+    pub unix_us: u64,
+    /// Counter values, in [`Schema::counters`] order.
+    pub counters: Vec<u64>,
+    /// Gauge values, in [`Schema::gauges`] order.
+    pub gauges: Vec<i64>,
+    /// Float values, in [`Schema::values`] order.
+    pub values: Vec<f64>,
+    /// Histogram snapshots, in [`Schema::histograms`] order.
+    pub hists: Vec<HistSample>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_schema() -> Schema {
+        Schema {
+            counters: vec!["requests".into(), "errors".into()],
+            gauges: vec!["in_flight".into()],
+            values: vec!["mape".into()],
+            histograms: vec![HistSchema { name: "latency".into(), bounds: vec![0.001, 0.01] }],
+        }
+    }
+
+    #[test]
+    fn flatten_round_trips() {
+        let schema = demo_schema();
+        let sample = Sample {
+            unix_us: 1_700_000_000_000_000,
+            counters: vec![10, 2],
+            gauges: vec![-3],
+            values: vec![0.25],
+            hists: vec![HistSample { buckets: vec![5, 3, 2], sum_micros: 1234, count: 10 }],
+        };
+        let words = schema.flatten(&sample);
+        assert_eq!(words.len(), schema.width());
+        let back = schema.unflatten(sample.unix_us, &words);
+        assert_eq!(back, sample);
+    }
+
+    #[test]
+    fn nan_values_survive_the_bit_round_trip() {
+        let schema = Schema { values: vec!["mape".into()], ..Schema::default() };
+        let sample = Sample { unix_us: 1, values: vec![f64::NAN], ..Sample::default() };
+        let back = schema.unflatten(1, &schema.flatten(&sample));
+        assert!(back.values[0].is_nan());
+    }
+
+    #[test]
+    fn indices_resolve_by_name() {
+        let schema = demo_schema();
+        assert_eq!(schema.counter_index("errors"), Some(1));
+        assert_eq!(schema.counter_index("nope"), None);
+        assert_eq!(schema.gauge_index("in_flight"), Some(0));
+        assert_eq!(schema.value_index("mape"), Some(0));
+        assert_eq!(schema.histogram_index("latency"), Some(0));
+    }
+}

@@ -1,0 +1,433 @@
+//! Declarative SLOs evaluated as fast/slow burn-rate window pairs.
+//!
+//! Each objective names a signal (a quantile, ratio, rate, delta, or
+//! gauge/value maximum), a threshold, and two lookback windows. An
+//! evaluation breaches only when *both* windows breach — the classic
+//! multi-window multi-burn shape: the fast window makes alerts prompt,
+//! the slow window keeps one spiky scrape from paging anyone.
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+use crate::alert::{AlertMachine, AlertState, Transition};
+use crate::schema::{Sample, Schema};
+use crate::window::WindowView;
+
+/// Evaluation history retained per SLO (for `/debug/slo` sparklines).
+const HISTORY_CAP: usize = 240;
+
+/// What to measure over a window.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Signal {
+    /// `q`-quantile (0..1) of histogram `hist` over the window, in
+    /// seconds.
+    Quantile {
+        /// Histogram series name.
+        hist: String,
+        /// Quantile in (0, 1], e.g. 0.99.
+        q: f64,
+    },
+    /// Delta-over-delta ratio of counter prefixes; zero denominator
+    /// reads as 0.0 (idle = healthy).
+    Ratio {
+        /// Numerator counter name prefixes (summed).
+        num: Vec<String>,
+        /// Denominator counter name prefixes (summed).
+        den: Vec<String>,
+    },
+    /// Summed per-second rate of counter prefixes over the window.
+    Rate {
+        /// Counter name prefixes (summed).
+        counters: Vec<String>,
+    },
+    /// Summed raw increase of counters matching `prefix` over the
+    /// window (e.g. drift-latch trips).
+    DeltaPrefix {
+        /// Counter name prefix.
+        prefix: String,
+    },
+    /// Maximum latest-sample value over float series matching
+    /// `prefix` (e.g. per-group MAPE), NaN entries skipped.
+    ValueMax {
+        /// Float series name prefix.
+        prefix: String,
+    },
+    /// Maximum latest-sample value over gauges matching `prefix`.
+    GaugeMax {
+        /// Gauge name prefix.
+        prefix: String,
+    },
+}
+
+impl Signal {
+    fn measure(&self, w: &WindowView<'_>) -> Option<f64> {
+        match self {
+            Signal::Quantile { hist, q } => w.quantile(hist, *q),
+            Signal::Ratio { num, den } => w.ratio(num, den),
+            Signal::Rate { counters } => {
+                let span = w.span_seconds();
+                if span <= 0.0 {
+                    return None;
+                }
+                let mut total = 0u64;
+                let mut matched = false;
+                for c in counters {
+                    if let Some(d) = w.counter_delta_prefix(c) {
+                        matched = true;
+                        total += d;
+                    }
+                }
+                if matched {
+                    Some(total as f64 / span)
+                } else {
+                    None
+                }
+            }
+            Signal::DeltaPrefix { prefix } => w.counter_delta_prefix(prefix).map(|d| d as f64),
+            Signal::ValueMax { prefix } => w.value_max_prefix(prefix),
+            Signal::GaugeMax { prefix } => w.gauge_max_prefix(prefix).map(|g| g as f64),
+        }
+    }
+}
+
+/// Which side of the threshold is unhealthy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    /// Breach when value > threshold (latency, error ratio, ...).
+    Above,
+    /// Breach when value < threshold (e.g. throughput floors).
+    Below,
+}
+
+impl Cmp {
+    /// Stable label for JSON (`">"` / `"<"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Cmp::Above => ">",
+            Cmp::Below => "<",
+        }
+    }
+}
+
+/// One declarative objective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloSpec {
+    /// Unique name, e.g. `advise_p99_latency`.
+    pub name: String,
+    /// What to measure.
+    pub signal: Signal,
+    /// Threshold the signal is compared against.
+    pub threshold: f64,
+    /// Direction of unhealthy.
+    pub cmp: Cmp,
+    /// Fast burn window (prompt detection).
+    pub fast_window: Duration,
+    /// Slow burn window (spike suppression). Both must breach.
+    pub slow_window: Duration,
+    /// Consecutive breaching evaluations before pending → firing.
+    pub pending_evals: u32,
+    /// Consecutive healthy evaluations before firing → resolved (and
+    /// pending/resolved → ok).
+    pub clear_evals: u32,
+    /// Critical SLOs flip `/v1/health` to 503 while firing.
+    pub critical: bool,
+}
+
+impl SloSpec {
+    /// A spec with conventional defaults: breach above, 60 s fast /
+    /// 300 s slow windows, fire after 2 breaches, clear after 3 OKs,
+    /// non-critical.
+    pub fn new(name: impl Into<String>, signal: Signal, threshold: f64) -> Self {
+        SloSpec {
+            name: name.into(),
+            signal,
+            threshold,
+            cmp: Cmp::Above,
+            fast_window: Duration::from_secs(60),
+            slow_window: Duration::from_secs(300),
+            pending_evals: 2,
+            clear_evals: 3,
+            critical: false,
+        }
+    }
+
+    /// Mark the SLO critical (readiness-gating).
+    pub fn critical(mut self) -> Self {
+        self.critical = true;
+        self
+    }
+
+    /// Override both burn windows.
+    pub fn windows(mut self, fast: Duration, slow: Duration) -> Self {
+        self.fast_window = fast;
+        self.slow_window = slow;
+        self
+    }
+
+    /// Override hysteresis streak lengths.
+    pub fn hysteresis(mut self, pending_evals: u32, clear_evals: u32) -> Self {
+        self.pending_evals = pending_evals;
+        self.clear_evals = clear_evals;
+        self
+    }
+
+    /// Breach below the threshold instead of above.
+    pub fn below(mut self) -> Self {
+        self.cmp = Cmp::Below;
+        self
+    }
+
+    fn breaches(&self, value: f64) -> bool {
+        match self.cmp {
+            Cmp::Above => value > self.threshold,
+            Cmp::Below => value < self.threshold,
+        }
+    }
+}
+
+/// One evaluation's outcome, kept in per-SLO history.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalPoint {
+    /// When the evaluation ran (microseconds since epoch).
+    pub unix_us: u64,
+    /// Fast-window signal value (NaN when the signal had no data).
+    pub value: f64,
+    /// Whether both windows breached.
+    pub breaching: bool,
+}
+
+/// Evaluates a set of [`SloSpec`]s against ring history and drives one
+/// [`AlertMachine`] per spec.
+pub struct SloEngine {
+    specs: Vec<SloSpec>,
+    machines: Vec<AlertMachine>,
+    history: Vec<VecDeque<EvalPoint>>,
+    evaluations: u64,
+    /// Last fast-window value per spec (NaN = no data).
+    last_values: Vec<f64>,
+    /// Last slow-window value per spec (NaN = no data).
+    last_slow_values: Vec<f64>,
+}
+
+impl SloEngine {
+    /// Build an engine; every machine starts in [`AlertState::Ok`].
+    pub fn new(specs: Vec<SloSpec>) -> Self {
+        let machines =
+            specs.iter().map(|s| AlertMachine::new(s.pending_evals, s.clear_evals)).collect();
+        let n = specs.len();
+        SloEngine {
+            specs,
+            machines,
+            history: (0..n).map(|_| VecDeque::new()).collect(),
+            evaluations: 0,
+            last_values: vec![f64::NAN; n],
+            last_slow_values: vec![f64::NAN; n],
+        }
+    }
+
+    /// The configured objectives.
+    pub fn specs(&self) -> &[SloSpec] {
+        &self.specs
+    }
+
+    /// Total evaluations run (specs × ingests).
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+
+    /// Current alert state of spec `i`.
+    pub fn state(&self, i: usize) -> AlertState {
+        self.machines[i].state()
+    }
+
+    /// When spec `i` entered its current state.
+    pub fn since_us(&self, i: usize) -> u64 {
+        self.machines[i].since_us()
+    }
+
+    /// Last fast-window value of spec `i` (NaN = no data).
+    pub fn last_value(&self, i: usize) -> f64 {
+        self.last_values[i]
+    }
+
+    /// Last slow-window value of spec `i` (NaN = no data).
+    pub fn last_slow_value(&self, i: usize) -> f64 {
+        self.last_slow_values[i]
+    }
+
+    /// Evaluation history of spec `i`, oldest first.
+    pub fn history(&self, i: usize) -> impl Iterator<Item = &EvalPoint> {
+        self.history[i].iter()
+    }
+
+    /// Number of specs currently breaching (last evaluation).
+    pub fn breaching_count(&self) -> u64 {
+        self.history.iter().filter(|h| h.back().is_some_and(|p| p.breaching)).count() as u64
+    }
+
+    /// Evaluate every spec against `samples` (chronological, must end
+    /// at the just-ingested sample). Returns the transitions taken.
+    pub fn evaluate(&mut self, schema: &Schema, samples: &[Sample]) -> Vec<Transition> {
+        let mut transitions = Vec::new();
+        let Some(now_us) = samples.last().map(|s| s.unix_us) else {
+            return transitions;
+        };
+        for (i, spec) in self.specs.iter().enumerate() {
+            self.evaluations += 1;
+            let fast = window_slice(samples, now_us, spec.fast_window);
+            let slow = window_slice(samples, now_us, spec.slow_window);
+            let fast_value = spec.signal.measure(&WindowView::new(schema, fast));
+            let slow_value = spec.signal.measure(&WindowView::new(schema, slow));
+            // No data in either window => not breaching: never alert
+            // on absence of evidence.
+            let breaching = match (fast_value, slow_value) {
+                (Some(f), Some(s)) => spec.breaches(f) && spec.breaches(s),
+                _ => false,
+            };
+            let value = fast_value.unwrap_or(f64::NAN);
+            self.last_values[i] = value;
+            self.last_slow_values[i] = slow_value.unwrap_or(f64::NAN);
+            let hist = &mut self.history[i];
+            if hist.len() == HISTORY_CAP {
+                hist.pop_front();
+            }
+            hist.push_back(EvalPoint { unix_us: now_us, value, breaching });
+            if let Some((from, to)) = self.machines[i].step(breaching, now_us) {
+                transitions.push(Transition {
+                    slo: spec.name.clone(),
+                    from,
+                    to,
+                    unix_us: now_us,
+                    value,
+                    threshold: spec.threshold,
+                    critical: spec.critical,
+                });
+            }
+        }
+        transitions
+    }
+}
+
+/// Trailing slice of `samples` covering `window` ending at `now_us`.
+fn window_slice(samples: &[Sample], now_us: u64, window: Duration) -> &[Sample] {
+    let cutoff = now_us.saturating_sub(window.as_micros() as u64);
+    let start = samples.partition_point(|s| s.unix_us < cutoff);
+    &samples[start..]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn schema() -> Schema {
+        Schema {
+            counters: vec!["requests.advise".into(), "errors.advise".into(), "shed".into()],
+            ..Schema::default()
+        }
+    }
+
+    fn sample(t_s: u64, requests: u64, errors: u64) -> Sample {
+        Sample {
+            unix_us: t_s * 1_000_000,
+            counters: vec![requests, errors, 0],
+            ..Sample::default()
+        }
+    }
+
+    fn error_ratio_spec() -> SloSpec {
+        SloSpec::new(
+            "error_ratio",
+            Signal::Ratio { num: vec!["errors.".into()], den: vec!["requests.".into()] },
+            0.05,
+        )
+        .windows(Duration::from_secs(10), Duration::from_secs(30))
+        .hysteresis(2, 2)
+        .critical()
+    }
+
+    #[test]
+    fn both_windows_must_breach() {
+        let schema = schema();
+        let mut engine = SloEngine::new(vec![error_ratio_spec()]);
+        // 40 s of clean traffic, then errors start. The fast (10 s)
+        // window breaches quickly; the slow (30 s) window still holds
+        // enough clean history to stay under threshold at first.
+        let mut samples = Vec::new();
+        for t in 0..40u64 {
+            samples.push(sample(t, t * 100, 0));
+            engine.evaluate(&schema, &samples);
+        }
+        assert_eq!(engine.state(0), AlertState::Ok);
+        // Errors at 50% of new traffic.
+        let mut fired_at = None;
+        for t in 40..80u64 {
+            let req = t * 100;
+            let err = (t - 39) * 50;
+            samples.push(sample(t, req, err));
+            engine.evaluate(&schema, &samples);
+            if engine.state(0) == AlertState::Firing && fired_at.is_none() {
+                fired_at = Some(t);
+            }
+        }
+        let fired_at = fired_at.expect("sustained breach should fire");
+        // The fast window alone breaches at ~t=41; both-windows gating
+        // plus hysteresis delays it, but not indefinitely.
+        assert!(fired_at > 41, "fired too eagerly at t={fired_at}");
+        assert_eq!(engine.state(0), AlertState::Firing);
+        // Traffic stops entirely: ratio reads 0.0 (idle = healthy) and
+        // the alert resolves after clear_evals.
+        let last_req = 79 * 100;
+        let last_err = 40 * 50;
+        for t in 80..120u64 {
+            samples.push(sample(t, last_req, last_err));
+            engine.evaluate(&schema, &samples);
+        }
+        assert!(
+            matches!(engine.state(0), AlertState::Resolved | AlertState::Ok),
+            "expected recovery, got {:?}",
+            engine.state(0)
+        );
+    }
+
+    #[test]
+    fn missing_data_never_breaches() {
+        let schema = schema();
+        let spec = SloSpec::new("p99", Signal::Quantile { hist: "latency".into(), q: 0.99 }, 0.5);
+        let mut engine = SloEngine::new(vec![spec]);
+        let samples = vec![sample(0, 0, 0), sample(1, 10, 0)];
+        let t = engine.evaluate(&schema, &samples);
+        assert!(t.is_empty());
+        assert_eq!(engine.state(0), AlertState::Ok);
+        assert!(engine.last_value(0).is_nan());
+    }
+
+    #[test]
+    fn transitions_carry_spec_metadata() {
+        let schema = schema();
+        let spec = error_ratio_spec().hysteresis(1, 1);
+        let mut engine = SloEngine::new(vec![spec]);
+        let samples = vec![sample(0, 100, 0), sample(1, 200, 90)];
+        let t = engine.evaluate(&schema, &samples);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].slo, "error_ratio");
+        assert_eq!(t[0].from, AlertState::Ok);
+        assert_eq!(t[0].to, AlertState::Pending);
+        assert!(t[0].critical);
+        assert!((t[0].value - 0.9).abs() < 1e-12);
+        assert_eq!(engine.breaching_count(), 1);
+        assert_eq!(engine.evaluations(), 1);
+    }
+
+    #[test]
+    fn history_is_bounded() {
+        let schema = schema();
+        let mut engine = SloEngine::new(vec![error_ratio_spec()]);
+        let mut samples = Vec::new();
+        for t in 0..(HISTORY_CAP as u64 + 50) {
+            samples.push(sample(t, t, 0));
+            engine.evaluate(&schema, &samples);
+        }
+        assert_eq!(engine.history(0).count(), HISTORY_CAP);
+    }
+}

@@ -1,0 +1,83 @@
+//! ASCII sparklines for the `chemcost health` CLI. Pure ASCII so the
+//! output survives any terminal, log file, or CI artifact viewer.
+
+/// Density ramp, low to high.
+const RAMP: &[u8] = b" .:-=+*#@";
+
+/// Render `values` as a fixed-`width` ASCII sparkline. Values are
+/// resampled by bucketing (max within each bucket — spikes must stay
+/// visible) and scaled to the min..max of the finite values. NaN-only
+/// input (or an empty slice) renders as spaces.
+pub fn sparkline(values: &[f64], width: usize) -> String {
+    if width == 0 {
+        return String::new();
+    }
+    if values.is_empty() {
+        return " ".repeat(width);
+    }
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.is_empty() {
+        return " ".repeat(width);
+    }
+    let lo = finite.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(f64::EPSILON);
+    let mut out = String::with_capacity(width);
+    for i in 0..width {
+        // Bucket of source indices feeding output column i.
+        let start = i * values.len() / width;
+        let end = (((i + 1) * values.len()).div_ceil(width)).min(values.len());
+        let bucket = &values[start..end.max(start + 1).min(values.len())];
+        let peak = bucket.iter().copied().filter(|v| v.is_finite()).fold(f64::NAN, f64::max);
+        if peak.is_nan() {
+            out.push(' ');
+        } else {
+            let norm = ((peak - lo) / span).clamp(0.0, 1.0);
+            let idx = (norm * (RAMP.len() - 1) as f64).round() as usize;
+            out.push(RAMP[idx] as char);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ramps_from_low_to_high() {
+        let s = sparkline(&[0.0, 1.0, 2.0, 3.0], 4);
+        assert_eq!(s.len(), 4);
+        assert!(s.starts_with(' ') || s.starts_with('.'));
+        assert!(s.ends_with('@'));
+    }
+
+    #[test]
+    fn flat_series_is_uniform() {
+        let s = sparkline(&[5.0; 8], 8);
+        assert_eq!(s.len(), 8);
+        let first = s.chars().next().unwrap();
+        assert!(s.chars().all(|c| c == first));
+    }
+
+    #[test]
+    fn downsampling_keeps_the_spike() {
+        let mut v = vec![0.0; 100];
+        v[37] = 10.0;
+        let s = sparkline(&v, 10);
+        assert!(s.contains('@'), "spike lost in {s:?}");
+    }
+
+    #[test]
+    fn upsampling_pads_to_width() {
+        let s = sparkline(&[1.0, 2.0], 8);
+        assert_eq!(s.len(), 8);
+    }
+
+    #[test]
+    fn nan_and_empty_render_blank() {
+        assert_eq!(sparkline(&[], 4), "    ");
+        assert_eq!(sparkline(&[f64::NAN, f64::NAN], 4), "    ");
+        assert_eq!(sparkline(&[1.0], 0), "");
+    }
+}

@@ -1,0 +1,299 @@
+//! Derivation over a lookback slice of ring samples: counter deltas
+//! and rates, ratios, gauge/value lookups, histogram quantiles.
+//!
+//! A window needs at least two samples to say anything about change;
+//! with fewer it returns `None` and the SLO engine treats the signal
+//! as not-breaching (never alert on missing data).
+
+use crate::schema::{Sample, Schema};
+
+/// A read-only view over a chronological slice of samples.
+pub struct WindowView<'a> {
+    schema: &'a Schema,
+    samples: &'a [Sample],
+}
+
+impl<'a> WindowView<'a> {
+    /// Wrap a chronological (oldest-first) slice.
+    pub fn new(schema: &'a Schema, samples: &'a [Sample]) -> Self {
+        WindowView { schema, samples }
+    }
+
+    /// Number of samples in the window.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when the window holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Wall-clock span of the window in seconds.
+    pub fn span_seconds(&self) -> f64 {
+        match (self.samples.first(), self.samples.last()) {
+            (Some(f), Some(l)) => l.unix_us.saturating_sub(f.unix_us) as f64 / 1e6,
+            _ => 0.0,
+        }
+    }
+
+    /// Increase of one counter across the window.
+    pub fn counter_delta(&self, name: &str) -> Option<u64> {
+        let idx = self.schema.counter_index(name)?;
+        let first = self.samples.first()?;
+        let last = self.samples.last()?;
+        if self.samples.len() < 2 {
+            return None;
+        }
+        Some(last.counters[idx].saturating_sub(first.counters[idx]))
+    }
+
+    /// Summed increase of every counter whose name starts with
+    /// `prefix` across the window.
+    pub fn counter_delta_prefix(&self, prefix: &str) -> Option<u64> {
+        if self.samples.len() < 2 {
+            return None;
+        }
+        let first = self.samples.first()?;
+        let last = self.samples.last()?;
+        let mut total = 0u64;
+        let mut matched = false;
+        for (i, name) in self.schema.counters.iter().enumerate() {
+            if name.starts_with(prefix) {
+                matched = true;
+                total += last.counters[i].saturating_sub(first.counters[i]);
+            }
+        }
+        if matched {
+            Some(total)
+        } else {
+            None
+        }
+    }
+
+    /// Per-second rate of one counter across the window.
+    pub fn rate_per_sec(&self, name: &str) -> Option<f64> {
+        let delta = self.counter_delta(name)?;
+        let span = self.span_seconds();
+        if span <= 0.0 {
+            return None;
+        }
+        Some(delta as f64 / span)
+    }
+
+    /// Delta-over-delta ratio of two counter prefixes. A zero
+    /// denominator yields `Some(0.0)`: no traffic means no error
+    /// budget burned, so an idle window must read as healthy (this is
+    /// what lets error-ratio alerts resolve after chaos stops).
+    pub fn ratio(&self, num_prefixes: &[String], den_prefixes: &[String]) -> Option<f64> {
+        if self.samples.len() < 2 {
+            return None;
+        }
+        let num: u64 = num_prefixes.iter().filter_map(|p| self.counter_delta_prefix(p)).sum();
+        let den: u64 = den_prefixes.iter().filter_map(|p| self.counter_delta_prefix(p)).sum();
+        if den == 0 {
+            return Some(0.0);
+        }
+        Some(num as f64 / den as f64)
+    }
+
+    /// Latest value of one integer gauge.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        let idx = self.schema.gauge_index(name)?;
+        Some(self.samples.last()?.gauges[idx])
+    }
+
+    /// Maximum latest-sample value over all gauges whose name starts
+    /// with `prefix`.
+    pub fn gauge_max_prefix(&self, prefix: &str) -> Option<i64> {
+        let last = self.samples.last()?;
+        self.schema
+            .gauges
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.starts_with(prefix))
+            .map(|(i, _)| last.gauges[i])
+            .max()
+    }
+
+    /// Latest value of one float series.
+    pub fn value(&self, name: &str) -> Option<f64> {
+        let idx = self.schema.value_index(name)?;
+        Some(self.samples.last()?.values[idx])
+    }
+
+    /// Maximum latest-sample value over all float series whose name
+    /// starts with `prefix`, ignoring NaN entries (groups with no
+    /// data yet).
+    pub fn value_max_prefix(&self, prefix: &str) -> Option<f64> {
+        let last = self.samples.last()?;
+        self.schema
+            .values
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.starts_with(prefix))
+            .map(|(i, _)| last.values[i])
+            .filter(|v| !v.is_nan())
+            .fold(None, |acc: Option<f64>, v| Some(acc.map_or(v, |a| a.max(v))))
+    }
+
+    /// Quantile of one histogram over the observations that landed
+    /// *within* the window (bucket-count deltas between the first and
+    /// last sample), linearly interpolated inside the winning bucket.
+    /// Returns `None` when nothing was observed in the window.
+    pub fn quantile(&self, hist: &str, q: f64) -> Option<f64> {
+        if self.samples.len() < 2 {
+            return None;
+        }
+        let idx = self.schema.histogram_index(hist)?;
+        let bounds = &self.schema.histograms[idx].bounds;
+        let first = &self.samples.first()?.hists[idx];
+        let last = &self.samples.last()?.hists[idx];
+        let deltas: Vec<u64> =
+            last.buckets.iter().zip(&first.buckets).map(|(&l, &f)| l.saturating_sub(f)).collect();
+        let total: u64 = deltas.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * total as f64).max(1.0);
+        let mut seen = 0u64;
+        for (i, &d) in deltas.iter().enumerate() {
+            if d == 0 {
+                continue;
+            }
+            let next = seen + d;
+            if (next as f64) >= target {
+                let lower = if i == 0 { 0.0 } else { bounds[i - 1] };
+                // The overflow bucket has no finite upper bound; clamp
+                // to the last finite bound rather than invent one.
+                let upper = if i < bounds.len() { bounds[i] } else { lower };
+                let frac = (target - seen as f64) / d as f64;
+                return Some(lower + (upper - lower) * frac.clamp(0.0, 1.0));
+            }
+            seen = next;
+        }
+        bounds.last().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{HistSample, HistSchema};
+
+    fn schema() -> Schema {
+        Schema {
+            counters: vec![
+                "requests.advise".into(),
+                "requests.predict".into(),
+                "errors.advise".into(),
+                "shed".into(),
+            ],
+            gauges: vec!["in_flight".into(), "queue.a".into(), "queue.b".into()],
+            values: vec!["mape.g1".into(), "mape.g2".into()],
+            histograms: vec![HistSchema {
+                name: "latency".into(),
+                bounds: vec![0.001, 0.01, 0.1, 1.0],
+            }],
+        }
+    }
+
+    fn sample(t: u64, c: [u64; 4], hist_buckets: [u64; 5]) -> Sample {
+        Sample {
+            unix_us: t,
+            counters: c.to_vec(),
+            gauges: vec![2, 3, 7],
+            values: vec![0.1, 0.4],
+            hists: vec![HistSample {
+                buckets: hist_buckets.to_vec(),
+                sum_micros: 0,
+                count: hist_buckets.iter().sum(),
+            }],
+        }
+    }
+
+    #[test]
+    fn deltas_rates_and_ratios() {
+        let schema = schema();
+        let samples =
+            vec![sample(0, [100, 50, 4, 1], [0; 5]), sample(10_000_000, [300, 70, 24, 6], [0; 5])];
+        let w = WindowView::new(&schema, &samples);
+        assert_eq!(w.counter_delta("requests.advise"), Some(200));
+        assert_eq!(w.counter_delta_prefix("requests."), Some(220));
+        assert_eq!(w.rate_per_sec("requests.advise"), Some(20.0));
+        let r = w.ratio(&["errors.".into(), "shed".into()], &["requests.".into()]).unwrap();
+        assert!((r - 25.0 / 220.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_denominator_ratio_is_zero_not_none() {
+        let schema = schema();
+        let samples =
+            vec![sample(0, [100, 50, 4, 1], [0; 5]), sample(10_000_000, [100, 50, 9, 3], [0; 5])];
+        let w = WindowView::new(&schema, &samples);
+        assert_eq!(w.ratio(&["errors.".into()], &["requests.".into()]), Some(0.0));
+    }
+
+    #[test]
+    fn single_sample_window_answers_none_for_change() {
+        let schema = schema();
+        let samples = vec![sample(0, [1, 1, 1, 1], [1; 5])];
+        let w = WindowView::new(&schema, &samples);
+        assert_eq!(w.counter_delta("shed"), None);
+        assert_eq!(w.quantile("latency", 0.99), None);
+        // Point-in-time lookups still work.
+        assert_eq!(w.gauge("in_flight"), Some(2));
+        assert_eq!(w.value("mape.g2"), Some(0.4));
+    }
+
+    #[test]
+    fn prefix_maxima() {
+        let schema = schema();
+        let samples = vec![sample(0, [0; 4], [0; 5]), sample(1, [0; 4], [0; 5])];
+        let w = WindowView::new(&schema, &samples);
+        assert_eq!(w.gauge_max_prefix("queue."), Some(7));
+        assert_eq!(w.value_max_prefix("mape."), Some(0.4));
+        assert_eq!(w.value_max_prefix("nope."), None);
+    }
+
+    #[test]
+    fn nan_values_are_skipped_in_max() {
+        let schema = schema();
+        let mut s0 = sample(0, [0; 4], [0; 5]);
+        s0.values = vec![f64::NAN, f64::NAN];
+        let samples = vec![s0];
+        let w = WindowView::new(&schema, &samples);
+        assert_eq!(w.value_max_prefix("mape."), None);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_bucket() {
+        let schema = schema();
+        // 90 observations <= 1ms, 10 in (1ms, 10ms].
+        let samples =
+            vec![sample(0, [0; 4], [0, 0, 0, 0, 0]), sample(60_000_000, [0; 4], [90, 10, 0, 0, 0])];
+        let w = WindowView::new(&schema, &samples);
+        let p50 = w.quantile("latency", 0.5).unwrap();
+        assert!(p50 > 0.0 && p50 <= 0.001, "p50 {p50}");
+        let p99 = w.quantile("latency", 0.99).unwrap();
+        assert!(p99 > 0.001 && p99 <= 0.01, "p99 {p99}");
+        // Window-relative: only deltas count. Same last sample with a
+        // non-zero first sample shifts the quantile.
+        let shifted = vec![
+            sample(0, [0; 4], [90, 0, 0, 0, 0]),
+            sample(60_000_000, [0; 4], [90, 10, 0, 0, 0]),
+        ];
+        let w2 = WindowView::new(&schema, &shifted);
+        let p50b = w2.quantile("latency", 0.5).unwrap();
+        assert!(p50b > 0.001 && p50b <= 0.01, "p50b {p50b}");
+    }
+
+    #[test]
+    fn quantile_overflow_bucket_clamps_to_last_bound() {
+        let schema = schema();
+        let samples =
+            vec![sample(0, [0; 4], [0, 0, 0, 0, 0]), sample(1_000_000, [0; 4], [0, 0, 0, 0, 5])];
+        let w = WindowView::new(&schema, &samples);
+        assert_eq!(w.quantile("latency", 0.99), Some(1.0));
+    }
+}

@@ -177,6 +177,10 @@ pub fn dispatch_event(level: Level, target: &'static str, name: &'static str, fi
 ///   installed so the CLI logs without further setup.
 /// * `CHEMCOST_LOG_JSON=<path>` — additionally write every event as
 ///   JSONL to `<path>` (truncated at startup).
+/// * `CHEMCOST_LOG_MAX_BYTES=<n>` — size-rotate the JSONL file once it
+///   crosses `n` bytes (`<path>.1` newest rotated generation). Unset or
+///   unparsable: unbounded.
+/// * `CHEMCOST_LOG_KEEP=<n>` — rotated generations to keep (default 3).
 ///
 /// Safe to call multiple times; only the first call installs sinks.
 pub fn init_from_env() {
@@ -199,7 +203,19 @@ pub fn init_from_env() {
         global().set_level(Some(level));
         global().add_sink(Arc::new(TextSink::stderr()));
         if let Ok(path) = std::env::var("CHEMCOST_LOG_JSON") {
-            match JsonlSink::create(std::path::Path::new(&path)) {
+            let max_bytes = std::env::var("CHEMCOST_LOG_MAX_BYTES")
+                .ok()
+                .and_then(|v| v.trim().parse::<u64>().ok())
+                .filter(|&n| n > 0);
+            let keep = std::env::var("CHEMCOST_LOG_KEEP")
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .unwrap_or(3);
+            let sink = match max_bytes {
+                Some(max) => JsonlSink::with_rotation(std::path::Path::new(&path), max, keep),
+                None => JsonlSink::create(std::path::Path::new(&path)),
+            };
+            match sink {
                 Ok(sink) => {
                     global().add_sink(Arc::new(sink));
                 }

@@ -52,27 +52,102 @@ impl Sink for TextSink {
 /// buffered for throughput; callers that need the file current on disk
 /// (graceful drain, reload, process exit) go through [`Sink::flush`] —
 /// the dispatcher's [`crate::flush`] fans out to every sink.
+///
+/// With [`JsonlSink::with_rotation`] the file is size-rotated: once the
+/// active file crosses `max_bytes`, it is flushed and renamed to
+/// `<path>.1` (shifting older generations to `.2`, `.3`, … and deleting
+/// past `keep`), and writing continues into a fresh `<path>`. Rotation
+/// happens on a line boundary, so every generation is valid JSONL.
 pub struct JsonlSink {
-    writer: Mutex<BufWriter<File>>,
+    inner: Mutex<JsonlInner>,
+}
+
+struct JsonlInner {
+    writer: BufWriter<File>,
+    /// Bytes written to the active file so far (rotated sinks only).
+    written: u64,
+    rotation: Option<Rotation>,
+}
+
+struct Rotation {
+    path: std::path::PathBuf,
+    max_bytes: u64,
+    keep: usize,
+}
+
+fn generation(path: &Path, n: usize) -> std::path::PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(format!(".{n}"));
+    std::path::PathBuf::from(os)
 }
 
 impl JsonlSink {
-    /// Create (truncate) `path` and write every event to it.
+    /// Create (truncate) `path` and write every event to it, unbounded.
     pub fn create(path: &Path) -> std::io::Result<JsonlSink> {
         let file = File::create(path)?;
-        Ok(JsonlSink { writer: Mutex::new(BufWriter::new(file)) })
+        Ok(JsonlSink {
+            inner: Mutex::new(JsonlInner {
+                writer: BufWriter::new(file),
+                written: 0,
+                rotation: None,
+            }),
+        })
+    }
+
+    /// Create `path` with size-based rotation: rotate once the active
+    /// file exceeds `max_bytes` (min 1), keeping `keep` rotated
+    /// generations (`<path>.1` newest; min 1).
+    pub fn with_rotation(path: &Path, max_bytes: u64, keep: usize) -> std::io::Result<JsonlSink> {
+        let file = File::create(path)?;
+        Ok(JsonlSink {
+            inner: Mutex::new(JsonlInner {
+                writer: BufWriter::new(file),
+                written: 0,
+                rotation: Some(Rotation {
+                    path: path.to_path_buf(),
+                    max_bytes: max_bytes.max(1),
+                    keep: keep.max(1),
+                }),
+            }),
+        })
+    }
+}
+
+impl JsonlInner {
+    /// Flush and shift generations, then continue into a fresh file.
+    /// Any rename/create failure leaves the sink writing to the old
+    /// handle — degraded, never broken.
+    fn rotate(&mut self) {
+        let Some(rotation) = &self.rotation else { return };
+        let _ = self.writer.flush();
+        let _ = std::fs::remove_file(generation(&rotation.path, rotation.keep));
+        for n in (1..rotation.keep).rev() {
+            let _ =
+                std::fs::rename(generation(&rotation.path, n), generation(&rotation.path, n + 1));
+        }
+        let _ = std::fs::rename(&rotation.path, generation(&rotation.path, 1));
+        if let Ok(file) = File::create(&rotation.path) {
+            self.writer = BufWriter::new(file);
+            self.written = 0;
+        }
     }
 }
 
 impl Sink for JsonlSink {
     fn emit(&self, event: &Event) {
         let line = event.to_jsonl();
-        let mut w = self.writer.lock().unwrap();
-        let _ = writeln!(w, "{line}");
+        let mut inner = self.inner.lock().unwrap();
+        let _ = writeln!(inner.writer, "{line}");
+        if let Some(max_bytes) = inner.rotation.as_ref().map(|r| r.max_bytes) {
+            inner.written += line.len() as u64 + 1;
+            if inner.written >= max_bytes {
+                inner.rotate();
+            }
+        }
     }
 
     fn flush(&self) {
-        let _ = self.writer.lock().unwrap().flush();
+        let _ = self.inner.lock().unwrap().writer.flush();
     }
 }
 
@@ -183,6 +258,35 @@ mod tests {
         assert!(text.contains("hello"), "{text}");
         assert!(text.contains("n=7"), "{text}");
         assert!(text.ends_with('\n'));
+    }
+
+    #[test]
+    fn jsonl_sink_rotates_on_size_and_flushes_each_generation() {
+        let dir = std::env::temp_dir().join(format!("chemcost-obs-rot-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rot.jsonl");
+        // Each event line is well over 8 bytes, so every emit rotates:
+        // the rotation path must flush buffered lines before renaming or
+        // the generations would be empty files.
+        let sink = JsonlSink::with_rotation(&path, 8, 2).unwrap();
+        for i in 0..5 {
+            sink.emit(&event("spin", i));
+        }
+        let gen1 = std::fs::read_to_string(super::generation(&path, 1)).unwrap();
+        let gen2 = std::fs::read_to_string(super::generation(&path, 2)).unwrap();
+        assert!(gen1.contains("\"fields\":{\"n\":4}"), "{gen1}");
+        assert!(gen2.contains("\"fields\":{\"n\":3}"), "{gen2}");
+        assert!(!super::generation(&path, 3).exists(), "keep=2 must cap the generations");
+        // Every rotated generation ends on a line boundary.
+        assert!(gen1.ends_with('\n') && gen2.ends_with('\n'));
+        // A tiny max_bytes rotates on every emit, so the latest line is
+        // always generation 1 and the active file starts empty again.
+        sink.emit(&event("tail", 9));
+        let gen1 = std::fs::read_to_string(super::generation(&path, 1)).unwrap();
+        assert!(gen1.contains("\"name\":\"tail\""), "{gen1}");
+        sink.flush();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

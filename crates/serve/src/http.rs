@@ -35,6 +35,9 @@ pub struct Request {
     pub method: String,
     /// Request path, without query string.
     pub path: String,
+    /// Raw query string (bytes after `?`, without the `?`; empty when
+    /// the target had none).
+    pub query: String,
     /// Header map; names lower-cased.
     pub headers: HashMap<String, String>,
     /// Request body (empty when no Content-Length).
@@ -43,11 +46,17 @@ pub struct Request {
 
 impl Request {
     /// Build an in-memory request (used by tests and the bench harness —
-    /// the router's `handle` doesn't need a socket).
+    /// the router's `handle` doesn't need a socket). A `?` in `path`
+    /// splits it into path + query like the wire parser would.
     pub fn new(method: &str, path: &str, body: &[u8]) -> Request {
+        let (path, query) = match path.split_once('?') {
+            Some((p, q)) => (p.to_string(), q.to_string()),
+            None => (path.to_string(), String::new()),
+        };
         Request {
             method: method.to_string(),
-            path: path.to_string(),
+            path,
+            query,
             headers: HashMap::new(),
             body: body.to_vec(),
         }
@@ -57,6 +66,16 @@ impl Request {
     /// defaults to yes unless `Connection: close`.
     pub fn keep_alive(&self) -> bool {
         !self.headers.get("connection").is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+
+    /// Value of one `key=value` query parameter, unescaped only for
+    /// the characters the debug endpoints need (none — values are
+    /// numbers and route labels).
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            (k == key).then_some(v)
+        })
     }
 }
 
@@ -232,10 +251,10 @@ fn read_line<R: BufRead>(reader: &mut R) -> Result<Option<String>, HttpError> {
     }
 }
 
-/// Parse an HTTP/1.x request line into `(method, path)`. The query
-/// string is stripped (the API doesn't use one); a non-1.x version is a
-/// 505.
-fn parse_request_line(line: &str) -> Result<(String, String), HttpError> {
+/// Parse an HTTP/1.x request line into `(method, path, query)`. The
+/// query string is split off the target (the debug endpoints filter by
+/// it); a non-1.x version is a 505.
+fn parse_request_line(line: &str) -> Result<(String, String, String), HttpError> {
     let mut parts = line.split_whitespace();
     let method =
         parts.next().ok_or_else(|| HttpError::Malformed("empty request line".into()))?.to_string();
@@ -246,8 +265,11 @@ fn parse_request_line(line: &str) -> Result<(String, String), HttpError> {
     if !version.starts_with("HTTP/1.") {
         return Err(HttpError::Unsupported(505, format!("unsupported version {version}")));
     }
-    let path = target.split('?').next().unwrap_or(target).to_string();
-    Ok((method, path))
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+    Ok((method, path, query))
 }
 
 /// Fold one header line into the map. Repeated header names fold into
@@ -299,7 +321,7 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, HttpE
     let Some(request_line) = read_line(reader)? else {
         return Ok(None);
     };
-    let (method, path) = parse_request_line(&request_line)?;
+    let (method, path, query) = parse_request_line(&request_line)?;
 
     let mut headers = HashMap::new();
     loop {
@@ -322,7 +344,7 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, HttpE
         }
     }
 
-    Ok(Some(Request { method, path, headers, body }))
+    Ok(Some(Request { method, path, query, headers, body }))
 }
 
 /// Try to parse one complete request out of the front of `buf`.
@@ -338,7 +360,7 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, HttpE
 /// with [`read_request`].
 pub fn parse_request(buf: &[u8]) -> Result<Option<(Request, usize)>, HttpError> {
     let mut line_start = 0usize;
-    let mut request_line: Option<(String, String)> = None;
+    let mut request_line: Option<(String, String, String)> = None;
     let mut headers = HashMap::new();
     let mut head_len: Option<usize> = None;
     for (i, &b) in buf.iter().enumerate() {
@@ -372,13 +394,13 @@ pub fn parse_request(buf: &[u8]) -> Result<Option<(Request, usize)>, HttpError> 
         // insert_header. Just wait for more bytes.
         return Ok(None);
     };
-    let (method, path) = request_line.expect("head complete implies request line parsed");
+    let (method, path, query) = request_line.expect("head complete implies request line parsed");
     let len = body_length(&headers)?;
     if buf.len() < head_len + len {
         return Ok(None);
     }
     let body = buf[head_len..head_len + len].to_vec();
-    Ok(Some((Request { method, path, headers, body }, head_len + len)))
+    Ok(Some((Request { method, path, query, headers, body }, head_len + len)))
 }
 
 fn reason(status: u16) -> &'static str {
@@ -520,9 +542,24 @@ mod tests {
     }
 
     #[test]
-    fn query_string_is_stripped() {
+    fn query_string_is_split_off_the_path() {
         let r = parse("GET /v1/models?verbose=1 HTTP/1.1\r\n\r\n").unwrap().unwrap();
         assert_eq!(r.path, "/v1/models");
+        assert_eq!(r.query, "verbose=1");
+        assert_eq!(r.query_param("verbose"), Some("1"));
+        assert_eq!(r.query_param("missing"), None);
+    }
+
+    #[test]
+    fn query_params_parse_multiple_pairs() {
+        let r = Request::new("GET", "/debug/requests?since_us=123&route=advise", b"");
+        assert_eq!(r.path, "/debug/requests");
+        assert_eq!(r.query_param("since_us"), Some("123"));
+        assert_eq!(r.query_param("route"), Some("advise"));
+        assert_eq!(r.query_param("flag"), None);
+        let plain = Request::new("GET", "/healthz", b"");
+        assert_eq!(plain.query, "");
+        assert_eq!(plain.query_param("anything"), None);
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub mod cache;
 pub mod client;
 pub mod event_loop;
 pub mod fault;
+pub mod health_bridge;
 pub mod http;
 pub mod json;
 pub mod metrics;
@@ -46,9 +47,11 @@ pub mod timeline;
 
 pub use batcher::{Batcher, BatcherConfig, FlushReason};
 pub use cache::{AdviseCache, AdviseKey};
+pub use chemcost_health::{parse_duration, parse_slo_file, sparkline, HealthConfig, HealthHub};
 pub use client::{Client, ClientError, RetryPolicy};
 pub use event_loop::{EventLoopConfig, DEFAULT_MAX_CONNS};
 pub use fault::{ChaosProfile, FaultKind, FaultPlane, FaultPlaneBuilder};
+pub use health_bridge::{builtin_slos, HealthHandle, MetricsSampler};
 pub use metrics::Metrics;
 pub use quality::{ObserveError, ObserveOutcome, QualityHub};
 pub use registry::{ModelInfo, ModelRegistry, ResolvedModel};
@@ -73,6 +76,7 @@ pub struct Server {
     max_conns: usize,
     batch_config: BatcherConfig,
     faults: Option<Arc<FaultPlane>>,
+    health_config: Option<HealthConfig>,
 }
 
 impl Server {
@@ -89,6 +93,10 @@ impl Server {
             max_conns: DEFAULT_MAX_CONNS,
             batch_config: BatcherConfig::default(),
             faults: None,
+            health_config: Some(HealthConfig {
+                slos: health_bridge::builtin_slos(),
+                ..HealthConfig::default()
+            }),
         })
     }
 
@@ -129,6 +137,23 @@ impl Server {
         self
     }
 
+    /// Override the health plane's tuning (`chemcost serve
+    /// --scrape-interval-ms` / `--slo-file`). Built-in SLOs are on by
+    /// default; pass a config with the desired `slos` list (typically
+    /// [`health_bridge::builtin_slos`] plus parsed `--slo-file` rules).
+    pub fn with_health(mut self, config: HealthConfig) -> Server {
+        self.health_config = Some(config);
+        self
+    }
+
+    /// Disable the health plane entirely (`/v1/health` then answers
+    /// "disabled"). Benches use this to keep the sampler thread out of
+    /// latency baselines they compare against older builds.
+    pub fn without_health(mut self) -> Server {
+        self.health_config = None;
+        self
+    }
+
     /// The effective compute queue capacity.
     pub fn queue_cap(&self) -> usize {
         self.queue_cap
@@ -156,6 +181,12 @@ impl Server {
         // below can return.
         let batcher = Batcher::start(self.batch_config, Arc::clone(&metrics));
         self.router.install_batcher(Arc::clone(&batcher));
+        // Start the health plane after the batcher so its very first
+        // self-scrape already sees every pre-registered series.
+        let health = self
+            .health_config
+            .as_ref()
+            .map(|config| health_bridge::start(&self.router, config.clone()));
         chemcost_obs::event!(
             chemcost_obs::Level::Info,
             "serve.start",
@@ -174,6 +205,9 @@ impl Server {
         pool.join();
         batcher.shutdown();
         self.router.lifecycle().shutdown();
+        if let Some(health) = health {
+            health.stop();
+        }
         chemcost_obs::event!(
             chemcost_obs::Level::Info,
             "serve.stop",

@@ -65,12 +65,15 @@ pub enum Route {
     Shutdown,
     /// `GET /debug/requests` — the flight recorder.
     Debug,
+    /// `GET /v1/health` — the SLO-driven readiness verdict.
+    Health,
     /// Anything else (404s, bad methods, shed connections, …).
     Other,
 }
 
 impl Route {
-    const ALL: [Route; 12] = [
+    /// Every route, in exposition order.
+    pub const ALL: [Route; 13] = [
         Route::Healthz,
         Route::Metrics,
         Route::Models,
@@ -82,6 +85,7 @@ impl Route {
         Route::Lifecycle,
         Route::Shutdown,
         Route::Debug,
+        Route::Health,
         Route::Other,
     ];
 
@@ -98,7 +102,8 @@ impl Route {
             Route::Lifecycle => 8,
             Route::Shutdown => 9,
             Route::Debug => 10,
-            Route::Other => 11,
+            Route::Health => 11,
+            Route::Other => 12,
         }
     }
 
@@ -116,6 +121,7 @@ impl Route {
             Route::Lifecycle => "lifecycle",
             Route::Shutdown => "shutdown",
             Route::Debug => "debug",
+            Route::Health => "health",
             Route::Other => "other",
         }
     }
@@ -137,7 +143,8 @@ pub enum AdviseStage {
 }
 
 impl AdviseStage {
-    const ALL: [AdviseStage; 4] =
+    /// Every stage, in label order.
+    pub const ALL: [AdviseStage; 4] =
         [AdviseStage::Cache, AdviseStage::Sweep, AdviseStage::Encode, AdviseStage::Shadow];
 
     fn index(self) -> usize {
@@ -314,6 +321,12 @@ pub const REQUIRED_SERIES: &[&str] = &[
     "chemcost_event_loop_events_per_wake",
     "chemcost_connections_read_paused",
     "chemcost_connections_write_stalled",
+    "chemcost_alerts_transitions_total",
+    "chemcost_alerts_firing",
+    "chemcost_alerts_pending",
+    "chemcost_slo_evaluations_total",
+    "chemcost_slo_breaching",
+    "chemcost_slo_scrapes_total",
 ];
 
 /// Version baked into `chemcost_build_info`.
@@ -581,7 +594,7 @@ pub struct LifecycleEntry {
 
 /// Shared, thread-safe service metrics.
 pub struct Metrics {
-    routes: [RouteStats; 12],
+    routes: [RouteStats; 13],
     /// Whole-request handling latency.
     latency: Histogram,
     /// Per-stage request-timeline latency, indexed by [`RequestStage`].
@@ -652,6 +665,19 @@ pub struct Metrics {
     stale_since: AtomicU64,
     /// Micros-since-`start` + 1 of the most recent shed; 0 = never.
     last_shed: AtomicU64,
+    /// Alert transitions by destination state, indexed ok/pending/
+    /// firing/resolved (health plane).
+    alert_transitions: [AtomicU64; 4],
+    /// SLOs whose alert is currently firing (gauge).
+    alerts_firing: AtomicI64,
+    /// SLOs whose alert is currently pending (gauge).
+    alerts_pending: AtomicI64,
+    /// SLO evaluations run by the health sampler.
+    slo_evaluations: AtomicU64,
+    /// SLOs breaching on their latest evaluation (gauge).
+    slo_breaching: AtomicI64,
+    /// Self-scrape samples taken by the health sampler.
+    slo_scrapes: AtomicU64,
 }
 
 impl Default for Metrics {
@@ -690,6 +716,12 @@ impl Default for Metrics {
             start: Instant::now(),
             stale_since: AtomicU64::new(0),
             last_shed: AtomicU64::new(0),
+            alert_transitions: Default::default(),
+            alerts_firing: AtomicI64::new(0),
+            alerts_pending: AtomicI64::new(0),
+            slo_evaluations: AtomicU64::new(0),
+            slo_breaching: AtomicI64::new(0),
+            slo_scrapes: AtomicU64::new(0),
         }
     }
 }
@@ -1116,6 +1148,111 @@ impl Metrics {
         self.cache_misses.load()
     }
 
+    /// Cached advise answers right now.
+    pub fn cache_entries(&self) -> u64 {
+        self.cache_entries.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot one histogram as `(buckets, sum_micros, count)`. The
+    /// count is read *first*: `observe` bumps bucket → sum → count, so
+    /// reading in the opposite order guarantees
+    /// `sum(buckets) >= count` — a snapshot can under-report the very
+    /// newest observation but never tear a bucket/count pair.
+    fn snapshot_histogram(h: &Histogram) -> ([u64; 11], u64, u64) {
+        let count = h.count.load(Ordering::Acquire);
+        let sum_micros = h.sum_micros.load(Ordering::Acquire);
+        let mut buckets = [0u64; 11];
+        for (b, a) in buckets.iter_mut().zip(&h.buckets) {
+            *b = a.load(Ordering::Acquire);
+        }
+        (buckets, sum_micros, count)
+    }
+
+    /// Histogram bucket upper bounds shared by every latency histogram
+    /// (seconds; the 11th bucket is `+Inf`).
+    pub fn histogram_bounds() -> &'static [f64] {
+        &BUCKETS
+    }
+
+    /// Torn-pair-free snapshot of the whole-request latency histogram.
+    pub fn latency_snapshot(&self) -> ([u64; 11], u64, u64) {
+        Metrics::snapshot_histogram(&self.latency)
+    }
+
+    /// Torn-pair-free snapshot of one advise-stage histogram.
+    pub fn advise_stage_snapshot(&self, stage: AdviseStage) -> ([u64; 11], u64, u64) {
+        Metrics::snapshot_histogram(&self.advise_stages[stage.index()])
+    }
+
+    /// Torn-pair-free snapshot of one request-timeline stage histogram.
+    pub fn request_stage_snapshot(&self, stage: RequestStage) -> ([u64; 11], u64, u64) {
+        Metrics::snapshot_histogram(&self.request_stages[stage.index()])
+    }
+
+    /// Count one alert transition by destination-state label
+    /// ("ok"/"pending"/"firing"/"resolved"); anything else is ignored
+    /// so the label set stays pre-registered.
+    pub fn record_alert_transition(&self, to: &str) {
+        let i = match to {
+            "ok" => 0,
+            "pending" => 1,
+            "firing" => 2,
+            "resolved" => 3,
+            _ => return,
+        };
+        self.alert_transitions[i].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Alert transitions counted into one destination state.
+    pub fn alert_transitions(&self, to: &str) -> u64 {
+        match to {
+            "ok" => self.alert_transitions[0].load(Ordering::Relaxed),
+            "pending" => self.alert_transitions[1].load(Ordering::Relaxed),
+            "firing" => self.alert_transitions[2].load(Ordering::Relaxed),
+            "resolved" => self.alert_transitions[3].load(Ordering::Relaxed),
+            _ => 0,
+        }
+    }
+
+    /// Update the firing/pending alert gauges after an evaluation pass.
+    pub fn set_alert_gauges(&self, firing: usize, pending: usize) {
+        self.alerts_firing.store(firing as i64, Ordering::Relaxed);
+        self.alerts_pending.store(pending as i64, Ordering::Relaxed);
+    }
+
+    /// SLO alerts currently firing.
+    pub fn alerts_firing(&self) -> u64 {
+        self.alerts_firing.load(Ordering::Relaxed).max(0) as u64
+    }
+
+    /// SLO alerts currently pending.
+    pub fn alerts_pending(&self) -> u64 {
+        self.alerts_pending.load(Ordering::Relaxed).max(0) as u64
+    }
+
+    /// Account one health-sampler pass: `evaluations` SLO evaluations
+    /// ran, `breaching` of them found both burn windows over threshold.
+    pub fn record_slo_scrape(&self, evaluations: u64, breaching: usize) {
+        self.slo_scrapes.fetch_add(1, Ordering::Relaxed);
+        self.slo_evaluations.fetch_add(evaluations, Ordering::Relaxed);
+        self.slo_breaching.store(breaching as i64, Ordering::Relaxed);
+    }
+
+    /// Self-scrape samples taken so far.
+    pub fn slo_scrapes(&self) -> u64 {
+        self.slo_scrapes.load(Ordering::Relaxed)
+    }
+
+    /// SLO evaluations run so far.
+    pub fn slo_evaluations(&self) -> u64 {
+        self.slo_evaluations.load(Ordering::Relaxed)
+    }
+
+    /// SLOs breaching on the latest evaluation.
+    pub fn slo_breaching(&self) -> u64 {
+        self.slo_breaching.load(Ordering::Relaxed).max(0) as u64
+    }
+
     /// Render the Prometheus text exposition.
     pub fn render(&self) -> String {
         let mut out = String::with_capacity(4096);
@@ -1428,6 +1565,37 @@ impl Metrics {
         );
         out.push_str("# TYPE chemcost_connections_write_stalled gauge\n");
         out.push_str(&format!("chemcost_connections_write_stalled {}\n", self.write_stalled()));
+        out.push_str(
+            "# HELP chemcost_alerts_transitions_total SLO alert state transitions, by destination state.\n",
+        );
+        out.push_str("# TYPE chemcost_alerts_transitions_total counter\n");
+        for to in ["ok", "pending", "firing", "resolved"] {
+            out.push_str(&format!(
+                "chemcost_alerts_transitions_total{{to=\"{to}\"}} {}\n",
+                self.alert_transitions(to)
+            ));
+        }
+        out.push_str("# HELP chemcost_alerts_firing SLO alerts currently firing.\n");
+        out.push_str("# TYPE chemcost_alerts_firing gauge\n");
+        out.push_str(&format!("chemcost_alerts_firing {}\n", self.alerts_firing()));
+        out.push_str("# HELP chemcost_alerts_pending SLO alerts currently pending.\n");
+        out.push_str("# TYPE chemcost_alerts_pending gauge\n");
+        out.push_str(&format!("chemcost_alerts_pending {}\n", self.alerts_pending()));
+        out.push_str(
+            "# HELP chemcost_slo_evaluations_total SLO evaluations run by the health sampler.\n",
+        );
+        out.push_str("# TYPE chemcost_slo_evaluations_total counter\n");
+        out.push_str(&format!("chemcost_slo_evaluations_total {}\n", self.slo_evaluations()));
+        out.push_str(
+            "# HELP chemcost_slo_breaching SLOs breaching both burn windows on the latest evaluation.\n",
+        );
+        out.push_str("# TYPE chemcost_slo_breaching gauge\n");
+        out.push_str(&format!("chemcost_slo_breaching {}\n", self.slo_breaching()));
+        out.push_str(
+            "# HELP chemcost_slo_scrapes_total Self-scrape samples taken by the health sampler.\n",
+        );
+        out.push_str("# TYPE chemcost_slo_scrapes_total counter\n");
+        out.push_str(&format!("chemcost_slo_scrapes_total {}\n", self.slo_scrapes()));
         out
     }
 }
@@ -1935,6 +2103,58 @@ mod tests {
                 "{outcome} missing: {text}"
             );
         }
+        // The health-plane families, pre-registered at zero.
+        for state in ["ok", "pending", "firing", "resolved"] {
+            assert!(
+                text.contains(&format!("chemcost_alerts_transitions_total{{to=\"{state}\"}} 0")),
+                "{state} missing: {text}"
+            );
+        }
+        assert!(text.contains("chemcost_alerts_firing 0"), "{text}");
+        assert!(text.contains("chemcost_alerts_pending 0"), "{text}");
+        assert!(text.contains("chemcost_slo_evaluations_total 0"), "{text}");
+        assert!(text.contains("chemcost_slo_breaching 0"), "{text}");
+        assert!(text.contains("chemcost_slo_scrapes_total 0"), "{text}");
+    }
+
+    #[test]
+    fn alert_recorders_update_their_families() {
+        let m = Metrics::new();
+        m.record_alert_transition("pending");
+        m.record_alert_transition("firing");
+        m.record_alert_transition("firing");
+        m.record_alert_transition("no-such-state"); // ignored, never panics
+        m.set_alert_gauges(1, 2);
+        m.record_slo_scrape(6, 1);
+        m.record_slo_scrape(6, 0);
+        assert_eq!(m.alert_transitions("firing"), 2);
+        assert_eq!(m.alert_transitions("pending"), 1);
+        assert_eq!(m.alert_transitions("resolved"), 0);
+        assert_eq!(m.alerts_firing(), 1);
+        assert_eq!(m.alerts_pending(), 2);
+        assert_eq!(m.slo_scrapes(), 2);
+        assert_eq!(m.slo_evaluations(), 12);
+        assert_eq!(m.slo_breaching(), 0, "gauge tracks the latest scrape");
+        let text = m.render();
+        assert!(text.contains("chemcost_alerts_transitions_total{to=\"firing\"} 2"), "{text}");
+        assert!(text.contains("chemcost_alerts_firing 1"), "{text}");
+        assert!(text.contains("chemcost_slo_scrapes_total 2"), "{text}");
+    }
+
+    #[test]
+    fn histogram_snapshot_is_internally_consistent() {
+        let m = Metrics::new();
+        for i in 0..50 {
+            m.record(Route::Advise, false, Duration::from_micros(i * 997));
+        }
+        let (buckets, sum, count) = {
+            let snap = m.latency_snapshot();
+            (snap.0, snap.1, snap.2)
+        };
+        assert_eq!(count, 50);
+        assert!(sum > 0);
+        assert_eq!(buckets.iter().sum::<u64>(), 50, "every observation lands in one bucket");
+        assert_eq!(buckets.len(), Metrics::histogram_bounds().len() + 1, "+Inf bucket");
     }
 
     /// Negative: without a registered quality group the per-model

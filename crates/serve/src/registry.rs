@@ -139,13 +139,14 @@ impl ModelRegistry {
     /// Re-read a file-backed model from disk. Returns the new version.
     /// The old model stays in place if the reload fails.
     pub fn reload(&self, name: &str) -> Result<u64, String> {
-        let path = {
+        let (path, expect_features) = {
             let entries = self.entries.read();
             let entry = entries.get(name).ok_or_else(|| format!("no model named {name:?}"))?;
-            entry
+            let path = entry
                 .path
                 .clone()
-                .ok_or_else(|| format!("model {name:?} is in-memory only (no file to reload)"))?
+                .ok_or_else(|| format!("model {name:?} is in-memory only (no file to reload)"))?;
+            (path, entry.model.n_features())
         };
         let poisoned = self.faults.read().as_ref().is_some_and(|p| p.roll(FaultKind::PoisonReload));
         if poisoned {
@@ -157,6 +158,17 @@ impl ModelRegistry {
         // Read the file without holding the lock — disk I/O under a write
         // lock would stall every concurrent prediction.
         let gb = load_gb(&path).map_err(|e| format!("reloading {}: {e}", path.display()))?;
+        // The wire format only bounds the feature count loosely, so a
+        // corrupt-but-decodable file can change it; swapping such a model
+        // in would panic every caller still predicting with the old
+        // feature layout. Keep the last-good model instead.
+        if expect_features > 0 && gb.n_features() != expect_features {
+            return Err(format!(
+                "reloading {}: feature count changed from {expect_features} to {} (refusing to swap)",
+                path.display(),
+                gb.n_features()
+            ));
+        }
         // Compile outside the write lock too — flattening a 750-tree
         // ensemble is pure CPU work no request should wait behind.
         let flat = Arc::new(FlatGbt::compile(&gb));

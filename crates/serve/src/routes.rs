@@ -139,6 +139,10 @@ pub struct Router {
     /// Flight recorder behind `GET /debug/requests`: the event loop
     /// records every completed request timeline here.
     flight: Arc<FlightRecorder>,
+    /// Health hub behind `GET /v1/health` and `GET /debug/slo`.
+    /// Installed once by `Server::run` (like the batcher); absent in
+    /// routers driven in-process, which then answer "disabled".
+    health: Arc<OnceLock<Arc<chemcost_health::HealthHub>>>,
 }
 
 impl Router {
@@ -183,12 +187,25 @@ impl Router {
             default_deadline_ms: None,
             batcher: Arc::new(OnceLock::new()),
             flight: Arc::new(FlightRecorder::new()),
+            health: Arc::new(OnceLock::new()),
         }
     }
 
     /// The flight recorder served from `GET /debug/requests`.
     pub fn flight(&self) -> &Arc<FlightRecorder> {
         &self.flight
+    }
+
+    /// Install the health hub all clones of this router will serve
+    /// `GET /v1/health` and `GET /debug/slo` from. One-shot, like
+    /// [`Router::install_batcher`].
+    pub fn install_health(&self, hub: Arc<chemcost_health::HealthHub>) {
+        let _ = self.health.set(hub);
+    }
+
+    /// The installed health hub, if any.
+    pub fn health(&self) -> Option<&Arc<chemcost_health::HealthHub>> {
+        self.health.get()
     }
 
     /// Install the micro-batcher all clones of this router will score
@@ -372,8 +389,19 @@ impl Router {
                 (Route::Quality, self.next_experiments_report())
             }
             ("GET", "/v1/lifecycle") => (Route::Lifecycle, self.lifecycle_report()),
+            ("GET", "/v1/health") => (Route::Health, self.health_report()),
+            ("GET", "/debug/slo") => (Route::Debug, self.debug_slo()),
             ("GET", "/debug/requests") => {
-                (Route::Debug, Response::json(200, self.flight.to_json().encode()))
+                let since_us =
+                    req.query_param("since_us").and_then(|v| v.parse::<u64>().ok()).unwrap_or(0);
+                let route_filter = req.query_param("route").filter(|r| !r.is_empty());
+                (
+                    Route::Debug,
+                    Response::json(
+                        200,
+                        self.flight.to_json_filtered(since_us, route_filter).encode(),
+                    ),
+                )
             }
             ("POST", "/v1/lifecycle/promote") => {
                 (Route::Lifecycle, self.lifecycle_promote(&req.body))
@@ -404,6 +432,29 @@ impl Router {
                 (Route::Other, error(404, &format!("no such endpoint {path}")))
             }
             (method, _) => (Route::Other, error(405, &format!("method {method} not allowed"))),
+        }
+    }
+
+    /// `GET /v1/health`: the SLO verdict as a readiness probe — 200
+    /// while healthy, 503 while any critical SLO is firing. Without an
+    /// installed hub (in-process routers, health disabled) it reports
+    /// 200/"disabled" so probes don't flap on configuration.
+    fn health_report(&self) -> Response {
+        match self.health.get() {
+            Some(hub) => {
+                let (status, body) = hub.health_json();
+                Response::json(status, body)
+            }
+            None => Response::json(200, r#"{"status":"disabled","slos":[]}"#.to_string()),
+        }
+    }
+
+    /// `GET /debug/slo`: ring accounting plus per-SLO evaluation
+    /// history (the `chemcost health` sparkline source).
+    fn debug_slo(&self) -> Response {
+        match self.health.get() {
+            Some(hub) => Response::json(200, hub.debug_json()),
+            None => Response::json(200, r#"{"status":"disabled","slos":[]}"#.to_string()),
         }
     }
 
@@ -2057,6 +2108,56 @@ mod tests {
         assert_eq!(parsed.get("stage").and_then(Json::as_str), Some("queue"));
         assert_eq!(parsed.get("deadline_ms").and_then(Json::as_usize), Some(10));
         assert_eq!(scrape(&router, "chemcost_deadline_exceeded_total{stage=\"queue\"}"), 1);
+    }
+
+    #[test]
+    fn health_and_slo_routes_answer_disabled_before_install() {
+        let router = test_router();
+        let resp = router.handle(&Request::new("GET", "/v1/health", b""));
+        assert_eq!(resp.status, 200);
+        assert_eq!(json_of(&resp).get("status").and_then(Json::as_str), Some("disabled"));
+        let resp = router.handle(&Request::new("GET", "/debug/slo", b""));
+        assert_eq!(resp.status, 200);
+        assert_eq!(json_of(&resp).get("status").and_then(Json::as_str), Some("disabled"));
+        // The route is tracked under its own label.
+        assert_eq!(scrape(&router, "chemcost_requests_total{route=\"health\"}"), 1);
+    }
+
+    #[test]
+    fn health_route_serves_the_installed_hub() {
+        let router = test_router();
+        let sampler = crate::health_bridge::MetricsSampler::new(router.metrics());
+        let config = chemcost_health::HealthConfig {
+            slos: crate::health_bridge::builtin_slos(),
+            ..Default::default()
+        };
+        let hub = Arc::new(chemcost_health::HealthHub::new(Arc::clone(sampler.schema()), &config));
+        router.install_health(Arc::clone(&hub));
+        let resp = router.handle(&Request::new("GET", "/v1/health", b""));
+        assert_eq!(resp.status, 200, "no scrapes yet: nothing can be firing");
+        let v = json_of(&resp);
+        assert_eq!(v.get("status").and_then(Json::as_str), Some("ok"));
+        let slos = v.get("slos").and_then(Json::as_array).unwrap();
+        assert_eq!(slos.len(), crate::health_bridge::builtin_slos().len());
+        let resp = router.handle(&Request::new("GET", "/debug/slo", b""));
+        let v = json_of(&resp);
+        assert!(v.get("ring").is_some());
+        assert_eq!(v.get("slos").and_then(Json::as_array).unwrap().len(), slos.len());
+    }
+
+    #[test]
+    fn debug_requests_passes_query_filters_through() {
+        let router = test_router();
+        let resp =
+            router.handle(&Request::new("GET", "/debug/requests?since_us=12345&route=advise", b""));
+        assert_eq!(resp.status, 200);
+        let v = json_of(&resp);
+        assert_eq!(v.get("since_us").and_then(Json::as_usize), Some(12345));
+        assert_eq!(v.get("recent").and_then(Json::as_array).map(|a| a.len()), Some(0));
+        // Unparsable since_us degrades to 0 rather than erroring.
+        let resp = router.handle(&Request::new("GET", "/debug/requests?since_us=banana", b""));
+        assert_eq!(resp.status, 200);
+        assert_eq!(json_of(&resp).get("since_us").and_then(Json::as_usize), Some(0));
     }
 
     #[test]

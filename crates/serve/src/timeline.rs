@@ -374,13 +374,26 @@ impl FlightRecorder {
 
     /// The full `GET /debug/requests` document.
     pub fn to_json(&self) -> Json {
+        self.to_json_filtered(0, None)
+    }
+
+    /// The `GET /debug/requests` document with the incremental-polling
+    /// filters: only timelines completed strictly after `since_us`
+    /// and, when `route` is given, whose path contains it (so `advise`
+    /// matches `/v1/advise`). `chemcost top --watch` polls with the
+    /// newest `ts_us` it has seen, downloading only the new tail.
+    pub fn to_json_filtered(&self, since_us: u64, route: Option<&str>) -> Json {
         let (recent, slowest) = self.snapshot();
+        let keep = |t: &&Arc<CompletedTimeline>| {
+            t.completed_unix_us > since_us && route.is_none_or(|r| t.path.contains(r))
+        };
         Json::obj([
             ("completed", Json::Num(self.completed() as f64)),
             ("recent_cap", Json::Num(self.recent_cap as f64)),
             ("slowest_cap", Json::Num(self.slowest_cap as f64)),
-            ("recent", Json::Arr(recent.iter().map(|t| t.to_json()).collect())),
-            ("slowest", Json::Arr(slowest.iter().map(|t| t.to_json()).collect())),
+            ("since_us", Json::Num(since_us as f64)),
+            ("recent", Json::Arr(recent.iter().filter(keep).map(|t| t.to_json()).collect())),
+            ("slowest", Json::Arr(slowest.iter().filter(keep).map(|t| t.to_json()).collect())),
         ])
     }
 }
@@ -529,5 +542,36 @@ mod tests {
         // job asserts over the wire).
         let encoded = doc.encode();
         Json::parse(&encoded).expect("debug/requests JSON parses");
+    }
+
+    #[test]
+    fn filters_slice_by_timestamp_and_route() {
+        let rec = FlightRecorder::with_caps(8, 4);
+        rec.record(timeline_taking(3, "/v1/predict"));
+        rec.record(timeline_taking(5, "/v1/advise"));
+        rec.record(timeline_taking(7, "/v1/advise"));
+        let all = rec.to_json_filtered(0, None);
+        assert_eq!(all.get("recent").and_then(Json::as_array).unwrap().len(), 3);
+        // Route substring filter.
+        let advise = rec.to_json_filtered(0, Some("advise"));
+        let recent = advise.get("recent").and_then(Json::as_array).unwrap();
+        assert_eq!(recent.len(), 2);
+        assert!(recent
+            .iter()
+            .all(|t| { t.get("path").and_then(Json::as_str).unwrap().contains("advise") }));
+        // since_us strictly-after: polling back the newest seen ts_us
+        // returns nothing new; ts-1 returns only the newest entries.
+        let newest = all.get("recent").and_then(Json::as_array).unwrap()[2]
+            .get("ts_us")
+            .and_then(Json::as_f64)
+            .unwrap() as u64;
+        let empty = rec.to_json_filtered(newest, None);
+        assert!(empty.get("recent").and_then(Json::as_array).unwrap().is_empty());
+        let tail = rec.to_json_filtered(newest - 1, None);
+        assert!(!tail.get("recent").and_then(Json::as_array).unwrap().is_empty());
+        // Both caps and the echo of the filter survive.
+        assert_eq!(tail.get("since_us").and_then(Json::as_f64), Some((newest - 1) as f64));
+        // The filtered document stays parseable.
+        Json::parse(&advise.encode()).expect("filtered JSON parses");
     }
 }

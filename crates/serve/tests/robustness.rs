@@ -27,6 +27,7 @@ fn req_with_deadline(value: Option<&str>) -> Request {
     Request {
         method: "POST".to_string(),
         path: "/v1/advise".to_string(),
+        query: String::new(),
         headers,
         body: Vec::new(),
     }

@@ -63,10 +63,13 @@ fn known_options(command: &str) -> Option<&'static [&'static str]> {
             "batch-max",
             "chaos",
             "default-deadline-ms",
+            "scrape-interval-ms",
+            "slo-file",
         ]),
         "call" => Some(&["addr", "method", "path", "body", "deadline-ms", "retries"]),
         "quality" => Some(&["addr", "next"]),
-        "top" => Some(&["addr", "slowest", "recent", "n"]),
+        "top" => Some(&["addr", "slowest", "recent", "n", "watch", "route", "interval-ms"]),
+        "health" => Some(&["addr", "watch", "window"]),
         "lifecycle" => {
             Some(&["addr", "model", "machine", "promote", "rollback", "freeze", "unfreeze"])
         }
@@ -150,15 +153,19 @@ fn usage() -> &'static str {
                   [--noise SIGMA] [--seed S] [--out FILE]  (per-task JSONL + utilization)\n\
        serve      --model FILE --machine NAME [--addr HOST:PORT] [--workers N] [--queue-cap N]\n\
                   [--max-conns N] [--batch-window-us US] [--batch-max ROWS]\n\
-                  [--default-deadline-ms MS] [--chaos slow-io|drop-conn|truncate-body|\n\
-                   saturate|poison-reload|all]  (chaos seeded by CHEMCOST_CHAOS_SEED)\n\
+                  [--default-deadline-ms MS] [--scrape-interval-ms MS] [--slo-file FILE]\n\
+                  [--chaos slow-io|drop-conn|truncate-body|saturate|poison-reload|all]\n\
+                   (chaos seeded by CHEMCOST_CHAOS_SEED; SLO rules in docs/HEALTH.md)\n\
        call       --path /v1/… [--addr HOST:PORT] [--method GET|POST] [--body JSON]\n\
                   [--deadline-ms MS] [--retries N]  (retrying client; GET and\n\
                    /v1/advise retry, other POSTs get one attempt)\n\
        quality    [--addr HOST:PORT] [--next]  (model-quality report from a running\n\
                    daemon; --next asks for active-learning-ranked experiments)\n\
-       top        [--addr HOST:PORT] [--slowest | --recent] [--n ROWS]  (per-request\n\
-                   stage timelines from a daemon's flight recorder, /debug/requests)\n\
+       top        [--addr HOST:PORT] [--slowest | --recent] [--n ROWS] [--route SUBSTR]\n\
+                  [--watch [--interval-ms MS]]  (per-request stage timelines from a\n\
+                   daemon's flight recorder, /debug/requests; --watch tails new requests)\n\
+       health     [--addr HOST:PORT] [--window 5m] [--watch]  (SLO verdicts, alert\n\
+                   states, and sparklines from /v1/health + /debug/slo; docs/HEALTH.md)\n\
        lifecycle  [--addr HOST:PORT] [--model NAME] [--machine NAME]\n\
                   [--promote | --rollback | --freeze | --unfreeze]  (retrain/shadow/\n\
                    promote state from a running daemon; see docs/LIFECYCLE.md)\n\
@@ -451,6 +458,27 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         }
         server = server.with_batch_config(config);
     }
+    if args.options.contains_key("scrape-interval-ms") || args.options.contains_key("slo-file") {
+        let mut config = chemcost::serve::HealthConfig {
+            slos: chemcost::serve::builtin_slos(),
+            ..Default::default()
+        };
+        if args.options.contains_key("scrape-interval-ms") {
+            let ms = args.get_parse::<u64>("scrape-interval-ms")?;
+            if ms == 0 {
+                return Err("--scrape-interval-ms must be at least 1".into());
+            }
+            config.scrape_interval = std::time::Duration::from_millis(ms);
+        }
+        if let Some(path) = args.options.get("slo-file") {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            let rules =
+                chemcost::serve::parse_slo_file(&text).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("loaded {} SLO rule(s) from {path}", rules.len());
+            config.slos.extend(rules);
+        }
+        server = server.with_health(config);
+    }
     let mut chaos_note = String::new();
     if let Some(profile) = args.options.get("chaos") {
         let profile = ChaosProfile::parse(profile)
@@ -623,22 +651,119 @@ fn cmd_quality(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Column header shared by `top`'s one-shot sections and `--watch`.
+fn timeline_header() -> String {
+    format!(
+        "{:>9} {:>4} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>12} {:<18} request",
+        "total_ms",
+        "st",
+        "read_us",
+        "queue_us",
+        "batch_us",
+        "hand_us",
+        "reord_us",
+        "write_us",
+        "batch",
+        "trace"
+    )
+}
+
+/// One flight-recorder entry as a `top` table row.
+fn timeline_row(e: &chemcost::serve::json::Json) -> String {
+    use chemcost::serve::json::Json;
+    let stage = |name: &str| {
+        e.get("stages").and_then(|s| s.get(name)).and_then(Json::as_f64).unwrap_or(0.0)
+    };
+    let batch = e.get("batch");
+    let batch_col = match batch.and_then(|b| b.get("calls")).and_then(Json::as_usize) {
+        Some(0) | None => "-".to_string(),
+        Some(_) => format!(
+            "{}r@{}",
+            batch.and_then(|b| b.get("rows")).and_then(Json::as_usize).unwrap_or(0),
+            batch.and_then(|b| b.get("last_reason")).and_then(Json::as_str).unwrap_or("?"),
+        ),
+    };
+    format!(
+        "{:>9.3} {:>4} {:>8.0} {:>8.0} {:>8.0} {:>8.0} {:>8.0} {:>8.0} {:>12} {:<18} {} {}",
+        e.get("total_us").and_then(Json::as_f64).unwrap_or(0.0) / 1000.0,
+        e.get("status").and_then(Json::as_usize).unwrap_or(0),
+        stage("read_us"),
+        stage("queue_us"),
+        stage("batch_wait_us"),
+        stage("handler_us"),
+        stage("reorder_us"),
+        stage("write_us"),
+        batch_col,
+        e.get("trace").and_then(Json::as_str).unwrap_or(""),
+        e.get("method").and_then(Json::as_str).unwrap_or("?"),
+        e.get("path").and_then(Json::as_str).unwrap_or("?"),
+    )
+}
+
+/// `chemcost top --watch`: tail the flight recorder. Each poll asks
+/// `/debug/requests?since_us=<high-water-mark>` so the daemon filters
+/// server-side and only never-seen completions come back; rows stream
+/// until Ctrl-C or the output pipe closes.
+fn top_watch(args: &Args) -> Result<(), String> {
+    use chemcost::serve::json::Json;
+    use std::io::Write;
+    let addr = args.get("addr").unwrap_or("127.0.0.1:8080");
+    let interval_ms = args.get_parse::<u64>("interval-ms").unwrap_or(1000).max(50);
+    let route = args.options.get("route");
+    let client = Client::new(addr);
+    let mut out = std::io::stdout().lock();
+    if writeln!(out, "{}", timeline_header()).is_err() {
+        return Ok(());
+    }
+    let mut since_us: u64 = 0;
+    loop {
+        let mut path = format!("/debug/requests?since_us={since_us}");
+        if let Some(route) = route {
+            path.push_str("&route=");
+            path.push_str(route);
+        }
+        let resp = client.call("GET", &path, b"").map_err(|e| format!("GET {path}: {e}"))?;
+        if resp.status >= 400 {
+            return Err(format!("server answered {}: {}", resp.status, resp.text()));
+        }
+        let parsed = Json::parse(&resp.text()).map_err(|e| format!("bad response JSON: {e}"))?;
+        if let Some(entries) = parsed.get("recent").and_then(Json::as_array) {
+            for e in entries {
+                since_us =
+                    since_us.max(e.get("ts_us").and_then(Json::as_f64).unwrap_or(0.0) as u64);
+                if writeln!(out, "{}", timeline_row(e)).is_err() {
+                    return Ok(()); // downstream pipe closed (`| head`)
+                }
+            }
+            let _ = out.flush();
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
+}
+
 /// `chemcost top`: fetch a running daemon's flight recorder
 /// (`GET /debug/requests`) and render the slowest and most recent
 /// request timelines with per-stage attribution. `--slowest` or
-/// `--recent` limits the output to one section; `--n` caps rows.
+/// `--recent` limits the output to one section; `--n` caps rows;
+/// `--route` keeps only paths containing the substring; `--watch`
+/// tails new completions instead (see [`top_watch`]).
 fn cmd_top(args: &Args) -> Result<(), String> {
     use chemcost::serve::json::Json;
     use std::io::Write;
+    if args.flag("watch") {
+        return top_watch(args);
+    }
     let addr = args.get("addr").unwrap_or("127.0.0.1:8080");
     if args.flag("slowest") && args.flag("recent") {
         return Err("pick at most one of --slowest, --recent".into());
     }
     let limit = args.get_parse::<usize>("n").unwrap_or(usize::MAX).max(1);
     let client = Client::new(addr);
-    let resp = client
-        .call("GET", "/debug/requests", b"")
-        .map_err(|e| format!("GET /debug/requests: {e}"))?;
+    let path = match args.options.get("route") {
+        Some(route) => format!("/debug/requests?route={route}"),
+        None => "/debug/requests".to_string(),
+    };
+    let resp = client.call("GET", &path, b"").map_err(|e| format!("GET {path}: {e}"))?;
     if resp.status >= 400 {
         return Err(format!("server answered {}: {}", resp.status, resp.text()));
     }
@@ -658,56 +783,14 @@ fn cmd_top(args: &Args) -> Result<(), String> {
             return;
         }
         let _ = writeln!(out, "\n{title}:");
-        let _ = writeln!(
-            out,
-            "{:>9} {:>4} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>12} {:<18} request",
-            "total_ms",
-            "st",
-            "read_us",
-            "queue_us",
-            "batch_us",
-            "hand_us",
-            "reord_us",
-            "write_us",
-            "batch",
-            "trace"
-        );
+        let _ = writeln!(out, "{}", timeline_header());
         let rows: Vec<&Json> = if newest_first {
             entries.iter().rev().take(limit).collect()
         } else {
             entries.iter().take(limit).collect()
         };
         for e in rows {
-            let stage = |name: &str| {
-                e.get("stages").and_then(|s| s.get(name)).and_then(Json::as_f64).unwrap_or(0.0)
-            };
-            let batch = e.get("batch");
-            let batch_col = match batch.and_then(|b| b.get("calls")).and_then(Json::as_usize) {
-                Some(0) | None => "-".to_string(),
-                Some(_) => format!(
-                    "{}r@{}",
-                    batch.and_then(|b| b.get("rows")).and_then(Json::as_usize).unwrap_or(0),
-                    batch.and_then(|b| b.get("last_reason")).and_then(Json::as_str).unwrap_or("?"),
-                ),
-            };
-            if writeln!(
-                out,
-                "{:>9.3} {:>4} {:>8.0} {:>8.0} {:>8.0} {:>8.0} {:>8.0} {:>8.0} {:>12} {:<18} {} {}",
-                e.get("total_us").and_then(Json::as_f64).unwrap_or(0.0) / 1000.0,
-                e.get("status").and_then(Json::as_usize).unwrap_or(0),
-                stage("read_us"),
-                stage("queue_us"),
-                stage("batch_wait_us"),
-                stage("handler_us"),
-                stage("reorder_us"),
-                stage("write_us"),
-                batch_col,
-                e.get("trace").and_then(Json::as_str).unwrap_or(""),
-                e.get("method").and_then(Json::as_str).unwrap_or("?"),
-                e.get("path").and_then(Json::as_str).unwrap_or("?"),
-            )
-            .is_err()
-            {
+            if writeln!(out, "{}", timeline_row(e)).is_err() {
                 break;
             }
         }
@@ -719,6 +802,111 @@ fn cmd_top(args: &Args) -> Result<(), String> {
         section("most recent (newest first)", "recent", true);
     }
     Ok(())
+}
+
+/// `chemcost health`: SLO verdicts from a running daemon — one line per
+/// objective with its alert state, current burn-rate value against the
+/// threshold, and an ASCII sparkline of the recent evaluation history
+/// (`/v1/health` + `/debug/slo`). `--window 5m` trims the sparkline to
+/// the last five minutes; `--watch` redraws every second. Exits
+/// non-zero when a critical SLO is firing (the daemon answers 503), so
+/// scripts can gate on it.
+fn cmd_health(args: &Args) -> Result<(), String> {
+    use chemcost::serve::json::Json;
+    use std::io::Write;
+    let addr = args.get("addr").unwrap_or("127.0.0.1:8080");
+    let window = match args.options.get("window") {
+        Some(w) => Some(chemcost::serve::parse_duration(w).map_err(|e| format!("--window: {e}"))?),
+        None => None,
+    };
+    let watch = args.flag("watch");
+    let client = Client::new(addr);
+    loop {
+        let resp =
+            client.call("GET", "/v1/health", b"").map_err(|e| format!("GET /v1/health: {e}"))?;
+        // 503 is the "critical SLO firing" verdict, not a transport
+        // failure — render it like any other report.
+        if resp.status >= 400 && resp.status != 503 {
+            return Err(format!("server answered {}: {}", resp.status, resp.text()));
+        }
+        let parsed = Json::parse(&resp.text()).map_err(|e| format!("bad response JSON: {e}"))?;
+        let status = parsed.get("status").and_then(Json::as_str).unwrap_or("?").to_string();
+        if status == "disabled" {
+            println!("health plane disabled on this daemon (started without it)");
+            return Ok(());
+        }
+        let debug =
+            client.call("GET", "/debug/slo", b"").map_err(|e| format!("GET /debug/slo: {e}"))?;
+        let dbg = Json::parse(&debug.text()).map_err(|e| format!("bad response JSON: {e}"))?;
+        let mut sparks: HashMap<String, String> = HashMap::new();
+        if let Some(slos) = dbg.get("slos").and_then(Json::as_array) {
+            for s in slos {
+                let Some(name) = s.get("name").and_then(Json::as_str) else { continue };
+                let Some(history) = s.get("history").and_then(Json::as_array) else { continue };
+                let point_us = |p: &Json| p.get("unix_us").and_then(Json::as_f64).unwrap_or(0.0);
+                let newest = history.iter().map(&point_us).fold(0.0, f64::max);
+                // Trim against the server's own clock (the newest
+                // point), so a skewed local clock cannot blank the line.
+                let cutoff = match window {
+                    Some(w) => newest - w.as_micros() as f64,
+                    None => f64::NEG_INFINITY,
+                };
+                let values: Vec<f64> = history
+                    .iter()
+                    .filter(|p| point_us(p) >= cutoff)
+                    .map(|p| p.get("value").and_then(Json::as_f64).unwrap_or(f64::NAN))
+                    .collect();
+                sparks.insert(name.to_string(), chemcost::serve::sparkline(&values, 32));
+            }
+        }
+        if watch {
+            // Clear and home, like watch(1).
+            print!("\x1b[2J\x1b[H");
+        }
+        println!(
+            "health: {} (HTTP {}) — {} firing, {} pending; {} samples, {} evaluations",
+            status,
+            resp.status,
+            parsed.get("firing").and_then(Json::as_usize).unwrap_or(0),
+            parsed.get("pending").and_then(Json::as_usize).unwrap_or(0),
+            parsed.get("samples").and_then(Json::as_usize).unwrap_or(0),
+            parsed.get("evaluations").and_then(Json::as_usize).unwrap_or(0),
+        );
+        let mut out = std::io::stdout().lock();
+        if let Some(slos) = parsed.get("slos").and_then(Json::as_array) {
+            for s in slos {
+                let name = s.get("name").and_then(Json::as_str).unwrap_or("?");
+                let fmt = |key: &str| match s.get(key).and_then(Json::as_f64) {
+                    Some(x) if x.is_finite() => format!("{x:>8.4}"),
+                    _ => format!("{:>8}", "n/a"),
+                };
+                if writeln!(
+                    out,
+                    "{:>9}{} {:<24} {} {} {}  |{}|",
+                    s.get("state").and_then(Json::as_str).unwrap_or("?"),
+                    if s.get("critical").and_then(Json::as_bool) == Some(true) { "!" } else { " " },
+                    name,
+                    fmt("value"),
+                    s.get("cmp").and_then(Json::as_str).unwrap_or("?"),
+                    fmt("threshold"),
+                    sparks.get(name).map(String::as_str).unwrap_or(""),
+                )
+                .is_err()
+                {
+                    return Ok(()); // downstream pipe closed
+                }
+            }
+        }
+        let _ = out.flush();
+        drop(out);
+        if !watch {
+            if resp.status == 503 {
+                return Err("critical SLO firing (HTTP 503)".into());
+            }
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1000));
+    }
 }
 
 /// `chemcost lifecycle`: the retrain/shadow/promote state of a running
@@ -844,6 +1032,7 @@ fn main() -> ExitCode {
         "call" => cmd_call(&args),
         "quality" => cmd_quality(&args),
         "top" => cmd_top(&args),
+        "health" => cmd_health(&args),
         "lifecycle" => cmd_lifecycle(&args),
         "version" | "--version" | "-V" => cmd_version(),
         "molecules" => cmd_molecules(),
@@ -1001,6 +1190,41 @@ mod tests {
         assert_eq!(a.get_parse::<usize>("n").unwrap(), 5);
         assert!(parse_args(&argv(&["top", "--recent"])).is_ok());
         assert!(parse_args(&argv(&["top", "--slow"])).is_err());
+    }
+
+    #[test]
+    fn top_watch_options_accepted() {
+        let a = parse_args(&argv(&["top", "--watch", "--route=/v1/advise", "--interval-ms=250"]))
+            .unwrap();
+        assert!(a.flag("watch"));
+        assert_eq!(a.get("route").unwrap(), "/v1/advise");
+        assert_eq!(a.get_parse::<u64>("interval-ms").unwrap(), 250);
+        assert!(parse_args(&argv(&["top", "--wach"])).is_err());
+    }
+
+    #[test]
+    fn health_options_accepted() {
+        let a = parse_args(&argv(&["health", "--addr=127.0.0.1:9100", "--watch", "--window=5m"]))
+            .unwrap();
+        assert_eq!(a.get("addr").unwrap(), "127.0.0.1:9100");
+        assert!(a.flag("watch"));
+        assert_eq!(a.get("window").unwrap(), "5m");
+        assert!(parse_args(&argv(&["health", "--widow=5m"])).is_err());
+    }
+
+    #[test]
+    fn serve_health_options_accepted() {
+        let a = parse_args(&argv(&[
+            "serve",
+            "--model=m.ccgb",
+            "--machine=aurora",
+            "--scrape-interval-ms=500",
+            "--slo-file=slo.toml",
+        ]))
+        .unwrap();
+        assert_eq!(a.get_parse::<u64>("scrape-interval-ms").unwrap(), 500);
+        assert_eq!(a.get("slo-file").unwrap(), "slo.toml");
+        assert!(parse_args(&argv(&["serve", "--model=m.ccgb", "--slofile=x"])).is_err());
     }
 
     #[test]
